@@ -1,0 +1,149 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper (experiments
+   E1-E13) — the reproduction artifacts themselves.
+
+   Part 2 runs Bechamel micro-benchmarks of the computational kernels so
+   that performance regressions in the model code are visible: the Fair
+   Share queue recursion, the FIFO baseline, one controller step on a
+   parking-lot network, the numeric Jacobian + eigensolve that powers the
+   stability analysis, the water-filling construction, and the
+   discrete-event simulator's event loop. *)
+
+open Bechamel
+open Toolkit
+open Ffc_numerics
+open Ffc_queueing
+open Ffc_topology
+open Ffc_core
+
+let fs_rates = Array.init 64 (fun i -> 0.001 *. float_of_int (i + 1))
+let fs_mu = Vec.sum fs_rates *. 2.
+
+let bench_fs_queues =
+  Test.make ~name:"fair_share.queue_lengths (N=64)"
+    (Staged.stage (fun () -> Fair_share.queue_lengths ~mu:fs_mu fs_rates))
+
+let bench_fifo_queues =
+  Test.make ~name:"fifo.queue_lengths (N=64)"
+    (Staged.stage (fun () -> Fifo.queue_lengths ~mu:fs_mu fs_rates))
+
+let controller_net = Topologies.parking_lot ~hops:4 ()
+
+let controller =
+  Controller.homogeneous ~config:Feedback.individual_fair_share
+    ~adjuster:Scenario.standard_adjuster
+    ~n:(Network.num_connections controller_net)
+
+let controller_rates = Array.make (Network.num_connections controller_net) 0.1
+
+let bench_controller_step =
+  Test.make ~name:"controller.step (parking lot, 4 hops)"
+    (Staged.stage (fun () ->
+         Controller.step controller ~net:controller_net controller_rates))
+
+let jac_net = Topologies.single ~n:12 ()
+
+let jac_controller =
+  Controller.homogeneous ~config:Feedback.individual_fair_share
+    ~adjuster:Scenario.standard_adjuster ~n:12
+
+let jac_point = Array.make 12 (0.5 /. 12.)
+
+let bench_jacobian =
+  Test.make ~name:"jacobian + eigenvalues (N=12)"
+    (Staged.stage (fun () ->
+         let df = Jacobian.of_controller jac_controller ~net:jac_net ~at:jac_point in
+         Eigen.spectral_radius df))
+
+let wf_rng = Rng.create 99
+let wf_net = Topologies.random ~rng:wf_rng ~gateways:8 ~connections:24 ~max_path:4 ()
+
+let bench_water_filling =
+  Test.make ~name:"steady_state.fair (8 gw, 24 conns)"
+    (Staged.stage (fun () ->
+         Steady_state.fair ~signal:Signal.linear_fractional ~b_ss:0.5 ~net:wf_net))
+
+let desim_net = Topologies.single ~mu:1. ~n:2 ()
+
+let bench_desim =
+  Test.make ~name:"desim 1000 time units (FS, rho=0.6)"
+    (Staged.stage (fun () ->
+         Ffc_desim.Netsim.run ~net:desim_net ~rates:[| 0.3; 0.3 |]
+           ~discipline:Ffc_desim.Netsim.Fs_priority ~seed:3 ~horizon:1000. ()))
+
+let bench_eigen_dense =
+  let m =
+    Mat.init 24 24 (fun i j ->
+        sin (float_of_int ((i * 31) + j)) /. (1. +. float_of_int (abs (i - j))))
+  in
+  Test.make ~name:"eigenvalues dense 24x24" (Staged.stage (fun () -> Eigen.eigenvalues m))
+
+let window_net = Topologies.parking_lot ~hops:2 ~latency:0.2 ()
+
+let bench_window_fixed_point =
+  Test.make ~name:"window fixed point (parking lot)"
+    (Staged.stage (fun () ->
+         Window.rates_of_windows Feedback.individual_fifo ~net:window_net
+           ~windows:[| 0.8; 0.5; 1.2 |]))
+
+let bench_nash =
+  let utility = Ffc_game.Utility.linear ~delay_cost:0.01 in
+  Test.make ~name:"nash solve (FS, N=3)"
+    (Staged.stage (fun () ->
+         Ffc_game.Nash.solve Ffc_queueing.Service.fair_share utility ~mu:1. ~n:3
+           ~r0:[| 0.1; 0.1; 0.1 |]))
+
+let closed_loop_net = Topologies.single ~mu:1. ~n:2 ()
+
+let bench_closed_loop =
+  Test.make ~name:"closed loop, 10 updates x 100 time units"
+    (Staged.stage (fun () ->
+         Ffc_closedloop.Closed_loop.run ~net:closed_loop_net
+           ~discipline:Ffc_closedloop.Closed_loop.Fs_priority
+           ~style:Congestion.Individual ~signal:Signal.linear_fractional
+           ~adjusters:(Array.make 2 Scenario.standard_adjuster)
+           ~r0:[| 0.1; 0.1 |] ~interval:100. ~updates:10 ~seed:5 ()))
+
+let tests =
+  Test.make_grouped ~name:"ffc"
+    [
+      bench_fifo_queues;
+      bench_fs_queues;
+      bench_controller_step;
+      bench_jacobian;
+      bench_eigen_dense;
+      bench_water_filling;
+      bench_desim;
+      bench_window_fixed_point;
+      bench_nash;
+      bench_closed_loop;
+    ]
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns_per_run =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> est
+        | Some [] | None -> Float.nan
+      in
+      rows := (name, ns_per_run) :: !rows)
+    results;
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) !rows in
+  Printf.printf "%-55s %16s\n" "kernel" "ns/run";
+  Printf.printf "%s\n" (String.make 72 '-');
+  List.iter (fun (name, ns) -> Printf.printf "%-55s %16.1f\n" name ns) rows
+
+let () =
+  print_string (Ffc_experiments.Registry.run_all ());
+  print_newline ();
+  Printf.printf "%s\nmicro-benchmarks (bechamel)\n%s\n" (String.make 72 '=')
+    (String.make 72 '=');
+  run_benchmarks ()

@@ -1,0 +1,401 @@
+(* ffc — command-line driver for the feedback flow control reproduction.
+
+   Subcommands:
+     ffc exp [ID | all]      regenerate paper experiments
+     ffc analyze ...         run the design matrix on a topology
+     ffc simulate ...        packet-level simulation of a topology
+     ffc topology ...        emit canonical topologies in the DSL *)
+
+open Cmdliner
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument converters                                          *)
+(* ------------------------------------------------------------------ *)
+
+let topology_term =
+  let file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "topology"; "t" ] ~docv:"FILE" ~doc:"Topology description file (DSL).")
+  in
+  let preset =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "preset"; "p" ] ~docv:"NAME"
+          ~doc:
+            "Built-in topology: single:N, parking-lot:HOPS, chain:HOPS:CONNS, \
+             star:LEGS, dumbbell:L:R.")
+  in
+  let build file preset =
+    match (file, preset) with
+    | Some path, None -> (
+      let text = In_channel.with_open_text path In_channel.input_all in
+      match Dsl.parse text with
+      | Ok net -> Ok net
+      | Error { Dsl.line; message } ->
+        Error (Printf.sprintf "%s:%d: %s" path line message))
+    | None, Some spec -> (
+      let fail () =
+        Error
+          (Printf.sprintf
+             "bad preset %S (try single:4, parking-lot:3, chain:2:3, star:3, \
+              dumbbell:2:2)"
+             spec)
+      in
+      match String.split_on_char ':' spec with
+      | [ "single"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 -> Ok (Topologies.single ~n ())
+        | _ -> fail ())
+      | [ "parking-lot"; h ] -> (
+        match int_of_string_opt h with
+        | Some hops when hops > 0 -> Ok (Topologies.parking_lot ~hops ())
+        | _ -> fail ())
+      | [ "chain"; h; c ] -> (
+        match (int_of_string_opt h, int_of_string_opt c) with
+        | Some hops, Some conns when hops > 0 && conns > 0 ->
+          Ok (Topologies.chain ~hops ~conns ())
+        | _ -> fail ())
+      | [ "star"; l ] -> (
+        match int_of_string_opt l with
+        | Some legs when legs > 0 -> Ok (Topologies.star ~legs ())
+        | _ -> fail ())
+      | [ "dumbbell"; l; r ] -> (
+        match (int_of_string_opt l, int_of_string_opt r) with
+        | Some left, Some right when left > 0 && right > 0 ->
+          Ok (Topologies.dumbbell ~left ~right ())
+        | _ -> fail ())
+      | _ -> fail ())
+    | None, None -> Error "provide --topology FILE or --preset NAME"
+    | Some _, Some _ -> Error "--topology and --preset are mutually exclusive"
+  in
+  Term.(const build $ file $ preset)
+
+(* Adjuster spec: "additive:ETA:BETA", "proportional:ETA:BETA",
+   "fair-rate:ETA:BETA", "decbit:ETA:BETA". *)
+let parse_adjuster spec =
+  match String.split_on_char ':' spec with
+  | [ kind; eta; beta ] -> (
+    match (float_of_string_opt eta, float_of_string_opt beta) with
+    | Some eta, Some beta -> (
+      try
+        match kind with
+        | "additive" -> Ok (Rate_adjust.additive ~eta ~beta)
+        | "proportional" -> Ok (Rate_adjust.proportional ~eta ~beta)
+        | "fair-rate" -> Ok (Rate_adjust.fair_rate_limd ~eta ~beta)
+        | "decbit" -> Ok (Rate_adjust.decbit_window ~eta ~beta)
+        | _ -> Error (Printf.sprintf "unknown adjuster kind %S" kind)
+      with Invalid_argument msg -> Error msg)
+    | _ -> Error (Printf.sprintf "bad adjuster numbers in %S" spec))
+  | _ -> Error (Printf.sprintf "bad adjuster spec %S (want kind:eta:beta)" spec)
+
+let adjusters_term =
+  Arg.(
+    value
+    & opt_all string [ "additive:0.1:0.5" ]
+    & info [ "adjuster"; "a" ] ~docv:"SPEC"
+        ~doc:
+          "Rate-adjustment algorithm kind:eta:beta (kinds: additive, \
+           proportional, fair-rate, decbit). Give one, or one per \
+           connection for a heterogeneous population.")
+
+let exit_err msg =
+  Printf.eprintf "ffc: %s\n" msg;
+  exit 1
+
+let resolve_adjusters specs n =
+  let parsed =
+    List.map
+      (fun s -> match parse_adjuster s with Ok a -> a | Error e -> exit_err e)
+      specs
+  in
+  match parsed with
+  | [ single ] -> Array.make n single
+  | many when List.length many = n -> Array.of_list many
+  | many ->
+    exit_err
+      (Printf.sprintf "%d adjusters given for %d connections" (List.length many) n)
+
+let parse_rates spec n =
+  let parts = String.split_on_char ',' spec in
+  let floats = List.map float_of_string_opt parts in
+  if List.for_all Option.is_some floats && List.length floats = n then
+    Array.of_list (List.map Option.get floats)
+  else exit_err (Printf.sprintf "bad rate list %S for %d connections" spec n)
+
+(* ------------------------------------------------------------------ *)
+(* exp                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let exp_cmd =
+  let id =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id or 'all'.")
+  in
+  let run id =
+    match String.lowercase_ascii id with
+    | "all" -> print_string (Ffc_experiments.Registry.run_all ())
+    | "list" ->
+      List.iter
+        (fun e ->
+          Printf.printf "%-4s %-60s [%s]\n" e.Ffc_experiments.Exp_common.id
+            e.Ffc_experiments.Exp_common.title e.Ffc_experiments.Exp_common.paper_ref)
+        Ffc_experiments.Registry.all
+    | _ -> (
+      match Ffc_experiments.Registry.run_one id with
+      | Ok s -> print_string s
+      | Error e -> exit_err e)
+  in
+  Cmd.v
+    (Cmd.info "exp"
+       ~doc:
+         "Regenerate the paper's tables and figures (E1-E24); 'list' prints the \
+          index, 'all' runs everything.")
+    Term.(const run $ id)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let r0_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "start"; "r0" ] ~docv:"R0"
+          ~doc:"Comma-separated initial rates (default: 0.02 everywhere).")
+  in
+  let trace_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Also write the individual+fair-share rate trajectory (400 steps) \
+             as CSV to FILE.")
+  in
+  let run net_result specs r0_spec trace_file =
+    match net_result with
+    | Error e -> exit_err e
+    | Ok net ->
+      let n = Network.num_connections net in
+      let adjusters = resolve_adjusters specs n in
+      let r0 =
+        match r0_spec with
+        | None -> Array.make n 0.02
+        | Some s -> parse_rates s n
+      in
+      Format.printf "%a@.@." Network.pp net;
+      List.iter
+        (fun report -> Format.printf "%a@.@." Analysis.pp_report report)
+        (Analysis.evaluate_all ~adjusters ~net r0);
+      match trace_file with
+      | None -> ()
+      | Some path ->
+        let c = Controller.create ~config:Feedback.individual_fair_share ~adjusters in
+        let traj = Controller.trajectory c ~net ~r0 ~steps:400 in
+        let names =
+          Array.init n (fun i -> (Network.connection net i).Network.conn_name)
+        in
+        Trace.write_file ~path (Trace.csv_of_trajectory ~names traj);
+        Printf.printf "trace written to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the design matrix (aggregate, individual+FIFO, individual+Fair \
+          Share) on a topology and report convergence, fairness, robustness and \
+          stability.")
+    Term.(const run $ topology_term $ adjusters_term $ r0_term $ trace_term)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let rates_term =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "rates"; "r" ] ~docv:"RATES" ~doc:"Comma-separated Poisson rates.")
+  in
+  let discipline_term =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("fifo", Ffc_desim.Netsim.Fifo);
+               ("fair-share", Ffc_desim.Netsim.Fs_priority);
+               ("fair-queueing", Ffc_desim.Netsim.Fair_queueing);
+             ])
+          Ffc_desim.Netsim.Fifo
+      & info [ "discipline"; "d" ] ~docv:"DISC"
+          ~doc:"Queue discipline: fifo, fair-share or fair-queueing.")
+  in
+  let horizon_term =
+    Arg.(value & opt float 20_000. & info [ "horizon" ] ~docv:"T" ~doc:"Simulated time.")
+  in
+  let seed_term =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let run net_result rates_spec discipline horizon seed =
+    match net_result with
+    | Error e -> exit_err e
+    | Ok net ->
+      let n = Network.num_connections net in
+      let rates = parse_rates rates_spec n in
+      let result = Ffc_desim.Netsim.run ~net ~rates ~discipline ~seed ~horizon () in
+      Format.printf "%a@." Network.pp net;
+      Printf.printf "horizon %g (10%% warmup), seed %d\n\n" horizon seed;
+      for a = 0 to Network.num_gateways net - 1 do
+        Printf.printf "gateway %s: total mean queue %.4f\n"
+          (Network.gateway net a).Network.gw_name
+          (Ffc_desim.Netsim.total_mean_queue result ~gw:a);
+        List.iter
+          (fun i ->
+            Printf.printf "  conn %-10s Q = %-10.4f\n"
+              (Network.connection net i).Network.conn_name
+              (Ffc_desim.Netsim.mean_queue result ~gw:a ~conn:i))
+          (Network.connections_at_gateway net a)
+      done;
+      print_newline ();
+      for i = 0 to n - 1 do
+        Printf.printf
+          "conn %-10s throughput = %-8.4f mean delay = %-8.4f (+/- %.4f)\n"
+          (Network.connection net i).Network.conn_name
+          (Ffc_desim.Netsim.throughput result ~conn:i)
+          (Ffc_desim.Netsim.delay_mean result ~conn:i)
+          (Ffc_desim.Netsim.delay_ci95 result ~conn:i)
+      done
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Packet-level discrete-event simulation of a topology.")
+    Term.(
+      const run $ topology_term $ rates_term $ discipline_term $ horizon_term
+      $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* closed-loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let closed_loop_cmd =
+  let discipline_term =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("fifo", Ffc_closedloop.Closed_loop.Fifo);
+               ("fair-share", Ffc_closedloop.Closed_loop.Fs_priority);
+               ("fair-queueing", Ffc_closedloop.Closed_loop.Fair_queueing);
+             ])
+          Ffc_closedloop.Closed_loop.Fs_priority
+      & info [ "discipline"; "d" ] ~docv:"DISC"
+          ~doc:"Queue discipline: fifo, fair-share or fair-queueing.")
+  in
+  let style_term =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("aggregate", Congestion.Aggregate);
+               ("individual", Congestion.Individual);
+             ])
+          Congestion.Individual
+      & info [ "style" ] ~docv:"STYLE" ~doc:"Feedback style: aggregate or individual.")
+  in
+  let interval_term =
+    Arg.(
+      value & opt float 300.
+      & info [ "interval" ] ~docv:"T" ~doc:"Simulated time between rate updates.")
+  in
+  let updates_term =
+    Arg.(value & opt int 100 & info [ "updates" ] ~docv:"K" ~doc:"Number of updates.")
+  in
+  let seed_term =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let run net_result specs style discipline interval updates seed =
+    match net_result with
+    | Error e -> exit_err e
+    | Ok net ->
+      let n = Network.num_connections net in
+      let adjusters = resolve_adjusters specs n in
+      let r =
+        Ffc_closedloop.Closed_loop.run ~net ~discipline ~style
+          ~signal:Signal.linear_fractional ~adjusters ~r0:(Array.make n 0.05)
+          ~interval ~updates ~seed ()
+      in
+      Format.printf "%a@." Network.pp net;
+      Printf.printf "closed loop: %d updates every %g time units\n\n" updates interval;
+      (* Rate trajectories, one glyph per connection. *)
+      let canvas = Ascii_plot.canvas ~width:64 ~height:14 () in
+      for i = 0 to Stdlib.min (n - 1) 8 do
+        Ascii_plot.plot_series canvas
+          ~glyph:(Char.chr (Char.code 'a' + i))
+          (Array.map (fun rates -> rates.(i)) r.Ffc_closedloop.Closed_loop.rates)
+      done;
+      print_string
+        (Ascii_plot.render ~title:"measured-feedback rate trajectories"
+           ~x_label:"update" ~y_label:"rate" canvas);
+      Printf.printf "\ntail-mean rates:\n";
+      Array.iteri
+        (fun i rate ->
+          Printf.printf "  conn %-10s %.4f\n"
+            (Network.connection net i).Network.conn_name rate)
+        r.Ffc_closedloop.Closed_loop.mean_tail_rates
+  in
+  Cmd.v
+    (Cmd.info "closed-loop"
+       ~doc:
+         "Run flow control end-to-end over the packet simulator: rates adjust \
+          from measured queue averages instead of the analytic model.")
+    Term.(
+      const run $ topology_term $ adjusters_term $ style_term $ discipline_term
+      $ interval_term $ updates_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* topology                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let topology_cmd =
+  let seed_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "random" ] ~docv:"SEED" ~doc:"Emit a random topology instead.")
+  in
+  let run net_result seed =
+    match seed with
+    | Some seed ->
+      let rng = Rng.create seed in
+      print_string
+        (Dsl.to_string (Topologies.random ~rng ~gateways:4 ~connections:5 ~max_path:3 ()))
+    | None -> (
+      match net_result with
+      | Ok net -> print_string (Dsl.to_string net)
+      | Error e -> exit_err e)
+  in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Print a topology in the DSL format.")
+    Term.(const run $ topology_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "ffc" ~version:"1.0.0"
+      ~doc:
+        "Feedback flow control: a reproduction of Shenker's SIGCOMM 1990 \
+         theoretical analysis."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ exp_cmd; analyze_cmd; simulate_cmd; closed_loop_cmd; topology_cmd ]))

@@ -1,0 +1,1 @@
+examples/chaos_explorer.ml: Ascii_plot Dynamics E06_chaos Ffc_experiments Ffc_numerics List Printf

@@ -1,0 +1,1 @@
+examples/closed_loop_demo.ml: Array Ascii_plot Char Closed_loop Congestion Ffc_closedloop Ffc_core Ffc_numerics Ffc_topology List Printf Robustness Scenario Signal Steady_state Topologies Vec

@@ -1,0 +1,1 @@
+examples/gateway_game.ml: Array Ascii_plot Ffc_game Ffc_numerics Ffc_queueing List Nash Printf Service Utility

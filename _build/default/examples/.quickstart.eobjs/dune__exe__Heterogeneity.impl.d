@@ -1,0 +1,1 @@
+examples/heterogeneity.ml: Analysis Array Ascii_plot Controller Ffc_core Ffc_numerics Ffc_topology List Printf Robustness Scenario Signal Topologies Vec

@@ -1,0 +1,1 @@
+examples/parking_lot.ml: Array Ascii_plot Controller Dsl Feedback Ffc_core Ffc_numerics Ffc_topology Format List Network Printf Scenario Signal Steady_state Vec

@@ -1,0 +1,1 @@
+examples/parking_lot.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Array Ffc_core Ffc_numerics Ffc_topology Format List Printf Scenario Signal Steady_state Topologies Vec

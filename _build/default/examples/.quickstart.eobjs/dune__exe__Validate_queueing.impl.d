@@ -1,0 +1,1 @@
+examples/validate_queueing.ml: Array Fair_share Ffc_desim Ffc_numerics Ffc_queueing Ffc_topology Fifo List Netsim Printf Topologies Vec

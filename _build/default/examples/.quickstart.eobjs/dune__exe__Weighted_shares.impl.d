@@ -1,0 +1,1 @@
+examples/weighted_shares.ml: Array Ascii_plot Congestion Controller Feedback Ffc_core Ffc_numerics Ffc_queueing Ffc_topology List Printf Scenario Signal Topologies Vec Weighted_fair_share

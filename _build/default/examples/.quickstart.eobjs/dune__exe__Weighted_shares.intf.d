@@ -1,0 +1,1 @@
+examples/weighted_shares.mli:

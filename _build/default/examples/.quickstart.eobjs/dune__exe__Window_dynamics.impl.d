@@ -1,0 +1,1 @@
+examples/window_dynamics.ml: Array Dsl Feedback Ffc_core Ffc_numerics Ffc_topology List Printf Vec Window

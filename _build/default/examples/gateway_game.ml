@@ -1,0 +1,64 @@
+(* The gateway game: what happens when sources are simply greedy.
+
+   No flow-control protocol at all — each source picks the rate that
+   maximizes its own utility U = log(1+r) - c*W given everyone else's.
+   The service discipline decides whether that ends in mutual ruin or in
+   something close to the social optimum ([She89], the companion paper
+   Fair Share comes from).
+
+     dune exec examples/gateway_game.exe *)
+
+open Ffc_numerics
+open Ffc_queueing
+open Ffc_game
+
+let () =
+  let u = Utility.log_throughput ~delay_cost:0.02 in
+  let n = 4 and mu = 1. in
+  Printf.printf "four greedy sources, one gateway (mu = %g), U = log(1+r) - 0.02 W\n\n" mu;
+
+  List.iter
+    (fun (name, svc) ->
+      Printf.printf "--- %s ---\n" name;
+      (match Nash.solve svc u ~mu ~n ~r0:(Array.make n 0.1) with
+      | Nash.Equilibrium { rates; rounds } ->
+        Printf.printf "iterated best response settled in %d rounds:\n" rounds;
+        Array.iteri
+          (fun i r ->
+            Printf.printf "  source %d: rate %-8.4f payoff %.4f%s\n" i r
+              (Nash.payoff svc u ~mu ~rates i)
+              (if r = 0. then "   <- shut out" else ""))
+          rates;
+        let opt_r, opt_w = Nash.symmetric_optimum svc u ~mu ~n in
+        Printf.printf "welfare %.4f   (symmetric optimum: %.4f at r = %.4f each)\n"
+          (Nash.welfare svc u ~mu ~rates) opt_w opt_r
+      | Nash.No_convergence _ -> print_endline "did not converge");
+      print_newline ())
+    [ ("FIFO", Service.fifo); ("Fair Share", Service.fair_share) ];
+
+  Printf.printf
+    "Under FIFO, early movers grab the gateway and deter everyone else —\n\
+     any positive rate would earn an entrant negative utility.  Under\n\
+     Fair Share each source's delay is its own doing, so greed stops\n\
+     where it should: everyone active, welfare at the optimum.  This is\n\
+     the game-theoretic reason the paper's robustness results need the\n\
+     Fair Share discipline.\n";
+
+  (* Bonus: visualize an entrant's payoff landscape against a FIFO
+     monopolist vs against an FS incumbent at the same rate. *)
+  let incumbent = 0.81 in
+  let payoff svc r = Nash.payoff svc u ~mu ~rates:[| incumbent; r |] 1 in
+  let xs = Array.init 60 (fun k -> 0.001 +. (0.0025 *. float_of_int k)) in
+  let canvas = Ascii_plot.canvas ~width:64 ~height:14 () in
+  Ascii_plot.plot_points canvas ~glyph:'f'
+    (Array.map (fun r -> (r, payoff Service.fifo r)) xs);
+  Ascii_plot.plot_points canvas ~glyph:'s'
+    (Array.map (fun r -> (r, payoff Service.fair_share r)) xs);
+  print_newline ();
+  print_string
+    (Ascii_plot.render
+       ~title:
+         (Printf.sprintf
+            "entrant payoff vs own rate (incumbent at %.2f): f = FIFO, s = Fair Share"
+            incumbent)
+       ~x_label:"entrant rate" ~y_label:"payoff" canvas)

@@ -1,0 +1,45 @@
+(* Robustness under heterogeneity: the paper's core practical warning.
+
+   A "timid" algorithm (backs off at signal 0.3) shares a gateway with a
+   "greedy" one (tolerates 0.7).  We plot the rate trajectories under
+   each of the three designs and compare the outcome with the
+   reservation-based baseline each connection is entitled to.
+
+     dune exec examples/heterogeneity.exe *)
+
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+
+let () =
+  let net = Topologies.single ~mu:1. ~n:2 () in
+  let adjusters = [| Scenario.timid_adjuster; Scenario.greedy_adjuster |] in
+  let baselines =
+    Robustness.baselines ~signal:Signal.linear_fractional ~b_ss:[| 0.3; 0.7 |] ~net
+  in
+  Printf.printf "reservation baselines (timid, greedy): %s\n\n"
+    (Vec.to_string baselines);
+
+  List.iter
+    (fun design ->
+      let c = Controller.create ~config:design.Analysis.config ~adjusters in
+      let traj = Controller.trajectory c ~net ~r0:[| 0.2; 0.2 |] ~steps:300 in
+      let final = traj.(300) in
+      let canvas = Ascii_plot.canvas ~width:64 ~height:12 () in
+      Ascii_plot.plot_series canvas ~glyph:'t'
+        (Array.map (fun s -> s.(0)) traj);
+      Ascii_plot.plot_series canvas ~glyph:'g'
+        (Array.map (fun s -> s.(1)) traj);
+      print_string
+        (Ascii_plot.render
+           ~title:(design.Analysis.label ^ "   (t = timid, g = greedy)")
+           ~x_label:"step" canvas);
+      Printf.printf "final: %s   robust: %b\n\n" (Vec.to_string final)
+        (Robustness.is_robust_outcome ~baselines final))
+    Analysis.designs;
+
+  Printf.printf
+    "Aggregate feedback shuts the timid connection down entirely;\n\
+     individual+FIFO leaves it some throughput but below its entitlement;\n\
+     individual+Fair Share delivers at least the reservation baseline to\n\
+     both — Theorem 5 in action.\n"

@@ -1,0 +1,47 @@
+(* Weighted Fair Share: bandwidth differentiation from the same theory.
+
+   Generalize the FS priority decomposition with per-connection weights
+   (greediness measured as r/w, levels split weight-proportionally) and
+   pair it with the weighted individual congestion measure: the same TSI
+   controller now converges to rates proportional to the weights, while
+   conservation, overload isolation and the robustness bound all carry
+   over.
+
+     dune exec examples/weighted_shares.exe *)
+
+open Ffc_numerics
+open Ffc_queueing
+open Ffc_topology
+open Ffc_core
+
+let () =
+  let weights = [| 1.; 2.; 4. |] in
+  let n = Array.length weights in
+  let net = Topologies.single ~mu:1. ~n () in
+  let config =
+    Feedback.make ~weights ~style:Congestion.Individual
+      ~signal:Signal.linear_fractional
+      ~discipline:(Weighted_fair_share.service ~weights) ()
+  in
+  let c = Controller.homogeneous ~config ~adjuster:Scenario.standard_adjuster ~n in
+  Printf.printf "weights: %s\n" (Vec.to_string weights);
+  (match Controller.run c ~net ~r0:[| 0.02; 0.05; 0.08 |] with
+  | Controller.Converged { steady; steps } ->
+    Printf.printf "converged in %d steps: %s\n\n" steps (Vec.to_string steady);
+    print_string
+      (Ascii_plot.bars ~title:"steady allocation (target 1:2:4)"
+         (List.init n (fun i -> (Printf.sprintf "w=%g" weights.(i), steady.(i)))))
+  | _ -> print_endline "did not converge");
+
+  (* The weighted isolation property, analytically: a heavy-weight
+     connection keeps a finite queue while a light-weight flooder
+     saturates. *)
+  let rates = [| 0.4; 3.0 |] and w2 = [| 4.; 1. |] in
+  let q = Weighted_fair_share.queue_lengths ~mu:1. ~weights:w2 rates in
+  Printf.printf
+    "\nisolation under flooding (weights %s, rates %s):\n  queues = %s\n"
+    (Vec.to_string w2) (Vec.to_string rates) (Vec.to_string q);
+  Printf.printf
+    "\nThe weight-4 connection keeps its small finite queue while the\n\
+     weight-1 flooder saturates — Theorem 5's protection, now in\n\
+     weight-proportional form.\n"

@@ -1,0 +1,1 @@
+lib/closedloop/closed_loop.ml: Array Congestion Ffc_core Ffc_desim Ffc_numerics Ffc_topology Float Hashtbl List Measure Network Packet Qdisc Rate_adjust Rng Server Signal Sim Source Stdlib Vec

@@ -1,0 +1,1 @@
+lib/closedloop/closed_loop.mli: Congestion Ffc_core Ffc_numerics Ffc_topology Network Rate_adjust Signal Vec

@@ -1,0 +1,341 @@
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+open Ffc_desim
+
+type discipline = Fifo | Fs_priority | Fair_queueing
+
+type result = {
+  times : float array;
+  rates : float array array;
+  signals : float array array;
+  final_rates : float array;
+  mean_tail_rates : float array;
+}
+
+let qdisc_of = function
+  | Fifo -> Qdisc.Fifo
+  | Fs_priority -> Qdisc.Preemptive_priority
+  | Fair_queueing -> Qdisc.Fair_queueing
+
+(* Fair Share thinning table from the *current* rate vector at a gateway:
+   cumulative (class, rate) pairs; see Netsim for the open-loop analogue. *)
+let fs_class_table ~local_rates ~rate =
+  if rate <= 0. then [||]
+  else begin
+    let sorted = Vec.sorted_increasing local_rates in
+    let entries = ref [] in
+    let cum = ref 0. in
+    Array.iteri
+      (fun j threshold ->
+        let increment = if j = 0 then threshold else threshold -. sorted.(j - 1) in
+        if increment > 0. && threshold <= rate then begin
+          cum := !cum +. increment;
+          entries := (j, !cum) :: !entries
+        end)
+      sorted;
+    Array.of_list (List.rev !entries)
+  end
+
+let draw_fs_class table rng ~rate =
+  let u = Rng.uniform rng *. rate in
+  let n = Array.length table in
+  let rec go i =
+    if i >= n - 1 then fst table.(n - 1)
+    else begin
+      let _, cum = table.(i) in
+      if u <= cum then fst table.(i) else go (i + 1)
+    end
+  in
+  if n = 0 then 0 else go 0
+
+let run ~net ~discipline ~style ~signal ~adjusters ~r0 ~interval ~updates ~seed () =
+  let n_conns = Network.num_connections net in
+  let n_gws = Network.num_gateways net in
+  if Array.length adjusters <> n_conns then
+    invalid_arg "Closed_loop.run: adjuster count mismatch";
+  if Array.length r0 <> n_conns then invalid_arg "Closed_loop.run: r0 length mismatch";
+  if not (interval > 0.) then invalid_arg "Closed_loop.run: interval must be positive";
+  if updates <= 0 then invalid_arg "Closed_loop.run: updates must be positive";
+  Array.iter
+    (fun r ->
+      if (not (Float.is_finite r)) || r < 0. then
+        invalid_arg "Closed_loop.run: rates must be finite and non-negative")
+    r0;
+  let sim = Sim.create () in
+  let root_rng = Rng.create seed in
+  let measure = Measure.create () in
+  let current_rates = Array.copy r0 in
+  let paths =
+    Array.init n_conns (fun i -> Array.of_list (Network.gateways_of_connection net i))
+  in
+  (* FS thinning tables, refreshed at every control update. *)
+  let class_tables : (int * int, (int * float) array) Hashtbl.t = Hashtbl.create 64 in
+  let refresh_class_tables () =
+    if discipline = Fs_priority then begin
+      Hashtbl.reset class_tables;
+      for a = 0 to n_gws - 1 do
+        let local_rates = Network.rates_at_gateway net ~rates:current_rates a in
+        List.iter
+          (fun i ->
+            Hashtbl.add class_tables (a, i)
+              (fs_class_table ~local_rates ~rate:current_rates.(i)))
+          (Network.connections_at_gateway net a)
+      done
+    end
+  in
+  refresh_class_tables ();
+  let servers = Array.make n_gws None in
+  let server_of a = match servers.(a) with Some s -> s | None -> assert false in
+  let class_rng = Rng.split root_rng in
+  let inject a (pkt : Packet.t) =
+    (if discipline = Fs_priority then
+       match Hashtbl.find_opt class_tables (a, pkt.conn) with
+       | Some table when Array.length table > 0 ->
+         pkt.klass <-
+           draw_fs_class table class_rng ~rate:(Float.max 1e-12 current_rates.(pkt.conn))
+       | Some _ | None -> pkt.klass <- 0);
+    Measure.incr measure ~key:(a, pkt.conn) ~now:(Sim.now sim);
+    Server.inject (server_of a) pkt
+  in
+  let on_depart a (pkt : Packet.t) =
+    Measure.decr measure ~key:(a, pkt.conn) ~now:(Sim.now sim);
+    let path = paths.(pkt.conn) in
+    let pos = ref (-1) in
+    Array.iteri (fun k g -> if g = a then pos := k) path;
+    let latency = (Network.gateway net a).Network.latency in
+    if !pos < Array.length path - 1 then begin
+      let next = path.(!pos + 1) in
+      Sim.schedule_after sim ~delay:latency (fun () -> inject next pkt)
+    end
+    else begin
+      let deliver () =
+        Measure.record_delay measure ~conn:pkt.conn (Sim.now sim -. pkt.born);
+        Measure.count_delivery measure ~conn:pkt.conn
+      in
+      if latency > 0. then Sim.schedule_after sim ~delay:latency deliver else deliver ()
+    end
+  in
+  for a = 0 to n_gws - 1 do
+    let rng = Rng.split root_rng in
+    servers.(a) <-
+      Some
+        (Server.create ~sim ~rng
+           ~mu:(Network.gateway net a).Network.mu
+           ~qdisc:(qdisc_of discipline) ~on_depart:(on_depart a) ())
+  done;
+  let sources =
+    Array.init n_conns (fun i ->
+        let rng = Rng.split root_rng in
+        Source.create ~sim ~rng ~conn:i ~rate:r0.(i)
+          ~emit:(fun pkt -> inject paths.(i).(0) pkt)
+          ())
+  in
+  Array.iter Source.start sources;
+  (* The control loop.  At each update instant: read measured per-gateway
+     queue averages over the closing window, form congestion measures and
+     bottleneck-combined signals, adjust every rate, reset the window. *)
+  let times = Array.make updates 0. in
+  let rates_log = Array.make updates [||] in
+  let signals_log = Array.make updates [||] in
+  let line_latency i =
+    Array.fold_left
+      (fun acc a -> acc +. (Network.gateway net a).Network.latency)
+      0. paths.(i)
+  in
+  let do_update k =
+    let now = Sim.now sim in
+    (* Per-gateway measured queue vectors in local connection order. *)
+    let measured_queues =
+      Array.init n_gws (fun a ->
+          Network.connections_at_gateway net a
+          |> List.map (fun i -> Measure.mean_occupancy measure ~key:(a, i) ~now)
+          |> Array.of_list)
+    in
+    let b =
+      Array.init n_conns (fun i ->
+          List.fold_left
+            (fun acc a ->
+              let local = Network.local_index net ~conn:i ~gw:a in
+              let measures = Congestion.measures style measured_queues.(a) in
+              Float.max acc (Signal.eval signal measures.(local)))
+            0.
+            (Network.gateways_of_connection net i))
+    in
+    let d =
+      Array.init n_conns (fun i ->
+          let measured = Measure.delay_mean measure ~conn:i in
+          if Measure.delay_count measure ~conn:i > 0 then measured
+          else line_latency i)
+    in
+    Array.iteri
+      (fun i r ->
+        let dr = Rate_adjust.eval adjusters.(i) ~r ~b:b.(i) ~d:d.(i) in
+        current_rates.(i) <- Float.max 0. (r +. dr);
+        Source.set_rate sources.(i) current_rates.(i))
+      (Array.copy current_rates);
+    refresh_class_tables ();
+    Measure.reset measure ~now;
+    times.(k) <- now;
+    rates_log.(k) <- Array.copy current_rates;
+    signals_log.(k) <- b
+  in
+  for k = 0 to updates - 1 do
+    Sim.run ~until:(float_of_int (k + 1) *. interval) sim;
+    do_update k
+  done;
+  let tail = Stdlib.max 1 (updates / 4) in
+  let mean_tail_rates =
+    Array.init n_conns (fun i ->
+        let acc = ref 0. in
+        for k = updates - tail to updates - 1 do
+          acc := !acc +. rates_log.(k).(i)
+        done;
+        !acc /. float_of_int tail)
+  in
+  {
+    times;
+    rates = rates_log;
+    signals = signals_log;
+    final_rates = Array.copy current_rates;
+    mean_tail_rates;
+  }
+
+type drop_result = {
+  dr_times : float array;
+  dr_rates : float array array;
+  dr_mean_tail_rates : float array;
+  drop_fraction : float array;
+  mean_utilization : float;
+}
+
+let run_drop_tail ~net ~buffer ~adjusters ~r0 ~interval ~updates ~seed () =
+  let n_conns = Network.num_connections net in
+  let n_gws = Network.num_gateways net in
+  if Array.length adjusters <> n_conns then
+    invalid_arg "Closed_loop.run_drop_tail: adjuster count mismatch";
+  if Array.length r0 <> n_conns then
+    invalid_arg "Closed_loop.run_drop_tail: r0 length mismatch";
+  if buffer < 1 then invalid_arg "Closed_loop.run_drop_tail: buffer must be >= 1";
+  if not (interval > 0.) then
+    invalid_arg "Closed_loop.run_drop_tail: interval must be positive";
+  if updates <= 0 then invalid_arg "Closed_loop.run_drop_tail: updates must be positive";
+  let sim = Sim.create () in
+  let root_rng = Rng.create seed in
+  let measure = Measure.create () in
+  let current_rates = Array.copy r0 in
+  let paths =
+    Array.init n_conns (fun i -> Array.of_list (Network.gateways_of_connection net i))
+  in
+  let servers = Array.make n_gws None in
+  let server_of a = match servers.(a) with Some s -> s | None -> assert false in
+  let total_drops = Array.make n_conns 0 in
+  let total_emitted = Array.make n_conns 0 in
+  let inject a (pkt : Packet.t) =
+    Measure.incr measure ~key:(a, pkt.conn) ~now:(Sim.now sim);
+    Server.inject (server_of a) pkt
+  in
+  let on_drop a (pkt : Packet.t) =
+    (* The packet never entered this gateway's system: undo the occupancy
+       increment recorded at injection. *)
+    Measure.decr measure ~key:(a, pkt.conn) ~now:(Sim.now sim);
+    Measure.count_drop measure ~conn:pkt.conn;
+    total_drops.(pkt.conn) <- total_drops.(pkt.conn) + 1
+  in
+  let on_depart a (pkt : Packet.t) =
+    Measure.decr measure ~key:(a, pkt.conn) ~now:(Sim.now sim);
+    let path = paths.(pkt.conn) in
+    let pos = ref (-1) in
+    Array.iteri (fun k g -> if g = a then pos := k) path;
+    let latency = (Network.gateway net a).Network.latency in
+    if !pos < Array.length path - 1 then begin
+      let next = path.(!pos + 1) in
+      Sim.schedule_after sim ~delay:latency (fun () -> inject next pkt)
+    end
+    else begin
+      let deliver () =
+        Measure.record_delay measure ~conn:pkt.conn (Sim.now sim -. pkt.born);
+        Measure.count_delivery measure ~conn:pkt.conn
+      in
+      if latency > 0. then Sim.schedule_after sim ~delay:latency deliver else deliver ()
+    end
+  in
+  for a = 0 to n_gws - 1 do
+    let rng = Rng.split root_rng in
+    servers.(a) <-
+      Some
+        (Server.create ~sim ~rng
+           ~mu:(Network.gateway net a).Network.mu
+           ~qdisc:Qdisc.Fifo ~buffer_limit:buffer ~on_drop:(on_drop a)
+           ~on_depart:(on_depart a) ())
+  done;
+  let sources =
+    Array.init n_conns (fun i ->
+        let rng = Rng.split root_rng in
+        Source.create ~sim ~rng ~conn:i ~rate:r0.(i)
+          ~emit:(fun pkt ->
+            total_emitted.(i) <- total_emitted.(i) + 1;
+            inject paths.(i).(0) pkt)
+          ())
+  in
+  Array.iter Source.start sources;
+  let times = Array.make updates 0. in
+  let rates_log = Array.make updates [||] in
+  let tail = Stdlib.max 1 (updates / 4) in
+  let tail_delivered = Array.make n_conns 0 in
+  let do_update k =
+    let now = Sim.now sim in
+    (* Binary implicit signal: any drop in the window sets the "bit". *)
+    Array.iteri
+      (fun i r ->
+        let b = if Measure.drops measure ~conn:i > 0 then 1. else 0. in
+        let d =
+          if Measure.delay_count measure ~conn:i > 0 then
+            Measure.delay_mean measure ~conn:i
+          else 1.
+        in
+        let dr = Rate_adjust.eval adjusters.(i) ~r ~b ~d in
+        current_rates.(i) <- Float.max 0. (r +. dr);
+        Source.set_rate sources.(i) current_rates.(i))
+      (Array.copy current_rates);
+    if k >= updates - tail then
+      for i = 0 to n_conns - 1 do
+        tail_delivered.(i) <- tail_delivered.(i) + Measure.deliveries measure ~conn:i
+      done;
+    Measure.reset measure ~now;
+    times.(k) <- now;
+    rates_log.(k) <- Array.copy current_rates
+  in
+  for k = 0 to updates - 1 do
+    Sim.run ~until:(float_of_int (k + 1) *. interval) sim;
+    do_update k
+  done;
+  let dr_mean_tail_rates =
+    Array.init n_conns (fun i ->
+        let acc = ref 0. in
+        for k = updates - tail to updates - 1 do
+          acc := !acc +. rates_log.(k).(i)
+        done;
+        !acc /. float_of_int tail)
+  in
+  let drop_fraction =
+    Array.init n_conns (fun i ->
+        if total_emitted.(i) = 0 then 0.
+        else float_of_int total_drops.(i) /. float_of_int total_emitted.(i))
+  in
+  let total_mu = ref 0. in
+  for a = 0 to n_gws - 1 do
+    total_mu := !total_mu +. (Network.gateway net a).Network.mu
+  done;
+  let delivered_rate =
+    Array.fold_left ( + ) 0 tail_delivered
+    |> float_of_int
+    |> fun x -> x /. (float_of_int tail *. interval)
+  in
+  {
+    dr_times = times;
+    dr_rates = rates_log;
+    dr_mean_tail_rates;
+    drop_fraction;
+    mean_utilization = delivered_rate /. !total_mu;
+  }

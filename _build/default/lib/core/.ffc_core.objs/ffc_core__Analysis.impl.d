@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Controller Fairness Feedback Ffc_numerics Format Jacobian List Option Printf Rate_adjust Robustness Vec

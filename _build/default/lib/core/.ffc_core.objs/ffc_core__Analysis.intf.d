@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Controller Feedback Ffc_numerics Ffc_topology Format Network Rate_adjust Vec

@@ -1,0 +1,1 @@
+lib/core/congestion.ml: Array Ffc_numerics Float Vec

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Array Feedback Ffc_numerics Ffc_topology Float Network Rate_adjust Rng Vec

@@ -1,0 +1,1 @@
+lib/core/controller.mli: Feedback Ffc_numerics Ffc_topology Network Rate_adjust Rng Vec

@@ -1,0 +1,1 @@
+lib/core/fairness.ml: Array Feedback Ffc_numerics Ffc_topology List Network Stats

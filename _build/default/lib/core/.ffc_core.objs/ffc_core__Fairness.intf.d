@@ -1,0 +1,1 @@
+lib/core/fairness.mli: Feedback Ffc_numerics Ffc_topology Network Vec

@@ -1,0 +1,1 @@
+lib/core/feedback.ml: Array Congestion Ffc_numerics Ffc_queueing Ffc_topology Float List Network Service Signal Vec

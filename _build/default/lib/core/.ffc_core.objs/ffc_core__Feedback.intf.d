@@ -1,0 +1,1 @@
+lib/core/feedback.mli: Congestion Ffc_numerics Ffc_queueing Ffc_topology Network Service Signal Vec

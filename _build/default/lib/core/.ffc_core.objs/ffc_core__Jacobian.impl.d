@@ -1,0 +1,1 @@
+lib/core/jacobian.ml: Array Controller Eigen Ffc_numerics Float Fun Lazy Mat

@@ -1,0 +1,1 @@
+lib/core/jacobian.mli: Controller Ffc_numerics Ffc_topology Mat Vec

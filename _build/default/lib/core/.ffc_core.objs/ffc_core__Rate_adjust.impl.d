@@ -1,0 +1,1 @@
+lib/core/rate_adjust.ml: Array Ffc_numerics Float List Printf Rootfind

@@ -1,0 +1,1 @@
+lib/core/robustness.ml: Array Ffc_numerics Ffc_queueing Ffc_topology Float List Mm1 Network Rng Service Signal

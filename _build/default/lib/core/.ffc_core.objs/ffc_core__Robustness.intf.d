@@ -1,0 +1,1 @@
+lib/core/robustness.mli: Ffc_numerics Ffc_queueing Ffc_topology Network Rng Service Signal Vec

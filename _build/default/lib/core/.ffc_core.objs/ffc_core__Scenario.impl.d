@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Ffc_numerics Ffc_topology Network Rate_adjust Rng

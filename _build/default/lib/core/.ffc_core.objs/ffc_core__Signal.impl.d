@@ -1,0 +1,1 @@
+lib/core/signal.ml: Float List Printf

@@ -1,0 +1,1 @@
+lib/core/steady_state.ml: Array Ffc_queueing Ffc_topology Float List Mm1 Network Signal

@@ -1,0 +1,1 @@
+lib/core/steady_state.mli: Ffc_numerics Ffc_topology Network Signal Vec

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Array Buffer Out_channel Printf

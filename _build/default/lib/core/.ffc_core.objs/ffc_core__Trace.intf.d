@@ -1,0 +1,1 @@
+lib/core/trace.mli: Ffc_numerics Vec

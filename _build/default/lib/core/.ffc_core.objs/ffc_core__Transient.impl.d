@@ -1,0 +1,1 @@
+lib/core/transient.ml: Array Congestion Feedback Ffc_numerics Ffc_topology Float List Network Ode Rate_adjust Signal Stdlib Vec

@@ -1,0 +1,1 @@
+lib/core/transient.mli: Feedback Ffc_numerics Ffc_topology Network Rate_adjust Vec

@@ -1,0 +1,1 @@
+lib/core/window.ml: Array Feedback Ffc_numerics Ffc_topology Float Network Printf Vec

@@ -1,0 +1,35 @@
+open Ffc_numerics
+
+type style = Aggregate | Individual
+
+let style_name = function Aggregate -> "aggregate" | Individual -> "individual"
+
+let aggregate queues = Vec.sum queues
+
+let individual queues i =
+  if i < 0 || i >= Array.length queues then
+    invalid_arg "Congestion.individual: index out of bounds";
+  let qi = queues.(i) in
+  Array.fold_left (fun acc q -> acc +. Float.min q qi) 0. queues
+
+let weighted_individual ~weights queues i =
+  if Array.length weights <> Array.length queues then
+    invalid_arg "Congestion.weighted_individual: weights length mismatch";
+  if i < 0 || i >= Array.length queues then
+    invalid_arg "Congestion.weighted_individual: index out of bounds";
+  let per_weight_i = queues.(i) /. weights.(i) in
+  let acc = ref 0. in
+  Array.iteri
+    (fun k qk -> acc := !acc +. (weights.(k) *. Float.min (qk /. weights.(k)) per_weight_i))
+    queues;
+  !acc
+
+let weighted_measures ~weights queues =
+  Array.mapi (fun i _ -> weighted_individual ~weights queues i) queues
+
+let measures style queues =
+  match style with
+  | Aggregate ->
+    let c = aggregate queues in
+    Array.map (fun _ -> c) queues
+  | Individual -> Array.mapi (fun i _ -> individual queues i) queues

@@ -1,0 +1,39 @@
+(** Congestion measures at a gateway (paper §2.3.1).
+
+    Given the vector of per-connection mean queue lengths Q^a at a
+    gateway, the {e aggregate} measure is the total queue
+    C^a = Σ_k Q^a_k — every connection is signalled identically, and by
+    work conservation the measure is independent of the service
+    discipline.  The {e individual} measure for connection i is
+    C^a_i = Σ_k min(Q^a_k, Q^a_i): connection i is not charged for queues
+    larger than its own, so the signal reflects its own contribution.
+    For the connection with the smallest queue C_i = N·Q_i; for the
+    largest, C_i = C (the aggregate). *)
+
+open Ffc_numerics
+
+type style = Aggregate | Individual
+
+val style_name : style -> string
+
+val aggregate : Vec.t -> float
+(** Total queue Σ Q_k ([infinity] propagates). *)
+
+val individual : Vec.t -> int -> float
+(** [individual queues i] = Σ_k min(Q_k, Q_i). *)
+
+val measures : style -> Vec.t -> Vec.t
+(** Per-connection congestion measures C^a_i under the given style. *)
+
+val weighted_individual : weights:Vec.t -> Vec.t -> int -> float
+(** [weighted_individual ~weights queues i] =
+    Σ_k w_k · min(Q_k/w_k, Q_i/w_i) — the weighted generalization of the
+    individual measure: connection i is charged for other connections'
+    queues only up to its own {e per-weight} backlog.  With equal
+    weights this is exactly [individual].  At a weight-proportional
+    steady state every connection sees the aggregate, keeping the
+    construction consistent with aggregate feedback (requirement (1) of
+    §2.3.1).  Used by the weighted Fair Share extension (E18). *)
+
+val weighted_measures : weights:Vec.t -> Vec.t -> Vec.t
+(** [weighted_individual] for every connection. *)

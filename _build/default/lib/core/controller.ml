@@ -1,0 +1,159 @@
+open Ffc_numerics
+open Ffc_topology
+
+type t = { config : Feedback.config; adjusters : Rate_adjust.t array }
+
+let create ~config ~adjusters =
+  if Array.length adjusters = 0 then invalid_arg "Controller.create: no adjusters";
+  { config; adjusters }
+
+let homogeneous ~config ~adjuster ~n =
+  if n <= 0 then invalid_arg "Controller.homogeneous: need n > 0";
+  { config; adjusters = Array.make n adjuster }
+
+let config t = t.config
+let adjusters t = t.adjusters
+
+let check_net t net rates =
+  let n = Network.num_connections net in
+  if Array.length t.adjusters <> n then
+    invalid_arg "Controller: adjuster count does not match the network";
+  if Array.length rates <> n then
+    invalid_arg "Controller: rate vector does not match the network"
+
+let step t ~net rates =
+  check_net t net rates;
+  let b = Feedback.signals t.config ~net ~rates in
+  let d = Feedback.delays t.config ~net ~rates in
+  Array.mapi
+    (fun i r ->
+      let dr = Rate_adjust.eval t.adjusters.(i) ~r ~b:b.(i) ~d:d.(i) in
+      Float.max 0. (r +. dr))
+    rates
+
+let map = step
+
+let step_subset t ~net ~mask rates =
+  check_net t net rates;
+  if Array.length mask <> Array.length rates then
+    invalid_arg "Controller.step_subset: mask length mismatch";
+  let b = Feedback.signals t.config ~net ~rates in
+  let d = Feedback.delays t.config ~net ~rates in
+  Array.mapi
+    (fun i r ->
+      if mask.(i) then begin
+        let dr = Rate_adjust.eval t.adjusters.(i) ~r ~b:b.(i) ~d:d.(i) in
+        Float.max 0. (r +. dr)
+      end
+      else r)
+    rates
+
+let trajectory t ~net ~r0 ~steps =
+  let out = Array.make (steps + 1) r0 in
+  for k = 1 to steps do
+    out.(k) <- step t ~net out.(k - 1)
+  done;
+  out
+
+type outcome =
+  | Converged of { steady : Vec.t; steps : int }
+  | Cycle of { period : int; orbit : Vec.t array }
+  | Diverged of { at_step : int }
+  | No_convergence of { last : Vec.t }
+
+let run ?(tol = 1e-10) ?(max_steps = 20_000) ?(max_period = 32) ?(escape = 1e12) t
+    ~net ~r0 =
+  check_net t net r0;
+  let window = Array.make (4 * max_period) r0 in
+  let window_len = Array.length window in
+  let push k v = window.(k mod window_len) <- v in
+  let get k = window.(k mod window_len) in
+  push 0 r0;
+  let result = ref None in
+  let quiet = ref 0 in
+  let k = ref 0 in
+  while !result = None && !k < max_steps do
+    let cur = get !k in
+    let next = step t ~net cur in
+    incr k;
+    push !k next;
+    if Array.exists (fun x -> (not (Float.is_finite x)) || Float.abs x > escape) next
+    then result := Some (Diverged { at_step = !k })
+    else begin
+      let delta = Vec.dist_inf next cur /. (1. +. Vec.norm_inf next) in
+      if delta <= tol then begin
+        incr quiet;
+        if !quiet >= 3 then result := Some (Converged { steady = next; steps = !k })
+      end
+      else begin
+        quiet := 0;
+        (* Cycle check once enough history accumulated.  A genuine cycle
+           has lag-p mismatch far below the consecutive movement over the
+           same span; a slowly converging orbit has them comparable, so a
+           relative test separates the two. *)
+        if !k >= window_len then begin
+          let scale = 1. +. Vec.norm_inf (get !k) in
+          let found = ref None in
+          let p = ref 2 in
+          while !found = None && !p <= max_period do
+            let span = 2 * !p in
+            let match_err = ref 0. in
+            let local_amp = ref 0. in
+            for back = 0 to span - 1 do
+              let a = get (!k - back) in
+              match_err := Float.max !match_err (Vec.dist_inf a (get (!k - back - !p)));
+              local_amp := Float.max !local_amp (Vec.dist_inf a (get (!k - back - 1)))
+            done;
+            if
+              !local_amp > 1e-8 *. scale
+              && !match_err <= Float.max (1e-12 *. scale) (1e-3 *. !local_amp)
+            then found := Some !p;
+            incr p
+          done;
+          match !found with
+          | Some period ->
+            let orbit = Array.init period (fun j -> get (!k - period + 1 + j)) in
+            result := Some (Cycle { period; orbit })
+          | None -> ()
+        end
+      end
+    end
+  done;
+  match !result with
+  | Some outcome -> outcome
+  | None -> No_convergence { last = get !k }
+
+let run_async ?(tol = 1e-10) ?(max_steps = 100_000) ?(p = 0.5) ~rng t ~net ~r0 =
+  check_net t net r0;
+  let n = Array.length r0 in
+  let r = ref r0 in
+  let result = ref None in
+  let quiet = ref 0 in
+  let k = ref 0 in
+  while !result = None && !k < max_steps do
+    incr k;
+    let mask = Array.init n (fun _ -> Rng.uniform rng < p) in
+    let next = step_subset t ~net ~mask !r in
+    if Array.exists (fun x -> (not (Float.is_finite x)) || Float.abs x > 1e12) next
+    then result := Some (Diverged { at_step = !k })
+    else begin
+      (* Quiescence must be judged against the full synchronous map, not
+         the masked step — a mask of all-false would otherwise look like
+         convergence. *)
+      let full = step t ~net next in
+      let delta = Vec.dist_inf full next /. (1. +. Vec.norm_inf next) in
+      if delta <= tol then begin
+        incr quiet;
+        if !quiet >= 3 then result := Some (Converged { steady = next; steps = !k })
+      end
+      else quiet := 0;
+      r := next
+    end
+  done;
+  match !result with
+  | Some outcome -> outcome
+  | None -> No_convergence { last = !r }
+
+let steady_state ?(tol = 1e-8) t ~net rates =
+  let next = step t ~net rates in
+  Vec.dist_inf next rates <= tol *. (1. +. Vec.norm_inf rates)

@@ -1,0 +1,68 @@
+(** The synchronous flow-control iteration r' = F(r) (paper §2.3.2).
+
+    At every discrete step each connection reads its combined congestion
+    signal b_i and round-trip delay d_i, then updates
+    r_i ← max(0, r_i + f_i(r_i, b_i, d_i)).  Connections may run
+    different rate-adjustment algorithms f_i (the heterogeneity of §3.4).
+    The iteration's asymptotics are classified into convergence to a
+    steady state, an attracting cycle, divergence, or neither. *)
+
+open Ffc_numerics
+open Ffc_topology
+
+type t
+
+val create : config:Feedback.config -> adjusters:Rate_adjust.t array -> t
+(** One adjuster per connection (checked against the network at use). *)
+
+val homogeneous : config:Feedback.config -> adjuster:Rate_adjust.t -> n:int -> t
+(** All [n] connections share one algorithm. *)
+
+val config : t -> Feedback.config
+val adjusters : t -> Rate_adjust.t array
+
+val step : t -> net:Network.t -> Vec.t -> Vec.t
+(** One synchronous update of all rates. *)
+
+val map : t -> net:Network.t -> Vec.t -> Vec.t
+(** Alias of {!step} — the iteration map F, for Jacobian probing. *)
+
+val step_subset : t -> net:Network.t -> mask:bool array -> Vec.t -> Vec.t
+(** Like {!step}, but only connections with [mask.(i) = true] update
+    their rate; the rest hold theirs.  Models asynchronous update
+    schedules (paper §2.5; cf. Mosely's asynchronous algorithms): with
+    individual feedback the fair steady state remains the unique
+    attractor under any schedule that updates everyone infinitely
+    often. *)
+
+val trajectory : t -> net:Network.t -> r0:Vec.t -> steps:int -> Vec.t array
+(** [steps + 1] states including [r0]. *)
+
+type outcome =
+  | Converged of { steady : Vec.t; steps : int }
+  | Cycle of { period : int; orbit : Vec.t array }
+      (** An attracting cycle; [orbit] lists one full period. *)
+  | Diverged of { at_step : int }
+      (** A rate exceeded the escape threshold or became non-finite. *)
+  | No_convergence of { last : Vec.t }
+
+val run :
+  ?tol:float -> ?max_steps:int -> ?max_period:int -> ?escape:float ->
+  t -> net:Network.t -> r0:Vec.t -> outcome
+(** Iterates from [r0] (default [tol] 1e-10, [max_steps] 20000,
+    [max_period] 32, [escape] 1e12).  Convergence requires the relative
+    sup-norm step to stay below [tol] for several consecutive steps; cycle
+    detection compares the tail of the orbit at all lags up to
+    [max_period]. *)
+
+val run_async :
+  ?tol:float -> ?max_steps:int -> ?p:float -> rng:Rng.t -> t ->
+  net:Network.t -> r0:Vec.t -> outcome
+(** Iterates {!step_subset} with a fresh Bernoulli([p]) mask each step
+    ([p] defaults to 0.5).  Convergence detection as in {!run}; cycle
+    detection is skipped because the randomized schedule has no
+    deterministic period, so non-convergent runs end as
+    [No_convergence]. *)
+
+val steady_state : ?tol:float -> t -> net:Network.t -> Vec.t -> bool
+(** Whether [r] is (numerically) a fixed point of the map. *)

@@ -1,0 +1,28 @@
+open Ffc_numerics
+open Ffc_topology
+
+let unfair_witness ?(tol = 1e-6) config ~net ~rates =
+  let bn = Feedback.bottlenecks config ~net ~rates in
+  let witness = ref None in
+  Array.iteri
+    (fun i bottleneck_gws ->
+      if !witness = None then
+        List.iter
+          (fun a ->
+            if !witness = None then
+              List.iter
+                (fun j ->
+                  if
+                    !witness = None
+                    && rates.(j) > rates.(i) *. (1. +. tol) +. tol
+                  then witness := Some (i, j, a))
+                (Network.connections_at_gateway net a))
+          bottleneck_gws)
+    bn;
+  !witness
+
+let is_fair ?tol config ~net ~rates = unfair_witness ?tol config ~net ~rates = None
+
+let jain = Stats.jain_index
+
+let max_min_ratio = Stats.max_min_ratio

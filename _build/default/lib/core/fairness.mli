@@ -1,0 +1,27 @@
+(** The paper's fairness notion (§2.4.2).
+
+    A steady state is fair when, at every gateway that is a bottleneck
+    for connection i (one achieving its maximal signal b_i), no
+    connection through that gateway sends faster than i.  Equivalently:
+    throughput is allocated evenly among the connections for whom the
+    gateway is a bottleneck. *)
+
+open Ffc_numerics
+open Ffc_topology
+
+val is_fair :
+  ?tol:float -> Feedback.config -> net:Network.t -> rates:Vec.t -> bool
+(** The bottleneck-fairness predicate at rate vector [rates] (not
+    necessarily a steady state). [tol] (default 1e-6) is the relative
+    slack allowed on rate comparisons. *)
+
+val unfair_witness :
+  ?tol:float -> Feedback.config -> net:Network.t -> rates:Vec.t ->
+  (int * int * int) option
+(** [Some (i, j, a)] — gateway [a] is a bottleneck for [i], yet [j]
+    through [a] sends more than [i]; [None] when fair. *)
+
+val jain : Vec.t -> float
+(** Jain's index of the allocation (re-exported for convenience). *)
+
+val max_min_ratio : Vec.t -> float

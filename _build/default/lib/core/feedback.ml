@@ -1,0 +1,93 @@
+open Ffc_numerics
+open Ffc_queueing
+open Ffc_topology
+
+type config = {
+  style : Congestion.style;
+  signal : Signal.t;
+  discipline : Service.t;
+  weights : Vec.t option;
+}
+
+let make ?weights ~style ~signal ~discipline () = { style; signal; discipline; weights }
+
+let aggregate_fifo =
+  make ~style:Congestion.Aggregate ~signal:Signal.linear_fractional
+    ~discipline:Service.fifo ()
+
+let individual_fifo =
+  make ~style:Congestion.Individual ~signal:Signal.linear_fractional
+    ~discipline:Service.fifo ()
+
+let individual_fair_share =
+  make ~style:Congestion.Individual ~signal:Signal.linear_fractional
+    ~discipline:Service.fair_share ()
+
+let queues config ~net ~rates ~gw =
+  let local = Network.rates_at_gateway net ~rates gw in
+  Service.queue_lengths config.discipline ~mu:(Network.gateway net gw).Network.mu local
+
+(* Per-gateway congestion measures, honoring the optional weights (mapped
+   into the gateway's local connection order). *)
+let local_measures config ~net ~gw queues =
+  match (config.style, config.weights) with
+  | Congestion.Individual, Some weights ->
+    let local_weights =
+      Network.connections_at_gateway net gw
+      |> List.map (fun i -> weights.(i))
+      |> Array.of_list
+    in
+    Congestion.weighted_measures ~weights:local_weights queues
+  | (Congestion.Aggregate | Congestion.Individual), _ ->
+    Congestion.measures config.style queues
+
+let per_gateway_signals config ~net ~rates =
+  Array.init (Network.num_gateways net) (fun a ->
+      let q = queues config ~net ~rates ~gw:a in
+      let c = local_measures config ~net ~gw:a q in
+      Array.map (Signal.eval config.signal) c)
+
+let signals config ~net ~rates =
+  let per_gw = per_gateway_signals config ~net ~rates in
+  Array.init (Network.num_connections net) (fun i ->
+      List.fold_left
+        (fun acc a ->
+          let pos = Network.local_index net ~conn:i ~gw:a in
+          Float.max acc per_gw.(a).(pos))
+        0.
+        (Network.gateways_of_connection net i))
+
+let bottlenecks config ~net ~rates =
+  let per_gw = per_gateway_signals config ~net ~rates in
+  let b = signals config ~net ~rates in
+  Array.init (Network.num_connections net) (fun i ->
+      List.filter
+        (fun a ->
+          let pos = Network.local_index net ~conn:i ~gw:a in
+          Float.abs (per_gw.(a).(pos) -. b.(i)) <= 1e-12)
+        (Network.gateways_of_connection net i))
+
+let delays config ~net ~rates =
+  (* Memoize per-gateway sojourn vectors; each costs a queue-length
+     evaluation plus probes for zero-rate connections. *)
+  let sojourns = Array.make (Network.num_gateways net) None in
+  let sojourn_at a =
+    match sojourns.(a) with
+    | Some w -> w
+    | None ->
+      let local = Network.rates_at_gateway net ~rates a in
+      let w =
+        Service.sojourn_times config.discipline
+          ~mu:(Network.gateway net a).Network.mu local
+      in
+      sojourns.(a) <- Some w;
+      w
+  in
+  Array.init (Network.num_connections net) (fun i ->
+      List.fold_left
+        (fun acc a ->
+          let w = sojourn_at a in
+          let pos = Network.local_index net ~conn:i ~gw:a in
+          acc +. (Network.gateway net a).Network.latency +. w.(pos))
+        0.
+        (Network.gateways_of_connection net i))

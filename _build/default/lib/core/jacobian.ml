@@ -1,0 +1,51 @@
+open Ffc_numerics
+
+type mode = Central | Forward | Backward
+
+let numeric ?(dx = 1e-7) ?(mode = Central) f ~at =
+  let n = Array.length at in
+  let fx = lazy (f at) in
+  let cols =
+    Array.init n (fun j ->
+        let h = dx *. (1. +. Float.abs at.(j)) in
+        let bump delta =
+          let x = Array.copy at in
+          x.(j) <- x.(j) +. delta;
+          f x
+        in
+        (* The flow-control map lives on r >= 0: fall back to a forward
+           difference when a central probe would leave the domain. *)
+        let mode = if mode = Central && at.(j) -. h < 0. then Forward else mode in
+        match mode with
+        | Central ->
+          let plus = bump h and minus = bump (-.h) in
+          Array.init n (fun i -> (plus.(i) -. minus.(i)) /. (2. *. h))
+        | Forward ->
+          let plus = bump h and base = Lazy.force fx in
+          Array.init n (fun i -> (plus.(i) -. base.(i)) /. h)
+        | Backward ->
+          let minus = bump (-.h) and base = Lazy.force fx in
+          Array.init n (fun i -> (base.(i) -. minus.(i)) /. h))
+  in
+  Mat.init n n (fun i j -> cols.(j).(i))
+
+let of_controller ?dx ?mode controller ~net ~at =
+  numeric ?dx ?mode (fun r -> Controller.map controller ~net r) ~at
+
+let unilaterally_stable ?(tol = 1e-9) df =
+  let d = Mat.diagonal df in
+  Array.for_all (fun x -> Float.abs x < 1. -. tol) d
+
+let systemically_stable ?tol ?ignore_unit df =
+  Eigen.is_linearly_stable ?tol ?ignore_unit df
+
+let spectral_radius = Eigen.spectral_radius
+
+let triangular_in_rate_order ?(tol = 1e-6) df ~rates =
+  let n = Array.length rates in
+  if Mat.rows df <> n then invalid_arg "Jacobian.triangular_in_rate_order: size mismatch";
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare rates.(a) rates.(b)) order;
+  Mat.is_lower_triangular ~tol (Mat.permute_rows_cols df order)
+
+let diagonal = Mat.diagonal

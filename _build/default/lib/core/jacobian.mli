@@ -1,0 +1,44 @@
+(** The stability matrix DF (paper §3.3).
+
+    DF_ij = ∂F_i/∂r_j at a steady state decides linear stability: the
+    steady state is stable when every eigenvalue has modulus below one.
+    The paper contrasts {e unilateral} stability (|DF_ii| < 1 — what a
+    single connection can measure by perturbing its own rate) with
+    {e systemic} stability (the full spectrum), and proves that under
+    Fair Share the matrix is triangular once connections are ordered by
+    rate, making the two coincide (Theorem 4).
+
+    Derivatives are numeric.  The MAX/MIN kinks the paper notes make
+    one-sided derivatives differ at some steady states; both central and
+    one-sided modes are provided. *)
+
+open Ffc_numerics
+
+type mode = Central | Forward | Backward
+
+val numeric : ?dx:float -> ?mode:mode -> (Vec.t -> Vec.t) -> at:Vec.t -> Mat.t
+(** Jacobian of an arbitrary vector map ([dx] defaults to 1e-7 relative to
+    each coordinate's magnitude). *)
+
+val of_controller :
+  ?dx:float -> ?mode:mode -> Controller.t -> net:Ffc_topology.Network.t ->
+  at:Vec.t -> Mat.t
+(** DF of the flow-control map at [at]. *)
+
+val unilaterally_stable : ?tol:float -> Mat.t -> bool
+(** |DF_ii| < 1 − [tol] for every i (default [tol] 1e-9). *)
+
+val systemically_stable : ?tol:float -> ?ignore_unit:int -> Mat.t -> bool
+(** Spectral radius below 1, optionally discounting [ignore_unit]
+    eigenvalues of modulus ~1 for steady-state manifolds (aggregate
+    feedback has an (N−1)-dimensional manifold at a single gateway). *)
+
+val spectral_radius : Mat.t -> float
+
+val triangular_in_rate_order : ?tol:float -> Mat.t -> rates:Vec.t -> bool
+(** Whether DF is lower triangular after simultaneously permuting rows and
+    columns into increasing-rate order — Theorem 4's structure under Fair
+    Share. [tol] defaults to 1e-6 (numeric differentiation noise). *)
+
+val diagonal : Mat.t -> Vec.t
+(** The unilateral responses DF_ii. *)

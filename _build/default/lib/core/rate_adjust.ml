@@ -1,0 +1,126 @@
+open Ffc_numerics
+
+type t = {
+  name : string;
+  b_ss : float option;
+  f : r:float -> b:float -> d:float -> float;
+}
+
+let make ~name ?b_ss f = { name; b_ss; f }
+
+let name t = t.name
+
+let eval t ~r ~b ~d =
+  let v = t.f ~r ~b ~d in
+  if Float.is_nan v then
+    failwith (Printf.sprintf "Rate_adjust.eval: %s produced NaN at r=%g b=%g d=%g"
+                t.name r b d);
+  v
+
+let declared_b_ss t = t.b_ss
+
+let check_params ~eta ~beta =
+  if not (eta > 0.) then invalid_arg "Rate_adjust: eta must be positive";
+  if not (beta > 0. && beta < 1.) then invalid_arg "Rate_adjust: beta must be in (0,1)"
+
+let additive ~eta ~beta =
+  check_params ~eta ~beta;
+  make
+    ~name:(Printf.sprintf "additive(eta=%g,beta=%g)" eta beta)
+    ~b_ss:beta
+    (fun ~r:_ ~b ~d:_ -> eta *. (beta -. b))
+
+let proportional ~eta ~beta =
+  check_params ~eta ~beta;
+  make
+    ~name:(Printf.sprintf "proportional(eta=%g,beta=%g)" eta beta)
+    ~b_ss:beta
+    (fun ~r ~b ~d:_ -> eta *. r *. (beta -. b))
+
+let fair_rate_limd ~eta ~beta =
+  check_params ~eta ~beta;
+  make
+    ~name:(Printf.sprintf "fair-rate-limd(eta=%g,beta=%g)" eta beta)
+    (fun ~r ~b ~d:_ -> ((1. -. b) *. eta) -. (beta *. b *. r))
+
+let decbit_window ~eta ~beta =
+  check_params ~eta ~beta;
+  make
+    ~name:(Printf.sprintf "decbit-window(eta=%g,beta=%g)" eta beta)
+    (fun ~r ~b ~d ->
+      let increase = if d = Float.infinity then 0. else (1. -. b) *. eta /. d in
+      increase -. (beta *. b *. r))
+
+let aimd ~increase ~decrease =
+  if not (increase > 0.) then invalid_arg "Rate_adjust.aimd: increase must be positive";
+  if not (decrease > 0. && decrease < 1.) then
+    invalid_arg "Rate_adjust.aimd: decrease must be in (0,1)";
+  make
+    ~name:(Printf.sprintf "aimd(+%g,x%g)" increase (1. -. decrease))
+    (fun ~r ~b ~d:_ -> ((1. -. b) *. increase) -. (b *. decrease *. r))
+
+type tsi_verdict = Tsi of float | Boundary_tsi of float | Not_tsi
+
+(* Zeros of b -> f(r,b,d) on [0,1], located by sign scanning + bisection.
+   Returns `All_zero when f vanishes on the whole interval. *)
+let signal_zeros t ~r ~d =
+  let n = 200 in
+  let f b = eval t ~r ~b ~d in
+  let grid = Array.init (n + 1) (fun k -> float_of_int k /. float_of_int n) in
+  let values = Array.map f grid in
+  if Array.for_all (fun v -> Float.abs v <= 1e-12) values then `All_zero
+  else begin
+    let zeros = ref [] in
+    for k = 0 to n - 1 do
+      let a = values.(k) and b = values.(k + 1) in
+      if Float.abs a <= 1e-12 then begin
+        if not (List.exists (fun z -> Float.abs (z -. grid.(k)) < 1e-6) !zeros) then
+          zeros := grid.(k) :: !zeros
+      end
+      else if a *. b < 0. then begin
+        match Rootfind.bisect f ~lo:grid.(k) ~hi:grid.(k + 1) with
+        | Rootfind.Root z -> zeros := z :: !zeros
+        | Rootfind.No_bracket | Rootfind.No_convergence _ -> ()
+      end
+    done;
+    if Float.abs values.(n) <= 1e-12 then begin
+      if not (List.exists (fun z -> Float.abs (z -. 1.) < 1e-6) !zeros) then
+        zeros := 1. :: !zeros
+    end;
+    `Zeros (List.rev !zeros)
+  end
+
+let classify_tsi ?rs ?ds t =
+  let rs = match rs with Some v -> v | None -> [| 0.; 0.01; 0.5; 1.; 5.; 100. |] in
+  let ds = match ds with Some v -> v | None -> [| 0.01; 1.; 100. |] in
+  let interior = Array.to_list rs |> List.filter (fun r -> r > 0.) in
+  (* All samples must expose exactly one zero, and all zeros must agree;
+     returns that common zero. *)
+  let common_zero samples =
+    let rec go acc = function
+      | [] -> acc
+      | (r, d) :: rest -> (
+        match signal_zeros t ~r ~d with
+        | `All_zero -> None
+        | `Zeros [ z ] -> (
+          match acc with
+          | Some z0 when Float.abs (z0 -. z) > 1e-6 -> None
+          | Some _ | None -> go (Some z) rest)
+        | `Zeros _ -> None)
+    in
+    go None samples
+  in
+  let pairs rs = List.concat_map (fun r -> List.map (fun d -> (r, d)) (Array.to_list ds)) rs in
+  match common_zero (pairs (Array.to_list rs)) with
+  | Some z -> Tsi z
+  | None -> (
+    (* Retry excluding r = 0: catches the proportional family. *)
+    match common_zero (pairs interior) with
+    | Some z ->
+      let zero_at_origin =
+        List.for_all
+          (fun d -> signal_zeros t ~r:0. ~d = `All_zero)
+          (Array.to_list ds)
+      in
+      if zero_at_origin then Boundary_tsi z else Not_tsi
+    | None -> Not_tsi)

@@ -1,0 +1,69 @@
+(** Rate-adjustment algorithms f(r, b, d) (paper §2.3.2 and §4).
+
+    At each synchronous step every source updates
+    r ← max(0, r + f(r, b, d)) from its current rate [r], combined
+    congestion signal [b] ∈ [0,1], and round-trip delay [d].  Theorem 1
+    characterizes the time-scale invariant (TSI) algorithms: f vanishes at
+    exactly one signal level b_SS, for every r and d. *)
+
+type t
+
+val make : name:string -> ?b_ss:float -> (r:float -> b:float -> d:float -> float) -> t
+(** [b_ss] declares the steady-state signal when the algorithm is TSI by
+    construction. *)
+
+val name : t -> string
+
+val eval : t -> r:float -> b:float -> d:float -> float
+(** Raises [Failure] if the underlying function produces NaN — rate
+    adjustment must be total on r ≥ 0, b ∈ [0,1], d ∈ (0,∞]. *)
+
+val declared_b_ss : t -> float option
+
+(** {1 The paper's algorithm families} *)
+
+val additive : eta:float -> beta:float -> t
+(** f = η(β − b) — the canonical TSI algorithm (§3.3's examples): steady
+    exactly at b = β, constant step size η. [eta > 0], [beta] ∈ (0,1). *)
+
+val proportional : eta:float -> beta:float -> t
+(** f = ηr(β − b) — multiplicative TSI variant. Note that r = 0 is an
+    artificial fixed point (f(0,·,·) = 0), so condition (2) of Theorem 1
+    fails on the boundary; the classifier reports this. *)
+
+val fair_rate_limd : eta:float -> beta:float -> t
+(** f = (1−b)η − βbr — the rate-based linear-increase multiplicative-
+    decrease form of §4: guaranteed fair (steady rate η(1−b)/(βb) is the
+    same for every connection sharing a bottleneck) but {e not} TSI
+    (the steady rate does not scale with line speed). *)
+
+val decbit_window : eta:float -> beta:float -> t
+(** f = (1−b)η/d − βbr — §4's model of the original DECbit/Jacobson
+    window algorithm: the increase term is divided by the round-trip
+    delay, so connections with longer paths get less throughput — neither
+    fair nor TSI. *)
+
+val aimd : increase:float -> decrease:float -> t
+(** f = (1−b)·increase − b·decrease·r — additive-increase
+    multiplicative-decrease, the Chiu–Jain/DECbit policy for {e binary}
+    signals: grow by [increase] while the bit is clear, shrink by the
+    fraction [decrease] when it is set.  With a continuous signal this
+    coincides with [fair_rate_limd] up to parameter naming; it is kept
+    separate because E14 runs it against {!Signal.binary}, where no
+    steady state exists and only long-term averages are meaningful.
+    [increase > 0], [decrease] ∈ (0, 1). *)
+
+(** {1 Classification} *)
+
+type tsi_verdict =
+  | Tsi of float  (** TSI with this steady-state signal b_SS. *)
+  | Boundary_tsi of float
+      (** f vanishes at a unique interior b_SS for every r > 0 and d, but
+          also vanishes identically at r = 0 (e.g. [proportional]). *)
+  | Not_tsi
+
+val classify_tsi : ?rs:float array -> ?ds:float array -> t -> tsi_verdict
+(** Numerically applies Theorem 1's criterion: for each sampled (r, d),
+    find the zeros of b ↦ f(r,b,d) on [0,1]; TSI iff a single common zero
+    exists for all samples (and f is nonzero elsewhere).  Default sample
+    grids cover r ∈ [0, 100], d ∈ [0.01, 100]. *)

@@ -1,0 +1,58 @@
+open Ffc_numerics
+open Ffc_queueing
+open Ffc_topology
+
+let criterion_holds ?(tol = 1e-9) svc ~mu ~rates =
+  let n = float_of_int (Array.length rates) in
+  let q = Service.queue_lengths svc ~mu rates in
+  let ok = ref true in
+  Array.iteri
+    (fun i qi ->
+      let denom = mu -. (n *. rates.(i)) in
+      if denom > 0. then begin
+        let bound = rates.(i) /. denom in
+        if qi > bound +. (tol *. (1. +. bound)) then ok := false
+      end)
+    q;
+  !ok
+
+let criterion_violation_rate svc ~rng ~n ~mu ~trials =
+  if trials <= 0 || n <= 0 then invalid_arg "Robustness.criterion_violation_rate";
+  let violations = ref 0 in
+  for _ = 1 to trials do
+    let rates = Array.init n (fun _ -> Rng.float rng mu) in
+    if not (criterion_holds svc ~mu ~rates) then incr violations
+  done;
+  float_of_int !violations /. float_of_int trials
+
+let reservation_rate ~signal ~b_ss ~mu ~n =
+  if n <= 0 then invalid_arg "Robustness.reservation_rate: n must be positive";
+  let rho_ss = Mm1.g_inv (Signal.inverse signal b_ss) in
+  mu /. float_of_int n *. rho_ss
+
+let baselines ~signal ~b_ss ~net =
+  let nc = Network.num_connections net in
+  if Array.length b_ss <> nc then invalid_arg "Robustness.baselines: b_ss length mismatch";
+  Array.init nc (fun i ->
+      let rho_ss = Mm1.g_inv (Signal.inverse signal b_ss.(i)) in
+      let min_slice =
+        List.fold_left
+          (fun acc a ->
+            let g = Network.gateway net a in
+            Float.min acc (g.Network.mu /. float_of_int (Network.fanin net a)))
+          Float.infinity
+          (Network.gateways_of_connection net i)
+      in
+      rho_ss *. min_slice)
+
+let is_robust_outcome ?(tol = 1e-6) ~baselines steady =
+  if Array.length steady <> Array.length baselines then
+    invalid_arg "Robustness.is_robust_outcome: length mismatch";
+  Array.for_all2
+    (fun r baseline -> r >= baseline -. (tol *. (1. +. baseline)))
+    steady baselines
+
+let shortfalls ~steady ~baselines =
+  if Array.length steady <> Array.length baselines then
+    invalid_arg "Robustness.shortfalls: length mismatch";
+  Array.map2 (fun baseline r -> Float.max 0. (baseline -. r)) baselines steady

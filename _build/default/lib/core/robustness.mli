@@ -1,0 +1,44 @@
+(** Robustness in the presence of heterogeneity (paper §2.4.4, §3.4).
+
+    A flow-control design is robust when every connection — whatever
+    rate-adjustment algorithms the {e others} run — receives at least the
+    throughput it would get from a reservation-based network that
+    dedicates it a 1/N^a slice of each gateway: the baseline
+    r̄_i = ρ_SS(i) · min_{a∈γ(i)} μ^a/N^a, where ρ_SS(i) is the
+    utilization connection i's own TSI algorithm would pin on a private
+    server.  Theorem 5 reduces robustness of TSI individual feedback to a
+    pointwise inequality on the service discipline:
+    Q_i(r) ≤ r_i/(μ − N·r_i). *)
+
+open Ffc_numerics
+open Ffc_queueing
+open Ffc_topology
+
+val criterion_holds :
+  ?tol:float -> Service.t -> mu:float -> rates:Vec.t -> bool
+(** The Theorem 5 inequality at one rate vector (components with
+    μ ≤ N·r_i are unconstrained). *)
+
+val criterion_violation_rate :
+  Service.t -> rng:Rng.t -> n:int -> mu:float -> trials:int -> float
+(** Fraction of [trials] random rate vectors (n connections, each rate
+    uniform in [0, μ]) violating the criterion.  0 for Fair Share,
+    positive for FIFO. *)
+
+val reservation_rate : signal:Signal.t -> b_ss:float -> mu:float -> n:int -> float
+(** Steady rate of one connection alone on a server of rate μ/n —
+    the reservation baseline at a single gateway. *)
+
+val baselines :
+  signal:Signal.t -> b_ss:float array -> net:Network.t -> Vec.t
+(** Per-connection reservation baselines r̄_i; [b_ss] gives each
+    connection's own steady signal (heterogeneous algorithms have
+    different ones). *)
+
+val is_robust_outcome : ?tol:float -> baselines:Vec.t -> Vec.t -> bool
+(** [is_robust_outcome ~baselines steady] — every connection meets its
+    baseline within relative [tol] (default 1e-6). *)
+
+val shortfalls : steady:Vec.t -> baselines:Vec.t -> Vec.t
+(** max(0, r̄_i − r_i) per connection — how far below the guarantee each
+    connection landed. *)

@@ -1,0 +1,14 @@
+open Ffc_numerics
+open Ffc_topology
+
+let default_eta = 0.1
+let default_beta = 0.5
+
+let standard_adjuster = Rate_adjust.additive ~eta:default_eta ~beta:default_beta
+let timid_adjuster = Rate_adjust.additive ~eta:default_eta ~beta:0.3
+let greedy_adjuster = Rate_adjust.additive ~eta:default_eta ~beta:0.7
+
+let uniform_start ~net r = Array.make (Network.num_connections net) r
+
+let random_start ~rng ~net ~lo ~hi =
+  Array.init (Network.num_connections net) (fun _ -> Rng.range rng lo hi)

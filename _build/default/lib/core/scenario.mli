@@ -1,0 +1,32 @@
+(** Ready-made scenario ingredients shared by the examples, CLI, and
+    experiment harness: standard parameter choices for adjusters and
+    starting rate vectors. *)
+
+open Ffc_numerics
+open Ffc_topology
+
+val default_eta : float
+(** 0.1 — small enough for unilateral stability (η < 2 in the §3.3
+    example) with a comfortable margin. *)
+
+val default_beta : float
+(** 0.5 — the steady congestion signal used throughout the experiments:
+    with B = C/(1+C) it pins each bottleneck at total queue C_SS = 1,
+    i.e. utilization ρ_SS = 1/2. *)
+
+val standard_adjuster : Rate_adjust.t
+(** additive(η = 0.1, β = 0.5). *)
+
+val timid_adjuster : Rate_adjust.t
+(** additive(η = 0.1, β = 0.3) — backs off earlier; the victim in the
+    §3.4 heterogeneity example. *)
+
+val greedy_adjuster : Rate_adjust.t
+(** additive(η = 0.1, β = 0.7) — tolerates more congestion; the winner
+    under aggregate feedback. *)
+
+val uniform_start : net:Network.t -> float -> Vec.t
+(** Every connection starting at the given rate. *)
+
+val random_start : rng:Rng.t -> net:Network.t -> lo:float -> hi:float -> Vec.t
+(** Componentwise uniform in [lo, hi). *)

@@ -1,0 +1,74 @@
+type t = {
+  name : string;
+  eval : float -> float;
+  inverse : float -> float;
+}
+
+let name t = t.name
+
+let eval t c =
+  if Float.is_nan c || c < 0. then invalid_arg "Signal.eval: congestion must be >= 0";
+  if c = Float.infinity then 1. else Float.min 1. (Float.max 0. (t.eval c))
+
+let inverse t s =
+  if not (s >= 0. && s <= 1.) then invalid_arg "Signal.inverse: signal outside [0,1]";
+  if s = 1. then Float.infinity else Float.max 0. (t.inverse s)
+
+let make ~name ~eval ~inverse = { name; eval; inverse }
+
+let linear_fractional =
+  make ~name:"C/(1+C)"
+    ~eval:(fun c -> c /. (1. +. c))
+    ~inverse:(fun s -> s /. (1. -. s))
+
+let scaled k =
+  if not (k > 0.) then invalid_arg "Signal.scaled: k must be positive";
+  make
+    ~name:(Printf.sprintf "C/(%g+C)" k)
+    ~eval:(fun c -> c /. (k +. c))
+    ~inverse:(fun s -> k *. s /. (1. -. s))
+
+let power p =
+  if not (p >= 1.) then invalid_arg "Signal.power: p must be >= 1";
+  make
+    ~name:(Printf.sprintf "(C/(1+C))^%g" p)
+    ~eval:(fun c -> (c /. (1. +. c)) ** p)
+    ~inverse:(fun s ->
+      let root = s ** (1. /. p) in
+      root /. (1. -. root))
+
+let exponential k =
+  if not (k > 0.) then invalid_arg "Signal.exponential: k must be positive";
+  make
+    ~name:(Printf.sprintf "1-exp(-%gC)" k)
+    ~eval:(fun c -> 1. -. exp (-.k *. c))
+    ~inverse:(fun s -> -.log (1. -. s) /. k)
+
+let binary threshold =
+  if not (threshold > 0.) then invalid_arg "Signal.binary: threshold must be positive";
+  make
+    ~name:(Printf.sprintf "binary(C>=%g)" threshold)
+    ~eval:(fun c -> if c >= threshold then 1. else 0.)
+    ~inverse:(fun s -> if s = 0. then 0. else threshold)
+
+let check ?(samples = 64) t =
+  let ok = ref true in
+  if Float.abs (eval t 0.) > 1e-12 then ok := false;
+  if eval t Float.infinity <> 1. then ok := false;
+  (* Monotonicity on a log-spaced grid; strictness is only required while
+     the signal has not yet saturated to 1 in floating point. *)
+  let prev = ref (eval t 0.) in
+  for k = 0 to samples - 1 do
+    let c = 10. ** (-3. +. (6. *. float_of_int k /. float_of_int (samples - 1))) in
+    let v = eval t c in
+    if v < !prev then ok := false;
+    if v <= !prev && v < 1. -. 1e-9 then ok := false;
+    prev := v
+  done;
+  (* Inverse consistency at interior points. *)
+  List.iter
+    (fun s ->
+      let c = inverse t s in
+      if Float.abs (eval t c -. s) > 1e-6 then ok := false)
+    [ 0.1; 0.3; 0.5; 0.7; 0.9 ];
+  !ok

@@ -1,0 +1,54 @@
+(** Congestion-signal functions B(C) (paper §2.3.1).
+
+    A gateway turns a congestion measure C ∈ [0, ∞] into a signal
+    b = B(C) ∈ [0, 1].  The paper requires B nowhere constant
+    (dB/dC > 0), B(0) = 0 and B(∞) = 1; every built-in family satisfies
+    these.  Signals are time-scale invariant by construction: they depend
+    only on queue lengths, which depend only on the ratios r/μ. *)
+
+type t
+
+val name : t -> string
+
+val eval : t -> float -> float
+(** [eval b c] — the signal for congestion measure [c ≥ 0], with
+    [eval b infinity = 1.]. *)
+
+val inverse : t -> float -> float
+(** [inverse b s] — the congestion measure C with B(C) = s, for
+    s ∈ [0, 1]; [infinity] at s = 1.  This is the C_SS a TSI rate
+    adjuster with steady signal b_SS pins at every bottleneck. *)
+
+val linear_fractional : t
+(** B(C) = C/(1+C).  At a single FIFO gateway with aggregate feedback this
+    makes b equal the total utilization ρ, which is what reduces the
+    paper's §3.3 example to the linear map r' = r + η(β − Σr). *)
+
+val scaled : float -> t
+(** [scaled k] : B(C) = C/(k+C), [k > 0] — shifts how much congestion maps
+    to a given signal level; used in ablations. *)
+
+val power : float -> t
+(** [power p] : B(C) = (C/(1+C))^p, [p >= 1].  [power 2.] turns the
+    single-gateway symmetric aggregate map into the quadratic recursion
+    r' = r + η(β − (Σr)²) — the paper's §3.3 route to chaos. *)
+
+val exponential : float -> t
+(** [exponential k] : B(C) = 1 − exp(−kC), [k > 0]. *)
+
+val binary : float -> t
+(** [binary threshold] : B(C) = 0 for C < threshold, 1 otherwise — the
+    single-bit feedback of the DECbit scheme as analyzed by Chiu–Jain
+    [Chi89].  This {e deliberately violates} the paper's dB/dC > 0
+    assumption ([check] rejects it): with binary feedback the system is
+    "either increasing or decreasing at every point" and never reaches a
+    steady state, which is exactly the contrast experiment E14 explores.
+    [inverse] returns [threshold] for every s ∈ (0, 1]. *)
+
+val make : name:string -> eval:(float -> float) -> inverse:(float -> float) -> t
+(** Custom signal function; the caller is responsible for the B(0)=0,
+    B(∞)=1, monotonicity contract ([check] can verify it numerically). *)
+
+val check : ?samples:int -> t -> bool
+(** Numerically verifies the contract: endpoints, strict monotonicity on a
+    log-spaced grid, and inverse consistency. *)

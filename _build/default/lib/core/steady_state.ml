@@ -1,0 +1,65 @@
+open Ffc_queueing
+open Ffc_topology
+
+let steady_utilization ~signal ~b_ss =
+  if not (b_ss > 0. && b_ss < 1.) then
+    invalid_arg "Steady_state: b_ss must be in (0,1)";
+  Mm1.g_inv (Signal.inverse signal b_ss)
+
+let max_min_fair ~capacities ~net =
+  let ng = Network.num_gateways net in
+  let nc = Network.num_connections net in
+  if Array.length capacities <> ng then
+    invalid_arg "Steady_state.max_min_fair: capacities length mismatch";
+  let remaining_cap = Array.copy capacities in
+  let remaining_fanin = Array.init ng (fun a -> Network.fanin net a) in
+  let rates = Array.make nc 0. in
+  let active = Array.make nc true in
+  let active_count = ref nc in
+  while !active_count > 0 do
+    (* Gateway with the smallest equal share among gateways that still
+       carry active connections. *)
+    let best = ref (-1) in
+    let best_share = ref Float.infinity in
+    for a = 0 to ng - 1 do
+      if remaining_fanin.(a) > 0 then begin
+        let share = remaining_cap.(a) /. float_of_int remaining_fanin.(a) in
+        if share < !best_share then begin
+          best_share := share;
+          best := a
+        end
+      end
+    done;
+    if !best < 0 then begin
+      (* No gateway constrains the remaining connections; they are
+         unconstrained in this capacity model, which cannot happen when
+         every connection crosses at least one gateway. *)
+      active_count := 0
+    end
+    else begin
+      let share = Float.max 0. !best_share in
+      List.iter
+        (fun i ->
+          if active.(i) then begin
+            rates.(i) <- share;
+            active.(i) <- false;
+            decr active_count;
+            List.iter
+              (fun a ->
+                remaining_cap.(a) <- remaining_cap.(a) -. share;
+                remaining_fanin.(a) <- remaining_fanin.(a) - 1)
+              (Network.gateways_of_connection net i)
+          end)
+        (Network.connections_at_gateway net !best)
+    end
+  done;
+  rates
+
+let bottleneck_shares ~signal ~b_ss ~net =
+  let rho = steady_utilization ~signal ~b_ss in
+  Array.init (Network.num_gateways net) (fun a ->
+      (Network.gateway net a).Network.mu *. rho)
+
+let fair ~signal ~b_ss ~net =
+  let capacities = bottleneck_shares ~signal ~b_ss ~net in
+  max_min_fair ~capacities ~net

@@ -1,0 +1,28 @@
+(** Steady-state theory: the fair construction of Theorem 2.
+
+    For a TSI algorithm with steady signal b_SS, every bottleneck gateway
+    is pinned at congestion C_SS = B⁻¹(b_SS), i.e. at utilization
+    ρ_SS = C_SS/(1+C_SS).  The unique fair steady state is then the
+    max-min fair ("water-filling") allocation against per-gateway
+    capacities μ^a·ρ_SS: repeatedly find the gateway with the smallest
+    equal share, freeze its connections at that share, remove them, and
+    continue (the construction in the proof of Theorem 2).  By the
+    Corollary this is also the unique steady state of every TSI
+    {e individual}-feedback algorithm, whatever the service discipline. *)
+
+open Ffc_numerics
+open Ffc_topology
+
+val steady_utilization : signal:Signal.t -> b_ss:float -> float
+(** ρ_SS = g⁻¹(B⁻¹(b_SS)) ∈ [0, 1). *)
+
+val fair : signal:Signal.t -> b_ss:float -> net:Network.t -> Vec.t
+(** The unique fair steady state. Requires [b_ss] ∈ (0, 1) and every
+    gateway to carry at least one connection. *)
+
+val bottleneck_shares : signal:Signal.t -> b_ss:float -> net:Network.t -> float array
+(** Per-gateway capacity μ^a·ρ_SS used by the construction (diagnostic). *)
+
+val max_min_fair : capacities:float array -> net:Network.t -> Vec.t
+(** The underlying water-filling against arbitrary per-gateway
+    capacities — exposed for reuse and tests. *)

@@ -1,0 +1,40 @@
+let csv_of_trajectory ?names traj =
+  if Array.length traj = 0 then "step\n"
+  else begin
+    let dim = Array.length traj.(0) in
+    let names =
+      match names with
+      | Some ns ->
+        if Array.length ns <> dim then
+          invalid_arg "Trace.csv_of_trajectory: names length mismatch";
+        ns
+      | None -> Array.init dim (Printf.sprintf "r%d")
+    in
+    let buf = Buffer.create (Array.length traj * dim * 12) in
+    Buffer.add_string buf "step";
+    Array.iter
+      (fun n ->
+        Buffer.add_char buf ',';
+        Buffer.add_string buf n)
+      names;
+    Buffer.add_char buf '\n';
+    Array.iteri
+      (fun k state ->
+        if Array.length state <> dim then
+          invalid_arg "Trace.csv_of_trajectory: ragged trajectory";
+        Buffer.add_string buf (string_of_int k);
+        Array.iter
+          (fun x ->
+            Buffer.add_char buf ',';
+            Buffer.add_string buf (Printf.sprintf "%.17g" x))
+          state;
+        Buffer.add_char buf '\n')
+      traj;
+    Buffer.contents buf
+  end
+
+let csv_of_series ~name xs =
+  csv_of_trajectory ~names:[| name |] (Array.map (fun x -> [| x |]) xs)
+
+let write_file ~path content =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc content)

@@ -1,0 +1,18 @@
+(** CSV export of trajectories and series.
+
+    The ASCII plots are for the terminal; this writes the same data in a
+    form external tools can plot.  Deliberately minimal: comma-separated,
+    one header row, floats printed with round-trip precision. *)
+
+open Ffc_numerics
+
+val csv_of_trajectory : ?names:string array -> Vec.t array -> string
+(** [csv_of_trajectory traj] renders one row per step with a leading
+    [step] column; [names] (default [r0], [r1], …) label the remaining
+    columns.  All states must share the dimension of the first. *)
+
+val csv_of_series : name:string -> float array -> string
+(** Two columns: [step, name]. *)
+
+val write_file : path:string -> string -> unit
+(** Writes the string to [path] (truncating). *)

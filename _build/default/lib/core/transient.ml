@@ -1,0 +1,183 @@
+open Ffc_numerics
+open Ffc_topology
+
+type outcome = Settled of Vec.t | Oscillating of { amplitude : float }
+
+type result = {
+  times : float array;
+  rates : float array array;
+  total_queue : float array;
+  outcome : outcome;
+}
+
+(* State layout: [r_0 .. r_{n-1}] followed by, for each gateway in index
+   order, its local queue vector (in Γ(a) order). *)
+type layout = {
+  n : int;
+  n_gws : int;
+  gw_offset : int array;  (** Offset of gateway a's queue block. *)
+  gw_conns : int array array;  (** Γ(a) as arrays. *)
+  first_hop : int array;  (** First gateway of each connection. *)
+  prev_hop : (int * int) option array array;
+      (** For each gateway a and local position k: the (gateway, local
+          position) of the previous hop of that connection, if any. *)
+  dim : int;
+}
+
+let build_layout net =
+  let n = Network.num_connections net in
+  let n_gws = Network.num_gateways net in
+  let gw_conns =
+    Array.init n_gws (fun a -> Array.of_list (Network.connections_at_gateway net a))
+  in
+  let gw_offset = Array.make n_gws 0 in
+  let dim = ref n in
+  for a = 0 to n_gws - 1 do
+    gw_offset.(a) <- !dim;
+    dim := !dim + Array.length gw_conns.(a)
+  done;
+  let first_hop =
+    Array.init n (fun i ->
+        match Network.gateways_of_connection net i with
+        | a :: _ -> a
+        | [] -> assert false)
+  in
+  let prev_hop =
+    Array.init n_gws (fun a ->
+        Array.map
+          (fun i ->
+            let path = Network.gateways_of_connection net i in
+            let rec find = function
+              | p :: a' :: _ when a' = a -> Some (p, Network.local_index net ~conn:i ~gw:p)
+              | _ :: rest -> find rest
+              | [] -> None
+            in
+            find path)
+          gw_conns.(a))
+  in
+  { n; n_gws; gw_offset; gw_conns; first_hop; prev_hop; dim = !dim }
+
+let run ?(dt = 0.01) ?(t_end = 2000.) ~config ~net ~adjusters ~gain ~r0 () =
+  let lay = build_layout net in
+  if Array.length adjusters <> lay.n then
+    invalid_arg "Transient.run: adjuster count mismatch";
+  if Array.length r0 <> lay.n then invalid_arg "Transient.run: r0 length mismatch";
+  if not (gain > 0.) then invalid_arg "Transient.run: gain must be positive";
+  let mu = Array.init lay.n_gws (fun a -> (Network.gateway net a).Network.mu) in
+  let latency = Array.init lay.n_gws (fun a -> (Network.gateway net a).Network.latency) in
+  let eps = 1e-9 in
+  let derivative ~t:_ y =
+    let dy = Array.make lay.dim 0. in
+    (* Fluid departures per gateway. *)
+    let departures =
+      Array.init lay.n_gws (fun a ->
+          let len = Array.length lay.gw_conns.(a) in
+          let base = lay.gw_offset.(a) in
+          let q_tot = ref 0. in
+          for k = 0 to len - 1 do
+            q_tot := !q_tot +. Float.max 0. y.(base + k)
+          done;
+          Array.init len (fun k ->
+              mu.(a) *. Float.max 0. y.(base + k) /. (!q_tot +. 1.)))
+    in
+    (* Queue dynamics. *)
+    for a = 0 to lay.n_gws - 1 do
+      let base = lay.gw_offset.(a) in
+      Array.iteri
+        (fun k i ->
+          let arrival =
+            match lay.prev_hop.(a).(k) with
+            | Some (p, kp) -> departures.(p).(kp)
+            | None -> if lay.first_hop.(i) = a then Float.max 0. y.(i) else 0.
+          in
+          dy.(base + k) <- arrival -. departures.(a).(k))
+        lay.gw_conns.(a)
+    done;
+    (* Signals from the instantaneous queues. *)
+    let b = Array.make lay.n 0. in
+    let d = Array.make lay.n 0. in
+    for a = 0 to lay.n_gws - 1 do
+      let base = lay.gw_offset.(a) in
+      let len = Array.length lay.gw_conns.(a) in
+      let q = Array.init len (fun k -> Float.max 0. y.(base + k)) in
+      let measures = Congestion.measures config.Feedback.style q in
+      Array.iteri
+        (fun k i ->
+          b.(i) <- Float.max b.(i) (Signal.eval config.Feedback.signal measures.(k));
+          d.(i) <- d.(i) +. latency.(a) +. (q.(k) /. Float.max eps y.(i)))
+        lay.gw_conns.(a)
+    done;
+    (* Rate dynamics. *)
+    for i = 0 to lay.n - 1 do
+      let r = Float.max 0. y.(i) in
+      dy.(i) <- gain *. Rate_adjust.eval adjusters.(i) ~r ~b:b.(i) ~d:d.(i)
+    done;
+    dy
+  in
+  let clamp y = Array.map (fun x -> Float.max 0. x) y in
+  let y0 = Array.append (Array.copy r0) (Array.make (lay.dim - lay.n) 0.) in
+  let trajectory = Ode.integrate ~post:clamp ~f:derivative ~t0:0. ~t1:t_end ~dt y0 in
+  (* Downsample to at most ~2000 samples for the result arrays. *)
+  let stride = Stdlib.max 1 (Array.length trajectory / 2000) in
+  let sampled =
+    Array.of_list
+      (List.filteri
+         (fun k _ -> k mod stride = 0 || k = Array.length trajectory - 1)
+         (Array.to_list trajectory))
+  in
+  let times = Array.map fst sampled in
+  let rates = Array.map (fun (_, y) -> Array.sub y 0 lay.n) sampled in
+  (* Report the fluid mass of the most loaded gateway per sample. *)
+  let total_queue =
+    Array.map
+      (fun (_, y) ->
+        let best = ref 0. in
+        for a = 0 to lay.n_gws - 1 do
+          let base = lay.gw_offset.(a) in
+          let len = Array.length lay.gw_conns.(a) in
+          let q = ref 0. in
+          for k = 0 to len - 1 do
+            q := !q +. y.(base + k)
+          done;
+          best := Float.max !best !q
+        done;
+        !best)
+      sampled
+  in
+  (* Settle test over the last 10% of samples. *)
+  let tail_start = Array.length rates * 9 / 10 in
+  let amplitude = ref 0. and scale = ref 0. in
+  for i = 0 to lay.n - 1 do
+    let lo = ref Float.infinity and hi = ref Float.neg_infinity in
+    for k = tail_start to Array.length rates - 1 do
+      lo := Float.min !lo rates.(k).(i);
+      hi := Float.max !hi rates.(k).(i)
+    done;
+    amplitude := Float.max !amplitude (!hi -. !lo);
+    scale := Float.max !scale !hi
+  done;
+  let outcome =
+    if !amplitude <= 1e-3 *. (1. +. !scale) then
+      Settled rates.(Array.length rates - 1)
+    else Oscillating { amplitude = !amplitude }
+  in
+  { times; rates; total_queue; outcome }
+
+let critical_gain ?(lo = 0.01) ?(hi = 10.) ?(ratio = 1.02) ?dt ?t_end ~config ~net
+    ~adjusters ~r0 () =
+  if not (ratio > 1.) then invalid_arg "Transient.critical_gain: ratio must be > 1";
+  let settles gain =
+    match (run ?dt ?t_end ~config ~net ~adjusters ~gain ~r0 ()).outcome with
+    | Settled _ -> true
+    | Oscillating _ -> false
+  in
+  if not (settles lo) then lo
+  else if settles hi then hi
+  else begin
+    let lo = ref lo and hi = ref hi in
+    while !hi /. !lo > ratio do
+      let mid = sqrt (!lo *. !hi) in
+      if settles mid then lo := mid else hi := mid
+    done;
+    !lo
+  end

@@ -1,0 +1,57 @@
+(** The transient fluid model: flow control without the
+    instant-equilibration assumption (paper §2.1/§2.5).
+
+    The paper assumes queue lengths always reflect the current sending
+    rates.  Here the queues get their own dynamics — the standard fluid
+    approximation of an M/M/1 gateway,
+
+      dQ^a_i/dt = λ^a_i − μ^a · Q^a_i/(Q^a_tot + 1),
+
+    whose equilibrium is exactly the FIFO formula ρ_i/(1−ρ_tot) (so the
+    model's analytic layer is the fast-queue limit of this one) — while
+    the rates evolve continuously at a configurable speed,
+
+      dr_i/dt = gain · f(r_i, b_i(Q(t)), d_i(Q(t))),
+
+    with signals computed from the {e instantaneous} queues.  λ^a_i is
+    r_i at connection i's first hop and the fluid departure rate of the
+    previous hop afterwards.
+
+    The interesting question is the time-scale ratio: when the
+    controller is slow relative to queue equilibration the discrete
+    theory's predictions hold; as [gain] approaches the queues' natural
+    rate (∝ μ) the coupled system overshoots and oscillates — which
+    quantifies the §2.5 caveat and breaks time-scale invariance in the
+    transient regime (stability depends on μ, not just on ratios). *)
+
+open Ffc_numerics
+open Ffc_topology
+
+type outcome =
+  | Settled of Vec.t  (** Rates essentially constant over the tail. *)
+  | Oscillating of { amplitude : float }
+      (** Peak-to-peak rate swing over the tail window. *)
+
+type result = {
+  times : float array;
+  rates : float array array;  (** Per sample. *)
+  total_queue : float array;  (** Bottleneck-gateway fluid mass, per sample. *)
+  outcome : outcome;
+}
+
+val run :
+  ?dt:float -> ?t_end:float -> config:Feedback.config -> net:Network.t ->
+  adjusters:Rate_adjust.t array -> gain:float -> r0:Vec.t -> unit -> result
+(** Integrates the coupled system from rates [r0] and empty queues.
+    [gain] multiplies every f (per unit time); [dt] defaults to 0.01 and
+    [t_end] to 2000.  The settle test uses the last 10% of the horizon
+    with a relative amplitude threshold of 1e-3. *)
+
+val critical_gain :
+  ?lo:float -> ?hi:float -> ?ratio:float -> ?dt:float -> ?t_end:float ->
+  config:Feedback.config -> net:Network.t ->
+  adjusters:Rate_adjust.t array -> r0:Vec.t -> unit -> float
+(** Largest gain (within [lo, hi], geometric bisection to relative
+    precision [ratio], default 1.02) at which the system still settles —
+    the empirical stability edge of the transient model.  [dt]/[t_end]
+    are forwarded to {!run}. *)

@@ -1,0 +1,114 @@
+open Ffc_numerics
+open Ffc_topology
+
+let rates_of_windows ?(tol = 1e-10) ?(max_iter = 50_000) config ~net ~windows =
+  let n = Network.num_connections net in
+  if Array.length windows <> n then
+    invalid_arg "Window.rates_of_windows: windows length mismatch";
+  Array.iter
+    (fun w ->
+      if (not (Float.is_finite w)) || w < 0. then
+        invalid_arg "Window.rates_of_windows: windows must be finite and non-negative")
+    windows;
+  (* Gauss-Seidel sweeps: for each connection in turn, solve the scalar
+     equation r_i = w_i / d_i(r) with the other rates held fixed.  d_i is
+     increasing in r_i, so h(r_i) = w_i/d_i − r_i is strictly decreasing
+     with a unique root, found by bisection — robust arbitrarily close to
+     saturation (where naive fixed-point iteration on r = w/d
+     oscillates). *)
+  let r = Array.make n 0. in
+  let solve_component i =
+    if windows.(i) = 0. then r.(i) <- 0.
+    else begin
+      let residual x =
+        r.(i) <- x;
+        let d = (Feedback.delays config ~net ~rates:r).(i) in
+        if d = Float.infinity then -.x else (windows.(i) /. d) -. x
+      in
+      (* Upper bracket: the rate a window commands at the empty-network
+         delay; h is <= 0 there. *)
+      r.(i) <- 0.;
+      let d0 = (Feedback.delays config ~net ~rates:r).(i) in
+      let hi = windows.(i) /. d0 in
+      let lo = ref 0. and hi = ref hi in
+      for _ = 1 to 60 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if residual mid > 0. then lo := mid else hi := mid
+      done;
+      r.(i) <- 0.5 *. (!lo +. !hi)
+    end
+  in
+  let finished = ref false in
+  let sweep = ref 0 in
+  while (not !finished) && !sweep < max_iter do
+    incr sweep;
+    let before = Array.copy r in
+    for i = 0 to n - 1 do
+      solve_component i
+    done;
+    if Vec.dist_inf r before <= tol *. (1. +. Vec.norm_inf r) then finished := true
+  done;
+  r
+
+type adjuster = { name : string; f : w:float -> b:float -> d:float -> float }
+
+let adjuster_name a = a.name
+
+let make_adjuster ~name f = { name; f }
+
+let additive_tsi ~eta ~beta =
+  if not (eta > 0.) then invalid_arg "Window.additive_tsi: eta must be positive";
+  if not (beta > 0. && beta < 1.) then
+    invalid_arg "Window.additive_tsi: beta must be in (0,1)";
+  make_adjuster
+    ~name:(Printf.sprintf "window-additive(eta=%g,beta=%g)" eta beta)
+    (fun ~w:_ ~b ~d:_ -> eta *. (beta -. b))
+
+let decbit ~eta ~beta =
+  if not (eta > 0.) then invalid_arg "Window.decbit: eta must be positive";
+  if not (beta > 0. && beta < 1.) then invalid_arg "Window.decbit: beta must be in (0,1)";
+  make_adjuster
+    ~name:(Printf.sprintf "window-decbit(eta=%g,beta=%g)" eta beta)
+    (fun ~w ~b ~d:_ -> ((1. -. b) *. eta) -. (beta *. b *. w))
+
+type outcome =
+  | Converged of { windows : Vec.t; rates : Vec.t; steps : int }
+  | No_convergence of { windows : Vec.t; rates : Vec.t }
+
+let run ?(tol = 1e-9) ?(max_steps = 20_000) config ~net ~adjusters ~w0 =
+  let n = Network.num_connections net in
+  if Array.length adjusters <> n then invalid_arg "Window.run: adjuster count mismatch";
+  if Array.length w0 <> n then invalid_arg "Window.run: w0 length mismatch";
+  let w = ref (Array.copy w0) in
+  let result = ref None in
+  let quiet = ref 0 in
+  let step = ref 0 in
+  while !result = None && !step < max_steps do
+    incr step;
+    let rates = rates_of_windows config ~net ~windows:!w in
+    let b = Feedback.signals config ~net ~rates in
+    let d = Feedback.delays config ~net ~rates in
+    let next =
+      Array.mapi
+        (fun i wi ->
+          let dw = (adjusters.(i)).f ~w:wi ~b:b.(i) ~d:d.(i) in
+          if Float.is_nan dw then
+            failwith "Window.run: adjuster produced NaN"
+          else Float.max 0. (wi +. dw))
+        !w
+    in
+    if Vec.dist_inf next !w <= tol *. (1. +. Vec.norm_inf next) then begin
+      incr quiet;
+      if !quiet >= 3 then begin
+        let rates = rates_of_windows config ~net ~windows:next in
+        result := Some (Converged { windows = next; rates; steps = !step })
+      end
+    end
+    else quiet := 0;
+    w := next
+  done;
+  match !result with
+  | Some o -> o
+  | None ->
+    let rates = rates_of_windows config ~net ~windows:!w in
+    No_convergence { windows = !w; rates }

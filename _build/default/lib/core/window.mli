@@ -1,0 +1,56 @@
+(** Window-based flow control (paper §4).
+
+    DECbit and TCP adjust a {e window} — a cap on packets in flight — not
+    a rate.  In the steady-flow model a window w_i induces the sending
+    rate through Little's law: r_i = w_i / d_i(r), where d_i is the
+    round-trip delay at the induced rates — a self-consistent fixed
+    point.  Because d_i grows without bound as a bottleneck approaches
+    saturation, window control is {e self-limiting}: no finite window
+    vector can overload a gateway.
+
+    The window dynamics w ← max(0, w + f_w(w, b, d)) mirror the rate
+    dynamics of §2.3.2.  §4 models DECbit's window algorithm as a
+    constant per-step window increase — which is what produces its
+    latency unfairness.  Running the TSI form f_w = η(β−b) in window
+    space instead pins the bottleneck signal at β and recovers fair
+    rates with {e unequal} windows — the unfairness lies in the constant
+    window increase, not in window control itself (experiment E21). *)
+
+open Ffc_numerics
+open Ffc_topology
+
+val rates_of_windows :
+  ?tol:float -> ?max_iter:int -> Feedback.config -> net:Network.t ->
+  windows:Vec.t -> Vec.t
+(** The rate vector solving r_i = w_i/d_i(r) (Gauss-Seidel sweeps of
+    per-component bisections; [tol] defaults to 1e-10, [max_iter] — the
+    sweep cap, rarely reached except very close to saturation — to
+    50000).  Windows
+    must be non-negative and finite; a zero window induces a zero
+    rate. *)
+
+type adjuster
+
+val adjuster_name : adjuster -> string
+
+val additive_tsi : eta:float -> beta:float -> adjuster
+(** f_w = η(β−b) — the TSI form transplanted to window space. *)
+
+val decbit : eta:float -> beta:float -> adjuster
+(** f_w = (1−b)η − β·b·w — §4's model of the DECbit window algorithm:
+    constant additive window increase, multiplicative decrease.  Steady
+    windows are equal across connections, so steady {e rates} are
+    inversely proportional to round-trip delay. *)
+
+val make_adjuster : name:string -> (w:float -> b:float -> d:float -> float) -> adjuster
+
+type outcome =
+  | Converged of { windows : Vec.t; rates : Vec.t; steps : int }
+  | No_convergence of { windows : Vec.t; rates : Vec.t }
+
+val run :
+  ?tol:float -> ?max_steps:int -> Feedback.config -> net:Network.t ->
+  adjusters:adjuster array -> w0:Vec.t -> outcome
+(** Iterates the window dynamics: each step solves the induced rates,
+    computes signals and delays at those rates, and updates every
+    window. *)

@@ -1,0 +1,1 @@
+lib/desim/measure.ml: Ffc_numerics Hashtbl Stats

@@ -1,0 +1,1 @@
+lib/desim/netsim.ml: Array Ffc_numerics Ffc_topology Float Hashtbl List Measure Network Packet Qdisc Rng Server Sim Source Vec

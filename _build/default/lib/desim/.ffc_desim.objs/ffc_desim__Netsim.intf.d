@@ -1,0 +1,1 @@
+lib/desim/netsim.mli: Ffc_topology Network

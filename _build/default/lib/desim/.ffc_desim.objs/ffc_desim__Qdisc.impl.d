@@ -1,0 +1,1 @@
+lib/desim/qdisc.ml: Event_heap Float Hashtbl List Packet Queue

@@ -1,0 +1,1 @@
+lib/desim/server.ml: Ffc_numerics Packet Qdisc Rng Sim

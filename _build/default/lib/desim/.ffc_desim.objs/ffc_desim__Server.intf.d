@@ -1,0 +1,1 @@
+lib/desim/server.mli: Ffc_numerics Packet Qdisc Sim

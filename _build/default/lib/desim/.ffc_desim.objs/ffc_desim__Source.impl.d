@@ -1,0 +1,1 @@
+lib/desim/source.ml: Ffc_numerics Float Packet Rng Sim

@@ -1,0 +1,1 @@
+lib/desim/source.mli: Ffc_numerics Packet Sim

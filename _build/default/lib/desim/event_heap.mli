@@ -1,0 +1,21 @@
+(** Binary min-heap of timestamped events.
+
+    Orders by time, breaking ties by insertion sequence so that events
+    scheduled earlier fire earlier — a determinism guarantee the
+    simulator's reproducibility relies on. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> 'a -> unit
+(** [time] must be finite. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Removes and returns the earliest event; [None] when empty. *)
+
+val peek_min : 'a t -> (float * 'a) option
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,153 @@
+open Ffc_numerics
+open Ffc_topology
+
+type discipline = Fifo | Fs_priority | Fair_queueing
+
+type result = {
+  net : Network.t;
+  measure : Measure.t;
+  horizon : float;
+  window : float;
+}
+
+(* Fair Share thinning: for a connection with rate [r] at a gateway whose
+   local sorted rates produce level increments [incr], the packet belongs
+   to level j with probability incr.(j)/r for each level the connection
+   participates in (those with threshold <= r).  Precomputes the
+   cumulative distribution as (class, cumulative rate) pairs. *)
+let fs_class_table ~local_rates ~rate =
+  if rate <= 0. then [||]
+  else begin
+    let sorted = Vec.sorted_increasing local_rates in
+    let entries = ref [] in
+    let cum = ref 0. in
+    Array.iteri
+      (fun j threshold ->
+        let increment = if j = 0 then threshold else threshold -. sorted.(j - 1) in
+        if increment > 0. && threshold <= rate then begin
+          cum := !cum +. increment;
+          entries := (j, !cum) :: !entries
+        end)
+      sorted;
+    Array.of_list (List.rev !entries)
+  end
+
+let draw_fs_class table rng ~rate =
+  let u = Rng.uniform rng *. rate in
+  let n = Array.length table in
+  let rec go i =
+    if i >= n - 1 then fst table.(n - 1)
+    else begin
+      let _, cum = table.(i) in
+      if u <= cum then fst table.(i) else go (i + 1)
+    end
+  in
+  if n = 0 then 0 else go 0
+
+let qdisc_of = function
+  | Fifo -> Qdisc.Fifo
+  | Fs_priority -> Qdisc.Preemptive_priority
+  | Fair_queueing -> Qdisc.Fair_queueing
+
+let run ~net ~rates ~discipline ~seed ?warmup ~horizon () =
+  let n_conns = Network.num_connections net in
+  let n_gws = Network.num_gateways net in
+  if Array.length rates <> n_conns then
+    invalid_arg "Netsim.run: rates length mismatch";
+  Array.iter
+    (fun r ->
+      if (not (Float.is_finite r)) || r < 0. then
+        invalid_arg "Netsim.run: rates must be finite and non-negative")
+    rates;
+  let warmup = match warmup with Some w -> w | None -> 0.1 *. horizon in
+  if not (horizon > warmup && warmup >= 0.) then
+    invalid_arg "Netsim.run: need horizon > warmup >= 0";
+  let sim = Sim.create () in
+  let root_rng = Rng.create seed in
+  let measure = Measure.create () in
+  (* Paths as arrays for O(1) next-hop lookup. *)
+  let paths =
+    Array.init n_conns (fun i -> Array.of_list (Network.gateways_of_connection net i))
+  in
+  (* Per (gateway, connection) FS class tables. *)
+  let class_tables = Hashtbl.create 64 in
+  if discipline = Fs_priority then
+    for a = 0 to n_gws - 1 do
+      let local_rates = Network.rates_at_gateway net ~rates a in
+      List.iter
+        (fun i ->
+          Hashtbl.add class_tables (a, i)
+            (fs_class_table ~local_rates ~rate:rates.(i)))
+        (Network.connections_at_gateway net a)
+    done;
+  let servers = Array.make n_gws None in
+  let server_of a =
+    match servers.(a) with Some s -> s | None -> assert false
+  in
+  (* Injection into gateway [a]: draw the FS priority class from a
+     dedicated stream, account occupancy, hand to the server. *)
+  let class_rng = Rng.split root_rng in
+  let inject a (pkt : Packet.t) =
+    (if discipline = Fs_priority then
+       match Hashtbl.find_opt class_tables (a, pkt.conn) with
+       | Some table -> pkt.klass <- draw_fs_class table class_rng ~rate:rates.(pkt.conn)
+       | None -> pkt.klass <- 0);
+    Measure.incr measure ~key:(a, pkt.conn) ~now:(Sim.now sim);
+    Server.inject (server_of a) pkt
+  in
+  (* Departure from gateway [a]: forward across the line (after the line's
+     latency) or deliver. *)
+  let on_depart a (pkt : Packet.t) =
+    Measure.decr measure ~key:(a, pkt.conn) ~now:(Sim.now sim);
+    let path = paths.(pkt.conn) in
+    let pos = ref (-1) in
+    Array.iteri (fun k g -> if g = a then pos := k) path;
+    let latency = (Network.gateway net a).Network.latency in
+    if !pos < Array.length path - 1 then begin
+      let next = path.(!pos + 1) in
+      Sim.schedule_after sim ~delay:latency (fun () -> inject next pkt)
+    end
+    else begin
+      let deliver () =
+        Measure.record_delay measure ~conn:pkt.conn (Sim.now sim -. pkt.born);
+        Measure.count_delivery measure ~conn:pkt.conn
+      in
+      if latency > 0. then Sim.schedule_after sim ~delay:latency deliver else deliver ()
+    end
+  in
+  for a = 0 to n_gws - 1 do
+    let rng = Rng.split root_rng in
+    servers.(a) <-
+      Some
+        (Server.create ~sim ~rng
+           ~mu:(Network.gateway net a).Network.mu
+           ~qdisc:(qdisc_of discipline) ~on_depart:(on_depart a) ())
+  done;
+  let sources =
+    Array.init n_conns (fun i ->
+        let rng = Rng.split root_rng in
+        Source.create ~sim ~rng ~conn:i ~rate:rates.(i)
+          ~emit:(fun pkt -> inject paths.(i).(0) pkt)
+          ())
+  in
+  Array.iter Source.start sources;
+  if warmup > 0. then Sim.schedule sim ~at:warmup (fun () -> Measure.reset measure ~now:warmup);
+  Sim.run ~until:horizon sim;
+  { net; measure; horizon; window = horizon -. warmup }
+
+let mean_queue r ~gw ~conn =
+  Measure.mean_occupancy r.measure ~key:(gw, conn) ~now:r.horizon
+
+let total_mean_queue r ~gw =
+  List.fold_left
+    (fun acc conn -> acc +. mean_queue r ~gw ~conn)
+    0.
+    (Network.connections_at_gateway r.net gw)
+
+let delay_mean r ~conn = Measure.delay_mean r.measure ~conn
+let delay_ci95 r ~conn = Measure.delay_ci95 r.measure ~conn
+
+let throughput r ~conn =
+  float_of_int (Measure.deliveries r.measure ~conn) /. r.window
+
+let window r = r.window

@@ -1,0 +1,52 @@
+(** Packet-level simulation of a whole network (paper §2.1 made
+    concrete).
+
+    Assembles Poisson sources, exponential servers, and line latencies
+    from a {!Ffc_topology.Network.t}; runs to a horizon; and reports
+    time-average per-connection queue lengths at every gateway,
+    end-to-end delays, and delivered throughput over the post-warmup
+    window.  Used to validate the analytic Q(r) functions (experiment
+    E12) and to study feedback with real delays (E13).
+
+    The Fair Share discipline is realized exactly as §2.2 defines it:
+    each packet is independently thinned into a priority level with
+    probability proportional to the level's rate increment, and gateways
+    run preemptive-resume priority service. *)
+
+open Ffc_topology
+
+type discipline =
+  | Fifo
+  | Fs_priority  (** Fair Share: thinning + preemptive priority. *)
+  | Fair_queueing  (** Bid-based Demers–Keshav–Shenker fair queueing. *)
+
+type result
+
+val run :
+  net:Network.t ->
+  rates:float array ->
+  discipline:discipline ->
+  seed:int ->
+  ?warmup:float ->
+  horizon:float ->
+  unit ->
+  result
+(** Simulates with per-connection Poisson rates [rates]. Statistics cover
+    [(warmup, horizon)]; [warmup] defaults to 10% of the horizon.
+    Raises [Invalid_argument] on negative rates, a rate-vector length
+    mismatch, or [horizon <= warmup]. *)
+
+val mean_queue : result -> gw:int -> conn:int -> float
+(** Time-average number of connection [conn]'s packets at gateway [gw] —
+    the simulated Q^a_i. 0 when the connection does not cross the
+    gateway. *)
+
+val total_mean_queue : result -> gw:int -> float
+
+val delay_mean : result -> conn:int -> float
+val delay_ci95 : result -> conn:int -> float
+val throughput : result -> conn:int -> float
+(** Delivered packets per unit time over the measurement window. *)
+
+val window : result -> float
+(** Length of the measurement window. *)

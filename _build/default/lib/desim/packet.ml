@@ -1,0 +1,9 @@
+type t = {
+  id : int;
+  conn : int;
+  born : float;
+  mutable klass : int;
+  mutable work : float;
+}
+
+let create ~id ~conn ~born = { id; conn; born; klass = 0; work = 0. }

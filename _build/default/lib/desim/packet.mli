@@ -1,0 +1,19 @@
+(** Packets flowing through the simulated network. *)
+
+type t = {
+  id : int;  (** Globally unique, assigned by the source. *)
+  conn : int;  (** Connection index within the network. *)
+  born : float;  (** Creation time, for end-to-end delay measurement. *)
+  mutable klass : int;
+      (** Priority class for the preemptive-priority (Fair Share)
+          discipline; 0 is the highest priority. Re-assigned per gateway
+          by the FS thinning. Ignored by FIFO. *)
+  mutable work : float;
+      (** Remaining service requirement at the current gateway, in units
+          of normalized work (service time = work/μ). Re-drawn at each
+          gateway per the paper's Poisson-output independence
+          assumption. *)
+}
+
+val create : id:int -> conn:int -> born:float -> t
+(** A packet with class 0 and no work assigned yet. *)

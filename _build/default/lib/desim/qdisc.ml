@@ -1,0 +1,100 @@
+type t = Fifo | Preemptive_priority | Fair_queueing
+
+(* Per-class storage for the priority discipline: resumed packets stack in
+   front (LIFO resume order is irrelevant as at most one packet is ever
+   preempted at a time per class), normal arrivals queue FCFS. *)
+type class_bucket = { mutable resumed : Packet.t list; arrivals : Packet.t Queue.t }
+
+type buffer =
+  | Fifo_buf of Packet.t Queue.t
+  | Prio_buf of (int, class_bucket) Hashtbl.t
+  | Fq_buf of fq_state
+
+and fq_state = {
+  bids : Packet.t Event_heap.t;  (** Keyed by finish-number bid. *)
+  last_finish : (int, float) Hashtbl.t;  (** Per connection. *)
+  mutable virtual_time : float;
+}
+
+let buffer = function
+  | Fifo -> Fifo_buf (Queue.create ())
+  | Preemptive_priority -> Prio_buf (Hashtbl.create 8)
+  | Fair_queueing ->
+    Fq_buf
+      { bids = Event_heap.create (); last_finish = Hashtbl.create 8; virtual_time = 0. }
+
+let bucket tbl klass =
+  match Hashtbl.find_opt tbl klass with
+  | Some b -> b
+  | None ->
+    let b = { resumed = []; arrivals = Queue.create () } in
+    Hashtbl.add tbl klass b;
+    b
+
+let enqueue buf (pkt : Packet.t) =
+  match buf with
+  | Fifo_buf q -> Queue.add pkt q
+  | Prio_buf tbl -> Queue.add pkt (bucket tbl pkt.klass).arrivals
+  | Fq_buf fq ->
+    let prev =
+      match Hashtbl.find_opt fq.last_finish pkt.conn with Some f -> f | None -> 0.
+    in
+    let bid = Float.max fq.virtual_time prev +. pkt.work in
+    Hashtbl.replace fq.last_finish pkt.conn bid;
+    Event_heap.push fq.bids ~time:bid pkt
+
+let dequeue buf =
+  match buf with
+  | Fifo_buf q -> Queue.take_opt q
+  | Prio_buf tbl ->
+    (* Scan classes in increasing number (decreasing priority). *)
+    let best = ref None in
+    Hashtbl.iter
+      (fun klass b ->
+        if b.resumed <> [] || not (Queue.is_empty b.arrivals) then
+          match !best with
+          | Some (k, _) when k <= klass -> ()
+          | _ -> best := Some (klass, b))
+      tbl;
+    (match !best with
+    | None -> None
+    | Some (_, b) -> (
+      match b.resumed with
+      | pkt :: rest ->
+        b.resumed <- rest;
+        Some pkt
+      | [] -> Queue.take_opt b.arrivals))
+  | Fq_buf fq -> (
+    match Event_heap.pop_min fq.bids with
+    | None -> None
+    | Some (bid, pkt) ->
+      fq.virtual_time <- Float.max fq.virtual_time bid;
+      Some pkt)
+
+let requeue_front buf (pkt : Packet.t) =
+  match buf with
+  | Fifo_buf q ->
+    (* FIFO is non-preemptive; requeue only happens if a caller misuses
+       the discipline — preserve the packet anyway. *)
+    Queue.add pkt q
+  | Prio_buf tbl ->
+    let b = bucket tbl pkt.klass in
+    b.resumed <- pkt :: b.resumed
+  | Fq_buf fq ->
+    (* Resume with its original bid semantics: re-bid at current virtual
+       time without charging a second full quantum. *)
+    Event_heap.push fq.bids ~time:fq.virtual_time pkt
+
+let preempts t ~incoming ~in_service =
+  match t with
+  | Fifo | Fair_queueing -> false
+  | Preemptive_priority -> incoming.Packet.klass < in_service.Packet.klass
+
+let waiting buf =
+  match buf with
+  | Fifo_buf q -> Queue.length q
+  | Prio_buf tbl ->
+    Hashtbl.fold
+      (fun _ b acc -> acc + List.length b.resumed + Queue.length b.arrivals)
+      tbl 0
+  | Fq_buf fq -> Event_heap.size fq.bids

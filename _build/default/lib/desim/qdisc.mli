@@ -1,0 +1,42 @@
+(** Queue disciplines for the simulated gateways.
+
+    Three disciplines are provided:
+    - [Fifo] — arrival order, the baseline of the paper;
+    - [Preemptive_priority] — serves the lowest [klass] first, preempting
+      the packet in service when a strictly higher-priority packet
+      arrives; combined with the Fair Share thinning of sources this
+      realizes the FS discipline of §2.2 exactly;
+    - [Fair_queueing] — the bid-based packet-level approximation of
+      head-of-line processor sharing from Demers–Keshav–Shenker
+      [Dem89], non-preemptive, which §4 discusses as the realistic
+      counterpart of Fair Share.
+
+    A [buffer] holds waiting packets; the server drives it through
+    [enqueue]/[dequeue] and consults [preempts] on arrivals. *)
+
+type t = Fifo | Preemptive_priority | Fair_queueing
+
+type buffer
+
+val buffer : t -> buffer
+
+val enqueue : buffer -> Packet.t -> unit
+(** Adds a packet to the waiting set.  For [Fair_queueing] this also
+    assigns the packet its finish-number bid from the connection's
+    previous finish number and the current virtual time. *)
+
+val dequeue : buffer -> Packet.t option
+(** Removes the next packet to serve: head of line (FIFO), lowest class
+    with FCFS within class and resumed packets first
+    ([Preemptive_priority]), or smallest bid ([Fair_queueing], which also
+    advances the virtual time). *)
+
+val requeue_front : buffer -> Packet.t -> unit
+(** Puts a preempted packet back so it resumes before any waiting packet
+    of its own class. Only meaningful for [Preemptive_priority]. *)
+
+val preempts : t -> incoming:Packet.t -> in_service:Packet.t -> bool
+(** Whether the incoming packet must preempt the one in service. *)
+
+val waiting : buffer -> int
+(** Number of packets currently buffered (excluding any in service). *)

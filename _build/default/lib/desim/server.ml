@@ -1,0 +1,81 @@
+open Ffc_numerics
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  mu : float;
+  qdisc : Qdisc.t;
+  buffer : Qdisc.buffer;
+  buffer_limit : int option;
+  on_drop : Packet.t -> unit;
+  on_depart : Packet.t -> unit;
+  mutable current : (Packet.t * float * int) option;
+      (** In-service packet, its completion time, and the validity token
+          of its scheduled completion event. *)
+  mutable next_token : int;
+}
+
+let create ~sim ~rng ~mu ~qdisc ?buffer_limit ?(on_drop = fun _ -> ()) ~on_depart () =
+  if not (mu > 0.) then invalid_arg "Server.create: mu must be positive";
+  (match buffer_limit with
+  | Some k when k < 1 -> invalid_arg "Server.create: buffer_limit must be >= 1"
+  | Some _ | None -> ());
+  {
+    sim;
+    rng;
+    mu;
+    qdisc;
+    buffer = Qdisc.buffer qdisc;
+    buffer_limit;
+    on_drop;
+    on_depart;
+    current = None;
+    next_token = 0;
+  }
+
+let rec start_service t (pkt : Packet.t) =
+  let token = t.next_token in
+  t.next_token <- token + 1;
+  let service_time = pkt.work /. t.mu in
+  let completion = Sim.now t.sim +. service_time in
+  t.current <- Some (pkt, completion, token);
+  Sim.schedule t.sim ~at:completion (fun () -> complete t token)
+
+and complete t token =
+  match t.current with
+  | Some (pkt, _, tok) when tok = token ->
+    t.current <- None;
+    t.on_depart pkt;
+    start_next t
+  | Some _ | None -> () (* Stale completion of a preempted service. *)
+
+and start_next t =
+  match Qdisc.dequeue t.buffer with
+  | Some pkt -> start_service t pkt
+  | None -> ()
+
+let in_system_count t =
+  Qdisc.waiting t.buffer + match t.current with Some _ -> 1 | None -> 0
+
+let inject_admitted t (pkt : Packet.t) =
+  pkt.work <- Rng.exponential t.rng ~rate:1.;
+  Qdisc.enqueue t.buffer pkt;
+  match t.current with
+  | None -> start_next t
+  | Some (cur, completion, _) when Qdisc.preempts t.qdisc ~incoming:pkt ~in_service:cur ->
+    (* Preempt-resume: bank the remaining work and invalidate the pending
+       completion by clearing [current] before restarting. *)
+    cur.work <- (completion -. Sim.now t.sim) *. t.mu;
+    t.current <- None;
+    Qdisc.requeue_front t.buffer cur;
+    start_next t
+  | Some _ -> ()
+
+let inject t (pkt : Packet.t) =
+  match t.buffer_limit with
+  | Some limit when in_system_count t >= limit -> t.on_drop pkt
+  | Some _ | None -> inject_admitted t pkt
+
+let in_system = in_system_count
+
+let busy t = t.current <> None

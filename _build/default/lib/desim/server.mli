@@ -1,0 +1,38 @@
+(** An exponential server with a pluggable queue discipline — one
+    simulated gateway.
+
+    Service requirements are exponential: each packet's [work] is drawn
+    Exp(1) on arrival at the server, and service takes work/μ time
+    (so per-gateway service times are Exp(μ), independent across gateways
+    per the paper's Poisson-output assumption).  Preemption is
+    preempt-resume: the interrupted packet keeps its remaining work. *)
+
+type t
+
+val create :
+  sim:Sim.t ->
+  rng:Ffc_numerics.Rng.t ->
+  mu:float ->
+  qdisc:Qdisc.t ->
+  ?buffer_limit:int ->
+  ?on_drop:(Packet.t -> unit) ->
+  on_depart:(Packet.t -> unit) ->
+  unit ->
+  t
+(** [on_depart] fires at the instant a packet completes service.
+    [buffer_limit], when given, caps the number of packets in the system
+    (waiting + in service): an arrival finding the system full is dropped
+    at the door ([on_drop] fires, nothing else happens) — the drop-tail
+    behaviour whose losses serve as the implicit congestion signal of
+    Jacobson's algorithm (paper §1).  The paper's own model assumes
+    infinite buffers, the default. *)
+
+val inject : t -> Packet.t -> unit
+(** Packet arrival. Draws the packet's work, may start service
+    immediately or preempt the packet in service (per the discipline). *)
+
+val in_system : t -> int
+(** Instantaneous number of packets at the server (waiting + in
+    service). *)
+
+val busy : t -> bool

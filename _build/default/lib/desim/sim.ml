@@ -1,0 +1,39 @@
+type t = { heap : (unit -> unit) Event_heap.t; mutable clock : float }
+
+let create () = { heap = Event_heap.create (); clock = 0. }
+
+let now t = t.clock
+
+let schedule t ~at thunk =
+  if not (Float.is_finite at) then invalid_arg "Sim.schedule: non-finite time";
+  if at < t.clock then invalid_arg "Sim.schedule: time in the past";
+  Event_heap.push t.heap ~time:at thunk
+
+let schedule_after t ~delay thunk =
+  if (not (Float.is_finite delay)) || delay < 0. then
+    invalid_arg "Sim.schedule_after: bad delay";
+  schedule t ~at:(t.clock +. delay) thunk
+
+let step t =
+  match Event_heap.pop_min t.heap with
+  | None -> false
+  | Some (time, thunk) ->
+    t.clock <- time;
+    thunk ();
+    true
+
+let run ?until t =
+  let continue () =
+    match (Event_heap.peek_min t.heap, until) with
+    | None, _ -> false
+    | Some _, None -> true
+    | Some (time, _), Some stop -> time <= stop
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some stop when stop > t.clock -> t.clock <- stop
+  | Some _ | None -> ()
+
+let pending t = Event_heap.size t.heap

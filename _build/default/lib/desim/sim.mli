@@ -1,0 +1,29 @@
+(** Discrete-event simulation core: a clock and an event calendar.
+
+    Events are thunks executed in timestamp order (ties broken by
+    scheduling order); executing an event may schedule further events.
+    Time never flows backwards. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time (0 before the first event). *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** Raises [Invalid_argument] when [at] is in the past or non-finite. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> unit
+(** [delay] must be non-negative and finite. *)
+
+val step : t -> bool
+(** Executes the next event; [false] when the calendar is empty. *)
+
+val run : ?until:float -> t -> unit
+(** Executes events until the calendar empties or the next event is past
+    [until]; the clock is then advanced to [until] when given (so
+    time-weighted measurements can close their window there). *)
+
+val pending : t -> int
+(** Number of scheduled events. *)

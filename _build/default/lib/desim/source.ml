@@ -1,0 +1,65 @@
+open Ffc_numerics
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  conn : int;
+  mutable rate : float;
+  classify : (Rng.t -> int) option;
+  emit : Packet.t -> unit;
+  mutable next_id : int;
+  mutable emitted : int;
+  mutable started : bool;
+  mutable pending : bool;  (** An arrival event is scheduled. *)
+}
+
+let check_rate rate =
+  if (not (Float.is_finite rate)) || rate < 0. then
+    invalid_arg "Source: rate must be finite and non-negative"
+
+let create ~sim ~rng ~conn ~rate ?classify ~emit () =
+  check_rate rate;
+  {
+    sim;
+    rng;
+    conn;
+    rate;
+    classify;
+    emit;
+    next_id = 0;
+    emitted = 0;
+    started = false;
+    pending = false;
+  }
+
+let rec arrival t () =
+  t.pending <- false;
+  let pkt = Packet.create ~id:t.next_id ~conn:t.conn ~born:(Sim.now t.sim) in
+  t.next_id <- t.next_id + 1;
+  t.emitted <- t.emitted + 1;
+  (match t.classify with Some f -> pkt.klass <- f t.rng | None -> ());
+  t.emit pkt;
+  schedule_next t
+
+and schedule_next t =
+  if t.rate > 0. && not t.pending then begin
+    t.pending <- true;
+    Sim.schedule_after t.sim ~delay:(Rng.exponential t.rng ~rate:t.rate) (arrival t)
+  end
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    schedule_next t
+  end
+
+let rate t = t.rate
+
+let set_rate t rate =
+  check_rate rate;
+  t.rate <- rate;
+  (* Wake a stopped source; a pending arrival keeps its old draw and the
+     new rate applies from the following gap. *)
+  if t.started then schedule_next t
+
+let emitted t = t.emitted

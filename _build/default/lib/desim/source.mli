@@ -1,0 +1,38 @@
+(** Poisson packet sources (paper §2.1).
+
+    A source emits packets for one connection with exponential
+    interarrival gaps.  The rate is adjustable at runtime ({!set_rate}),
+    which is what closed-loop flow control drives: a change takes effect
+    from the next scheduled gap (at most one in-flight interarrival uses
+    the old rate).  An optional [classify] hook assigns each packet its
+    priority class at emission — the Fair Share thinning installs its
+    per-gateway class draw at injection instead, so the source-level hook
+    is mainly for single-gateway tests. *)
+
+type t
+
+val create :
+  sim:Sim.t ->
+  rng:Ffc_numerics.Rng.t ->
+  conn:int ->
+  rate:float ->
+  ?classify:(Ffc_numerics.Rng.t -> int) ->
+  emit:(Packet.t -> unit) ->
+  unit ->
+  t
+(** [rate] must be non-negative; a zero-rate source never emits. The
+    source starts emitting when [start] is called. *)
+
+val start : t -> unit
+(** Schedules the first arrival. Idempotent. *)
+
+val rate : t -> float
+(** The current sending rate. *)
+
+val set_rate : t -> float -> unit
+(** Changes the sending rate.  Raising the rate of a stopped (zero-rate)
+    source restarts it; lowering it to zero lets the pending arrival fire
+    and then stops.  Rates must be finite and non-negative. *)
+
+val emitted : t -> int
+(** Packets emitted so far. *)

@@ -1,0 +1,1 @@
+lib/experiments/e01_table1.ml: Array Exp_common Fair_share Ffc_queueing List Printf

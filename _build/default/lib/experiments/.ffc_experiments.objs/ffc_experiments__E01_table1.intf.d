@@ -1,0 +1,1 @@
+lib/experiments/e01_table1.mli: Exp_common

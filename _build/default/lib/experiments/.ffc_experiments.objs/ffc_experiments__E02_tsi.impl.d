@@ -1,0 +1,1 @@
+lib/experiments/e02_tsi.ml: Array Controller Exp_common Feedback Ffc_core Ffc_numerics Ffc_topology List Network Rate_adjust Topologies Vec

@@ -1,0 +1,1 @@
+lib/experiments/e02_tsi.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/e03_aggregate_fairness.ml: Array Controller Exp_common Fairness Feedback Ffc_core Ffc_numerics Ffc_topology Float List Printf Rng Scenario Signal Steady_state Topologies Vec

@@ -1,0 +1,1 @@
+lib/experiments/e03_aggregate_fairness.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/e04_individual_fairness.ml: Controller Exp_common Fairness Feedback Ffc_core Ffc_numerics Ffc_topology List Network Rng Scenario Signal Steady_state Topologies Vec

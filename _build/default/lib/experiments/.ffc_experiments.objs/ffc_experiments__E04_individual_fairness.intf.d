@@ -1,0 +1,1 @@
+lib/experiments/e04_individual_fairness.mli: Exp_common

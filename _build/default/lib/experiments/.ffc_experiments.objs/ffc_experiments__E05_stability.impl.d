@@ -1,0 +1,1 @@
+lib/experiments/e05_stability.ml: Array Complex Controller Eigen Exp_common Feedback Ffc_core Ffc_numerics Ffc_topology Jacobian List Printf Rate_adjust Topologies

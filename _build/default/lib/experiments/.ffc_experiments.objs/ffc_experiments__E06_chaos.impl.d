@@ -1,0 +1,1 @@
+lib/experiments/e06_chaos.ml: Array Ascii_plot Congestion Controller Dynamics Exp_common Feedback Ffc_core Ffc_numerics Ffc_queueing Ffc_topology Float List Printf Rate_adjust Signal Topologies

@@ -1,0 +1,1 @@
+lib/experiments/e06_chaos.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/e07_triangular.ml: Array Complex Controller Eigen Exp_common Feedback Ffc_core Ffc_numerics Ffc_topology Float Jacobian Printf Rate_adjust Rng Scenario Topologies

@@ -1,0 +1,1 @@
+lib/experiments/e08_starvation.ml: Array Ascii_plot Controller Exp_common Feedback Ffc_core Ffc_numerics Ffc_queueing Ffc_topology Printf Scenario Signal Topologies

@@ -1,0 +1,1 @@
+lib/experiments/e08_starvation.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/e09_robustness.ml: Analysis Controller Exp_common Ffc_core Ffc_numerics Ffc_queueing Ffc_topology List Rng Robustness Scenario Service Signal Topologies Vec

@@ -1,0 +1,1 @@
+lib/experiments/e10_decbit.ml: Array Controller Exp_common Feedback Ffc_core Ffc_numerics Ffc_topology Float Network Rate_adjust Vec

@@ -1,0 +1,1 @@
+lib/experiments/e11_delay.ml: Array Exp_common Ffc_queueing List Mm1 Service

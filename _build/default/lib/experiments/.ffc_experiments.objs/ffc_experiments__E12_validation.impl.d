@@ -1,0 +1,1 @@
+lib/experiments/e12_validation.ml: Array Exp_common Fair_share Ffc_desim Ffc_numerics Ffc_queueing Ffc_topology Fifo Float List Netsim Printf Topologies

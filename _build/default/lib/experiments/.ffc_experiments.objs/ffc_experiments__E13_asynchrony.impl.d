@@ -1,0 +1,1 @@
+lib/experiments/e13_asynchrony.ml: Array Exp_common Feedback Ffc_core Ffc_numerics Ffc_topology Float List Rate_adjust Topologies Vec

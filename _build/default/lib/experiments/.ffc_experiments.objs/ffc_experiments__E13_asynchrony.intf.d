@@ -1,0 +1,1 @@
+lib/experiments/e13_asynchrony.mli: Exp_common

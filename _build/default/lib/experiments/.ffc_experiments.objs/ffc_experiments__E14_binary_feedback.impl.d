@@ -1,0 +1,1 @@
+lib/experiments/e14_binary_feedback.ml: Array Congestion Controller Exp_common Feedback Ffc_core Ffc_numerics Ffc_queueing Ffc_topology Float List Printf Rate_adjust Signal Topologies Vec

@@ -1,0 +1,1 @@
+lib/experiments/e14_binary_feedback.mli: Exp_common

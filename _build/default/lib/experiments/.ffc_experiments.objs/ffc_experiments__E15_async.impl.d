@@ -1,0 +1,1 @@
+lib/experiments/e15_async.ml: Controller Exp_common Feedback Ffc_core Ffc_numerics Ffc_topology List Rng Scenario Signal Steady_state Topologies Vec

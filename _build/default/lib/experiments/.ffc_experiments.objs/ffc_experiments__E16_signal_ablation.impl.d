@@ -1,0 +1,1 @@
+lib/experiments/e16_signal_ablation.ml: Congestion Controller Exp_common Fairness Feedback Ffc_core Ffc_numerics Ffc_queueing Ffc_topology Float List Mm1 Scenario Service Signal Topologies Vec

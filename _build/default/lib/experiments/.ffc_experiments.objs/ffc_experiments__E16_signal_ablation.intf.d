@@ -1,0 +1,1 @@
+lib/experiments/e16_signal_ablation.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/e17_closed_loop.ml: Array Closed_loop Congestion Exp_common Ffc_closedloop Ffc_core Ffc_numerics Ffc_topology Float List Robustness Scenario Signal Steady_state Topologies Vec

@@ -1,0 +1,1 @@
+lib/experiments/e17_closed_loop.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/e18_weighted.ml: Array Congestion Controller Exp_common Feedback Ffc_core Ffc_numerics Ffc_queueing Ffc_topology Float Scenario Signal Topologies Vec Weighted_fair_share

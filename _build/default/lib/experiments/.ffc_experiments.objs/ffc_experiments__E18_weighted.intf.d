@@ -1,0 +1,1 @@
+lib/experiments/e18_weighted.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/e19_implicit.ml: Array Closed_loop Exp_common Ffc_closedloop Ffc_core Ffc_numerics Ffc_topology Rate_adjust Stats Topologies Vec

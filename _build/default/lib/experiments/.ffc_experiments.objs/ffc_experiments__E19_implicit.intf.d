@@ -1,0 +1,1 @@
+lib/experiments/e19_implicit.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/e20_game.ml: Array Exp_common Ffc_game Ffc_numerics Ffc_queueing List Nash Service Utility Vec

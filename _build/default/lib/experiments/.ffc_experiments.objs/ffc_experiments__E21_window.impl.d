@@ -1,0 +1,1 @@
+lib/experiments/e21_window.ml: Array Exp_common Feedback Ffc_core Ffc_numerics Ffc_topology Float Network Printf Vec Window

@@ -1,0 +1,1 @@
+lib/experiments/e21_window.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/e22_gain.ml: Analysis Array Complex Controller Eigen Exp_common Ffc_core Ffc_numerics Ffc_topology Jacobian List Rate_adjust Topologies

@@ -1,0 +1,1 @@
+lib/experiments/e22_gain.mli: Exp_common

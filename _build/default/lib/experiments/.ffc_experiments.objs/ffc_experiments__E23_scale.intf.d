@@ -1,0 +1,1 @@
+lib/experiments/e23_scale.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/e24_transient.ml: Array Exp_common Feedback Ffc_core Ffc_numerics Ffc_topology List Scenario Signal Steady_state Topologies Transient Vec

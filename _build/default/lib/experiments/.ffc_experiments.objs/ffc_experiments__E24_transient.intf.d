@@ -1,0 +1,1 @@
+lib/experiments/e24_transient.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Float List Printf Stdlib String

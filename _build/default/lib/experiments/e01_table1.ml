@@ -1,0 +1,44 @@
+open Ffc_queueing
+
+let rates = [| 1.; 2.; 4.; 7. |]
+
+let compute () = Fair_share.decomposition rates
+
+let run () =
+  let d = compute () in
+  let levels = [ "A"; "B"; "C"; "D" ] in
+  let header = "connection" :: List.map (fun l -> "level " ^ l) levels @ [ "sum" ] in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i row ->
+           let cells =
+             Array.to_list
+               (Array.map
+                  (fun x -> if x = 0. then "-" else Exp_common.fnum x)
+                  row)
+           in
+           (string_of_int (i + 1) :: cells)
+           @ [ Exp_common.fnum (Array.fold_left ( +. ) 0. row) ])
+         d)
+  in
+  let symbolic =
+    "Paper's symbolic Table 1 (r1 <= r2 <= r3 <= r4):\n\
+    \  conn 1: r1  -      -      -\n\
+    \  conn 2: r1  r2-r1  -      -\n\
+    \  conn 3: r1  r2-r1  r3-r2  -\n\
+    \  conn 4: r1  r2-r1  r3-r2  r4-r3\n\n"
+  in
+  symbolic
+  ^ Printf.sprintf "Instantiated at r = (1, 2, 4, 7):\n\n%s"
+      (Exp_common.table ~header ~rows)
+  ^ "\nEach row sums to the connection's rate; level A carries every\n\
+     connection at the smallest rate, realizing the FS protection.\n"
+
+let experiment =
+  {
+    Exp_common.id = "E1";
+    title = "Fair Share priority decomposition";
+    paper_ref = "Table 1, \xc2\xa72.2";
+    run;
+  }

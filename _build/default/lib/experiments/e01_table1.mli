@@ -1,0 +1,12 @@
+(** E1 — Reproduces Table 1: the Fair Share priority decomposition for
+    four connections with increasing rates. *)
+
+val rates : float array
+(** The concrete rates used (1, 2, 4, 7 — any increasing quadruple
+    instantiates the paper's symbolic table). *)
+
+val compute : unit -> float array array
+(** The decomposition matrix: rows = connections, columns = priority
+    levels A, B, C, D. *)
+
+val experiment : Exp_common.t

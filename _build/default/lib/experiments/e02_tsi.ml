@@ -1,0 +1,88 @@
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+
+type row = {
+  algorithm : string;
+  scale : float;
+  steady : float array;
+  scales_linearly : bool;
+  latency_invariant : bool;
+}
+
+let base_net = Topologies.parking_lot ~mu:1. ~latency:0.1 ~hops:2 ()
+
+let converge adjuster net =
+  let n = Network.num_connections net in
+  let c = Controller.homogeneous ~config:Feedback.individual_fifo ~adjuster ~n in
+  match Controller.run ~max_steps:60_000 c ~net ~r0:(Array.make n 0.01) with
+  | Controller.Converged { steady; _ } -> Some steady
+  | Controller.Cycle _ | Controller.Diverged _ | Controller.No_convergence _ -> None
+
+let algorithms =
+  [
+    ("additive (TSI)", Rate_adjust.additive ~eta:0.1 ~beta:0.5);
+    ("fair-rate LIMD", Rate_adjust.fair_rate_limd ~eta:0.05 ~beta:0.5);
+    ("DECbit window", Rate_adjust.decbit_window ~eta:0.05 ~beta:0.5);
+  ]
+
+let scales = [ 0.5; 2.; 10. ]
+
+let compute () =
+  List.concat_map
+    (fun (name, adjuster) ->
+      match converge adjuster base_net with
+      | None -> []
+      | Some base ->
+        let latency_invariant =
+          match
+            converge adjuster
+              (Network.with_latencies base_net
+                 (Array.make (Network.num_gateways base_net) 10.))
+          with
+          | Some steady -> Vec.approx_equal ~tol:1e-4 steady base
+          | None -> false
+        in
+        List.map
+          (fun c ->
+            let scaled_net = Network.scale_mu base_net c in
+            let steady, scales_linearly =
+              match converge adjuster scaled_net with
+              | Some steady ->
+                (steady, Vec.approx_equal ~tol:1e-4 steady (Vec.scale c base))
+              | None -> ([||], false)
+            in
+            { algorithm = name; scale = c; steady; scales_linearly; latency_invariant })
+          scales)
+    algorithms
+
+let run () =
+  let rows = compute () in
+  let header =
+    [ "algorithm"; "mu scale"; "steady state"; "r(c*mu)=c*r(mu)"; "latency-inv" ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        [
+          r.algorithm;
+          Exp_common.fnum r.scale;
+          (if Array.length r.steady = 0 then "(no convergence)"
+           else Vec.to_string r.steady);
+          Exp_common.fbool r.scales_linearly;
+          Exp_common.fbool r.latency_invariant;
+        ])
+      rows
+  in
+  Exp_common.table ~header ~rows:body
+  ^ "\nExpected per Theorem 1: only the additive algorithm passes both\n\
+     columns; fair-rate LIMD is latency-invariant but does not scale;\n\
+     the DECbit window form fails both.\n"
+
+let experiment =
+  {
+    Exp_common.id = "E2";
+    title = "Time-scale invariance (Theorem 1)";
+    paper_ref = "Theorem 1, \xc2\xa73.1, \xc2\xa74";
+    run;
+  }

@@ -1,0 +1,19 @@
+(** E2 — Theorem 1: time-scale invariance.
+
+    Converges the same network under (a) server rates scaled by c and
+    (b) latencies stretched 100x, for a TSI algorithm (additive) and two
+    non-TSI comparators (fair-rate LIMD and the DECbit window form).
+    A TSI algorithm must scale its steady state linearly with c and
+    ignore latencies; the comparators must fail the respective test. *)
+
+type row = {
+  algorithm : string;
+  scale : float;  (** Server-rate scaling factor applied. *)
+  steady : float array;
+  scales_linearly : bool;  (** r(cμ) = c·r(μ) within tolerance. *)
+  latency_invariant : bool;
+}
+
+val compute : unit -> row list
+
+val experiment : Exp_common.t

@@ -1,0 +1,22 @@
+(** E3 — Theorem 2: aggregate feedback is potentially but never
+    guaranteed fair.
+
+    Runs TSI aggregate feedback at a single gateway from many random
+    initial rate vectors: every run converges (to Σr = βμ) but each
+    keeps its initial spread — a manifold of unfair steady states — while
+    the water-filling construction yields the one fair point. *)
+
+type result = {
+  steady_states : float array array;  (** One converged vector per start. *)
+  totals : float array;  (** Σr of each — all equal βμ. *)
+  fair_count : int;  (** How many random runs landed fair (generically 0). *)
+  jain_min : float;
+  jain_max : float;
+  constructed_fair : float array;  (** The Theorem-2 construction. *)
+  constructed_is_steady : bool;
+  constructed_is_fair : bool;
+}
+
+val compute : ?runs:int -> ?seed:int -> unit -> result
+
+val experiment : Exp_common.t

@@ -1,0 +1,19 @@
+(** E4 — Theorem 3 and its Corollary: TSI individual feedback is
+    guaranteed fair, with a unique steady state independent of the
+    service discipline.
+
+    Sweeps random topologies x random initial conditions x {FIFO, FS};
+    every converged run must be fair and match the water-filling
+    prediction. *)
+
+type result = {
+  trials : int;
+  converged : int;
+  fair : int;
+  matched_prediction : int;  (** Steady state equals the construction. *)
+  disciplines_agree : int;  (** FIFO and FS runs landed together. *)
+}
+
+val compute : ?trials:int -> ?seed:int -> unit -> result
+
+val experiment : Exp_common.t

@@ -1,0 +1,19 @@
+(** E5 — §3.3's instability example: unilateral stability does not imply
+    systemic stability for aggregate feedback.
+
+    Single gateway, μ = 1, B = C/(1+C), f = η(β−b): the stability matrix
+    is DF = I − η·1·1ᵀ with unilateral entries 1−η and leading eigenvalue
+    1−ηN.  Sweeping N shows the predicted threshold N* = 2/η between
+    convergence and oscillation. *)
+
+type row = {
+  n : int;
+  unilateral : float;  (** DF_ii = 1 − η. *)
+  predicted_eigenvalue : float;  (** 1 − ηN. *)
+  measured_eigenvalue : float;  (** From the numeric Jacobian. *)
+  converged : bool;  (** Dynamics from a slightly perturbed fair start. *)
+}
+
+val compute : ?eta:float -> ?ns:int list -> unit -> row list
+
+val experiment : Exp_common.t

@@ -1,0 +1,107 @@
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+
+type row = { n : int; untruncated : string; truncated : string }
+
+let scalar_map ?(truncate = true) ~eta ~beta ~n x =
+  let nx = float_of_int n *. x in
+  let next = x +. (eta *. (beta -. (nx *. nx))) in
+  if truncate then Float.max 0. next else next
+
+let reduction_is_exact () =
+  let eta = 0.1 and beta = 0.5 and n = 8 in
+  let net = Topologies.single ~mu:1. ~n () in
+  let config =
+    Feedback.make ~style:Congestion.Aggregate ~signal:(Signal.power 2.)
+      ~discipline:Ffc_queueing.Service.fifo ()
+  in
+  let c =
+    Controller.homogeneous ~config ~adjuster:(Rate_adjust.additive ~eta ~beta) ~n
+  in
+  let r0 = 0.03 in
+  let vec_traj = Controller.trajectory c ~net ~r0:(Array.make n r0) ~steps:50 in
+  let ok = ref true in
+  let x = ref r0 in
+  Array.iteri
+    (fun k state ->
+      if k > 0 then begin
+        x := scalar_map ~eta ~beta ~n !x;
+        Array.iter
+          (fun ri -> if Float.abs (ri -. !x) > 1e-9 *. (1. +. !x) then ok := false)
+          state
+      end)
+    vec_traj;
+  !ok
+
+let classification_name = function
+  | Dynamics.Fixed_point _ -> "fixed-point"
+  | Dynamics.Cycle c -> Printf.sprintf "period-%d" (Array.length c)
+  | Dynamics.Chaotic l -> Printf.sprintf "chaotic(%.2f)" l
+  | Dynamics.Aperiodic _ -> "aperiodic"
+  | Dynamics.Divergent -> "divergent"
+
+let compute ?(eta = 0.1) ?(beta = 0.5)
+    ?(ns = [ 4; 8; 14; 16; 18; 19; 20; 21; 22; 26 ]) () =
+  List.map
+    (fun n ->
+      let x0 = 0.9 *. sqrt beta /. float_of_int n in
+      let classify truncate =
+        classification_name
+          (Dynamics.classify (scalar_map ~truncate ~eta ~beta ~n) ~x0)
+      in
+      { n; untruncated = classify false; truncated = classify true })
+    ns
+
+let bifurcation_diagram ?(eta = 0.1) ?(beta = 0.5) () =
+  let params = Array.init 60 (fun k -> 4. +. (float_of_int k *. 0.5)) in
+  let scan =
+    Dynamics.bifurcation_scan
+      (fun p x -> scalar_map ~eta ~beta ~n:(int_of_float p) x)
+      ~params ~x0:0.02 ~keep:48
+  in
+  let points =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun (p, samples) ->
+              (* Normalize orbit values by the fixed-point scale so the
+                 diagram stays readable across N. *)
+              Array.map (fun x -> (p, x *. p)) samples)
+            scan))
+  in
+  Ascii_plot.scatter ~width:70 ~height:24
+    ~title:
+      (Printf.sprintf
+         "bifurcation (truncated map): orbit samples (scaled by N) vs N   \
+          [eta=%g beta=%g]" eta beta)
+    ~x_label:"N (connections)" ~y_label:"N*r (post-transient samples)" points
+
+let run () =
+  let rows = compute () in
+  let header = [ "N"; "paper recursion (no clamp)"; "model map (clamped at 0)" ] in
+  let body =
+    List.map (fun r -> [ string_of_int r.n; r.untruncated; r.truncated ]) rows
+  in
+  Printf.sprintf "Reduction of the vector iteration to the scalar map is exact: %s\n\n"
+    (Exp_common.fbool (reduction_is_exact ()))
+  ^ Exp_common.table ~header ~rows:body
+  ^ Printf.sprintf
+      "\n\
+       The paper's recursion shows the full progression it describes:\n\
+       stable (N < 1/(eta*sqrt(beta)) = %.1f) -> period doubling -> chaos\n\
+       (positive Lyapunov exponents in parentheses, with the classical\n\
+       period-3 window at N = 20) -> divergence.  The flow-control model's\n\
+       truncation at r = 0 replaces the chaotic/divergent band with\n\
+       relaxation cycles through zero — oscillatory, as the paper says,\n\
+       though no longer formally chaotic.\n\n"
+      (1. /. (0.1 *. sqrt 0.5))
+  ^ bifurcation_diagram ()
+
+let experiment =
+  {
+    Exp_common.id = "E6";
+    title = "Route to chaos of unstable aggregate feedback";
+    paper_ref = "\xc2\xa73.3 (Collet-Eckmann remark)";
+    run;
+  }

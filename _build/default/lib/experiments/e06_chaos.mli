@@ -1,0 +1,36 @@
+(** E6 — §3.3's route to chaos (the paper's implicit "figure").
+
+    With B = (C/(1+C))² at a single gateway, the symmetric aggregate map
+    reduces to the scalar quadratic recursion r' = r + η(β − (Nr)²)
+    (the paper's F = r + ηN(β − r²) up to rescaling).  Increasing N
+    drives the recursion from a stable fixed point through period
+    doubling to chaos (Collet–Eckmann) and finally divergence.
+
+    The flow-control model additionally truncates rates at zero; the
+    truncated map replaces both the chaotic band and divergence with
+    relaxation cycles through r = 0 — a finding this reproduction makes
+    explicit.  The experiment reports both maps side by side and draws
+    the bifurcation diagram of the truncated one. *)
+
+type row = {
+  n : int;
+  untruncated : string;
+      (** Orbit class of the paper's literal recursion:
+          "fixed-point" | "period-k" | "chaotic(λ)" | "divergent". *)
+  truncated : string;  (** Same map with the model's max(0, ·) clamp. *)
+}
+
+val scalar_map : ?truncate:bool -> eta:float -> beta:float -> n:int -> float -> float
+(** The reduced map ([truncate] defaults to [true], matching the
+    flow-control model). *)
+
+val reduction_is_exact : unit -> bool
+(** Checks that the full N-connection vector iteration from a symmetric
+    start follows the (truncated) scalar map exactly for 50 steps. *)
+
+val compute : ?eta:float -> ?beta:float -> ?ns:int list -> unit -> row list
+
+val bifurcation_diagram : ?eta:float -> ?beta:float -> unit -> string
+(** ASCII scatter of post-transient truncated-orbit samples against N. *)
+
+val experiment : Exp_common.t

@@ -1,0 +1,23 @@
+(** E7 — Theorem 4: with Fair Share service, unilateral stability implies
+    systemic stability because DF is triangular in rate order.
+
+    Sweeps random single-bottleneck populations with heterogeneous βs
+    (so steady rates are distinct and the triangular structure is
+    visible), converges each under individual feedback with both
+    disciplines, and compares structure and stability verdicts. *)
+
+type summary = {
+  trials : int;
+  fs_converged : int;
+  fs_triangular : int;  (** DF triangular in rate order under FS. *)
+  fs_unilateral_eq_systemic : int;
+      (** Verdicts coincide under FS (Theorem 4). *)
+  fs_diag_eigen_match : int;
+      (** Eigenvalues = diagonal entries under FS. *)
+  fifo_converged : int;
+  fifo_triangular : int;  (** Expected ~0: FIFO couples everyone. *)
+}
+
+val compute : ?trials:int -> ?seed:int -> unit -> summary
+
+val experiment : Exp_common.t

@@ -1,0 +1,52 @@
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+
+type result = {
+  trajectory : float array array;
+  final : float array;
+  predicted_greedy : float;
+}
+
+let compute ?(steps = 400) () =
+  let net = Topologies.single ~mu:1. ~n:2 () in
+  let c =
+    Controller.create ~config:Feedback.aggregate_fifo
+      ~adjusters:[| Scenario.timid_adjuster; Scenario.greedy_adjuster |]
+  in
+  let trajectory = Controller.trajectory c ~net ~r0:[| 0.2; 0.2 |] ~steps in
+  {
+    trajectory;
+    final = trajectory.(steps);
+    predicted_greedy =
+      Ffc_queueing.Mm1.g_inv (Signal.inverse Signal.linear_fractional 0.7);
+  }
+
+let run () =
+  let r = compute () in
+  let timid = Array.map (fun state -> state.(0)) r.trajectory in
+  let greedy = Array.map (fun state -> state.(1)) r.trajectory in
+  let canvas = Ascii_plot.canvas ~width:70 ~height:18 () in
+  Ascii_plot.plot_series canvas ~glyph:'t' timid;
+  Ascii_plot.plot_series canvas ~glyph:'g' greedy;
+  Ascii_plot.render
+    ~title:"aggregate feedback, heterogeneous betas: t = timid (0.3), g = greedy (0.7)"
+    ~x_label:"step" ~y_label:"rate" canvas
+  ^ Printf.sprintf
+      "\n\
+       Final allocation after %d steps: timid = %s, greedy = %s\n\
+       Paper's prediction: timid -> 0; greedy -> rho with B(g(rho)) = 0.7,\n\
+       i.e. %s.  \"Any connection sharing a bottleneck with a connection\n\
+       having larger b_SS will eventually be completely shut down.\"\n"
+      (Array.length r.trajectory - 1)
+      (Exp_common.fnum r.final.(0))
+      (Exp_common.fnum r.final.(1))
+      (Exp_common.fnum r.predicted_greedy)
+
+let experiment =
+  {
+    Exp_common.id = "E8";
+    title = "Aggregate feedback starves less-greedy connections";
+    paper_ref = "\xc2\xa73.4";
+    run;
+  }

@@ -1,0 +1,17 @@
+(** E8 — §3.4's starvation dynamic: under aggregate feedback, a
+    connection with a lower steady-state congestion signal (a "timid"
+    algorithm) is driven to zero throughput by a "greedy" peer.
+
+    Two connections share one gateway; β_timid = 0.3 < β_greedy = 0.7.
+    The report shows the rate trajectories and the final allocation
+    r_timid → 0, r_greedy → value pinned by B(g(ρ)) = β_greedy. *)
+
+type result = {
+  trajectory : float array array;  (** Per step, the two rates. *)
+  final : float array;
+  predicted_greedy : float;  (** ρ with B(g(ρ)) = 0.7 — here 0.7. *)
+}
+
+val compute : ?steps:int -> unit -> result
+
+val experiment : Exp_common.t

@@ -1,0 +1,26 @@
+(** E9 — Theorem 5 and the robustness design matrix.
+
+    Part 1 samples the Theorem 5 criterion Q_i(r) ≤ r_i/(μ − N·r_i) on
+    random rate vectors: Fair Share never violates it, FIFO often does.
+
+    Part 2 runs the §3.4 heterogeneous population (β = 0.3 vs 0.7) under
+    all three designs and compares each connection's steady throughput to
+    its reservation baseline: only individual feedback + Fair Share is
+    robust. *)
+
+type matrix_row = {
+  design : string;
+  steady : float array;
+  baselines : float array;
+  robust : bool;
+}
+
+type result = {
+  fifo_violation_rate : float;
+  fs_violation_rate : float;
+  matrix : matrix_row list;
+}
+
+val compute : ?trials:int -> ?seed:int -> unit -> result
+
+val experiment : Exp_common.t

@@ -1,0 +1,24 @@
+(** E10 — §4's analysis of the DECbit/Jacobson algorithm families.
+
+    (a) Window form f = (1−b)η/d − βbr on a dumbbell whose two access
+    links have very different latencies: throughput is biased against the
+    long-RTT connection, with rate ratio ≈ inverse delay ratio.
+
+    (b) Rate form f = (1−b)η − βbr: the same topology converges to equal
+    rates (guaranteed fair) — but scaling every μ by 10 does {e not}
+    scale the steady state by 10 (not TSI). *)
+
+type result = {
+  window_rates : float array;  (** (short RTT, long RTT). *)
+  window_delay_ratio : float;  (** d_long / d_short at the steady state. *)
+  window_rate_ratio : float;  (** r_short / r_long — should track it. *)
+  rate_rates : float array;
+  rate_fair : bool;
+  rate_scaled : float array;  (** Steady state with μ ×10. *)
+  rate_tsi_violation : float;
+      (** ‖r(10μ) − 10·r(μ)‖∞ / ‖10·r(μ)‖∞ — far from 0 for non-TSI. *)
+}
+
+val compute : unit -> result
+
+val experiment : Exp_common.t

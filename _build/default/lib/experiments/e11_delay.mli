@@ -1,0 +1,18 @@
+(** E11 — §3.4's closing claim: robust TSI individual feedback with Fair
+    Share beats the reservation-based alternative on queueing delay "by
+    at least a factor of N^a at each gateway".
+
+    At the homogeneous fair point the comparison is exact: FS sojourn is
+    g(ρ)/(ρμ) while a dedicated μ/N server at the same per-connection
+    rate gives N/(μ(1−ρ)) — the ratio is exactly N. *)
+
+type row = {
+  n : int;
+  fs_sojourn : float;
+  reservation_sojourn : float;
+  ratio : float;  (** reservation / FS — should equal N. *)
+}
+
+val compute : ?ns:int list -> unit -> row list
+
+val experiment : Exp_common.t

@@ -1,0 +1,22 @@
+(** E12 — Validation of the analytic model (§2.2) by packet-level
+    simulation.
+
+    The paper's entire analysis rests on the closed-form queue functions
+    Q(r).  This experiment removes the "instant equilibration" idealization:
+    a discrete-event simulation with Poisson sources and exponential
+    servers measures time-average per-connection queues under FIFO, Fair
+    Share (thinning + preemptive priority), and packet-level Fair
+    Queueing, and compares them to the formulas. *)
+
+type row = {
+  discipline : string;
+  conn : int;
+  rate : float;
+  analytic : float;
+  simulated : float;
+  rel_error : float;
+}
+
+val compute : ?horizon:float -> ?seed:int -> unit -> row list
+
+val experiment : Exp_common.t

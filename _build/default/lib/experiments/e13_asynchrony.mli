@@ -1,0 +1,23 @@
+(** E13 — Beyond the paper: feedback delay (the asynchrony the paper
+    flags as open in §2.5).
+
+    The model assumes each step's signal reflects the current rates.  Here
+    the signal is computed from the rates τ steps in the past —
+    r(t+1) = max(0, r(t) + f(r(t), b(r(t−τ)), d)) — and we measure, for
+    each delay τ, the largest gain η that still converges.  Delay shrinks
+    the stability margin, which is why the paper's synchronous stability
+    results are optimistic for real networks. *)
+
+type row = {
+  tau : int;
+  max_stable_eta : float;  (** Largest tested η that converges. *)
+}
+
+val delayed_run :
+  eta:float -> tau:int -> n:int -> steps:int -> [ `Converged | `Oscillating ]
+(** One delayed-feedback run at a single gateway with individual FIFO
+    feedback, from a mildly asymmetric start. *)
+
+val compute : ?taus:int list -> unit -> row list
+
+val experiment : Exp_common.t

@@ -1,0 +1,26 @@
+(** E14 — Binary feedback and AIMD: the Chiu–Jain regime the paper
+    contrasts itself against (§1, §4).
+
+    With a single congestion bit (B = 1{C ≥ C*}) there is no steady
+    state: the system oscillates forever.  The paper asserts that in this
+    setting linear-increase multiplicative-decrease nevertheless delivers
+    long-term averages that are both TSI and guaranteed fair — but that
+    "the period of oscillation grows linearly with the server rate"
+    (its fundamental drawback versus the continuous-signal designs).
+
+    This experiment runs AIMD against a binary aggregate signal at a
+    single gateway for a sweep of server rates μ and measures the limit
+    cycle: its period, the per-connection long-term averages, and how
+    both scale with μ. *)
+
+type row = {
+  mu : float;
+  period : int;  (** Mean steps per sawtooth (between multiplicative decreases). *)
+  avg_rates : float array;  (** Long-term average of each connection. *)
+  avg_total_over_mu : float;  (** Should be ~constant across μ (TSI). *)
+  fair_averages : bool;  (** Averages equal across connections. *)
+}
+
+val compute : ?mus:float list -> unit -> row list
+
+val experiment : Exp_common.t

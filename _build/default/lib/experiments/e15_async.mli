@@ -1,0 +1,20 @@
+(** E15 — Asynchronous update schedules (extension; cf. §2.5 and the
+    Mosely line of work the paper cites).
+
+    The model's updates are synchronous.  Here each connection updates
+    only with probability p each step (an i.i.d. Bernoulli schedule), and
+    we check that TSI individual feedback still converges to the same
+    unique fair steady state — the paper's fairness results do not hinge
+    on synchrony, only its stability analysis does. *)
+
+type row = {
+  p : float;  (** Per-step update probability. *)
+  design : string;
+  converged : bool;
+  reached_fair_point : bool;  (** Landed on the water-filling state. *)
+  steps : int;
+}
+
+val compute : ?seed:int -> ?ps:float list -> unit -> row list
+
+val experiment : Exp_common.t

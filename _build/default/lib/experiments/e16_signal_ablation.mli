@@ -1,0 +1,24 @@
+(** E16 — Ablation: the signal function B(C) selects the operating
+    point.
+
+    The paper's results hold for {e any} signal function with B(0)=0,
+    B(∞)=1, dB/dC > 0; what B actually chooses is the steady congestion
+    C_SS = B⁻¹(b_SS) — i.e. the utilization/delay operating point of
+    every bottleneck.  This ablation runs the same TSI algorithm
+    (β = 0.5) under several signal families and compares the predicted
+    utilization ρ_SS = g⁻¹(C_SS) and per-packet sojourn to what the
+    dynamics converge to — all of them fair and TSI, none of them at the
+    same operating point. *)
+
+type row = {
+  signal : string;
+  c_ss : float;  (** Predicted steady congestion B⁻¹(0.5). *)
+  rho_predicted : float;
+  rho_measured : float;  (** Converged utilization at a single gateway. *)
+  sojourn : float;  (** Per-packet time in system at that point. *)
+  fair : bool;
+}
+
+val compute : unit -> row list
+
+val experiment : Exp_common.t

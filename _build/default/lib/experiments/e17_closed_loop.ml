@@ -1,0 +1,118 @@
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+open Ffc_closedloop
+
+type homo_row = {
+  discipline : string;
+  measured : float array;
+  predicted : float array;
+  max_rel_err : float;
+}
+
+type hetero_row = {
+  design : string;
+  timid : float;
+  greedy : float;
+  baseline_timid : float;
+  timid_meets_baseline : bool;
+}
+
+type result = { homogeneous : homo_row list; heterogeneous : hetero_row list }
+
+let signal = Signal.linear_fractional
+
+let compute ?(interval = 400.) ?(updates = 150) ?(seed = 2) () =
+  let n = 3 in
+  let net = Topologies.single ~mu:1. ~n () in
+  let predicted = Steady_state.fair ~signal ~b_ss:0.5 ~net in
+  let homogeneous =
+    List.map
+      (fun (name, discipline) ->
+        let r =
+          Closed_loop.run ~net ~discipline ~style:Congestion.Individual ~signal
+            ~adjusters:(Array.make n Scenario.standard_adjuster)
+            ~r0:(Array.make n 0.05) ~interval ~updates ~seed ()
+        in
+        let rel =
+          Array.map2
+            (fun m p -> Float.abs (m -. p) /. p)
+            r.Closed_loop.mean_tail_rates predicted
+        in
+        {
+          discipline = name;
+          measured = r.Closed_loop.mean_tail_rates;
+          predicted;
+          max_rel_err = Array.fold_left Float.max 0. rel;
+        })
+      [ ("individual+fifo", Closed_loop.Fifo);
+        ("individual+fair-share", Closed_loop.Fs_priority) ]
+  in
+  let net2 = Topologies.single ~mu:1. ~n:2 () in
+  let adjusters = [| Scenario.timid_adjuster; Scenario.greedy_adjuster |] in
+  let baselines = Robustness.baselines ~signal ~b_ss:[| 0.3; 0.7 |] ~net:net2 in
+  let heterogeneous =
+    List.map
+      (fun (name, discipline, style) ->
+        let r =
+          Closed_loop.run ~net:net2 ~discipline ~style ~signal ~adjusters
+            ~r0:[| 0.2; 0.2 |] ~interval ~updates ~seed ()
+        in
+        let tail = r.Closed_loop.mean_tail_rates in
+        {
+          design = name;
+          timid = tail.(0);
+          greedy = tail.(1);
+          baseline_timid = baselines.(0);
+          (* 10% stochastic slack on the baseline comparison. *)
+          timid_meets_baseline = tail.(0) >= 0.9 *. baselines.(0);
+        })
+      [
+        ("aggregate", Closed_loop.Fifo, Congestion.Aggregate);
+        ("individual+fifo", Closed_loop.Fifo, Congestion.Individual);
+        ("individual+fair-share", Closed_loop.Fs_priority, Congestion.Individual);
+      ]
+  in
+  { homogeneous; heterogeneous }
+
+let run () =
+  let r = compute () in
+  Exp_common.section "homogeneous population (N = 3): measured vs water-filling"
+  ^ Exp_common.table
+      ~header:[ "discipline"; "tail-mean rates"; "predicted"; "max rel err" ]
+      ~rows:
+        (List.map
+           (fun row ->
+             [
+               row.discipline;
+               Vec.to_string row.measured;
+               Vec.to_string row.predicted;
+               Exp_common.fnum row.max_rel_err;
+             ])
+           r.homogeneous)
+  ^ "\n"
+  ^ Exp_common.section "heterogeneous population (beta 0.3 vs 0.7)"
+  ^ Exp_common.table
+      ~header:[ "design"; "timid"; "greedy"; "timid baseline"; "timid served" ]
+      ~rows:
+        (List.map
+           (fun row ->
+             [
+               row.design;
+               Exp_common.fnum row.timid;
+               Exp_common.fnum row.greedy;
+               Exp_common.fnum row.baseline_timid;
+               Exp_common.fbool row.timid_meets_baseline;
+             ])
+           r.heterogeneous)
+  ^ "\nThe live system reproduces the model: individual feedback finds the\n\
+     fair point from measured (noisy, delayed) signals, and only the Fair\n\
+     Share gateway keeps the timid connection at its reservation share.\n"
+
+let experiment =
+  {
+    Exp_common.id = "E17";
+    title = "Closed-loop control over the packet simulator (extension)";
+    paper_ref = "\xc2\xa72.5 idealizations removed";
+    run;
+  }

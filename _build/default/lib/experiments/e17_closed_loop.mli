@@ -1,0 +1,36 @@
+(** E17 — Closing the loop: the paper's predictions against a live
+    packet-level system (extension).
+
+    All preceding experiments compute signals from the analytic queue
+    functions.  Here the full control loop runs over the discrete-event
+    simulator — signals come from measured time-average queues, delays
+    from delivered packets, and rate updates happen in simulated time —
+    removing the instant-equilibration and noiseless-signal
+    idealizations of §2.5 simultaneously.
+
+    Part 1: a homogeneous population under individual feedback must still
+    find the water-filling fair point (within stochastic tolerance).
+    Part 2: the §3.4 heterogeneity story must survive reality — aggregate
+    starves the timid connection, FIFO under-serves it, Fair Share holds
+    it at its reservation baseline. *)
+
+type homo_row = {
+  discipline : string;
+  measured : float array;  (** Tail-mean rates from the closed loop. *)
+  predicted : float array;  (** Water-filling. *)
+  max_rel_err : float;
+}
+
+type hetero_row = {
+  design : string;
+  timid : float;
+  greedy : float;
+  baseline_timid : float;
+  timid_meets_baseline : bool;
+}
+
+type result = { homogeneous : homo_row list; heterogeneous : hetero_row list }
+
+val compute : ?interval:float -> ?updates:int -> ?seed:int -> unit -> result
+
+val experiment : Exp_common.t

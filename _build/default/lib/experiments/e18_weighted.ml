@@ -1,0 +1,62 @@
+open Ffc_numerics
+open Ffc_queueing
+open Ffc_topology
+open Ffc_core
+
+type result = {
+  weights : float array;
+  steady : float array;
+  predicted : float array;
+  proportional : bool;
+}
+
+let mu = 1.
+
+let compute ?(weights = [| 1.; 2.; 4. |]) () =
+  let n = Array.length weights in
+  let net = Topologies.single ~mu ~n () in
+  let config =
+    Feedback.make ~weights ~style:Congestion.Individual
+      ~signal:Signal.linear_fractional
+      ~discipline:(Weighted_fair_share.service ~weights) ()
+  in
+  let c = Controller.homogeneous ~config ~adjuster:Scenario.standard_adjuster ~n in
+  let r0 = Array.init n (fun i -> 0.02 +. (0.03 *. float_of_int i)) in
+  let total_w = Vec.sum weights in
+  let rho_ss = 0.5 in
+  let predicted = Array.map (fun w -> w *. rho_ss *. mu /. total_w) weights in
+  match Controller.run ~max_steps:60_000 c ~net ~r0 with
+  | Controller.Converged { steady; _ } ->
+    let ratios = Array.map2 (fun r w -> r /. w) steady weights in
+    let proportional =
+      Array.for_all
+        (fun x -> Float.abs (x -. ratios.(0)) < 1e-5 *. (1. +. ratios.(0)))
+        ratios
+    in
+    { weights; steady; predicted; proportional }
+  | _ -> { weights; steady = [||]; predicted; proportional = false }
+
+let run () =
+  let r = compute () in
+  Exp_common.table
+    ~header:[ "quantity"; "value" ]
+    ~rows:
+      [
+        [ "weights"; Vec.to_string r.weights ];
+        [ "converged steady state"; Vec.to_string r.steady ];
+        [ "predicted w_i * rho_SS * mu / W"; Vec.to_string r.predicted ];
+        [ "rates proportional to weights"; Exp_common.fbool r.proportional ];
+      ]
+  ^ "\nThe same TSI additive algorithm, individual feedback, and gateway\n\
+     mechanics now allocate 1:2:4 — service differentiation falls out of\n\
+     the discipline's weight vector while conservation, isolation,\n\
+     robustness bounds and triangular stability all carry over (see the\n\
+     weighted_fair_share test suite for the per-property checks).\n"
+
+let experiment =
+  {
+    Exp_common.id = "E18";
+    title = "Weighted Fair Share: weight-proportional steady states";
+    paper_ref = "extension of \xc2\xa72.2/\xc2\xa73";
+    run;
+  }

@@ -1,0 +1,27 @@
+(** E18 — Weighted Fair Share: service differentiation from the same
+    controller (extension).
+
+    Generalizing the FS priority decomposition to per-connection weights
+    (measure greediness by φ = r/w, split levels weight-proportionally)
+    keeps every structural property the paper needs — conservation,
+    isolation, the triangular queue dependence — and changes only the
+    steady state: TSI individual feedback now converges to rates
+    proportional to the weights, r_i = w_i·ρ_SS·μ/Σw.  Bandwidth shares
+    become an operator knob while fairness-as-contracted, robustness, and
+    stability survive untouched. *)
+
+type result = {
+  weights : float array;
+  steady : float array;
+  predicted : float array;  (** w_i ρ_SS μ / Σw. *)
+  proportional : bool;  (** Steady rates ∝ weights. *)
+}
+
+(** Note: the Theorem-4 triangular structure of weighted FS is exercised
+    as a locality property in the weighted_fair_share test suite rather
+    than here — at the weight-proportional steady state every normalized
+    rate is tied, putting the Jacobian exactly on the MIN/MAX kinks. *)
+
+val compute : ?weights:float array -> unit -> result
+
+val experiment : Exp_common.t

@@ -1,0 +1,26 @@
+(** E19 — Implicit feedback: packet drops as the congestion signal
+    (extension; paper §1's description of Jacobson's algorithm).
+
+    "The TCP feedback flow control algorithm of Jacobson … uses packet
+    drops as an implicit feedback signal."  Here gateways are drop-tail
+    FIFOs with a finite buffer and {e no} explicit signalling; each
+    source runs AIMD on the binary did-I-lose-a-packet-this-window
+    indicator.  The run must (a) control congestion — bounded queues,
+    utilization high but below collapse, small loss rate — and (b) show
+    rough long-term fairness between identical sources, while (c) a
+    heterogeneous pair (different multiplicative-decrease factors)
+    reproduces aggregate feedback's bias toward the greedier source,
+    since drops signal aggregate congestion. *)
+
+type result = {
+  homogeneous_rates : float array;  (** Tail-mean rates, identical AIMD. *)
+  utilization : float;
+  drop_fraction : float;  (** Max over connections. *)
+  jain : float;
+  hetero_rates : float array;  (** Gentle-decrease vs sharp-decrease pair. *)
+  hetero_biased : bool;  (** The gentler-backoff source gets more. *)
+}
+
+val compute : ?seed:int -> unit -> result
+
+val experiment : Exp_common.t

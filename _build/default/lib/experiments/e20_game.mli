@@ -1,0 +1,38 @@
+(** E20 — The gateway game: making greed work ([She89], the companion
+    paper Fair Share comes from; paper §2.2 cites it as FS's origin).
+
+    Drop flow control entirely: let each source pick its rate selfishly
+    at a shared gateway.  The service discipline decides whose problem
+    congestion becomes:
+
+    - under FIFO, delay is common property, and iterated best response
+      ends with sources {e shut out at rate zero} — the surviving
+      monopolists deter entry because any positive rate would earn the
+      entrant negative utility.  Which sources survive depends on the
+      order of play: equilibria are plentiful and unfair.
+    - under Fair Share, a source's delay is driven by its own fair load,
+      so greed is internalized: every start converges with all sources
+      active, and for moderate N the equilibrium coincides exactly with
+      the symmetric social optimum.
+
+    This is the game-theoretic counterpart of the paper's robustness
+    story. Two utility families are played: U = r − c·W (linear, admits
+    closed-form anchors like the symmetric FIFO equilibrium
+    (μ−√c)/N) and U = log(1+r) − c·W (concave, makes exclusion socially
+    wasteful and is where FIFO's exclusion is starkest). *)
+
+type row = {
+  utility : string;
+  n : int;
+  discipline : string;
+  start : string;
+  nash_rates : float array;
+  verified : bool;  (** [Nash.is_equilibrium] holds. *)
+  welfare : float;
+  optimum_welfare : float;  (** Best symmetric profile. *)
+  excluded : int;  (** Sources at rate 0 in the equilibrium. *)
+}
+
+val compute : ?ns:int list -> unit -> row list
+
+val experiment : Exp_common.t

@@ -1,0 +1,34 @@
+(** E21 — Window-based control: where the latency unfairness really
+    lives (extension of §4).
+
+    §4 models DECbit's window algorithm in rate space; here the window
+    dynamics run natively, with rates induced through the Little's-law
+    fixed point r = w/d(r).  On a dumbbell whose two access links differ
+    16× in latency:
+
+    - the DECbit window adjuster (constant window increase) converges to
+      {e equal windows}, hence rates inversely proportional to RTT — the
+      §4 unfairness in its natural habitat;
+    - the TSI form η(β−b) transplanted to window space converges to
+      {e unequal windows} that induce exactly fair rates — window
+      control per se is not the culprit; the constant increase is.
+
+    The experiment also demonstrates window flow control's intrinsic
+    self-limitation: absurdly large fixed windows still induce rates
+    strictly below capacity. *)
+
+type result = {
+  decbit_windows : float array;
+  decbit_rates : float array;
+  decbit_rate_ratio : float;  (** short-RTT rate / long-RTT rate. *)
+  delay_ratio : float;  (** long RTT / short RTT at the DECbit point. *)
+  tsi_windows : float array;
+  tsi_rates : float array;
+  tsi_fair : bool;  (** Rates equal despite the latency gap. *)
+  giant_window_utilization : float;
+      (** Bottleneck load induced by windows of 2000 packets — < 1. *)
+}
+
+val compute : unit -> result
+
+val experiment : Exp_common.t

@@ -1,0 +1,84 @@
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+
+type row = {
+  eta : float;
+  design : string;
+  spectral_radius : float;
+  steps : int;
+  converged : bool;
+}
+
+let compute ?(etas = [ 0.02; 0.05; 0.1; 0.2; 0.4; 0.6 ]) ?(n = 4) () =
+  let net = Topologies.single ~mu:1. ~n () in
+  let r0 = Array.init n (fun i -> 0.02 +. (0.02 *. float_of_int i)) in
+  List.concat_map
+    (fun eta ->
+      let adjusters = Array.make n (Rate_adjust.additive ~eta ~beta:0.5) in
+      List.map
+        (fun design ->
+          let controller =
+            Controller.create ~config:design.Analysis.config ~adjusters
+          in
+          let manifold =
+            if design.Analysis.label = "aggregate" then n - 1 else 0
+          in
+          (* Spectral radius at the fair point (discounting manifold
+             modes for aggregate feedback). *)
+          let fair = Array.make n (0.5 /. float_of_int n) in
+          let df = Jacobian.of_controller controller ~net ~at:fair in
+          let ev = Eigen.eigenvalues_sorted df in
+          let spectral_radius =
+            (* Skip [manifold] eigenvalues of modulus ~1. *)
+            if manifold < Array.length ev then Complex.norm ev.(manifold)
+            else 0.
+          in
+          match Controller.run ~max_steps:40_000 controller ~net ~r0 with
+          | Controller.Converged { steps; _ } ->
+            {
+              eta;
+              design = design.Analysis.label;
+              spectral_radius;
+              steps;
+              converged = true;
+            }
+          | _ ->
+            { eta; design = design.Analysis.label; spectral_radius; steps = 0;
+              converged = false })
+        Analysis.designs)
+    etas
+
+let run () =
+  let rows = compute () in
+  let header = [ "eta"; "design"; "rho(DF) (predicted)"; "steps"; "converged" ] in
+  let body =
+    List.map
+      (fun r ->
+        [
+          Exp_common.fnum r.eta;
+          r.design;
+          Exp_common.fnum r.spectral_radius;
+          (if r.converged then string_of_int r.steps else "-");
+          Exp_common.fbool r.converged;
+        ])
+      rows
+  in
+  "Single gateway, N = 4, additive beta = 0.5, gain sweep:\n\n"
+  ^ Exp_common.table ~header ~rows:body
+  ^ "\nHigher gain contracts faster until the spectral radius reaches 1 and\n\
+     every design destabilizes together (near eta = 0.5, where the\n\
+     scalar response 1 - 2*eta*... crosses -1).  Between the individual\n\
+     designs, Fair Share contracts strictly faster than FIFO at every\n\
+     gain — Theorem 4's triangular DF is also a performance win.\n\
+     Aggregate feedback's transverse modes contract fastest of all, but\n\
+     that speed is deceptive: its manifold directions never contract, so\n\
+     it converges quickly to an arbitrary (generally unfair) point.\n"
+
+let experiment =
+  {
+    Exp_common.id = "E22";
+    title = "Ablation: gain vs convergence speed across designs";
+    paper_ref = "\xc2\xa73.3 (stability), ablation";
+    run;
+  }

@@ -1,0 +1,22 @@
+(** E22 — Ablation: the gain η sets the speed/stability tradeoff, and
+    Fair Share buys a better contraction than FIFO at every gain.
+
+    Linear theory says the iteration contracts at the spectral radius of
+    DF at the steady state; steps-to-converge should scale like
+    1/−log ρ(DF) until the gain crosses the stability boundary.  This
+    ablation sweeps η for the three designs at one gateway, recording
+    the measured convergence steps and the predicted spectral radius, and
+    locates each design's empirical stability edge. *)
+
+type row = {
+  eta : float;
+  design : string;
+  spectral_radius : float;  (** ρ(DF) at the steady state, manifold modes
+                                discounted for aggregate feedback. *)
+  steps : int;  (** 0 when the run fails to converge. *)
+  converged : bool;
+}
+
+val compute : ?etas:float list -> ?n:int -> unit -> row list
+
+val experiment : Exp_common.t

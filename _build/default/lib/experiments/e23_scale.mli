@@ -1,0 +1,20 @@
+(** E23 — Scale stress: the theory holds (and the implementation stays
+    fast) on networks far larger than the paper's examples.
+
+    Random topologies with tens of gateways and dozens of connections:
+    TSI individual feedback must still converge to the water-filling
+    allocation, stay fair, and do so in interactive time. *)
+
+type row = {
+  gateways : int;
+  connections : int;
+  converged : bool;
+  fair : bool;
+  matched_prediction : bool;
+  steps : int;
+  wall_seconds : float;
+}
+
+val compute : ?seed:int -> ?sizes:(int * int) list -> unit -> row list
+
+val experiment : Exp_common.t

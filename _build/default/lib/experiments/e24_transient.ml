@@ -1,0 +1,115 @@
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+
+type validation_row = { gain : float; settled : bool; at_fair_point : bool }
+type phase_row = { hops : int; gain : float; settled : bool }
+type tsi_row = { mu : float; critical_gain : float }
+
+type result = {
+  validation : validation_row list;
+  phase : phase_row list;
+  tsi : tsi_row list;
+}
+
+let config = Feedback.individual_fifo
+let dt = 0.025
+let t_end = 600.
+
+let compute () =
+  (* 1. Validation at a single gateway. *)
+  let n = 4 in
+  let net1 = Topologies.single ~mu:1. ~n () in
+  let adj1 = Array.make n Scenario.standard_adjuster in
+  let r01 = Array.init n (fun i -> 0.02 +. (0.02 *. float_of_int i)) in
+  let fair = Steady_state.fair ~signal:Signal.linear_fractional ~b_ss:0.5 ~net:net1 in
+  let validation =
+    List.map
+      (fun gain ->
+        let r = Transient.run ~dt ~t_end ~config ~net:net1 ~adjusters:adj1 ~gain ~r0:r01 () in
+        match r.Transient.outcome with
+        | Transient.Settled rates ->
+          { gain; settled = true; at_fair_point = Vec.approx_equal ~tol:1e-3 rates fair }
+        | Transient.Oscillating _ -> { gain; settled = false; at_fair_point = false })
+      [ 0.1; 1.; 5. ]
+  in
+  (* 2. Phase lag: single hop vs 3 hops. *)
+  let phase =
+    List.concat_map
+      (fun hops ->
+        let net = Topologies.chain ~mu:1. ~hops ~conns:2 () in
+        let adjusters = Array.make 2 Scenario.standard_adjuster in
+        List.map
+          (fun gain ->
+            let r =
+              Transient.run ~dt ~t_end ~config ~net ~adjusters ~gain ~r0:[| 0.05; 0.1 |] ()
+            in
+            {
+              hops;
+              gain;
+              settled =
+                (match r.Transient.outcome with
+                | Transient.Settled _ -> true
+                | Transient.Oscillating _ -> false);
+            })
+          [ 5.; 20.; 80. ])
+      [ 1; 3 ]
+  in
+  (* 3. Critical gain vs server speed on the 3-hop chain. *)
+  let tsi =
+    List.map
+      (fun mu ->
+        let net = Topologies.chain ~mu ~hops:3 ~conns:2 () in
+        let adjusters = Array.make 2 Scenario.standard_adjuster in
+        let r0 = [| 0.05 *. mu; 0.1 *. mu |] in
+        let critical_gain =
+          Transient.critical_gain ~lo:1. ~hi:400. ~ratio:1.1 ~dt ~t_end ~config ~net
+            ~adjusters ~r0 ()
+        in
+        { mu; critical_gain })
+      [ 0.5; 1.; 2. ]
+  in
+  { validation; phase; tsi }
+
+let run () =
+  let r = compute () in
+  Exp_common.section "1. slow-controller limit recovers the theory (single gateway, N=4)"
+  ^ Exp_common.table
+      ~header:[ "gain"; "settled"; "at water-filling point" ]
+      ~rows:
+        (List.map
+           (fun (v : validation_row) ->
+             [ Exp_common.fnum v.gain; Exp_common.fbool v.settled;
+               Exp_common.fbool v.at_fair_point ])
+           r.validation)
+  ^ "\n"
+  ^ Exp_common.section "2. phase lag: path length buys instability"
+  ^ Exp_common.table
+      ~header:[ "hops"; "gain"; "settled" ]
+      ~rows:
+        (List.map
+           (fun (p : phase_row) ->
+             [ string_of_int p.hops; Exp_common.fnum p.gain; Exp_common.fbool p.settled ])
+           r.phase)
+  ^ "\n"
+  ^ Exp_common.section "3. critical gain vs server speed (3-hop chain)"
+  ^ Exp_common.table
+      ~header:[ "mu"; "critical gain" ]
+      ~rows:
+        (List.map
+           (fun t -> [ Exp_common.fnum t.mu; Exp_common.fnum t.critical_gain ])
+           r.tsi)
+  ^ "\nThe queues' own dynamics change nothing at moderate gains — the\n\
+     system lands exactly where Theorem 2 says — but the stability margin\n\
+     is set by the queue-equilibration speed: it grows roughly like mu^2\n\
+     and shrinks with path length.  Steady states are time-scale\n\
+     invariant; transient stability is not.  This quantifies the caveat\n\
+     the paper enters at \xc2\xa72.5.\n"
+
+let experiment =
+  {
+    Exp_common.id = "E24";
+    title = "Transient fluid model: instant equilibration removed";
+    paper_ref = "\xc2\xa72.1 assumption / \xc2\xa72.5 caveat";
+    run;
+  }

@@ -1,0 +1,35 @@
+(** E24 — Removing the instant-equilibration assumption (extension;
+    paper §2.1 modeling assumption, §2.5 caveat).
+
+    The queues get fluid dynamics (equilibrium = the exact FIFO formula)
+    and the rates evolve continuously at a configurable [gain].  Three
+    findings:
+
+    1. {e Validation}: for moderate gains the coupled system settles at
+       exactly the water-filling fair point — the paper's instant-
+       equilibration results are the slow-controller limit of the
+       transient model.
+    2. {e Phase lag}: a single gateway is stable at every tested gain
+       (two poles cannot oscillate), but a 3-hop path accumulates enough
+       queue phase lag to oscillate at high gain.
+    3. {e TSI breaks transiently}: the critical gain grows roughly like
+       μ² — a controller tuned to a fast network overdrives a slow one.
+       Steady states are time-scale invariant; transient stability is
+       not, which is exactly why the paper flags the asynchrony/transient
+       caveat. *)
+
+type validation_row = { gain : float; settled : bool; at_fair_point : bool }
+
+type phase_row = { hops : int; gain : float; settled : bool }
+
+type tsi_row = { mu : float; critical_gain : float }
+
+type result = {
+  validation : validation_row list;
+  phase : phase_row list;
+  tsi : tsi_row list;
+}
+
+val compute : unit -> result
+
+val experiment : Exp_common.t

@@ -1,0 +1,50 @@
+type t = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  run : unit -> string;
+}
+
+let fnum x =
+  if x = Float.infinity then "inf"
+  else if x = Float.neg_infinity then "-inf"
+  else if Float.is_nan x then "nan"
+  else if x = 0. then "0"
+  else if Float.abs x >= 0.001 && Float.abs x < 100000. then Printf.sprintf "%.4g" x
+  else Printf.sprintf "%.3e" x
+
+let fbool b = if b then "yes" else "no"
+
+let table ~header ~rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc row -> Stdlib.max acc (List.length row)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> Stdlib.max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun c w ->
+          let cell = match List.nth_opt row c with Some s -> s | None -> "" in
+          Printf.sprintf "%-*s" w cell)
+        widths
+    in
+    "  " ^ String.concat "  " cells
+  in
+  let rule =
+    "  " ^ String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" ((render_row header :: rule :: List.map render_row rows) @ [ "" ])
+
+let section title = Printf.sprintf "%s\n%s\n" title (String.make (String.length title) '~')
+
+let render t =
+  let sep = String.make 72 '=' in
+  Printf.sprintf "%s\n%s: %s  [paper: %s]\n%s\n%s" sep t.id t.title t.paper_ref sep
+    (t.run ())

@@ -1,0 +1,25 @@
+(** Shared scaffolding for the experiment harness: a uniform experiment
+    record and plain-text table rendering, so every table the harness
+    emits looks the same in logs and in EXPERIMENTS.md. *)
+
+type t = {
+  id : string;  (** e.g. "E5". *)
+  title : string;
+  paper_ref : string;  (** The paper artifact reproduced, e.g. "§3.3". *)
+  run : unit -> string;  (** Produces the full printed report. *)
+}
+
+val table : header:string list -> rows:string list list -> string
+(** Monospace table with a header rule; column widths fit content. *)
+
+val section : string -> string
+(** An underlined section heading. *)
+
+val fnum : float -> string
+(** Compact numeric formatting ("0.25", "1.33e-05", "inf"). *)
+
+val fbool : bool -> string
+(** "yes"/"no". *)
+
+val render : t -> string
+(** Header block (id, title, paper reference) followed by the report. *)

@@ -1,0 +1,42 @@
+let all =
+  [
+    E01_table1.experiment;
+    E02_tsi.experiment;
+    E03_aggregate_fairness.experiment;
+    E04_individual_fairness.experiment;
+    E05_stability.experiment;
+    E06_chaos.experiment;
+    E07_triangular.experiment;
+    E08_starvation.experiment;
+    E09_robustness.experiment;
+    E10_decbit.experiment;
+    E11_delay.experiment;
+    E12_validation.experiment;
+    E13_asynchrony.experiment;
+    E14_binary_feedback.experiment;
+    E15_async.experiment;
+    E16_signal_ablation.experiment;
+    E17_closed_loop.experiment;
+    E18_weighted.experiment;
+    E19_implicit.experiment;
+    E20_game.experiment;
+    E21_window.experiment;
+    E22_gain.experiment;
+    E23_scale.experiment;
+    E24_transient.experiment;
+  ]
+
+let find id =
+  let target = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.lowercase_ascii e.Exp_common.id = target) all
+
+let run_all () =
+  String.concat "\n" (List.map Exp_common.render all)
+
+let run_one id =
+  match find id with
+  | Some e -> Ok (Exp_common.render e)
+  | None ->
+    Error
+      (Printf.sprintf "unknown experiment %S; valid ids: %s" id
+         (String.concat ", " (List.map (fun e -> e.Exp_common.id) all)))

@@ -1,0 +1,15 @@
+(** The experiment registry: every table, figure, and in-text quantitative
+    claim of the paper, plus the validation and extension experiments,
+    addressable by id. *)
+
+val all : Exp_common.t list
+(** E1 … E13 in order. *)
+
+val find : string -> Exp_common.t option
+(** Lookup by id, case-insensitive ("e5" matches "E5"). *)
+
+val run_all : unit -> string
+(** Renders every experiment, in order. *)
+
+val run_one : string -> (string, string) result
+(** Renders one experiment by id; [Error] lists valid ids. *)

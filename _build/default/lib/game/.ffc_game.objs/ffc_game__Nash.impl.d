@@ -1,0 +1,1 @@
+lib/game/nash.ml: Array Ffc_numerics Ffc_queueing Float Service Utility Vec

@@ -1,0 +1,1 @@
+lib/game/nash.mli: Ffc_numerics Ffc_queueing Service Utility Vec

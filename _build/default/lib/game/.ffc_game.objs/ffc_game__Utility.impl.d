@@ -1,0 +1,1 @@
+lib/game/utility.ml: Float Printf

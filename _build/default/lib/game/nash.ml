@@ -1,0 +1,123 @@
+open Ffc_numerics
+open Ffc_queueing
+
+let sojourn svc ~mu ~rates i = (Service.sojourn_times svc ~mu rates).(i)
+
+let payoff svc utility ~mu ~rates i =
+  if rates.(i) = 0. then 0.
+  else begin
+    let q = (Service.queue_lengths svc ~mu rates).(i) in
+    let delay = if q = Float.infinity then Float.infinity else q /. rates.(i) in
+    Utility.eval utility ~rate:rates.(i) ~delay
+  end
+
+(* Golden-section maximization of a unimodal-ish function on [lo, hi]. *)
+let golden_max f ~lo ~hi =
+  let phi = (sqrt 5. -. 1.) /. 2. in
+  let a = ref lo and b = ref hi in
+  let x1 = ref (!b -. (phi *. (!b -. !a))) in
+  let x2 = ref (!a +. (phi *. (!b -. !a))) in
+  let f1 = ref (f !x1) and f2 = ref (f !x2) in
+  for _ = 1 to 60 do
+    if !f1 >= !f2 then begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !b -. (phi *. (!b -. !a));
+      f1 := f !x1
+    end
+    else begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !a +. (phi *. (!b -. !a));
+      f2 := f !x2
+    end
+  done;
+  let x = 0.5 *. (!a +. !b) in
+  (x, f x)
+
+let best_response ?(grid = 400) svc utility ~mu ~rates i =
+  if i < 0 || i >= Array.length rates then
+    invalid_arg "Nash.best_response: index out of bounds";
+  let trial = Array.copy rates in
+  let value r =
+    trial.(i) <- r;
+    payoff svc utility ~mu ~rates:trial i
+  in
+  (* Coarse scan over [0, mu]. *)
+  let best_r = ref 0. and best_v = ref (value 0.) in
+  for k = 1 to grid do
+    let r = mu *. float_of_int k /. float_of_int grid in
+    let v = value r in
+    if v > !best_v then begin
+      best_v := v;
+      best_r := r
+    end
+  done;
+  (* Local refinement around the best cell. *)
+  let cell = mu /. float_of_int grid in
+  let lo = Float.max 0. (!best_r -. cell) and hi = Float.min mu (!best_r +. cell) in
+  let refined_r, refined_v = golden_max value ~lo ~hi in
+  let result = if refined_v > !best_v then refined_r else !best_r in
+  trial.(i) <- rates.(i);
+  result
+
+type outcome = Equilibrium of { rates : Vec.t; rounds : int } | No_convergence of Vec.t
+
+let solve ?(tol = 1e-6) ?(max_rounds = 200) svc utility ~mu ~n ~r0 =
+  if Array.length r0 <> n then invalid_arg "Nash.solve: r0 length mismatch";
+  let rates = Array.copy r0 in
+  let result = ref None in
+  let round = ref 0 in
+  while !result = None && !round < max_rounds do
+    incr round;
+    let moved = ref 0. in
+    for i = 0 to n - 1 do
+      let br = best_response svc utility ~mu ~rates i in
+      moved := Float.max !moved (Float.abs (br -. rates.(i)));
+      rates.(i) <- br
+    done;
+    if !moved <= tol then result := Some (Equilibrium { rates = Array.copy rates; rounds = !round })
+  done;
+  match !result with Some e -> e | None -> No_convergence (Array.copy rates)
+
+let is_equilibrium ?(tol = 1e-6) svc utility ~mu ~rates =
+  let ok = ref true in
+  Array.iteri
+    (fun i _ ->
+      let current = payoff svc utility ~mu ~rates i in
+      let br = best_response svc utility ~mu ~rates i in
+      let trial = Array.copy rates in
+      trial.(i) <- br;
+      let best = payoff svc utility ~mu ~rates:trial i in
+      if best > current +. tol then ok := false)
+    rates;
+  !ok
+
+let welfare svc utility ~mu ~rates =
+  let acc = ref 0. in
+  Array.iteri (fun i _ -> acc := !acc +. payoff svc utility ~mu ~rates i) rates;
+  !acc
+
+let symmetric_optimum ?(grid = 400) svc utility ~mu ~n =
+  if n <= 0 then invalid_arg "Nash.symmetric_optimum: n must be positive";
+  let value r =
+    let rates = Array.make n r in
+    welfare svc utility ~mu ~rates
+  in
+  let per_conn_cap = mu /. float_of_int n in
+  let best_r = ref 0. and best_v = ref (value 0.) in
+  for k = 1 to grid do
+    let r = per_conn_cap *. float_of_int k /. float_of_int grid in
+    let v = value r in
+    if v > !best_v then begin
+      best_v := v;
+      best_r := r
+    end
+  done;
+  let cell = per_conn_cap /. float_of_int grid in
+  let lo = Float.max 0. (!best_r -. cell) in
+  let hi = Float.min per_conn_cap (!best_r +. cell) in
+  let refined_r, refined_v = golden_max value ~lo ~hi in
+  if refined_v > !best_v then (refined_r, refined_v) else (!best_r, !best_v)

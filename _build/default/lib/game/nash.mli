@@ -1,0 +1,54 @@
+(** The gateway game: greedy sources best-responding through a service
+    discipline ([She89]).
+
+    Each of N connections at a shared gateway picks its own sending rate
+    to maximize a utility over (throughput, mean sojourn), taking the
+    other rates as given.  The service discipline decides how much of the
+    congestion a source causes lands back on itself: under FIFO delay is
+    common property (a tragedy of the commons), under Fair Share a
+    source's delay is driven by its own fair load (greed is
+    internalized).  This module computes best responses, iterates them to
+    a Nash equilibrium, and scores outcomes against the social optimum —
+    the game-theoretic backdrop for the paper's claim that gateway
+    disciplines are crucial. *)
+
+open Ffc_numerics
+open Ffc_queueing
+
+val sojourn : Service.t -> mu:float -> rates:Vec.t -> int -> float
+(** Mean per-packet sojourn of connection [i] (Q_i/r_i with the
+    zero-rate probe limit). *)
+
+val payoff : Service.t -> Utility.t -> mu:float -> rates:Vec.t -> int -> float
+(** Connection [i]'s utility at the profile [rates]. *)
+
+val best_response :
+  ?grid:int -> Service.t -> Utility.t -> mu:float -> rates:Vec.t -> int -> float
+(** The rate in [0, μ] maximizing [i]'s utility with all other rates
+    fixed.  Found by a [grid]-point scan (default 400) refined by
+    golden-section search around the best cell — robust to the kinks and
+    plateaus of the disciplines' delay functions. *)
+
+type outcome =
+  | Equilibrium of { rates : Vec.t; rounds : int }
+  | No_convergence of Vec.t
+
+val solve :
+  ?tol:float -> ?max_rounds:int -> Service.t -> Utility.t -> mu:float ->
+  n:int -> r0:Vec.t -> outcome
+(** Round-robin iterated best response from [r0] until no rate moves by
+    more than [tol] (default 1e-6) in a full round. *)
+
+val is_equilibrium :
+  ?tol:float -> Service.t -> Utility.t -> mu:float -> rates:Vec.t -> bool
+(** No connection can gain more than [tol] (default 1e-6) by deviating to
+    its best response. *)
+
+val welfare : Service.t -> Utility.t -> mu:float -> rates:Vec.t -> float
+(** Σ_i U_i — the social objective. *)
+
+val symmetric_optimum :
+  ?grid:int -> Service.t -> Utility.t -> mu:float -> n:int -> float * float
+(** [(r, welfare)] — the common rate maximizing welfare over symmetric
+    profiles (the relevant benchmark: both disciplines treat equal rates
+    identically). *)

@@ -1,0 +1,24 @@
+type t = { name : string; f : rate:float -> delay:float -> float }
+
+let name t = t.name
+
+let eval t ~rate ~delay =
+  if rate < 0. then invalid_arg "Utility.eval: negative rate";
+  if rate = 0. then 0.
+  else if delay = Float.infinity then Float.neg_infinity
+  else t.f ~rate ~delay
+
+let make ~name f = { name; f }
+
+let linear ~delay_cost =
+  if not (delay_cost > 0.) then invalid_arg "Utility.linear: delay_cost must be positive";
+  make
+    ~name:(Printf.sprintf "r - %g*W" delay_cost)
+    (fun ~rate ~delay -> rate -. (delay_cost *. delay))
+
+let log_throughput ~delay_cost =
+  if not (delay_cost > 0.) then
+    invalid_arg "Utility.log_throughput: delay_cost must be positive";
+  make
+    ~name:(Printf.sprintf "log(1+r) - %g*W" delay_cost)
+    (fun ~rate ~delay -> log (1. +. rate) -. (delay_cost *. delay))

@@ -1,0 +1,26 @@
+(** Source utility functions for the gateway game ([She89], the companion
+    paper the Fair Share discipline comes from).
+
+    A greedy source cares about its throughput and suffers from its
+    per-packet delay; a utility function scores a (rate, delay) pair.
+    Utilities are increasing in rate and decreasing in delay, with
+    [neg_infinity] at infinite delay (an overloaded gateway is worthless
+    to everyone). *)
+
+type t
+
+val name : t -> string
+
+val eval : t -> rate:float -> delay:float -> float
+(** Utility of sending at [rate] with mean per-packet sojourn [delay].
+    [delay = infinity] yields [neg_infinity] whenever the rate is
+    positive; a silent source (rate 0) has utility 0 by normalization. *)
+
+val linear : delay_cost:float -> t
+(** U = r − c·W — throughput valued linearly, delay charged linearly.
+    [delay_cost > 0]. *)
+
+val log_throughput : delay_cost:float -> t
+(** U = log(1 + r) − c·W — diminishing returns on throughput. *)
+
+val make : name:string -> (rate:float -> delay:float -> float) -> t

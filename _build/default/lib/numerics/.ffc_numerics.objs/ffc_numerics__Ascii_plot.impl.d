@@ -1,0 +1,1 @@
+lib/numerics/ascii_plot.ml: Array Buffer Float List Printf Stdlib String

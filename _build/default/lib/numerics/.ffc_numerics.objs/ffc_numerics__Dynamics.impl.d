@@ -1,0 +1,1 @@
+lib/numerics/dynamics.ml: Array Float

@@ -1,0 +1,1 @@
+lib/numerics/eigen.ml: Array Complex Float Mat Stdlib Vec

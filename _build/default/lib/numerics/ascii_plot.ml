@@ -1,0 +1,112 @@
+type canvas = {
+  width : int;
+  height : int;
+  mutable points : (float * float * char) list;
+}
+
+let canvas ?(width = 72) ?(height = 20) () =
+  if width < 8 || height < 4 then invalid_arg "Ascii_plot.canvas: too small";
+  { width; height; points = [] }
+
+let plot_points c ?(glyph = '*') pts =
+  Array.iter
+    (fun (x, y) ->
+      if Float.is_finite x && Float.is_finite y then
+        c.points <- (x, y, glyph) :: c.points)
+    pts
+
+let plot_series c ?(glyph = '*') ys =
+  plot_points c ~glyph (Array.mapi (fun i y -> (float_of_int i, y)) ys)
+
+let data_range c =
+  match c.points with
+  | [] -> ((0., 1.), (0., 1.))
+  | (x0, y0, _) :: rest ->
+    let fold (xmin, xmax, ymin, ymax) (x, y, _) =
+      (Float.min xmin x, Float.max xmax x, Float.min ymin y, Float.max ymax y)
+    in
+    let xmin, xmax, ymin, ymax = List.fold_left fold (x0, x0, y0, y0) rest in
+    let pad lo hi = if hi > lo then (lo, hi) else (lo -. 0.5, hi +. 0.5) in
+    (pad xmin xmax, pad ymin ymax)
+
+let render ?title ?x_label ?y_label c =
+  let (xmin, xmax), (ymin, ymax) = data_range c in
+  let grid = Array.make_matrix c.height c.width ' ' in
+  let place (x, y, glyph) =
+    let col =
+      int_of_float ((x -. xmin) /. (xmax -. xmin) *. float_of_int (c.width - 1))
+    in
+    let row =
+      (* Row 0 is the top of the chart. *)
+      c.height - 1
+      - int_of_float ((y -. ymin) /. (ymax -. ymin) *. float_of_int (c.height - 1))
+    in
+    if col >= 0 && col < c.width && row >= 0 && row < c.height then
+      grid.(row).(col) <- glyph
+  in
+  List.iter place (List.rev c.points);
+  let buf = Buffer.create ((c.width + 16) * (c.height + 4)) in
+  (match title with
+  | Some t -> Buffer.add_string buf (Printf.sprintf "  %s\n" t)
+  | None -> ());
+  (match y_label with
+  | Some l -> Buffer.add_string buf (Printf.sprintf "  %s\n" l)
+  | None -> ());
+  let label_width = 10 in
+  let y_tick row =
+    if row = 0 then Some ymax
+    else if row = c.height - 1 then Some ymin
+    else if row = (c.height - 1) / 2 then Some (ymin +. ((ymax -. ymin) /. 2.))
+    else None
+  in
+  for row = 0 to c.height - 1 do
+    (match y_tick row with
+    | Some v -> Buffer.add_string buf (Printf.sprintf "%*.4g |" label_width v)
+    | None -> Buffer.add_string buf (Printf.sprintf "%*s |" label_width ""));
+    Buffer.add_string buf (String.init c.width (fun col -> grid.(row).(col)));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (Printf.sprintf "%*s +%s\n" label_width "" (String.make c.width '-'));
+  let xmin_s = Printf.sprintf "%.4g" xmin and xmax_s = Printf.sprintf "%.4g" xmax in
+  let gap = Stdlib.max 1 (c.width - String.length xmin_s - String.length xmax_s) in
+  Buffer.add_string buf
+    (Printf.sprintf "%*s  %s%*s%s\n" label_width "" xmin_s gap "" xmax_s);
+  (match x_label with
+  | Some l ->
+    Buffer.add_string buf
+      (Printf.sprintf "%*s  %s\n" label_width "" l)
+  | None -> ());
+  Buffer.contents buf
+
+let series ?width ?height ?title ?x_label ?y_label ys =
+  let c = canvas ?width ?height () in
+  plot_series c ys;
+  render ?title ?x_label ?y_label c
+
+let scatter ?width ?height ?title ?x_label ?y_label pts =
+  let c = canvas ?width ?height () in
+  plot_points c pts;
+  render ?title ?x_label ?y_label c
+
+let bars ?(width = 50) ?title entries =
+  List.iter
+    (fun (_, v) -> if v < 0. then invalid_arg "Ascii_plot.bars: negative value")
+    entries;
+  let buf = Buffer.create 256 in
+  (match title with
+  | Some t -> Buffer.add_string buf (Printf.sprintf "  %s\n" t)
+  | None -> ());
+  let max_v = List.fold_left (fun acc (_, v) -> Float.max acc v) 0. entries in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> Stdlib.max acc (String.length l)) 0 entries
+  in
+  List.iter
+    (fun (label, v) ->
+      let len =
+        if max_v <= 0. then 0
+        else int_of_float (Float.round (v /. max_v *. float_of_int width))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%*s | %s %.6g\n" label_w label (String.make len '#') v))
+    entries;
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** Terminal plotting.
+
+    The offline OCaml ecosystem has no plotting stack, so the "figures" of
+    this reproduction are rendered as ASCII charts: time-series traces of
+    rate trajectories, scatter/bifurcation diagrams, and horizontal bar
+    charts for allocation comparisons.  Output is plain text suitable for
+    logs and EXPERIMENTS.md. *)
+
+type canvas
+
+val canvas : ?width:int -> ?height:int -> unit -> canvas
+(** A blank plotting surface (default 72x20 character cells). *)
+
+val plot_points : canvas -> ?glyph:char -> (float * float) array -> unit
+(** Adds points in data coordinates. Axis ranges auto-expand to include
+    all data ever added to the canvas; rendering happens at [render]. *)
+
+val plot_series : canvas -> ?glyph:char -> float array -> unit
+(** Adds a series [y.(i)] plotted against index [i]. *)
+
+val render :
+  ?title:string -> ?x_label:string -> ?y_label:string -> canvas -> string
+(** Draws all accumulated data with a frame, tick labels on both axes, and
+    an optional title. An empty canvas renders as an empty frame. *)
+
+val series :
+  ?width:int -> ?height:int -> ?title:string -> ?x_label:string ->
+  ?y_label:string -> float array -> string
+(** One-shot line chart of a series. *)
+
+val scatter :
+  ?width:int -> ?height:int -> ?title:string -> ?x_label:string ->
+  ?y_label:string -> (float * float) array -> string
+(** One-shot scatter plot — this is how bifurcation diagrams are drawn. *)
+
+val bars : ?width:int -> ?title:string -> (string * float) list -> string
+(** Horizontal bar chart; labels are right-aligned, bar lengths are scaled
+    to the maximum value. Values must be non-negative. *)

@@ -1,0 +1,100 @@
+type classification =
+  | Fixed_point of float
+  | Cycle of float array
+  | Chaotic of float
+  | Aperiodic of float
+  | Divergent
+
+let iterate g ~x0 ~n =
+  let out = Array.make n 0. in
+  let x = ref x0 in
+  for i = 0 to n - 1 do
+    x := g !x;
+    out.(i) <- !x
+  done;
+  out
+
+let orbit_tail g ~x0 ~transient ~keep =
+  let x = ref x0 in
+  for _ = 1 to transient do
+    x := g !x
+  done;
+  iterate g ~x0:!x ~n:keep
+
+let lyapunov ?(dx = 1e-7) g ~x0 ~n =
+  let x = ref x0 in
+  for _ = 1 to 1000 do
+    x := g !x
+  done;
+  let acc = ref 0. in
+  let degenerate = ref false in
+  for _ = 1 to n do
+    let deriv = (g (!x +. dx) -. g (!x -. dx)) /. (2. *. dx) in
+    let mag = Float.abs deriv in
+    if mag <= 0. then degenerate := true else acc := !acc +. log mag;
+    x := g !x
+  done;
+  if !degenerate then Float.neg_infinity else !acc /. float_of_int n
+
+(* An orbit has period p if consecutive samples repeat with lag p.  We
+   require the repetition to hold across the whole kept window and take the
+   smallest such p. *)
+let detect_period samples ~max_period ~tol =
+  let n = Array.length samples in
+  let holds p =
+    let ok = ref true in
+    for i = 0 to n - 1 - p do
+      if Float.abs (samples.(i) -. samples.(i + p)) > tol then ok := false
+    done;
+    !ok
+  in
+  let rec go p =
+    if p > max_period || p >= n then None
+    else if holds p then Some p
+    else go (p + 1)
+  in
+  go 1
+
+let rotate_cycle_to_min cycle =
+  let n = Array.length cycle in
+  let start = ref 0 in
+  for i = 1 to n - 1 do
+    if cycle.(i) < cycle.(!start) then start := i
+  done;
+  Array.init n (fun i -> cycle.((!start + i) mod n))
+
+let classify ?(transient = 2000) ?(keep = 512) ?(max_period = 64) ?(tol = 1e-6)
+    ?(escape = 1e9) g ~x0 =
+  let x = ref x0 in
+  let diverged = ref false in
+  (try
+     for _ = 1 to transient do
+       x := g !x;
+       if (not (Float.is_finite !x)) || Float.abs !x > escape then begin
+         diverged := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !diverged then Divergent
+  else begin
+    let samples = iterate g ~x0:!x ~n:keep in
+    let bad =
+      Array.exists (fun v -> (not (Float.is_finite v)) || Float.abs v > escape) samples
+    in
+    if bad then Divergent
+    else
+      match detect_period samples ~max_period ~tol with
+      | Some 1 -> Fixed_point samples.(keep - 1)
+      | Some p -> Cycle (rotate_cycle_to_min (Array.sub samples (keep - p) p))
+      | None ->
+        let le = lyapunov g ~x0:!x ~n:keep in
+        if le > 0. then Chaotic le else Aperiodic le
+  end
+
+let bifurcation_scan ?(transient = 2000) ?(keep = 128) g ~params ~x0 =
+  Array.map
+    (fun p ->
+      let samples = orbit_tail (g p) ~x0 ~transient ~keep in
+      (p, samples))
+    params

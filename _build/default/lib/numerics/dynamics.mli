@@ -1,0 +1,53 @@
+(** Analysis of one-dimensional iterated maps.
+
+    The paper's §3.3 observes that when the flow-control steady state loses
+    stability the symmetric update reduces to a scalar recursion that
+    "proceeds from stable behavior, to oscillatory behavior, to chaotic
+    behavior" (citing Collet–Eckmann).  This module classifies orbits of
+    x' = g(x): attracting fixed points, periodic cycles, divergence, and
+    chaos (via the largest Lyapunov exponent estimated by finite
+    differences along the orbit). *)
+
+type classification =
+  | Fixed_point of float  (** Orbit settles at this value. *)
+  | Cycle of float array
+      (** Attracting cycle, listed in orbit order from its smallest
+          element; length is the period (≥ 2). *)
+  | Chaotic of float
+      (** No low-period attractor found, orbit bounded, positive Lyapunov
+          exponent (the payload). *)
+  | Aperiodic of float
+      (** Bounded, no low-period attractor, non-positive Lyapunov exponent
+          (the payload) — e.g. quasiperiodic or slowly converging. *)
+  | Divergent  (** Orbit escaped beyond the escape radius. *)
+
+val iterate : (float -> float) -> x0:float -> n:int -> float array
+(** First [n] iterates of the map starting *after* [x0] (so index 0 holds
+    g(x0)). *)
+
+val orbit_tail : (float -> float) -> x0:float -> transient:int -> keep:int -> float array
+(** Iterates the map [transient] times from [x0] to discard the transient,
+    then returns the next [keep] iterates. *)
+
+val lyapunov : ?dx:float -> (float -> float) -> x0:float -> n:int -> float
+(** Largest Lyapunov exponent estimate: average of [log |g'(x_t)|] along
+    [n] orbit points after a discarded transient, with [g'] computed by
+    central differences of width [dx] (default [1e-7]).  Negative for
+    attracting fixed points and cycles, positive for chaos, [neg_infinity]
+    if the derivative hits zero exactly. *)
+
+val classify :
+  ?transient:int -> ?keep:int -> ?max_period:int -> ?tol:float ->
+  ?escape:float -> (float -> float) -> x0:float -> classification
+(** Classifies the orbit of [g] from [x0].  [transient] iterations are
+    discarded (default 2000), [keep] are analyzed (default 512),
+    periods up to [max_period] (default 64) are recognized with absolute
+    tolerance [tol] (default 1e-6), and any iterate with magnitude above
+    [escape] (default 1e9) is deemed divergent. *)
+
+val bifurcation_scan :
+  ?transient:int -> ?keep:int -> (float -> float -> float) ->
+  params:float array -> x0:float -> (float * float array) array
+(** [bifurcation_scan g ~params ~x0] — for each parameter value [p], the
+    post-transient orbit samples of [g p], as used to draw a bifurcation
+    diagram. *)

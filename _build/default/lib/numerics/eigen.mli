@@ -1,0 +1,47 @@
+(** Eigenvalues of small dense real matrices.
+
+    The stability analysis of the flow-control map (paper §3.3) requires
+    all eigenvalues of the Jacobian DF — which is real but generally
+    non-symmetric, so eigenvalues may form complex-conjugate pairs.  The
+    implementation is the classical dense path: balancing, reduction to
+    upper Hessenberg form by stabilized elementary transformations, then
+    the implicit double-shift (Francis) QR iteration with deflation.
+
+    Accuracy is more than adequate for the ≤ 100x100 Jacobians arising
+    here; all routines operate on copies and never mutate their input. *)
+
+val hessenberg : Mat.t -> Mat.t
+(** [hessenberg m] is an upper-Hessenberg matrix similar to square [m]
+    (entries below the first subdiagonal are exactly zero). *)
+
+val eigenvalues : Mat.t -> Complex.t array
+(** All eigenvalues of a square matrix, in no particular order. Raises
+    [Failure] if the QR iteration fails to converge (does not happen for
+    the matrices in this repository) and [Invalid_argument] if the matrix
+    is not square. *)
+
+val eigenvalues_sorted : Mat.t -> Complex.t array
+(** Eigenvalues sorted by decreasing modulus (ties broken by real part). *)
+
+val spectral_radius : Mat.t -> float
+(** Largest eigenvalue modulus — the quantity that decides linear
+    stability of the iteration r' = F(r). *)
+
+val is_linearly_stable : ?tol:float -> ?ignore_unit:int -> Mat.t -> bool
+(** [is_linearly_stable df] holds when every eigenvalue of [df] has
+    modulus < 1 − [tol] (default [tol = 1e-9]).  [ignore_unit] (default 0)
+    discounts that many eigenvalues closest to modulus 1 — used for
+    steady-state manifolds, where deviations *along* the manifold carry
+    unit eigenvalues that the paper's stability notion ignores. *)
+
+val power_iteration :
+  ?max_iter:int -> ?tol:float -> Mat.t -> (float * Vec.t) option
+(** Dominant eigenvalue (by modulus, assuming it is real) and its
+    eigenvector, via normalized power iteration; [None] when the iteration
+    does not settle — e.g. a complex dominant pair. Used as an independent
+    cross-check of [eigenvalues]. *)
+
+val triangular_eigenvalues : Mat.t -> Vec.t option
+(** For a (numerically) triangular matrix, its eigenvalues are the
+    diagonal; [None] when the matrix is not triangular. Implements the
+    observation at the heart of Theorem 4. *)

@@ -1,0 +1,218 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) 0. }
+
+let rows m = m.rows
+let cols m = m.cols
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Mat.get: index out of bounds";
+  m.data.((i * m.cols) + j)
+
+let set m i j x =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Mat.set: index out of bounds";
+  m.data.((i * m.cols) + j) <- x
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let of_arrays a =
+  let r = Array.length a in
+  if r = 0 then invalid_arg "Mat.of_arrays: no rows";
+  let c = Array.length a.(0) in
+  if c = 0 then invalid_arg "Mat.of_arrays: empty rows";
+  Array.iter
+    (fun row ->
+      if Array.length row <> c then invalid_arg "Mat.of_arrays: ragged rows")
+    a;
+  init r c (fun i j -> a.(i).(j))
+
+let to_arrays m = Array.init m.rows (fun i -> Array.init m.cols (fun j -> get m i j))
+
+let copy m = { m with data = Array.copy m.data }
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let lift2 name f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg ("Mat." ^ name ^ ": dimension mismatch");
+  init a.rows a.cols (fun i j -> f (get a i j) (get b i j))
+
+let add a b = lift2 "add" ( +. ) a b
+let sub a b = lift2 "sub" ( -. ) a b
+let scale s m = init m.rows m.cols (fun i j -> s *. get m i j)
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: inner dimension mismatch";
+  init a.rows b.cols (fun i j ->
+      let acc = ref 0. in
+      for k = 0 to a.cols - 1 do
+        acc := !acc +. (get a i k *. get b k j)
+      done;
+      !acc)
+
+let mul_vec m v =
+  if m.cols <> Array.length v then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (get m i j *. v.(j))
+      done;
+      !acc)
+
+let trace m =
+  let n = Stdlib.min m.rows m.cols in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. get m i i
+  done;
+  !acc
+
+let frobenius_norm m =
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. m.data)
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a.data b.data
+
+let is_lower_triangular ?(tol = 1e-9) m =
+  let ok = ref true in
+  for i = 0 to m.rows - 1 do
+    for j = i + 1 to m.cols - 1 do
+      if Float.abs (get m i j) > tol then ok := false
+    done
+  done;
+  !ok
+
+let is_upper_triangular ?tol m = is_lower_triangular ?tol (transpose m)
+
+let is_triangular ?tol m = is_lower_triangular ?tol m || is_upper_triangular ?tol m
+
+let permute_rows_cols m p =
+  if m.rows <> m.cols then invalid_arg "Mat.permute_rows_cols: not square";
+  if Array.length p <> m.rows then
+    invalid_arg "Mat.permute_rows_cols: permutation length mismatch";
+  init m.rows m.cols (fun i j -> get m p.(i) p.(j))
+
+(* LU with partial pivoting (Doolittle).  The factorization is stored packed
+   in a single matrix: unit lower factor strictly below the diagonal, upper
+   factor on and above it. *)
+let lu m =
+  if m.rows <> m.cols then invalid_arg "Mat.lu: not square";
+  let n = m.rows in
+  let a = copy m in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1 in
+  let singular = ref false in
+  (try
+     for k = 0 to n - 1 do
+       (* Pivot search in column k. *)
+       let piv = ref k in
+       for i = k + 1 to n - 1 do
+         if Float.abs (get a i k) > Float.abs (get a !piv k) then piv := i
+       done;
+       if Float.abs (get a !piv k) < 1e-300 then begin
+         singular := true;
+         raise Exit
+       end;
+       if !piv <> k then begin
+         for j = 0 to n - 1 do
+           let t = get a k j in
+           set a k j (get a !piv j);
+           set a !piv j t
+         done;
+         let t = perm.(k) in
+         perm.(k) <- perm.(!piv);
+         perm.(!piv) <- t;
+         sign := - !sign
+       end;
+       for i = k + 1 to n - 1 do
+         let factor = get a i k /. get a k k in
+         set a i k factor;
+         for j = k + 1 to n - 1 do
+           set a i j (get a i j -. (factor *. get a k j))
+         done
+       done
+     done
+   with Exit -> ());
+  if !singular then None else Some (a, perm, !sign)
+
+let solve a b =
+  if a.rows <> Array.length b then invalid_arg "Mat.solve: dimension mismatch";
+  match lu a with
+  | None -> None
+  | Some (f, perm, _) ->
+    let n = a.rows in
+    let x = Array.init n (fun i -> b.(perm.(i))) in
+    (* Forward substitution with the unit lower factor. *)
+    for i = 1 to n - 1 do
+      for j = 0 to i - 1 do
+        x.(i) <- x.(i) -. (get f i j *. x.(j))
+      done
+    done;
+    (* Back substitution with the upper factor. *)
+    for i = n - 1 downto 0 do
+      for j = i + 1 to n - 1 do
+        x.(i) <- x.(i) -. (get f i j *. x.(j))
+      done;
+      x.(i) <- x.(i) /. get f i i
+    done;
+    Some x
+
+let det m =
+  match lu m with
+  | None -> 0.
+  | Some (f, _, sign) ->
+    let acc = ref (float_of_int sign) in
+    for i = 0 to m.rows - 1 do
+      acc := !acc *. get f i i
+    done;
+    !acc
+
+let inverse m =
+  if m.rows <> m.cols then invalid_arg "Mat.inverse: not square";
+  let n = m.rows in
+  match lu m with
+  | None -> None
+  | Some _ ->
+    let inv = create n n in
+    let ok = ref true in
+    for j = 0 to n - 1 do
+      let e = Array.init n (fun i -> if i = j then 1. else 0.) in
+      match solve m e with
+      | None -> ok := false
+      | Some col ->
+        for i = 0 to n - 1 do
+          set inv i j col.(i)
+        done
+    done;
+    if !ok then Some inv else None
+
+let diagonal m =
+  let n = Stdlib.min m.rows m.cols in
+  Array.init n (fun i -> get m i i)
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "[@[<hov>";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf ";@ ";
+      Format.fprintf ppf "%10.6g" (get m i j)
+    done;
+    Format.fprintf ppf "@]]";
+    if i < m.rows - 1 then Format.pp_print_cut ppf ()
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,82 @@
+(** Dense square-friendly float matrices (row-major).
+
+    Provides the small-matrix linear algebra needed by the stability
+    analysis: products, LU factorization with partial pivoting, linear
+    solves, determinants, inverses, and structural predicates
+    (triangularity) used to verify Theorem 4's triangular stability
+    matrix. *)
+
+type t
+(** A dense [rows x cols] matrix. *)
+
+val create : int -> int -> t
+(** [create rows cols] is the zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val identity : int -> t
+
+val of_arrays : float array array -> t
+(** Rows must be non-empty and of equal length. The array is copied. *)
+
+val to_arrays : t -> float array array
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+
+val transpose : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val mul : t -> t -> t
+(** Matrix product. Raises [Invalid_argument] on inner-dimension
+    mismatch. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+
+val trace : t -> float
+
+val frobenius_norm : t -> float
+
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val is_lower_triangular : ?tol:float -> t -> bool
+(** True when all entries strictly above the diagonal have absolute value
+    at most [tol] (default [1e-9]). *)
+
+val is_upper_triangular : ?tol:float -> t -> bool
+
+val is_triangular : ?tol:float -> t -> bool
+(** Lower or upper triangular. *)
+
+val permute_rows_cols : t -> int array -> t
+(** [permute_rows_cols m p] is the matrix with entry [(i, j)] equal to
+    [m(p.(i), p.(j))] — simultaneous row/column permutation, used to test
+    triangularity after sorting connections by rate. *)
+
+val lu : t -> (t * int array * int) option
+(** [lu m] is [Some (lu, perm, sign)] — the packed LU factorization with
+    partial pivoting of a square matrix — or [None] when [m] is singular to
+    working precision. *)
+
+val solve : t -> Vec.t -> Vec.t option
+(** [solve a b] solves [a x = b] for square [a]; [None] when singular. *)
+
+val det : t -> float
+
+val inverse : t -> t option
+
+val diagonal : t -> Vec.t
+
+val pp : Format.formatter -> t -> unit

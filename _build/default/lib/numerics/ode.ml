@@ -1,0 +1,21 @@
+let rk4_step ~f ~t ~dt y =
+  let n = Array.length y in
+  let k1 = f ~t y in
+  let k2 = f ~t:(t +. (dt /. 2.)) (Array.init n (fun i -> y.(i) +. (dt /. 2. *. k1.(i)))) in
+  let k3 = f ~t:(t +. (dt /. 2.)) (Array.init n (fun i -> y.(i) +. (dt /. 2. *. k2.(i)))) in
+  let k4 = f ~t:(t +. dt) (Array.init n (fun i -> y.(i) +. (dt *. k3.(i)))) in
+  Array.init n (fun i ->
+      y.(i) +. (dt /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i))))
+
+let integrate ?(post = Fun.id) ~f ~t0 ~t1 ~dt y0 =
+  if not (dt > 0.) then invalid_arg "Ode.integrate: dt must be positive";
+  if t1 < t0 then invalid_arg "Ode.integrate: t1 must be >= t0";
+  let samples = ref [ (t0, y0) ] in
+  let t = ref t0 and y = ref y0 in
+  while !t < t1 -. 1e-12 do
+    let step = Float.min dt (t1 -. !t) in
+    y := post (rk4_step ~f ~t:!t ~dt:step !y);
+    t := !t +. step;
+    samples := (!t, !y) :: !samples
+  done;
+  Array.of_list (List.rev !samples)

@@ -1,0 +1,20 @@
+(** Fixed-step ODE integration (classical Runge–Kutta).
+
+    Powers the transient fluid model, which couples queue equilibration
+    to the flow-control dynamics instead of assuming queues jump to
+    steady state instantly.  RK4 with a fixed step is ample for these
+    smooth, moderately stiff systems; no adaptive machinery needed. *)
+
+val rk4_step : f:(t:float -> Vec.t -> Vec.t) -> t:float -> dt:float -> Vec.t -> Vec.t
+(** One classical fourth-order Runge–Kutta step. *)
+
+val integrate :
+  ?post:(Vec.t -> Vec.t) ->
+  f:(t:float -> Vec.t -> Vec.t) ->
+  t0:float -> t1:float -> dt:float -> Vec.t ->
+  (float * Vec.t) array
+(** Trajectory sampled at every step from [t0] to [t1] (inclusive of both
+    endpoints; the last step is shortened to land on [t1]).  [post] is
+    applied to the state after every step — used to clamp rates and queue
+    masses to their physical domain (non-negative).  Raises
+    [Invalid_argument] when [dt <= 0.] or [t1 < t0]. *)

@@ -1,0 +1,90 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 finalizer: two xor-shift-multiply rounds. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix s }
+
+(* 53 uniform mantissa bits, in [0,1). *)
+let uniform t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let uniform_pos t =
+  let rec go () =
+    let u = uniform t in
+    if u > 0. then u else go ()
+  in
+  go ()
+
+let float t bound =
+  if not (bound > 0.) then invalid_arg "Rng.float: bound must be positive";
+  uniform t *. bound
+
+let range t lo hi =
+  if not (lo < hi) then invalid_arg "Rng.range: need lo < hi";
+  lo +. uniform t *. (hi -. lo)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let b = Int64.of_int bound in
+  let limit = Int64.sub Int64.max_int (Int64.rem Int64.max_int b) in
+  let rec go () =
+    let v = Int64.shift_right_logical (bits64 t) 1 in
+    if v >= limit then go () else Int64.to_int (Int64.rem v b)
+  in
+  go ()
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~rate =
+  if not (rate > 0.) then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (uniform_pos t) /. rate
+
+let gaussian t =
+  let u1 = uniform_pos t and u2 = uniform t in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let poisson t ~mean =
+  if not (mean >= 0.) then invalid_arg "Rng.poisson: mean must be >= 0";
+  if mean = 0. then 0
+  else if mean > 30. then
+    (* Normal approximation with continuity correction; adequate for the
+       workload-generation uses in this repository. *)
+    let x = mean +. sqrt mean *. gaussian t in
+    Stdlib.max 0 (int_of_float (Float.round x))
+  else
+    let limit = exp (-.mean) in
+    let rec go k p =
+      let p = p *. uniform t in
+      if p <= limit then k else go (k + 1) p
+    in
+    go 0 1.
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))

@@ -1,0 +1,150 @@
+type outcome = Root of float | No_bracket | No_convergence of float
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then Root lo
+  else if fhi = 0. then Root hi
+  else if flo *. fhi > 0. then No_bracket
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let result = ref None in
+    let iter = ref 0 in
+    while !result = None && !iter < max_iter do
+      incr iter;
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      if fmid = 0. || (!hi -. !lo) /. 2. < tol then result := Some mid
+      else if !flo *. fmid < 0. then hi := mid
+      else begin
+        lo := mid;
+        flo := fmid
+      end
+    done;
+    match !result with
+    | Some r -> Root r
+    | None -> No_convergence (0.5 *. (!lo +. !hi))
+  end
+
+let brent ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
+  let fa = f lo and fb = f hi in
+  if fa = 0. then Root lo
+  else if fb = 0. then Root hi
+  else if fa *. fb > 0. then No_bracket
+  else begin
+    let a = ref lo and b = ref hi and fa = ref fa and fb = ref fb in
+    (* Keep |f b| <= |f a|: b is the best iterate. *)
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in
+      a := !b;
+      b := t;
+      let t = !fa in
+      fa := !fb;
+      fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let mflag = ref true in
+    let d = ref !a in
+    let result = ref None in
+    let iter = ref 0 in
+    while !result = None && !iter < max_iter do
+      incr iter;
+      if !fb = 0. || Float.abs (!b -. !a) < tol then result := Some !b
+      else begin
+        let s =
+          if !fa <> !fc && !fb <> !fc then
+            (* Inverse quadratic interpolation. *)
+            (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+            +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+            +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+          else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+        in
+        let lo_lim = ((3. *. !a) +. !b) /. 4. in
+        let bad_interp =
+          let between = if lo_lim < !b then s > lo_lim && s < !b else s > !b && s < lo_lim in
+          (not between)
+          || (!mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.)
+          || ((not !mflag) && Float.abs (s -. !b) >= Float.abs (!c -. !d) /. 2.)
+          || (!mflag && Float.abs (!b -. !c) < tol)
+          || ((not !mflag) && Float.abs (!c -. !d) < tol)
+        in
+        let s =
+          if bad_interp then begin
+            mflag := true;
+            (!a +. !b) /. 2.
+          end
+          else begin
+            mflag := false;
+            s
+          end
+        in
+        let fs = f s in
+        d := !c;
+        c := !b;
+        fc := !fb;
+        if !fa *. fs < 0. then begin
+          b := s;
+          fb := fs
+        end
+        else begin
+          a := s;
+          fa := fs
+        end;
+        if Float.abs !fa < Float.abs !fb then begin
+          let t = !a in
+          a := !b;
+          b := t;
+          let t = !fa in
+          fa := !fb;
+          fb := t
+        end
+      end
+    done;
+    match !result with Some r -> Root r | None -> No_convergence !b
+  end
+
+let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~df x0 =
+  let x = ref x0 in
+  let result = ref None in
+  let iter = ref 0 in
+  while !result = None && !iter < max_iter do
+    incr iter;
+    let fx = f !x in
+    if Float.abs fx <= tol then result := Some !x
+    else begin
+      let dfx = df !x in
+      if Float.abs dfx < 1e-300 || not (Float.is_finite dfx) then iter := max_iter
+      else begin
+        let step = fx /. dfx in
+        x := !x -. step;
+        if Float.abs step <= tol *. (1. +. Float.abs !x) then
+          if Float.abs (f !x) <= sqrt tol then result := Some !x
+      end
+    end
+  done;
+  match !result with Some r -> Root r | None -> No_convergence !x
+
+let fixed_point ?(tol = 1e-12) ?(max_iter = 10_000) g x0 =
+  let x = ref x0 in
+  let result = ref None in
+  let iter = ref 0 in
+  while !result = None && !iter < max_iter do
+    incr iter;
+    let next = g !x in
+    if Float.abs (next -. !x) <= tol *. (1. +. Float.abs next) then result := Some next;
+    x := next
+  done;
+  match !result with Some r -> Root r | None -> No_convergence !x
+
+let expand_bracket ?(factor = 1.6) ?(max_iter = 60) f ~lo ~hi =
+  if not (lo < hi) then invalid_arg "Rootfind.expand_bracket: need lo < hi";
+  let hi = ref hi in
+  let flo = f lo in
+  let rec go i =
+    if i >= max_iter then None
+    else if flo *. f !hi <= 0. then Some (lo, !hi)
+    else begin
+      hi := lo +. ((!hi -. lo) *. factor);
+      go (i + 1)
+    end
+  in
+  go 0

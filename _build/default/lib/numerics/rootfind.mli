@@ -1,0 +1,38 @@
+(** Scalar root finding and fixed points.
+
+    Used to invert congestion-signal functions B(C) (finding the steady
+    congestion C_SS with B(C_SS) = b_SS) and to solve steady-state rate
+    equations for single-connection baselines. *)
+
+type outcome =
+  | Root of float  (** Converged to a root within tolerance. *)
+  | No_bracket  (** The supplied interval does not bracket a sign change. *)
+  | No_convergence of float  (** Best iterate when the budget ran out. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> outcome
+(** Bisection on [\[lo, hi\]]. Requires [f lo] and [f hi] of opposite sign
+    (zero endpoints count as roots). Always converges when bracketed.
+    [tol] (default [1e-12]) bounds the interval width. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> outcome
+(** Brent's method: inverse quadratic interpolation safeguarded by
+    bisection. Superlinear on smooth functions, never worse than
+    bisection. *)
+
+val newton :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> df:(float -> float) ->
+  float -> outcome
+(** [newton ~f ~df x0] — Newton iteration from [x0]; reports
+    [No_convergence] with the best iterate on derivative blow-ups. *)
+
+val fixed_point : ?tol:float -> ?max_iter:int -> (float -> float) -> float -> outcome
+(** [fixed_point g x0] iterates [x <- g x] until [|g x - x| <= tol]; the
+    scalar analogue of the flow-control iteration. *)
+
+val expand_bracket :
+  ?factor:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float ->
+  (float * float) option
+(** Geometrically expands [\[lo, hi\]] rightward until it brackets a sign
+    change of [f]; [None] if none is found within the budget. *)

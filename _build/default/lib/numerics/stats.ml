@@ -1,0 +1,131 @@
+type running = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+let running_create () = { n = 0; mean = 0.; m2 = 0. }
+
+let running_add r x =
+  r.n <- r.n + 1;
+  let delta = x -. r.mean in
+  r.mean <- r.mean +. (delta /. float_of_int r.n);
+  r.m2 <- r.m2 +. (delta *. (x -. r.mean))
+
+let running_count r = r.n
+let running_mean r = r.mean
+
+let running_variance r =
+  if r.n < 2 then 0. else r.m2 /. float_of_int (r.n - 1)
+
+let running_stddev r = sqrt (running_variance r)
+
+let running_ci95_halfwidth r =
+  if r.n < 2 then 0.
+  else 1.96 *. running_stddev r /. sqrt (float_of_int r.n)
+
+type time_weighted = {
+  start : float;
+  mutable last_time : float;
+  mutable last_value : float;
+  mutable integral : float;
+}
+
+let tw_create ?(start = 0.) () =
+  { start; last_time = start; last_value = 0.; integral = 0. }
+
+let tw_observe acc ~now ~value =
+  if now < acc.last_time then invalid_arg "Stats.tw_observe: time went backwards";
+  acc.integral <- acc.integral +. (acc.last_value *. (now -. acc.last_time));
+  acc.last_time <- now;
+  acc.last_value <- value
+
+let tw_mean acc ~now =
+  let span = now -. acc.start in
+  if span <= 0. then 0.
+  else
+    let total = acc.integral +. (acc.last_value *. (now -. acc.last_time)) in
+    total /. span
+
+let mean xs =
+  if Array.length xs = 0 then 0.
+  else Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let quantile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty array";
+  if not (p >= 0. && p <= 1.) then invalid_arg "Stats.quantile: p outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let pos = p *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.of_int (int_of_float pos) |> Float.min (float_of_int (n - 1))) in
+  let lo = Stdlib.min lo (n - 1) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = pos -. float_of_int lo in
+  (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = quantile xs 0.5
+
+let autocorrelation xs lag =
+  let n = Array.length xs in
+  if lag < 0 || lag >= n || n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let denom = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    if denom <= 0. then 0.
+    else begin
+      let num = ref 0. in
+      for i = 0 to n - 1 - lag do
+        num := !num +. ((xs.(i) -. m) *. (xs.(i + lag) -. m))
+      done;
+      !num /. denom
+    end
+  end
+
+type histogram = { lo : float; width : float; counts : int array }
+
+let histogram ?(bins = 20) xs =
+  if Array.length xs = 0 then invalid_arg "Stats.histogram: empty array";
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let lo = Array.fold_left Float.min xs.(0) xs in
+  let hi = Array.fold_left Float.max xs.(0) xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let idx = int_of_float ((x -. lo) /. width) in
+      let idx = Stdlib.max 0 (Stdlib.min (bins - 1) idx) in
+      counts.(idx) <- counts.(idx) + 1)
+    xs;
+  { lo; width; counts }
+
+let histogram_counts h =
+  Array.mapi
+    (fun i c ->
+      let lo = h.lo +. (float_of_int i *. h.width) in
+      (lo, lo +. h.width, c))
+    h.counts
+
+let jain_index xs =
+  let n = Array.length xs in
+  if n = 0 then 1.
+  else begin
+    let s = Array.fold_left ( +. ) 0. xs in
+    let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+    if s2 <= 0. then 1. else s *. s /. (float_of_int n *. s2)
+  end
+
+let max_min_ratio xs =
+  if Array.length xs = 0 then 1.
+  else begin
+    let mx = Array.fold_left Float.max xs.(0) xs in
+    let mn = Array.fold_left Float.min xs.(0) xs in
+    if mx = 0. then 1. else if mn = 0. then Float.infinity else mx /. mn
+  end

@@ -1,0 +1,78 @@
+(** Descriptive statistics for simulation measurements.
+
+    Provides streaming (one-pass, numerically stable) moment accumulation,
+    time-weighted averages for queue-length processes, quantiles,
+    histograms, simple confidence intervals, autocorrelation, and the
+    fairness indices used in the evaluation. *)
+
+(** {1 Streaming moments} *)
+
+type running
+(** Welford accumulator for mean and variance. *)
+
+val running_create : unit -> running
+val running_add : running -> float -> unit
+val running_count : running -> int
+val running_mean : running -> float
+(** 0 when empty. *)
+
+val running_variance : running -> float
+(** Unbiased sample variance; 0 with fewer than two observations. *)
+
+val running_stddev : running -> float
+
+val running_ci95_halfwidth : running -> float
+(** Half-width of the normal-approximation 95% confidence interval of the
+    mean: [1.96 * stddev / sqrt n]; 0 with fewer than two observations. *)
+
+(** {1 Time-weighted averages} *)
+
+type time_weighted
+(** Accumulates the time average of a piecewise-constant process, e.g. an
+    instantaneous queue length: the average of [x(t)] over the observation
+    window. *)
+
+val tw_create : ?start:float -> unit -> time_weighted
+val tw_observe : time_weighted -> now:float -> value:float -> unit
+(** [tw_observe acc ~now ~value] records that the process has held its
+    previous value up to [now] and takes [value] from [now] on.
+    Observations must be non-decreasing in time. *)
+
+val tw_mean : time_weighted -> now:float -> float
+(** Time average over [\[start, now\]]; 0 over an empty window. *)
+
+(** {1 Batch statistics} *)
+
+val mean : float array -> float
+val variance : float array -> float
+val stddev : float array -> float
+val quantile : float array -> float -> float
+(** [quantile xs p] for [p] in [\[0,1\]] using linear interpolation between
+    order statistics. The array must be non-empty. *)
+
+val median : float array -> float
+
+val autocorrelation : float array -> int -> float
+(** [autocorrelation xs lag] — sample autocorrelation coefficient; 0 when
+    the series is too short or constant. *)
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : ?bins:int -> float array -> histogram
+(** Equal-width histogram over the data range (default 20 bins). The array
+    must be non-empty. *)
+
+val histogram_counts : histogram -> (float * float * int) array
+(** [(lo, hi, count)] per bin, in order. *)
+
+(** {1 Fairness indices} *)
+
+val jain_index : float array -> float
+(** Jain's fairness index (Σx)²/(n·Σx²) ∈ (0, 1]; 1 iff all equal. By
+    convention 1 for empty or all-zero allocations. *)
+
+val max_min_ratio : float array -> float
+(** max/min of the allocation; [infinity] when some component is 0 but not
+    all are, 1 for the all-zero allocation. *)

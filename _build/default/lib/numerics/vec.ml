@@ -1,0 +1,94 @@
+type t = float array
+
+let make = Array.make
+let init = Array.init
+let dim = Array.length
+let copy = Array.copy
+let of_list = Array.of_list
+let to_list = Array.to_list
+let fill v x = Array.fill v 0 (Array.length v) x
+let map = Array.map
+let mapi = Array.mapi
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+                   (Array.length a) (Array.length b))
+
+let map2 f a b =
+  check_dims "map2" a b;
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let scale s v = Array.map (fun x -> s *. x) v
+
+let axpy a x y =
+  check_dims "axpy" x y;
+  Array.init (Array.length x) (fun i -> (a *. x.(i)) +. y.(i))
+
+let dot a b =
+  check_dims "dot" a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let sum v = Array.fold_left ( +. ) 0. v
+
+let mean v =
+  if Array.length v = 0 then invalid_arg "Vec.mean: empty vector";
+  sum v /. float_of_int (Array.length v)
+
+let norm2 v = sqrt (dot v v)
+
+let norm_inf v = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. v
+
+let dist_inf a b = norm_inf (sub a b)
+let dist2 a b = norm2 (sub a b)
+
+let extremum name cmp v =
+  if Array.length v = 0 then invalid_arg ("Vec." ^ name ^ ": empty vector");
+  Array.fold_left (fun acc x -> if cmp x acc then x else acc) v.(0) v
+
+let max v = extremum "max" ( > ) v
+let min v = extremum "min" ( < ) v
+
+let arg_extremum name cmp v =
+  if Array.length v = 0 then invalid_arg ("Vec." ^ name ^ ": empty vector");
+  let best = ref 0 in
+  for i = 1 to Array.length v - 1 do
+    if cmp v.(i) v.(!best) then best := i
+  done;
+  !best
+
+let argmax v = arg_extremum "argmax" ( > ) v
+let argmin v = arg_extremum "argmin" ( < ) v
+
+let clamp_nonneg v = Array.map (fun x -> Float.max 0. x) v
+
+let approx_equal ?(tol = 1e-9) a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a b
+
+let sorted_increasing v =
+  let c = Array.copy v in
+  Array.sort Float.compare c;
+  c
+
+let is_sorted_increasing v =
+  let ok = ref true in
+  for i = 0 to Array.length v - 2 do
+    if v.(i) > v.(i + 1) then ok := false
+  done;
+  !ok
+
+let pp ppf v =
+  Format.fprintf ppf "[@[<hov>%a@]]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf x -> Format.fprintf ppf "%.6g" x))
+    v
+
+let to_string v = Format.asprintf "%a" pp v

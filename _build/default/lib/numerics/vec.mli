@@ -1,0 +1,86 @@
+(** Dense float vectors.
+
+    Thin, allocation-explicit wrappers over [float array] used throughout
+    the flow-control model for rate vectors, queue-length vectors, and
+    congestion-signal vectors.  Functions never mutate their inputs unless
+    the name says so. *)
+
+type t = float array
+
+val make : int -> float -> t
+(** [make n x] is the length-[n] vector with every component [x]. *)
+
+val init : int -> (int -> float) -> t
+
+val dim : t -> int
+
+val copy : t -> t
+
+val of_list : float list -> t
+
+val to_list : t -> float list
+
+val fill : t -> float -> unit
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+(** Pointwise combination. Raises [Invalid_argument] on dimension
+    mismatch. *)
+
+val mapi : (int -> float -> float) -> t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val axpy : float -> t -> t -> t
+(** [axpy a x y] is [a*x + y]. *)
+
+val dot : t -> t -> float
+
+val sum : t -> float
+
+val mean : t -> float
+(** Mean of the components. The vector must be non-empty. *)
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+(** Max absolute component (0 for the empty vector). *)
+
+val dist_inf : t -> t -> float
+(** Chebyshev distance. *)
+
+val dist2 : t -> t -> float
+(** Euclidean distance. *)
+
+val max : t -> float
+(** Largest component. The vector must be non-empty. *)
+
+val min : t -> float
+(** Smallest component. The vector must be non-empty. *)
+
+val argmax : t -> int
+
+val argmin : t -> int
+
+val clamp_nonneg : t -> t
+(** Pointwise [max 0.] — the paper's truncation of negative rates. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Componentwise comparison within absolute tolerance [tol]
+    (default [1e-9]); [false] on dimension mismatch. *)
+
+val sorted_increasing : t -> t
+(** A sorted copy. *)
+
+val is_sorted_increasing : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [[v0; v1; ...]] with 6 significant digits. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/queueing/delay.ml: Array List Service

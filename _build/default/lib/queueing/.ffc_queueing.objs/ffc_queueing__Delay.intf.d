@@ -1,0 +1,1 @@
+lib/queueing/delay.mli: Ffc_numerics Service Vec

@@ -1,0 +1,1 @@
+lib/queueing/fair_share.ml: Array Ffc_numerics Float Fun Mm1 Vec

@@ -1,0 +1,1 @@
+lib/queueing/fair_share.mli: Ffc_numerics Vec

@@ -1,0 +1,1 @@
+lib/queueing/feasibility.ml: Array Ffc_numerics Float Fun Mm1 Service Vec

@@ -1,0 +1,1 @@
+lib/queueing/feasibility.mli: Ffc_numerics Service Vec

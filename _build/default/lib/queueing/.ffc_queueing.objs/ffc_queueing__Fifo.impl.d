@@ -1,0 +1,1 @@
+lib/queueing/fifo.ml: Array Ffc_numerics Float Mm1 Vec

@@ -1,0 +1,1 @@
+lib/queueing/fifo.mli: Ffc_numerics Vec

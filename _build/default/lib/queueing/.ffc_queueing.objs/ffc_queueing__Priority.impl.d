@@ -1,0 +1,1 @@
+lib/queueing/priority.ml: Array Float Mm1

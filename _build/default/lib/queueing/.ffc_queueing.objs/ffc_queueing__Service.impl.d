@@ -1,0 +1,1 @@
+lib/queueing/service.ml: Array Fair_share Ffc_numerics Fifo Vec

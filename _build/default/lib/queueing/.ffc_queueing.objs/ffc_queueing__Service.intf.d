@@ -1,0 +1,1 @@
+lib/queueing/service.mli: Ffc_numerics Vec

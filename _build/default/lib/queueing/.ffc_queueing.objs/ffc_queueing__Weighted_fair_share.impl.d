@@ -1,0 +1,1 @@
+lib/queueing/weighted_fair_share.ml: Array Ffc_numerics Float Fun Mm1 Printf Service Vec

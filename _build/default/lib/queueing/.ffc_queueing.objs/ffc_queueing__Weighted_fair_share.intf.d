@@ -1,0 +1,1 @@
+lib/queueing/weighted_fair_share.mli: Ffc_numerics Service Vec

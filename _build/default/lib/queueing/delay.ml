@@ -1,0 +1,11 @@
+type hop = { mu : float; latency : float; discipline : Service.t }
+
+let hop_sojourn h ~rates i =
+  if i < 0 || i >= Array.length rates then
+    invalid_arg "Delay.hop_sojourn: index out of bounds";
+  (Service.sojourn_times h.discipline ~mu:h.mu rates).(i)
+
+let roundtrip hops =
+  List.fold_left
+    (fun acc (hop, rates, i) -> acc +. hop.latency +. hop_sojourn hop ~rates i)
+    0. hops

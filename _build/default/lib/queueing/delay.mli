@@ -1,0 +1,23 @@
+(** Round-trip delay assembly (paper §2.1, §2.3.2).
+
+    A connection's average round-trip delay d_i is the sum, over the
+    gateways on its path, of the per-gateway sojourn time (queueing plus
+    service, Q^a_i/r_i by Little's law) plus the propagation latencies of
+    the lines.  Only the non-TSI rate-adjustment algorithms (the DECbit
+    window form of §4) actually read d_i, but the model always carries
+    it. *)
+
+open Ffc_numerics
+
+type hop = { mu : float; latency : float; discipline : Service.t }
+(** One gateway on a path: service rate, line latency, and the service
+    discipline in force. *)
+
+val hop_sojourn : hop -> rates:Vec.t -> int -> float
+(** [hop_sojourn h ~rates i] — mean sojourn of connection [i]'s packets at
+    this hop given the rates of all connections through it. *)
+
+val roundtrip : (hop * Vec.t * int) list -> float
+(** Total delay over a path: Σ (latency + sojourn) per hop, where each
+    element carries the hop, the rate vector of connections at that hop,
+    and the index of the connection of interest within that vector. *)

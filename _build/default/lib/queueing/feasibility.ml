@@ -1,0 +1,100 @@
+open Ffc_numerics
+
+let conservation_ok ?(tol = 1e-9) svc ~mu rates =
+  let total = Service.total_queue svc ~mu rates in
+  let expected = Mm1.g (Vec.sum rates /. mu) in
+  if expected = Float.infinity then total = Float.infinity
+  else Float.abs (total -. expected) <= tol *. (1. +. expected)
+
+let apply_perm perm v = Array.map (fun i -> v.(i)) perm
+
+let invert_perm perm =
+  let inv = Array.make (Array.length perm) 0 in
+  Array.iteri (fun pos idx -> inv.(idx) <- pos) perm;
+  inv
+
+let symmetric_ok ?(tol = 1e-9) svc ~mu rates =
+  let n = Array.length rates in
+  if n <= 1 then true
+  else begin
+    let base = Service.queue_lengths svc ~mu rates in
+    let test_perm perm =
+      let permuted = apply_perm perm rates in
+      let q = Service.queue_lengths svc ~mu permuted in
+      (* Undo the permutation and compare, treating infinities as equal. *)
+      let q_back = apply_perm (invert_perm perm) q in
+      Array.for_all2
+        (fun a b ->
+          if a = Float.infinity || b = Float.infinity then a = b
+          else Float.abs (a -. b) <= tol *. (1. +. Float.abs b))
+        q_back base
+    in
+    let reversal = Array.init n (fun i -> n - 1 - i) in
+    let rotation = Array.init n (fun i -> (i + 1) mod n) in
+    test_perm reversal && test_perm rotation
+  end
+
+let partial_sums_ok ?(tol = 1e-9) svc ~mu rates =
+  let n = Array.length rates in
+  let q = Service.queue_lengths svc ~mu rates in
+  if Array.exists (fun x -> x = Float.infinity) q then true
+  else begin
+    let ratio i = if rates.(i) > 0. then q.(i) /. rates.(i) else 0. in
+    let order = Array.init n Fun.id in
+    Array.sort (fun a b -> Float.compare (ratio a) (ratio b)) order;
+    let ok = ref true in
+    let q_partial = ref 0. and r_partial = ref 0. in
+    Array.iter
+      (fun idx ->
+        q_partial := !q_partial +. q.(idx);
+        r_partial := !r_partial +. rates.(idx);
+        let bound = Mm1.g (!r_partial /. mu) in
+        if bound <> Float.infinity && !q_partial < bound -. (tol *. (1. +. bound)) then
+          ok := false)
+      order;
+    !ok
+  end
+
+let monotone_in_own_rate_ok ?dr ?(tol = 1e-7) svc ~mu rates =
+  let dr = match dr with Some d -> d | None -> 1e-6 *. mu in
+  let q = Service.queue_lengths svc ~mu rates in
+  let ok = ref true in
+  Array.iteri
+    (fun i qi ->
+      if qi <> Float.infinity then begin
+        let bumped = Array.copy rates in
+        bumped.(i) <- bumped.(i) +. dr;
+        let q' = Service.queue_lengths svc ~mu bumped in
+        if q'.(i) <> Float.infinity && q'.(i) < qi -. tol then ok := false
+      end)
+    q;
+  !ok
+
+let order_consistent_ok ?(tol = 1e-9) svc ~mu rates =
+  let q = Service.queue_lengths svc ~mu rates in
+  let n = Array.length rates in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if rates.(i) > rates.(j) then begin
+        (* Q_i must not be smaller than Q_j (infinite Q_i is fine). *)
+        if q.(i) <> Float.infinity && q.(i) < q.(j) -. tol then ok := false
+      end
+      else if rates.(i) = rates.(j) then
+        if
+          q.(i) <> q.(j)
+          && (q.(i) = Float.infinity || q.(j) = Float.infinity
+             || Float.abs (q.(i) -. q.(j)) > tol *. (1. +. Float.abs q.(i)))
+        then ok := false
+    done
+  done;
+  !ok
+
+let all_ok svc ~mu rates =
+  [
+    ("conservation", conservation_ok svc ~mu rates);
+    ("symmetry", symmetric_ok svc ~mu rates);
+    ("partial-sums", partial_sums_ok svc ~mu rates);
+    ("monotone-own-rate", monotone_in_own_rate_ok svc ~mu rates);
+    ("order-consistency", order_consistent_ok svc ~mu rates);
+  ]

@@ -1,0 +1,38 @@
+(** Numeric checks of the paper's feasibility constraints on service
+    disciplines (§2.2).
+
+    A realizable, non-stalling discipline must (a) be symmetric in the
+    connections, (b) conserve total work: Σ Q_i = g(Σ ρ_i), (c) satisfy
+    the partial-sum constraints of [Reg86]: ordering connections by
+    increasing Q_i/r_i, the k most-favored connections cannot hold less
+    work than they would holding the server alone:
+    Σ_{i≤k} Q_i ≥ g(Σ_{i≤k} ρ_i), and (d) be monotone: ∂Q_i/∂r_i ≥ 0 and
+    Q_i > Q_j ⟺ r_i > r_j.  These checks back the property-based test
+    suite and guard custom disciplines. *)
+
+open Ffc_numerics
+
+val conservation_ok : ?tol:float -> Service.t -> mu:float -> Vec.t -> bool
+(** Total queue equals g(ρ_tot) within relative tolerance [tol]
+    (default 1e-9). Holds vacuously when both sides are infinite. *)
+
+val symmetric_ok : ?tol:float -> Service.t -> mu:float -> Vec.t -> bool
+(** Q commutes with a deterministic set of test permutations (reversal and
+    a rotation) of the rate vector. *)
+
+val partial_sums_ok : ?tol:float -> Service.t -> mu:float -> Vec.t -> bool
+(** The Regnier partial-sum lower bounds, connections ordered by
+    increasing Q_i/r_i (zero-rate connections first, ratio 0 by
+    convention since they hold no work). *)
+
+val monotone_in_own_rate_ok :
+  ?dr:float -> ?tol:float -> Service.t -> mu:float -> Vec.t -> bool
+(** ∂Q_i/∂r_i ≥ −[tol] for every i, by forward differences of width [dr]
+    (default 1e-6·μ), skipping connections whose queue is infinite. *)
+
+val order_consistent_ok : ?tol:float -> Service.t -> mu:float -> Vec.t -> bool
+(** r_i > r_j implies Q_i ≥ Q_j (within [tol]) and r_i = r_j implies
+    Q_i = Q_j. *)
+
+val all_ok : Service.t -> mu:float -> Vec.t -> (string * bool) list
+(** Every check by name, for reporting. *)

@@ -1,0 +1,25 @@
+open Ffc_numerics
+
+let check ~mu rates =
+  if not (mu > 0.) then invalid_arg "Fifo: mu must be positive";
+  Array.iter
+    (fun r ->
+      if (not (Float.is_finite r)) || r < 0. then
+        invalid_arg "Fifo: rates must be finite and non-negative")
+    rates
+
+let queue_lengths ~mu rates =
+  check ~mu rates;
+  let rho_tot = Vec.sum rates /. mu in
+  if rho_tot >= 1. then
+    Array.map (fun r -> if r > 0. then Float.infinity else 0.) rates
+  else Array.map (fun r -> r /. mu /. (1. -. rho_tot)) rates
+
+let total_queue ~mu rates =
+  check ~mu rates;
+  Mm1.g (Vec.sum rates /. mu)
+
+let sojourn_time ~mu rates =
+  check ~mu rates;
+  let total = Vec.sum rates in
+  if total >= mu then Float.infinity else 1. /. (mu -. total)

@@ -1,0 +1,20 @@
+(** FIFO service discipline (paper §2.2).
+
+    Packets are served in arrival order with no per-connection distinction;
+    the classical M/M/1 decomposition gives Q_i(r) = ρ_i/(1−ρ_tot) with
+    ρ_i = r_i/μ. *)
+
+open Ffc_numerics
+
+val queue_lengths : mu:float -> Vec.t -> Vec.t
+(** [queue_lengths ~mu rates] — mean per-connection numbers in system.
+    When total load reaches 1, every connection with positive rate has an
+    infinite queue (zero-rate connections keep queue 0).  Rates must be
+    non-negative and [mu] positive. *)
+
+val total_queue : mu:float -> Vec.t -> float
+(** Aggregate mean number in system g(ρ_tot). *)
+
+val sojourn_time : mu:float -> Vec.t -> float
+(** Per-packet mean time in system 1/(μ−Σr) — the same for every
+    connection under FIFO; [infinity] at saturation. *)

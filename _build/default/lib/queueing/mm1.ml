@@ -1,0 +1,23 @@
+let g x =
+  if x < 0. then invalid_arg "Mm1.g: negative load";
+  if x >= 1. then Float.infinity else x /. (1. -. x)
+
+let g_inv y =
+  if y < 0. then invalid_arg "Mm1.g_inv: negative value";
+  if y = Float.infinity then 1. else y /. (1. +. y)
+
+let check_mu mu = if not (mu > 0.) then invalid_arg "Mm1: mu must be positive"
+
+let utilization ~mu ~rate =
+  check_mu mu;
+  rate /. mu
+
+let number_in_system ~mu ~rate = g (utilization ~mu ~rate)
+
+let sojourn_time ~mu ~rate =
+  check_mu mu;
+  if rate >= mu then Float.infinity else 1. /. (mu -. rate)
+
+let queueing_delay ~mu ~rate =
+  let s = sojourn_time ~mu ~rate in
+  if s = Float.infinity then Float.infinity else s -. (1. /. mu)

@@ -1,0 +1,27 @@
+(** M/M/1 queue formulas.
+
+    The paper's gateways are exponential servers fed by Poisson sources, so
+    every analytic queue-length expression reduces to the M/M/1 mean-value
+    function g(x) = x/(1−x).  Loads at or above 1 yield [infinity] —
+    the model's "maximal congestion" limit, which the signal functions map
+    to b = 1. *)
+
+val g : float -> float
+(** [g x] = x/(1−x) — mean number in system of an M/M/1 queue at load [x];
+    [infinity] for [x >= 1.]; [x] must be non-negative. *)
+
+val g_inv : float -> float
+(** [g_inv y] = y/(1+y) — the load that produces mean number [y]; maps
+    [infinity] to 1. [y] must be non-negative. *)
+
+val number_in_system : mu:float -> rate:float -> float
+(** Mean number in system for arrival rate [rate] and service rate [mu]. *)
+
+val sojourn_time : mu:float -> rate:float -> float
+(** Mean time in system 1/(μ−λ); [infinity] at or above saturation. *)
+
+val queueing_delay : mu:float -> rate:float -> float
+(** Mean waiting time before service: sojourn − 1/μ. *)
+
+val utilization : mu:float -> rate:float -> float
+(** λ/μ (may exceed 1 for infeasible inputs). *)

@@ -1,0 +1,29 @@
+let check ~mu lambdas =
+  if not (mu > 0.) then invalid_arg "Priority: mu must be positive";
+  Array.iter
+    (fun l ->
+      if (not (Float.is_finite l)) || l < 0. then
+        invalid_arg "Priority: arrival rates must be finite and non-negative")
+    lambdas
+
+let cumulative_in_system ~mu lambdas =
+  check ~mu lambdas;
+  let acc = ref 0. in
+  Array.map
+    (fun l ->
+      acc := !acc +. l;
+      Mm1.g (!acc /. mu))
+    lambdas
+
+let per_class_in_system ~mu lambdas =
+  let cum = cumulative_in_system ~mu lambdas in
+  Array.mapi
+    (fun k l ->
+      let above = if k = 0 then 0. else cum.(k - 1) in
+      if cum.(k) = Float.infinity then if l > 0. then Float.infinity else 0.
+      else cum.(k) -. above)
+    lambdas
+
+let total_in_system ~mu lambdas =
+  check ~mu lambdas;
+  Mm1.g (Array.fold_left ( +. ) 0. lambdas /. mu)

@@ -1,0 +1,23 @@
+(** Preemptive-resume priority M/M/1 queue.
+
+    The substrate for the Fair Share discipline: with exponential service
+    at rate μ shared by K priority classes (class 1 highest), the classes
+    1..k together behave exactly as an M/M/1 queue at load Λ_k/μ where
+    Λ_k is their combined arrival rate — lower classes are invisible to
+    higher ones under preemption.  Per-class mean occupancy follows by
+    telescoping. *)
+
+val cumulative_in_system : mu:float -> float array -> float array
+(** [cumulative_in_system ~mu lambdas] — element [k] is the mean total
+    number in system of classes 0..k: g(Λ_k/μ).  [lambdas] are per-class
+    arrival rates ordered from highest priority; all must be
+    non-negative. *)
+
+val per_class_in_system : mu:float -> float array -> float array
+(** Mean number in system of each class alone.  Once the cumulative load
+    reaches 1, that class and all lower ones saturate: their value is
+    [infinity] when their arrival rate is positive, 0 when it is zero
+    (a class with no traffic holds no packets even under saturation). *)
+
+val total_in_system : mu:float -> float array -> float
+(** g of the total load. *)

@@ -1,0 +1,32 @@
+open Ffc_numerics
+
+type t = { name : string; queue_lengths : mu:float -> Vec.t -> Vec.t }
+
+let make ~name queue_lengths = { name; queue_lengths }
+
+let fifo = make ~name:"fifo" Fifo.queue_lengths
+let fair_share = make ~name:"fair-share" Fair_share.queue_lengths
+
+(* M/M/1-PS has the same mean per-class occupancy as M/M/1-FIFO. *)
+let processor_sharing = make ~name:"processor-sharing" Fifo.queue_lengths
+
+let name t = t.name
+
+let queue_lengths t ~mu rates = t.queue_lengths ~mu rates
+
+let total_queue t ~mu rates = Vec.sum (queue_lengths t ~mu rates)
+
+let sojourn_times t ~mu rates =
+  let q = queue_lengths t ~mu rates in
+  Array.mapi
+    (fun i r ->
+      if r > 0. then q.(i) /. r
+      else begin
+        let probe = 1e-9 *. mu in
+        let rates' = Array.copy rates in
+        rates'.(i) <- probe;
+        (queue_lengths t ~mu rates').(i) /. probe
+      end)
+    rates
+
+let builtin = [ fifo; fair_share ]

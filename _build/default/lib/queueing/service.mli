@@ -1,0 +1,46 @@
+(** Service-discipline abstraction.
+
+    A discipline is, for the purposes of the paper's model, exactly its
+    symmetric queue-length function Q(r) (paper §2.2).  This module
+    packages the built-in disciplines (FIFO, Fair Share) behind one type
+    so that the flow-control layer, the feasibility checker and the
+    experiments can be written discipline-generically, and lets tests
+    define custom disciplines. *)
+
+open Ffc_numerics
+
+type t
+
+val fifo : t
+val fair_share : t
+
+val processor_sharing : t
+(** Egalitarian processor sharing.  For M/M/1 with exponential service the
+    per-connection mean occupancy is the same as FIFO's
+    (ρ_i/(1−ρ_tot)) — a known insensitivity result — so within this
+    model PS and FIFO are {e indistinguishable}: every theorem that holds
+    for FIFO holds verbatim for PS.  Exposed to make that observation
+    testable; only the name differs from {!fifo}. *)
+
+val make : name:string -> (mu:float -> Vec.t -> Vec.t) -> t
+(** A custom discipline from its queue-length function. The function must
+    be symmetric in the connection order to model a gateway with no a
+    priori knowledge of connections; [Feasibility.symmetric_ok] can verify
+    this numerically. *)
+
+val name : t -> string
+
+val queue_lengths : t -> mu:float -> Vec.t -> Vec.t
+(** Mean per-connection numbers in system for sending-rate vector [r]. *)
+
+val total_queue : t -> mu:float -> Vec.t -> float
+(** Σ_i Q_i — for work-conserving disciplines this equals g(ρ_tot)
+    regardless of the discipline (the conservation the paper notes makes
+    aggregate signals discipline-insensitive). *)
+
+val sojourn_times : t -> mu:float -> Vec.t -> Vec.t
+(** Per-connection mean time in system by Little's law Q_i/r_i, with the
+    infinitesimal-probe limit at zero rate. *)
+
+val builtin : t list
+(** The two disciplines studied in the paper, FIFO first. *)

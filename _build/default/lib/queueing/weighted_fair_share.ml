@@ -1,0 +1,95 @@
+open Ffc_numerics
+
+let check ~mu ~weights rates =
+  if not (mu > 0.) then invalid_arg "Weighted_fair_share: mu must be positive";
+  if Array.length weights <> Array.length rates then
+    invalid_arg "Weighted_fair_share: weights/rates length mismatch";
+  Array.iter
+    (fun w ->
+      if (not (Float.is_finite w)) || w <= 0. then
+        invalid_arg "Weighted_fair_share: weights must be finite and positive")
+    weights;
+  Array.iter
+    (fun r ->
+      if (not (Float.is_finite r)) || r < 0. then
+        invalid_arg "Weighted_fair_share: rates must be finite and non-negative")
+    rates
+
+let normalized_rates ~weights rates =
+  if Array.length weights <> Array.length rates then
+    invalid_arg "Weighted_fair_share.normalized_rates: length mismatch";
+  Array.map2 (fun r w -> r /. w) rates weights
+
+let fair_cumulative_load ~weights rates i =
+  if i < 0 || i >= Array.length rates then
+    invalid_arg "Weighted_fair_share.fair_cumulative_load: index out of bounds";
+  let phi = normalized_rates ~weights rates in
+  let phi_i = phi.(i) in
+  let acc = ref 0. in
+  Array.iteri (fun k pk -> acc := !acc +. (weights.(k) *. Float.min pk phi_i)) phi;
+  !acc
+
+(* Queues in phi-sorted order.  [order] maps sorted position -> original
+   index.  Level j (sorted position j) carries increment
+   (phi_j - phi_{j-1}) from every connection at position >= j, each
+   weighted; its occupancy g(T_j) - g(T_{j-1}) is split across those
+   connections in proportion to weight. *)
+let queue_lengths ~mu ~weights rates =
+  check ~mu ~weights rates;
+  let n = Array.length rates in
+  let phi = normalized_rates ~weights rates in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare phi.(a) phi.(b)) order;
+  (* Suffix weight sums W_j in sorted order. *)
+  let suffix_w = Array.make (n + 1) 0. in
+  for pos = n - 1 downto 0 do
+    suffix_w.(pos) <- suffix_w.(pos + 1) +. weights.(order.(pos))
+  done;
+  let q = Array.make n 0. in
+  let partial_t = ref 0. in
+  (* Per-connection accumulated share; fill as we walk levels. *)
+  let g_prev = ref 0. in
+  let saturated = ref false in
+  (* shares.(pos) accumulates the queue of the connection at sorted
+     position pos. *)
+  let shares = Array.make n 0. in
+  for j = 0 to n - 1 do
+    let idx = order.(j) in
+    let phi_j = phi.(idx) in
+    (* T_j = partial sum of w*phi for positions < j plus phi_j * suffix
+       weights from j on. *)
+    let t = !partial_t +. (suffix_w.(j) *. phi_j) in
+    if (not !saturated) && t < mu then begin
+      let g_here = Mm1.g (t /. mu) in
+      let level_occupancy = g_here -. !g_prev in
+      if level_occupancy > 0. && suffix_w.(j) > 0. then
+        (* Distribute this level's occupancy weight-proportionally over
+           the connections participating in it (positions >= j). *)
+        for pos = j to n - 1 do
+          shares.(pos) <-
+            shares.(pos) +. (level_occupancy *. weights.(order.(pos)) /. suffix_w.(j))
+        done;
+      g_prev := g_here
+    end
+    else saturated := true;
+    if !saturated then
+      (* This and all later connections have T >= mu: infinite queues for
+         positive rates.  (The shares they accumulated from earlier,
+         finite levels are dominated by the divergence.) *)
+      shares.(j) <- (if rates.(idx) > 0. then Float.infinity else shares.(j));
+    partial_t := !partial_t +. (weights.(idx) *. phi_j)
+  done;
+  Array.iteri (fun pos idx -> q.(idx) <- shares.(pos)) order;
+  q
+
+let service ~weights =
+  Service.make
+    ~name:(Printf.sprintf "weighted-fair-share(%s)" (Vec.to_string weights))
+    (fun ~mu rates -> queue_lengths ~mu ~weights rates)
+
+let robustness_bound ~mu ~weights rates i =
+  if i < 0 || i >= Array.length rates then
+    invalid_arg "Weighted_fair_share.robustness_bound: index out of bounds";
+  let total_w = Vec.sum weights in
+  let denom = mu -. (total_w *. rates.(i) /. weights.(i)) in
+  if denom > 0. then rates.(i) /. denom else Float.infinity

@@ -1,0 +1,46 @@
+(** Weighted Fair Share (extension of the paper's FS discipline).
+
+    FS protects connections by capping, at each priority level, how much
+    of every other connection's traffic a connection can be made to queue
+    behind.  The weighted generalization assigns each connection a weight
+    w_i and measures greediness by the {e normalized} rate φ_i = r_i/w_i:
+    sorting by increasing φ, level j carries rate w_k·(φ_j − φ_{j−1})
+    from every connection k with φ_k ≥ φ_j, so within a level traffic is
+    split weight-proportionally.  With all weights equal this is exactly
+    the paper's Fair Share.
+
+    Mean queues follow the same preemptive-priority telescoping as FS:
+
+      T_i = Σ_k w_k · min(φ_k, φ_i)
+      Q_i = Σ_{j ≤ i} (g(T_j/μ) − g(T_{j−1}/μ)) · w_i / W_j,
+        W_j = Σ_{k : φ_k ≥ φ_j} w_k
+
+    Consequences mirrored from the paper: Σ Q_i = g(ρ_tot) (conservation),
+    Q_i finite iff T_i < μ (weighted isolation), the Theorem-5-style
+    bound Q_i ≤ r_i/(μ − W·φ_i) with W = Σw (weighted robustness), and —
+    because Q_i depends only on connections with smaller φ — the
+    triangular stability structure of Theorem 4 carries over.  Under TSI
+    individual feedback the unique steady state allocates rates
+    {e proportionally to weights}: r_i = w_i·ρ_SS·μ/W (experiment
+    E18). *)
+
+open Ffc_numerics
+
+val queue_lengths : mu:float -> weights:Vec.t -> Vec.t -> Vec.t
+(** [queue_lengths ~mu ~weights rates] — mean per-connection numbers in
+    system, input order preserved.  Weights must be positive and finite;
+    rates non-negative and finite; [mu] positive. *)
+
+val normalized_rates : weights:Vec.t -> Vec.t -> Vec.t
+(** φ_i = r_i/w_i. *)
+
+val fair_cumulative_load : weights:Vec.t -> Vec.t -> int -> float
+(** T_i = Σ_k w_k·min(φ_k, φ_i). *)
+
+val service : weights:Vec.t -> Service.t
+(** Packages a fixed weight vector as a {!Service.t} (the weight vector
+    must match the rate vectors it is applied to). *)
+
+val robustness_bound : mu:float -> weights:Vec.t -> Vec.t -> int -> float
+(** r_i/(μ − W·φ_i) when positive, [infinity] otherwise — the weighted
+    Theorem-5 bound. *)

@@ -1,0 +1,1 @@
+lib/topology/dsl.ml: Array Buffer List Network Printf String

@@ -1,0 +1,1 @@
+lib/topology/dsl.mli: Network

@@ -1,0 +1,1 @@
+lib/topology/network.ml: Array Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/topology/topologies.ml: Array Ffc_numerics Fun List Network Printf Rng Stdlib

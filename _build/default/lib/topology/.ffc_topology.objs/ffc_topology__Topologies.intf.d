@@ -1,0 +1,1 @@
+lib/topology/topologies.mli: Ffc_numerics Network

@@ -1,0 +1,139 @@
+type error = { line : int; message : string }
+
+let split_whitespace s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun tok -> tok <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse_float_field ~line ~field value =
+  match float_of_string_opt value with
+  | Some f -> Ok f
+  | None -> Error { line; message = Printf.sprintf "invalid %s value %S" field value }
+
+let parse_kv ~line tok =
+  match String.index_opt tok '=' with
+  | None -> Error { line; message = Printf.sprintf "expected key=value, got %S" tok }
+  | Some i ->
+    Ok (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+
+type decl =
+  | Gateway of Network.gateway
+  | Connection of string * string list  (** name, gateway names. *)
+
+let parse_line ~line tokens =
+  match tokens with
+  | [] -> Ok None
+  | "gateway" :: name :: fields ->
+    let mu = ref None and latency = ref 0. in
+    let rec go = function
+      | [] -> (
+        match !mu with
+        | None -> Error { line; message = "gateway requires mu=<float>" }
+        | Some m ->
+          Ok (Some (Gateway { Network.gw_name = name; mu = m; latency = !latency })))
+      | tok :: rest -> (
+        match parse_kv ~line tok with
+        | Error e -> Error e
+        | Ok ("mu", v) -> (
+          match parse_float_field ~line ~field:"mu" v with
+          | Error e -> Error e
+          | Ok f ->
+            mu := Some f;
+            go rest)
+        | Ok ("latency", v) -> (
+          match parse_float_field ~line ~field:"latency" v with
+          | Error e -> Error e
+          | Ok f ->
+            latency := f;
+            go rest)
+        | Ok (k, _) -> Error { line; message = Printf.sprintf "unknown gateway field %S" k })
+    in
+    go fields
+  | "connection" :: name :: fields -> (
+    match fields with
+    | [ tok ] -> (
+      match parse_kv ~line tok with
+      | Error e -> Error e
+      | Ok ("path", v) ->
+        let gws = String.split_on_char ',' v |> List.filter (fun s -> s <> "") in
+        if gws = [] then Error { line; message = "connection path is empty" }
+        else Ok (Some (Connection (name, gws)))
+      | Ok (k, _) ->
+        Error { line; message = Printf.sprintf "unknown connection field %S" k })
+    | _ -> Error { line; message = "connection requires exactly path=<gw,...>" })
+  | "gateway" :: [] -> Error { line; message = "gateway requires a name" }
+  | "connection" :: [] -> Error { line; message = "connection requires a name" }
+  | kw :: _ -> Error { line; message = Printf.sprintf "unknown declaration %S" kw }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go line_no gateways connections = function
+    | [] -> Ok (List.rev gateways, List.rev connections)
+    | line :: rest -> (
+      let tokens = split_whitespace (strip_comment line) in
+      match parse_line ~line:line_no tokens with
+      | Error e -> Error e
+      | Ok None -> go (line_no + 1) gateways connections rest
+      | Ok (Some (Gateway g)) -> go (line_no + 1) (g :: gateways) connections rest
+      | Ok (Some (Connection (name, path))) ->
+        go (line_no + 1) gateways ((line_no, name, path) :: connections) rest)
+  in
+  match go 1 [] [] lines with
+  | Error e -> Error e
+  | Ok (gateways, connections) -> (
+    let gw_arr = Array.of_list gateways in
+    let index_of name =
+      let found = ref (-1) in
+      Array.iteri (fun i g -> if g.Network.gw_name = name then found := i) gw_arr;
+      !found
+    in
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | (line, name, path) :: rest -> (
+        let rec resolve_path racc = function
+          | [] -> Ok (List.rev racc)
+          | g :: grest -> (
+            match index_of g with
+            | -1 -> Error { line; message = Printf.sprintf "unknown gateway %S" g }
+            | i -> resolve_path (i :: racc) grest)
+        in
+        match resolve_path [] path with
+        | Error e -> Error e
+        | Ok idxs -> resolve ({ Network.conn_name = name; path = idxs } :: acc) rest)
+    in
+    match resolve [] connections with
+    | Error e -> Error e
+    | Ok conns -> (
+      if Array.length gw_arr = 0 then Error { line = 1; message = "no gateways declared" }
+      else
+        try Ok (Network.create ~gateways:gw_arr ~connections:(Array.of_list conns))
+        with Invalid_argument msg -> Error { line = 0; message = msg }))
+
+let parse_exn text =
+  match parse text with
+  | Ok net -> net
+  | Error { line; message } -> failwith (Printf.sprintf "line %d: %s" line message)
+
+let to_string net =
+  let buf = Buffer.create 256 in
+  for a = 0 to Network.num_gateways net - 1 do
+    let g = Network.gateway net a in
+    Buffer.add_string buf
+      (Printf.sprintf "gateway %s mu=%.17g latency=%.17g\n" g.Network.gw_name
+         g.Network.mu g.Network.latency)
+  done;
+  for i = 0 to Network.num_connections net - 1 do
+    let c = Network.connection net i in
+    let names =
+      List.map (fun a -> (Network.gateway net a).Network.gw_name) c.Network.path
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "connection %s path=%s\n" c.Network.conn_name
+         (String.concat "," names))
+  done;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** A small textual topology description language.
+
+    Grammar (one declaration per line; [#] starts a comment; blank lines
+    ignored):
+
+    {v
+    gateway <name> mu=<float> [latency=<float>]
+    connection <name> path=<gw>[,<gw>...]
+    v}
+
+    Gateways must be declared before the connections that reference them.
+    Example:
+
+    {v
+    # two-hop parking lot
+    gateway g0 mu=1.0 latency=0.1
+    gateway g1 mu=1.0
+    connection long path=g0,g1
+    connection cross0 path=g0
+    connection cross1 path=g1
+    v} *)
+
+type error = { line : int; message : string }
+
+val parse : string -> (Network.t, error) result
+(** Parses a full document. The first error is reported with its
+    1-based line number. *)
+
+val parse_exn : string -> Network.t
+(** Like {!parse} but raises [Failure] with a formatted message. *)
+
+val to_string : Network.t -> string
+(** Renders a network back to the DSL; [parse] of the result yields an
+    equivalent network. *)

@@ -1,0 +1,136 @@
+type gateway = { gw_name : string; mu : float; latency : float }
+
+type connection = { conn_name : string; path : int list }
+
+type t = {
+  gateways : gateway array;
+  connections : connection array;
+  at_gateway : int list array;  (** Γ(a), increasing connection index. *)
+  local_idx : (int * int, int) Hashtbl.t;
+      (** (conn, gw) -> position of conn within Γ(gw). *)
+}
+
+let validate ~gateways ~connections =
+  let ng = Array.length gateways in
+  Array.iter
+    (fun g ->
+      if not (g.mu > 0.) then
+        invalid_arg (Printf.sprintf "Network: gateway %s has non-positive mu" g.gw_name);
+      if g.latency < 0. then
+        invalid_arg (Printf.sprintf "Network: gateway %s has negative latency" g.gw_name))
+    gateways;
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun g ->
+      if Hashtbl.mem seen g.gw_name then
+        invalid_arg (Printf.sprintf "Network: duplicate gateway name %s" g.gw_name);
+      Hashtbl.add seen g.gw_name ())
+    gateways;
+  let seen_c = Hashtbl.create 16 in
+  Array.iter
+    (fun c ->
+      if Hashtbl.mem seen_c c.conn_name then
+        invalid_arg (Printf.sprintf "Network: duplicate connection name %s" c.conn_name);
+      Hashtbl.add seen_c c.conn_name ();
+      if c.path = [] then
+        invalid_arg (Printf.sprintf "Network: connection %s has an empty path" c.conn_name);
+      let on_path = Hashtbl.create 8 in
+      List.iter
+        (fun a ->
+          if a < 0 || a >= ng then
+            invalid_arg
+              (Printf.sprintf "Network: connection %s references unknown gateway %d"
+                 c.conn_name a);
+          if Hashtbl.mem on_path a then
+            invalid_arg
+              (Printf.sprintf "Network: connection %s repeats gateway %d" c.conn_name a);
+          Hashtbl.add on_path a ())
+        c.path)
+    connections
+
+let create ~gateways ~connections =
+  validate ~gateways ~connections;
+  let gateways = Array.copy gateways and connections = Array.copy connections in
+  let ng = Array.length gateways in
+  let at_gateway = Array.make ng [] in
+  Array.iteri
+    (fun i c -> List.iter (fun a -> at_gateway.(a) <- i :: at_gateway.(a)) c.path)
+    connections;
+  let at_gateway = Array.map (fun l -> List.sort compare l) at_gateway in
+  let local_idx = Hashtbl.create 64 in
+  Array.iteri
+    (fun a conns -> List.iteri (fun pos i -> Hashtbl.add local_idx (i, a) pos) conns)
+    at_gateway;
+  { gateways; connections; at_gateway; local_idx }
+
+let num_gateways t = Array.length t.gateways
+let num_connections t = Array.length t.connections
+
+let gateway t a =
+  if a < 0 || a >= num_gateways t then invalid_arg "Network.gateway: index out of bounds";
+  t.gateways.(a)
+
+let connection t i =
+  if i < 0 || i >= num_connections t then
+    invalid_arg "Network.connection: index out of bounds";
+  t.connections.(i)
+
+let gateways_of_connection t i = (connection t i).path
+
+let connections_at_gateway t a =
+  if a < 0 || a >= num_gateways t then
+    invalid_arg "Network.connections_at_gateway: index out of bounds";
+  t.at_gateway.(a)
+
+let fanin t a = List.length (connections_at_gateway t a)
+
+let gateway_index t name =
+  let found = ref (-1) in
+  Array.iteri (fun i g -> if g.gw_name = name then found := i) t.gateways;
+  if !found < 0 then raise Not_found else !found
+
+let connection_index t name =
+  let found = ref (-1) in
+  Array.iteri (fun i c -> if c.conn_name = name then found := i) t.connections;
+  if !found < 0 then raise Not_found else !found
+
+let scale_mu t c =
+  if not (c > 0.) then invalid_arg "Network.scale_mu: scale must be positive";
+  create
+    ~gateways:(Array.map (fun g -> { g with mu = g.mu *. c }) t.gateways)
+    ~connections:t.connections
+
+let with_latencies t lats =
+  if Array.length lats <> num_gateways t then
+    invalid_arg "Network.with_latencies: wrong length";
+  create
+    ~gateways:(Array.mapi (fun a g -> { g with latency = lats.(a) }) t.gateways)
+    ~connections:t.connections
+
+let rates_at_gateway t ~rates a =
+  if Array.length rates <> num_connections t then
+    invalid_arg "Network.rates_at_gateway: rates length mismatch";
+  connections_at_gateway t a |> List.map (fun i -> rates.(i)) |> Array.of_list
+
+let local_index t ~conn ~gw =
+  match Hashtbl.find_opt t.local_idx (conn, gw) with
+  | Some pos -> pos
+  | None -> raise Not_found
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>network: %d gateways, %d connections@," (num_gateways t)
+    (num_connections t);
+  Array.iteri
+    (fun a g ->
+      Format.fprintf ppf "  gw %s: mu=%g latency=%g fanin=%d@," g.gw_name g.mu g.latency
+        (fanin t a))
+    t.gateways;
+  Array.iteri
+    (fun _ c ->
+      Format.fprintf ppf "  conn %s: path=[%a]@," c.conn_name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           Format.pp_print_int)
+        c.path)
+    t.connections;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,85 @@
+open Ffc_numerics
+
+let gw name mu latency = { Network.gw_name = name; mu; latency }
+let conn name path = { Network.conn_name = name; path }
+
+let single ?(mu = 1.) ?(latency = 0.) ~n () =
+  if n <= 0 then invalid_arg "Topologies.single: need n > 0";
+  Network.create
+    ~gateways:[| gw "gw0" mu latency |]
+    ~connections:(Array.init n (fun i -> conn (Printf.sprintf "conn%d" i) [ 0 ]))
+
+let parking_lot ?(mu = 1.) ?(latency = 0.) ~hops () =
+  if hops <= 0 then invalid_arg "Topologies.parking_lot: need hops > 0";
+  let gateways = Array.init hops (fun a -> gw (Printf.sprintf "gw%d" a) mu latency) in
+  let long = conn "long" (List.init hops Fun.id) in
+  let cross = Array.init hops (fun a -> conn (Printf.sprintf "cross%d" a) [ a ]) in
+  Network.create ~gateways ~connections:(Array.append [| long |] cross)
+
+let chain ?(mu = 1.) ?(latency = 0.) ~hops ~conns () =
+  if hops <= 0 || conns <= 0 then invalid_arg "Topologies.chain: need positive sizes";
+  let gateways = Array.init hops (fun a -> gw (Printf.sprintf "gw%d" a) mu latency) in
+  let path = List.init hops Fun.id in
+  Network.create ~gateways
+    ~connections:(Array.init conns (fun i -> conn (Printf.sprintf "conn%d" i) path))
+
+let star ?(mu = 1.) ?(latency = 0.) ~legs () =
+  if legs <= 0 then invalid_arg "Topologies.star: need legs > 0";
+  let gateways =
+    Array.init (legs + 1) (fun a ->
+        if a < legs then gw (Printf.sprintf "in%d" a) mu latency
+        else gw "hub" mu latency)
+  in
+  Network.create ~gateways
+    ~connections:
+      (Array.init legs (fun i -> conn (Printf.sprintf "conn%d" i) [ i; legs ]))
+
+let dumbbell ?(mu = 1.) ?(latency = 0.) ~left ~right () =
+  if left <= 0 || right <= 0 then invalid_arg "Topologies.dumbbell: need positive sides";
+  let n = left + right in
+  let gateways =
+    Array.init (n + 1) (fun a ->
+        if a = 0 then gw "bottleneck" mu latency
+        else gw (Printf.sprintf "access%d" (a - 1)) (10. *. mu) latency)
+  in
+  Network.create ~gateways
+    ~connections:(Array.init n (fun i -> conn (Printf.sprintf "conn%d" i) [ i + 1; 0 ]))
+
+let random ?(mu_range = (0.5, 2.0)) ?(latency_range = (0.0, 1.0)) ~rng ~gateways
+    ~connections ~max_path () =
+  if gateways <= 0 || connections <= 0 || max_path <= 0 then
+    invalid_arg "Topologies.random: need positive sizes";
+  let mu_lo, mu_hi = mu_range and lat_lo, lat_hi = latency_range in
+  if not (mu_lo > 0. && mu_hi >= mu_lo) then
+    invalid_arg "Topologies.random: bad mu range";
+  if not (lat_lo >= 0. && lat_hi >= lat_lo) then
+    invalid_arg "Topologies.random: bad latency range";
+  let gws =
+    Array.init gateways (fun a ->
+        gw
+          (Printf.sprintf "gw%d" a)
+          (if mu_hi > mu_lo then Rng.range rng mu_lo mu_hi else mu_lo)
+          (if lat_hi > lat_lo then Rng.range rng lat_lo lat_hi else lat_lo))
+  in
+  let random_path () =
+    let len = 1 + Rng.int rng (Stdlib.min max_path gateways) in
+    let perm = Array.init gateways Fun.id in
+    Rng.shuffle rng perm;
+    Array.to_list (Array.sub perm 0 len)
+  in
+  let conns =
+    Array.init connections (fun i -> conn (Printf.sprintf "conn%d" i) (random_path ()))
+  in
+  (* Ensure no gateway is left without traffic: reroute one connection per
+     unused gateway through it. *)
+  let used = Array.make gateways false in
+  Array.iter (fun c -> List.iter (fun a -> used.(a) <- true) c.Network.path) conns;
+  Array.iteri
+    (fun a u ->
+      if not u then begin
+        let victim = Rng.int rng connections in
+        let c = conns.(victim) in
+        conns.(victim) <- { c with Network.path = a :: c.Network.path }
+      end)
+    used;
+  Network.create ~gateways:gws ~connections:conns

@@ -1,0 +1,47 @@
+(** Canonical network topologies used throughout the evaluation.
+
+    Each builder returns a validated {!Network.t}.  Unless stated
+    otherwise, all gateways share service rate [mu] (default 1.0) and
+    latency [latency] (default 0.0), matching the paper's examples. *)
+
+val single : ?mu:float -> ?latency:float -> n:int -> unit -> Network.t
+(** A single gateway shared by [n] connections — the configuration of the
+    paper's Theorem 2 proof, instability example, and robustness
+    example. *)
+
+val parking_lot : ?mu:float -> ?latency:float -> hops:int -> unit -> Network.t
+(** The classic multi-bottleneck layout: one long connection traverses all
+    [hops] gateways; each gateway also carries one single-hop cross
+    connection.  Connection 0 is the long one. *)
+
+val chain :
+  ?mu:float -> ?latency:float -> hops:int -> conns:int -> unit -> Network.t
+(** [conns] identical connections all traversing the same [hops] gateways
+    in sequence. *)
+
+val star : ?mu:float -> ?latency:float -> legs:int -> unit -> Network.t
+(** [legs] inbound gateways feeding one shared outbound gateway; each of
+    the [legs] connections crosses its own inbound gateway then the shared
+    one (which is the common bottleneck when rates are equal). *)
+
+val dumbbell :
+  ?mu:float -> ?latency:float -> left:int -> right:int -> unit -> Network.t
+(** [left + right] connections share one middle bottleneck gateway; each
+    connection also crosses a private access gateway with ample capacity
+    (10x [mu]). *)
+
+val random :
+  ?mu_range:float * float ->
+  ?latency_range:float * float ->
+  rng:Ffc_numerics.Rng.t ->
+  gateways:int ->
+  connections:int ->
+  max_path:int ->
+  unit ->
+  Network.t
+(** A random topology: every connection picks a uniformly random non-empty
+    subset path of length ≤ [max_path] (distinct gateways, random order);
+    service rates and latencies drawn uniformly from the given ranges
+    (defaults [0.5, 2.0] and [0.0, 1.0]). Every gateway is guaranteed at
+    least one traversing connection re-rolled onto it if initially
+    unused. *)

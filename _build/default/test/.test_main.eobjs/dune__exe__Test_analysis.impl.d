@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Controller Ffc_core Ffc_topology Format List Rate_adjust Scenario String Test_util Topologies

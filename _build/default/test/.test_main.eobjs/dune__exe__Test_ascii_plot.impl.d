@@ -1,0 +1,1 @@
+test/test_ascii_plot.ml: Alcotest Array Ascii_plot Ffc_numerics Float String Test_util

@@ -1,0 +1,1 @@
+test/test_congestion.ml: Alcotest Array Congestion Ffc_core Ffc_numerics Float QCheck2 Test_util

@@ -1,0 +1,1 @@
+test/test_dynamics.ml: Alcotest Array Dynamics Ffc_numerics QCheck2 Test_util Vec

@@ -1,0 +1,1 @@
+test/test_eigen.ml: Alcotest Array Complex Eigen Ffc_numerics Float Mat Printf QCheck2 Test_util

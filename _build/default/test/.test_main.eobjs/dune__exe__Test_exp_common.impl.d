@@ -1,0 +1,1 @@
+test/test_exp_common.ml: Alcotest Exp_common Ffc_experiments Float List String Test_util

@@ -1,0 +1,1 @@
+test/test_fairness.ml: Alcotest Fairness Feedback Ffc_core Ffc_numerics Ffc_topology Network QCheck2 Signal Steady_state Test_util Topologies

@@ -1,0 +1,1 @@
+test/test_game.ml: Alcotest Array Ffc_game Ffc_queueing Float List Nash QCheck2 Service Test_util Utility

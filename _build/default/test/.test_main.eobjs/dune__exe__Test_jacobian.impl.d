@@ -1,0 +1,1 @@
+test/test_jacobian.ml: Alcotest Array Complex Controller Eigen Feedback Ffc_core Ffc_numerics Ffc_topology Float Jacobian Mat Rate_adjust Scenario Test_util Topologies

@@ -1,0 +1,1 @@
+test/test_mat.ml: Alcotest Array Ffc_numerics Float Mat QCheck2 Test_util Vec

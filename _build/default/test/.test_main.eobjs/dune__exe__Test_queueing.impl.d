@@ -1,0 +1,1 @@
+test/test_queueing.ml: Alcotest Array Delay Fair_share Feasibility Ffc_numerics Ffc_queueing Fifo Float List Mm1 Printf Priority QCheck2 Service Test_util Vec

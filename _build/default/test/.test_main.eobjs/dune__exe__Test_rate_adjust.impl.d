@@ -1,0 +1,1 @@
+test/test_rate_adjust.ml: Alcotest Ffc_core Float QCheck2 Rate_adjust Test_util

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Ffc_numerics Fun Printf QCheck2 Rng Stats Test_util

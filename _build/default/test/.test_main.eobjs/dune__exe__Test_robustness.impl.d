@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Controller Feedback Ffc_core Ffc_numerics Ffc_queueing Ffc_topology Mm1 Network QCheck2 Rng Robustness Scenario Service Signal Test_util Topologies

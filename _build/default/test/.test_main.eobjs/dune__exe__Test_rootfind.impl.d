@@ -1,0 +1,1 @@
+test/test_rootfind.ml: Alcotest Ffc_numerics Float QCheck2 Rootfind Test_util

@@ -1,0 +1,1 @@
+test/test_signal.ml: Alcotest Ffc_core Ffc_queueing Float List Printf QCheck2 Signal Test_util

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Ffc_numerics Float List QCheck2 Rng Stats Test_util

@@ -1,0 +1,1 @@
+test/test_steady_state.ml: Array Congestion Controller Feedback Ffc_core Ffc_numerics Ffc_topology List Network QCheck2 Scenario Signal Steady_state Test_util Topologies

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Dsl Ffc_numerics Ffc_topology List Network Printf QCheck2 Rng String Test_util Topologies

@@ -1,0 +1,1 @@
+test/test_transient.ml: Alcotest Array Feedback Ffc_core Ffc_numerics Ffc_topology Float Ode Scenario Test_util Topologies Transient

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float QCheck2 QCheck_alcotest Random

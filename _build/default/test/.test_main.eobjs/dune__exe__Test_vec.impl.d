@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Array Ffc_numerics QCheck2 String Test_util Vec

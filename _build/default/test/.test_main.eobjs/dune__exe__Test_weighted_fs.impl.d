@@ -1,0 +1,1 @@
+test/test_weighted_fs.ml: Array Fair_share Ffc_numerics Ffc_queueing Float Mm1 QCheck2 Rng Service Test_util Vec Weighted_fair_share

@@ -1,0 +1,1 @@
+test/test_window.ml: Alcotest Array Feedback Ffc_core Ffc_topology Float List Network Printf QCheck2 Test_util Topologies Window

@@ -1,0 +1,112 @@
+open Ffc_topology
+open Ffc_core
+open Test_util
+
+let find_report label reports =
+  match List.find_opt (fun r -> r.Analysis.design = label) reports with
+  | Some r -> r
+  | None -> Alcotest.failf "missing design %s" label
+
+let test_designs_cover_matrix () =
+  let labels = List.map (fun d -> d.Analysis.label) Analysis.designs in
+  Alcotest.(check (list string)) "three designs"
+    [ "aggregate"; "individual+fifo"; "individual+fair-share" ]
+    labels
+
+let test_homogeneous_single_gateway () =
+  let net = Topologies.single ~n:3 () in
+  let adjusters = Array.make 3 Scenario.standard_adjuster in
+  let reports =
+    Analysis.evaluate_all ~manifold_dim:2 ~adjusters ~net [| 0.05; 0.15; 0.3 |]
+  in
+  (* Aggregate: converges but keeps initial differences -> unfair. *)
+  let agg = find_report "aggregate" reports in
+  check_true "aggregate converged"
+    (match agg.Analysis.outcome with Controller.Converged _ -> true | _ -> false);
+  Alcotest.(check (option bool)) "aggregate unfair" (Some false) agg.Analysis.fair;
+  (* Individual designs: fair, robust, stable. *)
+  List.iter
+    (fun label ->
+      let r = find_report label reports in
+      Alcotest.(check (option bool)) (label ^ " fair") (Some true) r.Analysis.fair;
+      Alcotest.(check (option bool)) (label ^ " robust") (Some true) r.Analysis.robust;
+      Alcotest.(check (option bool)) (label ^ " unilateral") (Some true)
+        r.Analysis.unilateral;
+      (match r.Analysis.jain with
+      | Some j -> check_float ~tol:1e-6 (label ^ " jain = 1") 1. j
+      | None -> Alcotest.fail "jain expected");
+      match r.Analysis.steady with
+      | Some steady ->
+        check_vec ~tol:1e-5 (label ^ " fair point")
+          [| 0.5 /. 3.; 0.5 /. 3.; 0.5 /. 3. |]
+          steady
+      | None -> Alcotest.fail "steady expected")
+    [ "individual+fifo"; "individual+fair-share" ]
+
+let test_heterogeneous_matrix () =
+  (* The paper's bottom line on one screen: with heterogeneous betas only
+     individual+fair-share is robust. *)
+  let net = Topologies.single ~n:2 () in
+  let adjusters = [| Scenario.timid_adjuster; Scenario.greedy_adjuster |] in
+  let reports = Analysis.evaluate_all ~adjusters ~net [| 0.2; 0.2 |] in
+  let robust label = (find_report label reports).Analysis.robust in
+  Alcotest.(check (option bool)) "aggregate not robust" (Some false) (robust "aggregate");
+  Alcotest.(check (option bool)) "indiv+fifo not robust" (Some false)
+    (robust "individual+fifo");
+  Alcotest.(check (option bool)) "indiv+fs robust" (Some true)
+    (robust "individual+fair-share");
+  (* FS also shows the triangular stability matrix here. *)
+  Alcotest.(check (option bool)) "FS triangular DF" (Some true)
+    (find_report "individual+fair-share" reports).Analysis.df_triangular
+
+let test_unconverged_report_empty () =
+  (* An unstable configuration reports its outcome with no verdicts. *)
+  let n = 30 in
+  let net = Topologies.single ~n () in
+  let adjusters = Array.make n Scenario.standard_adjuster in
+  let r0 = Array.init n (fun i -> 0.5 /. float_of_int n *. (1. +. (0.01 *. float_of_int i))) in
+  let report =
+    Analysis.evaluate ~max_steps:3000
+      (List.hd Analysis.designs) (* aggregate *)
+      ~adjusters ~net ~r0
+  in
+  check_true "did not converge"
+    (match report.Analysis.outcome with Controller.Converged _ -> false | _ -> true);
+  Alcotest.(check (option bool)) "no fairness verdict" None report.Analysis.fair;
+  check_true "no spectral radius" (report.Analysis.spectral_radius = None)
+
+let test_robust_verdict_requires_declared_bss () =
+  (* The DECbit window form declares no b_ss: robustness is unknown. *)
+  let net = Topologies.single ~n:1 () in
+  let adjusters = [| Rate_adjust.decbit_window ~eta:0.2 ~beta:0.5 |] in
+  let report =
+    Analysis.evaluate
+      (List.nth Analysis.designs 1)
+      ~adjusters ~net ~r0:[| 0.1 |]
+  in
+  check_true "converged"
+    (match report.Analysis.outcome with Controller.Converged _ -> true | _ -> false);
+  Alcotest.(check (option bool)) "robust unknown" None report.Analysis.robust
+
+let test_pp_report_renders () =
+  let net = Topologies.single ~n:2 () in
+  let adjusters = Array.make 2 Scenario.standard_adjuster in
+  let reports = Analysis.evaluate_all ~adjusters ~net [| 0.1; 0.1 |] in
+  List.iter
+    (fun r ->
+      let s = Format.asprintf "%a" Analysis.pp_report r in
+      check_true "non-empty rendering" (String.length s > 10))
+    reports
+
+let suites =
+  [
+    ( "core.analysis",
+      [
+        case "design matrix labels" test_designs_cover_matrix;
+        case "homogeneous single gateway" test_homogeneous_single_gateway;
+        case "heterogeneous design matrix (paper core claim)" test_heterogeneous_matrix;
+        case "unconverged report" test_unconverged_report_empty;
+        case "robustness needs declared b_ss" test_robust_verdict_requires_declared_bss;
+        case "report rendering" test_pp_report_renders;
+      ] );
+  ]

@@ -1,0 +1,78 @@
+open Ffc_numerics
+open Test_util
+
+let contains s sub =
+  let n = String.length sub in
+  let found = ref false in
+  for i = 0 to String.length s - n do
+    if String.sub s i n = sub then found := true
+  done;
+  !found
+
+let test_series_renders () =
+  let out = Ascii_plot.series ~title:"ramp" (Array.init 10 float_of_int) in
+  check_true "has title" (contains out "ramp");
+  check_true "has frame" (contains out "+---");
+  check_true "has glyphs" (contains out "*")
+
+let test_scatter_renders () =
+  let out = Ascii_plot.scatter [| (0., 0.); (1., 1.); (2., 4.) |] in
+  check_true "has points" (contains out "*")
+
+let test_empty_canvas () =
+  let c = Ascii_plot.canvas () in
+  let out = Ascii_plot.render c in
+  check_true "renders frame without data" (contains out "+")
+
+let test_nonfinite_filtered () =
+  let c = Ascii_plot.canvas () in
+  Ascii_plot.plot_points c [| (Float.nan, 1.); (1., Float.infinity); (1., 1.) |];
+  let out = Ascii_plot.render c in
+  check_true "renders despite non-finite inputs" (contains out "*")
+
+let test_custom_glyph () =
+  let c = Ascii_plot.canvas () in
+  Ascii_plot.plot_series c ~glyph:'o' [| 1.; 2.; 3. |];
+  check_true "custom glyph used" (contains (Ascii_plot.render c) "o")
+
+let test_axis_labels () =
+  let out =
+    Ascii_plot.series ~x_label:"time step" ~y_label:"rate" [| 1.; 2. |]
+  in
+  check_true "x label" (contains out "time step");
+  check_true "y label" (contains out "rate")
+
+let test_bars () =
+  let out = Ascii_plot.bars ~title:"alloc" [ ("fifo", 2.); ("fs", 4.) ] in
+  check_true "bar title" (contains out "alloc");
+  check_true "labels present" (contains out "fifo" && contains out "fs");
+  check_true "bars drawn" (contains out "##")
+
+let test_bars_negative_rejected () =
+  Alcotest.check_raises "negative bar" (Invalid_argument "Ascii_plot.bars: negative value")
+    (fun () -> ignore (Ascii_plot.bars [ ("x", -1.) ]))
+
+let test_too_small_canvas () =
+  Alcotest.check_raises "tiny canvas" (Invalid_argument "Ascii_plot.canvas: too small")
+    (fun () -> ignore (Ascii_plot.canvas ~width:2 ~height:2 ()))
+
+let test_value_range_in_render () =
+  let out = Ascii_plot.series [| 0.; 100. |] in
+  check_true "max tick present" (contains out "100")
+
+let suites =
+  [
+    ( "numerics.ascii_plot",
+      [
+        case "series rendering" test_series_renders;
+        case "scatter rendering" test_scatter_renders;
+        case "empty canvas" test_empty_canvas;
+        case "non-finite filtering" test_nonfinite_filtered;
+        case "custom glyph" test_custom_glyph;
+        case "axis labels" test_axis_labels;
+        case "bar chart" test_bars;
+        case "bars reject negatives" test_bars_negative_rejected;
+        case "canvas size validation" test_too_small_canvas;
+        case "tick labels show range" test_value_range_in_render;
+      ] );
+  ]

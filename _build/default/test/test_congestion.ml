@@ -1,0 +1,88 @@
+open Ffc_core
+open Test_util
+
+let test_aggregate () =
+  check_float "total" 6. (Congestion.aggregate [| 1.; 2.; 3. |]);
+  check_true "infinity propagates"
+    (Congestion.aggregate [| 1.; Float.infinity |] = Float.infinity)
+
+let test_individual_values () =
+  let q = [| 1.; 2.; 4. |] in
+  (* C_0 = min(1,1)+min(2,1)+min(4,1) = 3 = N*Q_0 (smallest queue). *)
+  check_float "smallest: N*Q_i" 3. (Congestion.individual q 0);
+  (* C_1 = 1 + 2 + 2 = 5. *)
+  check_float "middle" 5. (Congestion.individual q 1);
+  (* C_2 = 1 + 2 + 4 = 7 = aggregate (largest queue). *)
+  check_float "largest: aggregate" (Congestion.aggregate q) (Congestion.individual q 2)
+
+let test_individual_equal_queues () =
+  let q = [| 2.; 2. |] in
+  check_float "equal queues give aggregate" 4. (Congestion.individual q 0);
+  check_float "same for both" (Congestion.individual q 0) (Congestion.individual q 1)
+
+let test_individual_with_infinite_peer () =
+  (* A finite queue is not charged for an infinite neighbour. *)
+  let q = [| 0.5; Float.infinity |] in
+  check_float "finite connection shielded" 1. (Congestion.individual q 0);
+  check_true "infinite connection sees infinity"
+    (Congestion.individual q 1 = Float.infinity)
+
+let test_measures_aggregate_uniform () =
+  let m = Congestion.measures Congestion.Aggregate [| 1.; 2. |] in
+  check_vec "same signal for all" [| 3.; 3. |] m
+
+let test_measures_individual () =
+  let m = Congestion.measures Congestion.Individual [| 1.; 2.; 4. |] in
+  check_vec "per-connection measures" [| 3.; 5.; 7. |] m
+
+let test_individual_bounds_check () =
+  Alcotest.check_raises "index out of bounds"
+    (Invalid_argument "Congestion.individual: index out of bounds") (fun () ->
+      ignore (Congestion.individual [| 1. |] 5))
+
+let test_style_names () =
+  Alcotest.(check string) "aggregate" "aggregate" (Congestion.style_name Congestion.Aggregate);
+  Alcotest.(check string) "individual" "individual"
+    (Congestion.style_name Congestion.Individual)
+
+let gen_queues = QCheck2.Gen.(array_size (int_range 1 10) (float_range 0. 20.))
+
+let prop_individual_monotone_in_queue_order =
+  prop "larger queue receives larger individual measure" gen_queues (fun q ->
+      let m = Congestion.measures Congestion.Individual q in
+      let ok = ref true in
+      Array.iteri
+        (fun i qi ->
+          Array.iteri (fun j qj -> if qi < qj && m.(i) > m.(j) +. 1e-9 then ok := false) q)
+        q;
+      !ok)
+
+let prop_individual_below_aggregate =
+  prop "individual measure never exceeds the aggregate" gen_queues (fun q ->
+      let total = Congestion.aggregate q in
+      let m = Congestion.measures Congestion.Individual q in
+      Array.for_all (fun c -> c <= total +. 1e-9) m)
+
+let prop_individual_max_equals_aggregate =
+  prop "largest-queue connection sees the aggregate" gen_queues (fun q ->
+      let m = Congestion.measures Congestion.Individual q in
+      let imax = Ffc_numerics.Vec.argmax q in
+      Float.abs (m.(imax) -. Congestion.aggregate q) <= 1e-9)
+
+let suites =
+  [
+    ( "core.congestion",
+      [
+        case "aggregate" test_aggregate;
+        case "individual values" test_individual_values;
+        case "equal queues" test_individual_equal_queues;
+        case "infinite peer" test_individual_with_infinite_peer;
+        case "aggregate measures uniform" test_measures_aggregate_uniform;
+        case "individual measures" test_measures_individual;
+        case "bounds check" test_individual_bounds_check;
+        case "style names" test_style_names;
+        prop_individual_monotone_in_queue_order;
+        prop_individual_below_aggregate;
+        prop_individual_max_equals_aggregate;
+      ] );
+  ]

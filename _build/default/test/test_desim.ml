@@ -1,0 +1,385 @@
+open Ffc_numerics
+open Ffc_queueing
+open Ffc_topology
+open Ffc_desim
+open Test_util
+
+(* ------------------------------------------------------------------ *)
+(* Event heap                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let h = Event_heap.create () in
+  List.iter (fun (t, v) -> Event_heap.push h ~time:t v) [ (3., "c"); (1., "a"); (2., "b") ];
+  let popped = List.init 3 (fun _ -> Event_heap.pop_min h) in
+  let values = List.map (function Some (_, v) -> v | None -> "?") popped in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] values;
+  check_true "empty at end" (Event_heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Event_heap.create () in
+  List.iter (fun v -> Event_heap.push h ~time:1. v) [ 1; 2; 3 ];
+  let values = List.init 3 (fun _ -> match Event_heap.pop_min h with Some (_, v) -> v | None -> 0) in
+  Alcotest.(check (list int)) "insertion order on ties" [ 1; 2; 3 ] values
+
+let test_heap_interleaved () =
+  let h = Event_heap.create () in
+  Event_heap.push h ~time:5. 5;
+  Event_heap.push h ~time:1. 1;
+  (match Event_heap.pop_min h with
+  | Some (t, 1) -> check_float "first pop" 1. t
+  | _ -> Alcotest.fail "expected (1., 1)");
+  Event_heap.push h ~time:0.5 0;
+  (match Event_heap.pop_min h with
+  | Some (_, v) -> Alcotest.(check int) "newly pushed smaller" 0 v
+  | None -> Alcotest.fail "heap not empty");
+  Alcotest.(check int) "size" 1 (Event_heap.size h)
+
+let test_heap_nonfinite_rejected () =
+  let h = Event_heap.create () in
+  Alcotest.check_raises "nan time" (Invalid_argument "Event_heap.push: non-finite time")
+    (fun () -> Event_heap.push h ~time:Float.nan ())
+
+let test_heap_large_random () =
+  let h = Event_heap.create () in
+  let rng = Rng.create 99 in
+  for _ = 1 to 1000 do
+    Event_heap.push h ~time:(Rng.uniform rng) ()
+  done;
+  let last = ref neg_infinity in
+  let sorted = ref true in
+  for _ = 1 to 1000 do
+    match Event_heap.pop_min h with
+    | Some (t, ()) ->
+      if t < !last then sorted := false;
+      last := t
+    | None -> sorted := false
+  done;
+  check_true "1000 random events pop sorted" !sorted
+
+(* ------------------------------------------------------------------ *)
+(* Sim core                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~at:2. (fun () -> log := "b" :: !log);
+  Sim.schedule sim ~at:1. (fun () -> log := "a" :: !log);
+  Sim.run sim;
+  Alcotest.(check (list string)) "execution order" [ "a"; "b" ] (List.rev !log);
+  check_float "clock at last event" 2. (Sim.now sim)
+
+let test_sim_cascading () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick () =
+    Stdlib.incr count;
+    if !count < 5 then Sim.schedule_after sim ~delay:1. tick
+  in
+  Sim.schedule sim ~at:0. tick;
+  Sim.run sim;
+  Alcotest.(check int) "cascade count" 5 !count;
+  check_float "final clock" 4. (Sim.now sim)
+
+let test_sim_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick () =
+    Stdlib.incr count;
+    Sim.schedule_after sim ~delay:1. tick
+  in
+  Sim.schedule sim ~at:0. tick;
+  Sim.run ~until:3.5 sim;
+  Alcotest.(check int) "only events <= until" 4 !count;
+  check_float "clock advanced to until" 3.5 (Sim.now sim);
+  check_true "later events still pending" (Sim.pending sim > 0)
+
+let test_sim_past_rejected () =
+  let sim = Sim.create () in
+  Sim.schedule sim ~at:5. (fun () -> ());
+  Sim.run sim;
+  Alcotest.check_raises "past scheduling" (Invalid_argument "Sim.schedule: time in the past")
+    (fun () -> Sim.schedule sim ~at:1. (fun () -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Measure                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_measure_occupancy () =
+  let m = Measure.create () in
+  Measure.incr m ~key:(0, 0) ~now:0.;
+  Measure.incr m ~key:(0, 0) ~now:1.;
+  Measure.decr m ~key:(0, 0) ~now:3.;
+  (* Level 1 on [0,1), 2 on [1,3), 1 on [3,4): mean (1+4+1)/4 = 1.5. *)
+  check_float "time-weighted occupancy" 1.5 (Measure.mean_occupancy m ~key:(0, 0) ~now:4.);
+  Alcotest.(check int) "instantaneous" 1 (Measure.occupancy m ~key:(0, 0))
+
+let test_measure_reset () =
+  let m = Measure.create () in
+  Measure.incr m ~key:(0, 0) ~now:0.;
+  Measure.reset m ~now:10.;
+  (* Level stays 1 across the reset; mean over the new window is 1. *)
+  check_float "post-reset mean" 1. (Measure.mean_occupancy m ~key:(0, 0) ~now:12.);
+  Measure.record_delay m ~conn:0 5.;
+  Measure.reset m ~now:20.;
+  Alcotest.(check int) "delays cleared" 0 (Measure.delay_count m ~conn:0)
+
+let test_measure_negative_occupancy () =
+  let m = Measure.create () in
+  Alcotest.check_raises "decr below zero"
+    (Invalid_argument "Measure.decr: occupancy would go negative") (fun () ->
+      Measure.decr m ~key:(0, 0) ~now:0.)
+
+let test_measure_delays () =
+  let m = Measure.create () in
+  Measure.record_delay m ~conn:1 2.;
+  Measure.record_delay m ~conn:1 4.;
+  check_float "delay mean" 3. (Measure.delay_mean m ~conn:1);
+  Alcotest.(check int) "delay count" 2 (Measure.delay_count m ~conn:1);
+  check_float "unseen conn" 0. (Measure.delay_mean m ~conn:9)
+
+let test_measure_deliveries () =
+  let m = Measure.create () in
+  Measure.count_delivery m ~conn:0;
+  Measure.count_delivery m ~conn:0;
+  Alcotest.(check int) "two deliveries" 2 (Measure.deliveries m ~conn:0);
+  Alcotest.(check int) "unseen conn" 0 (Measure.deliveries m ~conn:3)
+
+(* ------------------------------------------------------------------ *)
+(* Source                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_source_rate () =
+  let sim = Sim.create () in
+  let rng = Rng.create 7 in
+  let count = ref 0 in
+  let src =
+    Source.create ~sim ~rng ~conn:0 ~rate:5. ~emit:(fun _ -> Stdlib.incr count) ()
+  in
+  Source.start src;
+  Sim.run ~until:1000. sim;
+  (* ~5000 arrivals expected; Poisson sd ~ 71. *)
+  check_true "arrival count near rate*horizon"
+    (Float.abs (float_of_int !count -. 5000.) < 300.);
+  Alcotest.(check int) "emitted counter" !count (Source.emitted src)
+
+let test_source_zero_rate () =
+  let sim = Sim.create () in
+  let rng = Rng.create 7 in
+  let src = Source.create ~sim ~rng ~conn:0 ~rate:0. ~emit:(fun _ -> ()) () in
+  Source.start src;
+  Sim.run ~until:10. sim;
+  Alcotest.(check int) "no packets" 0 (Source.emitted src)
+
+let test_source_interarrival_exponential () =
+  let sim = Sim.create () in
+  let rng = Rng.create 21 in
+  let times = ref [] in
+  let src =
+    Source.create ~sim ~rng ~conn:0 ~rate:2. ~emit:(fun _ -> times := Sim.now sim :: !times) ()
+  in
+  Source.start src;
+  Sim.run ~until:5000. sim;
+  let ts = Array.of_list (List.rev !times) in
+  let gaps = Array.init (Array.length ts - 1) (fun i -> ts.(i + 1) -. ts.(i)) in
+  check_float ~tol:0.02 "mean gap 1/rate" 0.5 (Stats.mean gaps);
+  (* Exponential: sd = mean. *)
+  check_float ~tol:0.03 "sd of gaps = mean" 0.5 (Stats.stddev gaps)
+
+(* ------------------------------------------------------------------ *)
+(* Server against M/M/1 theory                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_single_gateway ~discipline ~rates ~mu ~seed ~horizon =
+  let net = Topologies.single ~mu ~n:(Array.length rates) () in
+  Netsim.run ~net ~rates ~discipline ~seed ~horizon ()
+
+let test_mm1_occupancy () =
+  (* Single connection, rho = 0.5: E[N] = 1. *)
+  let r = run_single_gateway ~discipline:Netsim.Fifo ~rates:[| 0.5 |] ~mu:1. ~seed:42
+      ~horizon:200_000. in
+  check_float ~tol:0.05 "M/M/1 mean occupancy" 1. (Netsim.mean_queue r ~gw:0 ~conn:0)
+
+let test_mm1_sojourn () =
+  let r = run_single_gateway ~discipline:Netsim.Fifo ~rates:[| 0.5 |] ~mu:1. ~seed:43
+      ~horizon:200_000. in
+  (* E[T] = 1/(mu - lambda) = 2. *)
+  check_float ~tol:0.1 "M/M/1 sojourn" 2. (Netsim.delay_mean r ~conn:0)
+
+let test_mm1_throughput () =
+  let r = run_single_gateway ~discipline:Netsim.Fifo ~rates:[| 0.5 |] ~mu:1. ~seed:44
+      ~horizon:100_000. in
+  check_float ~tol:0.02 "delivered = offered" 0.5 (Netsim.throughput r ~conn:0)
+
+let test_fifo_two_connections () =
+  let rates = [| 0.25; 0.5 |] and mu = 1. in
+  let r = run_single_gateway ~discipline:Netsim.Fifo ~rates ~mu ~seed:45 ~horizon:200_000. in
+  let expected = Fifo.queue_lengths ~mu rates in
+  check_float ~tol:0.08 "conn0 queue" expected.(0) (Netsim.mean_queue r ~gw:0 ~conn:0);
+  check_float ~tol:0.12 "conn1 queue" expected.(1) (Netsim.mean_queue r ~gw:0 ~conn:1)
+
+let test_fs_two_connections () =
+  let rates = [| 0.2; 0.6 |] and mu = 1. in
+  let r = run_single_gateway ~discipline:Netsim.Fs_priority ~rates ~mu ~seed:46
+      ~horizon:200_000. in
+  let expected = Fair_share.queue_lengths ~mu rates in
+  check_float ~tol:0.05 "slow conn queue (FS)" expected.(0) (Netsim.mean_queue r ~gw:0 ~conn:0);
+  check_float ~tol:0.25 "fast conn queue (FS)" expected.(1) (Netsim.mean_queue r ~gw:0 ~conn:1)
+
+let test_fs_isolation_in_simulation () =
+  (* The overload isolation of Theorem 5, observed packet-by-packet: the
+     slow connection's queue stays near its analytic value even though the
+     fast connection saturates the gateway. *)
+  let rates = [| 0.1; 1.4 |] and mu = 1. in
+  let r = run_single_gateway ~discipline:Netsim.Fs_priority ~rates ~mu ~seed:47
+      ~horizon:100_000. in
+  let expected_slow = Mm1.g 0.2 /. 2. in
+  check_float ~tol:0.05 "slow queue isolated under overload" expected_slow
+    (Netsim.mean_queue r ~gw:0 ~conn:0);
+  (* Slow connection still delivers its full offered load. *)
+  check_float ~tol:0.01 "slow throughput preserved" 0.1 (Netsim.throughput r ~conn:0)
+
+let test_fifo_no_isolation_in_simulation () =
+  (* Same overload under FIFO: the slow connection's queue grows without
+     bound (far beyond its subcritical value). *)
+  let rates = [| 0.1; 1.4 |] and mu = 1. in
+  let r = run_single_gateway ~discipline:Netsim.Fifo ~rates ~mu ~seed:48 ~horizon:20_000. in
+  check_true "slow queue blows up under FIFO"
+    (Netsim.mean_queue r ~gw:0 ~conn:0 > 10.)
+
+let test_fq_fairness () =
+  (* Fair queueing approximates FS: under overload by the fast connection
+     the slow one still gets its throughput. *)
+  let rates = [| 0.1; 1.4 |] and mu = 1. in
+  let r = run_single_gateway ~discipline:Netsim.Fair_queueing ~rates ~mu ~seed:49
+      ~horizon:50_000. in
+  check_float ~tol:0.02 "slow throughput preserved under FQ" 0.1
+    (Netsim.throughput r ~conn:0)
+
+let test_two_hop_network () =
+  (* Tandem M/M/1 queues: each hop behaves as an independent M/M/1 (Burke:
+     Poisson output), so per-hop occupancy matches g(rho) at both. *)
+  let net = Topologies.chain ~mu:1. ~hops:2 ~conns:1 () in
+  let r = Netsim.run ~net ~rates:[| 0.5 |] ~discipline:Netsim.Fifo ~seed:50
+      ~horizon:100_000. () in
+  check_float ~tol:0.08 "hop 0 occupancy" 1. (Netsim.mean_queue r ~gw:0 ~conn:0);
+  check_float ~tol:0.08 "hop 1 occupancy" 1. (Netsim.mean_queue r ~gw:1 ~conn:0)
+
+let test_latency_adds_to_delay () =
+  let net = Topologies.single ~mu:1. ~latency:3. ~n:1 () in
+  let r = Netsim.run ~net ~rates:[| 0.5 |] ~discipline:Netsim.Fifo ~seed:51
+      ~horizon:100_000. () in
+  (* Sojourn 2 plus line latency 3. *)
+  check_float ~tol:0.1 "delay includes latency" 5. (Netsim.delay_mean r ~conn:0)
+
+let test_determinism () =
+  let run () =
+    let r = run_single_gateway ~discipline:Netsim.Fifo ~rates:[| 0.4 |] ~mu:1. ~seed:52
+        ~horizon:5_000. in
+    Netsim.mean_queue r ~gw:0 ~conn:0
+  in
+  check_float "same seed, same result" (run ()) (run ())
+
+let test_seed_sensitivity () =
+  let run seed =
+    let r = run_single_gateway ~discipline:Netsim.Fifo ~rates:[| 0.4 |] ~mu:1. ~seed
+        ~horizon:5_000. in
+    Netsim.mean_queue r ~gw:0 ~conn:0
+  in
+  check_false "different seeds differ" (run 1 = run 2)
+
+let test_netsim_validation () =
+  let net = Topologies.single ~n:1 () in
+  check_true "rate length mismatch rejected"
+    (try
+       ignore (Netsim.run ~net ~rates:[| 1.; 2. |] ~discipline:Netsim.Fifo ~seed:1
+                 ~horizon:10. ());
+       false
+     with Invalid_argument _ -> true);
+  check_true "bad horizon rejected"
+    (try
+       ignore (Netsim.run ~net ~rates:[| 1. |] ~discipline:Netsim.Fifo ~seed:1
+                 ~warmup:10. ~horizon:5. ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_littles_law_in_simulation () =
+  (* L = lambda * W per connection: the time-average queue equals the
+     delivered rate times the mean sojourn (single FIFO gateway, so the
+     end-to-end delay is exactly the sojourn). *)
+  let rates = [| 0.2; 0.4 |] and mu = 1. in
+  let r = run_single_gateway ~discipline:Netsim.Fifo ~rates ~mu ~seed:61
+      ~horizon:100_000. in
+  Array.iteri
+    (fun i _ ->
+      let l = Netsim.mean_queue r ~gw:0 ~conn:i in
+      let lam = Netsim.throughput r ~conn:i in
+      let w = Netsim.delay_mean r ~conn:i in
+      check_float_rel ~tol:0.03 (Printf.sprintf "L = lambda W (conn %d)" i) (lam *. w) l)
+    rates
+
+let prop_work_conservation_sim =
+  (* Total occupancy is discipline independent (conservation): FIFO and FS
+     agree on the total queue within simulation noise. *)
+  prop "simulated total queue is discipline-independent" ~count:5
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let rates = [| 0.2; 0.4 |] and mu = 1. in
+      let total d =
+        let r = run_single_gateway ~discipline:d ~rates ~mu ~seed ~horizon:50_000. in
+        Netsim.total_mean_queue r ~gw:0
+      in
+      let fifo = total Netsim.Fifo and fs = total Netsim.Fs_priority in
+      Float.abs (fifo -. fs) <= 0.25 *. Float.max 1. fifo)
+
+let suites =
+  [
+    ( "desim.event_heap",
+      [
+        case "ordering" test_heap_ordering;
+        case "fifo on ties" test_heap_fifo_ties;
+        case "interleaved" test_heap_interleaved;
+        case "non-finite rejected" test_heap_nonfinite_rejected;
+        case "large random" test_heap_large_random;
+      ] );
+    ( "desim.sim",
+      [
+        case "ordering" test_sim_ordering;
+        case "cascading" test_sim_cascading;
+        case "run until" test_sim_until;
+        case "past rejected" test_sim_past_rejected;
+      ] );
+    ( "desim.measure",
+      [
+        case "occupancy" test_measure_occupancy;
+        case "reset" test_measure_reset;
+        case "negative occupancy" test_measure_negative_occupancy;
+        case "delays" test_measure_delays;
+        case "deliveries" test_measure_deliveries;
+      ] );
+    ( "desim.source",
+      [
+        case "rate" test_source_rate;
+        case "zero rate" test_source_zero_rate;
+        case "exponential gaps" test_source_interarrival_exponential;
+      ] );
+    ( "desim.netsim",
+      [
+        case "M/M/1 occupancy" test_mm1_occupancy;
+        case "M/M/1 sojourn" test_mm1_sojourn;
+        case "M/M/1 throughput" test_mm1_throughput;
+        case "FIFO two connections" test_fifo_two_connections;
+        case "FS two connections" test_fs_two_connections;
+        case "FS isolation under overload" test_fs_isolation_in_simulation;
+        case "FIFO lacks isolation" test_fifo_no_isolation_in_simulation;
+        case "FQ preserves slow throughput" test_fq_fairness;
+        case "two-hop tandem" test_two_hop_network;
+        case "latency in delay" test_latency_adds_to_delay;
+        case "determinism" test_determinism;
+        case "seed sensitivity" test_seed_sensitivity;
+        case "input validation" test_netsim_validation;
+        case "Little law in simulation" test_littles_law_in_simulation;
+        prop_work_conservation_sim;
+      ] );
+  ]

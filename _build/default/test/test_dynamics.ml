@@ -1,0 +1,100 @@
+open Ffc_numerics
+open Test_util
+
+(* Logistic map x' = a x (1 - x): the canonical period-doubling family the
+   paper's chaos example follows (Collet-Eckmann). *)
+let logistic a x = a *. x *. (1. -. x)
+
+let test_iterate () =
+  let xs = Dynamics.iterate (fun x -> 2. *. x) ~x0:1. ~n:4 in
+  check_vec "doubling orbit" [| 2.; 4.; 8.; 16. |] xs
+
+let test_orbit_tail () =
+  let xs = Dynamics.orbit_tail (fun x -> x /. 2.) ~x0:1024. ~transient:10 ~keep:2 in
+  check_vec "tail after transient" [| 0.5; 0.25 |] xs
+
+let test_fixed_point_logistic () =
+  match Dynamics.classify (logistic 2.8) ~x0:0.3 with
+  | Dynamics.Fixed_point x -> check_float ~tol:1e-5 "fp of logistic 2.8" (1. -. (1. /. 2.8)) x
+  | _ -> Alcotest.fail "logistic a=2.8 has an attracting fixed point"
+
+let test_period2_logistic () =
+  match Dynamics.classify (logistic 3.2) ~x0:0.3 with
+  | Dynamics.Cycle c ->
+    Alcotest.(check int) "period 2" 2 (Array.length c);
+    (* The two cycle points satisfy f(x) = y, f(y) = x. *)
+    check_float ~tol:1e-5 "cycle consistency" c.(1) (logistic 3.2 c.(0));
+    check_float ~tol:1e-5 "cycle closes" c.(0) (logistic 3.2 c.(1))
+  | _ -> Alcotest.fail "logistic a=3.2 has a 2-cycle"
+
+let test_period4_logistic () =
+  match Dynamics.classify (logistic 3.5) ~x0:0.3 with
+  | Dynamics.Cycle c -> Alcotest.(check int) "period 4" 4 (Array.length c)
+  | _ -> Alcotest.fail "logistic a=3.5 has a 4-cycle"
+
+let test_chaos_logistic () =
+  match Dynamics.classify (logistic 4.) ~x0:0.3 with
+  | Dynamics.Chaotic le ->
+    (* The logistic map at a=4 has Lyapunov exponent log 2. *)
+    check_float ~tol:0.1 "lyapunov ~ log 2" (log 2.) le
+  | c ->
+    Alcotest.failf "logistic a=4 should be chaotic, got %s"
+      (match c with
+      | Dynamics.Fixed_point _ -> "fixed point"
+      | Dynamics.Cycle _ -> "cycle"
+      | Dynamics.Aperiodic _ -> "aperiodic"
+      | Dynamics.Divergent -> "divergent"
+      | Dynamics.Chaotic _ -> "chaotic")
+
+let test_divergent () =
+  check_true "escaping orbit detected"
+    (Dynamics.classify (fun x -> (2. *. x) +. 1.) ~x0:1. = Dynamics.Divergent)
+
+let test_divergent_nan () =
+  check_true "nan orbit is divergent"
+    (Dynamics.classify (fun x -> sqrt (x -. 1e9)) ~x0:0. = Dynamics.Divergent)
+
+let test_lyapunov_signs () =
+  check_true "contracting map has negative exponent"
+    (Dynamics.lyapunov (fun x -> 0.5 *. x) ~x0:1. ~n:200 < 0.);
+  check_true "chaotic map has positive exponent"
+    (Dynamics.lyapunov (logistic 4.) ~x0:0.3 ~n:2000 > 0.)
+
+let test_bifurcation_scan () =
+  let scan =
+    Dynamics.bifurcation_scan logistic ~params:[| 2.8; 3.2 |] ~x0:0.3 ~keep:64
+  in
+  Alcotest.(check int) "two parameter values" 2 (Array.length scan);
+  let _, fixed_samples = scan.(0) and _, cycle_samples = scan.(1) in
+  (* At a=2.8 all samples agree; at a=3.2 they alternate between two values. *)
+  let spread xs = Vec.max xs -. Vec.min xs in
+  check_true "fixed point samples tight" (spread fixed_samples < 1e-4);
+  check_true "2-cycle samples spread" (spread cycle_samples > 0.1)
+
+let prop_logistic_classification_total =
+  prop "classification always terminates in a defined state" ~count:50
+    QCheck2.Gen.(float_range 2.5 4.0)
+    (fun a ->
+      match Dynamics.classify (logistic a) ~x0:0.31 with
+      | Dynamics.Fixed_point x -> x >= 0. && x <= 1.
+      | Dynamics.Cycle c -> Array.length c >= 2
+      | Dynamics.Chaotic _ | Dynamics.Aperiodic _ -> true
+      | Dynamics.Divergent -> false (* logistic on [0,1] never escapes *))
+
+let suites =
+  [
+    ( "numerics.dynamics",
+      [
+        case "iterate" test_iterate;
+        case "orbit tail" test_orbit_tail;
+        case "logistic fixed point" test_fixed_point_logistic;
+        case "logistic period 2" test_period2_logistic;
+        case "logistic period 4" test_period4_logistic;
+        case "logistic chaos" test_chaos_logistic;
+        case "divergence" test_divergent;
+        case "nan divergence" test_divergent_nan;
+        case "lyapunov signs" test_lyapunov_signs;
+        case "bifurcation scan" test_bifurcation_scan;
+        prop_logistic_classification_total;
+      ] );
+  ]

@@ -1,0 +1,67 @@
+open Ffc_experiments
+open Test_util
+
+let contains s sub =
+  let n = String.length sub in
+  let found = ref false in
+  for i = 0 to String.length s - n do
+    if String.sub s i n = sub then found := true
+  done;
+  !found
+
+let test_table_alignment () =
+  let t =
+    Exp_common.table ~header:[ "a"; "long-header" ]
+      ~rows:[ [ "xxxx"; "y" ]; [ "z"; "wwwww" ] ]
+  in
+  let lines = String.split_on_char '\n' t |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  (* All lines equal length (fixed-width columns). *)
+  let widths = List.map String.length lines in
+  List.iter (fun w -> Alcotest.(check int) "uniform width" (List.hd widths) w) widths;
+  check_true "rule present" (contains t "----")
+
+let test_table_ragged_rows () =
+  (* Missing cells render as blanks, no exception. *)
+  let t = Exp_common.table ~header:[ "a"; "b"; "c" ] ~rows:[ [ "1" ]; [ "1"; "2"; "3" ] ] in
+  check_true "renders" (String.length t > 0)
+
+let test_fnum () =
+  Alcotest.(check string) "zero" "0" (Exp_common.fnum 0.);
+  Alcotest.(check string) "inf" "inf" (Exp_common.fnum Float.infinity);
+  Alcotest.(check string) "-inf" "-inf" (Exp_common.fnum Float.neg_infinity);
+  Alcotest.(check string) "nan" "nan" (Exp_common.fnum Float.nan);
+  Alcotest.(check string) "plain" "0.25" (Exp_common.fnum 0.25);
+  check_true "tiny uses scientific" (contains (Exp_common.fnum 1e-7) "e");
+  check_true "huge uses scientific" (contains (Exp_common.fnum 1e9) "e")
+
+let test_fbool () =
+  Alcotest.(check string) "yes" "yes" (Exp_common.fbool true);
+  Alcotest.(check string) "no" "no" (Exp_common.fbool false)
+
+let test_section () =
+  let s = Exp_common.section "Title" in
+  check_true "underlined" (contains s "~~~~~")
+
+let test_render_header () =
+  let e =
+    { Exp_common.id = "EX"; title = "demo"; paper_ref = "here"; run = (fun () -> "body") }
+  in
+  let s = Exp_common.render e in
+  check_true "id" (contains s "EX");
+  check_true "title" (contains s "demo");
+  check_true "paper ref" (contains s "here");
+  check_true "body" (contains s "body")
+
+let suites =
+  [
+    ( "experiments.common",
+      [
+        case "table alignment" test_table_alignment;
+        case "table ragged rows" test_table_ragged_rows;
+        case "numeric formatting" test_fnum;
+        case "boolean formatting" test_fbool;
+        case "section headers" test_section;
+        case "render header block" test_render_header;
+      ] );
+  ]

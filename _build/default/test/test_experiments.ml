@@ -1,0 +1,372 @@
+open Ffc_experiments
+open Test_util
+
+(* Each experiment's compute() is asserted against the paper's claim, and
+   every rendered report must be non-trivial text. *)
+
+let contains s sub =
+  let n = String.length sub in
+  let found = ref false in
+  for i = 0 to String.length s - n do
+    if String.sub s i n = sub then found := true
+  done;
+  !found
+
+let test_registry_complete () =
+  Alcotest.(check int) "24 experiments" 24 (List.length Registry.all);
+  List.iter
+    (fun e ->
+      check_true (e.Exp_common.id ^ " findable") (Registry.find e.Exp_common.id <> None))
+    Registry.all;
+  check_true "case-insensitive lookup" (Registry.find "e5" <> None);
+  check_true "unknown id rejected"
+    (match Registry.run_one "E99" with Error _ -> true | Ok _ -> false)
+
+let test_e1_table () =
+  let d = E01_table1.compute () in
+  (* Row sums recover rates; first column is constant r1. *)
+  Array.iteri
+    (fun i row ->
+      check_float
+        (Printf.sprintf "row %d sums to rate" i)
+        E01_table1.rates.(i)
+        (Array.fold_left ( +. ) 0. row);
+      check_float (Printf.sprintf "row %d level A" i) E01_table1.rates.(0) row.(0))
+    d;
+  (* Strictly upper part is zero. *)
+  check_float "conn1 has no level B" 0. d.(0).(1)
+
+let test_e2_verdicts () =
+  let rows = E02_tsi.compute () in
+  List.iter
+    (fun r ->
+      let expect_scale, expect_lat =
+        match r.E02_tsi.algorithm with
+        | "additive (TSI)" -> (true, true)
+        | "fair-rate LIMD" -> (false, true)
+        | "DECbit window" -> (false, false)
+        | other -> Alcotest.failf "unexpected algorithm %s" other
+      in
+      check_true
+        (r.E02_tsi.algorithm ^ " scaling verdict")
+        (r.E02_tsi.scales_linearly = expect_scale);
+      check_true
+        (r.E02_tsi.algorithm ^ " latency verdict")
+        (r.E02_tsi.latency_invariant = expect_lat))
+    rows
+
+let test_e3_manifold () =
+  let r = E03_aggregate_fairness.compute ~runs:10 () in
+  check_true "several steady states" (Array.length r.E03_aggregate_fairness.steady_states >= 8);
+  Array.iter
+    (fun total -> check_float ~tol:1e-6 "total = beta*mu" 0.5 total)
+    r.E03_aggregate_fairness.totals;
+  Alcotest.(check int) "random starts never fair" 0 r.E03_aggregate_fairness.fair_count;
+  check_true "construction is steady" r.E03_aggregate_fairness.constructed_is_steady;
+  check_true "construction is fair" r.E03_aggregate_fairness.constructed_is_fair
+
+let test_e4_all_fair () =
+  let r = E04_individual_fairness.compute ~trials:6 () in
+  check_true "runs converged" (r.E04_individual_fairness.converged > 0);
+  Alcotest.(check int) "all fair" r.E04_individual_fairness.converged
+    r.E04_individual_fairness.fair;
+  Alcotest.(check int) "all matched prediction" r.E04_individual_fairness.converged
+    r.E04_individual_fairness.matched_prediction
+
+let test_e5_threshold () =
+  let rows = E05_stability.compute ~eta:0.1 ~ns:[ 5; 19; 21; 30 ] () in
+  List.iter
+    (fun row ->
+      let expected = row.E05_stability.n < 20 in
+      check_true
+        (Printf.sprintf "N=%d convergence matches eigenvalue" row.E05_stability.n)
+        (row.E05_stability.converged = expected);
+      check_float ~tol:1e-3 "measured eigenvalue = 1 - eta*N"
+        row.E05_stability.predicted_eigenvalue row.E05_stability.measured_eigenvalue)
+    rows
+
+let test_e6_progression () =
+  check_true "scalar reduction exact" (E06_chaos.reduction_is_exact ());
+  let rows = E06_chaos.compute ~ns:[ 8; 16; 19; 22 ] () in
+  let get n =
+    (List.find (fun r -> r.E06_chaos.n = n) rows).E06_chaos.untruncated
+  in
+  Alcotest.(check string) "N=8 stable" "fixed-point" (get 8);
+  Alcotest.(check string) "N=16 oscillatory" "period-2" (get 16);
+  check_true "N=19 chaotic" (contains (get 19) "chaotic");
+  Alcotest.(check string) "N=22 divergent" "divergent" (get 22);
+  (* The clamped model map never diverges. *)
+  List.iter
+    (fun r ->
+      check_false
+        (Printf.sprintf "clamped N=%d bounded" r.E06_chaos.n)
+        (contains r.E06_chaos.truncated "divergent"))
+    rows
+
+let test_e7_theorem4 () =
+  let s = E07_triangular.compute ~trials:5 () in
+  check_true "FS runs converged" (s.E07_triangular.fs_converged > 0);
+  Alcotest.(check int) "FS always triangular" s.E07_triangular.fs_converged
+    s.E07_triangular.fs_triangular;
+  Alcotest.(check int) "FS unilateral = systemic" s.E07_triangular.fs_converged
+    s.E07_triangular.fs_unilateral_eq_systemic;
+  Alcotest.(check int) "FIFO never triangular" 0 s.E07_triangular.fifo_triangular
+
+let test_e8_starvation () =
+  let r = E08_starvation.compute ~steps:500 () in
+  check_float ~tol:1e-6 "timid starved" 0. r.E08_starvation.final.(0);
+  check_float ~tol:1e-4 "greedy at prediction" r.E08_starvation.predicted_greedy
+    r.E08_starvation.final.(1)
+
+let test_e9_matrix () =
+  let r = E09_robustness.compute ~trials:200 () in
+  check_float "FS violation rate zero" 0. r.E09_robustness.fs_violation_rate;
+  check_true "FIFO violates" (r.E09_robustness.fifo_violation_rate > 0.2);
+  Alcotest.(check int) "three designs ran" 3 (List.length r.E09_robustness.matrix);
+  List.iter
+    (fun row ->
+      let expected = row.E09_robustness.design = "individual+fair-share" in
+      check_true
+        (row.E09_robustness.design ^ " robustness verdict")
+        (row.E09_robustness.robust = expected))
+    r.E09_robustness.matrix
+
+let test_e10_decbit () =
+  let r = E10_decbit.compute () in
+  check_true "window form biased against long RTT"
+    (r.E10_decbit.window_rates.(0) > 1.5 *. r.E10_decbit.window_rates.(1));
+  check_true "rate form fair" r.E10_decbit.rate_fair;
+  check_true "rate form not TSI" (r.E10_decbit.rate_tsi_violation > 0.3)
+
+let test_e11_factor_n () =
+  let rows = E11_delay.compute ~ns:[ 2; 8; 32 ] () in
+  List.iter
+    (fun row ->
+      check_float ~tol:1e-6
+        (Printf.sprintf "ratio = N at N=%d" row.E11_delay.n)
+        (float_of_int row.E11_delay.n)
+        row.E11_delay.ratio)
+    rows
+
+let test_e12_agreement () =
+  let rows = E12_validation.compute ~horizon:30_000. () in
+  List.iter
+    (fun row ->
+      if row.E12_validation.discipline <> "fair-queueing" then
+        check_true
+          (Printf.sprintf "%s conn %d within 10%%" row.E12_validation.discipline
+             row.E12_validation.conn)
+          (row.E12_validation.rel_error < 0.1))
+    rows
+
+let test_e13_margin_shrinks () =
+  let rows = E13_asynchrony.compute ~taus:[ 0; 2; 8 ] () in
+  let eta_at tau =
+    (List.find (fun r -> r.E13_asynchrony.tau = tau) rows).E13_asynchrony.max_stable_eta
+  in
+  check_true "delay shrinks stability margin" (eta_at 0 > eta_at 2);
+  check_true "large delay shrinks it further" (eta_at 2 >= eta_at 8)
+
+let test_e14_binary () =
+  let rows = E14_binary_feedback.compute ~mus:[ 1.; 4. ] () in
+  List.iter
+    (fun r ->
+      check_true "oscillation detected" (r.E14_binary_feedback.period > 0);
+      check_true "fair averages" r.E14_binary_feedback.fair_averages)
+    rows;
+  let period mu =
+    (List.find (fun r -> r.E14_binary_feedback.mu = mu) rows).E14_binary_feedback.period
+  in
+  (* Period grows roughly linearly with mu (x4 rate -> between x2.5 and x6). *)
+  let ratio = float_of_int (period 4.) /. float_of_int (period 1.) in
+  check_true "period scales with mu" (ratio > 2.5 && ratio < 6.);
+  let tsi mu =
+    (List.find (fun r -> r.E14_binary_feedback.mu = mu) rows)
+      .E14_binary_feedback.avg_total_over_mu
+  in
+  check_float ~tol:0.02 "averages TSI across mu" (tsi 1.) (tsi 4.)
+
+let test_e15_async () =
+  let rows = E15_async.compute ~ps:[ 1.0; 0.3 ] () in
+  List.iter
+    (fun r ->
+      check_true (r.E15_async.design ^ " converged") r.E15_async.converged;
+      check_true (r.E15_async.design ^ " fair") r.E15_async.reached_fair_point)
+    rows
+
+let test_e16_ablation () =
+  let rows = E16_signal_ablation.compute () in
+  Alcotest.(check int) "six families" 6 (List.length rows);
+  List.iter
+    (fun r ->
+      check_float ~tol:1e-4
+        (r.E16_signal_ablation.signal ^ " measured = predicted rho")
+        r.E16_signal_ablation.rho_predicted r.E16_signal_ablation.rho_measured;
+      check_true (r.E16_signal_ablation.signal ^ " fair") r.E16_signal_ablation.fair)
+    rows;
+  (* Utilizations genuinely differ across families. *)
+  let rhos = List.map (fun r -> r.E16_signal_ablation.rho_predicted) rows in
+  check_true "spread of operating points"
+    (List.fold_left Float.max 0. rhos -. List.fold_left Float.min 1. rhos > 0.3)
+
+let test_e17_closed_loop () =
+  let r = E17_closed_loop.compute ~interval:300. ~updates:80 () in
+  List.iter
+    (fun row ->
+      check_true
+        (row.E17_closed_loop.discipline ^ " close to water-filling")
+        (row.E17_closed_loop.max_rel_err < 0.15))
+    r.E17_closed_loop.homogeneous;
+  List.iter
+    (fun row ->
+      let expected = row.E17_closed_loop.design = "individual+fair-share" in
+      check_true
+        (row.E17_closed_loop.design ^ " baseline verdict")
+        (row.E17_closed_loop.timid_meets_baseline = expected))
+    r.E17_closed_loop.heterogeneous
+
+let test_e18_weighted () =
+  let r = E18_weighted.compute ~weights:[| 1.; 3. |] () in
+  check_true "proportional allocation" r.E18_weighted.proportional;
+  check_vec ~tol:1e-5 "matches weighted prediction" r.E18_weighted.predicted
+    r.E18_weighted.steady
+
+let test_e19_implicit () =
+  let r = E19_implicit.compute () in
+  check_true "utilization controlled"
+    (r.E19_implicit.utilization > 0.5 && r.E19_implicit.utilization < 1.0);
+  check_true "loss small" (r.E19_implicit.drop_fraction < 0.05);
+  check_true "identical sources roughly fair" (r.E19_implicit.jain > 0.9);
+  check_true "gentler backoff biased" r.E19_implicit.hetero_biased
+
+let test_e20_game () =
+  let rows = E20_game.compute ~ns:[ 2; 4 ] () in
+  List.iter
+    (fun r ->
+      check_true
+        (Printf.sprintf "%s N=%d %s verified" r.E20_game.discipline r.E20_game.n
+           r.E20_game.start)
+        r.E20_game.verified;
+      if r.E20_game.discipline = "fair-share" then begin
+        Alcotest.(check int)
+          (Printf.sprintf "FS excludes nobody (N=%d)" r.E20_game.n)
+          0 r.E20_game.excluded;
+        (* Linear-utility FS equilibria hit the symmetric optimum. *)
+        if r.E20_game.utility = "r - 0.01W" then
+          check_float ~tol:1e-3 "FS welfare = optimum" r.E20_game.optimum_welfare
+            r.E20_game.welfare
+      end)
+    rows;
+  (* FIFO excludes someone at N=2 under both utilities. *)
+  List.iter
+    (fun r ->
+      if r.E20_game.discipline = "fifo" && r.E20_game.n = 2 then
+        check_true "FIFO N=2 excludes a source" (r.E20_game.excluded >= 1))
+    rows
+
+let test_e21_window () =
+  let r = E21_window.compute () in
+  check_float ~tol:0.01 "DECbit rate ratio = delay ratio" r.E21_window.delay_ratio
+    r.E21_window.decbit_rate_ratio;
+  check_float ~tol:1e-6 "DECbit windows equal" r.E21_window.decbit_windows.(0)
+    r.E21_window.decbit_windows.(1);
+  check_true "TSI window form fair" r.E21_window.tsi_fair;
+  check_true "windows cannot overload" (r.E21_window.giant_window_utilization < 1.)
+
+let test_e22_gain () =
+  let rows = E22_gain.compute ~etas:[ 0.1; 0.6 ] () in
+  let get eta design =
+    List.find
+      (fun r -> r.E22_gain.eta = eta && r.E22_gain.design = design)
+      rows
+  in
+  (* At eta = 0.1 everything converges; FS contracts faster than FIFO. *)
+  let fs = get 0.1 "individual+fair-share" and fifo = get 0.1 "individual+fifo" in
+  check_true "both converge at eta=0.1" (fs.E22_gain.converged && fifo.E22_gain.converged);
+  check_true "FS spectral radius below FIFO's"
+    (fs.E22_gain.spectral_radius < fifo.E22_gain.spectral_radius -. 0.01);
+  check_true "FS converges in fewer steps" (fs.E22_gain.steps < fifo.E22_gain.steps);
+  (* At eta = 0.6 the radius exceeds 1 and nothing converges. *)
+  List.iter
+    (fun d ->
+      let r = get 0.6 d in
+      check_false (d ^ " diverges at eta=0.6") r.E22_gain.converged;
+      check_true (d ^ " radius >= 1") (r.E22_gain.spectral_radius >= 1. -. 1e-6))
+    [ "aggregate"; "individual+fifo"; "individual+fair-share" ]
+
+let test_e23_scale () =
+  let rows = E23_scale.compute ~sizes:[ (4, 8); (8, 20) ] () in
+  List.iter
+    (fun r ->
+      check_true "converged" r.E23_scale.converged;
+      check_true "fair" r.E23_scale.fair;
+      check_true "matched water-filling" r.E23_scale.matched_prediction)
+    rows
+
+let test_e24_transient () =
+  let r = E24_transient.compute () in
+  List.iter
+    (fun (v : E24_transient.validation_row) ->
+      check_true "settled" v.E24_transient.settled;
+      check_true "at fair point" v.E24_transient.at_fair_point)
+    r.E24_transient.validation;
+  (* Single hop stays stable at every tested gain; 3 hops lose it at 80. *)
+  List.iter
+    (fun (p : E24_transient.phase_row) ->
+      let expected = not (p.E24_transient.hops = 3 && p.E24_transient.gain = 80.) in
+      check_true
+        (Printf.sprintf "hops=%d gain=%g verdict" p.E24_transient.hops
+           p.E24_transient.gain)
+        (p.E24_transient.settled = expected))
+    r.E24_transient.phase;
+  (* Critical gain grows with mu. *)
+  let gains = List.map (fun (t : E24_transient.tsi_row) -> t.E24_transient.critical_gain)
+      r.E24_transient.tsi in
+  (match gains with
+  | [ a; b; c ] -> check_true "monotone in mu" (a < b && b < c && c > 4. *. a)
+  | _ -> Alcotest.fail "three mu values expected")
+
+let test_all_reports_render () =
+  (* Smoke: every report renders with its id header and some content.
+     (This also exercises the full harness end to end.) *)
+  List.iter
+    (fun e ->
+      let s = Exp_common.render e in
+      check_true (e.Exp_common.id ^ " header present") (contains s e.Exp_common.id);
+      check_true (e.Exp_common.id ^ " non-trivial") (String.length s > 200))
+    (List.filter
+       (fun e -> List.mem e.Exp_common.id [ "E1"; "E5"; "E8"; "E11" ])
+       Registry.all)
+
+let suites =
+  [
+    ( "experiments",
+      [
+        case "registry completeness" test_registry_complete;
+        case "E1: Table 1 invariants" test_e1_table;
+        case "E2: TSI verdicts" test_e2_verdicts;
+        case "E3: aggregate manifold" test_e3_manifold;
+        case "E4: individual fairness sweep" test_e4_all_fair;
+        case "E5: stability threshold" test_e5_threshold;
+        case "E6: chaos progression" test_e6_progression;
+        case "E7: Theorem 4 sweep" test_e7_theorem4;
+        case "E8: starvation endpoint" test_e8_starvation;
+        case "E9: robustness matrix" test_e9_matrix;
+        case "E10: DECbit verdicts" test_e10_decbit;
+        case "E11: delay factor N" test_e11_factor_n;
+        case "E12: simulation agreement" test_e12_agreement;
+        case "E13: delayed-feedback margin" test_e13_margin_shrinks;
+        case "E14: binary feedback oscillation" test_e14_binary;
+        case "E15: async schedules" test_e15_async;
+        case "E16: signal ablation" test_e16_ablation;
+        case "E17: closed loop" test_e17_closed_loop;
+        case "E18: weighted fair share" test_e18_weighted;
+        case "E19: implicit feedback" test_e19_implicit;
+        case "E20: gateway game" test_e20_game;
+        case "E21: window control" test_e21_window;
+        case "E22: gain ablation" test_e22_gain;
+        case "E23: scale stress" test_e23_scale;
+        case "E24: transient fluid model" test_e24_transient;
+        case "report rendering" test_all_reports_render;
+      ] );
+  ]

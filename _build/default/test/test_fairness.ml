@@ -1,0 +1,96 @@
+open Ffc_topology
+open Ffc_core
+open Test_util
+
+let config = Feedback.individual_fifo
+
+let test_equal_rates_fair () =
+  let net = Topologies.single ~n:3 () in
+  check_true "equal split fair"
+    (Fairness.is_fair config ~net ~rates:[| 0.15; 0.15; 0.15 |])
+
+let test_unequal_at_bottleneck_unfair () =
+  let net = Topologies.single ~n:2 () in
+  (* Both share the only gateway; unequal rates are unfair and the slower
+     connection witnesses it. *)
+  let rates = [| 0.1; 0.3 |] in
+  check_false "unequal rates unfair" (Fairness.is_fair config ~net ~rates);
+  match Fairness.unfair_witness config ~net ~rates with
+  | Some (i, j, a) ->
+    Alcotest.(check int) "victim is slow conn" 0 i;
+    Alcotest.(check int) "offender is fast conn" 1 j;
+    Alcotest.(check int) "at the shared gateway" 0 a
+  | None -> Alcotest.fail "witness expected"
+
+let test_maxmin_allocation_fair_across_gateways () =
+  (* The heterogeneous parking lot: cross1 sends 0.75 > long's 0.25, but
+     cross1 does not share long's bottleneck signal, so the allocation is
+     fair in the paper's sense. *)
+  let net =
+    Network.create
+      ~gateways:
+        [|
+          { Network.gw_name = "g0"; mu = 1.; latency = 0. };
+          { Network.gw_name = "g1"; mu = 2.; latency = 0. };
+        |]
+      ~connections:
+        [|
+          { Network.conn_name = "long"; path = [ 0; 1 ] };
+          { Network.conn_name = "cross0"; path = [ 0 ] };
+          { Network.conn_name = "cross1"; path = [ 1 ] };
+        |]
+  in
+  let rates = [| 0.25; 0.25; 0.75 |] in
+  check_true "max-min allocation is fair" (Fairness.is_fair config ~net ~rates)
+
+let test_reversed_allocation_unfair () =
+  (* Give the long connection more than its bottleneck peers: unfair. *)
+  let net = Topologies.parking_lot ~hops:2 () in
+  let rates = [| 0.4; 0.1; 0.1 |] in
+  check_false "long over-allocated" (Fairness.is_fair config ~net ~rates)
+
+let test_aggregate_style_fairness_check () =
+  (* Fairness predicate also works for aggregate configs: all connections
+     at a gateway share one signal, so any bottlenecked gateway requires
+     full equality there. *)
+  let net = Topologies.single ~n:2 () in
+  check_false "unequal unfair under aggregate too"
+    (Fairness.is_fair Feedback.aggregate_fifo ~net ~rates:[| 0.1; 0.4 |]);
+  check_true "equal fair under aggregate"
+    (Fairness.is_fair Feedback.aggregate_fifo ~net ~rates:[| 0.25; 0.25 |])
+
+let test_zero_rates_fair () =
+  let net = Topologies.single ~n:2 () in
+  check_true "all-zero allocation trivially fair"
+    (Fairness.is_fair config ~net ~rates:[| 0.; 0. |])
+
+let test_jain_reexport () =
+  check_float "jain passthrough" 1. (Fairness.jain [| 1.; 1. |]);
+  check_float "max-min passthrough" 2. (Fairness.max_min_ratio [| 1.; 2. |])
+
+let prop_water_filling_always_fair =
+  prop "water-filling allocations satisfy the fairness predicate" ~count:30
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Ffc_numerics.Rng.create seed in
+      let net = Topologies.random ~rng ~gateways:4 ~connections:5 ~max_path:3 () in
+      let fair =
+        Steady_state.fair ~signal:Signal.linear_fractional ~b_ss:0.5 ~net
+      in
+      Fairness.is_fair ~tol:1e-6 Feedback.individual_fifo ~net ~rates:fair
+      && Fairness.is_fair ~tol:1e-6 Feedback.individual_fair_share ~net ~rates:fair)
+
+let suites =
+  [
+    ( "core.fairness",
+      [
+        case "equal rates fair" test_equal_rates_fair;
+        case "unequal at bottleneck unfair" test_unequal_at_bottleneck_unfair;
+        case "max-min across gateways fair" test_maxmin_allocation_fair_across_gateways;
+        case "over-allocated long unfair" test_reversed_allocation_unfair;
+        case "aggregate-style checks" test_aggregate_style_fairness_check;
+        case "zero rates fair" test_zero_rates_fair;
+        case "index re-exports" test_jain_reexport;
+        prop_water_filling_always_fair;
+      ] );
+  ]

@@ -1,0 +1,149 @@
+open Ffc_queueing
+open Ffc_game
+open Test_util
+
+let linear = Utility.linear ~delay_cost:0.01
+
+(* ------------------------------------------------------------------ *)
+(* Utility                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_utility_values () =
+  check_float ~tol:1e-12 "linear" 0.95 (Utility.eval linear ~rate:1. ~delay:5.);
+  check_float "silence normalized to 0" 0. (Utility.eval linear ~rate:0. ~delay:3.);
+  check_true "infinite delay worthless"
+    (Utility.eval linear ~rate:1. ~delay:Float.infinity = Float.neg_infinity);
+  let lg = Utility.log_throughput ~delay_cost:0.5 in
+  check_float ~tol:1e-12 "log utility" (log 2. -. 0.5) (Utility.eval lg ~rate:1. ~delay:1.)
+
+let test_utility_validation () =
+  Alcotest.check_raises "negative rate" (Invalid_argument "Utility.eval: negative rate")
+    (fun () -> ignore (Utility.eval linear ~rate:(-1.) ~delay:1.));
+  check_true "delay_cost validated"
+    (try
+       ignore (Utility.linear ~delay_cost:0.);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Payoffs and best responses                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_payoff_matches_formula () =
+  (* Single connection under FIFO: W = 1/(mu - r). *)
+  let rates = [| 0.5 |] in
+  let expected = 0.5 -. (0.01 /. 0.5) in
+  check_float ~tol:1e-12 "payoff" expected
+    (Nash.payoff Service.fifo linear ~mu:1. ~rates 0)
+
+let test_payoff_overload_is_ruin () =
+  check_true "overload pays -inf"
+    (Nash.payoff Service.fifo linear ~mu:1. ~rates:[| 1.5 |] 0 = Float.neg_infinity)
+
+let test_best_response_single_fifo () =
+  (* Alone on a FIFO gateway: maximize r - c/(mu - r): r* = mu - sqrt c. *)
+  let br = Nash.best_response Service.fifo linear ~mu:1. ~rates:[| 0.3 |] 0 in
+  check_float ~tol:1e-4 "monopolist best response" 0.9 br
+
+let test_best_response_deterred_entrant () =
+  (* Against a monopolist at 0.9 the entrant's best response is to stay
+     out entirely. *)
+  let br = Nash.best_response Service.fifo linear ~mu:1. ~rates:[| 0.9; 0.1 |] 1 in
+  check_float "entry deterred" 0. br
+
+let test_symmetric_fifo_equilibrium_formula () =
+  (* The symmetric FIFO profile r = (mu - sqrt c)/N is a Nash equilibrium. *)
+  let n = 4 in
+  let r = (1. -. sqrt 0.01) /. float_of_int n in
+  check_true "closed-form symmetric equilibrium"
+    (Nash.is_equilibrium ~tol:1e-5 Service.fifo linear ~mu:1.
+       ~rates:(Array.make n r))
+
+let test_fs_nash_is_social_optimum () =
+  (* N = 4, linear utility: FS equilibrium = symmetric optimum exactly. *)
+  match Nash.solve Service.fair_share linear ~mu:1. ~n:4 ~r0:(Array.make 4 0.1) with
+  | Nash.Equilibrium { rates; _ } ->
+    let opt_r, opt_w = Nash.symmetric_optimum Service.fair_share linear ~mu:1. ~n:4 in
+    Array.iter (fun r -> check_float ~tol:1e-3 "rate = optimum rate" opt_r r) rates;
+    check_float ~tol:1e-4 "welfare = optimum welfare" opt_w
+      (Nash.welfare Service.fair_share linear ~mu:1. ~rates)
+  | Nash.No_convergence _ -> Alcotest.fail "FS game should converge"
+
+let test_fs_nash_start_independent () =
+  let solve r0 =
+    match Nash.solve Service.fair_share linear ~mu:1. ~n:3 ~r0 with
+    | Nash.Equilibrium { rates; _ } -> rates
+    | Nash.No_convergence _ -> Alcotest.fail "FS game should converge"
+  in
+  let a = solve (Array.make 3 0.05) in
+  let b = solve [| 0.3; 0.01; 0.15 |] in
+  check_vec ~tol:1e-3 "same equilibrium from different starts" a b
+
+let test_fifo_excludes_under_log_utility () =
+  let lg = Utility.log_throughput ~delay_cost:0.02 in
+  match Nash.solve Service.fifo lg ~mu:1. ~n:4 ~r0:(Array.make 4 0.1) with
+  | Nash.Equilibrium { rates; _ } ->
+    let excluded = Array.fold_left (fun acc r -> if r = 0. then acc + 1 else acc) 0 rates in
+    check_true "FIFO excludes sources" (excluded >= 1);
+    check_true "it is a genuine equilibrium"
+      (Nash.is_equilibrium Service.fifo lg ~mu:1. ~rates)
+  | Nash.No_convergence _ -> Alcotest.fail "FIFO game should converge"
+
+let test_fs_never_excludes_under_log_utility () =
+  let lg = Utility.log_throughput ~delay_cost:0.02 in
+  match Nash.solve Service.fair_share lg ~mu:1. ~n:4 ~r0:(Array.make 4 0.1) with
+  | Nash.Equilibrium { rates; _ } ->
+    Array.iter (fun r -> check_true "everyone active" (r > 0.05)) rates
+  | Nash.No_convergence _ -> Alcotest.fail "FS game should converge"
+
+let test_welfare_additivity () =
+  let rates = [| 0.2; 0.3 |] in
+  let w = Nash.welfare Service.fifo linear ~mu:1. ~rates in
+  let sum =
+    Nash.payoff Service.fifo linear ~mu:1. ~rates 0
+    +. Nash.payoff Service.fifo linear ~mu:1. ~rates 1
+  in
+  check_float ~tol:1e-12 "welfare sums payoffs" sum w
+
+let test_symmetric_optimum_formula () =
+  (* FIFO symmetric welfare N(r - c/(mu - N r)) peaks at R = mu - sqrt(N c):
+     check against the closed form. *)
+  let n = 4 in
+  let r_star, _ = Nash.symmetric_optimum Service.fifo linear ~mu:1. ~n in
+  check_float ~tol:1e-3 "optimum matches closed form"
+    ((1. -. sqrt (float_of_int n *. 0.01)) /. float_of_int n)
+    r_star
+
+let prop_equilibria_verified =
+  prop "solved equilibria pass the deviation test" ~count:15
+    QCheck2.Gen.(pair (int_range 2 5) (float_range 0.005 0.05))
+    (fun (n, c) ->
+      let u = Utility.linear ~delay_cost:c in
+      List.for_all
+        (fun svc ->
+          match Nash.solve svc u ~mu:1. ~n ~r0:(Array.make n 0.1) with
+          | Nash.Equilibrium { rates; _ } ->
+            Nash.is_equilibrium ~tol:1e-4 svc u ~mu:1. ~rates
+          | Nash.No_convergence _ -> false)
+        [ Service.fifo; Service.fair_share ])
+
+let suites =
+  [
+    ( "game",
+      [
+        case "utility values" test_utility_values;
+        case "utility validation" test_utility_validation;
+        case "payoff formula" test_payoff_matches_formula;
+        case "overload ruins payoff" test_payoff_overload_is_ruin;
+        case "monopolist best response" test_best_response_single_fifo;
+        case "entry deterrence" test_best_response_deterred_entrant;
+        case "symmetric FIFO equilibrium (closed form)" test_symmetric_fifo_equilibrium_formula;
+        case "FS Nash = social optimum" test_fs_nash_is_social_optimum;
+        case "FS Nash start-independent" test_fs_nash_start_independent;
+        case "FIFO excludes (log utility)" test_fifo_excludes_under_log_utility;
+        case "FS excludes nobody (log utility)" test_fs_never_excludes_under_log_utility;
+        case "welfare additivity" test_welfare_additivity;
+        case "symmetric optimum closed form" test_symmetric_optimum_formula;
+        prop_equilibria_verified;
+      ] );
+  ]

@@ -1,0 +1,139 @@
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+open Test_util
+
+let test_numeric_linear_map () =
+  (* Jacobian of an affine map recovers its matrix exactly. *)
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let f x = Mat.mul_vec a x in
+  let j = Jacobian.numeric f ~at:[| 0.3; 0.7 |] in
+  check_true "exact for linear maps" (Mat.approx_equal ~tol:1e-6 j a)
+
+let test_numeric_nonlinear () =
+  (* f(x,y) = (x^2, x*y): J = [[2x, 0], [y, x]]. *)
+  let f v = [| v.(0) ** 2.; v.(0) *. v.(1) |] in
+  let j = Jacobian.numeric f ~at:[| 2.; 3. |] in
+  check_float ~tol:1e-5 "d(x^2)/dx" 4. (Mat.get j 0 0);
+  check_float ~tol:1e-5 "d(x^2)/dy" 0. (Mat.get j 0 1);
+  check_float ~tol:1e-5 "d(xy)/dx" 3. (Mat.get j 1 0);
+  check_float ~tol:1e-5 "d(xy)/dy" 2. (Mat.get j 1 1)
+
+let test_modes_agree_on_smooth_map () =
+  let f v = [| sin v.(0); cos v.(1) |] in
+  let at = [| 0.4; 0.9 |] in
+  let c = Jacobian.numeric ~mode:Jacobian.Central f ~at in
+  let fwd = Jacobian.numeric ~mode:Jacobian.Forward f ~at in
+  let bwd = Jacobian.numeric ~mode:Jacobian.Backward f ~at in
+  check_true "central ~ forward" (Mat.approx_equal ~tol:1e-5 c fwd);
+  check_true "central ~ backward" (Mat.approx_equal ~tol:1e-5 c bwd)
+
+let test_aggregate_df_matches_paper () =
+  (* Section 3.3: at a single gateway with B = C/(1+C) and f = eta(beta-b),
+     DF_ij = delta_ij - eta exactly. *)
+  let n = 4 and eta = 0.1 in
+  let net = Topologies.single ~n () in
+  let c =
+    Controller.homogeneous ~config:Feedback.aggregate_fifo
+      ~adjuster:(Rate_adjust.additive ~eta ~beta:0.5)
+      ~n
+  in
+  let fair = Array.make n (0.5 /. float_of_int n) in
+  let df = Jacobian.of_controller c ~net ~at:fair in
+  let expected = Mat.init n n (fun i j -> (if i = j then 1. else 0.) -. eta) in
+  check_true "DF = I - eta * ones" (Mat.approx_equal ~tol:1e-5 df expected)
+
+let test_aggregate_eigenvalue_formula () =
+  (* Leading eigenvalue 1 - eta*N (plus N-1 unit eigenvalues along the
+     steady-state manifold). *)
+  let n = 6 and eta = 0.3 in
+  let net = Topologies.single ~n () in
+  let c =
+    Controller.homogeneous ~config:Feedback.aggregate_fifo
+      ~adjuster:(Rate_adjust.additive ~eta ~beta:0.5)
+      ~n
+  in
+  let fair = Array.make n (0.5 /. float_of_int n) in
+  let df = Jacobian.of_controller c ~net ~at:fair in
+  let ev = Eigen.eigenvalues_sorted df in
+  let smallest = Array.fold_left (fun acc z -> Float.min acc z.Complex.re) 1. ev in
+  check_float ~tol:1e-4 "leading eigenvalue 1 - eta N"
+    (1. -. (eta *. float_of_int n))
+    smallest
+
+let test_unilateral_vs_systemic_gap () =
+  (* eta = 0.1, N = 30: |DF_ii| = 0.9 < 1 (unilaterally stable) yet the
+     eigenvalue 1 - 3 = -2 breaks systemic stability — the paper's
+     counterexample. *)
+  let n = 30 and eta = 0.1 in
+  let net = Topologies.single ~n () in
+  let c =
+    Controller.homogeneous ~config:Feedback.aggregate_fifo
+      ~adjuster:(Rate_adjust.additive ~eta ~beta:0.5)
+      ~n
+  in
+  let fair = Array.make n (0.5 /. float_of_int n) in
+  let df = Jacobian.of_controller c ~net ~at:fair in
+  check_true "unilaterally stable" (Jacobian.unilaterally_stable df);
+  check_false "systemically unstable"
+    (Jacobian.systemically_stable ~ignore_unit:(n - 1) df);
+  check_float ~tol:1e-3 "spectral radius = |1 - eta N|" 2. (Jacobian.spectral_radius df)
+
+let heterogeneous_fs_controller () =
+  (* Individual + FS with distinct betas gives a steady state with
+     distinct rates — the clean setting for Theorem 4's triangularity. *)
+  let net = Topologies.single ~n:2 () in
+  let c =
+    Controller.create ~config:Feedback.individual_fair_share
+      ~adjusters:[| Scenario.timid_adjuster; Scenario.greedy_adjuster |]
+  in
+  (net, c)
+
+let test_fs_triangular_df () =
+  let net, c = heterogeneous_fs_controller () in
+  match Controller.run c ~net ~r0:[| 0.1; 0.1 |] with
+  | Controller.Converged { steady; _ } ->
+    (* Steady state from Section 3: r = (0.15, 0.55). *)
+    check_vec ~tol:1e-5 "steady rates" [| 0.15; 0.55 |] steady;
+    let df = Jacobian.of_controller ~mode:Jacobian.Forward c ~net ~at:steady in
+    check_true "DF triangular in rate order"
+      (Jacobian.triangular_in_rate_order ~tol:1e-4 df ~rates:steady);
+    check_true "unilateral implies systemic here"
+      (Jacobian.unilaterally_stable df = Jacobian.systemically_stable df)
+  | _ -> Alcotest.fail "heterogeneous FS system should converge"
+
+let test_fifo_df_not_triangular () =
+  (* The same heterogeneous setting under FIFO couples all connections:
+     DF has no triangular structure. *)
+  let net = Topologies.single ~n:2 () in
+  let c =
+    Controller.create ~config:Feedback.individual_fifo
+      ~adjusters:[| Scenario.timid_adjuster; Scenario.greedy_adjuster |]
+  in
+  match Controller.run c ~net ~r0:[| 0.1; 0.1 |] with
+  | Controller.Converged { steady; _ } ->
+    let df = Jacobian.of_controller ~mode:Jacobian.Forward c ~net ~at:steady in
+    check_false "FIFO DF is full"
+      (Jacobian.triangular_in_rate_order ~tol:1e-4 df ~rates:steady)
+  | _ -> Alcotest.fail "heterogeneous FIFO system should converge"
+
+let test_diagonal_accessor () =
+  let m = Mat.of_arrays [| [| 0.5; 9. |]; [| 9.; -0.25 |] |] in
+  check_vec "diagonal" [| 0.5; -0.25 |] (Jacobian.diagonal m);
+  check_true "unilateral on diagonal only" (Jacobian.unilaterally_stable m)
+
+let suites =
+  [
+    ( "core.jacobian",
+      [
+        case "linear map exact" test_numeric_linear_map;
+        case "nonlinear map" test_numeric_nonlinear;
+        case "modes agree when smooth" test_modes_agree_on_smooth_map;
+        case "aggregate DF = I - eta*ones (paper)" test_aggregate_df_matches_paper;
+        case "eigenvalue 1 - eta*N (paper)" test_aggregate_eigenvalue_formula;
+        case "unilateral/systemic gap (paper)" test_unilateral_vs_systemic_gap;
+        case "Theorem 4: FS triangular DF" test_fs_triangular_df;
+        case "FIFO DF not triangular" test_fifo_df_not_triangular;
+        case "diagonal accessor" test_diagonal_accessor;
+      ] );
+  ]

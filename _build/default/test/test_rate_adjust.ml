@@ -1,0 +1,137 @@
+open Ffc_core
+open Test_util
+
+let test_additive_values () =
+  let f = Rate_adjust.additive ~eta:0.1 ~beta:0.5 in
+  check_float ~tol:1e-12 "below target increases" 0.02
+    (Rate_adjust.eval f ~r:1. ~b:0.3 ~d:1.);
+  check_float ~tol:1e-12 "above target decreases" (-0.02)
+    (Rate_adjust.eval f ~r:1. ~b:0.7 ~d:1.);
+  check_float "at target steady" 0. (Rate_adjust.eval f ~r:1. ~b:0.5 ~d:1.);
+  check_float "delay irrelevant" (Rate_adjust.eval f ~r:1. ~b:0.3 ~d:1.)
+    (Rate_adjust.eval f ~r:1. ~b:0.3 ~d:100.)
+
+let test_proportional_values () =
+  let f = Rate_adjust.proportional ~eta:0.1 ~beta:0.5 in
+  check_float ~tol:1e-12 "scales with rate" 0.04
+    (Rate_adjust.eval f ~r:2. ~b:0.3 ~d:1.);
+  check_float "zero rate is frozen" 0. (Rate_adjust.eval f ~r:0. ~b:0.1 ~d:1.)
+
+let test_fair_rate_limd_steady () =
+  let eta = 0.2 and beta = 0.5 in
+  let f = Rate_adjust.fair_rate_limd ~eta ~beta in
+  (* Steady rate: (1-b) eta = beta b r  ->  r = eta (1-b)/(beta b). *)
+  let b = 0.4 in
+  let r_ss = eta *. (1. -. b) /. (beta *. b) in
+  check_float ~tol:1e-12 "steady rate" 0. (Rate_adjust.eval f ~r:r_ss ~b ~d:1.);
+  (* Steady rate depends on b only — same for all connections at a
+     bottleneck: that's why this algorithm is guaranteed fair. *)
+  check_true "steady rate rate-independent condition"
+    (Rate_adjust.eval f ~r:(r_ss +. 1.) ~b ~d:1. < 0.)
+
+let test_decbit_window_latency_bias () =
+  let f = Rate_adjust.decbit_window ~eta:0.2 ~beta:0.5 in
+  let short = Rate_adjust.eval f ~r:1. ~b:0.3 ~d:1. in
+  let long = Rate_adjust.eval f ~r:1. ~b:0.3 ~d:10. in
+  check_true "longer RTT gets weaker increase" (long < short);
+  (* Infinite delay: increase term vanishes, decrease survives. *)
+  check_float ~tol:1e-12 "infinite delay pure decrease" (-0.15)
+    (Rate_adjust.eval f ~r:1. ~b:0.3 ~d:Float.infinity)
+
+let test_aimd_values () =
+  let f = Rate_adjust.aimd ~increase:0.01 ~decrease:0.125 in
+  (* Bit clear: pure additive increase, rate independent. *)
+  check_float ~tol:1e-12 "bit clear" 0.01 (Rate_adjust.eval f ~r:3. ~b:0. ~d:1.);
+  (* Bit set: pure multiplicative decrease. *)
+  check_float ~tol:1e-12 "bit set" (-0.375) (Rate_adjust.eval f ~r:3. ~b:1. ~d:1.);
+  check_true "aimd validates decrease"
+    (try
+       ignore (Rate_adjust.aimd ~increase:0.01 ~decrease:1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_param_validation () =
+  check_true "eta <= 0 rejected"
+    (try
+       ignore (Rate_adjust.additive ~eta:0. ~beta:0.5);
+       false
+     with Invalid_argument _ -> true);
+  check_true "beta >= 1 rejected"
+    (try
+       ignore (Rate_adjust.additive ~eta:0.1 ~beta:1.);
+       false
+     with Invalid_argument _ -> true)
+
+let test_nan_detected () =
+  let f = Rate_adjust.make ~name:"nan" (fun ~r:_ ~b:_ ~d:_ -> Float.nan) in
+  check_true "NaN raises"
+    (try
+       ignore (Rate_adjust.eval f ~r:1. ~b:0.5 ~d:1.);
+       false
+     with Failure _ -> true)
+
+let test_declared_b_ss () =
+  check_true "additive declares"
+    (Rate_adjust.declared_b_ss (Rate_adjust.additive ~eta:0.1 ~beta:0.5) = Some 0.5);
+  check_true "decbit does not"
+    (Rate_adjust.declared_b_ss (Rate_adjust.decbit_window ~eta:0.1 ~beta:0.5) = None)
+
+(* --- Theorem 1 classifier ------------------------------------------- *)
+
+let test_classify_additive_tsi () =
+  match Rate_adjust.classify_tsi (Rate_adjust.additive ~eta:0.1 ~beta:0.42) with
+  | Rate_adjust.Tsi b -> check_float ~tol:1e-6 "b_ss recovered" 0.42 b
+  | _ -> Alcotest.fail "additive must classify as TSI"
+
+let test_classify_proportional_boundary () =
+  match Rate_adjust.classify_tsi (Rate_adjust.proportional ~eta:0.1 ~beta:0.42) with
+  | Rate_adjust.Boundary_tsi b -> check_float ~tol:1e-6 "b_ss recovered" 0.42 b
+  | Rate_adjust.Tsi _ -> Alcotest.fail "proportional vanishes at r=0: boundary case"
+  | Rate_adjust.Not_tsi -> Alcotest.fail "proportional is TSI away from r=0"
+
+let test_classify_fair_rate_limd_not_tsi () =
+  check_true "fair-rate LIMD is not TSI"
+    (Rate_adjust.classify_tsi (Rate_adjust.fair_rate_limd ~eta:0.2 ~beta:0.5)
+     = Rate_adjust.Not_tsi)
+
+let test_classify_decbit_not_tsi () =
+  check_true "DECbit window form is not TSI"
+    (Rate_adjust.classify_tsi (Rate_adjust.decbit_window ~eta:0.2 ~beta:0.5)
+     = Rate_adjust.Not_tsi)
+
+let test_classify_custom_nonmonotone () =
+  (* Two zeros in b: not TSI by Theorem 1. *)
+  let f =
+    Rate_adjust.make ~name:"two-zeros" (fun ~r:_ ~b ~d:_ -> (b -. 0.3) *. (b -. 0.7))
+  in
+  check_true "multiple zeros rejected"
+    (Rate_adjust.classify_tsi f = Rate_adjust.Not_tsi)
+
+let prop_classifier_recovers_beta =
+  prop "classifier recovers beta for additive algorithms" ~count:25
+    QCheck2.Gen.(pair (float_range 0.01 1.5) (float_range 0.05 0.95))
+    (fun (eta, beta) ->
+      match Rate_adjust.classify_tsi (Rate_adjust.additive ~eta ~beta) with
+      | Rate_adjust.Tsi b -> Float.abs (b -. beta) < 1e-5
+      | _ -> false)
+
+let suites =
+  [
+    ( "core.rate_adjust",
+      [
+        case "additive values" test_additive_values;
+        case "proportional values" test_proportional_values;
+        case "fair-rate LIMD steady state" test_fair_rate_limd_steady;
+        case "DECbit window latency bias" test_decbit_window_latency_bias;
+        case "AIMD values" test_aimd_values;
+        case "parameter validation" test_param_validation;
+        case "NaN detection" test_nan_detected;
+        case "declared b_ss" test_declared_b_ss;
+        case "Theorem 1: additive is TSI" test_classify_additive_tsi;
+        case "Theorem 1: proportional boundary" test_classify_proportional_boundary;
+        case "Theorem 1: fair-rate LIMD not TSI" test_classify_fair_rate_limd_not_tsi;
+        case "Theorem 1: DECbit not TSI" test_classify_decbit_not_tsi;
+        case "Theorem 1: multiple zeros" test_classify_custom_nonmonotone;
+        prop_classifier_recovers_beta;
+      ] );
+  ]

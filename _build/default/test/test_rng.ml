@@ -1,0 +1,159 @@
+open Ffc_numerics
+open Test_util
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for i = 0 to 99 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d identical" i)
+      (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  check_false "different seeds give different streams" (Rng.bits64 a = Rng.bits64 b)
+
+let test_copy_replays () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  check_false "split stream differs" (Rng.bits64 a = Rng.bits64 b)
+
+let test_uniform_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let u = Rng.uniform r in
+    check_true "uniform in [0,1)" (u >= 0. && u < 1.)
+  done
+
+let test_uniform_mean () =
+  let r = Rng.create 5 in
+  let acc = Stats.running_create () in
+  for _ = 1 to 50_000 do
+    Stats.running_add acc (Rng.uniform r)
+  done;
+  check_float ~tol:0.01 "uniform mean ~ 0.5" 0.5 (Stats.running_mean acc)
+
+let test_uniform_pos_never_zero () =
+  let r = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    check_true "uniform_pos > 0" (Rng.uniform_pos r > 0.)
+  done
+
+let test_int_bounds () =
+  let r = Rng.create 13 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 7 in
+    check_true "int in [0,7)" (v >= 0 && v < 7)
+  done
+
+let test_int_covers_all_values () =
+  let r = Rng.create 17 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int r 5) <- true
+  done;
+  Array.iteri (fun i s -> check_true (Printf.sprintf "value %d seen" i) s) seen
+
+let test_int_invalid () =
+  let r = Rng.create 1 in
+  Alcotest.check_raises "bound 0 rejected" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_exponential_mean () =
+  let r = Rng.create 19 in
+  let acc = Stats.running_create () in
+  for _ = 1 to 100_000 do
+    Stats.running_add acc (Rng.exponential r ~rate:2.)
+  done;
+  check_float ~tol:0.01 "exp(2) mean ~ 0.5" 0.5 (Stats.running_mean acc)
+
+let test_exponential_positive () =
+  let r = Rng.create 23 in
+  for _ = 1 to 10_000 do
+    check_true "exponential > 0" (Rng.exponential r ~rate:0.5 > 0.)
+  done
+
+let test_poisson_small_mean () =
+  let r = Rng.create 29 in
+  let acc = Stats.running_create () in
+  for _ = 1 to 50_000 do
+    Stats.running_add acc (float_of_int (Rng.poisson r ~mean:3.))
+  done;
+  check_float ~tol:0.05 "poisson(3) mean" 3. (Stats.running_mean acc);
+  check_float ~tol:0.1 "poisson(3) variance" 3. (Stats.running_variance acc)
+
+let test_poisson_large_mean () =
+  let r = Rng.create 31 in
+  let acc = Stats.running_create () in
+  for _ = 1 to 20_000 do
+    Stats.running_add acc (float_of_int (Rng.poisson r ~mean:100.))
+  done;
+  check_float_rel ~tol:0.02 "poisson(100) mean" 100. (Stats.running_mean acc)
+
+let test_poisson_zero () =
+  let r = Rng.create 37 in
+  Alcotest.(check int) "poisson(0) = 0" 0 (Rng.poisson r ~mean:0.)
+
+let test_gaussian_moments () =
+  let r = Rng.create 41 in
+  let acc = Stats.running_create () in
+  for _ = 1 to 100_000 do
+    Stats.running_add acc (Rng.gaussian r)
+  done;
+  check_float ~tol:0.02 "gaussian mean ~ 0" 0. (Stats.running_mean acc);
+  check_float ~tol:0.03 "gaussian variance ~ 1" 1. (Stats.running_variance acc)
+
+let test_shuffle_permutes () =
+  let r = Rng.create 43 in
+  let arr = Array.init 20 (fun i -> i) in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 20 Fun.id) sorted
+
+let test_choose () =
+  let r = Rng.create 47 in
+  for _ = 1 to 100 do
+    let v = Rng.choose r [| 1; 2; 3 |] in
+    check_true "choose picks member" (v >= 1 && v <= 3)
+  done
+
+let prop_float_bound =
+  prop "float bound respected"
+    QCheck2.Gen.(pair (int_range 0 1000) (float_range 0.001 100.))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.float r bound in
+      v >= 0. && v < bound)
+
+let suites =
+  [
+    ( "numerics.rng",
+      [
+        case "determinism" test_determinism;
+        case "seed sensitivity" test_seed_sensitivity;
+        case "copy replays" test_copy_replays;
+        case "split independence" test_split_independent;
+        case "uniform range" test_uniform_range;
+        case "uniform mean" test_uniform_mean;
+        case "uniform_pos nonzero" test_uniform_pos_never_zero;
+        case "int bounds" test_int_bounds;
+        case "int coverage" test_int_covers_all_values;
+        case "int invalid bound" test_int_invalid;
+        case "exponential mean" test_exponential_mean;
+        case "exponential positivity" test_exponential_positive;
+        case "poisson small mean" test_poisson_small_mean;
+        case "poisson large mean" test_poisson_large_mean;
+        case "poisson zero mean" test_poisson_zero;
+        case "gaussian moments" test_gaussian_moments;
+        case "shuffle permutes" test_shuffle_permutes;
+        case "choose membership" test_choose;
+        prop_float_bound;
+      ] );
+  ]

@@ -1,0 +1,135 @@
+open Ffc_numerics
+open Ffc_queueing
+open Ffc_topology
+open Ffc_core
+open Test_util
+
+let signal = Signal.linear_fractional
+
+let test_criterion_fs_holds () =
+  check_true "FS satisfies Theorem 5 criterion"
+    (Robustness.criterion_holds Service.fair_share ~mu:2. ~rates:[| 0.1; 0.5; 0.9 |])
+
+let test_criterion_fifo_fails () =
+  check_false "FIFO violates Theorem 5 criterion"
+    (Robustness.criterion_holds Service.fifo ~mu:3. ~rates:[| 0.05; 2.5 |])
+
+let test_violation_rates () =
+  let rng = Rng.create 1234 in
+  let fs_rate =
+    Robustness.criterion_violation_rate Service.fair_share ~rng ~n:4 ~mu:2. ~trials:300
+  in
+  check_float "FS never violates" 0. fs_rate;
+  let rng = Rng.create 1234 in
+  let fifo_rate =
+    Robustness.criterion_violation_rate Service.fifo ~rng ~n:4 ~mu:2. ~trials:300
+  in
+  check_true "FIFO violates often" (fifo_rate > 0.2)
+
+let test_reservation_rate () =
+  (* b_ss = 0.5, B = C/(1+C): rho_ss = 1/2; mu = 2, n = 4: baseline 0.25. *)
+  check_float ~tol:1e-12 "baseline" 0.25
+    (Robustness.reservation_rate ~signal ~b_ss:0.5 ~mu:2. ~n:4)
+
+let test_baselines_multi_gateway () =
+  (* The binding slice is the smallest mu^a/N^a along the path. *)
+  let net =
+    Network.create
+      ~gateways:
+        [|
+          { Network.gw_name = "thin"; mu = 1.; latency = 0. };
+          { Network.gw_name = "fat"; mu = 10.; latency = 0. };
+        |]
+      ~connections:
+        [|
+          { Network.conn_name = "both"; path = [ 0; 1 ] };
+          { Network.conn_name = "thin-only"; path = [ 0 ] };
+          { Network.conn_name = "fat-only"; path = [ 1 ] };
+        |]
+  in
+  let b = Robustness.baselines ~signal ~b_ss:[| 0.5; 0.5; 0.5 |] ~net in
+  (* thin: mu/N = 1/2 -> baseline 0.25; fat: 10/2 = 5 -> baseline 2.5. *)
+  check_vec ~tol:1e-12 "per-connection baselines" [| 0.25; 0.25; 2.5 |] b
+
+let test_heterogeneous_baselines () =
+  let net = Topologies.single ~n:2 () in
+  let b = Robustness.baselines ~signal ~b_ss:[| 0.3; 0.7 |] ~net in
+  (* rho_ss(0.3) = 0.3, rho_ss(0.7) = 0.7 (B = C/(1+C) makes them equal);
+     slice mu/N = 0.5. *)
+  check_vec ~tol:1e-12 "per-beta baselines" [| 0.15; 0.35 |] b
+
+let test_is_robust_outcome () =
+  let baselines = [| 0.15; 0.35 |] in
+  check_true "meets baselines"
+    (Robustness.is_robust_outcome ~baselines [| 0.15; 0.55 |]);
+  check_false "shortfall detected"
+    (Robustness.is_robust_outcome ~baselines [| 0.064; 0.63 |]);
+  check_vec ~tol:1e-9 "shortfalls" [| 0.086; 0. |]
+    (Robustness.shortfalls ~baselines ~steady:[| 0.064; 0.63 |])
+
+(* End-to-end: the Section 3.4 heterogeneity scenario across the design
+   matrix.  timid beta = 0.3, greedy beta = 0.7 sharing one gateway. *)
+
+let run_heterogeneous config =
+  let net = Topologies.single ~n:2 () in
+  let adjusters = [| Scenario.timid_adjuster; Scenario.greedy_adjuster |] in
+  let c = Controller.create ~config ~adjusters in
+  match Controller.run c ~net ~r0:[| 0.2; 0.2 |] with
+  | Controller.Converged { steady; _ } ->
+    let baselines = Robustness.baselines ~signal ~b_ss:[| 0.3; 0.7 |] ~net in
+    (steady, Robustness.is_robust_outcome ~baselines steady)
+  | _ -> Alcotest.fail "heterogeneous scenario should converge"
+
+let test_aggregate_starves () =
+  let steady, robust = run_heterogeneous Feedback.aggregate_fifo in
+  check_float ~tol:1e-7 "timid shut down" 0. steady.(0);
+  check_false "aggregate not robust" robust
+
+let test_individual_fifo_not_robust_but_nonzero () =
+  let steady, robust = run_heterogeneous Feedback.individual_fifo in
+  check_true "timid gets a nonzero share" (steady.(0) > 0.01);
+  (* Analytic steady state: rho_1 = (3/14)*(0.3) = 9/140. *)
+  check_float ~tol:1e-5 "timid rate below baseline" (9. /. 140.) steady.(0);
+  check_false "individual+FIFO not robust" robust
+
+let test_individual_fs_robust () =
+  let steady, robust = run_heterogeneous Feedback.individual_fair_share in
+  (* Analytic: timid at exactly its baseline 0.15, greedy at 0.55. *)
+  check_vec ~tol:1e-5 "steady allocation" [| 0.15; 0.55 |] steady;
+  check_true "individual+FS robust" robust
+
+let test_fs_delay_advantage () =
+  (* Section 3.4's closing claim: under robust individual+FS the timid
+     connection's queueing delay beats the reservation baseline's
+     (an M/M/1 at rate mu/N) by about a factor N. *)
+  let mu = 1. and n = 2 in
+  let rates = [| 0.15; 0.55 |] in
+  let w_fs = (Service.sojourn_times Service.fair_share ~mu rates).(0) in
+  (* Reservation: private server at mu/N serving rate 0.15. *)
+  let w_resv = Mm1.sojourn_time ~mu:(mu /. float_of_int n) ~rate:0.15 in
+  check_true "FS delay at least 1.9x better" (w_resv /. w_fs > 1.9)
+
+let prop_fs_criterion_random =
+  prop "Theorem 5 criterion holds for FS on random vectors" ~count:100
+    QCheck2.Gen.(pair (array_size (int_range 1 6) (float_range 0. 2.)) (float_range 0.5 4.))
+    (fun (rates, mu) -> Robustness.criterion_holds Service.fair_share ~mu ~rates)
+
+let suites =
+  [
+    ( "core.robustness",
+      [
+        case "criterion holds for FS" test_criterion_fs_holds;
+        case "criterion fails for FIFO" test_criterion_fifo_fails;
+        case "sampled violation rates" test_violation_rates;
+        case "reservation rate" test_reservation_rate;
+        case "multi-gateway baselines" test_baselines_multi_gateway;
+        case "heterogeneous baselines" test_heterogeneous_baselines;
+        case "robust-outcome predicate" test_is_robust_outcome;
+        case "aggregate starves timid (paper 3.4)" test_aggregate_starves;
+        case "individual+FIFO: nonzero but not robust"
+          test_individual_fifo_not_robust_but_nonzero;
+        case "individual+FS: robust (Theorem 5)" test_individual_fs_robust;
+        case "FS delay advantage over reservations" test_fs_delay_advantage;
+        prop_fs_criterion_random;
+      ] );
+  ]

@@ -1,0 +1,102 @@
+open Ffc_numerics
+open Test_util
+
+let root_of = function
+  | Rootfind.Root r -> r
+  | Rootfind.No_bracket -> Alcotest.fail "unexpected No_bracket"
+  | Rootfind.No_convergence _ -> Alcotest.fail "unexpected No_convergence"
+
+let test_bisect_sqrt2 () =
+  let f x = (x *. x) -. 2. in
+  check_float ~tol:1e-10 "sqrt 2" (sqrt 2.) (root_of (Rootfind.bisect f ~lo:0. ~hi:2.))
+
+let test_bisect_endpoint_root () =
+  let f x = x -. 1. in
+  check_float "endpoint root lo" 1. (root_of (Rootfind.bisect f ~lo:1. ~hi:2.));
+  check_float "endpoint root hi" 1. (root_of (Rootfind.bisect f ~lo:0. ~hi:1.))
+
+let test_bisect_no_bracket () =
+  check_true "no bracket reported"
+    (Rootfind.bisect (fun x -> (x *. x) +. 1.) ~lo:0. ~hi:1. = Rootfind.No_bracket)
+
+let test_brent_sqrt2 () =
+  let f x = (x *. x) -. 2. in
+  check_float ~tol:1e-10 "sqrt 2" (sqrt 2.) (root_of (Rootfind.brent f ~lo:0. ~hi:2.))
+
+let test_brent_transcendental () =
+  (* cos x = x has root ~ 0.7390851332151607 *)
+  let f x = cos x -. x in
+  check_float ~tol:1e-9 "dottie number" 0.7390851332151607
+    (root_of (Rootfind.brent f ~lo:0. ~hi:1.))
+
+let test_brent_signal_inverse () =
+  (* Inverting B(C) = C/(1+C) at b: root of B(C) - b in C, used to compute
+     steady congestion. *)
+  let b = 0.42 in
+  let f c = (c /. (1. +. c)) -. b in
+  let expected = b /. (1. -. b) in
+  check_float ~tol:1e-9 "B inverse" expected
+    (root_of (Rootfind.brent f ~lo:0. ~hi:100.))
+
+let test_newton_cubic () =
+  let f x = (x ** 3.) -. 8. and df x = 3. *. (x ** 2.) in
+  check_float ~tol:1e-8 "cube root of 8" 2. (root_of (Rootfind.newton ~f ~df 3.))
+
+let test_newton_flat_derivative () =
+  (* f = x^2 starting at 0: derivative 0 at the root; must not diverge or
+     loop forever. *)
+  match Rootfind.newton ~f:(fun x -> x *. x) ~df:(fun x -> 2. *. x) 0. with
+  | Rootfind.Root r -> check_float ~tol:1e-6 "root 0" 0. r
+  | Rootfind.No_convergence _ -> ()
+  | Rootfind.No_bracket -> Alcotest.fail "newton never reports No_bracket"
+
+let test_fixed_point_cosine () =
+  check_float ~tol:1e-9 "cos fixed point" 0.7390851332151607
+    (root_of (Rootfind.fixed_point cos 0.5))
+
+let test_fixed_point_divergent () =
+  match Rootfind.fixed_point ~max_iter:50 (fun x -> (2. *. x) +. 1.) 1. with
+  | Rootfind.No_convergence _ -> ()
+  | Rootfind.Root _ -> Alcotest.fail "divergent map should not converge"
+  | Rootfind.No_bracket -> Alcotest.fail "fixed_point never reports No_bracket"
+
+let test_expand_bracket () =
+  let f x = x -. 50. in
+  match Rootfind.expand_bracket f ~lo:0. ~hi:1. with
+  | None -> Alcotest.fail "bracket should be found"
+  | Some (lo, hi) ->
+    check_true "brackets root" (f lo *. f hi <= 0.);
+    check_float ~tol:1e-9 "lo unchanged" 0. lo
+
+let test_expand_bracket_failure () =
+  check_true "no sign change found"
+    (Rootfind.expand_bracket ~max_iter:5 (fun _ -> 1.) ~lo:0. ~hi:1. = None)
+
+let prop_brent_matches_bisect =
+  prop "brent and bisect agree on monotone functions" ~count:100
+    QCheck2.Gen.(float_range 0.1 0.9)
+    (fun b ->
+      let f c = (c /. (1. +. c)) -. b in
+      match (Rootfind.brent f ~lo:0. ~hi:1000., Rootfind.bisect f ~lo:0. ~hi:1000.) with
+      | Rootfind.Root x, Rootfind.Root y -> Float.abs (x -. y) <= 1e-6 *. (1. +. Float.abs x)
+      | _ -> false)
+
+let suites =
+  [
+    ( "numerics.rootfind",
+      [
+        case "bisect sqrt2" test_bisect_sqrt2;
+        case "bisect endpoint roots" test_bisect_endpoint_root;
+        case "bisect no bracket" test_bisect_no_bracket;
+        case "brent sqrt2" test_brent_sqrt2;
+        case "brent transcendental" test_brent_transcendental;
+        case "brent inverts signal function" test_brent_signal_inverse;
+        case "newton cubic" test_newton_cubic;
+        case "newton flat derivative" test_newton_flat_derivative;
+        case "fixed point of cos" test_fixed_point_cosine;
+        case "fixed point divergence" test_fixed_point_divergent;
+        case "expand bracket" test_expand_bracket;
+        case "expand bracket failure" test_expand_bracket_failure;
+        prop_brent_matches_bisect;
+      ] );
+  ]

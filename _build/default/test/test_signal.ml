@@ -1,0 +1,151 @@
+open Ffc_core
+open Test_util
+
+let all_signals =
+  [
+    Signal.linear_fractional;
+    Signal.scaled 2.;
+    Signal.power 2.;
+    Signal.exponential 0.7;
+  ]
+
+let test_linear_fractional () =
+  let s = Signal.linear_fractional in
+  check_float "B(0)" 0. (Signal.eval s 0.);
+  check_float "B(1)" 0.5 (Signal.eval s 1.);
+  check_float ~tol:1e-12 "B(3)" 0.75 (Signal.eval s 3.);
+  check_float "B(inf)" 1. (Signal.eval s Float.infinity)
+
+let test_inverse_roundtrip () =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun b ->
+          let c = Signal.inverse s b in
+          check_float ~tol:1e-9
+            (Printf.sprintf "%s roundtrip at %g" (Signal.name s) b)
+            b (Signal.eval s c))
+        [ 0.1; 0.25; 0.5; 0.75; 0.9 ])
+    all_signals
+
+let test_inverse_extremes () =
+  List.iter
+    (fun s ->
+      check_float (Signal.name s ^ " inverse 0") 0. (Signal.inverse s 0.);
+      check_true (Signal.name s ^ " inverse 1")
+        (Signal.inverse s 1. = Float.infinity))
+    all_signals
+
+let test_eval_clamps () =
+  (* A sloppy custom eval is clamped into [0,1]. *)
+  let s = Signal.make ~name:"sloppy" ~eval:(fun c -> 2. *. c) ~inverse:(fun b -> b /. 2.) in
+  check_float "clamped at 1" 1. (Signal.eval s 3.)
+
+let test_eval_rejects_negative () =
+  Alcotest.check_raises "negative congestion"
+    (Invalid_argument "Signal.eval: congestion must be >= 0") (fun () ->
+      ignore (Signal.eval Signal.linear_fractional (-1.)))
+
+let test_inverse_rejects_out_of_range () =
+  Alcotest.check_raises "signal above 1"
+    (Invalid_argument "Signal.inverse: signal outside [0,1]") (fun () ->
+      ignore (Signal.inverse Signal.linear_fractional 1.5))
+
+let test_power_reduces_to_rho_squared () =
+  (* With B = (C/(1+C))^2 and C = g(rho), the signal is rho^2 — the
+     reduction behind the paper's chaos example. *)
+  let s = Signal.power 2. in
+  List.iter
+    (fun rho ->
+      let c = Ffc_queueing.Mm1.g rho in
+      check_float ~tol:1e-12
+        (Printf.sprintf "b = rho^2 at %g" rho)
+        (rho *. rho) (Signal.eval s c))
+    [ 0.1; 0.5; 0.9 ]
+
+let test_linear_fractional_is_rho () =
+  (* With B = C/(1+C) and C = g(rho), the signal equals rho — the
+     reduction behind the instability example. *)
+  List.iter
+    (fun rho ->
+      let c = Ffc_queueing.Mm1.g rho in
+      check_float ~tol:1e-12
+        (Printf.sprintf "b = rho at %g" rho)
+        rho
+        (Signal.eval Signal.linear_fractional c))
+    [ 0.2; 0.5; 0.8 ]
+
+let test_check_accepts_builtins () =
+  List.iter
+    (fun s -> check_true (Signal.name s ^ " passes check") (Signal.check s))
+    all_signals
+
+let test_check_rejects_nonmonotone () =
+  let bad =
+    Signal.make ~name:"bump"
+      ~eval:(fun c -> if c < 1. then c /. 2. else 0.4)
+      ~inverse:(fun b -> b)
+  in
+  check_false "non-monotone rejected" (Signal.check bad)
+
+let test_binary () =
+  let s = Signal.binary 1. in
+  check_float "below threshold" 0. (Signal.eval s 0.5);
+  check_float "at threshold" 1. (Signal.eval s 1.);
+  check_float "above threshold" 1. (Signal.eval s 5.);
+  check_float "binary inverse of 0" 0. (Signal.inverse s 0.);
+  check_float "binary inverse interior" 1. (Signal.inverse s 0.5);
+  (* Binary feedback deliberately breaks the dB/dC > 0 contract. *)
+  check_false "check rejects binary" (Signal.check s)
+
+let test_invalid_params () =
+  check_true "scaled rejects k<=0"
+    (try
+       ignore (Signal.scaled 0.);
+       false
+     with Invalid_argument _ -> true);
+  check_true "power rejects p<1"
+    (try
+       ignore (Signal.power 0.5);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_monotone =
+  prop "signals are monotone in congestion"
+    QCheck2.Gen.(pair (float_range 0. 50.) (float_range 0. 50.))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      List.for_all
+        (fun s -> Signal.eval s lo <= Signal.eval s hi +. 1e-12)
+        all_signals)
+
+let prop_range =
+  prop "signals stay in [0,1]"
+    QCheck2.Gen.(float_range 0. 1e6)
+    (fun c ->
+      List.for_all
+        (fun s ->
+          let b = Signal.eval s c in
+          b >= 0. && b <= 1.)
+        all_signals)
+
+let suites =
+  [
+    ( "core.signal",
+      [
+        case "linear fractional values" test_linear_fractional;
+        case "inverse roundtrip" test_inverse_roundtrip;
+        case "inverse extremes" test_inverse_extremes;
+        case "eval clamps" test_eval_clamps;
+        case "eval rejects negative" test_eval_rejects_negative;
+        case "inverse range check" test_inverse_rejects_out_of_range;
+        case "power(2) gives rho^2" test_power_reduces_to_rho_squared;
+        case "linear fractional gives rho" test_linear_fractional_is_rho;
+        case "check accepts builtins" test_check_accepts_builtins;
+        case "check rejects non-monotone" test_check_rejects_nonmonotone;
+        case "binary signal" test_binary;
+        case "parameter validation" test_invalid_params;
+        prop_monotone;
+        prop_range;
+      ] );
+  ]

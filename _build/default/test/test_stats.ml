@@ -1,0 +1,141 @@
+open Ffc_numerics
+open Test_util
+
+let test_running_moments () =
+  let r = Stats.running_create () in
+  List.iter (Stats.running_add r) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Stats.running_count r);
+  check_float "mean" 5. (Stats.running_mean r);
+  check_float ~tol:1e-9 "variance (unbiased)" (32. /. 7.) (Stats.running_variance r)
+
+let test_running_empty () =
+  let r = Stats.running_create () in
+  check_float "empty mean" 0. (Stats.running_mean r);
+  check_float "empty variance" 0. (Stats.running_variance r);
+  check_float "empty ci" 0. (Stats.running_ci95_halfwidth r)
+
+let test_running_single () =
+  let r = Stats.running_create () in
+  Stats.running_add r 3.;
+  check_float "single mean" 3. (Stats.running_mean r);
+  check_float "single variance" 0. (Stats.running_variance r)
+
+let test_ci_shrinks () =
+  let widths =
+    List.map
+      (fun n ->
+        let r = Stats.running_create () in
+        let rng = Rng.create 1 in
+        for _ = 1 to n do
+          Stats.running_add r (Rng.uniform rng)
+        done;
+        Stats.running_ci95_halfwidth r)
+      [ 100; 10_000 ]
+  in
+  match widths with
+  | [ w1; w2 ] -> check_true "ci narrows with n" (w2 < w1)
+  | _ -> assert false
+
+let test_time_weighted () =
+  let acc = Stats.tw_create () in
+  (* Value 0 on [0,1), 2 on [1,3), 1 on [3,4). Average = (0+4+1)/4 = 1.25. *)
+  Stats.tw_observe acc ~now:1. ~value:2.;
+  Stats.tw_observe acc ~now:3. ~value:1.;
+  check_float "time average" 1.25 (Stats.tw_mean acc ~now:4.)
+
+let test_time_weighted_empty_window () =
+  let acc = Stats.tw_create () in
+  check_float "empty window" 0. (Stats.tw_mean acc ~now:0.)
+
+let test_time_weighted_backwards () =
+  let acc = Stats.tw_create () in
+  Stats.tw_observe acc ~now:5. ~value:1.;
+  Alcotest.check_raises "backwards time rejected"
+    (Invalid_argument "Stats.tw_observe: time went backwards") (fun () ->
+      Stats.tw_observe acc ~now:4. ~value:2.)
+
+let test_batch_stats () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_float "mean" 2.5 (Stats.mean xs);
+  check_float ~tol:1e-12 "variance" (5. /. 3.) (Stats.variance xs);
+  check_float "empty mean" 0. (Stats.mean [||])
+
+let test_quantiles () =
+  let xs = [| 4.; 1.; 3.; 2. |] in
+  check_float "median" 2.5 (Stats.median xs);
+  check_float "q0" 1. (Stats.quantile xs 0.);
+  check_float "q1" 4. (Stats.quantile xs 1.);
+  check_float "q25" 1.75 (Stats.quantile xs 0.25)
+
+let test_quantile_invalid () =
+  Alcotest.check_raises "empty quantile" (Invalid_argument "Stats.quantile: empty array")
+    (fun () -> ignore (Stats.quantile [||] 0.5))
+
+let test_autocorrelation () =
+  (* Alternating series has lag-1 autocorrelation close to -1. *)
+  let xs = Array.init 100 (fun i -> if i mod 2 = 0 then 1. else -1.) in
+  check_true "alternating series anticorrelated" (Stats.autocorrelation xs 1 < -0.9);
+  check_float "lag 0 is 1" 1. (Stats.autocorrelation xs 0);
+  check_float "constant series" 0. (Stats.autocorrelation (Array.make 10 2.) 1)
+
+let test_histogram () =
+  let xs = [| 0.; 0.1; 0.2; 0.9; 1. |] in
+  let h = Stats.histogram ~bins:2 xs in
+  let counts = Stats.histogram_counts h in
+  Alcotest.(check int) "two bins" 2 (Array.length counts);
+  let _, _, c0 = counts.(0) and _, _, c1 = counts.(1) in
+  Alcotest.(check int) "low bin" 3 c0;
+  Alcotest.(check int) "high bin" 2 c1
+
+let test_jain_index () =
+  check_float "equal allocation" 1. (Stats.jain_index [| 2.; 2.; 2. |]);
+  check_float ~tol:1e-12 "one hog" 0.25 (Stats.jain_index [| 1.; 0.; 0.; 0. |]);
+  check_float "empty" 1. (Stats.jain_index [||]);
+  check_float "all zero" 1. (Stats.jain_index [| 0.; 0. |])
+
+let test_max_min_ratio () =
+  check_float "equal" 1. (Stats.max_min_ratio [| 3.; 3. |]);
+  check_float "ratio" 4. (Stats.max_min_ratio [| 1.; 4. |]);
+  check_true "starvation is infinite" (Stats.max_min_ratio [| 1.; 0. |] = Float.infinity);
+  check_float "all zero is 1" 1. (Stats.max_min_ratio [| 0.; 0. |])
+
+let gen_xs = QCheck2.Gen.(array_size (int_range 2 50) (float_range 0.001 100.))
+
+let prop_jain_bounds =
+  prop "jain index in (0,1]" gen_xs (fun xs ->
+      let j = Stats.jain_index xs in
+      j > 0. && j <= 1. +. 1e-12)
+
+let prop_running_matches_batch =
+  prop "running mean matches batch mean" gen_xs (fun xs ->
+      let r = Stats.running_create () in
+      Array.iter (Stats.running_add r) xs;
+      Float.abs (Stats.running_mean r -. Stats.mean xs) <= 1e-9 *. (1. +. Stats.mean xs))
+
+let prop_quantile_monotone =
+  prop "quantiles monotone in p" gen_xs (fun xs ->
+      Stats.quantile xs 0.25 <= Stats.quantile xs 0.75 +. 1e-12)
+
+let suites =
+  [
+    ( "numerics.stats",
+      [
+        case "running moments" test_running_moments;
+        case "running empty" test_running_empty;
+        case "running single" test_running_single;
+        case "ci shrinks" test_ci_shrinks;
+        case "time-weighted average" test_time_weighted;
+        case "time-weighted empty window" test_time_weighted_empty_window;
+        case "time-weighted backwards time" test_time_weighted_backwards;
+        case "batch stats" test_batch_stats;
+        case "quantiles" test_quantiles;
+        case "quantile invalid" test_quantile_invalid;
+        case "autocorrelation" test_autocorrelation;
+        case "histogram" test_histogram;
+        case "jain index" test_jain_index;
+        case "max/min ratio" test_max_min_ratio;
+        prop_jain_bounds;
+        prop_running_matches_batch;
+        prop_quantile_monotone;
+      ] );
+  ]

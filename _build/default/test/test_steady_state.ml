@@ -1,0 +1,170 @@
+open Ffc_topology
+open Ffc_core
+open Test_util
+
+let signal = Signal.linear_fractional
+
+let test_steady_utilization () =
+  (* b_ss = 0.5 with B = C/(1+C): C_ss = 1, rho_ss = 1/2. *)
+  check_float ~tol:1e-12 "rho_ss" 0.5 (Steady_state.steady_utilization ~signal ~b_ss:0.5);
+  check_float ~tol:1e-12 "rho_ss at 0.75" 0.75
+    (Steady_state.steady_utilization ~signal ~b_ss:0.75)
+
+let test_single_gateway_fair () =
+  let net = Topologies.single ~mu:2. ~n:4 () in
+  let fair = Steady_state.fair ~signal ~b_ss:0.5 ~net in
+  (* Capacity 2 * 0.5 = 1, four ways: 0.25 each. *)
+  check_vec ~tol:1e-12 "equal split" [| 0.25; 0.25; 0.25; 0.25 |] fair
+
+let test_heterogeneous_parking_lot () =
+  let net =
+    Network.create
+      ~gateways:
+        [|
+          { Network.gw_name = "g0"; mu = 1.; latency = 0. };
+          { Network.gw_name = "g1"; mu = 2.; latency = 0. };
+        |]
+      ~connections:
+        [|
+          { Network.conn_name = "long"; path = [ 0; 1 ] };
+          { Network.conn_name = "cross0"; path = [ 0 ] };
+          { Network.conn_name = "cross1"; path = [ 1 ] };
+        |]
+  in
+  let fair = Steady_state.fair ~signal ~b_ss:0.5 ~net in
+  (* Capacities (0.5, 1.0): gw0 binds long and cross0 at 0.25; cross1
+     takes the remaining 0.75 at gw1. *)
+  check_vec ~tol:1e-12 "max-min allocation" [| 0.25; 0.25; 0.75 |] fair
+
+let test_water_filling_multiple_rounds () =
+  (* Three gateways with cascading slack: each round frees capacity
+     downstream. *)
+  let net =
+    Network.create
+      ~gateways:
+        [|
+          { Network.gw_name = "g0"; mu = 1.; latency = 0. };
+          { Network.gw_name = "g1"; mu = 4.; latency = 0. };
+        |]
+      ~connections:
+        [|
+          { Network.conn_name = "a"; path = [ 0; 1 ] };
+          { Network.conn_name = "b"; path = [ 0 ] };
+          { Network.conn_name = "c"; path = [ 1 ] };
+          { Network.conn_name = "d"; path = [ 1 ] };
+        |]
+  in
+  let fair = Steady_state.max_min_fair ~capacities:[| 1.; 4. |] ~net in
+  (* gw0: share 0.5 binds a and b. gw1 then has 3.5 for c and d: 1.75. *)
+  check_vec ~tol:1e-12 "two-round filling" [| 0.5; 0.5; 1.75; 1.75 |] fair
+
+let test_fair_is_steady_state_of_individual_feedback () =
+  (* The Corollary: the water-filling allocation is the fixed point of the
+     TSI individual-feedback map under both disciplines. *)
+  let net = Topologies.parking_lot ~hops:3 () in
+  let fair = Steady_state.fair ~signal ~b_ss:0.5 ~net in
+  List.iter
+    (fun config ->
+      let c =
+        Controller.homogeneous ~config ~adjuster:Scenario.standard_adjuster
+          ~n:(Network.num_connections net)
+      in
+      check_true
+        (Congestion.style_name config.Feedback.style ^ " fixed point")
+        (Controller.steady_state ~tol:1e-7 c ~net fair))
+    [ Feedback.individual_fifo; Feedback.individual_fair_share ]
+
+let test_fair_is_steady_for_aggregate_too () =
+  (* Theorem 2(2): the fair allocation is also a steady state (one of
+     many) of the aggregate-feedback map. *)
+  let net = Topologies.single ~n:5 () in
+  let fair = Steady_state.fair ~signal ~b_ss:0.5 ~net in
+  let c =
+    Controller.homogeneous ~config:Feedback.aggregate_fifo
+      ~adjuster:Scenario.standard_adjuster ~n:5
+  in
+  check_true "aggregate fixed point" (Controller.steady_state ~tol:1e-7 c ~net fair)
+
+let test_scaling_property () =
+  (* TSI: scaling mu scales the fair point linearly. *)
+  let net = Topologies.parking_lot ~hops:2 () in
+  let fair = Steady_state.fair ~signal ~b_ss:0.5 ~net in
+  let scaled = Steady_state.fair ~signal ~b_ss:0.5 ~net:(Network.scale_mu net 10.) in
+  check_vec ~tol:1e-9 "scales with mu" (Ffc_numerics.Vec.scale 10. fair) scaled
+
+let test_bottleneck_shares () =
+  let net = Topologies.single ~mu:4. ~n:2 () in
+  check_vec ~tol:1e-12 "capacity mu*rho" [| 2. |]
+    (Steady_state.bottleneck_shares ~signal ~b_ss:0.5 ~net)
+
+let test_b_ss_validation () =
+  let net = Topologies.single ~n:1 () in
+  check_true "b_ss = 0 rejected"
+    (try
+       ignore (Steady_state.fair ~signal ~b_ss:0. ~net);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_fair_saturates_bottlenecks =
+  (* In the fair allocation, every connection has at least one gateway
+     where the full capacity mu*rho_ss is consumed. *)
+  prop "fair allocation saturates each connection's bottleneck" ~count:30
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Ffc_numerics.Rng.create seed in
+      let net = Topologies.random ~rng ~gateways:4 ~connections:5 ~max_path:3 () in
+      let fair = Steady_state.fair ~signal ~b_ss:0.5 ~net in
+      let ok = ref true in
+      for i = 0 to Network.num_connections net - 1 do
+        let has_saturated =
+          List.exists
+            (fun a ->
+              let total =
+                List.fold_left
+                  (fun acc j -> acc +. fair.(j))
+                  0.
+                  (Network.connections_at_gateway net a)
+              in
+              let cap = (Network.gateway net a).Network.mu *. 0.5 in
+              total >= cap -. 1e-9)
+            (Network.gateways_of_connection net i)
+        in
+        if not has_saturated then ok := false
+      done;
+      !ok)
+
+let prop_fair_never_overfills =
+  prop "fair allocation never exceeds any capacity" ~count:30
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Ffc_numerics.Rng.create seed in
+      let net = Topologies.random ~rng ~gateways:4 ~connections:5 ~max_path:3 () in
+      let fair = Steady_state.fair ~signal ~b_ss:0.5 ~net in
+      let ok = ref true in
+      for a = 0 to Network.num_gateways net - 1 do
+        let total =
+          List.fold_left (fun acc j -> acc +. fair.(j)) 0.
+            (Network.connections_at_gateway net a)
+        in
+        if total > ((Network.gateway net a).Network.mu *. 0.5) +. 1e-9 then ok := false
+      done;
+      !ok)
+
+let suites =
+  [
+    ( "core.steady_state",
+      [
+        case "steady utilization" test_steady_utilization;
+        case "single gateway fair split" test_single_gateway_fair;
+        case "heterogeneous parking lot" test_heterogeneous_parking_lot;
+        case "multi-round water filling" test_water_filling_multiple_rounds;
+        case "fair point is individual-feedback fixed point"
+          test_fair_is_steady_state_of_individual_feedback;
+        case "fair point is aggregate fixed point" test_fair_is_steady_for_aggregate_too;
+        case "TSI scaling" test_scaling_property;
+        case "bottleneck shares" test_bottleneck_shares;
+        case "b_ss validation" test_b_ss_validation;
+        prop_fair_saturates_bottlenecks;
+        prop_fair_never_overfills;
+      ] );
+  ]

@@ -1,0 +1,134 @@
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+open Test_util
+
+(* ------------------------------------------------------------------ *)
+(* ODE integrator                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_rk4_exponential () =
+  (* y' = -y from 1: y(t) = e^{-t}. *)
+  let f ~t:_ y = [| -.y.(0) |] in
+  let traj = Ode.integrate ~f ~t0:0. ~t1:2. ~dt:0.01 [| 1. |] in
+  let _, last = traj.(Array.length traj - 1) in
+  check_float ~tol:1e-8 "e^{-2}" (exp (-2.)) last.(0)
+
+let test_rk4_harmonic_oscillator () =
+  (* y'' = -y  as a system: energy is conserved to RK4 accuracy. *)
+  let f ~t:_ y = [| y.(1); -.y.(0) |] in
+  let traj = Ode.integrate ~f ~t0:0. ~t1:(2. *. Float.pi) ~dt:0.001 [| 1.; 0. |] in
+  let _, last = traj.(Array.length traj - 1) in
+  check_float ~tol:1e-8 "full period returns" 1. last.(0);
+  check_float ~tol:1e-8 "velocity returns" 0. last.(1)
+
+let test_rk4_endpoint_exact () =
+  let f ~t:_ _ = [| 1. |] in
+  let traj = Ode.integrate ~f ~t0:0. ~t1:1. ~dt:0.3 [| 0. |] in
+  let t_last, y_last = traj.(Array.length traj - 1) in
+  check_float "lands exactly on t1" 1. t_last;
+  check_float ~tol:1e-12 "integral of 1 is t" 1. y_last.(0)
+
+let test_integrate_post_clamp () =
+  let f ~t:_ _ = [| -10. |] in
+  let traj =
+    Ode.integrate ~post:(Array.map (Float.max 0.)) ~f ~t0:0. ~t1:1. ~dt:0.1 [| 0.5 |]
+  in
+  Array.iter (fun (_, y) -> check_true "clamped" (y.(0) >= 0.)) traj
+
+let test_integrate_validation () =
+  let f ~t:_ y = y in
+  check_true "dt <= 0 rejected"
+    (try
+       ignore (Ode.integrate ~f ~t0:0. ~t1:1. ~dt:0. [| 1. |]);
+       false
+     with Invalid_argument _ -> true);
+  check_true "t1 < t0 rejected"
+    (try
+       ignore (Ode.integrate ~f ~t0:1. ~t1:0. ~dt:0.1 [| 1. |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Transient fluid model                                               *)
+(* ------------------------------------------------------------------ *)
+
+let config = Feedback.individual_fifo
+
+let test_fluid_settles_at_fair_point () =
+  let n = 3 in
+  let net = Topologies.single ~mu:1. ~n () in
+  let r =
+    Transient.run ~dt:0.05 ~t_end:800. ~config ~net
+      ~adjusters:(Array.make n Scenario.standard_adjuster)
+      ~gain:1. ~r0:[| 0.02; 0.1; 0.2 |] ()
+  in
+  match r.Transient.outcome with
+  | Transient.Settled rates ->
+    check_vec ~tol:1e-3 "fluid fair point" [| 1. /. 6.; 1. /. 6.; 1. /. 6. |] rates
+  | Transient.Oscillating _ -> Alcotest.fail "moderate gain should settle"
+
+let test_fluid_queue_equilibrium () =
+  (* At the settled point the fluid queue mass equals g(rho) = 1. *)
+  let n = 2 in
+  let net = Topologies.single ~mu:1. ~n () in
+  let r =
+    Transient.run ~dt:0.05 ~t_end:800. ~config ~net
+      ~adjusters:(Array.make n Scenario.standard_adjuster)
+      ~gain:1. ~r0:[| 0.1; 0.1 |] ()
+  in
+  let q_last = r.Transient.total_queue.(Array.length r.Transient.total_queue - 1) in
+  check_float ~tol:0.01 "fluid mass = g(1/2) = 1" 1. q_last
+
+let test_fluid_chain_oscillates_at_high_gain () =
+  let net = Topologies.chain ~mu:1. ~hops:3 ~conns:2 () in
+  let adjusters = Array.make 2 Scenario.standard_adjuster in
+  let outcome gain =
+    (Transient.run ~dt:0.025 ~t_end:600. ~config ~net ~adjusters ~gain
+       ~r0:[| 0.05; 0.1 |] ())
+      .Transient.outcome
+  in
+  check_true "low gain settles"
+    (match outcome 5. with Transient.Settled _ -> true | _ -> false);
+  check_true "high gain oscillates"
+    (match outcome 80. with Transient.Oscillating _ -> true | _ -> false)
+
+let test_fluid_validation () =
+  let net = Topologies.single ~n:2 () in
+  check_true "gain must be positive"
+    (try
+       ignore
+         (Transient.run ~config ~net
+            ~adjusters:(Array.make 2 Scenario.standard_adjuster)
+            ~gain:0. ~r0:[| 0.1; 0.1 |] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_critical_gain_ordering () =
+  (* The critical gain of the slow chain is below the fast chain's. *)
+  let critical mu =
+    let net = Topologies.chain ~mu ~hops:3 ~conns:2 () in
+    Transient.critical_gain ~lo:1. ~hi:400. ~ratio:1.3 ~dt:0.05 ~t_end:400.
+      ~config ~net
+      ~adjusters:(Array.make 2 Scenario.standard_adjuster)
+      ~r0:[| 0.05 *. mu; 0.1 *. mu |] ()
+  in
+  let slow = critical 0.5 and fast = critical 2. in
+  check_true "faster servers tolerate more gain" (fast > 2. *. slow)
+
+let suites =
+  [
+    ( "core.transient",
+      [
+        case "rk4 exponential decay" test_rk4_exponential;
+        case "rk4 harmonic oscillator" test_rk4_harmonic_oscillator;
+        case "rk4 endpoint handling" test_rk4_endpoint_exact;
+        case "integrate post clamp" test_integrate_post_clamp;
+        case "integrate validation" test_integrate_validation;
+        case "fluid settles at fair point" test_fluid_settles_at_fair_point;
+        case "fluid queue equilibrium" test_fluid_queue_equilibrium;
+        case "chain oscillates at high gain" test_fluid_chain_oscillates_at_high_gain;
+        case "input validation" test_fluid_validation;
+        case "critical gain grows with mu" test_critical_gain_ordering;
+      ] );
+  ]

@@ -1,0 +1,115 @@
+open Ffc_numerics
+open Test_util
+
+let test_make_init () =
+  check_vec "make" [| 2.; 2.; 2. |] (Vec.make 3 2.);
+  check_vec "init" [| 0.; 1.; 4. |] (Vec.init 3 (fun i -> float_of_int (i * i)))
+
+let test_arith () =
+  let a = [| 1.; 2.; 3. |] and b = [| 4.; 5.; 6. |] in
+  check_vec "add" [| 5.; 7.; 9. |] (Vec.add a b);
+  check_vec "sub" [| -3.; -3.; -3. |] (Vec.sub a b);
+  check_vec "scale" [| 2.; 4.; 6. |] (Vec.scale 2. a);
+  check_vec "axpy" [| 6.; 9.; 12. |] (Vec.axpy 2. a b)
+
+let test_dot_sum () =
+  let a = [| 1.; 2.; 3. |] and b = [| 4.; 5.; 6. |] in
+  check_float "dot" 32. (Vec.dot a b);
+  check_float "sum" 6. (Vec.sum a);
+  check_float "mean" 2. (Vec.mean a)
+
+let test_norms () =
+  let v = [| 3.; -4. |] in
+  check_float "norm2" 5. (Vec.norm2 v);
+  check_float "norm_inf" 4. (Vec.norm_inf v);
+  check_float "dist_inf" 7. (Vec.dist_inf v [| -4.; 3. |]);
+  check_float "dist2" (sqrt 98.) (Vec.dist2 v [| -4.; 3. |])
+
+let test_extrema () =
+  let v = [| 3.; -1.; 7.; 2. |] in
+  check_float "max" 7. (Vec.max v);
+  check_float "min" (-1.) (Vec.min v);
+  Alcotest.(check int) "argmax" 2 (Vec.argmax v);
+  Alcotest.(check int) "argmin" 1 (Vec.argmin v)
+
+let test_empty_extrema_raise () =
+  Alcotest.check_raises "max on empty" (Invalid_argument "Vec.max: empty vector")
+    (fun () -> ignore (Vec.max [||]));
+  Alcotest.check_raises "mean on empty" (Invalid_argument "Vec.mean: empty vector")
+    (fun () -> ignore (Vec.mean [||]))
+
+let test_clamp () =
+  check_vec "clamp_nonneg" [| 0.; 1.; 0. |] (Vec.clamp_nonneg [| -2.; 1.; -0.1 |])
+
+let test_mismatch_raises () =
+  Alcotest.check_raises "add mismatch"
+    (Invalid_argument "Vec.map2: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Vec.add [| 1.; 2. |] [| 1.; 2.; 3. |]))
+
+let test_sorted () =
+  check_vec "sorted copy" [| 1.; 2.; 3. |] (Vec.sorted_increasing [| 3.; 1.; 2. |]);
+  check_true "is_sorted yes" (Vec.is_sorted_increasing [| 1.; 1.; 2. |]);
+  check_false "is_sorted no" (Vec.is_sorted_increasing [| 2.; 1. |])
+
+let test_approx_equal () =
+  check_true "within tol" (Vec.approx_equal ~tol:0.01 [| 1. |] [| 1.005 |]);
+  check_false "outside tol" (Vec.approx_equal ~tol:0.001 [| 1. |] [| 1.005 |]);
+  check_false "dim mismatch" (Vec.approx_equal [| 1. |] [| 1.; 2. |])
+
+let contains_substring s sub =
+  let n = String.length sub in
+  let found = ref false in
+  for i = 0 to String.length s - n do
+    if String.sub s i n = sub then found := true
+  done;
+  !found
+
+let test_pp () =
+  let s = Vec.to_string [| 1.5; 2.5 |] in
+  check_true "mentions 1.5" (contains_substring s "1.5");
+  check_true "mentions 2.5" (contains_substring s "2.5")
+
+let gen_vec = QCheck2.Gen.(array_size (int_range 1 12) (float_range (-100.) 100.))
+
+let prop_add_comm =
+  prop "vector addition commutes"
+    QCheck2.Gen.(pair gen_vec gen_vec)
+    (fun (a, b) ->
+      Array.length a <> Array.length b
+      || Vec.approx_equal (Vec.add a b) (Vec.add b a))
+
+let prop_norm_triangle =
+  prop "triangle inequality"
+    QCheck2.Gen.(pair gen_vec gen_vec)
+    (fun (a, b) ->
+      Array.length a <> Array.length b
+      || Vec.norm2 (Vec.add a b) <= Vec.norm2 a +. Vec.norm2 b +. 1e-9)
+
+let prop_clamp_idempotent =
+  prop "clamp_nonneg idempotent" gen_vec (fun v ->
+      Vec.approx_equal (Vec.clamp_nonneg v) (Vec.clamp_nonneg (Vec.clamp_nonneg v)))
+
+let prop_sorted_is_sorted =
+  prop "sorted_increasing sorts" gen_vec (fun v ->
+      Vec.is_sorted_increasing (Vec.sorted_increasing v))
+
+let suites =
+  [
+    ( "numerics.vec",
+      [
+        case "make/init" test_make_init;
+        case "arithmetic" test_arith;
+        case "dot/sum/mean" test_dot_sum;
+        case "norms" test_norms;
+        case "extrema" test_extrema;
+        case "empty extrema raise" test_empty_extrema_raise;
+        case "clamp" test_clamp;
+        case "dimension mismatch" test_mismatch_raises;
+        case "sorting" test_sorted;
+        case "pretty printing" test_pp;
+        prop_add_comm;
+        prop_norm_triangle;
+        prop_clamp_idempotent;
+        prop_sorted_is_sorted;
+      ] );
+  ]

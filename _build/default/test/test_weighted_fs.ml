@@ -1,0 +1,162 @@
+open Ffc_numerics
+open Ffc_queueing
+open Test_util
+
+let test_reduces_to_fs_at_equal_weights () =
+  let rates = [| 0.3; 0.9; 0.1; 0.5 |] and mu = 2. in
+  let weights = Array.make 4 1. in
+  check_vec ~tol:1e-12 "equal weights = Fair Share"
+    (Fair_share.queue_lengths ~mu rates)
+    (Weighted_fair_share.queue_lengths ~mu ~weights rates)
+
+let test_reduces_to_fs_at_uniform_scaled_weights () =
+  (* Weights are scale free: all-2 weights equal all-1 weights. *)
+  let rates = [| 0.3; 0.9; 0.1 |] and mu = 2. in
+  check_vec ~tol:1e-12 "weight scale irrelevant"
+    (Weighted_fair_share.queue_lengths ~mu ~weights:[| 1.; 1.; 1. |] rates)
+    (Weighted_fair_share.queue_lengths ~mu ~weights:[| 2.; 2.; 2. |] rates)
+
+let test_normalized_rates () =
+  check_vec "phi" [| 0.5; 0.25 |]
+    (Weighted_fair_share.normalized_rates ~weights:[| 2.; 4. |] [| 1.; 1. |])
+
+let test_fair_cumulative_load () =
+  (* weights (1,3), rates (1,3): phi = (1,1); T_0 = 1*1 + 3*1 = 4. *)
+  check_float "tied phis" 4.
+    (Weighted_fair_share.fair_cumulative_load ~weights:[| 1.; 3. |] [| 1.; 3. |] 0);
+  (* weights (1,1), rates (1,3): T_1 = min(1,3) + 3 = 4. *)
+  check_float "unweighted matches FS" 4.
+    (Weighted_fair_share.fair_cumulative_load ~weights:[| 1.; 1. |] [| 1.; 3. |] 1)
+
+let test_conservation () =
+  let rates = [| 0.2; 0.5; 0.3 |] and weights = [| 1.; 2.; 4. |] and mu = 2. in
+  let q = Weighted_fair_share.queue_lengths ~mu ~weights rates in
+  check_float ~tol:1e-9 "work conserved" (Mm1.g (Vec.sum rates /. mu)) (Vec.sum q)
+
+let test_weight_proportional_occupancy_at_equal_phi () =
+  (* Equal phi: rates proportional to weights; queues must then also be
+     weight proportional (they all share every level). *)
+  let weights = [| 1.; 3. |] in
+  let rates = [| 0.2; 0.6 |] and mu = 2. in
+  let q = Weighted_fair_share.queue_lengths ~mu ~weights rates in
+  check_float ~tol:1e-9 "queues weight-proportional" 3. (q.(1) /. q.(0))
+
+let test_weighted_isolation () =
+  (* A low-phi connection stays finite under overload by a high-phi one. *)
+  let weights = [| 4.; 1. |] in
+  let rates = [| 0.4; 3.0 |] and mu = 1. in
+  let q = Weighted_fair_share.queue_lengths ~mu ~weights rates in
+  check_true "heavy-weight low-phi connection isolated" (Float.is_finite q.(0));
+  check_true "flooding connection saturates" (q.(1) = Float.infinity);
+  (* Its fair cumulative load: phi_0 = 0.1; T_0 = 4*0.1 + 1*0.1 = 0.5 < 1. *)
+  check_float "T_0" 0.5 (Weighted_fair_share.fair_cumulative_load ~weights rates 0)
+
+let test_weighted_robustness_bound () =
+  let weights = [| 1.; 2.; 5. |] and mu = 4. in
+  let rng = Rng.create 77 in
+  for _ = 1 to 200 do
+    let rates = Array.init 3 (fun _ -> Rng.float rng mu) in
+    let q = Weighted_fair_share.queue_lengths ~mu ~weights rates in
+    Array.iteri
+      (fun i qi ->
+        let bound = Weighted_fair_share.robustness_bound ~mu ~weights rates i in
+        if Float.is_finite bound then
+          check_true "weighted Theorem-5 bound" (qi <= bound +. 1e-9))
+      q
+  done
+
+let test_service_wrapper () =
+  let weights = [| 1.; 2. |] in
+  let svc = Weighted_fair_share.service ~weights in
+  let rates = [| 0.3; 0.4 |] in
+  check_vec ~tol:1e-12 "service dispatch"
+    (Weighted_fair_share.queue_lengths ~mu:2. ~weights rates)
+    (Service.queue_lengths svc ~mu:2. rates)
+
+let test_validation () =
+  check_true "zero weight rejected"
+    (try
+       ignore (Weighted_fair_share.queue_lengths ~mu:1. ~weights:[| 0. |] [| 0.1 |]);
+       false
+     with Invalid_argument _ -> true);
+  check_true "length mismatch rejected"
+    (try
+       ignore (Weighted_fair_share.queue_lengths ~mu:1. ~weights:[| 1. |] [| 0.1; 0.2 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let gen_config =
+  QCheck2.Gen.(
+    triple
+      (array_size (int_range 1 6) (float_range 0. 0.5))
+      (array_size (int_range 1 6) (float_range 0.1 4.))
+      (float_range 1. 8.))
+
+let prop_conservation =
+  prop "weighted FS conserves work" gen_config (fun (rates, weights, mu) ->
+      Array.length rates <> Array.length weights
+      || Vec.sum rates >= 0.95 *. mu
+      ||
+      let q = Weighted_fair_share.queue_lengths ~mu ~weights rates in
+      Float.abs (Vec.sum q -. Mm1.g (Vec.sum rates /. mu)) <= 1e-6)
+
+let prop_phi_order =
+  prop "queues ordered by normalized rate" gen_config (fun (rates, weights, mu) ->
+      Array.length rates <> Array.length weights
+      || Vec.sum rates >= 0.95 *. mu
+      ||
+      let phi = Array.map2 (fun r w -> r /. w) rates weights in
+      let q = Weighted_fair_share.queue_lengths ~mu ~weights rates in
+      let per_weight = Array.map2 (fun qi w -> qi /. w) q weights in
+      let ok = ref true in
+      Array.iteri
+        (fun i pi ->
+          Array.iteri
+            (fun j pj ->
+              if pi < pj && per_weight.(i) > per_weight.(j) +. 1e-9 then ok := false)
+            phi)
+        phi;
+      !ok)
+
+let prop_triangularity =
+  (* Locality: raising the largest-phi connection's rate leaves lower-phi
+     queues unchanged (the Theorem-4 structure, weighted). *)
+  prop "weighted FS queues are local in phi order" gen_config
+    (fun (rates, weights, mu) ->
+      Array.length rates <> Array.length weights
+      || Array.length rates < 2
+      || Vec.sum rates >= 0.9 *. mu
+      ||
+      let phi = Array.map2 (fun r w -> r /. w) rates weights in
+      let imax = Vec.argmax phi in
+      let q = Weighted_fair_share.queue_lengths ~mu ~weights rates in
+      let bumped = Array.copy rates in
+      bumped.(imax) <- bumped.(imax) +. (0.01 *. weights.(imax));
+      let q' = Weighted_fair_share.queue_lengths ~mu ~weights bumped in
+      let ok = ref true in
+      Array.iteri
+        (fun i qi ->
+          if i <> imax && phi.(i) < phi.(imax) && Float.is_finite qi then
+            if Float.abs (q'.(i) -. qi) > 1e-9 *. (1. +. qi) then ok := false)
+        q;
+      !ok)
+
+let suites =
+  [
+    ( "queueing.weighted_fair_share",
+      [
+        case "reduces to FS (equal weights)" test_reduces_to_fs_at_equal_weights;
+        case "weight scale free" test_reduces_to_fs_at_uniform_scaled_weights;
+        case "normalized rates" test_normalized_rates;
+        case "fair cumulative load" test_fair_cumulative_load;
+        case "conservation" test_conservation;
+        case "weight-proportional occupancy" test_weight_proportional_occupancy_at_equal_phi;
+        case "weighted isolation" test_weighted_isolation;
+        case "weighted robustness bound" test_weighted_robustness_bound;
+        case "service wrapper" test_service_wrapper;
+        case "validation" test_validation;
+        prop_conservation;
+        prop_phi_order;
+        prop_triangularity;
+      ] );
+  ]

@@ -1,0 +1,148 @@
+open Ffc_topology
+open Ffc_core
+open Test_util
+
+let config = Feedback.individual_fifo
+
+let single = Topologies.single ~mu:1. ~n:1 ()
+
+let test_rates_of_windows_single () =
+  (* One connection, FIFO, no latency: d = 1/(mu - r), so r = w(mu - r)
+     gives r = w/(1 + w). *)
+  let check_w w =
+    let r = Window.rates_of_windows config ~net:single ~windows:[| w |] in
+    check_float ~tol:1e-8 (Printf.sprintf "induced rate at w=%g" w) (w /. (1. +. w)) r.(0)
+  in
+  List.iter check_w [ 0.1; 1.; 3.; 100. ]
+
+let test_zero_window_zero_rate () =
+  let r = Window.rates_of_windows config ~net:single ~windows:[| 0. |] in
+  check_float "zero window" 0. r.(0)
+
+let test_self_limitation () =
+  (* Even an absurd window cannot overload the gateway. *)
+  let r = Window.rates_of_windows config ~net:single ~windows:[| 1e6 |] in
+  check_true "rate below capacity" (r.(0) < 1.);
+  check_true "rate close to capacity" (r.(0) > 0.99)
+
+let test_littles_law_consistency () =
+  (* At the fixed point, w = r * d(r) for every connection. *)
+  let net = Topologies.parking_lot ~hops:2 ~latency:0.3 () in
+  let windows = [| 0.8; 0.5; 1.2 |] in
+  let rates = Window.rates_of_windows config ~net ~windows in
+  let d = Feedback.delays config ~net ~rates in
+  Array.iteri
+    (fun i w ->
+      check_float ~tol:1e-6 (Printf.sprintf "w = r*d for conn %d" i) w
+        (rates.(i) *. d.(i)))
+    windows
+
+let test_fifo_rates_proportional_to_windows () =
+  (* Shared FIFO gateway: d identical for everyone, so rates are
+     proportional to windows. *)
+  let net = Topologies.single ~mu:1. ~n:2 () in
+  let rates = Window.rates_of_windows config ~net ~windows:[| 1.; 3. |] in
+  check_float ~tol:1e-6 "rate ratio = window ratio" 3. (rates.(1) /. rates.(0))
+
+let test_window_validation () =
+  check_true "negative window rejected"
+    (try
+       ignore (Window.rates_of_windows config ~net:single ~windows:[| -1. |]);
+       false
+     with Invalid_argument _ -> true);
+  check_true "length mismatch rejected"
+    (try
+       ignore (Window.rates_of_windows config ~net:single ~windows:[| 1.; 2. |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_window_run_tsi_fair () =
+  (* TSI window adjuster pins b = beta: induced rates are the fair point
+     even with asymmetric latencies. *)
+  let net =
+    Network.create
+      ~gateways:
+        [|
+          { Network.gw_name = "b"; mu = 1.; latency = 0. };
+          { Network.gw_name = "a0"; mu = 10.; latency = 0.2 };
+          { Network.gw_name = "a1"; mu = 10.; latency = 4. };
+        |]
+      ~connections:
+        [|
+          { Network.conn_name = "c0"; path = [ 1; 0 ] };
+          { Network.conn_name = "c1"; path = [ 2; 0 ] };
+        |]
+  in
+  match
+    Window.run config ~net
+      ~adjusters:(Array.make 2 (Window.additive_tsi ~eta:0.1 ~beta:0.5))
+      ~w0:[| 0.2; 0.2 |]
+  with
+  | Window.Converged { rates; windows; _ } ->
+    check_float ~tol:1e-5 "rates equal" rates.(0) rates.(1);
+    check_true "windows unequal (longer path needs more)" (windows.(1) > 2. *. windows.(0))
+  | Window.No_convergence _ -> Alcotest.fail "TSI window run should converge"
+
+let test_window_run_decbit_biased () =
+  let net =
+    Network.create
+      ~gateways:
+        [|
+          { Network.gw_name = "b"; mu = 1.; latency = 0. };
+          { Network.gw_name = "a0"; mu = 10.; latency = 0.2 };
+          { Network.gw_name = "a1"; mu = 10.; latency = 4. };
+        |]
+      ~connections:
+        [|
+          { Network.conn_name = "c0"; path = [ 1; 0 ] };
+          { Network.conn_name = "c1"; path = [ 2; 0 ] };
+        |]
+  in
+  match
+    Window.run Feedback.aggregate_fifo ~net
+      ~adjusters:(Array.make 2 (Window.decbit ~eta:0.05 ~beta:0.5))
+      ~w0:[| 0.2; 0.2 |]
+  with
+  | Window.Converged { rates; windows; _ } ->
+    check_float ~tol:1e-5 "windows equalize under aggregate" windows.(0) windows.(1);
+    check_true "short path wins" (rates.(0) > 2. *. rates.(1))
+  | Window.No_convergence _ -> Alcotest.fail "DECbit window run should converge"
+
+let test_adjuster_validation () =
+  check_true "beta validated"
+    (try
+       ignore (Window.additive_tsi ~eta:0.1 ~beta:1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_littles_law =
+  prop "w = r*d at every solved fixed point" ~count:40
+    QCheck2.Gen.(array_size (pure 3) (float_range 0. 5.))
+    (fun windows ->
+      let net = Topologies.single ~mu:1. ~n:3 () in
+      let rates = Window.rates_of_windows config ~net ~windows in
+      let d = Feedback.delays config ~net ~rates in
+      let ok = ref true in
+      Array.iteri
+        (fun i w ->
+          let lhs = rates.(i) *. d.(i) in
+          if Float.abs (lhs -. w) > 1e-5 *. (1. +. w) then ok := false)
+        windows;
+      !ok)
+
+let suites =
+  [
+    ( "core.window",
+      [
+        case "induced rate closed form" test_rates_of_windows_single;
+        case "zero window" test_zero_window_zero_rate;
+        case "self-limitation" test_self_limitation;
+        case "Little's law at fixed point" test_littles_law_consistency;
+        case "FIFO rates proportional to windows" test_fifo_rates_proportional_to_windows;
+        case "input validation" test_window_validation;
+        case "TSI window run is fair" test_window_run_tsi_fair;
+        case "DECbit window run is biased" test_window_run_decbit_biased;
+        case "adjuster validation" test_adjuster_validation;
+        prop_littles_law;
+      ] );
+  ]
