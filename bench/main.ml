@@ -141,8 +141,29 @@ let run_benchmarks () =
   Printf.printf "%s\n" (String.make 72 '-');
   List.iter (fun (name, ns) -> Printf.printf "%-55s %16.1f\n" name ns) rows
 
+(* Wall-clock comparison of sequential vs parallel [run_all], so the
+   multicore speedup (and the byte-identical-output guarantee) is part
+   of the tracked perf trajectory. *)
+let run_all_comparison () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let jobs = Domain.recommended_domain_count () in
+  let seq, t_seq = time (fun () -> Ffc_experiments.Registry.run_all ~jobs:1 ()) in
+  let par, t_par = time (fun () -> Ffc_experiments.Registry.run_all ~jobs ()) in
+  Printf.printf "%s\nrun_all: sequential vs parallel\n%s\n" (String.make 72 '=')
+    (String.make 72 '=');
+  Printf.printf "sequential (--jobs 1)   %8.2f s\n" t_seq;
+  Printf.printf "parallel   (--jobs %-2d)  %8.2f s   speedup %.2fx\n" jobs t_par
+    (t_seq /. t_par);
+  Printf.printf "outputs byte-identical: %s\n" (if String.equal seq par then "yes" else "NO");
+  seq
+
 let () =
-  print_string (Ffc_experiments.Registry.run_all ());
+  let all = run_all_comparison () in
+  print_string all;
   print_newline ();
   Printf.printf "%s\nmicro-benchmarks (bechamel)\n%s\n" (String.make 72 '=')
     (String.make 72 '=');

@@ -108,6 +108,23 @@ let exit_err msg =
   Printf.eprintf "ffc: %s\n" msg;
   exit 1
 
+(* -j/--jobs: degree of parallelism for the work pool.  Output is
+   byte-identical whatever the value — results are collected in input
+   order and every task derives its own RNG stream. *)
+let jobs_term =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run independent experiments and sweeps on up to $(docv) domains \
+           (default: the hardware's recommended domain count). Output is \
+           byte-identical to --jobs 1.")
+
+let apply_jobs jobs =
+  if jobs < 1 then exit_err "--jobs must be >= 1";
+  Pool.set_default_jobs jobs
+
 let resolve_adjusters specs n =
   let parsed =
     List.map
@@ -136,9 +153,10 @@ let exp_cmd =
   let id =
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id or 'all'.")
   in
-  let run id =
+  let run id jobs =
+    apply_jobs jobs;
     match String.lowercase_ascii id with
-    | "all" -> print_string (Ffc_experiments.Registry.run_all ())
+    | "all" -> print_string (Ffc_experiments.Registry.run_all ~jobs ())
     | "list" ->
       List.iter
         (fun e ->
@@ -155,7 +173,7 @@ let exp_cmd =
        ~doc:
          "Regenerate the paper's tables and figures (E1-E24); 'list' prints the \
           index, 'all' runs everything.")
-    Term.(const run $ id)
+    Term.(const run $ id $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -178,7 +196,8 @@ let analyze_cmd =
             "Also write the individual+fair-share rate trajectory (400 steps) \
              as CSV to FILE.")
   in
-  let run net_result specs r0_spec trace_file =
+  let run net_result specs r0_spec trace_file jobs =
+    apply_jobs jobs;
     match net_result with
     | Error e -> exit_err e
     | Ok net ->
@@ -192,7 +211,7 @@ let analyze_cmd =
       Format.printf "%a@.@." Network.pp net;
       List.iter
         (fun report -> Format.printf "%a@.@." Analysis.pp_report report)
-        (Analysis.evaluate_all ~adjusters ~net r0);
+        (Analysis.evaluate_all ~jobs ~adjusters ~net r0);
       match trace_file with
       | None -> ()
       | Some path ->
@@ -210,7 +229,7 @@ let analyze_cmd =
          "Run the design matrix (aggregate, individual+FIFO, individual+Fair \
           Share) on a topology and report convergence, fairness, robustness and \
           stability.")
-    Term.(const run $ topology_term $ adjusters_term $ r0_term $ trace_term)
+    Term.(const run $ topology_term $ adjusters_term $ r0_term $ trace_term $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)

@@ -65,8 +65,14 @@ let evaluate ?tol ?max_steps ?(manifold_dim = 0) design ~adjusters ~net ~r0 =
       df_triangular = None;
     }
 
-let evaluate_all ?tol ?max_steps ?manifold_dim ~adjusters ~net r0 =
-  List.map (fun d -> evaluate ?tol ?max_steps ?manifold_dim d ~adjusters ~net ~r0) designs
+let evaluate_all ?tol ?max_steps ?manifold_dim ?jobs ~adjusters ~net r0 =
+  (* The three designs are independent; evaluate them on separate
+     domains, keeping the report order fixed. *)
+  Pool.parallel_map
+    ~jobs:(Pool.effective_jobs ?jobs ())
+    (fun d -> evaluate ?tol ?max_steps ?manifold_dim d ~adjusters ~net ~r0)
+    (Array.of_list designs)
+  |> Array.to_list
 
 let pp_opt_bool ppf = function
   | None -> Format.pp_print_string ppf "-"

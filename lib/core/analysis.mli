@@ -38,8 +38,11 @@ val evaluate :
     b_SS; otherwise [robust = None]. *)
 
 val evaluate_all :
-  ?tol:float -> ?max_steps:int -> ?manifold_dim:int ->
+  ?tol:float -> ?max_steps:int -> ?manifold_dim:int -> ?jobs:int ->
   adjusters:Rate_adjust.t array -> net:Network.t -> Vec.t -> report list
-(** [evaluate_all ~adjusters ~net r0] — {!evaluate} over {!designs}. *)
+(** [evaluate_all ~adjusters ~net r0] — {!evaluate} over {!designs},
+    one domain per design (up to [jobs], default
+    {!Pool.default_jobs}); the report list is always in {!designs}
+    order. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -123,7 +123,8 @@ let run ?(tol = 1e-10) ?(max_steps = 20_000) ?(max_period = 32) ?(escape = 1e12)
   | Some outcome -> outcome
   | None -> No_convergence { last = get !k }
 
-let run_async ?(tol = 1e-10) ?(max_steps = 100_000) ?(p = 0.5) ~rng t ~net ~r0 =
+let run_async ?(tol = 1e-10) ?(max_steps = 100_000) ?(p = 0.5) ?(escape = 1e12) ~rng
+    t ~net ~r0 =
   check_net t net r0;
   let n = Array.length r0 in
   let r = ref r0 in
@@ -134,7 +135,7 @@ let run_async ?(tol = 1e-10) ?(max_steps = 100_000) ?(p = 0.5) ~rng t ~net ~r0 =
     incr k;
     let mask = Array.init n (fun _ -> Rng.uniform rng < p) in
     let next = step_subset t ~net ~mask !r in
-    if Array.exists (fun x -> (not (Float.is_finite x)) || Float.abs x > 1e12) next
+    if Array.exists (fun x -> (not (Float.is_finite x)) || Float.abs x > escape) next
     then result := Some (Diverged { at_step = !k })
     else begin
       (* Quiescence must be judged against the full synchronous map, not

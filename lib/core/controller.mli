@@ -56,10 +56,11 @@ val run :
     [max_period]. *)
 
 val run_async :
-  ?tol:float -> ?max_steps:int -> ?p:float -> rng:Rng.t -> t ->
+  ?tol:float -> ?max_steps:int -> ?p:float -> ?escape:float -> rng:Rng.t -> t ->
   net:Network.t -> r0:Vec.t -> outcome
 (** Iterates {!step_subset} with a fresh Bernoulli([p]) mask each step
-    ([p] defaults to 0.5).  Convergence detection as in {!run}; cycle
+    ([p] defaults to 0.5).  The divergence threshold [escape] defaults
+    to 1e12, as in {!run}.  Convergence detection as in {!run}; cycle
     detection is skipped because the randomized schedule has no
     deterministic period, so non-convergent runs end as
     [No_convergence]. *)

@@ -1,23 +1,37 @@
-type 'a entry = { time : float; seq : int; payload : 'a }
+(* Slots beyond [len] are [Empty] so that popped entries — and their
+   payloads — are not kept reachable from the backing array. *)
+type 'a slot = Empty | Entry of { time : float; seq : int; payload : 'a }
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable data : 'a slot array;
   mutable len : int;
   mutable next_seq : int;
 }
 
+let min_capacity = 16
+
 let create () = { data = [||]; len = 0; next_seq = 0 }
 
-let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let precedes a b =
+  match (a, b) with
+  | Entry a, Entry b -> a.time < b.time || (a.time = b.time && a.seq < b.seq)
+  | Empty, _ | _, Empty -> assert false
+
+let resize t cap =
+  let data = Array.make cap Empty in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
 
 let grow t =
   let cap = Array.length t.data in
-  if t.len = cap then begin
-    let new_cap = Stdlib.max 16 (cap * 2) in
-    let data = Array.make new_cap t.data.(0) in
-    Array.blit t.data 0 data 0 t.len;
-    t.data <- data
-  end
+  if t.len = cap then resize t (Stdlib.max min_capacity (cap * 2))
+
+(* Release the unused tail once the heap occupies at most a quarter of
+   its capacity, so a burst of events does not pin memory forever. *)
+let shrink t =
+  let cap = Array.length t.data in
+  if cap > min_capacity && t.len <= cap / 4 then
+    resize t (Stdlib.max min_capacity (cap / 2))
 
 let rec sift_up t i =
   if i > 0 then begin
@@ -44,10 +58,9 @@ let rec sift_down t i =
 
 let push t ~time payload =
   if not (Float.is_finite time) then invalid_arg "Event_heap.push: non-finite time";
-  let entry = { time; seq = t.next_seq; payload } in
+  let entry = Entry { time; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  if t.len = 0 && Array.length t.data = 0 then t.data <- Array.make 16 entry
-  else grow t;
+  grow t;
   t.data.(t.len) <- entry;
   t.len <- t.len + 1;
   sift_up t (t.len - 1)
@@ -55,17 +68,26 @@ let push t ~time payload =
 let pop_min t =
   if t.len = 0 then None
   else begin
-    let min = t.data.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
+    match t.data.(0) with
+    | Empty -> assert false
+    | Entry min ->
+      t.len <- t.len - 1;
       t.data.(0) <- t.data.(t.len);
-      sift_down t 0
-    end;
-    Some (min.time, min.payload)
+      t.data.(t.len) <- Empty;
+      if t.len > 0 then sift_down t 0;
+      shrink t;
+      Some (min.time, min.payload)
   end
 
-let peek_min t = if t.len = 0 then None else Some (t.data.(0).time, t.data.(0).payload)
+let peek_min t =
+  if t.len = 0 then None
+  else
+    match t.data.(0) with
+    | Empty -> assert false
+    | Entry e -> Some (e.time, e.payload)
 
 let size t = t.len
 
 let is_empty t = t.len = 0
+
+let capacity t = Array.length t.data

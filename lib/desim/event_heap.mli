@@ -12,10 +12,17 @@ val push : 'a t -> time:float -> 'a -> unit
 (** [time] must be finite. *)
 
 val pop_min : 'a t -> (float * 'a) option
-(** Removes and returns the earliest event; [None] when empty. *)
+(** Removes and returns the earliest event; [None] when empty.  The
+    vacated slot is cleared so the popped payload is no longer reachable
+    from the heap, and the backing array shrinks once it is at most a
+    quarter full. *)
 
 val peek_min : 'a t -> (float * 'a) option
 
 val size : 'a t -> int
 
 val is_empty : 'a t -> bool
+
+val capacity : 'a t -> int
+(** Length of the backing array — exposed so tests can observe the
+    grow/shrink policy. *)

@@ -42,8 +42,11 @@ let classification_name = function
   | Dynamics.Divergent -> "divergent"
 
 let compute ?(eta = 0.1) ?(beta = 0.5)
-    ?(ns = [ 4; 8; 14; 16; 18; 19; 20; 21; 22; 26 ]) () =
-  List.map
+    ?(ns = [ 4; 8; 14; 16; 18; 19; 20; 21; 22; 26 ]) ?jobs () =
+  (* Each N's orbit classification is independent; scan them on separate
+     domains, collected in list order. *)
+  Pool.parallel_map
+    ~jobs:(Pool.effective_jobs ?jobs ())
     (fun n ->
       let x0 = 0.9 *. sqrt beta /. float_of_int n in
       let classify truncate =
@@ -51,7 +54,8 @@ let compute ?(eta = 0.1) ?(beta = 0.5)
           (Dynamics.classify (scalar_map ~truncate ~eta ~beta ~n) ~x0)
       in
       { n; untruncated = classify false; truncated = classify true })
-    ns
+    (Array.of_list ns)
+  |> Array.to_list
 
 let bifurcation_diagram ?(eta = 0.1) ?(beta = 0.5) () =
   let params = Array.init 60 (fun k -> 4. +. (float_of_int k *. 0.5)) in

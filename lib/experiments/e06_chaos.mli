@@ -28,7 +28,10 @@ val reduction_is_exact : unit -> bool
 (** Checks that the full N-connection vector iteration from a symmetric
     start follows the (truncated) scalar map exactly for 50 steps. *)
 
-val compute : ?eta:float -> ?beta:float -> ?ns:int list -> unit -> row list
+val compute : ?eta:float -> ?beta:float -> ?ns:int list -> ?jobs:int -> unit -> row list
+(** The N values are classified on up to [jobs] domains (default
+    {!Ffc_numerics.Pool.default_jobs}, forced to 1 under an outer pool);
+    row order follows [ns] regardless. *)
 
 val bifurcation_diagram : ?eta:float -> ?beta:float -> unit -> string
 (** ASCII scatter of post-transient truncated-orbit samples against N. *)

@@ -12,9 +12,13 @@ type row = {
   fair : bool;
   matched_prediction : bool;
   steps : int;
-  wall_seconds : float;
+  wall_seconds : float;  (** Measured, but kept out of the report text. *)
 }
 
-val compute : ?seed:int -> ?sizes:(int * int) list -> unit -> row list
+val compute : ?seed:int -> ?sizes:(int * int) list -> ?jobs:int -> unit -> row list
+(** Sizes run on up to [jobs] domains (default
+    {!Ffc_numerics.Pool.default_jobs}, forced to 1 under an outer pool);
+    each size draws from its own SplitMix64 stream split off [seed], so
+    results are independent of scheduling. *)
 
 val experiment : Exp_common.t

@@ -30,8 +30,13 @@ let find id =
   let target = String.lowercase_ascii id in
   List.find_opt (fun e -> String.lowercase_ascii e.Exp_common.id = target) all
 
-let run_all () =
-  String.concat "\n" (List.map Exp_common.render all)
+let run_all ?jobs () =
+  (* Experiments render on up to [jobs] domains; collecting by index and
+     concatenating in registry order keeps the output byte-identical to
+     a sequential run.  Each experiment seeds its own SplitMix64 stream,
+     so none shares mutable state with its siblings. *)
+  Ffc_numerics.Pool.parallel_map ?jobs Exp_common.render (Array.of_list all)
+  |> Array.to_list |> String.concat "\n"
 
 let run_one id =
   match find id with

@@ -8,8 +8,12 @@ val all : Exp_common.t list
 val find : string -> Exp_common.t option
 (** Lookup by id, case-insensitive ("e5" matches "E5"). *)
 
-val run_all : unit -> string
-(** Renders every experiment, in order. *)
+val run_all : ?jobs:int -> unit -> string
+(** Renders every experiment, in order, fanning the work out over up to
+    [jobs] domains (default {!Ffc_numerics.Pool.default_jobs}).  The
+    output is byte-identical for every [jobs] value: results are
+    collected by registry index, and each experiment derives its own
+    deterministic RNG stream. *)
 
 val run_one : string -> (string, string) result
 (** Renders one experiment by id; [Error] lists valid ids. *)

@@ -92,8 +92,11 @@ let classify ?(transient = 2000) ?(keep = 512) ?(max_period = 64) ?(tol = 1e-6)
         if le > 0. then Chaotic le else Aperiodic le
   end
 
-let bifurcation_scan ?(transient = 2000) ?(keep = 128) g ~params ~x0 =
-  Array.map
+let bifurcation_scan ?(transient = 2000) ?(keep = 128) ?jobs g ~params ~x0 =
+  (* Each parameter's orbit is independent; fan out over domains and
+     collect in parameter order so the scan stays deterministic. *)
+  Pool.parallel_map
+    ~jobs:(Pool.effective_jobs ?jobs ())
     (fun p ->
       let samples = orbit_tail (g p) ~x0 ~transient ~keep in
       (p, samples))

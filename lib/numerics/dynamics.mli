@@ -46,8 +46,10 @@ val classify :
     [escape] (default 1e9) is deemed divergent. *)
 
 val bifurcation_scan :
-  ?transient:int -> ?keep:int -> (float -> float -> float) ->
+  ?transient:int -> ?keep:int -> ?jobs:int -> (float -> float -> float) ->
   params:float array -> x0:float -> (float * float array) array
 (** [bifurcation_scan g ~params ~x0] — for each parameter value [p], the
     post-transient orbit samples of [g p], as used to draw a bifurcation
-    diagram. *)
+    diagram.  Parameters are scanned in parallel over up to [jobs]
+    domains (default {!Pool.default_jobs}); results are returned in
+    parameter order regardless of [jobs]. *)

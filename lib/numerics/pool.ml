@@ -1,0 +1,71 @@
+exception Nested
+
+let default = Atomic.make (Domain.recommended_domain_count ())
+
+let default_jobs () = Atomic.get default
+
+let set_default_jobs j =
+  if j < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  Atomic.set default j
+
+let inside : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let in_worker () = Domain.DLS.get inside
+
+let effective_jobs ?jobs () =
+  if in_worker () then 1
+  else match jobs with Some j -> j | None -> default_jobs ()
+
+let parallel_map ?jobs f arr =
+  let n = Array.length arr in
+  let jobs =
+    match jobs with
+    | Some j when j < 1 -> invalid_arg "Pool.parallel_map: jobs must be >= 1"
+    | Some j -> j
+    | None -> default_jobs ()
+  in
+  let jobs = Stdlib.min jobs n in
+  if jobs <= 1 then Array.map f arr
+  else begin
+    if in_worker () then raise Nested;
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    (* Chunked self-scheduling: small enough to balance uneven task
+       costs, large enough that the atomic counter is not contended. *)
+    let chunk = Stdlib.max 1 (n / (jobs * 4)) in
+    let worker () =
+      Domain.DLS.set inside true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set inside false)
+        (fun () ->
+          let continue = ref true in
+          while !continue do
+            let start = Atomic.fetch_and_add next chunk in
+            if start >= n || Atomic.get failure <> None then continue := false
+            else begin
+              let stop = Stdlib.min n (start + chunk) in
+              try
+                for i = start to stop - 1 do
+                  results.(i) <- Some (f arr.(i))
+                done
+              with e ->
+                let bt = Printexc.get_raw_backtrace () in
+                ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+                continue := false
+            end
+          done)
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    (* The calling domain participates instead of idling at the join. *)
+    worker ();
+    Array.iter Domain.join domains;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let parallel_init ?jobs n f =
+  if n < 0 then invalid_arg "Pool.parallel_init: negative length";
+  parallel_map ?jobs f (Array.init n Fun.id)

@@ -64,9 +64,12 @@ let quantile xs p =
   if not (p >= 0. && p <= 1.) then invalid_arg "Stats.quantile: p outside [0,1]";
   let sorted = Array.copy xs in
   Array.sort Float.compare sorted;
+  (* Linear interpolation at rank p*(n-1).  [pos] lies in [0, n-1] by
+     construction (round-to-nearest cannot push p*(n-1) past the
+     representable n-1), so truncation alone gives the lower index; only
+     [hi] needs clamping, for p = 1. *)
   let pos = p *. float_of_int (n - 1) in
-  let lo = int_of_float (Float.of_int (int_of_float pos) |> Float.min (float_of_int (n - 1))) in
-  let lo = Stdlib.min lo (n - 1) in
+  let lo = int_of_float pos in
   let hi = Stdlib.min (lo + 1) (n - 1) in
   let frac = pos -. float_of_int lo in
   (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
@@ -100,8 +103,9 @@ let histogram ?(bins = 20) xs =
   let counts = Array.make bins 0 in
   Array.iter
     (fun x ->
-      let idx = int_of_float ((x -. lo) /. width) in
-      let idx = Stdlib.max 0 (Stdlib.min (bins - 1) idx) in
+      (* x >= lo, so the truncated index is non-negative; x = hi lands
+         on [bins] and is folded into the last bin. *)
+      let idx = Stdlib.min (bins - 1) (int_of_float ((x -. lo) /. width)) in
       counts.(idx) <- counts.(idx) + 1)
     xs;
   { lo; width; counts }

@@ -183,6 +183,34 @@ let test_run_async_reaches_fair_point () =
     check_vec ~tol:1e-5 "async fair point" [| 1. /. 6.; 1. /. 6.; 1. /. 6. |] steady
   | _ -> Alcotest.fail "async schedule should converge"
 
+let test_escape_threaded_sync_and_async () =
+  (* r' = 2r doubles every step: from r0 = 1 the orbit crosses a
+     threshold E at step ceil(log2 E), so the step at which Diverged
+     fires reveals which escape threshold was actually used. *)
+  let net = single 1 in
+  let doubler = Rate_adjust.make ~name:"doubler" (fun ~r ~b:_ ~d:_ -> r) in
+  let c = Controller.homogeneous ~config:Feedback.individual_fifo ~adjuster:doubler ~n:1 in
+  let diverged_at = function
+    | Controller.Diverged { at_step } -> at_step
+    | _ -> Alcotest.fail "expected divergence"
+  in
+  let sync_custom = diverged_at (Controller.run ~escape:100. c ~net ~r0:[| 1. |]) in
+  let sync_default = diverged_at (Controller.run c ~net ~r0:[| 1. |]) in
+  Alcotest.(check int) "sync: 2^7 = 128 > 100" 7 sync_custom;
+  Alcotest.(check int) "sync: default threshold is 1e12" 40 sync_default;
+  (* The async runner must thread the same parameter instead of its old
+     hardcoded 1e12; with p = 1 every mask is all-true, so its orbit is
+     the synchronous one. *)
+  let async_custom =
+    diverged_at
+      (Controller.run_async ~p:1. ~escape:100. ~rng:(Rng.create 7) c ~net ~r0:[| 1. |])
+  in
+  let async_default =
+    diverged_at (Controller.run_async ~p:1. ~rng:(Rng.create 7) c ~net ~r0:[| 1. |])
+  in
+  Alcotest.(check int) "async honors custom escape" 7 async_custom;
+  Alcotest.(check int) "async default matches run's" 40 async_default
+
 let test_trace_csv () =
   let traj = [| [| 0.1; 0.2 |]; [| 0.3; 0.4 |] |] in
   let csv = Trace.csv_of_trajectory ~names:[| "a"; "b" |] traj in
@@ -246,6 +274,7 @@ let suites =
         case "multi-gateway bottleneck" test_multi_gateway_bottleneck;
         case "subset updates" test_step_subset;
         case "async run reaches fair point" test_run_async_reaches_fair_point;
+        case "escape threaded through run and run_async" test_escape_threaded_sync_and_async;
         case "trace CSV" test_trace_csv;
         case "trace series and file" test_trace_series_and_file;
         prop_individual_fair_from_random_starts;

@@ -57,6 +57,51 @@ let test_heap_large_random () =
   done;
   check_true "1000 random events pop sorted" !sorted
 
+let test_heap_popped_payloads_collectable () =
+  (* Popping must clear the vacated slot: a payload that the caller has
+     dropped may not stay reachable from the heap's backing array. *)
+  let h = Event_heap.create () in
+  let n = 64 in
+  let weak = Weak.create n in
+  for i = 0 to n - 1 do
+    let payload = ref i in
+    Weak.set weak i (Some payload);
+    Event_heap.push h ~time:(float_of_int i) payload
+  done;
+  for _ = 1 to n - 1 do
+    ignore (Event_heap.pop_min h)
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check weak i then incr live
+  done;
+  (* Only the one un-popped payload may survive. *)
+  Alcotest.(check int) "popped payloads collected" 1 !live;
+  check_true "heap still usable" (Event_heap.size h = 1);
+  ignore (Sys.opaque_identity h)
+
+let test_heap_shrinks_when_quarter_full () =
+  let h = Event_heap.create () in
+  for i = 1 to 1024 do
+    Event_heap.push h ~time:(float_of_int i) i
+  done;
+  let cap_full = Event_heap.capacity h in
+  check_true "grew to hold 1024" (cap_full >= 1024);
+  for _ = 1 to 1000 do
+    ignore (Event_heap.pop_min h)
+  done;
+  check_true
+    (Printf.sprintf "capacity released (%d -> %d)" cap_full (Event_heap.capacity h))
+    (Event_heap.capacity h < cap_full / 4);
+  (* Shrinking must not disturb ordering of the survivors. *)
+  let values =
+    List.init 24 (fun _ -> match Event_heap.pop_min h with Some (_, v) -> v | None -> 0)
+  in
+  Alcotest.(check (list int)) "survivors in order" (List.init 24 (fun i -> 1001 + i)) values;
+  check_true "never below minimum capacity" (Event_heap.capacity h >= 16)
+
 (* ------------------------------------------------------------------ *)
 (* Sim core                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -342,6 +387,8 @@ let suites =
         case "interleaved" test_heap_interleaved;
         case "non-finite rejected" test_heap_nonfinite_rejected;
         case "large random" test_heap_large_random;
+        case "popped payloads collectable" test_heap_popped_payloads_collectable;
+        case "shrinks when quarter full" test_heap_shrinks_when_quarter_full;
       ] );
     ( "desim.sim",
       [

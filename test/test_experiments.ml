@@ -303,6 +303,29 @@ let test_e23_scale () =
       check_true "matched water-filling" r.E23_scale.matched_prediction)
     rows
 
+(* Parallel sweeps must be schedule-independent: per-task SplitMix64
+   streams plus index-ordered collection make rows identical whatever
+   the jobs count. *)
+let test_sweeps_jobs_invariant () =
+  let strip23 (r : E23_scale.row) =
+    (r.gateways, r.connections, r.converged, r.fair, r.matched_prediction, r.steps)
+  in
+  let sizes = [ (4, 8); (8, 20) ] in
+  let seq = List.map strip23 (E23_scale.compute ~sizes ~jobs:1 ()) in
+  let par = List.map strip23 (E23_scale.compute ~sizes ~jobs:4 ()) in
+  check_true "E23 rows identical at jobs=1 and jobs=4" (seq = par);
+  let ns = [ 8; 16; 19; 22 ] in
+  check_true "E6 rows identical at jobs=1 and jobs=4"
+    (E06_chaos.compute ~ns ~jobs:1 () = E06_chaos.compute ~ns ~jobs:4 ());
+  let saved = Ffc_numerics.Pool.default_jobs () in
+  Ffc_numerics.Pool.set_default_jobs 1;
+  let diagram_seq = E06_chaos.bifurcation_diagram () in
+  Ffc_numerics.Pool.set_default_jobs 4;
+  let diagram_par = E06_chaos.bifurcation_diagram () in
+  Ffc_numerics.Pool.set_default_jobs saved;
+  check_true "E6 bifurcation diagram identical at jobs=1 and jobs=4"
+    (String.equal diagram_seq diagram_par)
+
 let test_e24_transient () =
   let r = E24_transient.compute () in
   List.iter
@@ -366,6 +389,7 @@ let suites =
         case "E21: window control" test_e21_window;
         case "E22: gain ablation" test_e22_gain;
         case "E23: scale stress" test_e23_scale;
+        case "parallel sweeps are jobs-invariant" test_sweeps_jobs_invariant;
         case "E24: transient fluid model" test_e24_transient;
         case "report rendering" test_all_reports_render;
       ] );

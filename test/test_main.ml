@@ -6,6 +6,7 @@ let () =
     (List.concat
        [
          Test_rng.suites;
+         Test_pool.suites;
          Test_vec.suites;
          Test_mat.suites;
          Test_eigen.suites;

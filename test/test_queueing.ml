@@ -168,6 +168,42 @@ let test_fs_zero_rate () =
   check_float "zero rate empty queue" 0. q.(0);
   check_true "other queue finite positive" (q.(1) > 0. && Float.is_finite q.(1))
 
+let test_fs_sojourn_zero_rate_regression () =
+  (* The single-probe fast path for zero-rate limiting sojourns must
+     reproduce the per-connection probe it replaced: re-run the O(N^2)
+     reference here and compare. *)
+  let reference ~mu rates =
+    let q = Fair_share.queue_lengths ~mu rates in
+    Array.mapi
+      (fun i r ->
+        if r > 0. then q.(i) /. r
+        else begin
+          let probe = 1e-9 *. mu in
+          let rates' = Array.copy rates in
+          rates'.(i) <- probe;
+          let q' = Fair_share.queue_lengths ~mu rates' in
+          q'.(i) /. probe
+        end)
+      rates
+  in
+  List.iter
+    (fun (mu, rates) ->
+      check_vec ~tol:1e-12
+        (Printf.sprintf "mu=%g n=%d" mu (Array.length rates))
+        (reference ~mu rates)
+        (Fair_share.sojourn_times ~mu rates))
+    [
+      (1., [| 0.; 0.5 |]);
+      (2., [| 0.; 0.3; 0.; 0.9; 0. |]);
+      (1., [| 0.; 0.; 0.; 0. |]);
+      (3., [| 0.4; 0.2; 1.1 |]);
+      (5., [| 0.; 1.; 2.; 0.; 0.5; 0.5; 0.; 0.1 |]);
+    ];
+  (* All zero-rate connections share one limiting sojourn. *)
+  let w = Fair_share.sojourn_times ~mu:2. [| 0.; 0.7; 0. |] in
+  check_float ~tol:1e-12 "zero-rate sojourns equal" w.(0) w.(2);
+  check_true "limiting sojourn positive" (w.(0) > 0. && Float.is_finite w.(0))
+
 let test_fs_vs_fifo_redistribution () =
   (* FS protects the slow connection: its queue under FS is no larger than
      under FIFO; the fast connection pays. *)
@@ -373,6 +409,7 @@ let suites =
         case "work conservation" test_fs_conservation;
         case "isolation under overload" test_fs_isolation_under_overload;
         case "zero rate" test_fs_zero_rate;
+        case "zero-rate sojourn fast path" test_fs_sojourn_zero_rate_regression;
         case "FS vs FIFO redistribution" test_fs_vs_fifo_redistribution;
         case "Theorem 5 bound holds for FS" test_fs_theorem5_bound;
         case "Theorem 5 bound fails for FIFO" test_fifo_violates_theorem5_bound;

@@ -67,6 +67,25 @@ let test_quantiles () =
   check_float "q1" 4. (Stats.quantile xs 1.);
   check_float "q25" 1.75 (Stats.quantile xs 0.25)
 
+let test_quantile_edges () =
+  (* n = 1: every p returns the lone value. *)
+  List.iter
+    (fun p -> check_float (Printf.sprintf "n=1 p=%g" p) 7. (Stats.quantile [| 7. |] p))
+    [ 0.; 0.25; 0.5; 1. ];
+  (* p = 0 / p = 1 hit the extremes exactly, with no index overflow. *)
+  let xs = Array.init 1000 (fun i -> float_of_int i) in
+  check_float "p=0" 0. (Stats.quantile xs 0.);
+  check_float "p=1" 999. (Stats.quantile xs 1.);
+  (* Just below 1: pos = p*(n-1) sits a hair under n-1, so truncation
+     must yield n-2 and interpolate, not read past the end. *)
+  let p = Float.pred 1. in
+  let q = Stats.quantile xs p in
+  check_true "p just below 1 stays in range" (q <= 999. && q > 998.);
+  (* A p whose pos lands exactly on an integer after rounding. *)
+  check_float "pos on integer boundary" 250. (Stats.quantile xs (250. /. 999.));
+  (* Two elements interpolate linearly. *)
+  check_float "n=2 midpoint" 1.5 (Stats.quantile [| 1.; 2. |] 0.5)
+
 let test_quantile_invalid () =
   Alcotest.check_raises "empty quantile" (Invalid_argument "Stats.quantile: empty array")
     (fun () -> ignore (Stats.quantile [||] 0.5))
@@ -86,6 +105,25 @@ let test_histogram () =
   let _, _, c0 = counts.(0) and _, _, c1 = counts.(1) in
   Alcotest.(check int) "low bin" 3 c0;
   Alcotest.(check int) "high bin" 2 c1
+
+let test_histogram_edges () =
+  (* The maximum lands in the last bin, not a phantom bin past the end. *)
+  let h = Stats.histogram ~bins:4 [| 0.; 1.; 2.; 3.; 4. |] in
+  Alcotest.(check (array int)) "max folded into last bin" [| 1; 1; 1; 2 |]
+    (Array.map (fun (_, _, c) -> c) (Stats.histogram_counts h));
+  (* All-equal input: degenerate width falls back to 1, everything in
+     bin 0. *)
+  let h = Stats.histogram ~bins:3 (Array.make 5 2.5) in
+  Alcotest.(check (array int)) "degenerate range" [| 5; 0; 0 |]
+    (Array.map (fun (_, _, c) -> c) (Stats.histogram_counts h));
+  (* A value a float-ulp below a bin edge stays in the lower bin. *)
+  let h = Stats.histogram ~bins:2 [| 0.; Float.pred 1.; 2. |] in
+  Alcotest.(check (array int)) "ulp below the edge" [| 2; 1 |]
+    (Array.map (fun (_, _, c) -> c) (Stats.histogram_counts h));
+  (* Single element: lo = hi, one occupied bin. *)
+  let h = Stats.histogram ~bins:2 [| 42. |] in
+  Alcotest.(check (array int)) "singleton" [| 1; 0 |]
+    (Array.map (fun (_, _, c) -> c) (Stats.histogram_counts h))
 
 let test_jain_index () =
   check_float "equal allocation" 1. (Stats.jain_index [| 2.; 2.; 2. |]);
@@ -129,9 +167,11 @@ let suites =
         case "time-weighted backwards time" test_time_weighted_backwards;
         case "batch stats" test_batch_stats;
         case "quantiles" test_quantiles;
+        case "quantile edges" test_quantile_edges;
         case "quantile invalid" test_quantile_invalid;
         case "autocorrelation" test_autocorrelation;
         case "histogram" test_histogram;
+        case "histogram edges" test_histogram_edges;
         case "jain index" test_jain_index;
         case "max/min ratio" test_max_min_ratio;
         prop_jain_bounds;
