@@ -79,6 +79,46 @@ let bench_eigen_dense =
   in
   Test.make ~name:"eigenvalues dense 24x24" (Staged.stage (fun () -> Eigen.eigenvalues m))
 
+(* Structure-aware stability kernel at scale: a Fair Share population
+   with distinct rates (load = mu/2), where DF is exactly triangular in
+   rate order, so [Eigen.spectral_radius] takes the Theorem-4 diagonal
+   read while [spectral_radius_dense] pays the full QR iteration on the
+   same matrix.  The Jacobian cases measure the pooled
+   finite-difference fan-out end to end. *)
+let big_point n =
+  let scale = 0.5 /. (float_of_int n *. float_of_int (n + 1) /. 2.) in
+  Array.init n (fun i -> scale *. float_of_int (i + 1))
+
+let big_controller n =
+  Controller.homogeneous ~config:Feedback.individual_fair_share
+    ~adjuster:Scenario.standard_adjuster ~n
+
+let big_df n =
+  Jacobian.of_controller (big_controller n) ~net:(Topologies.single ~mu:1. ~n ())
+    ~at:(big_point n)
+
+let bench_jacobian_at n =
+  let net = Topologies.single ~mu:1. ~n () in
+  let c = big_controller n in
+  let at = big_point n in
+  Test.make
+    ~name:(Printf.sprintf "jacobian pooled + eigenvalues (N=%d)" n)
+    (Staged.stage (fun () ->
+         let df = Jacobian.of_controller c ~net ~at in
+         Eigen.spectral_radius df))
+
+let bench_eigen_fast_at n =
+  let df = big_df n in
+  Test.make
+    ~name:(Printf.sprintf "eigen structure-aware (FS DF, N=%d)" n)
+    (Staged.stage (fun () -> Eigen.spectral_radius df))
+
+let bench_eigen_dense_at n =
+  let df = big_df n in
+  Test.make
+    ~name:(Printf.sprintf "eigen dense QR (FS DF, N=%d)" n)
+    (Staged.stage (fun () -> Eigen.spectral_radius_dense df))
+
 let window_net = Topologies.parking_lot ~hops:2 ~latency:0.2 ()
 
 let bench_window_fixed_point =
@@ -113,6 +153,12 @@ let tests =
       bench_controller_step;
       bench_jacobian;
       bench_eigen_dense;
+      bench_jacobian_at 64;
+      bench_jacobian_at 128;
+      bench_eigen_fast_at 64;
+      bench_eigen_dense_at 64;
+      bench_eigen_fast_at 128;
+      bench_eigen_dense_at 128;
       bench_water_filling;
       bench_desim;
       bench_window_fixed_point;
@@ -120,36 +166,145 @@ let tests =
       bench_closed_loop;
     ]
 
+type kernel_row = {
+  kernel : string;
+  ns_per_run : float;
+  minor_words_per_run : float;
+  major_words_per_run : float;
+}
+
 let run_benchmarks () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
-  let instances = Instance.[ monotonic_clock ] in
+  let instances = Instance.[ monotonic_clock; minor_allocated; major_allocated ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
   let raw = Benchmark.all cfg instances tests in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name ols_result ->
-      let ns_per_run =
-        match Analyze.OLS.estimates ols_result with
-        | Some (est :: _) -> est
-        | Some [] | None -> Float.nan
-      in
-      rows := (name, ns_per_run) :: !rows)
-    results;
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) !rows in
-  Printf.printf "%-55s %16s\n" "kernel" "ns/run";
-  Printf.printf "%s\n" (String.make 72 '-');
-  List.iter (fun (name, ns) -> Printf.printf "%-55s %16.1f\n" name ns) rows
+  let estimate results name =
+    match Hashtbl.find_opt results name with
+    | Some ols_result -> (
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> est
+      | Some [] | None -> Float.nan)
+    | None -> Float.nan
+  in
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  let minors = Analyze.all ols Instance.minor_allocated raw in
+  let majors = Analyze.all ols Instance.major_allocated raw in
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) times [] in
+  let rows =
+    List.map
+      (fun name ->
+        {
+          kernel = name;
+          ns_per_run = estimate times name;
+          minor_words_per_run = estimate minors name;
+          major_words_per_run = estimate majors name;
+        })
+      (List.sort compare names)
+  in
+  Printf.printf "%-55s %14s %14s %14s\n" "kernel" "ns/run" "minor w/run"
+    "major w/run";
+  Printf.printf "%s\n" (String.make 100 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%-55s %14.1f %14.1f %14.1f\n" r.kernel r.ns_per_run
+        r.minor_words_per_run r.major_words_per_run)
+    rows;
+  rows
+
+(* Wall-clock comparison of the pooled experiment scans at jobs = 1 vs
+   jobs = 4, with a structural identical-output check: the determinism
+   contract says the rows must compare equal whatever the jobs count. *)
+type scan_row = {
+  scan : string;
+  seconds_jobs1 : float;
+  seconds_jobs4 : float;
+  scan_speedup : float;
+  identical : bool;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let compare_scan name (f : jobs:int -> 'a) =
+  let a, t1 = time (fun () -> f ~jobs:1) in
+  let b, t4 = time (fun () -> f ~jobs:4) in
+  {
+    scan = name;
+    seconds_jobs1 = t1;
+    seconds_jobs4 = t4;
+    scan_speedup = t1 /. t4;
+    identical = a = b;
+  }
+
+let run_scans () =
+  let open Ffc_experiments in
+  let rows =
+    [
+      compare_scan "E5 stability sweep (8 sizes)" (fun ~jobs ->
+          E05_stability.compute ~jobs ());
+      compare_scan "E7 Theorem-4 sweep (10 trials)" (fun ~jobs ->
+          E07_triangular.compute ~jobs ());
+      compare_scan "E22 gain ablation (18 cells)" (fun ~jobs ->
+          E22_gain.compute ~jobs ());
+    ]
+  in
+  Printf.printf "%-45s %10s %10s %8s %10s\n" "scan" "jobs=1 (s)" "jobs=4 (s)"
+    "speedup" "identical";
+  Printf.printf "%s\n" (String.make 88 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%-45s %10.2f %10.2f %7.2fx %10s\n" r.scan r.seconds_jobs1
+        r.seconds_jobs4 r.scan_speedup
+        (if r.identical then "yes" else "NO"))
+    rows;
+  rows
+
+(* Machine-readable dump alongside the human tables, for tracking the
+   perf trajectory across commits. *)
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let write_bench_json ~kernels ~scans ~run_all =
+  let oc = open_out "BENCH.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"cpus\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"kernels\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"name\": %S, \"ns_per_run\": %s, \"minor_words_per_run\": %s, \
+         \"major_words_per_run\": %s}%s\n"
+        r.kernel (json_float r.ns_per_run)
+        (json_float r.minor_words_per_run)
+        (json_float r.major_words_per_run)
+        (if i < List.length kernels - 1 then "," else ""))
+    kernels;
+  out "  ],\n  \"scans\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"name\": %S, \"seconds_jobs1\": %s, \"seconds_jobs4\": %s, \
+         \"speedup\": %s, \"identical_output\": %b}%s\n"
+        r.scan (json_float r.seconds_jobs1) (json_float r.seconds_jobs4)
+        (json_float r.scan_speedup) r.identical
+        (if i < List.length scans - 1 then "," else ""))
+    scans;
+  let jobs, t_seq, t_par, identical = run_all in
+  out "  ],\n";
+  out
+    "  \"run_all\": {\"jobs\": %d, \"seconds_jobs1\": %s, \"seconds_jobsN\": %s, \
+     \"speedup\": %s, \"identical_output\": %b}\n"
+    jobs (json_float t_seq) (json_float t_par)
+    (json_float (t_seq /. t_par))
+    identical;
+  out "}\n";
+  close_out oc
 
 (* Wall-clock comparison of sequential vs parallel [run_all], so the
    multicore speedup (and the byte-identical-output guarantee) is part
    of the tracked perf trajectory. *)
 let run_all_comparison () =
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
-  in
   let jobs = Domain.recommended_domain_count () in
   let seq, t_seq = time (fun () -> Ffc_experiments.Registry.run_all ~jobs:1 ()) in
   let par, t_par = time (fun () -> Ffc_experiments.Registry.run_all ~jobs ()) in
@@ -158,13 +313,19 @@ let run_all_comparison () =
   Printf.printf "sequential (--jobs 1)   %8.2f s\n" t_seq;
   Printf.printf "parallel   (--jobs %-2d)  %8.2f s   speedup %.2fx\n" jobs t_par
     (t_seq /. t_par);
-  Printf.printf "outputs byte-identical: %s\n" (if String.equal seq par then "yes" else "NO");
-  seq
+  let identical = String.equal seq par in
+  Printf.printf "outputs byte-identical: %s\n" (if identical then "yes" else "NO");
+  (seq, (jobs, t_seq, t_par, identical))
 
 let () =
-  let all = run_all_comparison () in
+  let all, run_all = run_all_comparison () in
   print_string all;
   print_newline ();
+  Printf.printf "%s\nparallel scans: jobs=1 vs jobs=4\n%s\n" (String.make 72 '=')
+    (String.make 72 '=');
+  let scans = run_scans () in
   Printf.printf "%s\nmicro-benchmarks (bechamel)\n%s\n" (String.make 72 '=')
     (String.make 72 '=');
-  run_benchmarks ()
+  let kernels = run_benchmarks () in
+  write_bench_json ~kernels ~scans ~run_all;
+  print_endline "wrote BENCH.json"

@@ -23,8 +23,7 @@ let check_net t net rates =
 
 let step t ~net rates =
   check_net t net rates;
-  let b = Feedback.signals t.config ~net ~rates in
-  let d = Feedback.delays t.config ~net ~rates in
+  let b, d = Feedback.evaluate t.config ~net ~rates in
   Array.mapi
     (fun i r ->
       let dr = Rate_adjust.eval t.adjusters.(i) ~r ~b:b.(i) ~d:d.(i) in
@@ -37,8 +36,7 @@ let step_subset t ~net ~mask rates =
   check_net t net rates;
   if Array.length mask <> Array.length rates then
     invalid_arg "Controller.step_subset: mask length mismatch";
-  let b = Feedback.signals t.config ~net ~rates in
-  let d = Feedback.delays t.config ~net ~rates in
+  let b, d = Feedback.evaluate t.config ~net ~rates in
   Array.mapi
     (fun i r ->
       if mask.(i) then begin
@@ -49,7 +47,10 @@ let step_subset t ~net ~mask rates =
     rates
 
 let trajectory t ~net ~r0 ~steps =
-  let out = Array.make (steps + 1) r0 in
+  (* Store a private copy of r0: [Array.make] would alias the caller's
+     array into out.(0), letting later caller mutation corrupt the
+     recorded history. *)
+  let out = Array.make (steps + 1) (Array.copy r0) in
   for k = 1 to steps do
     out.(k) <- step t ~net out.(k - 1)
   done;
@@ -64,6 +65,10 @@ type outcome =
 let run ?(tol = 1e-10) ?(max_steps = 20_000) ?(max_period = 32) ?(escape = 1e12) t
     ~net ~r0 =
   check_net t net r0;
+  (* A private copy of r0, for the same aliasing reason as [trajectory]:
+     every window slot starts as the same array, and slot 0 may survive
+     into the result (e.g. [No_convergence] at max_steps 0). *)
+  let r0 = Array.copy r0 in
   let window = Array.make (4 * max_period) r0 in
   let window_len = Array.length window in
   let push k v = window.(k mod window_len) <- v in
@@ -127,7 +132,7 @@ let run_async ?(tol = 1e-10) ?(max_steps = 100_000) ?(p = 0.5) ?(escape = 1e12) 
     t ~net ~r0 =
   check_net t net r0;
   let n = Array.length r0 in
-  let r = ref r0 in
+  let r = ref (Array.copy r0) in
   let result = ref None in
   let quiet = ref 0 in
   let k = ref 0 in

@@ -41,14 +41,18 @@ let local_measures config ~net ~gw queues =
   | (Congestion.Aggregate | Congestion.Individual), _ ->
     Congestion.measures config.style queues
 
+let signals_of_gateway config ~net ~gw queues =
+  let c = local_measures config ~net ~gw queues in
+  Array.map (Signal.eval config.signal) c
+
 let per_gateway_signals config ~net ~rates =
   Array.init (Network.num_gateways net) (fun a ->
       let q = queues config ~net ~rates ~gw:a in
-      let c = local_measures config ~net ~gw:a q in
-      Array.map (Signal.eval config.signal) c)
+      signals_of_gateway config ~net ~gw:a q)
 
-let signals config ~net ~rates =
-  let per_gw = per_gateway_signals config ~net ~rates in
+(* Bottleneck combination b_i = max_{a in gamma(i)} b^a_i from
+   already-computed per-gateway signal vectors. *)
+let combine_signals ~net per_gw =
   Array.init (Network.num_connections net) (fun i ->
       List.fold_left
         (fun acc a ->
@@ -57,9 +61,14 @@ let signals config ~net ~rates =
         0.
         (Network.gateways_of_connection net i))
 
+let signals config ~net ~rates =
+  combine_signals ~net (per_gateway_signals config ~net ~rates)
+
 let bottlenecks config ~net ~rates =
+  (* One per-gateway evaluation feeds both the combined signals and the
+     arg-max filter. *)
   let per_gw = per_gateway_signals config ~net ~rates in
-  let b = signals config ~net ~rates in
+  let b = combine_signals ~net per_gw in
   Array.init (Network.num_connections net) (fun i ->
       List.filter
         (fun a ->
@@ -67,27 +76,41 @@ let bottlenecks config ~net ~rates =
           Float.abs (per_gw.(a).(pos) -. b.(i)) <= 1e-12)
         (Network.gateways_of_connection net i))
 
-let delays config ~net ~rates =
-  (* Memoize per-gateway sojourn vectors; each costs a queue-length
-     evaluation plus probes for zero-rate connections. *)
-  let sojourns = Array.make (Network.num_gateways net) None in
-  let sojourn_at a =
-    match sojourns.(a) with
-    | Some w -> w
-    | None ->
-      let local = Network.rates_at_gateway net ~rates a in
-      let w =
-        Service.sojourn_times config.discipline
-          ~mu:(Network.gateway net a).Network.mu local
-      in
-      sojourns.(a) <- Some w;
-      w
-  in
+let combine_delays ~net per_gw_sojourns =
   Array.init (Network.num_connections net) (fun i ->
       List.fold_left
         (fun acc a ->
-          let w = sojourn_at a in
+          let w = per_gw_sojourns.(a) in
           let pos = Network.local_index net ~conn:i ~gw:a in
           acc +. (Network.gateway net a).Network.latency +. w.(pos))
         0.
         (Network.gateways_of_connection net i))
+
+let delays config ~net ~rates =
+  let sojourns =
+    Array.init (Network.num_gateways net) (fun a ->
+        let local = Network.rates_at_gateway net ~rates a in
+        Service.sojourn_times config.discipline
+          ~mu:(Network.gateway net a).Network.mu local)
+  in
+  combine_delays ~net sojourns
+
+let evaluate config ~net ~rates =
+  (* Signals and delays both derive from the per-gateway queue state;
+     one [Service.evaluate] per gateway feeds both, halving the queue
+     computations of a controller step relative to calling [signals]
+     and [delays] separately.  Values are identical to the separate
+     calls — the shared queue vector is the same one both would
+     compute. *)
+  let num_gw = Network.num_gateways net in
+  let per_gw_signals = Array.make num_gw [||] in
+  let per_gw_sojourns = Array.make num_gw [||] in
+  for a = 0 to num_gw - 1 do
+    let local = Network.rates_at_gateway net ~rates a in
+    let q, w =
+      Service.evaluate config.discipline ~mu:(Network.gateway net a).Network.mu local
+    in
+    per_gw_signals.(a) <- signals_of_gateway config ~net ~gw:a q;
+    per_gw_sojourns.(a) <- w
+  done;
+  (combine_signals ~net per_gw_signals, combine_delays ~net per_gw_sojourns)

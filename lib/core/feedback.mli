@@ -45,5 +45,12 @@ val bottlenecks : config -> net:Network.t -> rates:Vec.t -> int list array
 val delays : config -> net:Network.t -> rates:Vec.t -> Vec.t
 (** Round-trip delays d_i = Σ_{a∈γ(i)} (l_a + Q^a_i/r_i). *)
 
+val evaluate : config -> net:Network.t -> rates:Vec.t -> Vec.t * Vec.t
+(** [(signals, delays)] from a single pass over the gateways: the
+    per-gateway queue state is evaluated once and feeds both outputs,
+    which are identical to separate {!signals} and {!delays} calls.
+    This is the entry point {!Controller.step} uses — the map
+    evaluation the Jacobian probes 2N times per stability check. *)
+
 val queues : config -> net:Network.t -> rates:Vec.t -> gw:int -> Vec.t
 (** The queue-length vector at one gateway (in Γ(a) local order). *)

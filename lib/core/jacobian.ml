@@ -2,35 +2,49 @@ open Ffc_numerics
 
 type mode = Central | Forward | Backward
 
-let numeric ?(dx = 1e-7) ?(mode = Central) f ~at =
+let numeric ?jobs ?(dx = 1e-7) ?(mode = Central) f ~at =
   let n = Array.length at in
-  let fx = lazy (f at) in
-  let cols =
+  let h = Array.init n (fun j -> dx *. (1. +. Float.abs at.(j))) in
+  (* The flow-control map lives on r >= 0: fall back to a forward
+     difference when a central probe would leave the domain. *)
+  let col_mode =
     Array.init n (fun j ->
-        let h = dx *. (1. +. Float.abs at.(j)) in
-        let bump delta =
-          let x = Array.copy at in
-          x.(j) <- x.(j) +. delta;
-          f x
-        in
-        (* The flow-control map lives on r >= 0: fall back to a forward
-           difference when a central probe would leave the domain. *)
-        let mode = if mode = Central && at.(j) -. h < 0. then Forward else mode in
-        match mode with
-        | Central ->
-          let plus = bump h and minus = bump (-.h) in
-          Array.init n (fun i -> (plus.(i) -. minus.(i)) /. (2. *. h))
-        | Forward ->
-          let plus = bump h and base = Lazy.force fx in
-          Array.init n (fun i -> (plus.(i) -. base.(i)) /. h)
-        | Backward ->
-          let minus = bump (-.h) and base = Lazy.force fx in
-          Array.init n (fun i -> (base.(i) -. minus.(i)) /. h))
+        if mode = Central && at.(j) -. h.(j) < 0. then Forward else mode)
   in
+  (* The shared base evaluation f(at) is forced once, before the fan-out,
+     so the per-column closures only read it — no lazy cell is raced
+     between domains. *)
+  let base =
+    if Array.exists (fun m -> m <> Central) col_mode then Some (f at) else None
+  in
+  let column j =
+    let bump delta =
+      let x = Array.copy at in
+      x.(j) <- x.(j) +. delta;
+      f x
+    in
+    let h = h.(j) in
+    match col_mode.(j) with
+    | Central ->
+      let plus = bump h and minus = bump (-.h) in
+      Array.init n (fun i -> (plus.(i) -. minus.(i)) /. (2. *. h))
+    | Forward ->
+      let plus = bump h and base = Option.get base in
+      Array.init n (fun i -> (plus.(i) -. base.(i)) /. h)
+    | Backward ->
+      let minus = bump (-.h) and base = Option.get base in
+      Array.init n (fun i -> (base.(i) -. minus.(i)) /. h)
+  in
+  (* Columns are independent and each is a deterministic function of
+     (f, at, j), so fanning them out over the pool returns bit-identical
+     matrices at every jobs count.  Small systems stay sequential: a
+     domain spawn costs more than a handful of map evaluations. *)
+  let jobs = Stdlib.min (Pool.effective_jobs ?jobs ()) (Stdlib.max 1 (n / 8)) in
+  let cols = Pool.parallel_init ~jobs n column in
   Mat.init n n (fun i j -> cols.(j).(i))
 
-let of_controller ?dx ?mode controller ~net ~at =
-  numeric ?dx ?mode (fun r -> Controller.map controller ~net r) ~at
+let of_controller ?jobs ?dx ?mode controller ~net ~at =
+  numeric ?jobs ?dx ?mode (fun r -> Controller.map controller ~net r) ~at
 
 let unilaterally_stable ?(tol = 1e-9) df =
   let d = Mat.diagonal df in
@@ -39,7 +53,7 @@ let unilaterally_stable ?(tol = 1e-9) df =
 let systemically_stable ?tol ?ignore_unit df =
   Eigen.is_linearly_stable ?tol ?ignore_unit df
 
-let spectral_radius = Eigen.spectral_radius
+let spectral_radius df = Eigen.spectral_radius df
 
 let triangular_in_rate_order ?(tol = 1e-6) df ~rates =
   let n = Array.length rates in

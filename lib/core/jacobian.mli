@@ -10,19 +10,27 @@
 
     Derivatives are numeric.  The MAX/MIN kinks the paper notes make
     one-sided derivatives differ at some steady states; both central and
-    one-sided modes are provided. *)
+    one-sided modes are provided.
+
+    Columns are independent finite differences, so they fan out over
+    {!Ffc_numerics.Pool} ([jobs], default the pool default; forced
+    sequential under an outer pool and for small systems).  The result
+    is bit-identical at every jobs count: the shared base evaluation is
+    forced before the fan-out and each column is a pure function of its
+    index. *)
 
 open Ffc_numerics
 
 type mode = Central | Forward | Backward
 
-val numeric : ?dx:float -> ?mode:mode -> (Vec.t -> Vec.t) -> at:Vec.t -> Mat.t
+val numeric :
+  ?jobs:int -> ?dx:float -> ?mode:mode -> (Vec.t -> Vec.t) -> at:Vec.t -> Mat.t
 (** Jacobian of an arbitrary vector map ([dx] defaults to 1e-7 relative to
     each coordinate's magnitude). *)
 
 val of_controller :
-  ?dx:float -> ?mode:mode -> Controller.t -> net:Ffc_topology.Network.t ->
-  at:Vec.t -> Mat.t
+  ?jobs:int -> ?dx:float -> ?mode:mode -> Controller.t ->
+  net:Ffc_topology.Network.t -> at:Vec.t -> Mat.t
 (** DF of the flow-control map at [at]. *)
 
 val unilaterally_stable : ?tol:float -> Mat.t -> bool

@@ -10,8 +10,12 @@ type row = {
   converged : bool;
 }
 
-let compute ?(eta = 0.1) ?(ns = [ 2; 5; 10; 15; 19; 21; 25; 30 ]) () =
-  List.map
+let compute ?(eta = 0.1) ?(ns = [ 2; 5; 10; 15; 19; 21; 25; 30 ]) ?jobs () =
+  (* Each N is an independent, fully deterministic task (no RNG), so the
+     sweep fans out over the pool and the rows are byte-identical at any
+     jobs count. *)
+  Pool.parallel_map
+    ~jobs:(Pool.effective_jobs ?jobs ())
     (fun n ->
       let net = Topologies.single ~mu:1. ~n () in
       let adjuster = Rate_adjust.additive ~eta ~beta:0.5 in
@@ -45,7 +49,8 @@ let compute ?(eta = 0.1) ?(ns = [ 2; 5; 10; 15; 19; 21; 25; 30 ]) () =
         measured_eigenvalue = measured;
         converged;
       })
-    ns
+    (Array.of_list ns)
+  |> Array.to_list
 
 let run () =
   let eta = 0.1 in

@@ -14,6 +14,10 @@ type row = {
   converged : bool;  (** Dynamics from a slightly perturbed fair start. *)
 }
 
-val compute : ?eta:float -> ?ns:int list -> unit -> row list
+val compute : ?eta:float -> ?ns:int list -> ?jobs:int -> unit -> row list
+(** The Ns run on up to [jobs] domains (default
+    {!Ffc_numerics.Pool.default_jobs}, forced to 1 under an outer pool);
+    every task is deterministic, so rows are identical at any jobs
+    count. *)
 
 val experiment : Exp_common.t

@@ -12,21 +12,21 @@ type summary = {
   fifo_triangular : int;
 }
 
-let compute ?(trials = 10) ?(seed = 23) () =
-  let rng = Rng.create seed in
-  let s =
-    ref
-      {
-        trials;
-        fs_converged = 0;
-        fs_triangular = 0;
-        fs_unilateral_eq_systemic = 0;
-        fs_diag_eigen_match = 0;
-        fifo_converged = 0;
-        fifo_triangular = 0;
-      }
-  in
-  for _ = 1 to trials do
+(* Per-trial verdicts, folded into the summary after the fan-out. *)
+type trial = {
+  fs : (bool * bool * bool) option;
+      (* converged: (triangular, unilateral = systemic, diag = eigenvalues) *)
+  fifo : bool option; (* converged: triangular *)
+}
+
+let compute ?(trials = 10) ?(seed = 23) ?jobs () =
+  (* Per-trial RNG streams split off one SplitMix64 base before the fan
+     out: trial k's draws depend only on (seed, k), so the sweep is
+     deterministic at any [jobs]. *)
+  let base = Rng.create seed in
+  let rngs = Array.init trials (fun _ -> Rng.split base) in
+  let run_trial k =
+    let rng = rngs.(k) in
     let n = 2 + Rng.int rng 3 in
     let net = Topologies.single ~mu:1. ~n () in
     (* Distinct betas spread over (0.2, 0.8) give distinct steady rates. *)
@@ -44,43 +44,70 @@ let compute ?(trials = 10) ?(seed = 23) () =
         Some (steady, df)
       | _ -> None
     in
-    (match analyze Feedback.individual_fair_share with
-    | Some (steady, df) ->
-      let tri = Jacobian.triangular_in_rate_order ~tol:1e-4 df ~rates:steady in
-      let uni = Jacobian.unilaterally_stable df in
-      let sys = Jacobian.systemically_stable df in
-      let diag_match =
-        (* Eigenvalues of a triangular matrix are its diagonal. *)
-        let ev =
-          Array.map (fun z -> z.Complex.re) (Eigen.eigenvalues_sorted df)
+    let fs =
+      match analyze Feedback.individual_fair_share with
+      | Some (steady, df) ->
+        let tri = Jacobian.triangular_in_rate_order ~tol:1e-4 df ~rates:steady in
+        let uni = Jacobian.unilaterally_stable df in
+        let sys = Jacobian.systemically_stable df in
+        let diag_match =
+          (* Eigenvalues of a triangular matrix are its diagonal.  The
+             dense QR path is forced here on purpose: the structure-aware
+             default would read the diagonal and make this check
+             vacuous. *)
+          let ev = Array.map (fun z -> z.Complex.re) (Eigen.eigenvalues_dense df) in
+          let dg = Jacobian.diagonal df in
+          Array.sort Float.compare ev;
+          Array.sort Float.compare dg;
+          Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-3) ev dg
         in
-        let dg = Jacobian.diagonal df in
-        Array.sort Float.compare ev;
-        Array.sort Float.compare dg;
-        Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-3) ev dg
+        Some (tri, uni = sys, diag_match)
+      | None -> None
+    in
+    let fifo =
+      match analyze Feedback.individual_fifo with
+      | Some (steady, df) ->
+        Some (Jacobian.triangular_in_rate_order ~tol:1e-4 df ~rates:steady)
+      | None -> None
+    in
+    { fs; fifo }
+  in
+  let results =
+    Pool.parallel_init ~jobs:(Pool.effective_jobs ?jobs ()) trials run_trial
+  in
+  Array.fold_left
+    (fun s t ->
+      let s =
+        match t.fs with
+        | Some (tri, uni_eq_sys, diag_match) ->
+          {
+            s with
+            fs_converged = s.fs_converged + 1;
+            fs_triangular = (s.fs_triangular + if tri then 1 else 0);
+            fs_unilateral_eq_systemic =
+              (s.fs_unilateral_eq_systemic + if uni_eq_sys then 1 else 0);
+            fs_diag_eigen_match = (s.fs_diag_eigen_match + if diag_match then 1 else 0);
+          }
+        | None -> s
       in
-      s :=
+      match t.fifo with
+      | Some tri ->
         {
-          !s with
-          fs_converged = !s.fs_converged + 1;
-          fs_triangular = (!s.fs_triangular + if tri then 1 else 0);
-          fs_unilateral_eq_systemic =
-            (!s.fs_unilateral_eq_systemic + if uni = sys then 1 else 0);
-          fs_diag_eigen_match = (!s.fs_diag_eigen_match + if diag_match then 1 else 0);
+          s with
+          fifo_converged = s.fifo_converged + 1;
+          fifo_triangular = (s.fifo_triangular + if tri then 1 else 0);
         }
-    | None -> ());
-    match analyze Feedback.individual_fifo with
-    | Some (steady, df) ->
-      let tri = Jacobian.triangular_in_rate_order ~tol:1e-4 df ~rates:steady in
-      s :=
-        {
-          !s with
-          fifo_converged = !s.fifo_converged + 1;
-          fifo_triangular = (!s.fifo_triangular + if tri then 1 else 0);
-        }
-    | None -> ()
-  done;
-  !s
+      | None -> s)
+    {
+      trials;
+      fs_converged = 0;
+      fs_triangular = 0;
+      fs_unilateral_eq_systemic = 0;
+      fs_diag_eigen_match = 0;
+      fifo_converged = 0;
+      fifo_triangular = 0;
+    }
+    results
 
 let run () =
   let s = compute () in

@@ -18,6 +18,10 @@ type summary = {
   fifo_triangular : int;  (** Expected ~0: FIFO couples everyone. *)
 }
 
-val compute : ?trials:int -> ?seed:int -> unit -> summary
+val compute : ?trials:int -> ?seed:int -> ?jobs:int -> unit -> summary
+(** Trials run on up to [jobs] domains (default
+    {!Ffc_numerics.Pool.default_jobs}, forced to 1 under an outer pool);
+    each trial draws from its own SplitMix64 stream split off [seed], so
+    the summary is independent of scheduling. *)
 
 val experiment : Exp_common.t

@@ -10,44 +10,47 @@ type row = {
   converged : bool;
 }
 
-let compute ?(etas = [ 0.02; 0.05; 0.1; 0.2; 0.4; 0.6 ]) ?(n = 4) () =
+let compute ?(etas = [ 0.02; 0.05; 0.1; 0.2; 0.4; 0.6 ]) ?(n = 4) ?jobs () =
   let net = Topologies.single ~mu:1. ~n () in
   let r0 = Array.init n (fun i -> 0.02 +. (0.02 *. float_of_int i)) in
-  List.concat_map
-    (fun eta ->
+  (* The eta x design grid is embarrassingly parallel and deterministic
+     (no RNG): fan the cells over the pool in row-major order, keeping
+     the row order of the sequential version. *)
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun eta -> List.map (fun design -> (eta, design)) Analysis.designs)
+         etas)
+  in
+  Pool.parallel_map
+    ~jobs:(Pool.effective_jobs ?jobs ())
+    (fun (eta, design) ->
       let adjusters = Array.make n (Rate_adjust.additive ~eta ~beta:0.5) in
-      List.map
-        (fun design ->
-          let controller =
-            Controller.create ~config:design.Analysis.config ~adjusters
-          in
-          let manifold =
-            if design.Analysis.label = "aggregate" then n - 1 else 0
-          in
-          (* Spectral radius at the fair point (discounting manifold
-             modes for aggregate feedback). *)
-          let fair = Array.make n (0.5 /. float_of_int n) in
-          let df = Jacobian.of_controller controller ~net ~at:fair in
-          let ev = Eigen.eigenvalues_sorted df in
-          let spectral_radius =
-            (* Skip [manifold] eigenvalues of modulus ~1. *)
-            if manifold < Array.length ev then Complex.norm ev.(manifold)
-            else 0.
-          in
-          match Controller.run ~max_steps:40_000 controller ~net ~r0 with
-          | Controller.Converged { steps; _ } ->
-            {
-              eta;
-              design = design.Analysis.label;
-              spectral_radius;
-              steps;
-              converged = true;
-            }
-          | _ ->
-            { eta; design = design.Analysis.label; spectral_radius; steps = 0;
-              converged = false })
-        Analysis.designs)
-    etas
+      let controller = Controller.create ~config:design.Analysis.config ~adjusters in
+      let manifold = if design.Analysis.label = "aggregate" then n - 1 else 0 in
+      (* Spectral radius at the fair point (discounting manifold
+         modes for aggregate feedback). *)
+      let fair = Array.make n (0.5 /. float_of_int n) in
+      let df = Jacobian.of_controller controller ~net ~at:fair in
+      let ev = Eigen.eigenvalues_sorted df in
+      let spectral_radius =
+        (* Skip [manifold] eigenvalues of modulus ~1. *)
+        if manifold < Array.length ev then Complex.norm ev.(manifold) else 0.
+      in
+      match Controller.run ~max_steps:40_000 controller ~net ~r0 with
+      | Controller.Converged { steps; _ } ->
+        {
+          eta;
+          design = design.Analysis.label;
+          spectral_radius;
+          steps;
+          converged = true;
+        }
+      | _ ->
+        { eta; design = design.Analysis.label; spectral_radius; steps = 0;
+          converged = false })
+    cells
+  |> Array.to_list
 
 let run () =
   let rows = compute () in

@@ -17,6 +17,10 @@ type row = {
   converged : bool;
 }
 
-val compute : ?etas:float list -> ?n:int -> unit -> row list
+val compute : ?etas:float list -> ?n:int -> ?jobs:int -> unit -> row list
+(** The eta x design grid runs on up to [jobs] domains (default
+    {!Ffc_numerics.Pool.default_jobs}, forced to 1 under an outer pool);
+    every cell is deterministic, so rows are identical at any jobs
+    count. *)
 
 val experiment : Exp_common.t

@@ -11,6 +11,12 @@ type row = {
   converged : bool;
   fair : bool;
   matched_prediction : bool;
+  systemic : bool;
+      (** Linear stability of the fixed point, audited through the
+          structure-aware Jacobian kernel (Theorem-4 diagonal read when
+          the triangular structure is detected, dense QR otherwise).
+          [false] when the run did not converge. *)
+  rho : float;  (** ρ(DF) at the fixed point; NaN when not converged. *)
   steps : int;
   wall_seconds : float;  (** Measured, but kept out of the report text. *)
 }

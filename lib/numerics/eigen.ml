@@ -1,13 +1,27 @@
 (* Dense real eigensolver: balance -> Hessenberg -> double-shift QR.
    The QR iteration follows the classical `hqr` scheme (Wilkinson;
    Press et al.), rewritten 0-indexed with relative-epsilon deflation
-   tests instead of the historical float-rounding tricks. *)
+   tests instead of the historical float-rounding tricks.
+
+   The kernels run in place on a flat row-major [float array] with
+   unsafe accessors — the matrices are square and every index is a loop
+   variable already confined to [0, n), so the checks would only cost.
+   The checked [Mat] API stays at the entry points.
+
+   On top of the dense path sits a structure-aware layer: a matrix that
+   is triangular — or triangular after a simultaneous row/column
+   permutation, the shape Theorem 4 gives Fair Share stability matrices
+   in rate order — has its eigenvalues on its diagonal, read in O(N^2)
+   detection time instead of the O(N^3) QR iteration. *)
 
 let eps = 1e-13
 
 (* Diagonal similarity scaling so that row and column norms are comparable;
-   improves eigenvalue accuracy on badly scaled matrices. *)
+   improves eigenvalue accuracy on badly scaled matrices.  [a] is flat
+   row-major of size n*n. *)
 let balance a n =
+  let g i j = Array.unsafe_get a ((i * n) + j) in
+  let s i j v = Array.unsafe_set a ((i * n) + j) v in
   let radix = 2. in
   let sqrdx = radix *. radix in
   let changed = ref true in
@@ -17,31 +31,31 @@ let balance a n =
       let c = ref 0. and r = ref 0. in
       for j = 0 to n - 1 do
         if j <> i then begin
-          c := !c +. Float.abs a.(j).(i);
-          r := !r +. Float.abs a.(i).(j)
+          c := !c +. Float.abs (g j i);
+          r := !r +. Float.abs (g i j)
         end
       done;
       if !c <> 0. && !r <> 0. then begin
-        let g = ref (!r /. radix) in
+        let gr = ref (!r /. radix) in
         let f = ref 1. in
-        let s = !c +. !r in
-        while !c < !g do
+        let sum = !c +. !r in
+        while !c < !gr do
           f := !f *. radix;
           c := !c *. sqrdx
         done;
-        g := !r *. radix;
-        while !c > !g do
+        gr := !r *. radix;
+        while !c > !gr do
           f := !f /. radix;
           c := !c /. sqrdx
         done;
-        if (!c +. !r) /. !f < 0.95 *. s then begin
+        if (!c +. !r) /. !f < 0.95 *. sum then begin
           changed := true;
-          let g = 1. /. !f in
+          let inv = 1. /. !f in
           for j = 0 to n - 1 do
-            a.(i).(j) <- a.(i).(j) *. g
+            s i j (g i j *. inv)
           done;
           for j = 0 to n - 1 do
-            a.(j).(i) <- a.(j).(i) *. !f
+            s j i (g j i *. !f)
           done
         end
       end
@@ -51,37 +65,39 @@ let balance a n =
 (* Reduction to upper Hessenberg form by stabilized elementary similarity
    transformations (Gaussian elimination with pivoting). *)
 let reduce_hessenberg a n =
+  let g i j = Array.unsafe_get a ((i * n) + j) in
+  let s i j v = Array.unsafe_set a ((i * n) + j) v in
   for m = 1 to n - 2 do
     let x = ref 0. in
     let pivot = ref m in
     for j = m to n - 1 do
-      if Float.abs a.(j).(m - 1) > Float.abs !x then begin
-        x := a.(j).(m - 1);
+      if Float.abs (g j (m - 1)) > Float.abs !x then begin
+        x := g j (m - 1);
         pivot := j
       end
     done;
     if !pivot <> m then begin
       for j = m - 1 to n - 1 do
-        let t = a.(!pivot).(j) in
-        a.(!pivot).(j) <- a.(m).(j);
-        a.(m).(j) <- t
+        let t = g !pivot j in
+        s !pivot j (g m j);
+        s m j t
       done;
       for j = 0 to n - 1 do
-        let t = a.(j).(!pivot) in
-        a.(j).(!pivot) <- a.(j).(m);
-        a.(j).(m) <- t
+        let t = g j !pivot in
+        s j !pivot (g j m);
+        s j m t
       done
     end;
     if !x <> 0. then
       for i = m + 1 to n - 1 do
-        let y = a.(i).(m - 1) in
+        let y = g i (m - 1) in
         if y <> 0. then begin
           let y = y /. !x in
           for j = m to n - 1 do
-            a.(i).(j) <- a.(i).(j) -. (y *. a.(m).(j))
+            s i j (g i j -. (y *. g m j))
           done;
           for j = 0 to n - 1 do
-            a.(j).(m) <- a.(j).(m) +. (y *. a.(j).(i))
+            s j m (g j m +. (y *. g j i))
           done
         end
       done
@@ -89,28 +105,30 @@ let reduce_hessenberg a n =
   (* Clear the multipliers stored below the subdiagonal. *)
   for i = 0 to n - 1 do
     for j = 0 to i - 2 do
-      a.(i).(j) <- 0.
+      s i j 0.
     done
   done
 
 let hessenberg m =
   if Mat.rows m <> Mat.cols m then invalid_arg "Eigen.hessenberg: not square";
   let n = Mat.rows m in
-  let a = Mat.to_arrays m in
+  let a = Mat.to_flat m in
   reduce_hessenberg a n;
-  Mat.of_arrays a
+  Mat.of_flat ~rows:n ~cols:n a
 
 let sign_of magnitude reference =
   if reference >= 0. then Float.abs magnitude else -.Float.abs magnitude
 
 (* Double-shift QR on an upper Hessenberg matrix, with deflation.  [a] is
-   destroyed.  Returns eigenvalues as (re, im) pairs. *)
+   flat row-major and destroyed.  Returns eigenvalues as (re, im) pairs. *)
 let hqr a n =
+  let g i j = Array.unsafe_get a ((i * n) + j) in
+  let set i j v = Array.unsafe_set a ((i * n) + j) v in
   let wr = Array.make n 0. and wi = Array.make n 0. in
   let anorm = ref 0. in
   for i = 0 to n - 1 do
     for j = Stdlib.max (i - 1) 0 to n - 1 do
-      anorm := !anorm +. Float.abs a.(i).(j)
+      anorm := !anorm +. Float.abs (g i j)
     done
   done;
   if !anorm = 0. then anorm := 1.;
@@ -125,17 +143,17 @@ let hqr a n =
       (try
          while !l >= 1 do
            let s =
-             let s = Float.abs a.(!l - 1).(!l - 1) +. Float.abs a.(!l).(!l) in
+             let s = Float.abs (g (!l - 1) (!l - 1)) +. Float.abs (g !l !l) in
              if s = 0. then !anorm else s
            in
-           if Float.abs a.(!l).(!l - 1) <= eps *. s then begin
-             a.(!l).(!l - 1) <- 0.;
+           if Float.abs (g !l (!l - 1)) <= eps *. s then begin
+             set !l (!l - 1) 0.;
              raise Exit
            end;
            decr l
          done
        with Exit -> ());
-      let x = ref a.(!nn).(!nn) in
+      let x = ref (g !nn !nn) in
       if !l = !nn then begin
         (* One real root found. *)
         wr.(!nn) <- !x +. !t;
@@ -144,8 +162,8 @@ let hqr a n =
         finished_block := true
       end
       else begin
-        let y = ref a.(!nn - 1).(!nn - 1) in
-        let w = ref (a.(!nn).(!nn - 1) *. a.(!nn - 1).(!nn)) in
+        let y = ref (g (!nn - 1) (!nn - 1)) in
+        let w = ref (g !nn (!nn - 1) *. g (!nn - 1) !nn) in
         if !l = !nn - 1 then begin
           (* A 2x2 block: two roots, real or complex-conjugate. *)
           let p = ref (0.5 *. (!y -. !x)) in
@@ -175,9 +193,9 @@ let hqr a n =
             (* Exceptional shift to break symmetry-induced stalls. *)
             t := !t +. !x;
             for i = 0 to !nn do
-              a.(i).(i) <- a.(i).(i) -. !x
+              set i i (g i i -. !x)
             done;
-            let s = Float.abs a.(!nn).(!nn - 1) +. Float.abs a.(!nn - 1).(!nn - 2) in
+            let s = Float.abs (g !nn (!nn - 1)) +. Float.abs (g (!nn - 1) (!nn - 2)) in
             x := 0.75 *. s;
             y := !x;
             w := -0.4375 *. s *. s
@@ -188,22 +206,22 @@ let hqr a n =
           let p = ref 0. and q = ref 0. and r = ref 0. in
           (try
              while !m >= !l do
-               let z = a.(!m).(!m) in
+               let z = g !m !m in
                let rr = !x -. z in
                let ss = !y -. z in
-               p := (((rr *. ss) -. !w) /. a.(!m + 1).(!m)) +. a.(!m).(!m + 1);
-               q := a.(!m + 1).(!m + 1) -. z -. rr -. ss;
-               r := a.(!m + 2).(!m + 1);
+               p := (((rr *. ss) -. !w) /. g (!m + 1) !m) +. g !m (!m + 1);
+               q := g (!m + 1) (!m + 1) -. z -. rr -. ss;
+               r := g (!m + 2) (!m + 1);
                let s = Float.abs !p +. Float.abs !q +. Float.abs !r in
                p := !p /. s;
                q := !q /. s;
                r := !r /. s;
                if !m = !l then raise Exit;
-               let u = Float.abs a.(!m).(!m - 1) *. (Float.abs !q +. Float.abs !r) in
+               let u = Float.abs (g !m (!m - 1)) *. (Float.abs !q +. Float.abs !r) in
                let v =
                  Float.abs !p
-                 *. (Float.abs a.(!m - 1).(!m - 1) +. Float.abs z
-                    +. Float.abs a.(!m + 1).(!m + 1))
+                 *. (Float.abs (g (!m - 1) (!m - 1)) +. Float.abs z
+                    +. Float.abs (g (!m + 1) (!m + 1)))
                in
                if u <= eps *. v then raise Exit;
                decr m
@@ -211,16 +229,16 @@ let hqr a n =
              m := !l
            with Exit -> ());
           for i = !m + 2 to !nn do
-            a.(i).(i - 2) <- 0.;
-            if i <> !m + 2 then a.(i).(i - 3) <- 0.
+            set i (i - 2) 0.;
+            if i <> !m + 2 then set i (i - 3) 0.
           done;
           (* Double QR step on rows l..nn, columns m..nn. *)
           for k = !m to !nn - 1 do
             if k <> !m then begin
-              p := a.(k).(k - 1);
-              q := a.(k + 1).(k - 1);
+              p := g k (k - 1);
+              q := g (k + 1) (k - 1);
               r := 0.;
-              if k <> !nn - 1 then r := a.(k + 2).(k - 1);
+              if k <> !nn - 1 then r := g (k + 2) (k - 1);
               x := Float.abs !p +. Float.abs !q +. Float.abs !r;
               if !x <> 0. then begin
                 p := !p /. !x;
@@ -231,9 +249,9 @@ let hqr a n =
             let s = sign_of (sqrt ((!p *. !p) +. (!q *. !q) +. (!r *. !r))) !p in
             if s <> 0. then begin
               if k = !m then begin
-                if !l <> !m then a.(k).(k - 1) <- -.a.(k).(k - 1)
+                if !l <> !m then set k (k - 1) (-.g k (k - 1))
               end
-              else a.(k).(k - 1) <- -.s *. !x;
+              else set k (k - 1) (-.s *. !x);
               p := !p +. s;
               x := !p /. s;
               y := !q /. s;
@@ -241,31 +259,31 @@ let hqr a n =
               q := !q /. !p;
               r := !r /. !p;
               for j = k to !nn do
-                let pj = a.(k).(j) +. (!q *. a.(k + 1).(j)) in
+                let pj = g k j +. (!q *. g (k + 1) j) in
                 let pj =
                   if k <> !nn - 1 then begin
-                    let pj = pj +. (!r *. a.(k + 2).(j)) in
-                    a.(k + 2).(j) <- a.(k + 2).(j) -. (pj *. z);
+                    let pj = pj +. (!r *. g (k + 2) j) in
+                    set (k + 2) j (g (k + 2) j -. (pj *. z));
                     pj
                   end
                   else pj
                 in
-                a.(k + 1).(j) <- a.(k + 1).(j) -. (pj *. !y);
-                a.(k).(j) <- a.(k).(j) -. (pj *. !x)
+                set (k + 1) j (g (k + 1) j -. (pj *. !y));
+                set k j (g k j -. (pj *. !x))
               done;
               let mmin = Stdlib.min !nn (k + 3) in
               for i = !l to mmin do
-                let pi = (!x *. a.(i).(k)) +. (!y *. a.(i).(k + 1)) in
+                let pi = (!x *. g i k) +. (!y *. g i (k + 1)) in
                 let pi =
                   if k <> !nn - 1 then begin
-                    let pi = pi +. (z *. a.(i).(k + 2)) in
-                    a.(i).(k + 2) <- a.(i).(k + 2) -. (pi *. !r);
+                    let pi = pi +. (z *. g i (k + 2)) in
+                    set i (k + 2) (g i (k + 2) -. (pi *. !r));
                     pi
                   end
                   else pi
                 in
-                a.(i).(k + 1) <- a.(i).(k + 1) -. (pi *. !q);
-                a.(i).(k) <- a.(i).(k) -. pi
+                set i (k + 1) (g i (k + 1) -. (pi *. !q));
+                set i k (g i k -. pi)
               done
             end
           done
@@ -275,20 +293,82 @@ let hqr a n =
   done;
   Array.init n (fun i -> { Complex.re = wr.(i); im = wi.(i) })
 
-let eigenvalues m =
+let eigenvalues_dense m =
   if Mat.rows m <> Mat.cols m then invalid_arg "Eigen.eigenvalues: not square";
   let n = Mat.rows m in
   if n = 0 then [||]
   else if n = 1 then [| { Complex.re = Mat.get m 0 0; im = 0. } |]
   else begin
-    let a = Mat.to_arrays m in
+    let a = Mat.to_flat m in
     balance a n;
     reduce_hessenberg a n;
     hqr a n
   end
 
-let eigenvalues_sorted m =
-  let ev = eigenvalues m in
+(* ------------------------------------------------------------------ *)
+(* Structure detection (Theorem 4 fast path)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* An ordering v of the indices such that m.(v_i).(v_j) is (within
+   [tol]) zero for all j > i — i.e. the matrix is lower triangular after
+   simultaneously permuting rows and columns by v.  Greedy topological
+   sort of the off-diagonal dependency relation: repeatedly pick the
+   smallest remaining row whose above-[tol] off-diagonal entries all sit
+   in already-picked columns.  Each pick scans O(N), so detection —
+   success or failure — is O(N^2).  Covers lower triangular (identity
+   order), upper triangular (reversal), and any simultaneous permutation
+   of either, such as Fair Share Jacobians in rate order. *)
+let triangular_order ?(tol = 0.) m =
+  if Mat.rows m <> Mat.cols m then invalid_arg "Eigen.triangular_order: not square";
+  let n = Mat.rows m in
+  let nonzero i j = Float.abs (Mat.unsafe_get m i j) > tol in
+  (* pending.(i): off-diagonal entries of row i in not-yet-picked columns. *)
+  let pending = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if j <> i && nonzero i j then pending.(i) <- pending.(i) + 1
+    done
+  done;
+  let picked = Array.make n false in
+  let order = Array.make n 0 in
+  let ok = ref true in
+  (try
+     for pos = 0 to n - 1 do
+       let next = ref (-1) in
+       for i = n - 1 downto 0 do
+         if (not picked.(i)) && pending.(i) = 0 then next := i
+       done;
+       if !next < 0 then begin
+         ok := false;
+         raise Exit
+       end;
+       let i = !next in
+       picked.(i) <- true;
+       order.(pos) <- i;
+       for k = 0 to n - 1 do
+         if (not picked.(k)) && nonzero k i then pending.(k) <- pending.(k) - 1
+       done
+     done
+   with Exit -> ());
+  if !ok then Some order else None
+
+let structural_eigenvalues ?tol m =
+  if Mat.rows m <> Mat.cols m then None
+  else
+    match triangular_order ?tol m with
+    | None -> None
+    | Some _ ->
+      (* A simultaneous permutation is a similarity and preserves the
+         diagonal as a set, so the eigenvalues are the diagonal entries
+         in any order. *)
+      Some (Mat.diagonal m)
+
+let eigenvalues ?struct_tol m =
+  match structural_eigenvalues ?tol:struct_tol m with
+  | Some d -> Array.map (fun re -> { Complex.re; im = 0. }) d
+  | None -> eigenvalues_dense m
+
+let sort_by_modulus ev =
   Array.sort
     (fun a b ->
       let c = Float.compare (Complex.norm b) (Complex.norm a) in
@@ -296,11 +376,16 @@ let eigenvalues_sorted m =
     ev;
   ev
 
-let spectral_radius m =
-  Array.fold_left (fun acc z -> Float.max acc (Complex.norm z)) 0. (eigenvalues m)
+let eigenvalues_sorted ?struct_tol m = sort_by_modulus (eigenvalues ?struct_tol m)
 
-let is_linearly_stable ?(tol = 1e-9) ?(ignore_unit = 0) m =
-  let ev = eigenvalues_sorted m in
+let spectral_radius_of ev =
+  Array.fold_left (fun acc z -> Float.max acc (Complex.norm z)) 0. ev
+
+let spectral_radius ?struct_tol m = spectral_radius_of (eigenvalues ?struct_tol m)
+let spectral_radius_dense m = spectral_radius_of (eigenvalues_dense m)
+
+let is_linearly_stable ?(tol = 1e-9) ?(ignore_unit = 0) ?struct_tol m =
+  let ev = eigenvalues_sorted ?struct_tol m in
   let n = Array.length ev in
   if ignore_unit >= n then true
   else Complex.norm ev.(ignore_unit) < 1. -. tol

@@ -1,33 +1,70 @@
-(** Eigenvalues of small dense real matrices.
+(** Eigenvalues of small dense real matrices, with a structure-aware
+    fast path.
 
     The stability analysis of the flow-control map (paper §3.3) requires
     all eigenvalues of the Jacobian DF — which is real but generally
     non-symmetric, so eigenvalues may form complex-conjugate pairs.  The
-    implementation is the classical dense path: balancing, reduction to
-    upper Hessenberg form by stabilized elementary transformations, then
-    the implicit double-shift (Francis) QR iteration with deflation.
+    dense path is classical: balancing, reduction to upper Hessenberg
+    form by stabilized elementary transformations, then the implicit
+    double-shift (Francis) QR iteration with deflation — O(N³).
 
-    Accuracy is more than adequate for the ≤ 100x100 Jacobians arising
-    here; all routines operate on copies and never mutate their input. *)
+    Theorem 4 makes the dense path overkill for the matrices this
+    repository cares about most: under Fair Share the Jacobian is
+    triangular once connections are ordered by rate, so its eigenvalues
+    are its diagonal.  {!eigenvalues}, {!spectral_radius} and
+    {!is_linearly_stable} therefore first look for triangular or
+    permuted-triangular structure in O(N²) ({!triangular_order}) and
+    read the diagonal when they find it; [struct_tol] controls how small
+    an entry must be to count as structurally zero (default exactly 0 —
+    finite differencing of a Fair Share map produces exact zeros above
+    the diagonal, so the default is both safe and effective).  The
+    [_dense] entry points always run the QR path.
+
+    All routines operate on copies and never mutate their input. *)
 
 val hessenberg : Mat.t -> Mat.t
 (** [hessenberg m] is an upper-Hessenberg matrix similar to square [m]
     (entries below the first subdiagonal are exactly zero). *)
 
-val eigenvalues : Mat.t -> Complex.t array
-(** All eigenvalues of a square matrix, in no particular order. Raises
-    [Failure] if the QR iteration fails to converge (does not happen for
-    the matrices in this repository) and [Invalid_argument] if the matrix
-    is not square. *)
+val triangular_order : ?tol:float -> Mat.t -> int array option
+(** [triangular_order m] is [Some v] when [m] is lower triangular after
+    simultaneously permuting rows and columns by [v] — i.e.
+    [|m.(v_i).(v_j)| <= tol] for all [j > i] (default [tol = 0.], exact
+    zeros).  Covers plain lower triangular (identity order), upper
+    triangular (reversal) and any simultaneous permutation of either,
+    such as Fair Share stability matrices in rate order (Theorem 4).
+    O(N²) whether it succeeds or fails. *)
 
-val eigenvalues_sorted : Mat.t -> Complex.t array
+val structural_eigenvalues : ?tol:float -> Mat.t -> Vec.t option
+(** The diagonal, when {!triangular_order} detects (permuted) triangular
+    structure — the eigenvalues, exactly, since a simultaneous
+    permutation is a similarity.  [None] for dense matrices (and
+    non-square ones). *)
+
+val eigenvalues : ?struct_tol:float -> Mat.t -> Complex.t array
+(** All eigenvalues of a square matrix, in no particular order:
+    the diagonal when (permuted-)triangular structure is detected at
+    [struct_tol], the QR path otherwise. Raises [Failure] if the QR
+    iteration fails to converge (does not happen for the matrices in
+    this repository) and [Invalid_argument] if the matrix is not
+    square. *)
+
+val eigenvalues_dense : Mat.t -> Complex.t array
+(** The QR path unconditionally — for cross-checking the fast path and
+    for benchmarking. *)
+
+val eigenvalues_sorted : ?struct_tol:float -> Mat.t -> Complex.t array
 (** Eigenvalues sorted by decreasing modulus (ties broken by real part). *)
 
-val spectral_radius : Mat.t -> float
+val spectral_radius : ?struct_tol:float -> Mat.t -> float
 (** Largest eigenvalue modulus — the quantity that decides linear
     stability of the iteration r' = F(r). *)
 
-val is_linearly_stable : ?tol:float -> ?ignore_unit:int -> Mat.t -> bool
+val spectral_radius_dense : Mat.t -> float
+(** {!spectral_radius} via the QR path unconditionally. *)
+
+val is_linearly_stable :
+  ?tol:float -> ?ignore_unit:int -> ?struct_tol:float -> Mat.t -> bool
 (** [is_linearly_stable df] holds when every eigenvalue of [df] has
     modulus < 1 − [tol] (default [tol = 1e-9]).  [ignore_unit] (default 0)
     discounts that many eigenvalues closest to modulus 1 — used for
@@ -44,4 +81,5 @@ val power_iteration :
 val triangular_eigenvalues : Mat.t -> Vec.t option
 (** For a (numerically) triangular matrix, its eigenvalues are the
     diagonal; [None] when the matrix is not triangular. Implements the
-    observation at the heart of Theorem 4. *)
+    observation at the heart of Theorem 4.  See
+    {!structural_eigenvalues} for the permutation-aware version. *)

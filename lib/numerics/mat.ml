@@ -17,6 +17,9 @@ let set m i j x =
     invalid_arg "Mat.set: index out of bounds";
   m.data.((i * m.cols) + j) <- x
 
+let unsafe_get m i j = Array.unsafe_get m.data ((i * m.cols) + j)
+let unsafe_set m i j x = Array.unsafe_set m.data ((i * m.cols) + j) x
+
 let init rows cols f =
   let m = create rows cols in
   for i = 0 to rows - 1 do
@@ -41,6 +44,14 @@ let of_arrays a =
 
 let to_arrays m = Array.init m.rows (fun i -> Array.init m.cols (fun j -> get m i j))
 
+let to_flat m = Array.copy m.data
+
+let of_flat ~rows ~cols data =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.of_flat: negative dimension";
+  if Array.length data <> rows * cols then
+    invalid_arg "Mat.of_flat: data length does not match dimensions";
+  { rows; cols; data = Array.copy data }
+
 let copy m = { m with data = Array.copy m.data }
 
 let transpose m = init m.cols m.rows (fun i j -> get m j i)
@@ -54,21 +65,38 @@ let add a b = lift2 "add" ( +. ) a b
 let sub a b = lift2 "sub" ( -. ) a b
 let scale s m = init m.rows m.cols (fun i j -> s *. get m i j)
 
+(* Hot kernels below run on the flat [data] array with unsafe accessors:
+   the i-k-j loop order keeps the inner loop walking both [b] and the
+   output row contiguously, with no bounds checks. Dimension checks stay
+   at the entry. *)
+
 let mul a b =
   if a.cols <> b.rows then invalid_arg "Mat.mul: inner dimension mismatch";
-  init a.rows b.cols (fun i j ->
-      let acc = ref 0. in
-      for k = 0 to a.cols - 1 do
-        acc := !acc +. (get a i k *. get b k j)
-      done;
-      !acc)
+  let m = a.rows and n = a.cols and p = b.cols in
+  let out = create m p in
+  let ad = a.data and bd = b.data and od = out.data in
+  for i = 0 to m - 1 do
+    let arow = i * n and orow = i * p in
+    for k = 0 to n - 1 do
+      let aik = Array.unsafe_get ad (arow + k) in
+      let brow = k * p in
+      for j = 0 to p - 1 do
+        Array.unsafe_set od (orow + j)
+          (Array.unsafe_get od (orow + j) +. (aik *. Array.unsafe_get bd (brow + j)))
+      done
+    done
+  done;
+  out
 
 let mul_vec m v =
   if m.cols <> Array.length v then invalid_arg "Mat.mul_vec: dimension mismatch";
-  Array.init m.rows (fun i ->
+  let rows = m.rows and cols = m.cols in
+  let d = m.data in
+  Array.init rows (fun i ->
+      let row = i * cols in
       let acc = ref 0. in
-      for j = 0 to m.cols - 1 do
-        acc := !acc +. (get m i j *. v.(j))
+      for j = 0 to cols - 1 do
+        acc := !acc +. (Array.unsafe_get d (row + j) *. Array.unsafe_get v j)
       done;
       !acc)
 

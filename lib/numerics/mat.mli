@@ -21,6 +21,14 @@ val of_arrays : float array array -> t
 
 val to_arrays : t -> float array array
 
+val to_flat : t -> float array
+(** A fresh row-major copy of the entries — the layout the eigensolver's
+    in-place kernels work on. Length [rows * cols]. *)
+
+val of_flat : rows:int -> cols:int -> float array -> t
+(** Inverse of {!to_flat}; the array is copied. Raises
+    [Invalid_argument] when the length is not [rows * cols]. *)
+
 val rows : t -> int
 
 val cols : t -> int
@@ -28,6 +36,13 @@ val cols : t -> int
 val get : t -> int -> int -> float
 
 val set : t -> int -> int -> float -> unit
+
+val unsafe_get : t -> int -> int -> float
+(** [get] without bounds checks — for inner loops that have already
+    validated their index ranges. Out-of-range indices are undefined
+    behaviour. *)
+
+val unsafe_set : t -> int -> int -> float -> unit
 
 val copy : t -> t
 

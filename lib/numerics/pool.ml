@@ -18,16 +18,29 @@ let effective_jobs ?jobs () =
 
 let parallel_map ?jobs f arr =
   let n = Array.length arr in
-  let jobs =
+  let requested =
     match jobs with
     | Some j when j < 1 -> invalid_arg "Pool.parallel_map: jobs must be >= 1"
     | Some j -> j
     | None -> default_jobs ()
   in
-  let jobs = Stdlib.min jobs n in
-  if jobs <= 1 then Array.map f arr
+  let requested = Stdlib.min requested n in
+  if requested <= 1 then Array.map f arr
   else begin
     if in_worker () then raise Nested;
+    (* Fan out at most one domain per physical core: extra domains never
+       run concurrently, they only add stop-the-world GC synchronization
+       stalls.  When the clamp collapses to 1 (single-core machine), run
+       on the calling domain but keep the worker context, so [Nested]
+       and [effective_jobs] behave identically on any hardware. *)
+    let jobs = Stdlib.min requested (Domain.recommended_domain_count ()) in
+    if jobs <= 1 then begin
+      Domain.DLS.set inside true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set inside false)
+        (fun () -> Array.map f arr)
+    end
+    else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
@@ -64,6 +77,7 @@ let parallel_map ?jobs f arr =
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
     Array.map (function Some v -> v | None -> assert false) results
+    end
   end
 
 let parallel_init ?jobs n f =

@@ -39,7 +39,15 @@ val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map ~jobs f a] is [Array.map f a] computed by up to [jobs]
     domains (default {!default_jobs}), results in input order.  [f] must
     be safe to call concurrently from several domains.  Raises {!Nested}
-    when invoked with [jobs >= 2] from inside a pool task. *)
+    when invoked with [jobs >= 2] from inside a pool task.
+
+    The fan-out is clamped to [Domain.recommended_domain_count ()]:
+    domains beyond the physical cores never run concurrently and only
+    add stop-the-world GC synchronization stalls.  [jobs >= 2] keeps its
+    worker-context semantics ({!in_worker}, {!Nested}) even when the
+    clamp collapses the execution to the calling domain, so program
+    behaviour — including byte-identical results — does not depend on
+    the machine's core count. *)
 
 val parallel_init : ?jobs:int -> int -> (int -> 'a) -> 'a array
 (** [parallel_init ~jobs n f] is [Array.init n f], parallelized as in

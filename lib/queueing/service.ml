@@ -16,17 +16,27 @@ let queue_lengths t ~mu rates = t.queue_lengths ~mu rates
 
 let total_queue t ~mu rates = Vec.sum (queue_lengths t ~mu rates)
 
-let sojourn_times t ~mu rates =
+(* Limiting sojourn of an infinitesimal connection, by probing with a
+   tiny rate.  Disciplines are symmetric in the connection order (see
+   the .mli), so the limit is the same whichever zero-rate slot carries
+   the probe — one probe pass serves every zero-rate connection instead
+   of one re-evaluation each. *)
+let sojourns_of_queues t ~mu rates q =
+  let zero_limit =
+    lazy
+      (let probe = 1e-9 *. mu in
+       let i0 = ref (-1) in
+       Array.iteri (fun i r -> if !i0 < 0 && r = 0. then i0 := i) rates;
+       let rates' = Array.copy rates in
+       rates'.(!i0) <- probe;
+       (t.queue_lengths ~mu rates').(!i0) /. probe)
+  in
+  Array.mapi (fun i r -> if r > 0. then q.(i) /. r else Lazy.force zero_limit) rates
+
+let evaluate t ~mu rates =
   let q = queue_lengths t ~mu rates in
-  Array.mapi
-    (fun i r ->
-      if r > 0. then q.(i) /. r
-      else begin
-        let probe = 1e-9 *. mu in
-        let rates' = Array.copy rates in
-        rates'.(i) <- probe;
-        (queue_lengths t ~mu rates').(i) /. probe
-      end)
-    rates
+  (q, sojourns_of_queues t ~mu rates q)
+
+let sojourn_times t ~mu rates = sojourns_of_queues t ~mu rates (queue_lengths t ~mu rates)
 
 let builtin = [ fifo; fair_share ]

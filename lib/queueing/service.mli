@@ -40,7 +40,14 @@ val total_queue : t -> mu:float -> Vec.t -> float
 
 val sojourn_times : t -> mu:float -> Vec.t -> Vec.t
 (** Per-connection mean time in system by Little's law Q_i/r_i, with the
-    infinitesimal-probe limit at zero rate. *)
+    infinitesimal-probe limit at zero rate (one shared probe — the
+    discipline's symmetry makes the limit slot-independent). *)
+
+val evaluate : t -> mu:float -> Vec.t -> Vec.t * Vec.t
+(** [(queue_lengths, sojourn_times)] from a single queue-length
+    evaluation — the discipline's Q(r) is the expensive part, and both
+    outputs derive from it, so fusing them halves the cost of a
+    combined signals+delays pass. *)
 
 val builtin : t list
 (** The two disciplines studied in the paper, FIFO first. *)

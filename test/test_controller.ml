@@ -238,6 +238,46 @@ let test_trace_series_and_file () =
   Alcotest.(check string) "file roundtrip" csv read;
   Sys.remove path
 
+let test_r0_not_aliased () =
+  (* trajectory and run must store private copies of r0: mutating the
+     caller's array after the call must not corrupt the results. *)
+  let net = single 2 in
+  let c = Controller.homogeneous ~config:Feedback.individual_fifo ~adjuster:additive ~n:2 in
+  let r0 = [| 0.1; 0.3 |] in
+  let traj = Controller.trajectory c ~net ~r0 ~steps:2 in
+  r0.(0) <- 99.;
+  check_vec "recorded start survives caller mutation" [| 0.1; 0.3 |] traj.(0);
+  let r0 = [| 0.1; 0.3 |] in
+  (match Controller.run ~max_steps:0 c ~net ~r0 with
+  | Controller.No_convergence { last } ->
+    r0.(1) <- 42.;
+    check_vec "run result survives caller mutation" [| 0.1; 0.3 |] last
+  | _ -> Alcotest.fail "max_steps 0 cannot converge")
+
+let test_fused_evaluate_matches_separate () =
+  (* Feedback.evaluate (one pass over the gateways) must return exactly
+     the vectors the separate signals and delays entry points compute,
+     including the zero-rate sojourn limit. *)
+  let net = Topologies.parking_lot ~hops:3 ~latency:0.1 () in
+  let n = Network.num_connections net in
+  let rates =
+    Array.init n (fun i -> if i = 1 then 0. else 0.02 +. (0.03 *. float_of_int i))
+  in
+  List.iter
+    (fun (name, config) ->
+      let b, d = Feedback.evaluate config ~net ~rates in
+      check_vec ~tol:0. (name ^ ": fused signals exact")
+        (Feedback.signals config ~net ~rates)
+        b;
+      check_vec ~tol:0. (name ^ ": fused delays exact")
+        (Feedback.delays config ~net ~rates)
+        d)
+    [
+      ("aggregate", Feedback.aggregate_fifo);
+      ("individual+fifo", Feedback.individual_fifo);
+      ("individual+fair-share", Feedback.individual_fair_share);
+    ]
+
 let prop_individual_fair_from_random_starts =
   (* Theorem 3 as a property: every converged run of TSI individual
      feedback lands on the same fair point regardless of start. *)
@@ -277,6 +317,8 @@ let suites =
         case "escape threaded through run and run_async" test_escape_threaded_sync_and_async;
         case "trace CSV" test_trace_csv;
         case "trace series and file" test_trace_series_and_file;
+        case "r0 not aliased into results" test_r0_not_aliased;
+        case "fused evaluate = signals + delays" test_fused_evaluate_matches_separate;
         prop_individual_fair_from_random_starts;
       ] );
   ]

@@ -126,6 +126,57 @@ let test_triangular_eigenvalues () =
   let full = Mat.of_arrays [| [| 1.; 3. |]; [| 5.; 2. |] |] in
   check_true "non-triangular rejected" (Eigen.triangular_eigenvalues full = None)
 
+let test_triangular_order_detection () =
+  let lower =
+    Mat.of_arrays [| [| 1.; 0.; 0. |]; [| 5.; 2.; 0. |]; [| 1.; 7.; 3. |] |]
+  in
+  (match Eigen.triangular_order lower with
+  | None -> Alcotest.fail "lower triangular not detected"
+  | Some order ->
+    check_true "order triangularizes"
+      (Mat.is_lower_triangular (Mat.permute_rows_cols lower order)));
+  let upper = Mat.of_arrays [| [| 1.; 4. |]; [| 0.; 2. |] |] in
+  (match Eigen.triangular_order upper with
+  | None -> Alcotest.fail "upper triangular not detected"
+  | Some order ->
+    check_true "reversal triangularizes"
+      (Mat.is_lower_triangular (Mat.permute_rows_cols upper order)));
+  let dense = Mat.of_arrays [| [| 1.; 4. |]; [| 5.; 2. |] |] in
+  check_true "dense rejected" (Eigen.triangular_order dense = None);
+  (* Default detection is exact-zero; a tolerance widens it. *)
+  let noisy = Mat.of_arrays [| [| 1.; 1e-12 |]; [| 5.; 2. |] |] in
+  check_true "sub-tolerance entry blocks exact detection"
+    (Eigen.triangular_order noisy = None);
+  check_true "tolerance admits it" (Eigen.triangular_order ~tol:1e-9 noisy <> None)
+
+let test_permuted_triangular_fast_path () =
+  (* A lower triangular L conjugated by a permutation: the structural
+     path must find the order, read the diagonal, and agree with the
+     dense QR iteration on the same matrix to 1e-9. *)
+  let n = 12 in
+  let l =
+    Mat.init n n (fun i j ->
+        if j > i then 0.
+        else if i = j then 2. +. float_of_int i
+        else sin (float_of_int ((3 * i) + j)))
+  in
+  let p = [| 7; 2; 9; 0; 11; 4; 1; 10; 3; 6; 8; 5 |] in
+  let pinv = Array.make n 0 in
+  Array.iteri (fun i pi -> pinv.(pi) <- i) p;
+  let m = Mat.init n n (fun i j -> Mat.get l pinv.(i) pinv.(j)) in
+  (match Eigen.structural_eigenvalues m with
+  | None -> Alcotest.fail "permuted triangular structure not detected"
+  | Some d ->
+    let got = Array.copy d and expected = Mat.diagonal l in
+    Array.sort Float.compare got;
+    Array.sort Float.compare expected;
+    check_vec ~tol:0. "diagonal preserved as a set" expected got);
+  check_float ~tol:1e-9 "fast radius = dense radius" (Eigen.spectral_radius_dense m)
+    (Eigen.spectral_radius m);
+  let fast = sorted_reals (Eigen.eigenvalues m) in
+  let dense = sorted_reals (Eigen.eigenvalues_dense m) in
+  check_vec ~tol:1e-9 "fast eigenvalues = dense QR" dense fast
+
 let test_defective_matrix () =
   (* Jordan block [[1,1],[0,1]]: eigenvalue 1 with multiplicity 2 and a
      single eigenvector — the QR iteration must still report both. *)
@@ -186,6 +237,8 @@ let suites =
         case "power iteration" test_power_iteration;
         case "1x1 and empty" test_1x1_and_empty;
         case "triangular eigenvalues" test_triangular_eigenvalues;
+        case "triangular-order detection" test_triangular_order_detection;
+        case "permuted-triangular fast path" test_permuted_triangular_fast_path;
         case "defective (Jordan) matrix" test_defective_matrix;
         case "nilpotent matrix" test_nilpotent_matrix;
         case "tridiagonal spectrum (n=16)" test_large_symmetric_spectrum;

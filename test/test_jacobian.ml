@@ -117,6 +117,70 @@ let test_fifo_df_not_triangular () =
       (Jacobian.triangular_in_rate_order ~tol:1e-4 df ~rates:steady)
   | _ -> Alcotest.fail "heterogeneous FIFO system should converge"
 
+(* A Fair Share population with distinct betas (so distinct steady
+   rates) and a distinct-rate evaluation point. *)
+let fs_population n =
+  let net = Topologies.single ~mu:1. ~n () in
+  let adjusters =
+    Array.init n (fun i ->
+        let beta = 0.2 +. (0.6 *. (float_of_int i +. 0.5) /. float_of_int n) in
+        Rate_adjust.additive ~eta:0.1 ~beta)
+  in
+  (net, Controller.create ~config:Feedback.individual_fair_share ~adjusters)
+
+let distinct_point n =
+  let scale = 0.5 /. (float_of_int n *. float_of_int (n + 1) /. 2.) in
+  Array.init n (fun i -> scale *. float_of_int (i + 1))
+
+let test_jobs_bit_identical () =
+  (* Pooled columns must reproduce the sequential Jacobian bit for bit,
+     in every difference mode — the determinism contract of the pool. *)
+  let n = 24 in
+  let net, c = fs_population n in
+  let at = distinct_point n in
+  List.iter
+    (fun (name, mode) ->
+      let a = Jacobian.of_controller ~jobs:1 ~mode c ~net ~at in
+      let b = Jacobian.of_controller ~jobs:8 ~mode c ~net ~at in
+      check_true (name ^ ": jobs=1 and jobs=8 bit-identical")
+        (Mat.to_flat a = Mat.to_flat b))
+    [
+      ("central", Jacobian.Central);
+      ("forward", Jacobian.Forward);
+      ("backward", Jacobian.Backward);
+    ]
+
+let test_fs_fast_path_matches_dense_qr () =
+  (* Random converged FS populations: the exact-zero structure detection
+     must fire on the numeric Jacobian, and the Theorem-4 diagonal read
+     must agree with the dense QR iteration on the same matrix to 1e-9. *)
+  let rng = Rng.create 7 in
+  for trial = 1 to 5 do
+    let n = 3 + Rng.int rng 6 in
+    let net, c = fs_population n in
+    let r0 = Array.init n (fun _ -> Rng.range rng 0.01 0.2) in
+    match Controller.run ~max_steps:40_000 c ~net ~r0 with
+    | Controller.Converged { steady; _ } ->
+      let df = Jacobian.of_controller c ~net ~at:steady in
+      check_true
+        (Printf.sprintf "trial %d: structure detected" trial)
+        (Eigen.structural_eigenvalues df <> None);
+      check_float ~tol:1e-9
+        (Printf.sprintf "trial %d: fast radius = dense radius" trial)
+        (Eigen.spectral_radius_dense df)
+        (Eigen.spectral_radius df);
+      let moduli ev =
+        let ms = Array.map Complex.norm ev in
+        Array.sort Float.compare ms;
+        ms
+      in
+      check_vec ~tol:1e-9
+        (Printf.sprintf "trial %d: fast eigenvalues = dense QR" trial)
+        (moduli (Eigen.eigenvalues_dense df))
+        (moduli (Eigen.eigenvalues df))
+    | _ -> Alcotest.failf "trial %d: FS population should converge" trial
+  done
+
 let test_diagonal_accessor () =
   let m = Mat.of_arrays [| [| 0.5; 9. |]; [| 9.; -0.25 |] |] in
   check_vec "diagonal" [| 0.5; -0.25 |] (Jacobian.diagonal m);
@@ -134,6 +198,8 @@ let suites =
         case "unilateral/systemic gap (paper)" test_unilateral_vs_systemic_gap;
         case "Theorem 4: FS triangular DF" test_fs_triangular_df;
         case "FIFO DF not triangular" test_fifo_df_not_triangular;
+        case "pooled columns bit-identical" test_jobs_bit_identical;
+        case "FS fast path matches dense QR" test_fs_fast_path_matches_dense_qr;
         case "diagonal accessor" test_diagonal_accessor;
       ] );
   ]
