@@ -10,6 +10,7 @@ open Cmdliner
 open Ffc_numerics
 open Ffc_topology
 open Ffc_core
+open Ffc_faults
 
 (* ------------------------------------------------------------------ *)
 (* Shared argument converters                                          *)
@@ -145,6 +146,142 @@ let parse_rates spec n =
     Array.of_list (List.map Option.get floats)
   else exit_err (Printf.sprintf "bad rate list %S for %d connections" spec n)
 
+(* Fault spec: "stale:LAG[@CONNS]", "lossy:P[@CONNS]", "noise:SIGMA[@CONNS]",
+   "quantize:T[@CONNS]", "dead@CONNS", "greedy:RAMP:CAP@CONNS",
+   "gw-cut:GW:FRACTION:FROM[:UNTIL]"; CONNS is a comma-separated index
+   list, omitted = every connection. *)
+let parse_fault spec =
+  let bad () = Error (Printf.sprintf "bad fault spec %S" spec) in
+  let conns_of = function
+    | None -> Ok None
+    | Some s ->
+      let parts = List.map int_of_string_opt (String.split_on_char ',' s) in
+      if parts <> [] && List.for_all Option.is_some parts then
+        Ok (Some (List.map Option.get parts))
+      else bad ()
+  in
+  let lhs, conns =
+    match String.split_on_char '@' spec with
+    | [ lhs ] -> (lhs, None)
+    | [ lhs; conns ] -> (lhs, Some conns)
+    | _ -> ("", None)
+  in
+  let with_conns kind =
+    Result.map
+      (fun c ->
+        match c with None -> Fault.everywhere kind | Some l -> Fault.on l kind)
+      (conns_of conns)
+  in
+  match String.split_on_char ':' lhs with
+  | [ "stale"; lag ] -> (
+    match int_of_string_opt lag with
+    | Some lag -> with_conns (Fault.Stale { lag })
+    | None -> bad ())
+  | [ "lossy"; p ] -> (
+    match float_of_string_opt p with
+    | Some p -> with_conns (Fault.Lossy { p })
+    | None -> bad ())
+  | [ "noise"; sigma ] -> (
+    match float_of_string_opt sigma with
+    | Some sigma -> with_conns (Fault.Noisy { sigma })
+    | None -> bad ())
+  | [ "quantize"; t ] -> (
+    match float_of_string_opt t with
+    | Some threshold -> with_conns (Fault.Quantized { threshold })
+    | None -> bad ())
+  | [ "dead" ] -> with_conns Fault.Dead
+  | [ "greedy"; ramp; cap ] -> (
+    match (float_of_string_opt ramp, float_of_string_opt cap) with
+    | Some ramp, Some cap -> with_conns (Fault.Greedy { ramp; cap })
+    | _ -> bad ())
+  | "gw-cut" :: rest -> (
+    if conns <> None then bad ()
+    else
+      match rest with
+      | [ gw; fraction; from_step ] | [ gw; fraction; from_step; _ ] -> (
+        let until_step =
+          match rest with
+          | [ _; _; _; u ] -> Option.map Option.some (int_of_string_opt u)
+          | _ -> Some None
+        in
+        match
+          (int_of_string_opt gw, float_of_string_opt fraction,
+           int_of_string_opt from_step, until_step)
+        with
+        | Some gw, Some fraction, Some from_step, Some until_step ->
+          Ok (Fault.everywhere (Fault.Gateway_cut { gw; fraction; from_step; until_step }))
+        | _ -> bad ())
+      | _ -> bad ())
+  | _ -> bad ()
+
+let fault_term =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:
+          "Inject a fault (repeatable): stale:LAG[@CONNS], lossy:P[@CONNS], \
+           noise:SIGMA[@CONNS], quantize:T[@CONNS], dead@CONNS, \
+           greedy:RAMP:CAP@CONNS, gw-cut:GW:FRACTION:FROM[:UNTIL]. CONNS is a \
+           comma-separated connection index list; omitted means every \
+           connection.")
+
+let fault_seed_term =
+  Arg.(
+    value & opt int 0
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Seed for the stochastic faults' split RNG streams.")
+
+let retries_term =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"K"
+        ~doc:
+          "Supervised runs: retry a diverged run up to $(docv) times, halving \
+           every adjuster's gain each time.")
+
+let budget_term =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock budget for supervised retries (checked between attempts).")
+
+let escape_term =
+  Arg.(
+    value & opt float 1e12
+    & info [ "escape" ] ~docv:"R"
+        ~doc:
+          "Divergence threshold: a run whose rate exceeds $(docv) (or goes \
+           non-finite) counts as diverged.")
+
+let resolve_plan fault_specs ~seed ~net =
+  let specs =
+    List.map
+      (fun s -> match parse_fault s with Ok spec -> spec | Error e -> exit_err e)
+      fault_specs
+  in
+  let plan = Fault.plan ~seed specs in
+  (try Fault.validate plan ~net with Invalid_argument msg -> exit_err msg);
+  plan
+
+(* Distinct nonzero exit codes for bad endings, with the verdict on
+   stderr: 3 = a run diverged, 4 = a run hit the step cap without
+   converging.  Converged and limit-cycle outcomes exit 0. *)
+let exit_outcomes outcomes =
+  let diverged = List.exists (function Controller.Diverged _ -> true | _ -> false) outcomes
+  and no_conv =
+    List.exists (function Controller.No_convergence _ -> true | _ -> false) outcomes
+  in
+  if diverged then begin
+    Printf.eprintf "ffc: outcome: diverged\n";
+    exit 3
+  end
+  else if no_conv then begin
+    Printf.eprintf "ffc: outcome: no convergence within the step budget\n";
+    exit 4
+  end
+
 (* ------------------------------------------------------------------ *)
 (* exp                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -196,7 +333,8 @@ let analyze_cmd =
             "Also write the individual+fair-share rate trajectory (400 steps) \
              as CSV to FILE.")
   in
-  let run net_result specs r0_spec trace_file jobs =
+  let run net_result specs r0_spec trace_file fault_specs fault_seed retries budget
+      escape jobs =
     apply_jobs jobs;
     match net_result with
     | Error e -> exit_err e
@@ -208,11 +346,58 @@ let analyze_cmd =
         | None -> Array.make n 0.02
         | Some s -> parse_rates s n
       in
+      if retries < 0 then exit_err "--retries must be >= 0";
+      let plan = resolve_plan fault_specs ~seed:fault_seed ~net in
+      let supervised =
+        (not (Fault.is_empty plan)) || retries > 0 || budget <> None || escape <> 1e12
+      in
       Format.printf "%a@.@." Network.pp net;
-      List.iter
-        (fun report -> Format.printf "%a@.@." Analysis.pp_report report)
-        (Analysis.evaluate_all ~jobs ~adjusters ~net r0);
-      match trace_file with
+      let outcomes =
+        if supervised then begin
+          (* Faults or retry policy requested: run each design under the
+             supervisor and report verdicts instead of the plain design
+             matrix. *)
+          List.map
+            (fun d ->
+              let c = Controller.create ~config:d.Analysis.config ~adjusters in
+              let v =
+                Supervisor.run ~escape ~retries ?wall_budget:budget ~plan c ~net ~r0
+              in
+              Printf.printf "design %s\n" d.Analysis.label;
+              List.iter (fun f -> Printf.printf "  fault    %s\n" f) v.Supervisor.faults;
+              Printf.printf "  outcome  %s%s\n"
+                (match v.Supervisor.outcome with
+                | Controller.Converged { steps; _ } ->
+                  Printf.sprintf "converged in %d steps" steps
+                | Controller.Cycle { period; _ } ->
+                  Printf.sprintf "limit cycle, period %d" period
+                | Controller.Diverged { at_step } ->
+                  Printf.sprintf "diverged at step %d" at_step
+                | Controller.No_convergence _ -> "no convergence")
+                (if v.Supervisor.recovered then
+                   Printf.sprintf " (recovered: %d attempts, gain x%g)"
+                     v.Supervisor.attempts v.Supervisor.damping
+                 else if v.Supervisor.attempts > 1 then
+                   Printf.sprintf " (%d attempts)" v.Supervisor.attempts
+                 else "");
+              (match v.Supervisor.final with
+              | Some f -> Printf.printf "  rates    %s\n" (Vec.to_string f)
+              | None -> ());
+              (match v.Supervisor.min_ratio with
+              | Some x -> Printf.printf "  min well-behaved throughput/baseline  %.4f\n" x
+              | None -> ());
+              print_newline ();
+              v.Supervisor.outcome)
+            Analysis.designs
+        end
+        else
+          List.map
+            (fun report ->
+              Format.printf "%a@.@." Analysis.pp_report report;
+              report.Analysis.outcome)
+            (Analysis.evaluate_all ~jobs ~adjusters ~net r0)
+      in
+      (match trace_file with
       | None -> ()
       | Some path ->
         let c = Controller.create ~config:Feedback.individual_fair_share ~adjusters in
@@ -221,15 +406,20 @@ let analyze_cmd =
           Array.init n (fun i -> (Network.connection net i).Network.conn_name)
         in
         Trace.write_file ~path (Trace.csv_of_trajectory ~names traj);
-        Printf.printf "trace written to %s\n" path
+        Printf.printf "trace written to %s\n" path);
+      exit_outcomes outcomes
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Run the design matrix (aggregate, individual+FIFO, individual+Fair \
           Share) on a topology and report convergence, fairness, robustness and \
-          stability.")
-    Term.(const run $ topology_term $ adjusters_term $ r0_term $ trace_term $ jobs_term)
+          stability. With --fault or --retries the designs run under the fault \
+          injector and damping supervisor instead. Exits 3 if any run diverged, \
+          4 if any failed to converge.")
+    Term.(
+      const run $ topology_term $ adjusters_term $ r0_term $ trace_term $ fault_term
+      $ fault_seed_term $ retries_term $ budget_term $ escape_term $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)

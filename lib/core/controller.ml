@@ -21,14 +21,22 @@ let check_net t net rates =
   if Array.length rates <> n then
     invalid_arg "Controller: rate vector does not match the network"
 
-let step t ~net rates =
-  check_net t net rates;
-  let b, d = Feedback.evaluate t.config ~net ~rates in
+let apply_feedback t ~b ~d rates =
+  let n = Array.length rates in
+  if Array.length t.adjusters <> n then
+    invalid_arg "Controller.apply_feedback: adjuster count mismatch";
+  if Array.length b <> n || Array.length d <> n then
+    invalid_arg "Controller.apply_feedback: feedback length mismatch";
   Array.mapi
     (fun i r ->
       let dr = Rate_adjust.eval t.adjusters.(i) ~r ~b:b.(i) ~d:d.(i) in
       Float.max 0. (r +. dr))
     rates
+
+let step t ~net rates =
+  check_net t net rates;
+  let b, d = Feedback.evaluate t.config ~net ~rates in
+  apply_feedback t ~b ~d rates
 
 let map = step
 
@@ -62,9 +70,16 @@ type outcome =
   | Diverged of { at_step : int }
   | No_convergence of { last : Vec.t }
 
-let run ?(tol = 1e-10) ?(max_steps = 20_000) ?(max_period = 32) ?(escape = 1e12) t
-    ~net ~r0 =
-  check_net t net r0;
+(* A rate vector counts as escaped when any component is non-finite or
+   beyond the threshold.  NaN must be caught explicitly: [Float.abs nan
+   > escape] is false, so a bare threshold comparison would let a NaN
+   state sail on into the queueing layer, which rejects it with an
+   exception instead of a clean [Diverged]. *)
+let escaped ~escape v =
+  Array.exists (fun x -> (not (Float.is_finite x)) || Float.abs x > escape) v
+
+let run_map ?(tol = 1e-10) ?(max_steps = 20_000) ?(min_steps = 0) ?(max_period = 32)
+    ?(escape = 1e12) ~map ~r0 () =
   (* A private copy of r0, for the same aliasing reason as [trajectory]:
      every window slot starts as the same array, and slot 0 may survive
      into the result (e.g. [No_convergence] at max_steps 0). *)
@@ -75,18 +90,34 @@ let run ?(tol = 1e-10) ?(max_steps = 20_000) ?(max_period = 32) ?(escape = 1e12)
   let get k = window.(k mod window_len) in
   push 0 r0;
   let result = ref None in
+  (* The start itself may already be out of bounds (or NaN): report it
+     as divergence at step 0 rather than crashing inside the queueing
+     layer's rate validation. *)
+  if escaped ~escape r0 then result := Some (Diverged { at_step = 0 });
   let quiet = ref 0 in
   let k = ref 0 in
   while !result = None && !k < max_steps do
     let cur = get !k in
-    let next = step t ~net cur in
+    (* [Rate_adjust.eval] signals a NaN-producing adjuster with
+       [Failure]; treat it as divergence at this step so one
+       pathological cell degrades gracefully instead of killing a whole
+       sweep. *)
+    match (try Some (map !k cur) with Failure _ -> None) with
+    | None ->
+      incr k;
+      result := Some (Diverged { at_step = !k })
+    | Some next ->
     incr k;
     push !k next;
-    if Array.exists (fun x -> (not (Float.is_finite x)) || Float.abs x > escape) next
+    if escaped ~escape next
     then result := Some (Diverged { at_step = !k })
     else begin
       let delta = Vec.dist_inf next cur /. (1. +. Vec.norm_inf next) in
-      if delta <= tol then begin
+      (* A time-varying map (e.g. a transient gateway cut) may sit at a
+         temporary fixed point; no Converged/Cycle verdict is issued
+         before [min_steps], when the caller warrants the map is still
+         changing. *)
+      if delta <= tol && !k >= min_steps then begin
         incr quiet;
         if !quiet >= 3 then result := Some (Converged { steady = next; steps = !k })
       end
@@ -96,7 +127,7 @@ let run ?(tol = 1e-10) ?(max_steps = 20_000) ?(max_period = 32) ?(escape = 1e12)
            has lag-p mismatch far below the consecutive movement over the
            same span; a slowly converging orbit has them comparable, so a
            relative test separates the two. *)
-        if !k >= window_len then begin
+        if !k >= window_len && !k >= min_steps then begin
           let scale = 1. +. Vec.norm_inf (get !k) in
           let found = ref None in
           let p = ref 2 in
@@ -128,33 +159,47 @@ let run ?(tol = 1e-10) ?(max_steps = 20_000) ?(max_period = 32) ?(escape = 1e12)
   | Some outcome -> outcome
   | None -> No_convergence { last = get !k }
 
+let run ?tol ?max_steps ?max_period ?escape t ~net ~r0 =
+  check_net t net r0;
+  run_map ?tol ?max_steps ?max_period ?escape ~map:(fun _ r -> step t ~net r) ~r0 ()
+
 let run_async ?(tol = 1e-10) ?(max_steps = 100_000) ?(p = 0.5) ?(escape = 1e12) ~rng
     t ~net ~r0 =
   check_net t net r0;
   let n = Array.length r0 in
   let r = ref (Array.copy r0) in
   let result = ref None in
+  if escaped ~escape r0 then result := Some (Diverged { at_step = 0 });
   let quiet = ref 0 in
   let k = ref 0 in
   while !result = None && !k < max_steps do
     incr k;
     let mask = Array.init n (fun _ -> Rng.uniform rng < p) in
-    let next = step_subset t ~net ~mask !r in
-    if Array.exists (fun x -> (not (Float.is_finite x)) || Float.abs x > escape) next
-    then result := Some (Diverged { at_step = !k })
-    else begin
-      (* Quiescence must be judged against the full synchronous map, not
-         the masked step — a mask of all-false would otherwise look like
-         convergence. *)
-      let full = step t ~net next in
-      let delta = Vec.dist_inf full next /. (1. +. Vec.norm_inf next) in
+    (* As in [run_map]: a NaN-producing adjuster ([Failure] from
+       [Rate_adjust.eval], here possibly from the quiescence probe too)
+       is divergence, not a crash. *)
+    match
+      (try
+         let next = step_subset t ~net ~mask !r in
+         if escaped ~escape next then Some (`Escaped)
+         else begin
+           (* Quiescence must be judged against the full synchronous map, not
+              the masked step — a mask of all-false would otherwise look like
+              convergence. *)
+           let full = step t ~net next in
+           let delta = Vec.dist_inf full next /. (1. +. Vec.norm_inf next) in
+           Some (`Next (next, delta))
+         end
+       with Failure _ -> None)
+    with
+    | None | Some `Escaped -> result := Some (Diverged { at_step = !k })
+    | Some (`Next (next, delta)) ->
       if delta <= tol then begin
         incr quiet;
         if !quiet >= 3 then result := Some (Converged { steady = next; steps = !k })
       end
       else quiet := 0;
       r := next
-    end
   done;
   match !result with
   | Some outcome -> outcome

@@ -24,6 +24,13 @@ val adjusters : t -> Rate_adjust.t array
 val step : t -> net:Network.t -> Vec.t -> Vec.t
 (** One synchronous update of all rates. *)
 
+val apply_feedback : t -> b:Vec.t -> d:Vec.t -> Vec.t -> Vec.t
+(** The adjuster half of {!step}: r_i ← max(0, r_i + f_i(r_i, b_i, d_i))
+    from already-computed feedback vectors.  {!step} is
+    [Feedback.evaluate] followed by this; exposing the halves lets a
+    wrapper (the fault-injection layer) perturb the feedback path between
+    them without the unfaulted path paying anything. *)
+
 val map : t -> net:Network.t -> Vec.t -> Vec.t
 (** Alias of {!step} — the iteration map F, for Jacobian probing. *)
 
@@ -46,6 +53,31 @@ type outcome =
       (** A rate exceeded the escape threshold or became non-finite. *)
   | No_convergence of { last : Vec.t }
 
+val run_map :
+  ?tol:float -> ?max_steps:int -> ?min_steps:int -> ?max_period:int -> ?escape:float ->
+  map:(int -> Vec.t -> Vec.t) -> r0:Vec.t -> unit -> outcome
+(** The watchdog loop of {!run}, generalized over the iteration map:
+    [map k r] is the state after step [k] (0-based) from state [r].
+    This is the core hook the fault injector and the supervised runner
+    drive — the map may depend on the step index (gateway degradation
+    windows, stale-signal history).
+
+    [min_steps] (default 0) suppresses the [Converged] and [Cycle]
+    verdicts before that many steps — a time-varying map can sit at a
+    temporary fixed point (a network converged under a transient
+    gateway cut that has yet to be restored), and only the caller knows
+    the horizon after which the map is time-invariant.  Divergence is
+    still detected from step 0.
+
+    Hardening, shared with {!run}: a state with any non-finite component
+    (NaN included — NaN compares false against every threshold, so it
+    needs its own check) or component beyond [escape] yields [Diverged];
+    this includes [r0] itself, reported as [Diverged] at step 0.  A map
+    evaluation that raises [Failure] (e.g. {!Rate_adjust.eval} on a
+    NaN-producing adjuster) is likewise [Diverged] at that step, so one
+    pathological parameter cell degrades gracefully instead of killing a
+    whole sweep. *)
+
 val run :
   ?tol:float -> ?max_steps:int -> ?max_period:int -> ?escape:float ->
   t -> net:Network.t -> r0:Vec.t -> outcome
@@ -53,7 +85,7 @@ val run :
     [max_period] 32, [escape] 1e12).  Convergence requires the relative
     sup-norm step to stay below [tol] for several consecutive steps; cycle
     detection compares the tail of the orbit at all lags up to
-    [max_period]. *)
+    [max_period].  Divergence hardening as in {!run_map}. *)
 
 val run_async :
   ?tol:float -> ?max_steps:int -> ?p:float -> ?escape:float -> rng:Rng.t -> t ->

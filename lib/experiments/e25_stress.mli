@@ -1,0 +1,60 @@
+(** E25 — Robustness stress matrix: designs under injected faults.
+
+    Sweeps the paper's design points (aggregate, individual+FIFO,
+    individual+Fair-Share) against a matrix of fault cells — stale,
+    lossy, noisy, and quantized feedback; dead and greedy connections;
+    transient and permanent gateway capacity cuts — under the
+    supervised runner, and checks the Theorem-5 guarantee in each cell:
+    does every {e well-behaved} connection keep at least (1−ε)·μ/N?
+    Cells marked destructive (a permanent capacity cut) are expected to
+    break even Fair Share; everywhere else FS should hold the line while
+    aggregate feedback starves someone.  A final section demonstrates
+    supervised recovery: a gain/lag combination that plain
+    {!Ffc_core.Controller.run} reports as [Diverged] is stabilized by
+    the supervisor's damping retries.
+
+    The sweep fans out over the pool with one task per (cell, design)
+    pair; all randomness comes from per-cell fault-plan seeds, so the
+    result is bit-identical at any [jobs]. *)
+
+type row = {
+  fault : string;  (** Cell label, e.g. "stale(lag=4)@3". *)
+  destructive : bool;
+      (** The cell is expected to defeat every design (plant failure,
+          not feedback degradation). *)
+  design : string;
+  outcome : string;  (** Compact outcome tag, e.g. "converged@79". *)
+  attempts : int;
+  min_ratio : float option;
+      (** min over well-behaved connections of throughput / (μ/N·ρ_ss)
+          baseline; [None] after unrecovered divergence. *)
+  robust : bool;  (** [min_ratio >= 1 - eps]. *)
+  starvation : float;
+      (** Starvation depth 1 − min_ratio where the guarantee fails
+          (0 when robust; 1 when a baseline-entitled connection gets
+          nothing). *)
+}
+
+type recovery = {
+  plain_outcome : string;  (** Single attempt, no damping. *)
+  supervised_outcome : string;
+  supervised_attempts : int;
+  recovered : bool;
+  recovered_min_ratio : float option;
+}
+
+type result = {
+  eps : float;
+  rows : row list;  (** Cell-major, design order within each cell. *)
+  fs_all_robust : bool;
+      (** Fair Share robust in every non-destructive cell. *)
+  aggregate_starved : string list;
+      (** Non-destructive cells where the aggregate design fails the
+          guarantee. *)
+  recovery : recovery;
+}
+
+val compute : ?eps:float -> ?seed:int -> ?jobs:int -> unit -> result
+(** Defaults: [eps] 0.05, [seed] 42, [jobs] the pool default. *)
+
+val experiment : Exp_common.t

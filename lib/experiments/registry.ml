@@ -24,6 +24,7 @@ let all =
     E22_gain.experiment;
     E23_scale.experiment;
     E24_transient.experiment;
+    E25_stress.experiment;
   ]
 
 let find id =

@@ -1,0 +1,181 @@
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+
+type cut = { gw : int; fraction : float; from_step : int; until_step : int option }
+
+type t = {
+  controller : Controller.t;
+  base_net : Network.t;
+  plan : Fault.plan;
+  trivial : bool;
+  (* Compiled per-connection tables (length = num_connections). *)
+  lag : int array;  (* 0 = fresh signal; stale specs compose by max. *)
+  loss_p : float array;  (* composed as independent drops: 1 - prod(1-p). *)
+  sigma : float array;  (* composed as independent noises: sqrt(sum sigma^2). *)
+  quant : float option array;  (* last spec wins *)
+  dead : bool array;
+  greedy : (float * float) option array;  (* (ramp, cap) *)
+  cuts : cut list;
+  loss_rng : Rng.t array;
+  noise_rng : Rng.t array;
+  (* Ring of true (pre-perturbation) combined signals, one slot per step
+     back to the deepest lag. *)
+  history : Vec.t array;
+  mutable next_step : int;
+  mutable cur_net : Network.t;
+  mutable cur_active : bool array;  (* cuts.(j) active at the current step *)
+}
+
+let compile_conns n = function None -> List.init n Fun.id | Some l -> l
+
+let create ?(plan = Fault.none) controller ~net =
+  Fault.validate plan ~net;
+  let n = Network.num_connections net in
+  if Array.length (Controller.adjusters controller) <> n then
+    invalid_arg "Injector.create: adjuster count does not match the network";
+  let lag = Array.make n 0 in
+  let loss_keep = Array.make n 1. in
+  let var = Array.make n 0. in
+  let quant = Array.make n None in
+  let dead = Array.make n false in
+  let greedy = Array.make n None in
+  let cuts = ref [] in
+  List.iter
+    (fun { Fault.kind; conns } ->
+      let each f = List.iter f (compile_conns n conns) in
+      match kind with
+      | Fault.Stale { lag = l } -> each (fun i -> lag.(i) <- max lag.(i) l)
+      | Fault.Lossy { p } -> each (fun i -> loss_keep.(i) <- loss_keep.(i) *. (1. -. p))
+      | Fault.Noisy { sigma } -> each (fun i -> var.(i) <- var.(i) +. (sigma *. sigma))
+      | Fault.Quantized { threshold } -> each (fun i -> quant.(i) <- Some threshold)
+      | Fault.Dead -> each (fun i -> dead.(i) <- true)
+      | Fault.Greedy { ramp; cap } -> each (fun i -> greedy.(i) <- Some (ramp, cap))
+      | Fault.Gateway_cut { gw; fraction; from_step; until_step } ->
+        cuts := { gw; fraction; from_step; until_step } :: !cuts)
+    plan.Fault.specs;
+  let cuts = List.rev !cuts in
+  (* Independent split streams per connection, in a fixed order that
+     depends only on the plan seed and the network size — never on how
+     many draws any sibling makes. *)
+  let base = Rng.create plan.Fault.seed in
+  let loss_rng = Array.init n (fun _ -> Rng.split base) in
+  let noise_rng = Array.init n (fun _ -> Rng.split base) in
+  let max_lag = Array.fold_left max 0 lag in
+  {
+    controller;
+    base_net = net;
+    plan;
+    trivial = Fault.is_empty plan;
+    lag;
+    loss_p = Array.map (fun keep -> 1. -. keep) loss_keep;
+    sigma = Array.map sqrt var;
+    quant;
+    dead;
+    greedy;
+    cuts;
+    loss_rng;
+    noise_rng;
+    history = Array.make (max_lag + 1) [||];
+    next_step = 0;
+    cur_net = net;
+    cur_active = Array.make (List.length cuts) false;
+  }
+
+let plan t = t.plan
+let steps_taken t = t.next_step
+
+let cut_active c k =
+  k >= c.from_step && (match c.until_step with None -> true | Some u -> k < u)
+
+let degraded_net base cuts ~active =
+  let net = ref base in
+  List.iteri
+    (fun j c ->
+      if active.(j) then
+        let mu = (Network.gateway !net c.gw).Network.mu *. c.fraction in
+        net := Network.with_mu !net ~gw:c.gw ~mu)
+    cuts;
+  !net
+
+let net_at t k =
+  let active = Array.of_list (List.map (fun c -> cut_active c k) t.cuts) in
+  degraded_net t.base_net t.cuts ~active
+
+(* Refresh the cached degraded network only when a cut crosses one of
+   its step boundaries — the common step pays two integer compares per
+   cut. *)
+let refresh_net t k =
+  let changed = ref false in
+  List.iteri
+    (fun j c ->
+      let a = cut_active c k in
+      if a <> t.cur_active.(j) then begin
+        t.cur_active.(j) <- a;
+        changed := true
+      end)
+    t.cuts;
+  if !changed then t.cur_net <- degraded_net t.base_net t.cuts ~active:t.cur_active
+
+let clamp01 x = Float.max 0. (Float.min 1. x)
+
+let step t ~step:k rates =
+  if t.trivial then begin
+    t.next_step <- k + 1;
+    Controller.step t.controller ~net:t.base_net rates
+  end
+  else begin
+    if k <> t.next_step then
+      invalid_arg
+        (Printf.sprintf "Injector.step: step %d out of order (expected %d)" k
+           t.next_step);
+    refresh_net t k;
+    let b, d =
+      Feedback.evaluate (Controller.config t.controller) ~net:t.cur_net ~rates
+    in
+    let hist_len = Array.length t.history in
+    t.history.(k mod hist_len) <- b;
+    let adjusters = Controller.adjusters t.controller in
+    let next =
+      Array.mapi
+        (fun i r ->
+          (* Per-connection draws happen unconditionally for every
+             connection carrying a stochastic fault, so each stream's
+             position depends only on the step index — composition with
+             dead/greedy overrides cannot shift a neighbor's draws. *)
+          let dropped =
+            t.loss_p.(i) > 0. && Rng.uniform t.loss_rng.(i) < t.loss_p.(i)
+          in
+          let noise =
+            if t.sigma.(i) > 0. then t.sigma.(i) *. Rng.gaussian t.noise_rng.(i)
+            else 0.
+          in
+          if t.dead.(i) then r
+          else
+            match t.greedy.(i) with
+            | Some (ramp, cap) -> Float.min cap (r +. ramp)
+            | None ->
+              if dropped then r
+              else begin
+                (* Perturbation order: staleness picks which true signal
+                   the connection sees, noise corrupts it, quantization
+                   collapses the corrupted value to one bit. *)
+                let bi =
+                  if t.lag.(i) = 0 then b.(i)
+                  else t.history.(max 0 (k - t.lag.(i)) mod hist_len).(i)
+                in
+                let bi = if noise <> 0. then clamp01 (bi +. noise) else bi in
+                let bi =
+                  match t.quant.(i) with
+                  | None -> bi
+                  | Some threshold -> if bi < threshold then 0. else 1.
+                in
+                Float.max 0. (r +. Rate_adjust.eval adjusters.(i) ~r ~b:bi ~d:d.(i))
+              end)
+        rates
+    in
+    t.next_step <- k + 1;
+    next
+  end
+
+let map t k r = step t ~step:k r

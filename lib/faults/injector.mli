@@ -1,0 +1,50 @@
+(** Stateful application of a {!Fault.plan} to the controller iteration.
+
+    An injector wraps {!Ffc_core.Controller.step} as a step-indexed map:
+    at step k it evaluates the (possibly degraded) network's feedback,
+    perturbs each connection's signal per the plan — staleness reads the
+    true signal recorded [lag] steps earlier, loss skips the update,
+    noise and quantization corrupt the value — and applies the
+    rate-adjustment algorithms, with [Dead]/[Greedy] connections
+    overridden by their adversarial behaviors.
+
+    With an empty plan {!step} delegates directly to
+    [Controller.step] — the unfaulted path pays one branch.
+
+    Determinism: all stochastic faults draw from per-connection
+    SplitMix64 streams split off the plan seed at {!create}; a given
+    (plan, controller, network, r0) therefore produces bit-identical
+    trajectories on every run, machine, and pool schedule. *)
+
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+
+type t
+
+val create : ?plan:Fault.plan -> Controller.t -> net:Network.t -> t
+(** Validates the plan against the network ([Invalid_argument] on
+    mismatch) and compiles it.  [plan] defaults to {!Fault.none}. *)
+
+val plan : t -> Fault.plan
+
+val step : t -> step:int -> Vec.t -> Vec.t
+(** The faulted iteration map at step [step] (0-based).  Steps must be
+    taken consecutively from 0 — the stale-signal history and the
+    per-connection RNG streams advance with each call — and
+    [Invalid_argument] is raised on an out-of-order step (empty-plan
+    injectors skip the bookkeeping entirely).  Use a fresh injector for
+    a fresh trajectory. *)
+
+val map : t -> int -> Vec.t -> Vec.t
+(** [map t] is [fun k r -> step t ~step:k r] — shaped for
+    {!Controller.run_map}'s [map] argument. *)
+
+val steps_taken : t -> int
+(** Number of consecutive steps taken so far. *)
+
+val net_at : t -> int -> Network.t
+(** The network as the plan degrades it at a given step: every
+    [Gateway_cut] active at that step multiplies its gateway's μ by its
+    fraction (cuts on the same gateway compose multiplicatively).  Pure:
+    does not advance the injector. *)

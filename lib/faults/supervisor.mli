@@ -1,0 +1,74 @@
+(** Supervised controller runs: watchdogs, damping retries, verdicts.
+
+    [run] wraps {!Ffc_core.Controller.run_map} over a fault
+    {!Injector} with the policy a large stress sweep needs to degrade
+    gracefully instead of dying on one pathological cell:
+
+    - {b divergence watchdog}: inherited from [run_map] — escape
+      threshold, non-finite states (NaN included), and NaN-producing
+      adjusters all end an attempt as [Diverged];
+    - {b bounded retry with adaptive gain damping}: a diverged attempt
+      (optionally also a detected cycle) is retried with every
+      adjuster's step halved — f ↦ δ·f with δ = 1/2, 1/4, … — up to a
+      retry budget, restarting from [r0] with the same fault streams;
+    - {b budgets}: per-attempt step cap, and an optional wall-clock
+      budget checked between attempts (an attempt in flight is never
+      interrupted, keeping results deterministic);
+    - {b a structured verdict}: the outcome, the faults that were
+      active, the retries spent, a representative final rate vector
+      (steady state, cycle-orbit mean, or tail mean), and the minimum
+      ratio of well-behaved throughput to the μ/N reservation baseline —
+      the Theorem-5 quantity under stress. *)
+
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+
+type verdict = {
+  outcome : Controller.outcome;  (** Of the last attempt. *)
+  attempts : int;  (** Runs performed: 1 + retries used. *)
+  damping : float;  (** Gain multiplier of the last attempt (1.0 = undamped). *)
+  faults : string list;  (** {!Fault.describe} of the active plan. *)
+  final : Vec.t option;
+      (** Representative final rates: the steady state, the mean of a
+          cycle orbit, or the mean of the last [tail_window] iterates of
+          a non-convergent run (robust verdicts for oscillating regimes
+          — binary feedback, noisy signals — need the time average, not
+          one arbitrary iterate).  [None] after unrecovered
+          divergence. *)
+  baselines : Vec.t option;
+      (** μ/N reservation baselines against the {e undegraded} network,
+          from the adjusters' declared steady-state signals; [None] when
+          an adjuster declares none. *)
+  min_ratio : float option;
+      (** min over well-behaved connections of final/baseline — ≥ 1−ε is
+          the Theorem-5 guarantee under stress.  Requires [final] and
+          [baselines]. *)
+  recovered : bool;
+      (** The first attempt failed (diverged, or cycled under
+          [retry_cycles]) but a damped retry reached a bounded attractor:
+          a steady state, or — when cycles are not themselves retried — a
+          limit cycle.  Damping shrinks the orbit below the escape
+          threshold even when it cannot remove the oscillation. *)
+  total_steps : int;  (** Iterations summed over attempts. *)
+  wall_seconds : float;
+}
+
+val run :
+  ?tol:float ->
+  ?max_steps:int ->
+  ?max_period:int ->
+  ?escape:float ->
+  ?retries:int ->
+  ?retry_cycles:bool ->
+  ?wall_budget:float ->
+  ?tail_window:int ->
+  ?plan:Fault.plan ->
+  Controller.t ->
+  net:Network.t ->
+  r0:Vec.t ->
+  verdict
+(** Defaults: [retries] 3, [retry_cycles] false, [tail_window] 128, no
+    wall budget, [plan] {!Fault.none}; the rest as in
+    {!Controller.run}.  [wall_budget] caps elapsed seconds before each
+    retry — leave it unset in deterministic sweeps. *)

@@ -100,6 +100,14 @@ let scale_mu t c =
     ~gateways:(Array.map (fun g -> { g with mu = g.mu *. c }) t.gateways)
     ~connections:t.connections
 
+let with_mu t ~gw ~mu =
+  if gw < 0 || gw >= num_gateways t then
+    invalid_arg "Network.with_mu: gateway index out of bounds";
+  if not (mu > 0.) then invalid_arg "Network.with_mu: mu must be positive";
+  create
+    ~gateways:(Array.mapi (fun a g -> if a = gw then { g with mu } else g) t.gateways)
+    ~connections:t.connections
+
 let with_latencies t lats =
   if Array.length lats <> num_gateways t then
     invalid_arg "Network.with_latencies: wrong length";

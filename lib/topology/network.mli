@@ -51,6 +51,12 @@ val scale_mu : t -> float -> t
     scaling under which TSI steady states must scale linearly
     (Theorem 1). Latencies are unchanged. *)
 
+val with_mu : t -> gw:int -> mu:float -> t
+(** [with_mu net ~gw ~mu] replaces gateway [gw]'s service rate with
+    [mu > 0], leaving everything else unchanged — the primitive behind
+    gateway-degradation fault events (a line cut to a fraction of its
+    capacity and later restored). *)
+
 val with_latencies : t -> float array -> t
 (** Replaces per-gateway latencies (array indexed by gateway). TSI steady
     states must be invariant under this. *)

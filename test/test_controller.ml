@@ -211,6 +211,38 @@ let test_escape_threaded_sync_and_async () =
   Alcotest.(check int) "async honors custom escape" 7 async_custom;
   Alcotest.(check int) "async default matches run's" 40 async_default
 
+let test_nan_adjuster_is_divergence () =
+  (* Regression: Rate_adjust.eval raises Failure on a NaN adjustment, and
+     run used to let that exception kill the whole sweep.  It must now
+     degrade to Diverged at the offending step, in both runners. *)
+  let net = single 1 in
+  let poison =
+    Rate_adjust.make ~name:"nan-after-3" (fun ~r ~b:_ ~d:_ ->
+        if r > 0.3 then Float.nan else 0.2)
+  in
+  let c = Controller.homogeneous ~config:Feedback.individual_fifo ~adjuster:poison ~n:1 in
+  (match Controller.run c ~net ~r0:[| 0. |] with
+  | Controller.Diverged { at_step } -> check_true "past the clean steps" (at_step > 0)
+  | _ -> Alcotest.fail "NaN-producing adjuster must report Diverged");
+  match Controller.run_async ~p:1. ~rng:(Rng.create 5) c ~net ~r0:[| 0. |] with
+  | Controller.Diverged _ -> ()
+  | _ -> Alcotest.fail "async runner must also report Diverged"
+
+let test_non_finite_r0_is_divergence_at_zero () =
+  (* A non-finite start must not crash inside the queueing layer's rate
+     validation: it is divergence before the first step. *)
+  let net = single 2 in
+  let c = Controller.homogeneous ~config:Feedback.individual_fifo ~adjuster:additive ~n:2 in
+  List.iter
+    (fun r0 ->
+      (match Controller.run c ~net ~r0 with
+      | Controller.Diverged { at_step } -> Alcotest.(check int) "at step 0" 0 at_step
+      | _ -> Alcotest.fail "bad r0 must report Diverged");
+      match Controller.run_async ~rng:(Rng.create 3) c ~net ~r0 with
+      | Controller.Diverged { at_step } -> Alcotest.(check int) "async at step 0" 0 at_step
+      | _ -> Alcotest.fail "async bad r0 must report Diverged")
+    [ [| Float.nan; 0.1 |]; [| 0.1; Float.infinity |] ]
+
 let test_trace_csv () =
   let traj = [| [| 0.1; 0.2 |]; [| 0.3; 0.4 |] |] in
   let csv = Trace.csv_of_trajectory ~names:[| "a"; "b" |] traj in
@@ -315,6 +347,8 @@ let suites =
         case "subset updates" test_step_subset;
         case "async run reaches fair point" test_run_async_reaches_fair_point;
         case "escape threaded through run and run_async" test_escape_threaded_sync_and_async;
+        case "NaN adjuster degrades to Diverged" test_nan_adjuster_is_divergence;
+        case "non-finite r0 diverges at step 0" test_non_finite_r0_is_divergence_at_zero;
         case "trace CSV" test_trace_csv;
         case "trace series and file" test_trace_series_and_file;
         case "r0 not aliased into results" test_r0_not_aliased;

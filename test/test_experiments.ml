@@ -13,7 +13,7 @@ let contains s sub =
   !found
 
 let test_registry_complete () =
-  Alcotest.(check int) "24 experiments" 24 (List.length Registry.all);
+  Alcotest.(check int) "25 experiments" 25 (List.length Registry.all);
   List.iter
     (fun e ->
       check_true (e.Exp_common.id ^ " findable") (Registry.find e.Exp_common.id <> None))

@@ -25,6 +25,7 @@ let () =
          Test_jacobian.suites;
          Test_fairness.suites;
          Test_robustness.suites;
+         Test_faults.suites;
          Test_analysis.suites;
          Test_weighted_fs.suites;
          Test_closedloop.suites;
