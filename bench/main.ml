@@ -305,6 +305,7 @@ type fault_overhead = {
   empty_injector_ns : float;
   overhead_pct : float;
   full_plan_ns : float;
+  fault_rounds : int;
 }
 
 let time_loop ~iters f =
@@ -359,7 +360,13 @@ let fault_overhead_comparison () =
     s.(Array.length s / 2)
   in
   let bare = median bares and full = median fulls in
-  let delta = median (Array.init rounds (fun i -> empties.(i) -. bares.(i))) in
+  (* The true overhead is a branch and a store — never negative.  A
+     negative median delta is measurement noise (the hooked loop won the
+     coin flips that round), so it is clamped to 0 rather than reported
+     as a nonsensical speedup. *)
+  let delta =
+    Float.max 0. (median (Array.init rounds (fun i -> empties.(i) -. bares.(i))))
+  in
   let empty = bare +. delta in
   let overhead_pct = delta /. bare *. 100. in
   Printf.printf "bare Controller.step (single gw, N=64)  %10.1f ns/run\n" bare;
@@ -368,16 +375,112 @@ let fault_overhead_comparison () =
     empty overhead_pct
     (if overhead_pct < 5. then "(< 5% contract: ok)" else "(>= 5%: VIOLATION)");
   Printf.printf "Injector.step, stale+lossy+noisy        %10.1f ns/run\n" full;
-  { bare_step_ns = bare; empty_injector_ns = empty; overhead_pct; full_plan_ns = full }
+  Printf.printf "(%d paired rounds of %d iterations)\n" rounds iters;
+  {
+    bare_step_ns = bare;
+    empty_injector_ns = empty;
+    overhead_pct;
+    full_plan_ns = full;
+    fault_rounds = rounds;
+  }
+
+(* Observability overhead: an installed context with a null sink must
+   cost < 2% on the instrumented hot paths — one atomic load, a branch
+   and an atomic increment per tap, no allocation.  Measured the same
+   way as the fault hook: paired rounds, median of per-round deltas,
+   clamped at 0. *)
+type obs_row = {
+  obs_kernel : string;
+  obs_bare_ns : float;
+  obs_null_ctx_ns : float;
+  obs_overhead_pct : float;
+  obs_rounds : int;
+}
+
+let obs_overhead_one ~name ~iters ~rounds f =
+  let ctx = Ffc_obs.Ctx.make () in
+  let hooked () = Ffc_obs.Ctx.with_ctx ctx (fun () -> time_loop ~iters f) in
+  ignore (time_loop ~iters f);
+  ignore (hooked ());
+  Gc.compact ();
+  let bares = Array.make rounds 0. and nulls = Array.make rounds 0. in
+  (* Alternate which arm runs first so monotonic drift (thermal,
+     frequency scaling, GC heap growth) doesn't favour one arm. *)
+  for i = 0 to rounds - 1 do
+    if i land 1 = 0 then begin
+      bares.(i) <- time_loop ~iters f;
+      nulls.(i) <- hooked ()
+    end
+    else begin
+      nulls.(i) <- hooked ();
+      bares.(i) <- time_loop ~iters f
+    end
+  done;
+  (* Median of paired deltas over many short rounds.  Host interference
+     here comes in bursts lasting tens of milliseconds, so a pair whose
+     two arms run back-to-back inside a quiet window measures the true
+     delta, and the median only needs a majority of quiet pairs — which
+     short arms and a large round count buy.  (Per-arm minima fail when
+     a burst blankets every round of one arm; few long rounds fail when
+     a burst lands inside most pairs.)  Overhead can't be negative;
+     clamp at 0. *)
+  let median a =
+    let s = Array.copy a in
+    Array.sort compare s;
+    s.(Array.length s / 2)
+  in
+  let bare = median bares in
+  let delta =
+    Float.max 0. (median (Array.init rounds (fun i -> nulls.(i) -. bares.(i))))
+  in
+  let pct = delta /. bare *. 100. in
+  Printf.printf "%-40s %12.1f ns bare  %12.1f ns hooked  %+6.2f%% %s\n" name bare
+    (bare +. delta) pct
+    (if pct < 2. then "(< 2% contract: ok)" else "(>= 2%: VIOLATION)");
+  {
+    obs_kernel = name;
+    obs_bare_ns = bare;
+    obs_null_ctx_ns = bare +. delta;
+    obs_overhead_pct = pct;
+    obs_rounds = rounds;
+  }
+
+let obs_overhead_comparison () =
+  let n = 64 in
+  let net = Topologies.single ~mu:1. ~n () in
+  let c =
+    Controller.homogeneous ~config:Feedback.individual_fair_share
+      ~adjuster:Scenario.standard_adjuster ~n
+  in
+  let rates = Array.init n (fun i -> 0.001 *. float_of_int (i + 1)) in
+  (* Arms of ~5-10 ms keep each pair inside one scheduler quantum;
+     ~100 rounds give the median a solid majority of quiet pairs. *)
+  let step =
+    obs_overhead_one ~name:"controller.step (single gw, N=64)" ~iters:200
+      ~rounds:101 (fun () -> Controller.step c ~net rates)
+  in
+  let desim =
+    obs_overhead_one ~name:"desim 1000 time units (FS, rho=0.6)" ~iters:15
+      ~rounds:101 (fun () ->
+        Ffc_desim.Netsim.run ~net:desim_net ~rates:[| 0.3; 0.3 |]
+          ~discipline:Ffc_desim.Netsim.Fs_priority ~seed:3 ~horizon:1000. ())
+  in
+  [ step; desim ]
 
 (* Machine-readable dump alongside the human tables, for tracking the
    perf trajectory across commits. *)
 let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
-let write_bench_json ~kernels ~scans ~faults ~run_all =
+let write_bench_json ~kernels ~scans ~faults ~obs ~run_all =
   let oc = open_out "BENCH.json" in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"cpus\": %d,\n" (Domain.recommended_domain_count ());
+  (* [cpus_available] is the hardware's recommended domain count;
+     [jobs_effective] is what the pool actually fans out to after its
+     physical-core clamp.  A speedup near 1.0 with jobs_effective = 1 is
+     expected, not a regression. *)
+  out "{\n  \"cpus_available\": %d,\n  \"jobs_effective\": %d,\n"
+    (Domain.recommended_domain_count ())
+    (Stdlib.min (Pool.default_jobs ()) (Domain.recommended_domain_count ()));
   out "  \"kernels\": [\n";
   List.iteri
     (fun i r ->
@@ -399,21 +502,41 @@ let write_bench_json ~kernels ~scans ~faults ~run_all =
         (json_float r.scan_speedup) r.identical
         (if i < List.length scans - 1 then "," else ""))
     scans;
-  let jobs, t_seq, t_par, identical = run_all in
   out "  ],\n";
   out
     "  \"faults\": {\"bare_step_ns\": %s, \"empty_injector_ns\": %s, \
-     \"overhead_pct\": %s, \"full_plan_ns\": %s},\n"
+     \"overhead_pct\": %s, \"full_plan_ns\": %s, \"rounds\": %d},\n"
     (json_float faults.bare_step_ns)
     (json_float faults.empty_injector_ns)
     (json_float faults.overhead_pct)
-    (json_float faults.full_plan_ns);
-  out
-    "  \"run_all\": {\"jobs\": %d, \"seconds_jobs1\": %s, \"seconds_jobsN\": %s, \
-     \"speedup\": %s, \"identical_output\": %b}\n"
-    jobs (json_float t_seq) (json_float t_par)
-    (json_float (t_seq /. t_par))
-    identical;
+    (json_float faults.full_plan_ns)
+    faults.fault_rounds;
+  out "  \"obs\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"name\": %S, \"bare_ns\": %s, \"null_ctx_ns\": %s, \
+         \"overhead_pct\": %s, \"rounds\": %d}%s\n"
+        r.obs_kernel (json_float r.obs_bare_ns)
+        (json_float r.obs_null_ctx_ns)
+        (json_float r.obs_overhead_pct)
+        r.obs_rounds
+        (if i < List.length obs - 1 then "," else ""))
+    obs;
+  out "  ],\n";
+  (match run_all with
+  | jobs, t_seq, Some (t_par, identical) ->
+    out
+      "  \"run_all\": {\"jobs\": %d, \"seconds_jobs1\": %s, \"seconds_jobsN\": \
+       %s, \"speedup\": %s, \"identical_output\": %b}\n"
+      jobs (json_float t_seq) (json_float t_par)
+      (json_float (t_seq /. t_par))
+      identical
+  | _, t_seq, None ->
+    out
+      "  \"run_all\": {\"jobs\": 1, \"seconds_jobs1\": %s, \"note\": \"single \
+       core: sequential-vs-parallel comparison skipped\"}\n"
+      (json_float t_seq));
   out "}\n";
   close_out oc
 
@@ -422,16 +545,26 @@ let write_bench_json ~kernels ~scans ~faults ~run_all =
    of the tracked perf trajectory. *)
 let run_all_comparison () =
   let jobs = Domain.recommended_domain_count () in
-  let seq, t_seq = time (fun () -> Ffc_experiments.Registry.run_all ~jobs:1 ()) in
-  let par, t_par = time (fun () -> Ffc_experiments.Registry.run_all ~jobs ()) in
   Printf.printf "%s\nrun_all: sequential vs parallel\n%s\n" (String.make 72 '=')
     (String.make 72 '=');
+  let seq, t_seq = time (fun () -> Ffc_experiments.Registry.run_all ~jobs:1 ()) in
   Printf.printf "sequential (--jobs 1)   %8.2f s\n" t_seq;
-  Printf.printf "parallel   (--jobs %-2d)  %8.2f s   speedup %.2fx\n" jobs t_par
-    (t_seq /. t_par);
-  let identical = String.equal seq par in
-  Printf.printf "outputs byte-identical: %s\n" (if identical then "yes" else "NO");
-  (seq, (jobs, t_seq, t_par, identical))
+  if jobs <= 1 then begin
+    (* One core: the pool clamps every fan-out to the calling domain, so
+       a "parallel" rerun would only measure noise and report a fake
+       sub-1.0 speedup. *)
+    Printf.printf
+      "single core: sequential-vs-parallel comparison skipped\n";
+    (seq, (jobs, t_seq, None))
+  end
+  else begin
+    let par, t_par = time (fun () -> Ffc_experiments.Registry.run_all ~jobs ()) in
+    Printf.printf "parallel   (--jobs %-2d)  %8.2f s   speedup %.2fx\n" jobs t_par
+      (t_seq /. t_par);
+    let identical = String.equal seq par in
+    Printf.printf "outputs byte-identical: %s\n" (if identical then "yes" else "NO");
+    (seq, (jobs, t_seq, Some (t_par, identical)))
+  end
 
 let () =
   let all, run_all = run_all_comparison () in
@@ -443,8 +576,11 @@ let () =
   Printf.printf "%s\nfault-injection hook overhead\n%s\n" (String.make 72 '=')
     (String.make 72 '=');
   let faults = fault_overhead_comparison () in
+  Printf.printf "%s\nobservability overhead (null sink)\n%s\n" (String.make 72 '=')
+    (String.make 72 '=');
+  let obs = obs_overhead_comparison () in
   Printf.printf "%s\nmicro-benchmarks (bechamel)\n%s\n" (String.make 72 '=')
     (String.make 72 '=');
   let kernels = run_benchmarks () in
-  write_bench_json ~kernels ~scans ~faults ~run_all;
+  write_bench_json ~kernels ~scans ~faults ~obs ~run_all;
   print_endline "wrote BENCH.json"

@@ -265,6 +265,89 @@ let resolve_plan fault_specs ~seed ~net =
   (try Fault.validate plan ~net with Invalid_argument msg -> exit_err msg);
   plan
 
+(* ------------------------------------------------------------------ *)
+(* Observability flags                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL event trace (controller steps, supervisor verdicts, \
+           fault firings, simulator deliveries) to $(docv). The trace is \
+           deterministic: byte-identical for the same inputs at any --jobs.")
+
+let metrics_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON run manifest (command, subject, seeds, fault plan, \
+           jobs, git revision) plus the final metrics snapshot to $(docv).")
+
+let trace_stride_term =
+  Arg.(
+    value & opt int 1
+    & info [ "trace-stride" ] ~docv:"N"
+        ~doc:
+          "Sample high-frequency trace events (controller steps, fault drops, \
+           packet deliveries) every $(docv)-th occurrence (default 1 = all).")
+
+let trace_sched_term =
+  Arg.(
+    value & flag
+    & info [ "trace-sched" ]
+        ~doc:
+          "Also trace pool scheduling (chunk dispatch with per-domain \
+           attribution). These events depend on --jobs and thread timing, so \
+           they are excluded from the trace's byte-identity guarantee.")
+
+(* Install an observability context around [f] when --trace/--metrics
+   asked for one.  [f] must return (not call [exit]): Stdlib.exit does
+   not unwind the stack, so the sink close and manifest write below
+   would be skipped — exit decisions happen after this returns. *)
+let with_obs ~command ~subject ?(adjusters = []) ?(seeds = []) ?(faults = [])
+    ~jobs ~trace ~metrics ~stride ~sched f =
+  if stride < 1 then exit_err "--trace-stride must be >= 1";
+  match (trace, metrics) with
+  | None, None -> f ()
+  | _ ->
+    let sink =
+      match trace with
+      | Some path -> Ffc_obs.Sink.file path
+      | None -> Ffc_obs.Sink.null
+    in
+    let ctx = Ffc_obs.Ctx.make ~sink ~stride ~sched () in
+    Fun.protect
+      ~finally:(fun () ->
+        (match metrics with
+        | Some path ->
+          let prov =
+            Ffc_obs.Provenance.collect ~command ~subject ~adjusters ~seeds
+              ~faults ~jobs ~stride ()
+          in
+          let snap = Ffc_obs.Metrics.snapshot (Ffc_obs.Ctx.metrics ctx) in
+          Ffc_obs.Provenance.write ~path prov ~metrics:(Some snap)
+        | None -> ());
+        Ffc_obs.Sink.close sink)
+      (fun () ->
+        Ffc_obs.Ctx.with_ctx ctx (fun () ->
+            let seed = List.assoc_opt "fault" seeds in
+            (match Ffc_obs.Ctx.tracing () with
+            | Some c ->
+              Ffc_obs.Ctx.emit c
+                (Ffc_obs.Event.run_start ~cmd:command ~target:subject ?seed
+                   ~stride ())
+            | None -> ());
+            let result = f () in
+            (match Ffc_obs.Ctx.tracing () with
+            | Some c -> Ffc_obs.Ctx.emit c (Ffc_obs.Event.run_end ~cmd:command ())
+            | None -> ());
+            result))
+
 (* Distinct nonzero exit codes for bad endings, with the verdict on
    stderr: 3 = a run diverged, 4 = a run hit the step cap without
    converging.  Converged and limit-cycle outcomes exit 0. *)
@@ -290,27 +373,33 @@ let exp_cmd =
   let id =
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id or 'all'.")
   in
-  let run id jobs =
+  let run id jobs trace metrics stride sched =
     apply_jobs jobs;
     match String.lowercase_ascii id with
-    | "all" -> print_string (Ffc_experiments.Registry.run_all ~jobs ())
     | "list" ->
       List.iter
         (fun e ->
           Printf.printf "%-4s %-60s [%s]\n" e.Ffc_experiments.Exp_common.id
             e.Ffc_experiments.Exp_common.title e.Ffc_experiments.Exp_common.paper_ref)
         Ffc_experiments.Registry.all
-    | _ -> (
-      match Ffc_experiments.Registry.run_one id with
-      | Ok s -> print_string s
-      | Error e -> exit_err e)
+    | lid -> (
+      let out =
+        with_obs ~command:"exp" ~subject:lid ~jobs ~trace ~metrics ~stride ~sched
+          (fun () ->
+            match lid with
+            | "all" -> Ok (Ffc_experiments.Registry.run_all ~jobs ())
+            | _ -> Ffc_experiments.Registry.run_one id)
+      in
+      match out with Ok s -> print_string s | Error e -> exit_err e)
   in
   Cmd.v
     (Cmd.info "exp"
        ~doc:
          "Regenerate the paper's tables and figures (E1-E24); 'list' prints the \
           index, 'all' runs everything.")
-    Term.(const run $ id $ jobs_term)
+    Term.(
+      const run $ id $ jobs_term $ trace_term $ metrics_term $ trace_stride_term
+      $ trace_sched_term)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -324,17 +413,17 @@ let analyze_cmd =
       & info [ "start"; "r0" ] ~docv:"R0"
           ~doc:"Comma-separated initial rates (default: 0.02 everywhere).")
   in
-  let trace_term =
+  let csv_trace_term =
     Arg.(
       value
       & opt (some string) None
-      & info [ "trace" ] ~docv:"FILE"
+      & info [ "csv-trace" ] ~docv:"FILE"
           ~doc:
             "Also write the individual+fair-share rate trajectory (400 steps) \
              as CSV to FILE.")
   in
-  let run net_result specs r0_spec trace_file fault_specs fault_seed retries budget
-      escape jobs =
+  let run net_result specs r0_spec csv_trace_file fault_specs fault_seed retries
+      budget escape jobs trace metrics stride sched =
     apply_jobs jobs;
     match net_result with
     | Error e -> exit_err e
@@ -352,7 +441,10 @@ let analyze_cmd =
         (not (Fault.is_empty plan)) || retries > 0 || budget <> None || escape <> 1e12
       in
       Format.printf "%a@.@." Network.pp net;
-      let outcomes =
+      let subject =
+        Printf.sprintf "topology(%d gw, %d conn)" (Network.num_gateways net) n
+      in
+      let run_designs () =
         if supervised then begin
           (* Faults or retry policy requested: run each design under the
              supervisor and report verdicts instead of the plain design
@@ -397,7 +489,18 @@ let analyze_cmd =
               report.Analysis.outcome)
             (Analysis.evaluate_all ~jobs ~adjusters ~net r0)
       in
-      (match trace_file with
+      (* [run_designs] returns rather than exiting: the exit-code
+         decision waits until [with_obs] has flushed the trace and
+         written the manifest. *)
+      let outcomes =
+        with_obs ~command:"analyze" ~subject ~adjusters:specs
+          ~seeds:[ ("fault", fault_seed) ]
+          ~faults:(Fault.describe plan) ~jobs ~trace ~metrics ~stride ~sched
+          run_designs
+      in
+      (* The CSV trajectory export stays outside the observed region so
+         the metrics snapshot reflects the analysis runs alone. *)
+      (match csv_trace_file with
       | None -> ()
       | Some path ->
         let c = Controller.create ~config:Feedback.individual_fair_share ~adjusters in
@@ -418,8 +521,10 @@ let analyze_cmd =
           injector and damping supervisor instead. Exits 3 if any run diverged, \
           4 if any failed to converge.")
     Term.(
-      const run $ topology_term $ adjusters_term $ r0_term $ trace_term $ fault_term
-      $ fault_seed_term $ retries_term $ budget_term $ escape_term $ jobs_term)
+      const run $ topology_term $ adjusters_term $ r0_term $ csv_trace_term
+      $ fault_term $ fault_seed_term $ retries_term $ budget_term $ escape_term
+      $ jobs_term $ trace_term $ metrics_term $ trace_stride_term
+      $ trace_sched_term)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)

@@ -35,6 +35,7 @@ let apply_feedback t ~b ~d rates =
 
 let step t ~net rates =
   check_net t net rates;
+  Ffc_obs.Ctx.incr_controller_steps ();
   let b, d = Feedback.evaluate t.config ~net ~rates in
   apply_feedback t ~b ~d rates
 
@@ -69,6 +70,32 @@ type outcome =
   | Cycle of { period : int; orbit : Vec.t array }
   | Diverged of { at_step : int }
   | No_convergence of { last : Vec.t }
+
+let outcome_label = function
+  | Converged _ -> "converged"
+  | Cycle _ -> "cycle"
+  | Diverged _ -> "diverged"
+  | No_convergence _ -> "no_convergence"
+
+(* The step count a reader most wants per outcome kind: convergence
+   step, cycle period, divergence step; 0 when the loop just ran out. *)
+let outcome_steps = function
+  | Converged { steps; _ } -> steps
+  | Cycle { period; _ } -> period
+  | Diverged { at_step; _ } -> at_step
+  | No_convergence _ -> 0
+
+let observe_outcome outcome =
+  Ffc_obs.Ctx.incr_named "controller.runs";
+  Ffc_obs.Ctx.incr_named ("controller.runs." ^ outcome_label outcome);
+  (match Ffc_obs.Ctx.tracing () with
+  | Some c ->
+    Ffc_obs.Ctx.emit c
+      (Ffc_obs.Event.ctrl_outcome
+         ~outcome:(outcome_label outcome)
+         ~steps:(outcome_steps outcome))
+  | None -> ());
+  outcome
 
 (* A rate vector counts as escaped when any component is non-finite or
    beyond the threshold.  NaN must be caught explicitly: [Float.abs nan
@@ -113,6 +140,11 @@ let run_map ?(tol = 1e-10) ?(max_steps = 20_000) ?(min_steps = 0) ?(max_period =
     then result := Some (Diverged { at_step = !k })
     else begin
       let delta = Vec.dist_inf next cur /. (1. +. Vec.norm_inf next) in
+      (match Ffc_obs.Ctx.tracing () with
+      | Some c when Ffc_obs.Ctx.sample c !k ->
+        Ffc_obs.Ctx.emit c
+          (Ffc_obs.Event.ctrl_step ~step:!k ~residual:delta ~rates:next)
+      | Some _ | None -> ());
       (* A time-varying map (e.g. a transient gateway cut) may sit at a
          temporary fixed point; no Converged/Cycle verdict is issued
          before [min_steps], when the caller warrants the map is still
@@ -155,9 +187,10 @@ let run_map ?(tol = 1e-10) ?(max_steps = 20_000) ?(min_steps = 0) ?(max_period =
       end
     end
   done;
-  match !result with
-  | Some outcome -> outcome
-  | None -> No_convergence { last = get !k }
+  observe_outcome
+    (match !result with
+    | Some outcome -> outcome
+    | None -> No_convergence { last = get !k })
 
 let run ?tol ?max_steps ?max_period ?escape t ~net ~r0 =
   check_net t net r0;
@@ -201,9 +234,10 @@ let run_async ?(tol = 1e-10) ?(max_steps = 100_000) ?(p = 0.5) ?(escape = 1e12) 
       else quiet := 0;
       r := next
   done;
-  match !result with
-  | Some outcome -> outcome
-  | None -> No_convergence { last = !r }
+  observe_outcome
+    (match !result with
+    | Some outcome -> outcome
+    | None -> No_convergence { last = !r })
 
 let steady_state ?(tol = 1e-8) t ~net rates =
   let next = step t ~net rates in

@@ -53,6 +53,10 @@ type outcome =
       (** A rate exceeded the escape threshold or became non-finite. *)
   | No_convergence of { last : Vec.t }
 
+val outcome_label : outcome -> string
+(** ["converged"], ["cycle"], ["diverged"] or ["no_convergence"] — the
+    stable identifiers used in trace events and metric names. *)
+
 val run_map :
   ?tol:float -> ?max_steps:int -> ?min_steps:int -> ?max_period:int -> ?escape:float ->
   map:(int -> Vec.t -> Vec.t) -> r0:Vec.t -> unit -> outcome

@@ -26,7 +26,7 @@ let csv_of_trajectory ?names traj =
         Array.iter
           (fun x ->
             Buffer.add_char buf ',';
-            Buffer.add_string buf (Printf.sprintf "%.17g" x))
+            Buffer.add_string buf (Ffc_obs.Jsonf.float_rt x))
           state;
         Buffer.add_char buf '\n')
       traj;
@@ -36,5 +36,4 @@ let csv_of_trajectory ?names traj =
 let csv_of_series ~name xs =
   csv_of_trajectory ~names:[| name |] (Array.map (fun x -> [| x |]) xs)
 
-let write_file ~path content =
-  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc content)
+let write_file ~path content = Ffc_obs.Sink.write_file ~path content

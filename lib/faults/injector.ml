@@ -112,7 +112,13 @@ let refresh_net t k =
       let a = cut_active c k in
       if a <> t.cur_active.(j) then begin
         t.cur_active.(j) <- a;
-        changed := true
+        changed := true;
+        Ffc_obs.Ctx.incr_named "injector.cuts";
+        match Ffc_obs.Ctx.tracing () with
+        | Some ctx ->
+          Ffc_obs.Ctx.emit ctx
+            (Ffc_obs.Event.fault_cut ~step:k ~gw:c.gw ~active:a)
+        | None -> ()
       end)
     t.cuts;
   if !changed then t.cur_net <- degraded_net t.base_net t.cuts ~active:t.cur_active
@@ -120,6 +126,7 @@ let refresh_net t k =
 let clamp01 x = Float.max 0. (Float.min 1. x)
 
 let step t ~step:k rates =
+  Ffc_obs.Ctx.incr_injector_steps ();
   if t.trivial then begin
     t.next_step <- k + 1;
     Controller.step t.controller ~net:t.base_net rates
@@ -130,6 +137,11 @@ let step t ~step:k rates =
         (Printf.sprintf "Injector.step: step %d out of order (expected %d)" k
            t.next_step);
     refresh_net t k;
+    let obs =
+      match Ffc_obs.Ctx.tracing () with
+      | Some c when Ffc_obs.Ctx.sample c k -> Some c
+      | Some _ | None -> None
+    in
     let b, d =
       Feedback.evaluate (Controller.config t.controller) ~net:t.cur_net ~rates
     in
@@ -155,7 +167,14 @@ let step t ~step:k rates =
             match t.greedy.(i) with
             | Some (ramp, cap) -> Float.min cap (r +. ramp)
             | None ->
-              if dropped then r
+              if dropped then begin
+                Ffc_obs.Ctx.incr_injector_drops ();
+                (match obs with
+                | Some c ->
+                  Ffc_obs.Ctx.emit c (Ffc_obs.Event.fault_drop ~step:k ~conn:i)
+                | None -> ());
+                r
+              end
               else begin
                 (* Perturbation order: staleness picks which true signal
                    the connection sees, noise corrupts it, quantization

@@ -83,6 +83,10 @@ let run ?tol ?(max_steps = 20_000) ?max_period ?(escape = 1e12) ?(retries = 3)
   in
   let rec attempt a total_steps =
     let damping = Float.pow 0.5 (float_of_int a) in
+    (match Ffc_obs.Ctx.tracing () with
+    | Some ctx ->
+      Ffc_obs.Ctx.emit ctx (Ffc_obs.Event.sup_attempt ~attempt:a ~damping)
+    | None -> ());
     let c = damped damping controller in
     let inj = Injector.create ~plan c ~net in
     let outcome =
@@ -125,6 +129,26 @@ let run ?tol ?(max_steps = 20_000) ?max_period ?(escape = 1e12) ?(retries = 3)
           if Float.is_finite !best then Some !best else None
         | _ -> None
       in
+      let recovered =
+        a > 0
+        &&
+        match outcome with
+        | Controller.Converged _ -> true
+        | Controller.Cycle _ -> not retry_cycles
+        | Controller.Diverged _ | Controller.No_convergence _ -> false
+      in
+      Ffc_obs.Ctx.incr_named "supervisor.runs";
+      if a > 0 then Ffc_obs.Ctx.incr_named "supervisor.retried";
+      if recovered then Ffc_obs.Ctx.incr_named "supervisor.recovered";
+      (match Ffc_obs.Ctx.tracing () with
+      | Some ctx ->
+        (* [wall_seconds] stays out of the event: wall-clock time would
+           break trace byte-identity across runs. *)
+        Ffc_obs.Ctx.emit ctx
+          (Ffc_obs.Event.sup_verdict
+             ~outcome:(Controller.outcome_label outcome)
+             ~attempts:(a + 1) ~recovered ~total_steps ?min_ratio ())
+      | None -> ());
       {
         outcome;
         attempts = a + 1;
@@ -133,13 +157,7 @@ let run ?tol ?(max_steps = 20_000) ?max_period ?(escape = 1e12) ?(retries = 3)
         final;
         baselines;
         min_ratio;
-        recovered =
-          (a > 0
-          &&
-          match outcome with
-          | Controller.Converged _ -> true
-          | Controller.Cycle _ -> not retry_cycles
-          | Controller.Diverged _ | Controller.No_convergence _ -> false);
+        recovered;
         total_steps;
         wall_seconds = Unix.gettimeofday () -. t0;
       }

@@ -24,6 +24,7 @@ let parallel_map ?jobs f arr =
     | Some j -> j
     | None -> default_jobs ()
   in
+  Ffc_obs.Ctx.add_pool_tasks n;
   let requested = Stdlib.min requested n in
   if requested <= 1 then Array.map f arr
   else begin
@@ -47,7 +48,20 @@ let parallel_map ?jobs f arr =
     (* Chunked self-scheduling: small enough to balance uneven task
        costs, large enough that the atomic counter is not contended. *)
     let chunk = Stdlib.max 1 (n / (jobs * 4)) in
-    let worker () =
+    (* When a trace sink is live, each task's emissions are captured into
+       a private buffer and flushed in task-index order at the join —
+       that is what keeps a trace byte-identical at any --jobs value.
+       Scheduling detail (which domain ran which chunk) is inherently
+       nondeterministic, so it is only recorded behind [Ctx.sched]. *)
+    let obs = Ffc_obs.Ctx.tracing () in
+    let traces =
+      match obs with None -> [||] | Some _ -> Array.make n ""
+    in
+    let sched =
+      match obs with Some c when Ffc_obs.Ctx.sched c -> true | _ -> false
+    in
+    let chunk_log = Array.make jobs [] in
+    let worker slot () =
       Domain.DLS.set inside true;
       Fun.protect
         ~finally:(fun () -> Domain.DLS.set inside false)
@@ -58,9 +72,18 @@ let parallel_map ?jobs f arr =
             if start >= n || Atomic.get failure <> None then continue := false
             else begin
               let stop = Stdlib.min n (start + chunk) in
+              if sched then
+                chunk_log.(slot) <- (start, stop) :: chunk_log.(slot);
               try
                 for i = start to stop - 1 do
-                  results.(i) <- Some (f arr.(i))
+                  match obs with
+                  | None -> results.(i) <- Some (f arr.(i))
+                  | Some _ ->
+                    let r, trace =
+                      Ffc_obs.Sink.capture (fun () -> f arr.(i))
+                    in
+                    results.(i) <- Some r;
+                    traces.(i) <- trace
                 done
               with e ->
                 let bt = Printexc.get_raw_backtrace () in
@@ -69,10 +92,40 @@ let parallel_map ?jobs f arr =
             end
           done)
     in
-    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    let domains =
+      Array.init (jobs - 1) (fun i -> Domain.spawn (worker (i + 1)))
+    in
     (* The calling domain participates instead of idling at the join. *)
-    worker ();
+    worker 0 ();
     Array.iter Domain.join domains;
+    (match obs with
+    | None -> ()
+    | Some c ->
+      (* Flush even on failure: completed tasks' events are real. *)
+      let sink = Ffc_obs.Ctx.sink c in
+      Array.iter (fun s -> Ffc_obs.Sink.emit_raw sink s) traces;
+      if sched then begin
+        Ffc_obs.Ctx.emit c (Ffc_obs.Event.pool_map ~tasks:n ~jobs ~chunk);
+        let chunks = ref [] in
+        Array.iteri
+          (fun slot log ->
+            List.iter
+              (fun (start, stop) -> chunks := (start, stop, slot) :: !chunks)
+              log;
+            let tasks =
+              List.fold_left (fun a (s, e) -> a + (e - s)) 0 log
+            in
+            Ffc_obs.Metrics.Counter.add
+              (Ffc_obs.Metrics.counter
+                 (Ffc_obs.Ctx.metrics c)
+                 (Printf.sprintf "pool.domain%d.tasks" slot))
+              tasks)
+          chunk_log;
+        List.iter
+          (fun (start, stop, domain) ->
+            Ffc_obs.Ctx.emit c (Ffc_obs.Event.pool_chunk ~start ~stop ~domain))
+          (List.sort compare !chunks)
+      end);
     (match Atomic.get failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());

@@ -1,0 +1,111 @@
+(* The observability context: one metrics registry + one trace sink +
+   sampling policy, installed process-wide (ambient) so instrumentation
+   reaches every layer without threading a parameter through the
+   controller, injector, simulator and pool APIs.
+
+   Hot-path contract: with no context installed an instrumented site
+   pays one atomic load and one branch; with a context installed but a
+   null sink it additionally pays one atomic counter increment — no
+   name lookups (the canonical hot counters are pre-resolved here at
+   [make]) and no allocation. *)
+
+type hot = {
+  controller_steps : Metrics.counter;
+  injector_steps : Metrics.counter;
+  injector_drops : Metrics.counter;
+  desim_injections : Metrics.counter;
+  desim_deliveries : Metrics.counter;
+  pool_tasks : Metrics.counter;
+}
+
+type t = {
+  metrics : Metrics.t;
+  sink : Sink.t;
+  stride : int;
+  sched : bool;
+  hot : hot;
+}
+
+let make ?metrics ?(sink = Sink.null) ?(stride = 1) ?(sched = false) () =
+  if stride < 1 then invalid_arg "Ctx.make: stride must be >= 1";
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  {
+    metrics;
+    sink;
+    stride;
+    sched;
+    hot =
+      {
+        controller_steps = Metrics.counter metrics "controller.steps";
+        injector_steps = Metrics.counter metrics "injector.steps";
+        injector_drops = Metrics.counter metrics "injector.drops";
+        desim_injections = Metrics.counter metrics "desim.injections";
+        desim_deliveries = Metrics.counter metrics "desim.deliveries";
+        pool_tasks = Metrics.counter metrics "pool.tasks";
+      };
+  }
+
+let metrics c = c.metrics
+let sink c = c.sink
+let stride c = c.stride
+let sched c = c.sched
+
+let ambient_cell : t option Atomic.t = Atomic.make None
+let ambient () = Atomic.get ambient_cell
+let install c = Atomic.set ambient_cell (Some c)
+let clear () = Atomic.set ambient_cell None
+
+let with_ctx c f =
+  let saved = Atomic.get ambient_cell in
+  Atomic.set ambient_cell (Some c);
+  Fun.protect ~finally:(fun () -> Atomic.set ambient_cell saved) f
+
+(* The ambient context filtered to "a trace is actually being written":
+   instrumentation that builds event payloads guards on this so the
+   null-sink path allocates nothing. *)
+let tracing () =
+  match Atomic.get ambient_cell with
+  | Some c when Sink.enabled c.sink -> Some c
+  | Some _ | None -> None
+
+let emit c line = Sink.emit c.sink line
+let sample c step = step mod c.stride = 0
+
+(* Pre-resolved hot-counter taps: one atomic load, one branch, one
+   atomic increment; nothing allocated. *)
+let incr_controller_steps () =
+  match Atomic.get ambient_cell with
+  | None -> ()
+  | Some c -> Metrics.Counter.incr c.hot.controller_steps
+
+let incr_injector_steps () =
+  match Atomic.get ambient_cell with
+  | None -> ()
+  | Some c -> Metrics.Counter.incr c.hot.injector_steps
+
+let incr_injector_drops () =
+  match Atomic.get ambient_cell with
+  | None -> ()
+  | Some c -> Metrics.Counter.incr c.hot.injector_drops
+
+let incr_desim_injections () =
+  match Atomic.get ambient_cell with
+  | None -> ()
+  | Some c -> Metrics.Counter.incr c.hot.desim_injections
+
+let incr_desim_deliveries () =
+  match Atomic.get ambient_cell with
+  | None -> ()
+  | Some c -> Metrics.Counter.incr c.hot.desim_deliveries
+
+let add_pool_tasks n =
+  match Atomic.get ambient_cell with
+  | None -> ()
+  | Some c -> Metrics.Counter.add c.hot.pool_tasks n
+
+(* Cold-path convenience: bump a counter by name on the ambient
+   registry (hashtable lookup — fine at run/outcome frequency). *)
+let incr_named name =
+  match Atomic.get ambient_cell with
+  | None -> ()
+  | Some c -> Metrics.Counter.incr (Metrics.counter c.metrics name)

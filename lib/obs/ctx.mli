@@ -1,0 +1,65 @@
+(** The observability context: a metrics registry, a trace sink, and
+    the sampling policy, installed process-wide.
+
+    Instrumented layers (controller, injector, supervisor, simulator,
+    pool) read the {e ambient} context instead of taking a parameter:
+    with none installed a site costs one atomic load and a branch; with
+    a context whose sink is {!Sink.null} it additionally costs one
+    atomic counter increment and allocates nothing (the canonical hot
+    counters are pre-resolved at {!make}); event payloads are only
+    constructed when {!tracing} says a real sink is attached.
+
+    The context is deliberately immutable and installation is a single
+    [Atomic.set], so workers racing a concurrent install/clear observe
+    either the old or the new context, never a torn one. *)
+
+type t
+
+val make :
+  ?metrics:Metrics.t -> ?sink:Sink.t -> ?stride:int -> ?sched:bool -> unit -> t
+(** Defaults: a fresh registry, {!Sink.null}, [stride] 1, [sched]
+    false.  [stride] > 0 samples high-frequency events (controller
+    steps, fault drops, packet deliveries): an event indexed [k] is
+    emitted when [k mod stride = 0].  [sched] additionally emits the
+    nondeterministic pool scheduling events ([pool.map]/[pool.chunk]),
+    which are excluded from the byte-identity contract. *)
+
+val metrics : t -> Metrics.t
+val sink : t -> Sink.t
+val stride : t -> int
+val sched : t -> bool
+
+val ambient : unit -> t option
+val install : t -> unit
+val clear : unit -> unit
+
+val with_ctx : t -> (unit -> 'a) -> 'a
+(** Installs, runs, restores the previous ambient context (exceptions
+    included). *)
+
+val tracing : unit -> t option
+(** The ambient context when its sink is enabled, else [None] — the
+    guard under which instrumentation may build event payloads. *)
+
+val emit : t -> string -> unit
+(** [Sink.emit] on the context's sink. *)
+
+val sample : t -> int -> bool
+(** [sample c k] is [k mod stride = 0]. *)
+
+(** {2 Hot-counter taps}
+
+    One atomic load + branch when no context is installed; one atomic
+    increment otherwise.  Zero allocation. *)
+
+val incr_controller_steps : unit -> unit
+val incr_injector_steps : unit -> unit
+val incr_injector_drops : unit -> unit
+val incr_desim_injections : unit -> unit
+val incr_desim_deliveries : unit -> unit
+val add_pool_tasks : int -> unit
+
+val incr_named : string -> unit
+(** Cold path: get-or-create a counter by name on the ambient registry
+    and increment it (no-op without a context).  For run/outcome-level
+    events where a hashtable lookup is immaterial. *)

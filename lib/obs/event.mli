@@ -1,0 +1,64 @@
+(** JSONL trace-event constructors.
+
+    Each function renders one self-contained JSON object (no trailing
+    newline) whose first field is the ["ev"] discriminator.  Payloads
+    are deterministic by construction — step indices, seeds, simulation
+    time, model values; never wall-clock time — so traces are
+    byte-identical across runs and pool schedules.  The two [pool_*]
+    events are the exception (scheduling is inherently nondeterministic)
+    and are only emitted when {!Ctx.t}'s [sched] flag is set.
+
+    The full schema is documented in [docs/OBSERVABILITY.md]. *)
+
+val run_start :
+  cmd:string -> ?target:string -> ?seed:int -> stride:int -> unit -> string
+(** First line of a CLI trace: subcommand, subject (experiment id or
+    topology), optional fault seed, sampling stride.  Deliberately free
+    of jobs/git/host fields — those live in the provenance manifest —
+    so the trace stays byte-identical across [--jobs]. *)
+
+val run_end : cmd:string -> unit -> string
+
+val ctrl_step : step:int -> residual:float -> rates:float array -> string
+(** One controller iteration: relative sup-norm residual and the full
+    post-step rate vector.  Sampled at the context stride. *)
+
+val ctrl_outcome : outcome:string -> steps:int -> string
+(** [outcome] is ["converged"], ["cycle"], ["diverged"] or
+    ["no_convergence"]; [steps] is respectively the convergence step,
+    the period, the divergence step, or 0. *)
+
+val sup_attempt : attempt:int -> damping:float -> string
+(** Start of supervisor attempt [attempt] (0-based) at gain multiplier
+    [damping]. *)
+
+val sup_verdict :
+  outcome:string ->
+  attempts:int ->
+  recovered:bool ->
+  total_steps:int ->
+  ?min_ratio:float ->
+  unit ->
+  string
+
+val fault_drop : step:int -> conn:int -> string
+(** A lossy fault suppressed connection [conn]'s update at [step].
+    Sampled at the context stride. *)
+
+val fault_cut : step:int -> gw:int -> active:bool -> string
+(** A gateway-cut crossed a step boundary (activated or restored). *)
+
+val desim_delivery : time:float -> conn:int -> delay:float -> string
+(** Every [stride]-th packet delivery: simulation time and end-to-end
+    delay. *)
+
+val desim_summary : conn:int -> deliveries:int -> throughput:float -> string
+(** Per-connection totals over the measurement window, at the end of a
+    simulation run. *)
+
+val pool_map : tasks:int -> jobs:int -> chunk:int -> string
+(** A parallel fan-out completed (sched-gated: jobs-dependent). *)
+
+val pool_chunk : start:int -> stop:int -> domain:int -> string
+(** One self-scheduled chunk [start, stop) ran on worker slot [domain]
+    (sched-gated: the attribution is scheduling-dependent). *)

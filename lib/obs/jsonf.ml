@@ -1,0 +1,32 @@
+(* Shared JSON-fragment formatting: one float format and one string
+   escaper for every renderer in the repo (trace events, metric
+   snapshots, provenance manifests, CSV export), so numbers round-trip
+   identically everywhere. *)
+
+(* Round-trip float text: %.17g prints enough digits that reading the
+   string back recovers the exact double. *)
+let float_rt x = Printf.sprintf "%.17g" x
+
+(* JSON has no non-finite numbers; render them as null. *)
+let float_json x = if Float.is_finite x then float_rt x else "null"
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let string s =
+  let buf = Buffer.create (String.length s + 2) in
+  add_escaped buf s;
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Shared JSON-fragment formatting used by every renderer (trace
+    events, metric snapshots, provenance manifests) and by the CSV
+    export, so numbers print identically everywhere. *)
+
+val float_rt : float -> string
+(** [%.17g]: enough digits that parsing the text recovers the exact
+    double.  Non-finite values print as [inf]/[-inf]/[nan] (not valid
+    JSON — use {!float_json} inside JSON). *)
+
+val float_json : float -> string
+(** {!float_rt} for finite floats, ["null"] otherwise. *)
+
+val string : string -> string
+(** A quoted, escaped JSON string literal. *)
+
+val add_escaped : Buffer.t -> string -> unit
+(** {!string}, appended to a buffer. *)

@@ -1,0 +1,294 @@
+(* Named counters, gauges and fixed-bucket histograms.
+
+   Hot-path updates are single atomic operations on pre-resolved handles
+   — no name lookup, no allocation — so instruments can sit inside the
+   controller iteration and the desim event loop, including under the
+   multicore pool (several domains updating one counter lose nothing:
+   every mutation is an [Atomic] RMW).  Totals are therefore identical
+   whatever the degree of parallelism, which keeps the metrics snapshot
+   of a pooled sweep comparable across [--jobs] values.
+
+   Name resolution ([counter] / [gauge] / [histogram]) is the cold path:
+   a mutex-guarded hashtable, called once per instrument at setup. *)
+
+type counter = { c_name : string; c_cell : int Atomic.t }
+type gauge = { g_name : string; g_cell : float Atomic.t }
+
+type histogram = {
+  h_name : string;
+  bounds : float array;  (* strictly increasing bucket upper bounds *)
+  counts : int Atomic.t array;  (* length bounds + 1; last = overflow *)
+  decades : bool;  (* bounds are exactly [default_buckets] *)
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type t = { lock : Mutex.t; table : (string, instrument) Hashtbl.t }
+
+let create () = { lock = Mutex.create (); table = Hashtbl.create 64 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S is already registered as a different kind" name)
+
+let counter t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some (C c) -> c
+      | Some _ -> kind_error name
+      | None ->
+        let c = { c_name = name; c_cell = Atomic.make 0 } in
+        Hashtbl.add t.table name (C c);
+        c)
+
+let gauge t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some (G g) -> g
+      | Some _ -> kind_error name
+      | None ->
+        let g = { g_name = name; g_cell = Atomic.make 0. } in
+        Hashtbl.add t.table name (G g);
+        g)
+
+(* Powers of ten spanning residuals (1e-12) through delays and step
+   counts (1e4): generic enough that one default serves every current
+   histogram, fixed so snapshots are comparable across runs.  Written
+   as literals so [decade_index]'s compare ladder matches them exactly
+   (10. ** k is not guaranteed bit-identical to the literal). *)
+let default_buckets =
+  [|
+    1e-12; 1e-11; 1e-10; 1e-9; 1e-8; 1e-7; 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1;
+    1.; 1e1; 1e2; 1e3; 1e4;
+  |]
+
+(* Exact bucket index for [default_buckets], as a branch ladder over
+   float literals: 3–5 compares, no array loads, no loop — so it stays
+   inlinable (classic ocamlopt refuses loops) into per-packet hot paths
+   where even a binary search over the bounds is measurable.  NaN fails
+   every compare and falls through to the overflow bucket (17), same as
+   [bucket_index]. *)
+let[@inline] decade_index x =
+  if x <= 1e-4 then
+    if x <= 1e-8 then
+      if x <= 1e-10 then
+        if x <= 1e-12 then 0 else if x <= 1e-11 then 1 else 2
+      else if x <= 1e-9 then 3
+      else 4
+    else if x <= 1e-6 then if x <= 1e-7 then 5 else 6
+    else if x <= 1e-5 then 7
+    else 8
+  else if x <= 1. then
+    if x <= 1e-2 then (if x <= 1e-3 then 9 else 10)
+    else if x <= 1e-1 then 11
+    else 12
+  else if x <= 1e2 then (if x <= 1e1 then 13 else 14)
+  else if x <= 1e3 then 15
+  else if x <= 1e4 then 16
+  else 17
+
+let histogram ?(buckets = default_buckets) t name =
+  let n = Array.length buckets in
+  if n = 0 then invalid_arg "Metrics.histogram: empty bucket list";
+  for i = 1 to n - 1 do
+    if not (buckets.(i) > buckets.(i - 1)) then
+      invalid_arg "Metrics.histogram: bucket bounds must be strictly increasing"
+  done;
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some (H h) ->
+        if h.bounds <> buckets then
+          invalid_arg
+            (Printf.sprintf "Metrics: histogram %S re-registered with other buckets"
+               name);
+        h
+      | Some _ -> kind_error name
+      | None ->
+        let h =
+          {
+            h_name = name;
+            bounds = Array.copy buckets;
+            counts = Array.init (n + 1) (fun _ -> Atomic.make 0);
+            decades = buckets = default_buckets;
+          }
+        in
+        Hashtbl.add t.table name (H h);
+        h)
+
+module Counter = struct
+  let incr c = ignore (Atomic.fetch_and_add c.c_cell 1)
+
+  let add c k =
+    if k < 0 then invalid_arg "Metrics.Counter.add: negative increment";
+    ignore (Atomic.fetch_and_add c.c_cell k)
+
+  let value c = Atomic.get c.c_cell
+  let name c = c.c_name
+end
+
+module Gauge = struct
+  let set g x = Atomic.set g.g_cell x
+  let value g = Atomic.get g.g_cell
+  let name g = g.g_name
+end
+
+module Histogram = struct
+  (* Bucket of [x]: first bound with x <= bound ("le" semantics); NaN and
+     anything above the last bound land in the overflow bucket.  Default
+     decade bounds take the [decade_index] ladder; anything else binary
+     searches. *)
+  let bucket_index h x =
+    if h.decades then decade_index x
+    else begin
+      let bounds = h.bounds in
+      let n = Array.length bounds in
+      if not (x <= bounds.(n - 1)) then n  (* overflow; also catches NaN *)
+      else begin
+        let lo = ref 0 and hi = ref (n - 1) in
+        (* invariant: x <= bounds.(!hi); bounds below !lo are all < x *)
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if x <= bounds.(mid) then hi := mid else lo := mid + 1
+        done;
+        !lo
+      end
+    end
+
+  let observe h x = ignore (Atomic.fetch_and_add h.counts.(bucket_index h x) 1)
+  let num_buckets h = Array.length h.counts
+
+  (* Bulk merge for call sites that count observations into a plain
+     local array during a tight loop and flush once at the end — one
+     atomic RMW per bucket instead of one per observation. *)
+  let add_bucket h i n =
+    if n < 0 then invalid_arg "Metrics.Histogram.add_bucket: negative count";
+    ignore (Atomic.fetch_and_add h.counts.(i) n)
+
+  let count h = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.counts
+
+  (* Upper bound of the bucket holding the q-quantile (infinity when it
+     falls in the overflow bucket, nan when the histogram is empty).
+     q is clamped into [0, 1]; q = 0 reads the first occupied bucket. *)
+  let quantile h q =
+    let total = count h in
+    if total = 0 then Float.nan
+    else begin
+      let q = Float.max 0. (Float.min 1. q) in
+      let rank = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int total))) in
+      let n = Array.length h.bounds in
+      let cum = ref 0 and found = ref None and i = ref 0 in
+      while !found = None && !i <= n do
+        cum := !cum + Atomic.get h.counts.(!i);
+        if !cum >= rank then
+          found := Some (if !i < n then h.bounds.(!i) else Float.infinity);
+        incr i
+      done;
+      match !found with Some b -> b | None -> Float.infinity
+    end
+
+  let name h = h.h_name
+end
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { bounds : float array; counts : int array; total : int }
+
+type snapshot = (string * value) list
+
+let snapshot t =
+  let rows =
+    with_lock t (fun () ->
+        Hashtbl.fold
+          (fun name ins acc ->
+            let v =
+              match ins with
+              | C c -> Counter_v (Counter.value c)
+              | G g -> Gauge_v (Gauge.value g)
+              | H h ->
+                let counts = Array.map Atomic.get h.counts in
+                Histogram_v
+                  {
+                    bounds = Array.copy h.bounds;
+                    counts;
+                    total = Array.fold_left ( + ) 0 counts;
+                  }
+            in
+            (name, v) :: acc)
+          t.table [])
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) rows
+
+let reset t =
+  with_lock t (fun () ->
+      Hashtbl.iter
+        (fun _ ins ->
+          match ins with
+          | C c -> Atomic.set c.c_cell 0
+          | G g -> Atomic.set g.g_cell 0.
+          | H h -> Array.iter (fun cell -> Atomic.set cell 0) h.counts)
+        t.table)
+
+(* Renderers.  [%.17g] round-trips every finite float; non-finite values
+   become "null" in JSON and their usual names in text. *)
+let text_float x =
+  if Float.is_nan x then "nan"
+  else if x = Float.infinity then "inf"
+  else if x = Float.neg_infinity then "-inf"
+  else Jsonf.float_rt x
+
+let render_text snap =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, v) ->
+      (match v with
+      | Counter_v n -> Printf.bprintf buf "counter   %-40s %d" name n
+      | Gauge_v x -> Printf.bprintf buf "gauge     %-40s %s" name (text_float x)
+      | Histogram_v { bounds; counts; total } ->
+        Printf.bprintf buf "histogram %-40s total=%d" name total;
+        Array.iteri
+          (fun i c ->
+            if c > 0 then
+              Printf.bprintf buf " le(%s)=%d"
+                (if i < Array.length bounds then Printf.sprintf "%g" bounds.(i)
+                 else "inf")
+                c)
+          counts);
+      Buffer.add_char buf '\n')
+    snap;
+  Buffer.contents buf
+
+let render_json snap =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n  ";
+      match v with
+      | Counter_v n ->
+        Printf.bprintf buf "{\"name\": %s, \"kind\": \"counter\", \"value\": %d}"
+          (Jsonf.string name) n
+      | Gauge_v x ->
+        Printf.bprintf buf "{\"name\": %s, \"kind\": \"gauge\", \"value\": %s}"
+          (Jsonf.string name) (Jsonf.float_json x)
+      | Histogram_v { bounds; counts; total } ->
+        Printf.bprintf buf
+          "{\"name\": %s, \"kind\": \"histogram\", \"total\": %d, \"buckets\": ["
+          (Jsonf.string name) total;
+        Array.iteri
+          (fun i c ->
+            if i > 0 then Buffer.add_string buf ", ";
+            Printf.bprintf buf "{\"le\": %s, \"count\": %d}"
+              (if i < Array.length bounds then Jsonf.float_json bounds.(i)
+               else "null")
+              c)
+          counts;
+        Buffer.add_string buf "]}")
+    snap;
+  Buffer.add_string buf "\n]";
+  Buffer.contents buf

@@ -1,0 +1,105 @@
+(** Metrics registry: named counters, gauges, and fixed-bucket
+    histograms.
+
+    Hot-path discipline: {!counter}/{!gauge}/{!histogram} resolve a name
+    to a handle once (mutex-guarded hashtable — the cold path); updates
+    through a handle are single [Atomic] read-modify-writes — O(1), no
+    allocation, safe from any domain.  Because every update is atomic,
+    totals accumulated under the multicore pool are identical whatever
+    the degree of parallelism.
+
+    Histograms record bucket occupancy only (no sum): each observation
+    lands in the first bucket whose upper bound is >= the value, with an
+    overflow bucket above the last bound.  That keeps [observe]
+    allocation-free and race-free, at the price of bucket-resolution
+    quantiles. *)
+
+type t
+(** A registry. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get-or-create.  Raises [Invalid_argument] if the name is already
+    registered as another kind. *)
+
+val gauge : t -> string -> gauge
+
+val default_buckets : float array
+(** Powers of ten from 1e-12 to 1e4. *)
+
+val decade_index : float -> int
+(** [Histogram.bucket_index] specialized to {!default_buckets}: an
+    inlinable compare ladder (no loop, no array loads, no allocation)
+    for per-event hot paths that tally into a local array and merge
+    with [Histogram.add_bucket].  NaN and values above 1e4 return the
+    overflow index (17). *)
+
+val histogram : ?buckets:float array -> t -> string -> histogram
+(** [buckets] (default {!default_buckets}) are strictly increasing upper
+    bounds; an overflow bucket is added above the last.  Re-registering
+    an existing histogram with different buckets raises. *)
+
+module Counter : sig
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+  (** Raises [Invalid_argument] on a negative increment. *)
+
+  val value : counter -> int
+  val name : counter -> string
+end
+
+module Gauge : sig
+  val set : gauge -> float -> unit
+  val value : gauge -> float
+  val name : gauge -> string
+end
+
+module Histogram : sig
+  val observe : histogram -> float -> unit
+  (** NaN and values above the last bound count in the overflow
+      bucket. *)
+
+  val num_buckets : histogram -> int
+  (** Bucket count including the overflow bucket. *)
+
+  val bucket_index : histogram -> float -> int
+  (** The bucket {!observe} would count [x] in. *)
+
+  val add_bucket : histogram -> int -> int -> unit
+  (** [add_bucket h i n] merges [n] observations straight into bucket
+      [i] — for hot loops that tally into a plain local array and flush
+      once, paying one atomic RMW per bucket instead of per
+      observation.  Raises [Invalid_argument] on negative [n]. *)
+
+  val count : histogram -> int
+
+  val quantile : histogram -> float -> float
+  (** Upper bound of the bucket containing the q-quantile ([q] clamped
+      to [0, 1]); [infinity] when it falls in the overflow bucket, [nan]
+      when the histogram is empty. *)
+
+  val name : histogram -> string
+end
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { bounds : float array; counts : int array; total : int }
+
+type snapshot = (string * value) list
+(** Sorted by name — deterministic render order. *)
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+(** Counters and histogram buckets to 0, gauges to 0. *)
+
+val render_text : snapshot -> string
+(** One line per instrument. *)
+
+val render_json : snapshot -> string
+(** A JSON array of instrument objects. *)

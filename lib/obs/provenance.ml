@@ -1,0 +1,77 @@
+(* Run provenance: what produced an artifact.
+
+   A manifest names the subcommand, the subject (experiment id or
+   topology), the algorithm population, every seed, the fault plan, the
+   source revision, and the execution shape (jobs, stride) — plus the
+   final metrics snapshot.  Written as one JSON object to the side
+   (--metrics FILE), never into the trace: jobs and git state vary
+   between equivalent runs, and the trace must stay byte-identical
+   across them. *)
+
+type t = {
+  command : string;
+  subject : string;
+  adjusters : string list;
+  seeds : (string * int) list;
+  faults : string list;
+  jobs : int;
+  stride : int;
+  git : string option;
+}
+
+(* The revision stamp, best-effort: a run outside a checkout (or
+   without git on PATH) gets [None], not an exception. *)
+let git_describe () =
+  try
+    let ic =
+      Unix.open_process_in "git describe --always --dirty --tags 2>/dev/null"
+    in
+    let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, Some line when line <> "" -> Some line
+    | _ -> None
+  with Unix.Unix_error _ | Sys_error _ -> None
+
+let collect ~command ~subject ?(adjusters = []) ?(seeds = []) ?(faults = []) ~jobs
+    ~stride () =
+  { command; subject; adjusters; seeds; faults; jobs; stride; git = git_describe () }
+
+let to_json t ~metrics =
+  let buf = Buffer.create 1024 in
+  let field name value =
+    Jsonf.add_escaped buf name;
+    Buffer.add_string buf ": ";
+    Buffer.add_string buf value
+  in
+  let string_list l =
+    "[" ^ String.concat ", " (List.map Jsonf.string l) ^ "]"
+  in
+  Buffer.add_string buf "{\n  ";
+  field "command" (Jsonf.string t.command);
+  Buffer.add_string buf ",\n  ";
+  field "subject" (Jsonf.string t.subject);
+  Buffer.add_string buf ",\n  ";
+  field "adjusters" (string_list t.adjusters);
+  Buffer.add_string buf ",\n  ";
+  field "seeds"
+    ("{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Jsonf.string k ^ ": " ^ string_of_int v) t.seeds)
+    ^ "}");
+  Buffer.add_string buf ",\n  ";
+  field "faults" (string_list t.faults);
+  Buffer.add_string buf ",\n  ";
+  field "jobs" (string_of_int t.jobs);
+  Buffer.add_string buf ",\n  ";
+  field "trace_stride" (string_of_int t.stride);
+  Buffer.add_string buf ",\n  ";
+  field "git" (match t.git with Some g -> Jsonf.string g | None -> "null");
+  (match metrics with
+  | None -> ()
+  | Some snap ->
+    Buffer.add_string buf ",\n  ";
+    field "metrics" (Metrics.render_json snap));
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+let write ~path t ~metrics = Sink.write_file ~path (to_json t ~metrics)

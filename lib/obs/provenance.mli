@@ -1,0 +1,40 @@
+(** Run provenance: a machine-readable manifest of what produced an
+    artifact — subcommand, subject, adjusters, seeds, fault plan,
+    source revision, jobs, trace stride — plus the final metrics
+    snapshot.
+
+    The manifest goes to its own file ([--metrics FILE]), never into
+    the event trace: jobs and git state legitimately differ between
+    runs whose traces must stay byte-identical. *)
+
+type t = {
+  command : string;
+  subject : string;  (** Experiment id, or the topology description. *)
+  adjusters : string list;
+  seeds : (string * int) list;
+  faults : string list;  (** {!Ffc_faults.Fault.describe} lines. *)
+  jobs : int;
+  stride : int;
+  git : string option;
+}
+
+val git_describe : unit -> string option
+(** [git describe --always --dirty --tags], or [None] when unavailable
+    (no checkout, no git).  Never raises. *)
+
+val collect :
+  command:string ->
+  subject:string ->
+  ?adjusters:string list ->
+  ?seeds:(string * int) list ->
+  ?faults:string list ->
+  jobs:int ->
+  stride:int ->
+  unit ->
+  t
+(** Fills [git] via {!git_describe}. *)
+
+val to_json : t -> metrics:Metrics.snapshot option -> string
+(** One JSON object; [metrics] becomes a ["metrics"] array field. *)
+
+val write : path:string -> t -> metrics:Metrics.snapshot option -> unit

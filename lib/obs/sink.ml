@@ -1,0 +1,94 @@
+(* Trace sinks: where JSONL event lines go.
+
+   Three targets — null (drop), in-memory buffer, file — behind one
+   [emit].  Instrumentation sites guard event *construction* on
+   [enabled], so a null sink costs one branch and zero allocation.
+
+   Determinism under the pool: [capture] redirects this domain's
+   emissions into a private buffer (domain-local storage, so concurrent
+   workers never interleave mid-line).  The pool captures each task's
+   emissions and flushes them to the real sink in task-index order at
+   the join, which is what makes a trace byte-identical at any --jobs
+   value. *)
+
+type target =
+  | Null
+  | Buffer of Buffer.t
+  | File of { oc : out_channel; mutable closed : bool }
+
+type t = { target : target; lock : Mutex.t }
+
+let null = { target = Null; lock = Mutex.create () }
+let buffer () = { target = Buffer (Buffer.create 4096); lock = Mutex.create () }
+
+let file path =
+  { target = File { oc = open_out path; closed = false }; lock = Mutex.create () }
+
+let enabled t = match t.target with Null -> false | Buffer _ | File _ -> true
+
+(* The capture redirect is per-domain: a pool worker captures its own
+   task's emissions without seeing its siblings'. *)
+let redirect : Buffer.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Pre-rendered bytes (e.g. a flushed task capture).  An active capture
+   on this domain still wins, so flushes compose with an enclosing
+   capture instead of leaking around it. *)
+let emit_raw t s =
+  if String.length s > 0 then
+    match t.target with
+    | Null -> ()
+    | Buffer _ | File _ -> (
+      match !(Domain.DLS.get redirect) with
+      | Some buf -> Buffer.add_string buf s
+      | None -> (
+        match t.target with
+        | Null -> ()
+        | Buffer b -> with_lock t (fun () -> Buffer.add_string b s)
+        | File f ->
+          with_lock t (fun () -> if not f.closed then output_string f.oc s)))
+
+let emit t line =
+  match t.target with
+  | Null -> ()
+  | Buffer _ | File _ -> (
+    match !(Domain.DLS.get redirect) with
+    | Some buf ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n'
+    | None -> emit_raw t (line ^ "\n"))
+
+let capture f =
+  let cell = Domain.DLS.get redirect in
+  let saved = !cell in
+  let buf = Buffer.create 512 in
+  cell := Some buf;
+  let result = Fun.protect ~finally:(fun () -> cell := saved) f in
+  (result, Buffer.contents buf)
+
+(* One-shot whole-file write (CSV exports, manifests).  Not a sink and
+   not subject to capture: artifacts always land on disk. *)
+let write_file ~path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)
+
+let contents t =
+  match t.target with
+  | Buffer b -> with_lock t (fun () -> Buffer.contents b)
+  | Null | File _ -> invalid_arg "Sink.contents: not a buffer sink"
+
+let close t =
+  match t.target with
+  | Null | Buffer _ -> ()
+  | File f ->
+    with_lock t (fun () ->
+        if not f.closed then begin
+          f.closed <- true;
+          close_out f.oc
+        end)

@@ -1,0 +1,49 @@
+(** Trace sinks: null / in-memory buffer / file, behind one [emit].
+
+    Instrumentation sites must guard event construction on {!enabled} —
+    with the null sink an instrumented hot path then pays one branch and
+    allocates nothing.  Buffer and file sinks are mutex-guarded, so
+    emission from concurrent domains is safe (though unordered; the pool
+    uses {!capture} to impose task order — see
+    {!Ffc_numerics.Pool.parallel_map}). *)
+
+type t
+
+val null : t
+(** Drops everything; {!enabled} is [false]. *)
+
+val buffer : unit -> t
+(** Accumulates lines in memory; read with {!contents}. *)
+
+val file : string -> t
+(** Opens [path] for writing (truncates). *)
+
+val enabled : t -> bool
+
+val emit : t -> string -> unit
+(** Appends one line (a ['\n'] is added).  If a {!capture} is active on
+    this domain the line goes to the capture buffer instead of the
+    sink's target; on the null sink it is dropped either way. *)
+
+val emit_raw : t -> string -> unit
+(** Appends pre-rendered bytes (no newline added) — the pool uses this
+    to flush captured task traces in task order.  An active {!capture}
+    on this domain still receives the bytes, so flushes compose with an
+    enclosing capture. *)
+
+val capture : (unit -> 'a) -> 'a * string
+(** [capture f] runs [f] with this domain's {!emit} calls redirected
+    into a fresh private buffer and returns [f ()] together with the
+    captured bytes.  Nests (the inner capture wins while active).  On an
+    exception the redirect is popped and the captured bytes are lost
+    with the unwind. *)
+
+val write_file : path:string -> string -> unit
+(** One-shot whole-file write (truncates) — the shared primitive behind
+    CSV exports and provenance manifests.  Not subject to {!capture}. *)
+
+val contents : t -> string
+(** Buffer sinks only; raises [Invalid_argument] otherwise. *)
+
+val close : t -> unit
+(** Flushes and closes a file sink (idempotent); no-op otherwise. *)

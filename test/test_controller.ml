@@ -259,7 +259,16 @@ let test_trace_csv () =
     (String.length (Trace.csv_of_trajectory [| [| 1. |] |]) > 0);
   check_true "ragged rejected"
     (try ignore (Trace.csv_of_trajectory [| [| 1. |]; [| 1.; 2. |] |]); false
-     with Invalid_argument _ -> true)
+     with Invalid_argument _ -> true);
+  (* The dimension-mismatch errors must say which constraint broke, so a
+     caller wiring up column names can tell the two apart. *)
+  Alcotest.check_raises "names length mismatch message"
+    (Invalid_argument "Trace.csv_of_trajectory: names length mismatch")
+    (fun () ->
+      ignore (Trace.csv_of_trajectory ~names:[| "only" |] [| [| 1.; 2. |] |]));
+  Alcotest.check_raises "ragged trajectory message"
+    (Invalid_argument "Trace.csv_of_trajectory: ragged trajectory")
+    (fun () -> ignore (Trace.csv_of_trajectory [| [| 1. |]; [| 1.; 2. |] |]))
 
 let test_trace_series_and_file () =
   let csv = Trace.csv_of_series ~name:"q" [| 1.; 2. |] in

@@ -34,4 +34,5 @@ let () =
          Test_transient.suites;
          Test_exp_common.suites;
          Test_experiments.suites;
+         Test_obs.suites;
        ])

@@ -1,0 +1,566 @@
+open Ffc_obs
+open Test_util
+
+(* ------------------------------------------------------------------ *)
+(* A minimal validating JSON parser — enough to check that every line  *)
+(* the trace layer emits is well-formed and to pull out fields.        *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d in %s" msg !pos s)) in
+  let skip_ws () =
+    while
+      !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+        | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > len then fail "short \\u escape";
+          let hex = String.sub s !pos 4 in
+          let code =
+            try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+          in
+          (* Test-only: BMP code points render as '?' outside ASCII. *)
+          Buffer.add_char buf (if code < 128 then Char.chr code else '?');
+          pos := !pos + 4;
+          go ()
+        | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < len && num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); Jobj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ((key, v) :: acc)
+          | Some '}' -> advance (); List.rev ((key, v) :: acc)
+          | _ -> fail "expected , or }"
+        in
+        Jobj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); Jlist [])
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); items (v :: acc)
+          | Some ']' -> advance (); List.rev (v :: acc)
+          | _ -> fail "expected , or ]"
+        in
+        Jlist (items [])
+      end
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' ->
+      if !pos + 4 <= len && String.sub s !pos 4 = "true" then (pos := !pos + 4; Jbool true)
+      else fail "bad literal"
+    | Some 'f' ->
+      if !pos + 5 <= len && String.sub s !pos 5 = "false" then (pos := !pos + 5; Jbool false)
+      else fail "bad literal"
+    | Some 'n' ->
+      if !pos + 4 <= len && String.sub s !pos 4 = "null" then (pos := !pos + 4; Jnull)
+      else fail "bad literal"
+    | _ -> Jnum (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let obj_field line name =
+  match parse_json line with
+  | Jobj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let lines_of s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_semantics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "a.count" in
+  Alcotest.(check int) "fresh counter is 0" 0 (Metrics.Counter.value c);
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 5;
+  Alcotest.(check int) "incr + add" 6 (Metrics.Counter.value c);
+  (* Get-or-create: the same name resolves to the same cell. *)
+  let c' = Metrics.counter m "a.count" in
+  Metrics.Counter.incr c';
+  Alcotest.(check int) "same cell via name" 7 (Metrics.Counter.value c);
+  check_true "negative add rejected"
+    (try Metrics.Counter.add c (-1); false with Invalid_argument _ -> true);
+  let g = Metrics.gauge m "a.gauge" in
+  Metrics.Gauge.set g 2.5;
+  check_float "gauge set" 2.5 (Metrics.Gauge.value g);
+  check_true "kind mismatch rejected"
+    (try ignore (Metrics.gauge m "a.count"); false with Invalid_argument _ -> true)
+
+let test_histogram_semantics () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram ~buckets:[| 1.; 10.; 100. |] m "h" in
+  check_true "empty quantile is nan" (Float.is_nan (Metrics.Histogram.quantile h 0.5));
+  List.iter (Metrics.Histogram.observe h) [ 0.5; 0.7; 5.; 50.; 5000.; Float.nan ];
+  Alcotest.(check int) "count includes overflow" 6 (Metrics.Histogram.count h);
+  check_float "median bucket bound" 10. (Metrics.Histogram.quantile h 0.5);
+  check_float "q=0 lands in first bucket" 1. (Metrics.Histogram.quantile h 0.);
+  check_true "q=1 is overflow"
+    (Metrics.Histogram.quantile h 1. = Float.infinity);
+  check_true "re-registering with other buckets rejected"
+    (try ignore (Metrics.histogram ~buckets:[| 2. |] m "h"); false
+     with Invalid_argument _ -> true);
+  (* Same buckets: get-or-create. *)
+  ignore (Metrics.histogram ~buckets:[| 1.; 10.; 100. |] m "h");
+  (* The default decade buckets take an exponent-based fast path in
+     [bucket_index]; it must agree with the definitional linear scan
+     everywhere, in particular at exact powers of ten. *)
+  let hd = Metrics.histogram m "hd" in
+  let reference x =
+    let b = Metrics.default_buckets in
+    let n = Array.length b in
+    let i = ref 0 in
+    while !i < n && not (x <= b.(!i)) do incr i done;
+    !i
+  in
+  List.iter
+    (fun x ->
+      Alcotest.(check int)
+        (Printf.sprintf "bucket_index %.17g" x)
+        (reference x)
+        (Metrics.Histogram.bucket_index hd x))
+    (List.concat_map
+       (fun d ->
+         let p = 10. ** float_of_int d in
+         [ p; p *. (1. +. epsilon_float); p *. 0.999999; p *. 3.16 ])
+       [ -13; -12; -7; -1; 0; 1; 3; 4; 5 ]
+    @ [ 0.; -1.; Float.nan; Float.infinity; Float.min_float; Float.max_float ])
+
+let test_snapshot_reset_render () =
+  let m = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter m "z") 3;
+  Metrics.Gauge.set (Metrics.gauge m "a") 1.5;
+  Metrics.Histogram.observe (Metrics.histogram m "mid") 0.5;
+  let snap = Metrics.snapshot m in
+  Alcotest.(check (list string))
+    "sorted by name" [ "a"; "mid"; "z" ] (List.map fst snap);
+  (match List.assoc "z" snap with
+  | Metrics.Counter_v 3 -> ()
+  | _ -> Alcotest.fail "counter snapshot value");
+  (match List.assoc "mid" snap with
+  | Metrics.Histogram_v { total = 1; counts; bounds } ->
+    Alcotest.(check int) "overflow bucket added" (Array.length bounds + 1)
+      (Array.length counts)
+  | _ -> Alcotest.fail "histogram snapshot value");
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_true "text render mentions every name"
+    (let t = Metrics.render_text snap in
+     List.for_all (fun (n, _) -> contains t n) snap);
+  (* The JSON render must itself be well-formed. *)
+  (match parse_json (Metrics.render_json snap) with
+  | Jlist items -> Alcotest.(check int) "one object per instrument" 3 (List.length items)
+  | _ -> Alcotest.fail "render_json is not an array");
+  Metrics.reset m;
+  Alcotest.(check int) "reset counter" 0 (Metrics.Counter.value (Metrics.counter m "z"));
+  Alcotest.(check int) "reset histogram" 0
+    (Metrics.Histogram.count (Metrics.histogram m "mid"))
+
+(* ------------------------------------------------------------------ *)
+(* Event constructors: every kind parses and carries its fields        *)
+(* ------------------------------------------------------------------ *)
+
+let test_event_jsonl_well_formed () =
+  let events =
+    [
+      ("run.start", Event.run_start ~cmd:"exp" ~target:"e9" ~seed:7 ~stride:10 ());
+      ("run.end", Event.run_end ~cmd:"exp" ());
+      ( "ctrl.step",
+        Event.ctrl_step ~step:12 ~residual:1.5e-7 ~rates:[| 0.1; 0.25; 1e-12 |] );
+      ("ctrl.outcome", Event.ctrl_outcome ~outcome:"converged" ~steps:187);
+      ("sup.attempt", Event.sup_attempt ~attempt:1 ~damping:0.5);
+      ( "sup.verdict",
+        Event.sup_verdict ~outcome:"diverged" ~attempts:4 ~recovered:false
+          ~total_steps:9000 ~min_ratio:0.93 () );
+      ("fault.drop", Event.fault_drop ~step:40 ~conn:2);
+      ("fault.cut", Event.fault_cut ~step:100 ~gw:1 ~active:true);
+      ("desim.delivery", Event.desim_delivery ~time:12.5 ~conn:0 ~delay:0.75);
+      ("desim.summary", Event.desim_summary ~conn:3 ~deliveries:250 ~throughput:0.25);
+      ("pool.map", Event.pool_map ~tasks:33 ~jobs:4 ~chunk:2);
+      ("pool.chunk", Event.pool_chunk ~start:0 ~stop:2 ~domain:1);
+    ]
+  in
+  List.iter
+    (fun (kind, line) ->
+      check_true (kind ^ " is one line") (not (String.contains line '\n'));
+      match obj_field line "ev" with
+      | Some (Jstr k) -> Alcotest.(check string) (kind ^ " discriminator") kind k
+      | _ -> Alcotest.failf "%s: no ev field in %s" kind line)
+    events;
+  (* Spot-check payload fields and float round-tripping. *)
+  (match obj_field (Event.ctrl_step ~step:3 ~residual:0.1 ~rates:[| 0.30000000000000004 |]) "rates" with
+  | Some (Jlist [ Jnum x ]) -> check_float ~tol:0. "rate round-trips" 0.30000000000000004 x
+  | _ -> Alcotest.fail "ctrl.step rates field");
+  (* Non-finite floats must degrade to null, not break the line. *)
+  match obj_field (Event.ctrl_step ~step:0 ~residual:Float.nan ~rates:[||]) "residual" with
+  | Some Jnull -> ()
+  | _ -> Alcotest.fail "nan residual must render as null"
+
+let test_jsonf_escaping () =
+  let nasty = "a\"b\\c\nd\te\r\x01f" in
+  match parse_json (Jsonf.string nasty) with
+  | Jstr s ->
+    Alcotest.(check string) "escape round-trip" "a\"b\\c\nd\te\r\x01f" s
+  | _ -> Alcotest.fail "Jsonf.string must produce a JSON string"
+
+(* ------------------------------------------------------------------ *)
+(* Sinks and capture                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_sink_buffer_and_capture () =
+  let s = Sink.buffer () in
+  Sink.emit s "one";
+  let (), captured =
+    Sink.capture (fun () ->
+        Sink.emit s "inner-a";
+        Sink.emit s "inner-b")
+  in
+  Sink.emit s "two";
+  Sink.emit_raw s captured;
+  Alcotest.(check string) "capture diverts, flush appends" "one\ntwo\ninner-a\ninner-b\n"
+    (Sink.contents s);
+  check_false "null sink disabled" (Sink.enabled Sink.null);
+  Sink.emit Sink.null "dropped";
+  check_true "contents of non-buffer rejected"
+    (try ignore (Sink.contents Sink.null); false with Invalid_argument _ -> true)
+
+let test_sink_file_roundtrip () =
+  let path = Filename.temp_file "ffc_obs" ".jsonl" in
+  let s = Sink.file path in
+  Sink.emit s "{\"ev\":\"x\"}";
+  Sink.close s;
+  Sink.close s;
+  (* idempotent *)
+  let read = In_channel.with_open_text path In_channel.input_all in
+  Alcotest.(check string) "file sink writes lines" "{\"ev\":\"x\"}\n" read;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Context: ambient install, hot taps, null-sink allocation            *)
+(* ------------------------------------------------------------------ *)
+
+let test_ctx_ambient_and_counters () =
+  check_true "no ambient context by default" (Ctx.ambient () = None);
+  Ffc_obs.Ctx.incr_controller_steps ();
+  (* no-op without a context *)
+  let ctx = Ctx.make () in
+  Ctx.with_ctx ctx (fun () ->
+      Ffc_obs.Ctx.incr_controller_steps ();
+      Ffc_obs.Ctx.incr_controller_steps ();
+      Ffc_obs.Ctx.add_pool_tasks 5;
+      Ffc_obs.Ctx.incr_named "custom.thing");
+  check_true "context restored" (Ctx.ambient () = None);
+  let m = Ctx.metrics ctx in
+  Alcotest.(check int) "hot tap counted" 2
+    (Metrics.Counter.value (Metrics.counter m "controller.steps"));
+  Alcotest.(check int) "pool tasks counted" 5
+    (Metrics.Counter.value (Metrics.counter m "pool.tasks"));
+  Alcotest.(check int) "named tap counted" 1
+    (Metrics.Counter.value (Metrics.counter m "custom.thing"));
+  check_true "tracing off with null sink" (Ctx.with_ctx ctx Ctx.tracing = None);
+  check_true "stride must be positive"
+    (try ignore (Ctx.make ~stride:0 ()); false with Invalid_argument _ -> true)
+
+let test_null_sink_taps_do_not_allocate () =
+  let ctx = Ctx.make () in
+  Ctx.with_ctx ctx (fun () ->
+      (* Warm up (possible lazy init), then measure. *)
+      for _ = 1 to 100 do
+        Ffc_obs.Ctx.incr_controller_steps ()
+      done;
+      let before = Gc.minor_words () in
+      for _ = 1 to 10_000 do
+        Ffc_obs.Ctx.incr_controller_steps ();
+        Ffc_obs.Ctx.incr_injector_steps ();
+        Ffc_obs.Ctx.incr_desim_deliveries ()
+      done;
+      let allocated = Gc.minor_words () -. before in
+      (* 30k taps; budget covers the Gc.minor_words probes themselves. *)
+      check_true
+        (Printf.sprintf "null-sink taps allocate nothing (got %.0f words)" allocated)
+        (allocated < 100.))
+
+(* ------------------------------------------------------------------ *)
+(* Pool: captured task traces flush in task order at any jobs          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_trace_order () =
+  let expected =
+    String.concat "" (List.init 40 (fun i -> Printf.sprintf "task %d\n" i))
+  in
+  List.iter
+    (fun jobs ->
+      let sink = Sink.buffer () in
+      let ctx = Ctx.make ~sink () in
+      Ctx.with_ctx ctx (fun () ->
+          ignore
+            (Ffc_numerics.Pool.parallel_map ~jobs
+               (fun i ->
+                 (match Ctx.tracing () with
+                 | Some c -> Ctx.emit c (Printf.sprintf "task %d" i)
+                 | None -> ());
+                 i)
+               (Array.init 40 Fun.id)));
+      Alcotest.(check string)
+        (Printf.sprintf "trace in task order at jobs=%d" jobs)
+        expected (Sink.contents sink))
+    [ 1; 2; 4; 40 ]
+
+let test_pool_sched_events_gated () =
+  (* sched off (the default): no pool.* events in the trace. *)
+  let sink = Sink.buffer () in
+  let ctx = Ctx.make ~sink () in
+  Ctx.with_ctx ctx (fun () ->
+      ignore (Ffc_numerics.Pool.parallel_map ~jobs:4 (fun i -> i) (Array.init 16 Fun.id)));
+  check_false "no pool events without sched"
+    (List.exists
+       (fun l ->
+         match obj_field l "ev" with
+         | Some (Jstr ("pool.map" | "pool.chunk")) -> true
+         | _ -> false)
+       (lines_of (Sink.contents sink)))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: controller, supervisor, simulator produce valid traces  *)
+(* ------------------------------------------------------------------ *)
+
+let run_traced ?(stride = 1) f =
+  let sink = Sink.buffer () in
+  let ctx = Ctx.make ~sink ~stride () in
+  let r = Ctx.with_ctx ctx f in
+  (r, lines_of (Sink.contents sink), Ctx.metrics ctx)
+
+let event_kinds lines =
+  List.filter_map
+    (fun l -> match obj_field l "ev" with Some (Jstr k) -> Some k | _ -> None)
+    lines
+
+let test_controller_trace () =
+  let open Ffc_topology in
+  let open Ffc_core in
+  let net = Topologies.single ~n:3 () in
+  let c =
+    Controller.homogeneous ~config:Feedback.individual_fair_share
+      ~adjuster:Scenario.standard_adjuster ~n:3
+  in
+  let outcome, lines, m =
+    run_traced ~stride:10 (fun () -> Controller.run c ~net ~r0:(Array.make 3 0.02))
+  in
+  check_true "run converged"
+    (match outcome with Controller.Converged _ -> true | _ -> false);
+  List.iter (fun l -> ignore (parse_json l)) lines;
+  let kinds = event_kinds lines in
+  check_true "ctrl.step events present" (List.mem "ctrl.step" kinds);
+  check_true "ctrl.outcome present" (List.mem "ctrl.outcome" kinds);
+  check_true "steps counted"
+    (Metrics.Counter.value (Metrics.counter m "controller.steps") > 0);
+  Alcotest.(check int) "one run recorded" 1
+    (Metrics.Counter.value (Metrics.counter m "controller.runs"))
+
+let test_supervisor_fault_trace () =
+  let open Ffc_topology in
+  let open Ffc_core in
+  let open Ffc_faults in
+  let net = Topologies.single ~n:3 () in
+  let c =
+    Controller.homogeneous ~config:Feedback.individual_fair_share
+      ~adjuster:Scenario.standard_adjuster ~n:3
+  in
+  let plan = Fault.plan ~seed:5 [ Fault.everywhere (Fault.Lossy { p = 0.5 }) ] in
+  let v, lines, m =
+    run_traced (fun () -> Supervisor.run ~plan c ~net ~r0:(Array.make 3 0.02))
+  in
+  List.iter (fun l -> ignore (parse_json l)) lines;
+  let kinds = event_kinds lines in
+  check_true "sup.attempt present" (List.mem "sup.attempt" kinds);
+  check_true "sup.verdict present" (List.mem "sup.verdict" kinds);
+  check_true "fault.drop present" (List.mem "fault.drop" kinds);
+  check_true "injector drops counted"
+    (Metrics.Counter.value (Metrics.counter m "injector.drops") > 0);
+  check_true "verdict has an outcome" (v.Supervisor.attempts >= 1);
+  (* wall-clock must never enter the trace *)
+  check_false "no wall_seconds in events"
+    (List.exists
+       (fun l -> match obj_field l "wall_seconds" with Some _ -> true | None -> false)
+       lines)
+
+let test_netsim_trace () =
+  let open Ffc_topology in
+  let net = Topologies.single ~mu:1. ~n:2 () in
+  let _, lines, m =
+    run_traced ~stride:100 (fun () ->
+        Ffc_desim.Netsim.run ~net ~rates:[| 0.3; 0.3 |]
+          ~discipline:Ffc_desim.Netsim.Fs_priority ~seed:3 ~horizon:500. ())
+  in
+  List.iter (fun l -> ignore (parse_json l)) lines;
+  let kinds = event_kinds lines in
+  check_true "desim.delivery present" (List.mem "desim.delivery" kinds);
+  Alcotest.(check int) "one summary per connection" 2
+    (List.length (List.filter (String.equal "desim.summary") kinds));
+  check_true "deliveries counted"
+    (Metrics.Counter.value (Metrics.counter m "desim.deliveries") > 0);
+  check_true "delay histogram populated"
+    (Metrics.Histogram.count (Metrics.histogram m "desim.delay") > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: E9 and E25 traces are byte-identical at any --jobs     *)
+(* ------------------------------------------------------------------ *)
+
+let trace_of ~jobs f =
+  let sink = Sink.buffer () in
+  let ctx = Ctx.make ~sink ~stride:50 () in
+  let saved = Ffc_numerics.Pool.default_jobs () in
+  Ffc_numerics.Pool.set_default_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Ffc_numerics.Pool.set_default_jobs saved)
+    (fun () -> ignore (Ctx.with_ctx ctx f));
+  Sink.contents sink
+
+let test_e9_trace_deterministic () =
+  let f () = Ffc_experiments.E09_robustness.compute ~trials:5 () in
+  let a = trace_of ~jobs:1 f and b = trace_of ~jobs:4 f in
+  check_true "E9 trace non-empty" (String.length a > 0);
+  Alcotest.(check string) "E9 trace identical at jobs 1 and 4" a b
+
+let test_e25_trace_deterministic () =
+  let f () = Ffc_experiments.E25_stress.compute ~jobs:(Ffc_numerics.Pool.default_jobs ()) () in
+  let a = trace_of ~jobs:1 f and b = trace_of ~jobs:4 f in
+  check_true "E25 trace non-empty" (String.length a > 0);
+  Alcotest.(check string) "E25 trace identical at jobs 1 and 4" a b
+
+(* ------------------------------------------------------------------ *)
+(* Provenance                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_provenance_manifest () =
+  let m = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter m "controller.steps") 42;
+  let prov =
+    Provenance.collect ~command:"exp" ~subject:"e9"
+      ~adjusters:[ "additive:0.1:0.5" ]
+      ~seeds:[ ("fault", 7) ] ~faults:[ "lossy(p=0.2)@all" ] ~jobs:4 ~stride:10 ()
+  in
+  let doc = Provenance.to_json prov ~metrics:(Some (Metrics.snapshot m)) in
+  match parse_json doc with
+  | Jobj fields ->
+    (match List.assoc_opt "command" fields with
+    | Some (Jstr "exp") -> ()
+    | _ -> Alcotest.fail "command field");
+    (match List.assoc_opt "jobs" fields with
+    | Some (Jnum 4.) -> ()
+    | _ -> Alcotest.fail "jobs field");
+    (match List.assoc_opt "seeds" fields with
+    | Some (Jobj [ ("fault", Jnum 7.) ]) -> ()
+    | _ -> Alcotest.fail "seeds field");
+    (match List.assoc_opt "metrics" fields with
+    | Some (Jlist (_ :: _)) -> ()
+    | _ -> Alcotest.fail "metrics field")
+  | _ -> Alcotest.fail "manifest is not a JSON object"
+
+let suites =
+  [
+    ( "obs",
+      [
+        case "metrics: counter and gauge semantics" test_counter_semantics;
+        case "metrics: histogram semantics" test_histogram_semantics;
+        case "metrics: snapshot, reset, render" test_snapshot_reset_render;
+        case "events: every kind is valid JSONL" test_event_jsonl_well_formed;
+        case "events: JSON string escaping" test_jsonf_escaping;
+        case "sink: buffer and capture" test_sink_buffer_and_capture;
+        case "sink: file round-trip" test_sink_file_roundtrip;
+        case "ctx: ambient install and hot taps" test_ctx_ambient_and_counters;
+        case "ctx: null-sink taps allocate nothing" test_null_sink_taps_do_not_allocate;
+        case "pool: trace flushes in task order" test_pool_trace_order;
+        case "pool: sched events are opt-in" test_pool_sched_events_gated;
+        case "controller: traced run" test_controller_trace;
+        case "supervisor: traced faulted run" test_supervisor_fault_trace;
+        case "netsim: traced simulation" test_netsim_trace;
+        case "determinism: E9 trace vs jobs" test_e9_trace_deterministic;
+        case "determinism: E25 trace vs jobs" test_e25_trace_deterministic;
+        case "provenance: manifest is valid JSON" test_provenance_manifest;
+      ] );
+  ]
