@@ -467,11 +467,109 @@ let obs_overhead_comparison () =
   in
   [ step; desim ]
 
+(* Result cache: cold vs warm full experiment sweeps against a scratch
+   cache directory.  The warm sweep must be a 100% hit replay with
+   byte-identical output; the cold sweep's lookup overhead must stay
+   under 1% of the uncached wall time.  A single cold-vs-uncached
+   wall-clock diff is noise-dominated at the percent level, so the
+   overhead is derived instead: per-lookup cost measured hot in a
+   timing loop, multiplied by the cold run's actual lookup count. *)
+type cache_comp = {
+  cache_jobs : int;
+  cache_uncached_s : float;
+  cache_cold_s : float;
+  cache_warm_s : float;
+  cache_warm_speedup : float;
+  cache_warm_hit_ratio : float;
+  cache_cold_lookups : int;
+  cache_lookup_ns : float;
+  cache_cold_overhead_pct : float;
+  cache_identical : bool;
+}
+
+let time_loop_ns ~iters f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+let cache_comparison () =
+  let open Ffc_cache in
+  Printf.printf "%s\nresult cache: cold vs warm exp sweep\n%s\n"
+    (String.make 72 '=') (String.make 72 '=');
+  let dir = Filename.temp_dir "ffc-bench-cache" "" in
+  let jobs = Stdlib.min 4 (Domain.recommended_domain_count ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      Store.clear (Store.create ~root:dir ());
+      if Sys.file_exists dir then Sys.rmdir dir)
+    (fun () ->
+      let c = Cache.create ~dir () in
+      let uncached, t_un =
+        time (fun () -> Ffc_experiments.Registry.run_all ~jobs ())
+      in
+      let cold, t_cold =
+        time (fun () ->
+            Cache.with_cache c (fun () ->
+                Ffc_experiments.Registry.run_all ~jobs ()))
+      in
+      let cold_lookups = Cache.lookups (Cache.counters c) in
+      Cache.reset c;
+      let warm, t_warm =
+        time (fun () ->
+            Cache.with_cache c (fun () ->
+                Ffc_experiments.Registry.run_all ~jobs ()))
+      in
+      let warm_hit_ratio = Cache.hit_ratio (Cache.counters c) in
+      let identical = String.equal uncached cold && String.equal uncached warm in
+      (* Hot per-lookup cost (key build + probe + decode of a small
+         entry), so the derived cold overhead is an upper bound on the
+         lookup share of the uncached wall time. *)
+      let lookup_ns =
+        Cache.with_cache c (fun () ->
+            let probe () =
+              Cache.memo ~tier:"bench"
+                ~build:(fun k -> Key.str k "lookup-probe")
+                ~encode:(fun v -> Codec.encode (fun b -> Codec.put_floats b v))
+                ~decode:Codec.get_floats
+                (fun () -> [| 1.; 2. |])
+            in
+            ignore (probe ());
+            time_loop_ns ~iters:5_000 probe)
+      in
+      let overhead_pct =
+        float_of_int cold_lookups *. lookup_ns /. (t_un *. 1e9) *. 100.
+      in
+      Printf.printf "uncached sweep (--jobs %d)  %8.2f s\n" jobs t_un;
+      Printf.printf "cold cached sweep           %8.2f s   (%d lookups)\n"
+        t_cold cold_lookups;
+      Printf.printf "warm cached sweep           %8.2f s   speedup %.0fx   hit ratio %.3f\n"
+        t_warm (t_un /. t_warm) warm_hit_ratio;
+      Printf.printf "per-lookup cost             %8.0f ns\n" lookup_ns;
+      Printf.printf "cold lookup overhead        %8.3f %%  %s\n" overhead_pct
+        (if overhead_pct < 1. then "(< 1% contract: ok)"
+         else "(>= 1%: VIOLATION)");
+      Printf.printf "outputs byte-identical: %s\n"
+        (if identical then "yes" else "NO");
+      {
+        cache_jobs = jobs;
+        cache_uncached_s = t_un;
+        cache_cold_s = t_cold;
+        cache_warm_s = t_warm;
+        cache_warm_speedup = t_un /. t_warm;
+        cache_warm_hit_ratio = warm_hit_ratio;
+        cache_cold_lookups = cold_lookups;
+        cache_lookup_ns = lookup_ns;
+        cache_cold_overhead_pct = overhead_pct;
+        cache_identical = identical;
+      })
+
 (* Machine-readable dump alongside the human tables, for tracking the
    perf trajectory across commits. *)
 let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
-let write_bench_json ~kernels ~scans ~faults ~obs ~run_all =
+let write_bench_json ~kernels ~scans ~faults ~obs ~cache ~run_all =
   let oc = open_out "BENCH.json" in
   let out fmt = Printf.fprintf oc fmt in
   (* [cpus_available] is the hardware's recommended domain count;
@@ -524,6 +622,21 @@ let write_bench_json ~kernels ~scans ~faults ~obs ~run_all =
         (if i < List.length obs - 1 then "," else ""))
     obs;
   out "  ],\n";
+  out
+    "  \"cache\": {\"jobs\": %d, \"seconds_uncached\": %s, \"seconds_cold\": \
+     %s, \"seconds_warm\": %s, \"warm_speedup\": %s, \"warm_hit_ratio\": %s, \
+     \"cold_lookups\": %d, \"lookup_ns\": %s, \"cold_lookup_overhead_pct\": \
+     %s, \"identical_output\": %b},\n"
+    cache.cache_jobs
+    (json_float cache.cache_uncached_s)
+    (json_float cache.cache_cold_s)
+    (json_float cache.cache_warm_s)
+    (json_float cache.cache_warm_speedup)
+    (json_float cache.cache_warm_hit_ratio)
+    cache.cache_cold_lookups
+    (json_float cache.cache_lookup_ns)
+    (json_float cache.cache_cold_overhead_pct)
+    cache.cache_identical;
   (match run_all with
   | jobs, t_seq, Some (t_par, identical) ->
     out
@@ -579,8 +692,9 @@ let () =
   Printf.printf "%s\nobservability overhead (null sink)\n%s\n" (String.make 72 '=')
     (String.make 72 '=');
   let obs = obs_overhead_comparison () in
+  let cache = cache_comparison () in
   Printf.printf "%s\nmicro-benchmarks (bechamel)\n%s\n" (String.make 72 '=')
     (String.make 72 '=');
   let kernels = run_benchmarks () in
-  write_bench_json ~kernels ~scans ~faults ~obs ~run_all;
+  write_bench_json ~kernels ~scans ~faults ~obs ~cache ~run_all;
   print_endline "wrote BENCH.json"

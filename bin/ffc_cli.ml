@@ -305,6 +305,67 @@ let trace_sched_term =
            attribution). These events depend on --jobs and thread timing, so \
            they are excluded from the trace's byte-identity guarantee.")
 
+(* ------------------------------------------------------------------ *)
+(* Result-cache flags                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let cache_term =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Memoize steady-state solves, window fixed points, Jacobian \
+           columns/spectra and whole experiment cells in a content-addressed \
+           on-disk cache (default directory $(b,_ffc_cache/)). Cached results \
+           are byte-identical to fresh ones at any --jobs.")
+
+let no_cache_term =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Disable the result cache even when --cache or --cache-dir is given.")
+
+let cache_dir_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Result-cache directory (implies --cache). Default: $(b,_ffc_cache/).")
+
+(* Install the ambient result cache around [f] when asked.  The run's
+   counters land next to the entries (last_run.json) so `ffc cache
+   stats` and the CI smoke check can read the warm-run hit ratio
+   without parsing a manifest.  Exit codes are decided by the caller
+   after this returns, exactly as with [with_obs]. *)
+let with_cache ~cache ~no_cache ~cache_dir f =
+  let enabled = (cache || cache_dir <> None) && not no_cache in
+  if not enabled then f ()
+  else begin
+    let c = Ffc_cache.Cache.create ?dir:cache_dir () in
+    Fun.protect
+      ~finally:(fun () -> Ffc_cache.Cache.write_run_stats c)
+      (fun () -> Ffc_cache.Cache.with_cache c f)
+  end
+
+(* The manifest's cache section, from the ambient cache if one is
+   installed (so [with_cache] must wrap [with_obs], which it does at
+   every call site). *)
+let cache_provenance () =
+  match Ffc_cache.Cache.active () with
+  | None -> None
+  | Some c ->
+    let k = Ffc_cache.Cache.counters c in
+    Some
+      {
+        Ffc_obs.Provenance.cache_dir = Ffc_cache.Cache.dir c;
+        key_schema = Ffc_cache.Key.schema_version;
+        hits = k.Ffc_cache.Cache.hits;
+        misses = k.Ffc_cache.Cache.misses;
+        stores = k.Ffc_cache.Cache.stores;
+        evictions = k.Ffc_cache.Cache.evictions;
+        hit_ratio = Ffc_cache.Cache.hit_ratio k;
+      }
+
 (* Install an observability context around [f] when --trace/--metrics
    asked for one.  [f] must return (not call [exit]): Stdlib.exit does
    not unwind the stack, so the sink close and manifest write below
@@ -327,7 +388,7 @@ let with_obs ~command ~subject ?(adjusters = []) ?(seeds = []) ?(faults = [])
         | Some path ->
           let prov =
             Ffc_obs.Provenance.collect ~command ~subject ~adjusters ~seeds
-              ~faults ~jobs ~stride ()
+              ~faults ?cache:(cache_provenance ()) ~jobs ~stride ()
           in
           let snap = Ffc_obs.Metrics.snapshot (Ffc_obs.Ctx.metrics ctx) in
           Ffc_obs.Provenance.write ~path prov ~metrics:(Some snap)
@@ -373,7 +434,7 @@ let exp_cmd =
   let id =
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id or 'all'.")
   in
-  let run id jobs trace metrics stride sched =
+  let run id jobs cache no_cache cache_dir trace metrics stride sched =
     apply_jobs jobs;
     match String.lowercase_ascii id with
     | "list" ->
@@ -384,11 +445,12 @@ let exp_cmd =
         Ffc_experiments.Registry.all
     | lid -> (
       let out =
-        with_obs ~command:"exp" ~subject:lid ~jobs ~trace ~metrics ~stride ~sched
-          (fun () ->
-            match lid with
-            | "all" -> Ok (Ffc_experiments.Registry.run_all ~jobs ())
-            | _ -> Ffc_experiments.Registry.run_one id)
+        with_cache ~cache ~no_cache ~cache_dir (fun () ->
+            with_obs ~command:"exp" ~subject:lid ~jobs ~trace ~metrics ~stride
+              ~sched (fun () ->
+                match lid with
+                | "all" -> Ok (Ffc_experiments.Registry.run_all ~jobs ())
+                | _ -> Ffc_experiments.Registry.run_one id))
       in
       match out with Ok s -> print_string s | Error e -> exit_err e)
   in
@@ -396,10 +458,11 @@ let exp_cmd =
     (Cmd.info "exp"
        ~doc:
          "Regenerate the paper's tables and figures (E1-E24); 'list' prints the \
-          index, 'all' runs everything.")
+          index, 'all' runs everything. With --cache, results are memoized in a \
+          content-addressed store and a warm re-run replays byte-identically.")
     Term.(
-      const run $ id $ jobs_term $ trace_term $ metrics_term $ trace_stride_term
-      $ trace_sched_term)
+      const run $ id $ jobs_term $ cache_term $ no_cache_term $ cache_dir_term
+      $ trace_term $ metrics_term $ trace_stride_term $ trace_sched_term)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -423,7 +486,7 @@ let analyze_cmd =
              as CSV to FILE.")
   in
   let run net_result specs r0_spec csv_trace_file fault_specs fault_seed retries
-      budget escape jobs trace metrics stride sched =
+      budget escape jobs cache no_cache cache_dir trace metrics stride sched =
     apply_jobs jobs;
     match net_result with
     | Error e -> exit_err e
@@ -493,10 +556,11 @@ let analyze_cmd =
          decision waits until [with_obs] has flushed the trace and
          written the manifest. *)
       let outcomes =
-        with_obs ~command:"analyze" ~subject ~adjusters:specs
-          ~seeds:[ ("fault", fault_seed) ]
-          ~faults:(Fault.describe plan) ~jobs ~trace ~metrics ~stride ~sched
-          run_designs
+        with_cache ~cache ~no_cache ~cache_dir (fun () ->
+            with_obs ~command:"analyze" ~subject ~adjusters:specs
+              ~seeds:[ ("fault", fault_seed) ]
+              ~faults:(Fault.describe plan) ~jobs ~trace ~metrics ~stride ~sched
+              run_designs)
       in
       (* The CSV trajectory export stays outside the observed region so
          the metrics snapshot reflects the analysis runs alone. *)
@@ -523,8 +587,8 @@ let analyze_cmd =
     Term.(
       const run $ topology_term $ adjusters_term $ r0_term $ csv_trace_term
       $ fault_term $ fault_seed_term $ retries_term $ budget_term $ escape_term
-      $ jobs_term $ trace_term $ metrics_term $ trace_stride_term
-      $ trace_sched_term)
+      $ jobs_term $ cache_term $ no_cache_term $ cache_dir_term $ trace_term
+      $ metrics_term $ trace_stride_term $ trace_sched_term)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -701,6 +765,50 @@ let topology_cmd =
     Term.(const run $ topology_term $ seed_term)
 
 (* ------------------------------------------------------------------ *)
+(* cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cache_cmd =
+  let action =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("stats", `Stats); ("clear", `Clear) ])) None
+      & info [] ~docv:"ACTION" ~doc:"$(b,stats) or $(b,clear).")
+  in
+  let run action cache_dir =
+    let store = Ffc_cache.Store.create ?root:cache_dir () in
+    match action with
+    | `Clear ->
+      Ffc_cache.Store.clear store;
+      Printf.printf "cleared %s\n" (Ffc_cache.Store.root store)
+    | `Stats ->
+      let ds = Ffc_cache.Store.disk_stats store in
+      Printf.printf "cache dir   %s\n" (Ffc_cache.Store.root store);
+      Printf.printf "layout      %s\n" Ffc_cache.Store.layout_version;
+      Printf.printf "key schema  %s\n" Ffc_cache.Key.schema_version;
+      Printf.printf "entries     %d\n" ds.Ffc_cache.Store.entries;
+      Printf.printf "bytes       %d\n" ds.Ffc_cache.Store.bytes;
+      List.iter
+        (fun (tier, n) -> Printf.printf "  tier %-22s %d\n" tier n)
+        ds.Ffc_cache.Store.tiers;
+      (match Ffc_cache.Cache.read_run_stats store with
+      | Some (c, ratio) ->
+        (* One greppable line: the CI smoke check asserts on hit_ratio. *)
+        Printf.printf
+          "last run: hits=%d misses=%d stores=%d evictions=%d hit_ratio=%.6f\n"
+          c.Ffc_cache.Cache.hits c.Ffc_cache.Cache.misses
+          c.Ffc_cache.Cache.stores c.Ffc_cache.Cache.evictions ratio
+      | None -> Printf.printf "last run: (none recorded)\n")
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect ($(b,stats)) or delete ($(b,clear)) the content-addressed \
+          result cache. $(b,clear) removes only the cache's own versioned \
+          entry tree and run-stats file, never sibling files.")
+    Term.(const run $ action $ cache_dir_term)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -712,4 +820,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ exp_cmd; analyze_cmd; simulate_cmd; closed_loop_cmd; topology_cmd ]))
+          [
+            exp_cmd; analyze_cmd; simulate_cmd; closed_loop_cmd; topology_cmd;
+            cache_cmd;
+          ]))

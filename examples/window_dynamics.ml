@@ -45,6 +45,8 @@ let () =
       Printf.printf "%s (converged in %d steps):\n  windows = %s\n  rates   = %s\n\n"
         name steps (Vec.to_string windows) (Vec.to_string rates)
     | Window.No_convergence _ -> Printf.printf "%s: no convergence\n\n" name
+    | Window.Diverged { at_step; _ } ->
+      Printf.printf "%s: diverged at step %d\n\n" name at_step
   in
   show "DECbit window algorithm (constant increase, aggregate bit)"
     Feedback.aggregate_fifo

@@ -1,0 +1,79 @@
+(** The deterministic result cache: ambient installation and the memo
+    combinator.
+
+    Like the observability context ({!Ffc_obs.Ctx}), the cache is
+    ambient: memoized kernels probe a process-wide slot instead of
+    threading a handle, and with no cache installed a memo site costs
+    one atomic load and a branch.  Install one around a whole run with
+    {!with_cache}.
+
+    Determinism contract: a hit is indistinguishable from a miss —
+    payload codecs are bit-exact, keys cover every input including the
+    code-schema version, and corrupt or undecodable entries demote to
+    recomputation (counted as evictions).  Cached values are therefore
+    byte-identical to fresh ones at any [--jobs]; only the hit/miss
+    {e counters} can vary on a cold parallel run, when two domains race
+    the same key and both miss.  See docs/CACHING.md. *)
+
+type t
+
+val create : ?dir:string -> ?schema:string -> unit -> t
+(** [dir] defaults to [_ffc_cache]; [schema] to {!Key.schema_version}
+    (override in tests to prove invalidation).  Nothing touches the
+    disk until the first store. *)
+
+val store : t -> Store.t
+val dir : t -> string
+
+(** {2 Ambient installation} *)
+
+val active : unit -> t option
+val install : t -> unit
+val clear_ambient : unit -> unit
+
+val with_cache : t -> (unit -> 'a) -> 'a
+(** Installs, runs, restores the previous ambient cache (exceptions
+    included). *)
+
+(** {2 Counters} *)
+
+type counters = { hits : int; misses : int; stores : int; evictions : int }
+
+val counters : t -> counters
+val lookups : counters -> int
+val hit_ratio : counters -> float
+(** hits / (hits + misses); 0 when there were no lookups. *)
+
+val reset : t -> unit
+
+(** {2 Memoization} *)
+
+val memo :
+  tier:string ->
+  build:(Key.t -> unit) ->
+  encode:('a -> string) ->
+  decode:(Codec.reader -> 'a) ->
+  (unit -> 'a) ->
+  'a
+(** [memo ~tier ~build ~encode ~decode compute]: with no ambient cache,
+    just [compute ()].  Otherwise derive the content key ([build] must
+    append {e every} input the computation depends on), return the
+    decoded entry on a hit, or compute, publish and return on a miss.
+    [encode]/[decode] must be exact inverses on every producible value;
+    mismatches surface as {!Codec.Corrupt} and demote to recompute. *)
+
+val memo_string :
+  tier:string -> build:(Key.t -> unit) -> (unit -> string) -> string
+(** {!memo} specialized to string-valued computations (experiment
+    cells). *)
+
+(** {2 Per-run stats} *)
+
+val write_run_stats : t -> unit
+(** Atomically record this cache's counters as [<dir>/last_run.json]
+    (read back by the [cache stats] CLI subcommand and the CI smoke
+    check). *)
+
+val read_run_stats : Store.t -> (counters * float) option
+(** The last run's counters and hit ratio, if a well-formed stats file
+    exists. *)

@@ -1,0 +1,75 @@
+(* Canonical binary payload codec.
+
+   Hand-rolled instead of Marshal on purpose: Marshal.from_string on a
+   corrupted or stale entry can segfault or type-confuse, and its byte
+   format is not a determinism contract.  Here every value is framed
+   (fixed-width little-endian integers, IEEE float bits, length-prefixed
+   strings), encoding is bit-exact and injective, and every decoder
+   failure is the recoverable {!Corrupt} exception — which the cache
+   layer maps to "treat as miss". *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* --- writing ---------------------------------------------------------- *)
+
+let encode f =
+  let b = Buffer.create 256 in
+  f b;
+  Buffer.contents b
+
+let put_int b i = Buffer.add_int64_le b (Int64.of_int i)
+let put_float b x = Buffer.add_int64_le b (Int64.bits_of_float x)
+
+let put_string b s =
+  put_int b (String.length s);
+  Buffer.add_string b s
+
+let put_floats b a =
+  put_int b (Array.length a);
+  Array.iter (put_float b) a
+
+(* --- reading ---------------------------------------------------------- *)
+
+type reader = { data : string; mutable pos : int }
+
+let remaining r = String.length r.data - r.pos
+
+let need r n =
+  if n < 0 || n > remaining r then
+    corrupt "truncated payload: need %d bytes at offset %d of %d" n r.pos
+      (String.length r.data)
+
+let get_int r =
+  need r 8;
+  let v = String.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  let i = Int64.to_int v in
+  if Int64.of_int i <> v then corrupt "integer out of native range";
+  i
+
+let get_float r =
+  need r 8;
+  let v = Int64.float_of_bits (String.get_int64_le r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let get_string r =
+  let n = get_int r in
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_floats r =
+  let n = get_int r in
+  if n < 0 || n > remaining r / 8 then corrupt "float array length %d implausible" n;
+  Array.init n (fun _ -> get_float r)
+
+let decode data f =
+  let r = { data; pos = 0 } in
+  let v = f r in
+  if r.pos <> String.length data then
+    corrupt "trailing bytes: consumed %d of %d" r.pos (String.length data);
+  v

@@ -1,0 +1,31 @@
+(** Canonical binary payload codec for cache entries.
+
+    Framed, bit-exact and injective: integers are 64-bit little-endian,
+    floats are their IEEE-754 bit patterns (so encode ∘ decode is the
+    identity on every float, NaN payloads and signed zeros included),
+    strings are length-prefixed.  Deliberately not [Marshal]: a decoder
+    applied to corrupted bytes must fail with the recoverable
+    {!Corrupt}, never crash or type-confuse. *)
+
+exception Corrupt of string
+(** Every decoding failure: truncation, implausible lengths, trailing
+    bytes.  The cache layer maps it to "treat entry as miss". *)
+
+val encode : (Buffer.t -> unit) -> string
+(** Run a writer against a fresh buffer and return its bytes. *)
+
+val put_int : Buffer.t -> int -> unit
+val put_float : Buffer.t -> float -> unit
+val put_string : Buffer.t -> string -> unit
+val put_floats : Buffer.t -> float array -> unit
+
+type reader
+
+val get_int : reader -> int
+val get_float : reader -> float
+val get_string : reader -> string
+val get_floats : reader -> float array
+
+val decode : string -> (reader -> 'a) -> 'a
+(** Run a reader over the whole payload; raises {!Corrupt} if the
+    reader fails or leaves trailing bytes. *)

@@ -1,0 +1,50 @@
+(* Content-addressed cache keys.
+
+   A key is the 128-bit digest of a canonical byte string built from
+   everything the memoized computation depends on: the code-schema
+   version, the tier name, and a sequence of tagged, framed fields.
+   Tagging + length-prefixing makes the encoding injective — ["ab","c"]
+   and ["a","bc"] hash differently, a float field can never collide
+   with an int field — so two keys agree exactly when the inputs do.
+
+   Floats are keyed by their IEEE bit pattern: 0.1 +. 0.2 and 0.3 are
+   different inputs and must not share an entry.  The digest is
+   stdlib [Digest] (MD5): content addressing here is an integrity and
+   identity mechanism, not a security boundary, and MD5 keeps the
+   dependency surface at zero. *)
+
+let schema_version = "ffc1"
+
+type t = { buf : Buffer.t }
+
+let create ?(schema = schema_version) ~tier () =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "ffc-cache\x00";
+  Codec.put_string buf schema;
+  Codec.put_string buf tier;
+  { buf }
+
+let str t s =
+  Buffer.add_char t.buf 'S';
+  Codec.put_string t.buf s
+
+let int t i =
+  Buffer.add_char t.buf 'I';
+  Codec.put_int t.buf i
+
+let float t x =
+  Buffer.add_char t.buf 'F';
+  Codec.put_float t.buf x
+
+let floats t a =
+  Buffer.add_char t.buf 'V';
+  Codec.put_floats t.buf a
+
+let bool t v = Buffer.add_char t.buf (if v then 'T' else 'f')
+
+let strs t l =
+  Buffer.add_char t.buf 'L';
+  Codec.put_int t.buf (List.length l);
+  List.iter (fun s -> Codec.put_string t.buf s) l
+
+let hex t = Digest.to_hex (Digest.string (Buffer.contents t.buf))

@@ -1,0 +1,34 @@
+(** Content-addressed cache keys: a canonical, injective encoding of a
+    computation's inputs hashed to a 128-bit hex digest.
+
+    Build a key with {!create} (which seeds it with the code-schema
+    version and the tier name), append every input with the typed
+    [str]/[int]/[float]/[floats]/[bool]/[strs] fields — field order is
+    part of the key — and read the digest with {!hex}.  Floats are
+    keyed by IEEE bit pattern, so any representable change to an input
+    changes the key.
+
+    The digest is stdlib MD5: an identity/integrity mechanism with zero
+    extra dependencies, not a security boundary (the cache directory is
+    as trusted as the working tree it lives in). *)
+
+val schema_version : string
+(** Bumped whenever a memoized computation changes meaning — every
+    outstanding entry is invalidated at once because the schema is
+    hashed into every key. *)
+
+type t
+
+val create : ?schema:string -> tier:string -> unit -> t
+(** [schema] defaults to {!schema_version}; tests override it to prove
+    that a bump invalidates. *)
+
+val str : t -> string -> unit
+val int : t -> int -> unit
+val float : t -> float -> unit
+val floats : t -> float array -> unit
+val bool : t -> bool -> unit
+val strs : t -> string list -> unit
+
+val hex : t -> string
+(** 32 lowercase hex characters (128 bits). *)

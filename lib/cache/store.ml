@@ -1,0 +1,157 @@
+(* Disk store: one file per entry under a versioned layout,
+
+     <root>/v1/<first two hex chars>/<32-hex-key>
+
+   with a one-line header naming the format, the tier and the payload
+   length, then the raw payload bytes.
+
+   Writes go to a unique temp file in the same directory and land with
+   Sys.rename, so concurrent writers (pool domains, or two processes
+   sharing a cache dir) each publish a complete entry or nothing —
+   readers never observe a torn file.  Both sides are best-effort: any
+   I/O failure on read is a miss, any failure on write just skips the
+   store (the computation already succeeded).  A header/length mismatch
+   is a corrupt entry: it is deleted and reported so the caller can
+   count the eviction. *)
+
+let layout_version = "v1"
+let default_root = "_ffc_cache"
+let magic = "ffc-cache-entry"
+
+type t = { root : string }
+
+let create ?(root = default_root) () =
+  if root = "" then invalid_arg "Store.create: empty root";
+  { root }
+
+let root t = t.root
+let version_dir t = Filename.concat t.root layout_version
+
+let entry_path t ~hex =
+  if String.length hex < 3 then invalid_arg "Store.entry_path: key too short";
+  Filename.concat (Filename.concat (version_dir t) (String.sub hex 0 2)) hex
+
+let run_stats_path t = Filename.concat t.root "last_run.json"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* --- entry format ----------------------------------------------------- *)
+
+let render ~tier payload =
+  Printf.sprintf "%s %s %s %d\n%s" magic layout_version tier
+    (String.length payload)
+    payload
+
+(* Header: "ffc-cache-entry v1 <tier> <len>\n".  Returns the payload or
+   None on any structural mismatch. *)
+let parse ~tier data =
+  match String.index_opt data '\n' with
+  | None -> None
+  | Some nl -> (
+    let header = String.sub data 0 nl in
+    match String.split_on_char ' ' header with
+    | [ m; v; t; len ] when m = magic && v = layout_version && t = tier -> (
+      match int_of_string_opt len with
+      | Some len when len = String.length data - nl - 1 ->
+        Some (String.sub data (nl + 1) len)
+      | _ -> None)
+    | _ -> None)
+
+(* --- read/write ------------------------------------------------------- *)
+
+type lookup = Hit of string | Miss | Evicted
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | data -> Some data
+  | exception Sys_error _ -> None
+
+let load t ~tier ~hex =
+  let path = entry_path t ~hex in
+  if not (Sys.file_exists path) then Miss
+  else
+    match read_file path with
+    | None -> Miss
+    | Some data -> (
+      match parse ~tier data with
+      | Some payload -> Hit payload
+      | None ->
+        (* Corrupt or truncated: drop it so the rewrite below is clean. *)
+        (try Sys.remove path with Sys_error _ -> ());
+        Evicted)
+
+let tmp_counter = Atomic.make 0
+
+let save t ~tier ~hex payload =
+  let path = entry_path t ~hex in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
+  try
+    mkdir_p (Filename.dirname path);
+    Out_channel.with_open_bin tmp (fun oc ->
+        Out_channel.output_string oc (render ~tier payload));
+    Sys.rename tmp path;
+    true
+  with Sys_error _ | Unix.Unix_error _ ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    false
+
+(* --- maintenance ------------------------------------------------------ *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let clear t =
+  rm_rf (version_dir t);
+  (try Sys.remove (run_stats_path t) with Sys_error _ -> ());
+  (* Only if now empty: the root may be a shared directory. *)
+  try Unix.rmdir t.root with Unix.Unix_error _ -> ()
+
+type disk_stats = { entries : int; bytes : int; tiers : (string * int) list }
+
+let entry_tier path =
+  match In_channel.with_open_bin path In_channel.input_line with
+  | Some header -> (
+    match String.split_on_char ' ' header with
+    | [ m; _; t; _ ] when m = magic -> t
+    | _ -> "(corrupt)")
+  | None -> "(corrupt)"
+  | exception Sys_error _ -> "(corrupt)"
+
+let disk_stats t =
+  let entries = ref 0 and bytes = ref 0 in
+  let tiers = Hashtbl.create 8 in
+  let dir = version_dir t in
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun shard ->
+        let shard_dir = Filename.concat dir shard in
+        if Sys.is_directory shard_dir then
+          Array.iter
+            (fun f ->
+              let path = Filename.concat shard_dir f in
+              incr entries;
+              (bytes := !bytes + (try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0));
+              let tier = entry_tier path in
+              Hashtbl.replace tiers tier
+                (1 + Option.value ~default:0 (Hashtbl.find_opt tiers tier)))
+            (Sys.readdir shard_dir))
+      (Sys.readdir dir);
+  let tiers = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tiers [] in
+  {
+    entries = !entries;
+    bytes = !bytes;
+    tiers = List.sort (fun (a, _) (b, _) -> compare a b) tiers;
+  }

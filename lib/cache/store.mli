@@ -1,0 +1,45 @@
+(** Disk store for cache entries: one file per entry under a versioned
+    layout ([<root>/v1/<2-hex shard>/<32-hex key>]), each with a header
+    naming the format version, the tier and the payload length.
+
+    Writes are atomic (unique temp file + [Sys.rename] in the same
+    directory), so concurrent writers — pool domains or separate
+    processes sharing a cache dir — publish complete entries or
+    nothing.  All I/O is best-effort: read failures are misses, write
+    failures are skipped stores; only structural corruption is
+    surfaced (as {!Evicted}, after deleting the bad entry). *)
+
+type t
+
+val layout_version : string
+val default_root : string
+
+val create : ?root:string -> unit -> t
+(** [root] defaults to {!default_root} ([_ffc_cache]).  No directories
+    are created until the first {!save}. *)
+
+val root : t -> string
+val entry_path : t -> hex:string -> string
+val run_stats_path : t -> string
+(** Where {!Cache.write_run_stats} records the last run's counters. *)
+
+type lookup = Hit of string | Miss | Evicted
+
+val load : t -> tier:string -> hex:string -> lookup
+(** [Evicted] means the entry existed but was corrupt/truncated or
+    belonged to a different tier under the same key; it has been
+    deleted and the caller should recompute (and count the eviction). *)
+
+val save : t -> tier:string -> hex:string -> string -> bool
+(** Atomically publish an entry; [false] if the write failed (read-only
+    directory, disk full, …) — the cache then simply stays cold. *)
+
+val clear : t -> unit
+(** Remove the versioned entry tree and the run-stats file, then the
+    root directory only if it is empty — never anything else. *)
+
+type disk_stats = { entries : int; bytes : int; tiers : (string * int) list }
+
+val disk_stats : t -> disk_stats
+(** Walk the store: entry/byte totals and per-tier entry counts
+    (sorted by tier name). *)

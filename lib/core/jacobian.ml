@@ -43,8 +43,31 @@ let numeric ?jobs ?(dx = 1e-7) ?(mode = Central) f ~at =
   let cols = Pool.parallel_init ~jobs n column in
   Mat.init n n (fun i j -> cols.(j).(i))
 
-let of_controller ?jobs ?dx ?mode controller ~net ~at =
-  numeric ?jobs ?dx ?mode (fun r -> Controller.map controller ~net r) ~at
+let mode_name = function Central -> "central" | Forward -> "forward" | Backward -> "backward"
+
+(* Memoized (tier "jac.of_controller"): DF is a pure function of the
+   controller design, the topology, the linearization point, the step
+   and the mode.  [jobs] only shapes the fan-out — columns are
+   bit-identical at every jobs count (see [numeric]) — so it is
+   deliberately NOT part of the key: that is what makes cached results
+   jobs-invariant. *)
+let of_controller ?jobs ?(dx = 1e-7) ?(mode = Central) controller ~net ~at =
+  Ffc_cache.Cache.memo ~tier:"jac.of_controller"
+    ~build:(fun k ->
+      Ffc_cache.Key.float k dx;
+      Ffc_cache.Key.str k (mode_name mode);
+      Cache_key.add_config k (Controller.config controller);
+      Cache_key.add_adjusters k (Controller.adjusters controller);
+      Cache_key.add_network k net;
+      Ffc_cache.Key.floats k at)
+    ~encode:(fun m -> Ffc_cache.Codec.(encode (fun b -> put_floats b (Mat.to_flat m))))
+    ~decode:(fun r ->
+      let flat = Ffc_cache.Codec.get_floats r in
+      let n = Array.length at in
+      if Array.length flat <> n * n then
+        raise (Ffc_cache.Codec.Corrupt "Jacobian: flat size mismatch");
+      Mat.of_flat ~rows:n ~cols:n flat)
+    (fun () -> numeric ?jobs ~dx ~mode (fun r -> Controller.map controller ~net r) ~at)
 
 let unilaterally_stable ?(tol = 1e-9) df =
   let d = Mat.diagonal df in
@@ -53,7 +76,51 @@ let unilaterally_stable ?(tol = 1e-9) df =
 let systemically_stable ?tol ?ignore_unit df =
   Eigen.is_linearly_stable ?tol ?ignore_unit df
 
-let spectral_radius df = Eigen.spectral_radius df
+(* Cached eigen spectra (tiers "eigen.spectrum"/"eigen.spectrum_sorted"):
+   keyed on the matrix content, so they compose with the cached DF above
+   — a warm run rebuilds neither the columns nor the QR iteration. *)
+
+let encode_spectrum ev =
+  Ffc_cache.Codec.(
+    encode (fun b ->
+        put_int b (Array.length ev);
+        Array.iter
+          (fun z ->
+            put_float b z.Complex.re;
+            put_float b z.Complex.im)
+          ev))
+
+let decode_spectrum r =
+  let n = Ffc_cache.Codec.get_int r in
+  if n < 0 then raise (Ffc_cache.Codec.Corrupt "Jacobian: negative spectrum length");
+  Array.init n (fun _ ->
+      let re = Ffc_cache.Codec.get_float r in
+      let im = Ffc_cache.Codec.get_float r in
+      { Complex.re; im })
+
+let spectrum_key ~struct_tol df k =
+  (match struct_tol with
+  | None -> Ffc_cache.Key.bool k false
+  | Some t ->
+    Ffc_cache.Key.bool k true;
+    Ffc_cache.Key.float k t);
+  Cache_key.add_mat k df
+
+let eigenvalues ?struct_tol df =
+  Ffc_cache.Cache.memo ~tier:"eigen.spectrum"
+    ~build:(spectrum_key ~struct_tol df)
+    ~encode:encode_spectrum ~decode:decode_spectrum
+    (fun () -> Eigen.eigenvalues ?struct_tol df)
+
+let eigenvalues_sorted ?struct_tol df =
+  Ffc_cache.Cache.memo ~tier:"eigen.spectrum_sorted"
+    ~build:(spectrum_key ~struct_tol df)
+    ~encode:encode_spectrum ~decode:decode_spectrum
+    (fun () -> Eigen.eigenvalues_sorted ?struct_tol df)
+
+(* Same fold Eigen.spectral_radius uses, over the cached spectrum. *)
+let spectral_radius df =
+  Array.fold_left (fun acc z -> Float.max acc (Complex.norm z)) 0. (eigenvalues df)
 
 let triangular_in_rate_order ?(tol = 1e-6) df ~rates =
   let n = Array.length rates in

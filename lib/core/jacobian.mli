@@ -31,7 +31,19 @@ val numeric :
 val of_controller :
   ?jobs:int -> ?dx:float -> ?mode:mode -> Controller.t ->
   net:Ffc_topology.Network.t -> at:Vec.t -> Mat.t
-(** DF of the flow-control map at [at]. *)
+(** DF of the flow-control map at [at].  Memoized through the ambient
+    result cache ({!Ffc_cache.Cache}) when one is installed; [jobs] is
+    excluded from the cache key because columns are bit-identical at
+    every jobs count. *)
+
+val eigenvalues : ?struct_tol:float -> Mat.t -> Complex.t array
+(** {!Ffc_numerics.Eigen.eigenvalues}, memoized on the matrix content
+    through the ambient result cache.  Composes with the cached DF: a
+    warm run rebuilds neither the finite-difference columns nor the QR
+    iteration. *)
+
+val eigenvalues_sorted : ?struct_tol:float -> Mat.t -> Complex.t array
+(** {!Ffc_numerics.Eigen.eigenvalues_sorted}, memoized likewise. *)
 
 val unilaterally_stable : ?tol:float -> Mat.t -> bool
 (** |DF_ii| < 1 − [tol] for every i (default [tol] 1e-9). *)

@@ -12,9 +12,12 @@ let name t = t.name
 
 let eval t ~r ~b ~d =
   let v = t.f ~r ~b ~d in
-  if Float.is_nan v then
-    failwith (Printf.sprintf "Rate_adjust.eval: %s produced NaN at r=%g b=%g d=%g"
-                t.name r b d);
+  (* NaN and ±∞ alike: an infinite step escapes the NaN-only guard,
+     survives max(0, r + dv), and only blows up later inside whatever
+     consumes the rates — classify at the source instead. *)
+  if not (Float.is_finite v) then
+    failwith (Printf.sprintf "Rate_adjust.eval: %s produced non-finite %g at r=%g b=%g d=%g"
+                t.name v r b d);
   v
 
 let declared_b_ss t = t.b_ss

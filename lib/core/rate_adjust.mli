@@ -15,8 +15,10 @@ val make : name:string -> ?b_ss:float -> (r:float -> b:float -> d:float -> float
 val name : t -> string
 
 val eval : t -> r:float -> b:float -> d:float -> float
-(** Raises [Failure] if the underlying function produces NaN — rate
-    adjustment must be total on r ≥ 0, b ∈ [0,1], d ∈ (0,∞]. *)
+(** Raises [Failure] if the underlying function produces a non-finite
+    value (NaN or ±∞) — rate adjustment must be total and finite on
+    r ≥ 0, b ∈ [0,1], d ∈ (0,∞].  {!Controller.run} maps the failure to
+    a [Diverged] outcome at that step. *)
 
 val declared_b_ss : t -> float option
 

@@ -60,6 +60,18 @@ let bottleneck_shares ~signal ~b_ss ~net =
   Array.init (Network.num_gateways net) (fun a ->
       (Network.gateway net a).Network.mu *. rho)
 
+(* Memoized (tier "steady.fair"): the water-filling is a pure function
+   of the signal curve, the steady signal level and the topology, and
+   it anchors most experiment cells — the canonical tier-1 cache
+   target.  Uncached when no ambient cache is installed. *)
 let fair ~signal ~b_ss ~net =
-  let capacities = bottleneck_shares ~signal ~b_ss ~net in
-  max_min_fair ~capacities ~net
+  Ffc_cache.Cache.memo ~tier:"steady.fair"
+    ~build:(fun k ->
+      Ffc_cache.Key.str k (Signal.name signal);
+      Ffc_cache.Key.float k b_ss;
+      Cache_key.add_network k net)
+    ~encode:(fun rates -> Ffc_cache.Codec.(encode (fun b -> put_floats b rates)))
+    ~decode:Ffc_cache.Codec.get_floats
+    (fun () ->
+      let capacities = bottleneck_shares ~signal ~b_ss ~net in
+      max_min_fair ~capacities ~net)

@@ -1,7 +1,10 @@
 open Ffc_numerics
 open Ffc_topology
 
-let rates_of_windows ?(tol = 1e-10) ?(max_iter = 50_000) config ~net ~windows =
+let default_solver_tol = 1e-10
+let default_solver_max_iter = 50_000
+
+let solve_rates ~tol ~max_iter config ~net ~windows =
   let n = Network.num_connections net in
   if Array.length windows <> n then
     invalid_arg "Window.rates_of_windows: windows length mismatch";
@@ -50,6 +53,22 @@ let rates_of_windows ?(tol = 1e-10) ?(max_iter = 50_000) config ~net ~windows =
   done;
   r
 
+(* The public fixed-point solver is memoized (tier "window.rates"); the
+   run loop below calls [solve_rates] directly so a 20k-step trajectory
+   does one whole-run lookup, not 20k per-step ones. *)
+let rates_of_windows ?(tol = default_solver_tol) ?(max_iter = default_solver_max_iter)
+    config ~net ~windows =
+  Ffc_cache.Cache.memo ~tier:"window.rates"
+    ~build:(fun k ->
+      Ffc_cache.Key.float k tol;
+      Ffc_cache.Key.int k max_iter;
+      Cache_key.add_config k config;
+      Cache_key.add_network k net;
+      Ffc_cache.Key.floats k windows)
+    ~encode:(fun rates -> Ffc_cache.Codec.(encode (fun b -> put_floats b rates)))
+    ~decode:Ffc_cache.Codec.get_floats
+    (fun () -> solve_rates ~tol ~max_iter config ~net ~windows)
+
 type adjuster = { name : string; f : w:float -> b:float -> d:float -> float }
 
 let adjuster_name a = a.name
@@ -74,41 +93,102 @@ let decbit ~eta ~beta =
 type outcome =
   | Converged of { windows : Vec.t; rates : Vec.t; steps : int }
   | No_convergence of { windows : Vec.t; rates : Vec.t }
+  | Diverged of { windows : Vec.t; at_step : int }
 
-let run ?(tol = 1e-9) ?(max_steps = 20_000) config ~net ~adjusters ~w0 =
+let encode_outcome o =
+  Ffc_cache.Codec.(
+    encode (fun b ->
+        match o with
+        | Converged { windows; rates; steps } ->
+          put_int b 0;
+          put_floats b windows;
+          put_floats b rates;
+          put_int b steps
+        | No_convergence { windows; rates } ->
+          put_int b 1;
+          put_floats b windows;
+          put_floats b rates
+        | Diverged { windows; at_step } ->
+          put_int b 2;
+          put_floats b windows;
+          put_int b at_step))
+
+let decode_outcome r =
+  Ffc_cache.Codec.(
+    match get_int r with
+    | 0 ->
+      let windows = get_floats r in
+      let rates = get_floats r in
+      Converged { windows; rates; steps = get_int r }
+    | 1 ->
+      let windows = get_floats r in
+      No_convergence { windows; rates = get_floats r }
+    | 2 ->
+      let windows = get_floats r in
+      Diverged { windows; at_step = get_int r }
+    | tag -> raise (Corrupt (Printf.sprintf "Window.outcome: unknown tag %d" tag)))
+
+let run_uncached ~tol ~max_steps config ~net ~adjusters ~w0 =
   let n = Network.num_connections net in
   if Array.length adjusters <> n then invalid_arg "Window.run: adjuster count mismatch";
   if Array.length w0 <> n then invalid_arg "Window.run: w0 length mismatch";
+  let solve windows =
+    solve_rates ~tol:default_solver_tol ~max_iter:default_solver_max_iter config ~net
+      ~windows
+  in
   let w = ref (Array.copy w0) in
   let result = ref None in
   let quiet = ref 0 in
   let step = ref 0 in
   while !result = None && !step < max_steps do
     incr step;
-    let rates = rates_of_windows config ~net ~windows:!w in
+    let rates = solve !w in
     let b = Feedback.signals config ~net ~rates in
     let d = Feedback.delays config ~net ~rates in
     let next =
       Array.mapi
         (fun i wi ->
           let dw = (adjusters.(i)).f ~w:wi ~b:b.(i) ~d:d.(i) in
-          if Float.is_nan dw then
-            failwith "Window.run: adjuster produced NaN"
-          else Float.max 0. (wi +. dw))
+          Float.max 0. (wi +. dw))
         !w
     in
-    if Vec.dist_inf next !w <= tol *. (1. +. Vec.norm_inf next) then begin
-      incr quiet;
-      if !quiet >= 3 then begin
-        let rates = rates_of_windows config ~net ~windows:next in
-        result := Some (Converged { windows = next; rates; steps = !step })
+    (* A NaN or ±∞ step escapes max(0, w + dw) — NaN because max
+       propagates it, +∞ because it is a legal upper bound — and would
+       only surface one step later as rates_of_windows's unrelated
+       "windows must be finite" invalid_arg.  Classify it here as
+       divergence, the way Controller.run treats non-finite rates. *)
+    if Array.exists (fun wi -> not (Float.is_finite wi)) next then
+      result := Some (Diverged { windows = next; at_step = !step })
+    else begin
+      if Vec.dist_inf next !w <= tol *. (1. +. Vec.norm_inf next) then begin
+        incr quiet;
+        if !quiet >= 3 then begin
+          let rates = solve next in
+          result := Some (Converged { windows = next; rates; steps = !step })
+        end
       end
+      else quiet := 0;
+      w := next
     end
-    else quiet := 0;
-    w := next
   done;
   match !result with
   | Some o -> o
   | None ->
-    let rates = rates_of_windows config ~net ~windows:!w in
+    let rates = solve !w in
     No_convergence { windows = !w; rates }
+
+(* Whole-trajectory memoization (tier "window.run"): the run is a pure
+   function of its tolerances, the feedback design, the topology, the
+   adjuster names (which embed their parameters — the naming contract
+   of docs/CACHING.md) and the start vector. *)
+let run ?(tol = 1e-9) ?(max_steps = 20_000) config ~net ~adjusters ~w0 =
+  Ffc_cache.Cache.memo ~tier:"window.run"
+    ~build:(fun k ->
+      Ffc_cache.Key.float k tol;
+      Ffc_cache.Key.int k max_steps;
+      Cache_key.add_config k config;
+      Cache_key.add_network k net;
+      Ffc_cache.Key.strs k (Array.to_list (Array.map adjuster_name adjusters));
+      Ffc_cache.Key.floats k w0)
+    ~encode:encode_outcome ~decode:decode_outcome
+    (fun () -> run_uncached ~tol ~max_steps config ~net ~adjusters ~w0)

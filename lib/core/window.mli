@@ -47,10 +47,15 @@ val make_adjuster : name:string -> (w:float -> b:float -> d:float -> float) -> a
 type outcome =
   | Converged of { windows : Vec.t; rates : Vec.t; steps : int }
   | No_convergence of { windows : Vec.t; rates : Vec.t }
+  | Diverged of { windows : Vec.t; at_step : int }
+      (** An adjuster drove some window non-finite (NaN or +∞) at
+          [at_step]; [windows] is the offending post-update vector.  No
+          induced rates exist for it, so none are reported. *)
 
 val run :
   ?tol:float -> ?max_steps:int -> Feedback.config -> net:Network.t ->
   adjusters:adjuster array -> w0:Vec.t -> outcome
 (** Iterates the window dynamics: each step solves the induced rates,
     computes signals and delays at those rates, and updates every
-    window. *)
+    window.  A non-finite window update classifies as [Diverged] — it
+    never reaches {!rates_of_windows}'s finiteness [invalid_arg]. *)

@@ -26,7 +26,7 @@ let compute ?(eta = 0.1) ?(ns = [ 2; 5; 10; 15; 19; 21; 25; 30 ]) ?jobs () =
         Array.fold_left
           (fun acc z -> if z.Complex.re < acc then z.Complex.re else acc)
           1.
-          (Eigen.eigenvalues df)
+          (Jacobian.eigenvalues df)
       in
       (* Perturb the fair point with a component along the all-ones
          direction — the mode carrying the 1 - eta*N eigenvalue.  (A

@@ -40,6 +40,12 @@ let converge config adjuster =
   with
   | Window.Converged { windows; rates; _ } -> (windows, rates)
   | Window.No_convergence { windows; rates } -> (windows, rates)
+  | Window.Diverged { windows; at_step } ->
+    (* The paper's window adjusters are self-limiting; divergence here
+       means a bad parameterization, not an experimental result. *)
+    failwith
+      (Printf.sprintf "E21: window dynamics diverged at step %d (windows = %s)"
+         at_step (Vec.to_string windows))
 
 let compute () =
   let decbit_windows, decbit_rates =

@@ -44,7 +44,19 @@ let table ~header ~rows =
 
 let section title = Printf.sprintf "%s\n%s\n" title (String.make (String.length title) '~')
 
+(* The cell tier: a whole experiment's rendered report, memoized on its
+   identity and the code-schema version.  Every experiment keeps
+   wall-clock time (and any other nondeterminism) out of its report —
+   the repo-wide byte-identity contract — which is exactly what makes a
+   replayed cell indistinguishable from a fresh one.  This is the tier
+   that turns a warm `ffc exp --all` into pure cache reads. *)
 let render t =
-  let sep = String.make 72 '=' in
-  Printf.sprintf "%s\n%s: %s  [paper: %s]\n%s\n%s" sep t.id t.title t.paper_ref sep
-    (t.run ())
+  Ffc_cache.Cache.memo_string ~tier:"cell"
+    ~build:(fun k ->
+      Ffc_cache.Key.str k t.id;
+      Ffc_cache.Key.str k t.title;
+      Ffc_cache.Key.str k t.paper_ref)
+    (fun () ->
+      let sep = String.make 72 '=' in
+      Printf.sprintf "%s\n%s: %s  [paper: %s]\n%s\n%s" sep t.id t.title t.paper_ref sep
+        (t.run ()))

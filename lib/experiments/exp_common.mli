@@ -22,4 +22,7 @@ val fbool : bool -> string
 (** "yes"/"no". *)
 
 val render : t -> string
-(** Header block (id, title, paper reference) followed by the report. *)
+(** Header block (id, title, paper reference) followed by the report.
+    Memoized as a whole ("cell" tier) through the ambient result cache
+    when one is installed: reports exclude wall-clock time by contract,
+    so a replayed cell is byte-identical to a fresh one. *)

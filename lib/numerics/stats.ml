@@ -62,6 +62,12 @@ let quantile xs p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.quantile: empty array";
   if not (p >= 0. && p <= 1.) then invalid_arg "Stats.quantile: p outside [0,1]";
+  (* NaN has no rank: Float.compare sorts it past +infinity, so it used
+     to poison exactly the upper quantiles and nothing else.  ±∞ is
+     orderable and passes through. *)
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg "Stats.quantile: NaN in input")
+    xs;
   let sorted = Array.copy xs in
   Array.sort Float.compare sorted;
   (* Linear interpolation at rank p*(n-1).  [pos] lies in [0, n-1] by
@@ -72,7 +78,10 @@ let quantile xs p =
   let lo = int_of_float pos in
   let hi = Stdlib.min (lo + 1) (n - 1) in
   let frac = pos -. float_of_int lo in
-  (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  (* Exact-rank and equal-endpoint shortcuts keep infinities clean:
+     0 · ∞ in the interpolation would otherwise manufacture a NaN. *)
+  if frac = 0. || sorted.(lo) = sorted.(hi) then sorted.(lo)
+  else (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
 
 let median xs = quantile xs 0.5
 
@@ -129,6 +138,14 @@ let jain_index xs =
 let max_min_ratio xs =
   if Array.length xs = 0 then 1.
   else begin
+    (* The index only means anything for allocations (x ≥ 0): with a
+       negative component, mx = 0 used to report the all-zero
+       convention's 1.0 and mx/mn a meaningless negative ratio. *)
+    Array.iter
+      (fun x ->
+        if Float.is_nan x then invalid_arg "Stats.max_min_ratio: NaN in input";
+        if x < 0. then invalid_arg "Stats.max_min_ratio: negative allocation")
+      xs;
     let mx = Array.fold_left Float.max xs.(0) xs in
     let mn = Array.fold_left Float.min xs.(0) xs in
     if mx = 0. then 1. else if mn = 0. then Float.infinity else mx /. mn

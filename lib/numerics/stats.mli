@@ -48,7 +48,11 @@ val variance : float array -> float
 val stddev : float array -> float
 val quantile : float array -> float -> float
 (** [quantile xs p] for [p] in [\[0,1\]] using linear interpolation between
-    order statistics. The array must be non-empty. *)
+    order statistics. The array must be non-empty and NaN-free
+    ([Invalid_argument] otherwise — NaN has no rank, and it used to
+    poison exactly the upper quantiles silently).  ±∞ is orderable and
+    passes through; interpolating strictly between −∞ and +∞ order
+    statistics is undefined and yields NaN. *)
 
 val median : float array -> float
 
@@ -75,4 +79,6 @@ val jain_index : float array -> float
 
 val max_min_ratio : float array -> float
 (** max/min of the allocation; [infinity] when some component is 0 but not
-    all are, 1 for the all-zero allocation. *)
+    all are, 1 for the all-zero allocation.  Components must be
+    non-negative and NaN-free ([Invalid_argument] otherwise): the
+    all-zero convention is only sound once negatives are ruled out. *)

@@ -126,3 +126,15 @@ let pool_map ~tasks ~jobs ~chunk =
 let pool_chunk ~start ~stop ~domain =
   obj "pool.chunk"
     [ ("start", int_ start); ("stop", int_ stop); ("domain", int_ domain) ]
+
+(* ------------------------------------------------------------------ *)
+(* Result cache                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cache_lookup ~tier ~key ~hit =
+  obj "cache.lookup"
+    [ ("tier", Jsonf.string tier); ("key", Jsonf.string key); ("hit", bool_ hit) ]
+
+let cache_store ~tier ~key ~bytes =
+  obj "cache.store"
+    [ ("tier", Jsonf.string tier); ("key", Jsonf.string key); ("bytes", int_ bytes) ]

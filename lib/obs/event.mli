@@ -62,3 +62,13 @@ val pool_map : tasks:int -> jobs:int -> chunk:int -> string
 val pool_chunk : start:int -> stop:int -> domain:int -> string
 (** One self-scheduled chunk [start, stop) ran on worker slot [domain]
     (sched-gated: the attribution is scheduling-dependent). *)
+
+val cache_lookup : tier:string -> key:string -> hit:bool -> string
+(** One result-cache probe: memo tier, 32-hex content key, outcome.
+    Cached {e values} are jobs-invariant, but on a cold parallel run
+    two domains can race to the same key and both record a miss, so
+    these events — like the [pool_*] pair — sit outside the trace
+    byte-identity contract (see docs/CACHING.md). *)
+
+val cache_store : tier:string -> key:string -> bytes:int -> string
+(** A computed result was published to the store ([bytes] of payload). *)

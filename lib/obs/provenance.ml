@@ -8,6 +8,20 @@
    between equivalent runs, and the trace must stay byte-identical
    across them. *)
 
+(* Result-cache provenance: where results were memoized, under which
+   key schema, and how the run's lookups went.  Plain data — the cache
+   layer depends on this library, not the other way around, so the CLI
+   fills it in from the ambient cache's counters. *)
+type cache_info = {
+  cache_dir : string;
+  key_schema : string;
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+  hit_ratio : float;
+}
+
 type t = {
   command : string;
   subject : string;
@@ -17,6 +31,7 @@ type t = {
   jobs : int;
   stride : int;
   git : string option;
+  cache : cache_info option;
 }
 
 (* The revision stamp, best-effort: a run outside a checkout (or
@@ -32,9 +47,19 @@ let git_describe () =
     | _ -> None
   with Unix.Unix_error _ | Sys_error _ -> None
 
-let collect ~command ~subject ?(adjusters = []) ?(seeds = []) ?(faults = []) ~jobs
-    ~stride () =
-  { command; subject; adjusters; seeds; faults; jobs; stride; git = git_describe () }
+let collect ~command ~subject ?(adjusters = []) ?(seeds = []) ?(faults = [])
+    ?cache ~jobs ~stride () =
+  {
+    command;
+    subject;
+    adjusters;
+    seeds;
+    faults;
+    jobs;
+    stride;
+    git = git_describe ();
+    cache;
+  }
 
 let to_json t ~metrics =
   let buf = Buffer.create 1024 in
@@ -66,6 +91,16 @@ let to_json t ~metrics =
   field "trace_stride" (string_of_int t.stride);
   Buffer.add_string buf ",\n  ";
   field "git" (match t.git with Some g -> Jsonf.string g | None -> "null");
+  (match t.cache with
+  | None -> ()
+  | Some c ->
+    Buffer.add_string buf ",\n  ";
+    field "cache"
+      (Printf.sprintf
+         "{\"dir\": %s, \"key_schema\": %s, \"hits\": %d, \"misses\": %d, \
+          \"stores\": %d, \"evictions\": %d, \"hit_ratio\": %.6f}"
+         (Jsonf.string c.cache_dir) (Jsonf.string c.key_schema) c.hits c.misses
+         c.stores c.evictions c.hit_ratio));
   (match metrics with
   | None -> ()
   | Some snap ->

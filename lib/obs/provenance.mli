@@ -7,6 +7,19 @@
     the event trace: jobs and git state legitimately differ between
     runs whose traces must stay byte-identical. *)
 
+type cache_info = {
+  cache_dir : string;
+  key_schema : string;  (** Cache key schema version, e.g. ["ffc1"]. *)
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+  hit_ratio : float;
+}
+(** How the run's result-cache lookups went.  Plain data: the cache
+    layer depends on this library, so the CLI copies the ambient
+    cache's counters in here rather than this module reading them. *)
+
 type t = {
   command : string;
   subject : string;  (** Experiment id, or the topology description. *)
@@ -16,6 +29,7 @@ type t = {
   jobs : int;
   stride : int;
   git : string option;
+  cache : cache_info option;  (** [None] when the run was uncached. *)
 }
 
 val git_describe : unit -> string option
@@ -28,6 +42,7 @@ val collect :
   ?adjusters:string list ->
   ?seeds:(string * int) list ->
   ?faults:string list ->
+  ?cache:cache_info ->
   jobs:int ->
   stride:int ->
   unit ->

@@ -87,6 +87,20 @@ let service ~weights =
     ~name:(Printf.sprintf "weighted-fair-share(%s)" (Vec.to_string weights))
     (fun ~mu rates -> queue_lengths ~mu ~weights rates)
 
+(* Audited against the paper (PR 5).  Theorem 5's criterion is the
+   connection's fair SHARE of the queue that would form if everyone ran
+   at its normalized rate — (w_i/W)·g(W·φ_i/μ) with g(ρ) = ρ/(1−ρ) and
+   φ_i = r_i/w_i — which simplifies to r_i/(μ − W·φ_i).  It is NOT the
+   occupancy of a dedicated μ·w_i/W server, g(W·φ_i/μ) = W·φ_i/(μ − W·φ_i):
+   that dedicated-server reading is W/w_i times looser and is not what
+   the fair-share discipline guarantees.  Tightness check: the
+   minimum-φ connection's cumulative fair load is T_1 = W·φ_1, so its
+   actual share is exactly (w_1/W)·g(W·φ_1/μ) — the bound holds with
+   equality there, which would be violated by any tighter constant and
+   makes the looser candidate identifiable as wrong.  At unit weights
+   this reduces to the unweighted criterion r_i/(μ − N·r_i) used by
+   Robustness.criterion_holds; the agreement is pinned by a cross-check
+   test. *)
 let robustness_bound ~mu ~weights rates i =
   if i < 0 || i >= Array.length rates then
     invalid_arg "Weighted_fair_share.robustness_bound: index out of bounds";

@@ -43,4 +43,11 @@ val service : weights:Vec.t -> Service.t
 
 val robustness_bound : mu:float -> weights:Vec.t -> Vec.t -> int -> float
 (** r_i/(μ − W·φ_i) when positive, [infinity] otherwise — the weighted
-    Theorem-5 bound. *)
+    Theorem-5 bound: connection i's fair share (w_i/W)·g(W·φ_i/μ) of
+    the queue that would form if every connection ran at its
+    normalized rate, with g(ρ) = ρ/(1−ρ).  Deliberately {e not} the
+    dedicated-server occupancy g(W·φ_i/μ) = W·φ_i/(μ − W·φ_i), which
+    is W/w_i times looser; the share form is tight — the minimum-φ
+    connection meets it with equality — and reduces at unit weights to
+    the unweighted criterion r_i/(μ − N·r_i) of the core robustness
+    module. *)

@@ -235,6 +235,27 @@ let test_supervisor_unfaulted_matches_run () =
   check_true "no faults listed" (v.Supervisor.faults = []);
   check_float ~tol:1e-9 "at baseline" 1. (Option.get v.Supervisor.min_ratio)
 
+let test_infinite_adjuster_is_divergence () =
+  (* Companion to the NaN-adjuster regression in test_controller: an
+     adjuster that jumps to +infinity mid-run must degrade to Diverged
+     in both the bare run and under the supervisor — never surface as
+     the queueing layer's rate-validation invalid_arg. *)
+  let net = single 1 in
+  let poison =
+    Rate_adjust.make ~name:"inf-after-3" (fun ~r ~b:_ ~d:_ ->
+        if r > 0.3 then Float.infinity else 0.2)
+  in
+  let c =
+    Controller.homogeneous ~config:Feedback.individual_fifo ~adjuster:poison ~n:1
+  in
+  (match Controller.run c ~net ~r0:[| 0. |] with
+  | Controller.Diverged { at_step } -> check_true "past the clean steps" (at_step > 0)
+  | _ -> Alcotest.fail "+inf adjuster must report Diverged");
+  let v = Supervisor.run ~retries:0 c ~net ~r0:[| 0. |] in
+  match v.Supervisor.outcome with
+  | Controller.Diverged _ -> ()
+  | _ -> Alcotest.fail "supervisor must classify +inf as divergence"
+
 let test_supervisor_recovers_divergence () =
   (* Proportional gain over a stale signal overshoots the escape
      threshold; a plain run diverges, the damped retry lands on a
@@ -359,6 +380,7 @@ let suites =
       [
         case "unfaulted run matches Controller.run" test_supervisor_unfaulted_matches_run;
         case "transient cut recovers to full capacity" test_transient_cut_recovers;
+        case "+inf adjuster degrades to Diverged" test_infinite_adjuster_is_divergence;
         case "damping retries recover a diverging run" test_supervisor_recovers_divergence;
         case "wall budget bounds retries" test_supervisor_wall_budget;
         case "run_map min_steps defers the verdict" test_run_map_min_steps;

@@ -35,4 +35,5 @@ let () =
          Test_exp_common.suites;
          Test_experiments.suites;
          Test_obs.suites;
+         Test_cache.suites;
        ])

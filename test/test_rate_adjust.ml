@@ -70,6 +70,30 @@ let test_nan_detected () =
        false
      with Failure _ -> true)
 
+let test_infinite_detected () =
+  (* Regression: the guard rejected NaN but let ±∞ through into the
+     controller, where max(0, r + ∞) = ∞ poisons the queueing layer.
+     Any non-finite adjustment must raise the same Failure, and the
+     message must keep the (r, b, d) diagnostic shape. *)
+  List.iter
+    (fun v ->
+      let f = Rate_adjust.make ~name:"inf" (fun ~r:_ ~b:_ ~d:_ -> v) in
+      check_true
+        (Printf.sprintf "%g raises with diagnostics" v)
+        (try
+           ignore (Rate_adjust.eval f ~r:1. ~b:0.5 ~d:2.);
+           false
+         with Failure msg ->
+           let has needle =
+             let nl = String.length needle and ml = String.length msg in
+             let rec at i =
+               i + nl <= ml && (String.sub msg i nl = needle || at (i + 1))
+             in
+             at 0
+           in
+           has "r=1" && has "b=0.5" && has "d=2"))
+    [ Float.infinity; Float.neg_infinity ]
+
 let test_declared_b_ss () =
   check_true "additive declares"
     (Rate_adjust.declared_b_ss (Rate_adjust.additive ~eta:0.1 ~beta:0.5) = Some 0.5);
@@ -126,6 +150,7 @@ let suites =
         case "AIMD values" test_aimd_values;
         case "parameter validation" test_param_validation;
         case "NaN detection" test_nan_detected;
+        case "infinity detection" test_infinite_detected;
         case "declared b_ss" test_declared_b_ss;
         case "Theorem 1: additive is TSI" test_classify_additive_tsi;
         case "Theorem 1: proportional boundary" test_classify_proportional_boundary;

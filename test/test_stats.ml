@@ -90,6 +90,29 @@ let test_quantile_invalid () =
   Alcotest.check_raises "empty quantile" (Invalid_argument "Stats.quantile: empty array")
     (fun () -> ignore (Stats.quantile [||] 0.5))
 
+let test_quantile_non_finite () =
+  (* Regression: NaN sorts past +inf under Float.compare, so it used to
+     leak NaN out of the upper quantiles only — now any NaN input is
+     rejected up front, at every p. *)
+  List.iter
+    (fun p ->
+      Alcotest.check_raises
+        (Printf.sprintf "NaN rejected at p=%g" p)
+        (Invalid_argument "Stats.quantile: NaN in input")
+        (fun () -> ignore (Stats.quantile [| 1.; Float.nan; 3. |] p)))
+    [ 0.; 0.5; 1. ];
+  (* ±∞ is orderable: it must rank correctly and never turn into NaN via
+     the 0·∞ interpolation term. *)
+  let xs = [| Float.neg_infinity; 1.; 2.; Float.infinity |] in
+  check_true "p=0 is -inf" (Stats.quantile xs 0. = Float.neg_infinity);
+  check_true "p=1 is +inf" (Stats.quantile xs 1. = Float.infinity);
+  check_float "interior quantile stays finite" 1.5 (Stats.quantile xs 0.5);
+  check_true "interpolating toward +inf is +inf"
+    (Stats.quantile [| 1.; Float.infinity |] 0.25 = Float.infinity);
+  check_float "median of all-inf is inf (no NaN from equal endpoints)"
+    Float.infinity
+    (Stats.quantile [| Float.infinity; Float.infinity |] 0.5)
+
 let test_autocorrelation () =
   (* Alternating series has lag-1 autocorrelation close to -1. *)
   let xs = Array.init 100 (fun i -> if i mod 2 = 0 then 1. else -1.) in
@@ -137,6 +160,18 @@ let test_max_min_ratio () =
   check_true "starvation is infinite" (Stats.max_min_ratio [| 1.; 0. |] = Float.infinity);
   check_float "all zero is 1" 1. (Stats.max_min_ratio [| 0.; 0. |])
 
+let test_max_min_ratio_invalid () =
+  (* Regression: [| -1.; 0. |] has mx = 0 and used to return the all-zero
+     convention's 1.0; negative allocations are now rejected, as is NaN. *)
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Stats.max_min_ratio: negative allocation")
+    (fun () -> ignore (Stats.max_min_ratio [| -1.; 0. |]));
+  Alcotest.check_raises "NaN rejected"
+    (Invalid_argument "Stats.max_min_ratio: NaN in input")
+    (fun () -> ignore (Stats.max_min_ratio [| 1.; Float.nan |]));
+  check_true "infinite allocation allowed"
+    (Stats.max_min_ratio [| 1.; Float.infinity |] = Float.infinity)
+
 let gen_xs = QCheck2.Gen.(array_size (int_range 2 50) (float_range 0.001 100.))
 
 let prop_jain_bounds =
@@ -169,11 +204,13 @@ let suites =
         case "quantiles" test_quantiles;
         case "quantile edges" test_quantile_edges;
         case "quantile invalid" test_quantile_invalid;
+        case "quantile non-finite input" test_quantile_non_finite;
         case "autocorrelation" test_autocorrelation;
         case "histogram" test_histogram;
         case "histogram edges" test_histogram_edges;
         case "jain index" test_jain_index;
         case "max/min ratio" test_max_min_ratio;
+        case "max/min ratio invalid input" test_max_min_ratio_invalid;
         prop_jain_bounds;
         prop_running_matches_batch;
         prop_quantile_monotone;

@@ -65,6 +65,40 @@ let test_weighted_robustness_bound () =
       q
   done
 
+let test_unit_weight_bound_cross_check () =
+  (* Audit pin (Theorem 5): at unit weights the weighted bound must
+     reduce to the unweighted criterion r_i/(mu - N*r_i) — the fair
+     SHARE (1/N)*g(N*r_i/mu) of the queue if everyone ran at r_i — and
+     NOT the dedicated-server occupancy N*r_i/(mu - N*r_i), which is N
+     times looser.  The share form is tight: the minimum-rate
+     connection's unweighted Fair Share queue is exactly
+     g(N*r_min/mu)/N, so equality there rules the looser formula out. *)
+  let n = 3 and mu = 4. in
+  let weights = Array.make n 1. in
+  let rng = Rng.create 99 in
+  for _ = 1 to 200 do
+    (* Keep everyone unsaturated: N*r_i < mu for all i. *)
+    let rates = Array.init n (fun _ -> Rng.float rng (0.9 *. mu /. float_of_int n)) in
+    for i = 0 to n - 1 do
+      let weighted = Weighted_fair_share.robustness_bound ~mu ~weights rates i in
+      let unweighted = rates.(i) /. (mu -. (float_of_int n *. rates.(i))) in
+      check_float ~tol:1e-12
+        (Printf.sprintf "unit weights reduce to r/(mu-N*r) at %d" i)
+        unweighted weighted
+    done;
+    (* Equality at the minimum-rate connection against the real queue. *)
+    let q = Fair_share.queue_lengths ~mu rates in
+    let imin = ref 0 in
+    Array.iteri (fun i r -> if r < rates.(!imin) then imin := i) rates;
+    if rates.(!imin) > 0. then begin
+      let bound = Weighted_fair_share.robustness_bound ~mu ~weights rates !imin in
+      check_float ~tol:1e-9 "min-rate connection meets the bound exactly"
+        bound q.(!imin);
+      check_true "dedicated-server reading would be N x looser"
+        (float_of_int n *. bound > q.(!imin) +. 1e-12)
+    end
+  done
+
 let test_service_wrapper () =
   let weights = [| 1.; 2. |] in
   let svc = Weighted_fair_share.service ~weights in
@@ -153,6 +187,7 @@ let suites =
         case "weight-proportional occupancy" test_weight_proportional_occupancy_at_equal_phi;
         case "weighted isolation" test_weighted_isolation;
         case "weighted robustness bound" test_weighted_robustness_bound;
+        case "unit-weight bound cross-check" test_unit_weight_bound_cross_check;
         case "service wrapper" test_service_wrapper;
         case "validation" test_validation;
         prop_conservation;

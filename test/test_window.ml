@@ -81,7 +81,8 @@ let test_window_run_tsi_fair () =
   | Window.Converged { rates; windows; _ } ->
     check_float ~tol:1e-5 "rates equal" rates.(0) rates.(1);
     check_true "windows unequal (longer path needs more)" (windows.(1) > 2. *. windows.(0))
-  | Window.No_convergence _ -> Alcotest.fail "TSI window run should converge"
+  | Window.No_convergence _ | Window.Diverged _ ->
+    Alcotest.fail "TSI window run should converge"
 
 let test_window_run_decbit_biased () =
   let net =
@@ -106,7 +107,34 @@ let test_window_run_decbit_biased () =
   | Window.Converged { rates; windows; _ } ->
     check_float ~tol:1e-5 "windows equalize under aggregate" windows.(0) windows.(1);
     check_true "short path wins" (rates.(0) > 2. *. rates.(1))
-  | Window.No_convergence _ -> Alcotest.fail "DECbit window run should converge"
+  | Window.No_convergence _ | Window.Diverged _ ->
+    Alcotest.fail "DECbit window run should converge"
+
+let test_non_finite_adjuster_is_divergence () =
+  (* Regression: an adjuster emitting +infinity used to sail through
+     max(0, w + dw) and crash one step later inside rates_of_windows
+     with "windows must be finite"; a NaN one raised a bare Failure.
+     Both now classify as Diverged at the offending step. *)
+  let run_with value =
+    let bomb =
+      Window.make_adjuster ~name:"bomb" (fun ~w:_ ~b:_ ~d:_ -> value)
+    in
+    Window.run config ~net:single ~adjusters:[| bomb |] ~w0:[| 0.5 |]
+  in
+  (match run_with Float.infinity with
+  | Window.Diverged { windows; at_step } ->
+    check_true "diverged on first step" (at_step = 1);
+    check_true "offending window is +inf" (windows.(0) = Float.infinity)
+  | _ -> Alcotest.fail "+inf adjuster should report Diverged");
+  (match run_with Float.nan with
+  | Window.Diverged { windows; at_step } ->
+    check_true "NaN diverges on first step" (at_step = 1);
+    check_true "offending window is NaN" (Float.is_nan windows.(0))
+  | _ -> Alcotest.fail "NaN adjuster should report Diverged");
+  (match run_with Float.neg_infinity with
+  | Window.Diverged _ -> Alcotest.fail "-inf clamps to 0, should converge there"
+  | Window.Converged { windows; _ } -> check_float "clamped at zero" 0. windows.(0)
+  | Window.No_convergence _ -> Alcotest.fail "-inf adjuster should settle at w = 0")
 
 let test_adjuster_validation () =
   check_true "beta validated"
@@ -142,6 +170,7 @@ let suites =
         case "input validation" test_window_validation;
         case "TSI window run is fair" test_window_run_tsi_fair;
         case "DECbit window run is biased" test_window_run_decbit_biased;
+        case "non-finite adjuster diverges" test_non_finite_adjuster_is_divergence;
         case "adjuster validation" test_adjuster_validation;
         prop_littles_law;
       ] );
