@@ -565,11 +565,116 @@ let cache_comparison () =
         cache_identical = identical;
       })
 
+(* Structure-aware Jacobian path: dense probing vs grouped sparse
+   probing vs the incremental churn update, on disjoint parking lots
+   where the route-incidence pattern is genuinely sparse (nnz grows
+   linearly, probe groups stay at hops+1 whatever N).  Identity is part
+   of the contract and is asserted here, not just timed: the CSR build
+   must match the dense build bit for bit, and the incremental update
+   after a one-flow change must match a from-scratch rebuild. *)
+type sparse_row = {
+  sp_n : int;
+  sp_nnz : int;
+  sp_groups : int;
+  sp_dense_ns : float;  (* dense FD Jacobian + spectral radius *)
+  sp_sparse_ns : float;  (* grouped CSR Jacobian + sparse spectral radius *)
+  sp_speedup : float;
+  sp_rebuild_ns : float;  (* from-scratch CSR rebuild at the new point *)
+  sp_update_ns : float;  (* update_flow after a single-flow change *)
+  sp_update_speedup : float;
+  sp_identical : bool;
+}
+
+let sparse_comparison_one ~lots ~hops ~iters =
+  let net = Topologies.multi_parking_lot ~lots ~hops () in
+  let n = Network.num_connections net in
+  let pattern = Sparsity.of_network net in
+  let c = big_controller n in
+  let at = big_point n in
+  let f r = Controller.step c ~net r in
+  (* Identity checks, once, outside the timing loops. *)
+  let dense_df = Jacobian.numeric f ~at in
+  let sp_df = Jacobian.numeric_sparse f ~pattern ~at in
+  let bits = Int64.bits_of_float in
+  let build_identical =
+    let d = Mat.Sparse.to_dense sp_df in
+    try
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if bits (Mat.get d i j) <> bits (Mat.get dense_df i j) then raise Exit
+        done
+      done;
+      true
+    with Exit -> false
+  in
+  (* Churn: bump one flow's rate (lot 0's long flow, so the touched
+     region is exactly one lot) and patch vs rebuild. *)
+  let at' = Array.copy at in
+  at'.(0) <- at'.(0) *. 1.5;
+  let full' = Jacobian.of_controller_sparse c ~net ~at:at' in
+  let upd = Jacobian.update_flow c ~net ~prev:sp_df ~prev_at:at ~at:at' in
+  let update_identical = Mat.Sparse.equal upd full' in
+  let dense_op () =
+    let df = Jacobian.numeric f ~at in
+    Jacobian.spectral_radius df
+  in
+  let sparse_op () =
+    let s = Jacobian.numeric_sparse f ~pattern ~at in
+    Jacobian.spectral_radius_sparse s
+  in
+  let rebuild_op () = Jacobian.of_controller_sparse c ~net ~at:at' in
+  let update_op () =
+    Jacobian.update_flow c ~net ~prev:sp_df ~prev_at:at ~at:at'
+  in
+  ignore (dense_op ());
+  ignore (sparse_op ());
+  ignore (rebuild_op ());
+  ignore (update_op ());
+  let dense_ns = time_loop ~iters dense_op in
+  let sparse_ns = time_loop ~iters sparse_op in
+  let rebuild_ns = time_loop ~iters rebuild_op in
+  let update_ns = time_loop ~iters update_op in
+  {
+    sp_n = n;
+    sp_nnz = Sparsity.nnz pattern;
+    sp_groups = Array.length (Sparsity.groups pattern);
+    sp_dense_ns = dense_ns;
+    sp_sparse_ns = sparse_ns;
+    sp_speedup = dense_ns /. sparse_ns;
+    sp_rebuild_ns = rebuild_ns;
+    sp_update_ns = update_ns;
+    sp_update_speedup = rebuild_ns /. update_ns;
+    sp_identical = build_identical && update_identical;
+  }
+
+let sparse_comparison () =
+  Printf.printf "%s\nsparse Jacobian: dense vs grouped CSR vs incremental\n%s\n"
+    (String.make 72 '=') (String.make 72 '=');
+  let rows =
+    [
+      sparse_comparison_one ~lots:16 ~hops:3 ~iters:30;
+      sparse_comparison_one ~lots:32 ~hops:3 ~iters:10;
+      sparse_comparison_one ~lots:128 ~hops:3 ~iters:3;
+    ]
+  in
+  Printf.printf "%5s %7s %7s %12s %12s %8s %12s %12s %8s %10s\n" "N" "nnz"
+    "groups" "dense ns" "sparse ns" "speedup" "rebuild ns" "update ns"
+    "speedup" "identical";
+  Printf.printf "%s\n" (String.make 104 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%5d %7d %7d %12.0f %12.0f %7.1fx %12.0f %12.0f %7.1fx %10s\n"
+        r.sp_n r.sp_nnz r.sp_groups r.sp_dense_ns r.sp_sparse_ns r.sp_speedup
+        r.sp_rebuild_ns r.sp_update_ns r.sp_update_speedup
+        (if r.sp_identical then "yes" else "NO"))
+    rows;
+  rows
+
 (* Machine-readable dump alongside the human tables, for tracking the
    perf trajectory across commits. *)
 let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
-let write_bench_json ~kernels ~scans ~faults ~obs ~cache ~run_all =
+let write_bench_json ~kernels ~scans ~faults ~obs ~cache ~sparse ~run_all =
   let oc = open_out "BENCH.json" in
   let out fmt = Printf.fprintf oc fmt in
   (* [cpus_available] is the hardware's recommended domain count;
@@ -637,6 +742,20 @@ let write_bench_json ~kernels ~scans ~faults ~obs ~cache ~run_all =
     (json_float cache.cache_lookup_ns)
     (json_float cache.cache_cold_overhead_pct)
     cache.cache_identical;
+  out "  \"sparse\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"n\": %d, \"nnz\": %d, \"groups\": %d, \"dense_ns\": %s, \
+         \"sparse_ns\": %s, \"speedup\": %s, \"rebuild_ns\": %s, \
+         \"update_ns\": %s, \"update_speedup\": %s, \"identical\": %b}%s\n"
+        r.sp_n r.sp_nnz r.sp_groups (json_float r.sp_dense_ns)
+        (json_float r.sp_sparse_ns) (json_float r.sp_speedup)
+        (json_float r.sp_rebuild_ns) (json_float r.sp_update_ns)
+        (json_float r.sp_update_speedup) r.sp_identical
+        (if i < List.length sparse - 1 then "," else ""))
+    sparse;
+  out "  ],\n";
   (match run_all with
   | jobs, t_seq, Some (t_par, identical) ->
     out
@@ -693,8 +812,9 @@ let () =
     (String.make 72 '=');
   let obs = obs_overhead_comparison () in
   let cache = cache_comparison () in
+  let sparse = sparse_comparison () in
   Printf.printf "%s\nmicro-benchmarks (bechamel)\n%s\n" (String.make 72 '=')
     (String.make 72 '=');
   let kernels = run_benchmarks () in
-  write_bench_json ~kernels ~scans ~faults ~obs ~cache ~run_all;
+  write_bench_json ~kernels ~scans ~faults ~obs ~cache ~sparse ~run_all;
   print_endline "wrote BENCH.json"

@@ -29,8 +29,9 @@ let topology_term =
       & opt (some string) None
       & info [ "preset"; "p" ] ~docv:"NAME"
           ~doc:
-            "Built-in topology: single:N, parking-lot:HOPS, chain:HOPS:CONNS, \
-             star:LEGS, dumbbell:L:R.")
+            "Built-in topology: single:N, parking-lot:HOPS, \
+             multi-parking-lot:LOTS:HOPS, chain:HOPS:CONNS, star:LEGS, \
+             dumbbell:L:R.")
   in
   let build file preset =
     match (file, preset) with
@@ -44,8 +45,8 @@ let topology_term =
       let fail () =
         Error
           (Printf.sprintf
-             "bad preset %S (try single:4, parking-lot:3, chain:2:3, star:3, \
-              dumbbell:2:2)"
+             "bad preset %S (try single:4, parking-lot:3, multi-parking-lot:2:3, \
+              chain:2:3, star:3, dumbbell:2:2)"
              spec)
       in
       match String.split_on_char ':' spec with
@@ -56,6 +57,11 @@ let topology_term =
       | [ "parking-lot"; h ] -> (
         match int_of_string_opt h with
         | Some hops when hops > 0 -> Ok (Topologies.parking_lot ~hops ())
+        | _ -> fail ())
+      | [ "multi-parking-lot"; l; h ] -> (
+        match (int_of_string_opt l, int_of_string_opt h) with
+        | Some lots, Some hops when lots > 0 && hops > 0 ->
+          Ok (Topologies.multi_parking_lot ~lots ~hops ())
         | _ -> fail ())
       | [ "chain"; h; c ] -> (
         match (int_of_string_opt h, int_of_string_opt c) with

@@ -41,6 +41,22 @@ let step t ~net rates =
 
 let map = step
 
+(* Restricted map: F_i for i in [rows] only, via the row-restricted
+   feedback pass.  The entries at [rows] are bit-for-bit those of
+   [map]; the rest are 0.  Counted separately from full controller
+   steps — a partial evaluation is not a step of the iteration. *)
+let map_rows t ~net ~rows rates =
+  check_net t net rates;
+  Ffc_obs.Ctx.incr_named "controller.partial_steps";
+  let b, d = Feedback.evaluate_rows t.config ~net ~rates ~rows in
+  let out = Array.make (Array.length rates) 0. in
+  Array.iter
+    (fun i ->
+      let dr = Rate_adjust.eval t.adjusters.(i) ~r:rates.(i) ~b:b.(i) ~d:d.(i) in
+      out.(i) <- Float.max 0. (rates.(i) +. dr))
+    rows;
+  out
+
 let step_subset t ~net ~mask rates =
   check_net t net rates;
   if Array.length mask <> Array.length rates then

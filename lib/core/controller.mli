@@ -34,6 +34,14 @@ val apply_feedback : t -> b:Vec.t -> d:Vec.t -> Vec.t -> Vec.t
 val map : t -> net:Network.t -> Vec.t -> Vec.t
 (** Alias of {!step} — the iteration map F, for Jacobian probing. *)
 
+val map_rows : t -> net:Network.t -> rows:int array -> Vec.t -> Vec.t
+(** [map_rows t ~net ~rows r] computes only the components F_i with
+    [i] in [rows] (other entries are 0), evaluating only the gateways
+    those connections cross — see {!Feedback.evaluate_rows}.  Entries
+    at [rows] are bit-for-bit those of {!map}.  Used by the incremental
+    Jacobian kernel to probe a churn-affected sub-network at sub-linear
+    cost. *)
+
 val step_subset : t -> net:Network.t -> mask:bool array -> Vec.t -> Vec.t
 (** Like {!step}, but only connections with [mask.(i) = true] update
     their rate; the rest hold theirs.  Models asynchronous update

@@ -95,6 +95,53 @@ let delays config ~net ~rates =
   in
   combine_delays ~net sojourns
 
+(* Restricted evaluation: feedback for the connections in [rows] only,
+   touching only the gateways those connections cross.  Per-gateway
+   arithmetic is a pure function of that gateway's local rate vector
+   ([Service.evaluate] on [rates_at_gateway]), and the per-connection
+   combines below fold in the same order as [combine_signals] /
+   [combine_delays], so the entries produced for [rows] are bit-for-bit
+   the ones [evaluate] computes — the property the incremental Jacobian
+   kernels rely on.  Entries outside [rows] are left at 0. *)
+let evaluate_rows config ~net ~rates ~rows =
+  let num_gw = Network.num_gateways net in
+  let needed = Array.make num_gw false in
+  Array.iter
+    (fun i -> List.iter (fun a -> needed.(a) <- true) (Network.gateways_of_connection net i))
+    rows;
+  let per_gw_signals = Array.make num_gw [||] in
+  let per_gw_sojourns = Array.make num_gw [||] in
+  for a = 0 to num_gw - 1 do
+    if needed.(a) then begin
+      let local = Network.rates_at_gateway net ~rates a in
+      let q, w =
+        Service.evaluate config.discipline ~mu:(Network.gateway net a).Network.mu local
+      in
+      per_gw_signals.(a) <- signals_of_gateway config ~net ~gw:a q;
+      per_gw_sojourns.(a) <- w
+    end
+  done;
+  let n = Network.num_connections net in
+  let b = Array.make n 0. in
+  let d = Array.make n 0. in
+  Array.iter
+    (fun i ->
+      let gws = Network.gateways_of_connection net i in
+      b.(i) <-
+        List.fold_left
+          (fun acc a ->
+            let pos = Network.local_index net ~conn:i ~gw:a in
+            Float.max acc per_gw_signals.(a).(pos))
+          0. gws;
+      d.(i) <-
+        List.fold_left
+          (fun acc a ->
+            let pos = Network.local_index net ~conn:i ~gw:a in
+            acc +. (Network.gateway net a).Network.latency +. per_gw_sojourns.(a).(pos))
+          0. gws)
+    rows;
+  (b, d)
+
 let evaluate config ~net ~rates =
   (* Signals and delays both derive from the per-gateway queue state;
      one [Service.evaluate] per gateway feeds both, halving the queue

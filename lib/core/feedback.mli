@@ -52,5 +52,15 @@ val evaluate : config -> net:Network.t -> rates:Vec.t -> Vec.t * Vec.t
     This is the entry point {!Controller.step} uses — the map
     evaluation the Jacobian probes 2N times per stability check. *)
 
+val evaluate_rows :
+  config -> net:Network.t -> rates:Vec.t -> rows:int array -> Vec.t * Vec.t
+(** {!evaluate} restricted to the connections in [rows]: only the
+    gateways those connections cross are evaluated, so the cost scales
+    with the touched sub-network rather than the whole system.  The
+    entries at indices in [rows] are bit-for-bit the ones {!evaluate}
+    produces (per-gateway arithmetic depends only on that gateway's
+    local rates); all other entries are 0.  This is the probe kernel of
+    the incremental Jacobian update ({!Jacobian.update_flow}). *)
+
 val queues : config -> net:Network.t -> rates:Vec.t -> gw:int -> Vec.t
 (** The queue-length vector at one gateway (in Γ(a) local order). *)

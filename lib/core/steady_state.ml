@@ -6,16 +6,33 @@ let steady_utilization ~signal ~b_ss =
     invalid_arg "Steady_state: b_ss must be in (0,1)";
   Mm1.g_inv (Signal.inverse signal b_ss)
 
-let max_min_fair ~capacities ~net =
+(* Water-filling over a subset of the connections: inactive ones hold
+   rate 0 and consume neither capacity nor fan-in.  With an all-true
+   mask this is exactly [max_min_fair].  The gateway scan and the
+   freeze order are index-ascending as in the unmasked loop, so the
+   fill decomposes bitwise over connected components of the
+   gateway-sharing graph on active connections — per-gateway arithmetic
+   never reads state from another component, and within a component the
+   pick sequence is the same whether or not other components are
+   present.  The incremental [update_fair] below rests on that. *)
+let max_min_fair_masked ~capacities ~net ~active =
   let ng = Network.num_gateways net in
   let nc = Network.num_connections net in
   if Array.length capacities <> ng then
     invalid_arg "Steady_state.max_min_fair: capacities length mismatch";
+  if Array.length active <> nc then
+    invalid_arg "Steady_state.max_min_fair_masked: mask length mismatch";
   let remaining_cap = Array.copy capacities in
-  let remaining_fanin = Array.init ng (fun a -> Network.fanin net a) in
+  let remaining_fanin =
+    Array.init ng (fun a ->
+        List.fold_left
+          (fun acc i -> if active.(i) then acc + 1 else acc)
+          0
+          (Network.connections_at_gateway net a))
+  in
   let rates = Array.make nc 0. in
-  let active = Array.make nc true in
-  let active_count = ref nc in
+  let active = Array.copy active in
+  let active_count = ref (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 active) in
   while !active_count > 0 do
     (* Gateway with the smallest equal share among gateways that still
        carry active connections. *)
@@ -55,6 +72,12 @@ let max_min_fair ~capacities ~net =
   done;
   rates
 
+let max_min_fair ~capacities ~net =
+  (* [remaining_fanin] starts at [Network.fanin] exactly as before: the
+     masked loop counts the all-true mask to the same numbers. *)
+  max_min_fair_masked ~capacities ~net
+    ~active:(Array.make (Network.num_connections net) true)
+
 let bottleneck_shares ~signal ~b_ss ~net =
   let rho = steady_utilization ~signal ~b_ss in
   Array.init (Network.num_gateways net) (fun a ->
@@ -75,3 +98,86 @@ let fair ~signal ~b_ss ~net =
     (fun () ->
       let capacities = bottleneck_shares ~signal ~b_ss ~net in
       max_min_fair ~capacities ~net)
+
+let add_mask k active =
+  Ffc_cache.Key.int k (Array.length active);
+  Array.iter (Ffc_cache.Key.bool k) active
+
+(* Memoized (tier "steady.fair_masked"): [fair] over a churn mask —
+   the steady state the churn experiments re-solve at every join and
+   leave. *)
+let fair_masked ~signal ~b_ss ~net ~active =
+  Ffc_cache.Cache.memo ~tier:"steady.fair_masked"
+    ~build:(fun k ->
+      Ffc_cache.Key.str k (Signal.name signal);
+      Ffc_cache.Key.float k b_ss;
+      Cache_key.add_network k net;
+      add_mask k active)
+    ~encode:(fun rates -> Ffc_cache.Codec.(encode (fun b -> put_floats b rates)))
+    ~decode:Ffc_cache.Codec.get_floats
+    (fun () ->
+      let capacities = bottleneck_shares ~signal ~b_ss ~net in
+      max_min_fair_masked ~capacities ~net ~active)
+
+(* Incremental re-solve after activity churn.  The fill decomposes over
+   connected components of the gateway-sharing graph (see
+   [max_min_fair_masked]), so only the components touching a changed
+   connection need refilling; everyone else keeps the previous bits.
+   Components are taken in the graph over connections active in either
+   mask — a superset of both masks' components — so the refill region
+   is closed under both the old and the new coupling.  The result is
+   bit-for-bit [fair_masked ~active], independent of [prev], which is
+   what makes it safe to memoize (tier "ss.update") on the new mask
+   alone. *)
+let update_fair ~signal ~b_ss ~net ~prev ~prev_active ~active =
+  let nc = Network.num_connections net in
+  if Array.length prev <> nc || Array.length prev_active <> nc
+     || Array.length active <> nc
+  then invalid_arg "Steady_state.update_fair: size mismatch";
+  Ffc_cache.Cache.memo ~tier:"ss.update"
+    ~build:(fun k ->
+      Ffc_cache.Key.str k (Signal.name signal);
+      Ffc_cache.Key.float k b_ss;
+      Cache_key.add_network k net;
+      add_mask k active)
+    ~encode:(fun rates -> Ffc_cache.Codec.(encode (fun b -> put_floats b rates)))
+    ~decode:Ffc_cache.Codec.get_floats
+    (fun () ->
+      let changed = ref [] in
+      for i = nc - 1 downto 0 do
+        if prev_active.(i) <> active.(i) then changed := i :: !changed
+      done;
+      match !changed with
+      | [] -> Array.copy prev
+      | changed ->
+        Ffc_obs.Ctx.incr_named "ss.update.incremental";
+        (* Flood the union graph from the changed connections: two
+           connections are adjacent when they share a gateway and both
+           are active in either mask. *)
+        let union_active i = prev_active.(i) || active.(i) in
+        let in_region = Array.make nc false in
+        let stack = ref (List.filter union_active changed) in
+        List.iter (fun i -> in_region.(i) <- true) !stack;
+        while !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | i :: rest ->
+            stack := rest;
+            List.iter
+              (fun a ->
+                List.iter
+                  (fun j ->
+                    if union_active j && not in_region.(j) then begin
+                      in_region.(j) <- true;
+                      stack := j :: !stack
+                    end)
+                  (Network.connections_at_gateway net a))
+              (Network.gateways_of_connection net i)
+        done;
+        let submask = Array.init nc (fun i -> in_region.(i) && active.(i)) in
+        let capacities = bottleneck_shares ~signal ~b_ss ~net in
+        let refill = max_min_fair_masked ~capacities ~net ~active:submask in
+        Array.init nc (fun i ->
+            if in_region.(i) then refill.(i)
+            else if active.(i) then prev.(i)
+            else 0.))

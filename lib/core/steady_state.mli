@@ -26,3 +26,28 @@ val bottleneck_shares : signal:Signal.t -> b_ss:float -> net:Network.t -> float 
 val max_min_fair : capacities:float array -> net:Network.t -> Vec.t
 (** The underlying water-filling against arbitrary per-gateway
     capacities — exposed for reuse and tests. *)
+
+val max_min_fair_masked :
+  capacities:float array -> net:Network.t -> active:bool array -> Vec.t
+(** {!max_min_fair} restricted to the connections with
+    [active.(i) = true]; inactive connections hold rate 0 and consume
+    neither capacity nor gateway fan-in.  With an all-true mask this is
+    bit-for-bit {!max_min_fair}.  The fill decomposes bitwise over
+    connected components of the gateway-sharing graph on active
+    connections — the property {!update_fair} exploits. *)
+
+val fair_masked :
+  signal:Signal.t -> b_ss:float -> net:Network.t -> active:bool array -> Vec.t
+(** The fair steady state of the active sub-population (memoized, tier
+    ["steady.fair_masked"]) — what the system settles to while some
+    flows have left. *)
+
+val update_fair :
+  signal:Signal.t -> b_ss:float -> net:Network.t -> prev:Vec.t ->
+  prev_active:bool array -> active:bool array -> Vec.t
+(** Incremental re-solve after joins/leaves: given [prev] =
+    {!fair_masked} at [prev_active], refills only the gateway-sharing
+    components touched by a changed connection and keeps everyone
+    else's previous bits.  The result is bit-for-bit
+    {!fair_masked ~active} — independent of [prev] — and is memoized on
+    the new mask alone (tier ["ss.update"]). *)

@@ -1,0 +1,154 @@
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+
+type step_report = {
+  step : int;
+  event : string;
+  active_count : int;
+  d_rates : float;
+  d_df : float;
+  d_rho : float;
+}
+
+type summary = {
+  lots : int;
+  hops : int;
+  n : int;
+  nnz : int;
+  groups : int;
+  steps : step_report list;
+  max_d_rates : float;
+  max_d_df : float;
+  max_d_rho : float;
+  all_within : bool;
+}
+
+let tol = 1e-9
+
+let compute ?(lots = 4) ?(hops = 3) ?(steps = 24) ?(seed = 26) () =
+  let net = Topologies.multi_parking_lot ~lots ~hops () in
+  let n = Network.num_connections net in
+  let pattern = Sparsity.of_network net in
+  let signal = Signal.linear_fractional in
+  let b_ss = 0.5 in
+  let controller =
+    Controller.homogeneous ~config:Feedback.individual_fair_share
+      ~adjuster:(Rate_adjust.additive ~eta:0.1 ~beta:0.5) ~n
+  in
+  let rng = Rng.create seed in
+  let active = Array.make n true in
+  (* Step 0 state, built from scratch; every later step advances it
+     incrementally and checks against a from-scratch rebuild. *)
+  let prev_active = ref (Array.copy active) in
+  let prev_ss = ref (Steady_state.fair_masked ~signal ~b_ss ~net ~active) in
+  let prev_df =
+    ref (Jacobian.of_controller_sparse controller ~net ~at:!prev_ss)
+  in
+  let reports = ref [] in
+  for step = 1 to steps do
+    (* One join or leave per step: toggle a uniformly random connection
+       (never below one active flow per lot's worth overall). *)
+    let c = ref (Rng.int rng n) in
+    let active_count = Array.fold_left (fun a b -> if b then a + 1 else a) 0 active in
+    if active_count <= 1 && active.(!c) then
+      c := (!c + 1) mod n;
+    active.(!c) <- not active.(!c);
+    let event =
+      Printf.sprintf "%s %s"
+        (if active.(!c) then "join" else "leave")
+        (Network.connection net !c).Network.conn_name
+    in
+    let mask = Array.copy active in
+    (* Incremental path: patch the previous steady state and Jacobian. *)
+    let inc_ss =
+      Steady_state.update_fair ~signal ~b_ss ~net ~prev:!prev_ss
+        ~prev_active:!prev_active ~active:mask
+    in
+    let inc_df =
+      Jacobian.update_flow controller ~net ~prev:!prev_df ~prev_at:!prev_ss
+        ~at:inc_ss
+    in
+    let rho_inc = Jacobian.spectral_radius_incremental inc_df in
+    (* Reference path: full from-scratch solves at the same mask. *)
+    let full_ss = Steady_state.fair_masked ~signal ~b_ss ~net ~active:mask in
+    let full_df = Jacobian.of_controller_sparse controller ~net ~at:full_ss in
+    let rho_full = Jacobian.spectral_radius_sparse full_df in
+    let d_rates =
+      let d = ref 0. in
+      Array.iteri (fun i r -> d := Float.max !d (Float.abs (r -. full_ss.(i)))) inc_ss;
+      !d
+    in
+    let d_df =
+      let _, _, vi = Mat.Sparse.to_csr inc_df in
+      let _, _, vf = Mat.Sparse.to_csr full_df in
+      let d = ref 0. in
+      Array.iteri (fun k v -> d := Float.max !d (Float.abs (v -. vf.(k)))) vi;
+      !d
+    in
+    let d_rho = Float.abs (rho_inc -. rho_full) in
+    let active_count = Array.fold_left (fun a b -> if b then a + 1 else a) 0 mask in
+    reports := { step; event; active_count; d_rates; d_df; d_rho } :: !reports;
+    prev_active := mask;
+    prev_ss := inc_ss;
+    prev_df := inc_df
+  done;
+  let steps = List.rev !reports in
+  let fold f = List.fold_left (fun acc r -> Float.max acc (f r)) 0. steps in
+  let max_d_rates = fold (fun r -> r.d_rates) in
+  let max_d_df = fold (fun r -> r.d_df) in
+  let max_d_rho = fold (fun r -> r.d_rho) in
+  {
+    lots;
+    hops;
+    n;
+    nnz = Sparsity.nnz pattern;
+    groups = Array.length (Sparsity.groups pattern);
+    steps;
+    max_d_rates;
+    max_d_df;
+    max_d_rho;
+    all_within =
+      max_d_rates <= tol && max_d_df <= tol && max_d_rho <= tol;
+  }
+
+let run () =
+  let s = compute () in
+  let header = [ "step"; "event"; "active"; "|drates|"; "|dDF|"; "|drho|" ] in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.step;
+          r.event;
+          string_of_int r.active_count;
+          Exp_common.fnum r.d_rates;
+          Exp_common.fnum r.d_df;
+          Exp_common.fnum r.d_rho;
+        ])
+      s.steps
+  in
+  Printf.sprintf
+    "Flow churn on %d disjoint parking lots of %d hops (%d connections):\n\
+     route-incidence pattern has %d of %d entries (%d probe groups for %d\n\
+     columns).  Each step toggles one flow, advances the steady state and\n\
+     the CSR Jacobian incrementally (update_fair / update_flow), and\n\
+     compares against full from-scratch rebuilds at the same mask.\n\n"
+    s.lots s.hops s.n s.nnz (s.n * s.n) s.groups s.n
+  ^ Exp_common.table ~header ~rows
+  ^ Printf.sprintf
+      "\nmax deviation: rates %s, DF entries %s, rho %s  (tolerance %s)\n\
+       incremental == full within tolerance at every step: %s\n\
+       (rates and DF agree bit-for-bit by construction; rho goes through\n\
+       the deflation-checked power-iteration estimate.)\n"
+      (Exp_common.fnum s.max_d_rates) (Exp_common.fnum s.max_d_df)
+      (Exp_common.fnum s.max_d_rho) (Exp_common.fnum tol)
+      (Exp_common.fbool s.all_within)
+
+let experiment =
+  {
+    Exp_common.id = "E26";
+    title = "Churn: incremental steady-state and Jacobian updates";
+    paper_ref = "\xc2\xa73.3 machinery";
+    run;
+  }

@@ -1,0 +1,37 @@
+(** E26 — flow churn: rank-1/structured incremental updates vs full
+    rebuilds.
+
+    On disjoint parking lots (block-diagonal coupling), toggles one flow
+    per step with a seeded RNG and advances the masked fair steady state
+    ({!Ffc_core.Steady_state.update_fair}) and the CSR stability matrix
+    ({!Ffc_core.Jacobian.update_flow}) incrementally, comparing each
+    step against from-scratch rebuilds at the same activity mask.  The
+    incremental results must match within 1e-9 at every step (rates and
+    DF entries agree bit-for-bit by construction; the spectral radius
+    goes through the deflation-checked power-iteration estimate). *)
+
+type step_report = {
+  step : int;
+  event : string;  (** ["join lot2.cross0"] etc. *)
+  active_count : int;
+  d_rates : float;  (** max |incremental − full| over rates. *)
+  d_df : float;  (** max |incremental − full| over stored DF entries. *)
+  d_rho : float;  (** |incremental ρ − full ρ|. *)
+}
+
+type summary = {
+  lots : int;
+  hops : int;
+  n : int;
+  nnz : int;  (** Stored entries of the route-incidence pattern. *)
+  groups : int;  (** Probe groups for a from-scratch build ([<= n]). *)
+  steps : step_report list;
+  max_d_rates : float;
+  max_d_df : float;
+  max_d_rho : float;
+  all_within : bool;  (** Every deviation ≤ 1e-9. *)
+}
+
+val compute : ?lots:int -> ?hops:int -> ?steps:int -> ?seed:int -> unit -> summary
+
+val experiment : Exp_common.t

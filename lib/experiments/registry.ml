@@ -25,6 +25,7 @@ let all =
     E23_scale.experiment;
     E24_transient.experiment;
     E25_stress.experiment;
+    E26_churn.experiment;
   ]
 
 let find id =

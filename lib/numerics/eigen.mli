@@ -83,3 +83,35 @@ val triangular_eigenvalues : Mat.t -> Vec.t option
     diagonal; [None] when the matrix is not triangular. Implements the
     observation at the heart of Theorem 4.  See
     {!structural_eigenvalues} for the permutation-aware version. *)
+
+(** {2 Sparse (CSR) structure layer}
+
+    The same structure-first strategy for {!Mat.Sparse} matrices —
+    e.g. grouped-finite-difference Jacobians — without densifying on the
+    fast path: detection walks the stored entries (O(nnz) graph work)
+    and the diagonal read costs O(N).  Only the dense-QR fallback pays
+    for a [to_dense]. *)
+
+val triangular_order_sparse : ?tol:float -> Mat.Sparse.t -> int array option
+(** CSR counterpart of {!triangular_order}; identical result on
+    [Mat.Sparse.to_dense] of the input (stored entries with
+    [|v| <= tol] — default exactly 0 — count as structural zeros). *)
+
+val structural_eigenvalues_sparse : ?tol:float -> Mat.Sparse.t -> Vec.t option
+(** The diagonal when {!triangular_order_sparse} succeeds. *)
+
+val eigenvalues_sparse : ?struct_tol:float -> Mat.Sparse.t -> Complex.t array
+(** Structure-first spectrum of a square CSR matrix: the diagonal on the
+    triangular path, dense QR on [to_dense] otherwise. *)
+
+val spectral_radius_sparse : ?struct_tol:float -> Mat.Sparse.t -> float
+
+val power_iteration_sparse :
+  ?max_iter:int -> ?tol:float -> ?deflate:Vec.t -> Mat.Sparse.t ->
+  (float * Vec.t) option
+(** {!power_iteration} with O(nnz) CSR mat-vec steps — the independent
+    cross-check used after incremental Jacobian updates.  With
+    [deflate] (a previously found dominant eigenvector), every iterate
+    is projected onto its orthogonal complement, estimating the
+    dominant eigenvalue of the remaining spectrum — the deflation pass
+    that certifies a claimed dominant pair actually dominates. *)

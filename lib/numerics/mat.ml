@@ -31,11 +31,12 @@ let init rows cols f =
 
 let identity n = init n n (fun i j -> if i = j then 1. else 0.)
 
+(* Zero-dimension contract (see mat.mli): every constructor accepts
+   empty shapes, so [of_arrays [||]] is the 0x0 matrix rather than an
+   error — the same contract [create] and [of_flat] already followed. *)
 let of_arrays a =
   let r = Array.length a in
-  if r = 0 then invalid_arg "Mat.of_arrays: no rows";
-  let c = Array.length a.(0) in
-  if c = 0 then invalid_arg "Mat.of_arrays: empty rows";
+  let c = if r = 0 then 0 else Array.length a.(0) in
   Array.iter
     (fun row ->
       if Array.length row <> c then invalid_arg "Mat.of_arrays: ragged rows")
@@ -177,27 +178,55 @@ let lu m =
    with Exit -> ());
   if !singular then None else Some (a, perm, !sign)
 
+(* Substitution with an already-packed factorization, so callers that
+   solve against the same matrix repeatedly (e.g. the rank-1 update
+   below) factor once. *)
+let lu_solve (f, perm) b =
+  let n = Array.length perm in
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* Forward substitution with the unit lower factor. *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (get f i j *. x.(j))
+    done
+  done;
+  (* Back substitution with the upper factor. *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (get f i j *. x.(j))
+    done;
+    x.(i) <- x.(i) /. get f i i
+  done;
+  x
+
 let solve a b =
   if a.rows <> Array.length b then invalid_arg "Mat.solve: dimension mismatch";
   match lu a with
   | None -> None
+  | Some (f, perm, _) -> Some (lu_solve (f, perm) b)
+
+(* Sherman-Morrison: (A + u v^T)^-1 b = y - (v.y / (1 + v.z)) z with
+   y = A^-1 b and z = A^-1 u — two substitutions against one LU
+   factorization instead of refactoring the perturbed matrix.  This is
+   the solve-side companion of the rank-1 Jacobian updates: a single
+   flow's join/leave perturbs DF by a few rows, and solves against
+   I - DF can absorb each rank-1 piece at O(N^2). *)
+let solve_rank1 a ~u ~v b =
+  if a.rows <> a.cols then invalid_arg "Mat.solve_rank1: not square";
+  if Array.length u <> a.rows || Array.length v <> a.rows
+     || Array.length b <> a.rows
+  then invalid_arg "Mat.solve_rank1: dimension mismatch";
+  match lu a with
+  | None -> None
   | Some (f, perm, _) ->
-    let n = a.rows in
-    let x = Array.init n (fun i -> b.(perm.(i))) in
-    (* Forward substitution with the unit lower factor. *)
-    for i = 1 to n - 1 do
-      for j = 0 to i - 1 do
-        x.(i) <- x.(i) -. (get f i j *. x.(j))
-      done
-    done;
-    (* Back substitution with the upper factor. *)
-    for i = n - 1 downto 0 do
-      for j = i + 1 to n - 1 do
-        x.(i) <- x.(i) -. (get f i j *. x.(j))
-      done;
-      x.(i) <- x.(i) /. get f i i
-    done;
-    Some x
+    let y = lu_solve (f, perm) b in
+    let z = lu_solve (f, perm) u in
+    let denom = 1. +. Vec.dot v z in
+    if Float.abs denom < 1e-300 then None
+    else begin
+      let c = Vec.dot v y /. denom in
+      Some (Array.init a.rows (fun i -> y.(i) -. (c *. z.(i))))
+    end
 
 let det m =
   match lu m with
@@ -244,3 +273,161 @@ let pp ppf m =
     if i < m.rows - 1 then Format.pp_print_cut ppf ()
   done;
   Format.fprintf ppf "@]"
+
+(* Compressed sparse rows over the same flat float conventions as the
+   dense type: [values] is the row-major concatenation of the stored
+   entries, [col_idx] their column indices (strictly increasing within a
+   row), and [row_ptr] the per-row slice bounds.  Entries outside the
+   stored pattern are exactly +0.0, matching what a dense
+   finite-difference column writes for structurally-decoupled pairs —
+   which is what makes [to_dense] round-trips bit-exact against the
+   dense Jacobian path. *)
+module Sparse = struct
+  type dense = t
+
+  (* The outer constructors/accessors, captured before the sparse
+     definitions shadow their names. *)
+  let dense_create = create
+  let dense_get = get
+
+  type t = {
+    srows : int;
+    scols : int;
+    row_ptr : int array;
+    col_idx : int array;
+    values : float array;
+  }
+
+  let create ~rows ~cols ~row_ptr ~col_idx ~values =
+    if rows < 0 || cols < 0 then invalid_arg "Mat.Sparse.create: negative dimension";
+    if Array.length row_ptr <> rows + 1 then
+      invalid_arg "Mat.Sparse.create: row_ptr length must be rows + 1";
+    if rows >= 0 && (Array.length row_ptr = 0 || row_ptr.(0) <> 0) then
+      invalid_arg "Mat.Sparse.create: row_ptr must start at 0";
+    let nnz = Array.length col_idx in
+    if Array.length values <> nnz then
+      invalid_arg "Mat.Sparse.create: col_idx/values length mismatch";
+    if row_ptr.(rows) <> nnz then
+      invalid_arg "Mat.Sparse.create: row_ptr must end at the entry count";
+    for i = 0 to rows - 1 do
+      if row_ptr.(i) > row_ptr.(i + 1) then
+        invalid_arg "Mat.Sparse.create: row_ptr must be non-decreasing";
+      for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+        if col_idx.(k) < 0 || col_idx.(k) >= cols then
+          invalid_arg "Mat.Sparse.create: column index out of bounds";
+        if k > row_ptr.(i) && col_idx.(k) <= col_idx.(k - 1) then
+          invalid_arg "Mat.Sparse.create: columns must be strictly increasing per row"
+      done
+    done;
+    {
+      srows = rows;
+      scols = cols;
+      row_ptr = Array.copy row_ptr;
+      col_idx = Array.copy col_idx;
+      values = Array.copy values;
+    }
+
+  let rows s = s.srows
+  let cols s = s.scols
+  let nnz s = Array.length s.values
+  let copy s = { s with values = Array.copy s.values }
+  let to_csr s = (Array.copy s.row_ptr, Array.copy s.col_idx, Array.copy s.values)
+
+  (* Position of (i, j) in the stored pattern, by binary search within
+     row i; -1 when the entry is structurally zero. *)
+  let find s i j =
+    let lo = ref s.row_ptr.(i) and hi = ref (s.row_ptr.(i + 1) - 1) in
+    let pos = ref (-1) in
+    while !pos < 0 && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let c = s.col_idx.(mid) in
+      if c = j then pos := mid else if c < j then lo := mid + 1 else hi := mid - 1
+    done;
+    !pos
+
+  let get s i j =
+    if i < 0 || i >= s.srows || j < 0 || j >= s.scols then
+      invalid_arg "Mat.Sparse.get: index out of bounds";
+    let pos = find s i j in
+    if pos < 0 then 0. else s.values.(pos)
+
+  let set_existing s i j x =
+    if i < 0 || i >= s.srows || j < 0 || j >= s.scols then
+      invalid_arg "Mat.Sparse.set_existing: index out of bounds";
+    let pos = find s i j in
+    if pos < 0 then invalid_arg "Mat.Sparse.set_existing: entry outside the pattern";
+    s.values.(pos) <- x
+
+  let iter_row s i f =
+    if i < 0 || i >= s.srows then invalid_arg "Mat.Sparse.iter_row: row out of bounds";
+    for k = s.row_ptr.(i) to s.row_ptr.(i + 1) - 1 do
+      f s.col_idx.(k) s.values.(k)
+    done
+
+  let to_dense s =
+    let m = dense_create s.srows s.scols in
+    for i = 0 to s.srows - 1 do
+      for k = s.row_ptr.(i) to s.row_ptr.(i + 1) - 1 do
+        unsafe_set m i s.col_idx.(k) s.values.(k)
+      done
+    done;
+    m
+
+  (* [pattern], when given, lists each row's stored columns (sorted,
+     strictly increasing); entries of [m] outside it are dropped even if
+     nonzero.  Without it the structural nonzeros of [m] are kept. *)
+  let of_dense ?pattern m =
+    let r = m.rows and c = m.cols in
+    let row_cols =
+      match pattern with
+      | Some p ->
+        if Array.length p <> r then
+          invalid_arg "Mat.Sparse.of_dense: pattern row count mismatch";
+        p
+      | None ->
+        Array.init r (fun i ->
+            let acc = ref [] in
+            for j = c - 1 downto 0 do
+              if dense_get m i j <> 0. then acc := j :: !acc
+            done;
+            Array.of_list !acc)
+    in
+    let row_ptr = Array.make (r + 1) 0 in
+    for i = 0 to r - 1 do
+      row_ptr.(i + 1) <- row_ptr.(i) + Array.length row_cols.(i)
+    done;
+    let nnz = row_ptr.(r) in
+    let col_idx = Array.make nnz 0 and values = Array.make nnz 0. in
+    for i = 0 to r - 1 do
+      Array.iteri
+        (fun k j ->
+          col_idx.(row_ptr.(i) + k) <- j;
+          values.(row_ptr.(i) + k) <- dense_get m i j)
+        row_cols.(i)
+    done;
+    create ~rows:r ~cols:c ~row_ptr ~col_idx ~values
+
+  let mul_vec s v =
+    if s.scols <> Array.length v then invalid_arg "Mat.Sparse.mul_vec: dimension mismatch";
+    Array.init s.srows (fun i ->
+        let acc = ref 0. in
+        for k = s.row_ptr.(i) to s.row_ptr.(i + 1) - 1 do
+          acc :=
+            !acc
+            +. (Array.unsafe_get s.values k
+               *. Array.unsafe_get v (Array.unsafe_get s.col_idx k))
+        done;
+        !acc)
+
+  let diagonal s =
+    let n = Stdlib.min s.srows s.scols in
+    Array.init n (fun i ->
+        let pos = find s i i in
+        if pos < 0 then 0. else s.values.(pos))
+
+  let equal a b =
+    a.srows = b.srows && a.scols = b.scols && a.row_ptr = b.row_ptr
+    && a.col_idx = b.col_idx
+    && Array.for_all2 (fun (x : float) y -> Int64.bits_of_float x = Int64.bits_of_float y)
+         a.values b.values
+end

@@ -1,10 +1,21 @@
-(** Dense square-friendly float matrices (row-major).
+(** Dense square-friendly float matrices (row-major), plus a CSR sparse
+    companion ({!Sparse}).
 
     Provides the small-matrix linear algebra needed by the stability
     analysis: products, LU factorization with partial pivoting, linear
-    solves, determinants, inverses, and structural predicates
+    solves (including the Sherman-Morrison rank-1 update
+    {!solve_rank1}), determinants, inverses, and structural predicates
     (triangularity) used to verify Theorem 4's triangular stability
-    matrix. *)
+    matrix.
+
+    {b Zero-dimension contract.}  Every constructor in this module —
+    [create], [init], [of_arrays], [of_flat], and the {!Sparse}
+    constructors — accepts zero rows and/or columns and produces the
+    corresponding empty matrix ([of_arrays [||]] is the 0x0 matrix).
+    Only {e negative} dimensions and shape mismatches (ragged rows, flat
+    length <> rows*cols) raise [Invalid_argument].  All operations are
+    total on empty matrices: products, transposes and norms return
+    empty/zero results rather than raising. *)
 
 type t
 (** A dense [rows x cols] matrix. *)
@@ -17,7 +28,9 @@ val init : int -> int -> (int -> int -> float) -> t
 val identity : int -> t
 
 val of_arrays : float array array -> t
-(** Rows must be non-empty and of equal length. The array is copied. *)
+(** Rows must be of equal (possibly zero) length; [[||]] is the 0x0
+    matrix (see the zero-dimension contract above). The array is
+    copied. Raises [Invalid_argument] on ragged rows. *)
 
 val to_arrays : t -> float array array
 
@@ -88,6 +101,14 @@ val lu : t -> (t * int array * int) option
 val solve : t -> Vec.t -> Vec.t option
 (** [solve a b] solves [a x = b] for square [a]; [None] when singular. *)
 
+val solve_rank1 : t -> u:Vec.t -> v:Vec.t -> Vec.t -> Vec.t option
+(** [solve_rank1 a ~u ~v b] solves [(a + u v^T) x = b] by the
+    Sherman-Morrison identity: one LU factorization of [a] and two
+    substitutions instead of refactoring the perturbed matrix — the
+    solve-side kernel for rank-1 flow-churn updates.  [None] when [a]
+    is singular or the update makes the system singular
+    ([1 + v^T a^-1 u ~ 0]). *)
+
 val det : t -> float
 
 val inverse : t -> t option
@@ -95,3 +116,64 @@ val inverse : t -> t option
 val diagonal : t -> Vec.t
 
 val pp : Format.formatter -> t -> unit
+
+(** Compressed-sparse-row matrices over the same conventions as the
+    dense type.  Entries outside the stored pattern are exactly +0.0,
+    so [to_dense] of a sparse finite-difference Jacobian is bit-for-bit
+    the matrix the dense probing path builds.  Follows the module's
+    zero-dimension contract. *)
+module Sparse : sig
+  type dense = t
+
+  type t
+  (** A [rows x cols] CSR matrix. *)
+
+  val create :
+    rows:int -> cols:int -> row_ptr:int array -> col_idx:int array ->
+    values:float array -> t
+  (** Validated CSR assembly: [row_ptr] has length [rows + 1], starts at
+      0, is non-decreasing and ends at the entry count; column indices
+      are in range and strictly increasing within each row.  All arrays
+      are copied. *)
+
+  val rows : t -> int
+  val cols : t -> int
+
+  val nnz : t -> int
+  (** Stored-entry count (structural nonzeros; stored values may be 0). *)
+
+  val copy : t -> t
+
+  val to_csr : t -> int array * int array * float array
+  (** [(row_ptr, col_idx, values)] — fresh copies, the inverse of
+      {!create}. *)
+
+  val get : t -> int -> int -> float
+  (** Entries outside the pattern read as 0. *)
+
+  val set_existing : t -> int -> int -> float -> unit
+  (** In-place write to a stored entry; raises [Invalid_argument] for an
+      entry outside the pattern (the pattern itself is immutable). *)
+
+  val iter_row : t -> int -> (int -> float -> unit) -> unit
+  (** [iter_row s i f] calls [f j v] for each stored entry [(i, j)] in
+      increasing column order. *)
+
+  val to_dense : t -> dense
+
+  val of_dense : ?pattern:int array array -> dense -> t
+  (** Without [pattern], keeps exactly the structural nonzeros.  With
+      [pattern] (per-row sorted, strictly increasing column lists), the
+      stored pattern is taken verbatim — entries of the dense matrix
+      outside it are dropped, entries inside it are stored even when
+      zero — so [to_dense (of_dense ~pattern m)] masks [m] to the
+      pattern. *)
+
+  val mul_vec : t -> Vec.t -> Vec.t
+
+  val diagonal : t -> Vec.t
+
+  val equal : t -> t -> bool
+  (** Same shape, same stored pattern, and bit-identical stored values
+      (NaN-safe: compares float bits, not [=]). *)
+end

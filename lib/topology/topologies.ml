@@ -16,6 +16,31 @@ let parking_lot ?(mu = 1.) ?(latency = 0.) ~hops () =
   let cross = Array.init hops (fun a -> conn (Printf.sprintf "cross%d" a) [ a ]) in
   Network.create ~gateways ~connections:(Array.append [| long |] cross)
 
+(* [lots] disjoint copies of [parking_lot ~hops]: no gateway is shared
+   across lots, so the route-incidence pattern of the stability matrix
+   is block-diagonal with [lots] blocks of [hops + 1] connections.
+   This is the canonical genuinely-sparse benchmark topology: every
+   single-lot layout above has one flow (or one gateway) coupling all
+   connections pairwise, which forces column-per-column Jacobian
+   probing, while here probe groups can take one column per lot. *)
+let multi_parking_lot ?(mu = 1.) ?(latency = 0.) ~lots ~hops () =
+  if lots <= 0 || hops <= 0 then
+    invalid_arg "Topologies.multi_parking_lot: need positive sizes";
+  let gateways =
+    Array.init (lots * hops) (fun g ->
+        gw (Printf.sprintf "lot%d.gw%d" (g / hops) (g mod hops)) mu latency)
+  in
+  let per_lot = hops + 1 in
+  let connections =
+    Array.init (lots * per_lot) (fun c ->
+        let l = c / per_lot and k = c mod per_lot in
+        let base = l * hops in
+        if k = 0 then
+          conn (Printf.sprintf "lot%d.long" l) (List.init hops (fun a -> base + a))
+        else conn (Printf.sprintf "lot%d.cross%d" l (k - 1)) [ base + k - 1 ])
+  in
+  Network.create ~gateways ~connections
+
 let chain ?(mu = 1.) ?(latency = 0.) ~hops ~conns () =
   if hops <= 0 || conns <= 0 then invalid_arg "Topologies.chain: need positive sizes";
   let gateways = Array.init hops (fun a -> gw (Printf.sprintf "gw%d" a) mu latency) in

@@ -14,6 +14,15 @@ val parking_lot : ?mu:float -> ?latency:float -> hops:int -> unit -> Network.t
     [hops] gateways; each gateway also carries one single-hop cross
     connection.  Connection 0 is the long one. *)
 
+val multi_parking_lot :
+  ?mu:float -> ?latency:float -> lots:int -> hops:int -> unit -> Network.t
+(** [lots] disjoint copies of {!parking_lot}[ ~hops] — [lots * hops]
+    gateways, [lots * (hops + 1)] connections, no gateway shared across
+    lots.  Connection [l * (hops + 1)] is lot [l]'s long flow.  The
+    stability matrix's coupling pattern is block-diagonal, which makes
+    this the canonical topology for sparse/grouped Jacobian probing and
+    for localized churn (a join or leave perturbs one lot only). *)
+
 val chain :
   ?mu:float -> ?latency:float -> hops:int -> conns:int -> unit -> Network.t
 (** [conns] identical connections all traversing the same [hops] gateways

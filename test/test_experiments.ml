@@ -13,7 +13,7 @@ let contains s sub =
   !found
 
 let test_registry_complete () =
-  Alcotest.(check int) "25 experiments" 25 (List.length Registry.all);
+  Alcotest.(check int) "26 experiments" 26 (List.length Registry.all);
   List.iter
     (fun e ->
       check_true (e.Exp_common.id ^ " findable") (Registry.find e.Exp_common.id <> None))
@@ -349,6 +349,17 @@ let test_e24_transient () =
   | [ a; b; c ] -> check_true "monotone in mu" (a < b && b < c && c > 4. *. a)
   | _ -> Alcotest.fail "three mu values expected")
 
+let test_e26_churn () =
+  let s = E26_churn.compute ~lots:3 ~hops:2 ~steps:10 () in
+  check_true "incremental within tolerance at every step"
+    s.E26_churn.all_within;
+  (* rates and DF agree bit for bit by construction, not just within tol. *)
+  check_float "rates deviation exactly 0" 0. s.E26_churn.max_d_rates;
+  check_float "DF deviation exactly 0" 0. s.E26_churn.max_d_df;
+  check_true "pattern genuinely sparse"
+    (s.E26_churn.nnz * 2 <= s.E26_churn.n * s.E26_churn.n);
+  check_true "probe groups = hops + 1" (s.E26_churn.groups = 3)
+
 let test_all_reports_render () =
   (* Smoke: every report renders with its id header and some content.
      (This also exercises the full harness end to end.) *)
@@ -391,6 +402,7 @@ let suites =
         case "E23: scale stress" test_e23_scale;
         case "parallel sweeps are jobs-invariant" test_sweeps_jobs_invariant;
         case "E24: transient fluid model" test_e24_transient;
+        case "E26: churn incremental updates" test_e26_churn;
         case "report rendering" test_all_reports_render;
       ] );
   ]

@@ -23,6 +23,7 @@ let () =
          Test_controller.suites;
          Test_steady_state.suites;
          Test_jacobian.suites;
+         Test_sparse.suites;
          Test_fairness.suites;
          Test_robustness.suites;
          Test_faults.suites;
