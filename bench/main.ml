@@ -670,11 +670,148 @@ let sparse_comparison () =
     rows;
   rows
 
+(* Desim core: the timing-wheel scheduler against the reference binary
+   heap, and whole-engine events/sec at growing flow counts.  The
+   scheduler rows use the classic hold model — N pending timers spread
+   uniformly, then a pop/reschedule churn with exponential gaps of mean
+   N ticks, which keeps the population spread at ~1 event per tick
+   (re-inserting at mean gap 1 would collapse all timers into a few
+   ticks and measure only the ready heap).  Gaps are drawn outside the
+   timed loop so the rows compare scheduler cost, not RNG cost.  The
+   netsim rows run the E27 topology (disjoint parking lots, Fair Share)
+   and also check that heap, wheel, and sharded-parallel runs agree bit
+   for bit while being timed. *)
+type sched_row = {
+  sd_held : int;  (* pending events during the churn *)
+  sd_heap_ns : float;  (* per schedule+pop pair *)
+  sd_wheel_ns : float;
+  sd_sched_speedup : float;
+}
+
+let scheduler_churn kind ~held ~ops ~gaps =
+  let open Ffc_desim in
+  let s = Scheduler.create kind in
+  let rng = Rng.create 11 in
+  for i = 0 to held - 1 do
+    Scheduler.schedule s ~time:(Rng.uniform rng *. float_of_int held) ~handler:i
+      ~a:i ~b:0
+  done;
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to ops - 1 do
+    ignore (Scheduler.pop s);
+    Scheduler.schedule s
+      ~time:(Scheduler.popped_time s +. gaps.(i))
+      ~handler:0 ~a:0 ~b:0
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int ops
+
+let scheduler_comparison_one ~held =
+  let open Ffc_desim in
+  let ops = 200_000 in
+  let rng = Rng.create 13 in
+  let gaps =
+    Array.init ops (fun _ ->
+        Rng.exponential rng ~rate:(1. /. float_of_int held))
+  in
+  let heap_ns = scheduler_churn Scheduler.Heap ~held ~ops ~gaps in
+  let wheel_ns = scheduler_churn (Scheduler.Wheel { tick = 1.0 }) ~held ~ops ~gaps in
+  {
+    sd_held = held;
+    sd_heap_ns = heap_ns;
+    sd_wheel_ns = wheel_ns;
+    sd_sched_speedup = heap_ns /. wheel_ns;
+  }
+
+type desim_row = {
+  ds_flows : int;
+  ds_events : int;
+  ds_heap_s : float;  (* 1 shard, reference heap *)
+  ds_wheel_s : float;  (* 1 shard, timing wheel *)
+  ds_par_s : float;  (* sharded over the pool, timing wheel *)
+  ds_par_jobs : int;
+  ds_events_per_sec : float;  (* wheel, 1 shard *)
+  ds_identical : bool;
+}
+
+let desim_comparison_one ~flows =
+  let open Ffc_desim in
+  let hops = 3 in
+  let lots = Stdlib.max 1 (flows / (hops + 1)) in
+  let net = Topologies.multi_parking_lot ~mu:1. ~latency:0.05 ~lots ~hops () in
+  let n = Network.num_connections net in
+  let rates =
+    Array.init n (fun i ->
+        if i mod (hops + 1) = 0 then 0.25
+        else 0.21 +. (0.03 *. float_of_int (i mod 3)))
+  in
+  let horizon = Float.max 20. (2e5 /. float_of_int flows) in
+  let run ~scheduler ~shards ~jobs =
+    Netsim.run ~net ~rates ~discipline:Netsim.Fs_priority ~seed:7 ~scheduler
+      ~shards ~jobs ~horizon ()
+  in
+  let fingerprint r =
+    List.init (Stdlib.min n 64) (fun i ->
+        (Netsim.delay_mean r ~conn:i, Netsim.deliveries r ~conn:i))
+  in
+  let jobs = Stdlib.min 8 (Domain.recommended_domain_count ()) in
+  let heap, t_heap = time (fun () -> run ~scheduler:`Heap ~shards:1 ~jobs:1) in
+  let wheel, t_wheel = time (fun () -> run ~scheduler:`Wheel ~shards:1 ~jobs:1) in
+  let par, t_par = time (fun () -> run ~scheduler:`Wheel ~shards:(4 * jobs) ~jobs) in
+  {
+    ds_flows = n;
+    ds_events = Netsim.events wheel;
+    ds_heap_s = t_heap;
+    ds_wheel_s = t_wheel;
+    ds_par_s = t_par;
+    ds_par_jobs = jobs;
+    ds_events_per_sec = float_of_int (Netsim.events wheel) /. t_wheel;
+    ds_identical =
+      fingerprint heap = fingerprint wheel
+      && fingerprint wheel = fingerprint par
+      && Netsim.events heap = Netsim.events par;
+  }
+
+let desim_comparison () =
+  Printf.printf "%s\ndesim core: timing wheel vs heap, sharded events/sec\n%s\n"
+    (String.make 72 '=') (String.make 72 '=');
+  let sched =
+    [
+      scheduler_comparison_one ~held:1_000;
+      scheduler_comparison_one ~held:10_000;
+      scheduler_comparison_one ~held:100_000;
+    ]
+  in
+  Printf.printf "%10s %12s %12s %8s\n" "held" "heap ns/ev" "wheel ns/ev" "speedup";
+  Printf.printf "%s\n" (String.make 46 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%10d %12.1f %12.1f %7.1fx\n" r.sd_held r.sd_heap_ns
+        r.sd_wheel_ns r.sd_sched_speedup)
+    sched;
+  let rows =
+    [
+      desim_comparison_one ~flows:1_000;
+      desim_comparison_one ~flows:10_000;
+      desim_comparison_one ~flows:100_000;
+    ]
+  in
+  Printf.printf "\n%8s %9s %9s %9s %9s %6s %12s %10s\n" "flows" "events"
+    "heap s" "wheel s" "par s" "jobs" "events/s" "identical";
+  Printf.printf "%s\n" (String.make 80 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%8d %9d %9.3f %9.3f %9.3f %6d %12.0f %10s\n" r.ds_flows
+        r.ds_events r.ds_heap_s r.ds_wheel_s r.ds_par_s r.ds_par_jobs
+        r.ds_events_per_sec
+        (if r.ds_identical then "yes" else "NO"))
+    rows;
+  (sched, rows)
+
 (* Machine-readable dump alongside the human tables, for tracking the
    perf trajectory across commits. *)
 let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
-let write_bench_json ~kernels ~scans ~faults ~obs ~cache ~sparse ~run_all =
+let write_bench_json ~kernels ~scans ~faults ~obs ~cache ~sparse ~desim ~run_all =
   let oc = open_out "BENCH.json" in
   let out fmt = Printf.fprintf oc fmt in
   (* [cpus_available] is the hardware's recommended domain count;
@@ -756,6 +893,30 @@ let write_bench_json ~kernels ~scans ~faults ~obs ~cache ~sparse ~run_all =
         (if i < List.length sparse - 1 then "," else ""))
     sparse;
   out "  ],\n";
+  let sched_rows, netsim_rows = desim in
+  out "  \"desim\": {\n    \"scheduler\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "      {\"held_events\": %d, \"heap_ns_per_event\": %s, \
+         \"wheel_ns_per_event\": %s, \"speedup\": %s}%s\n"
+        r.sd_held (json_float r.sd_heap_ns) (json_float r.sd_wheel_ns)
+        (json_float r.sd_sched_speedup)
+        (if i < List.length sched_rows - 1 then "," else ""))
+    sched_rows;
+  out "    ],\n    \"netsim\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "      {\"flows\": %d, \"events\": %d, \"seconds_heap\": %s, \
+         \"seconds_wheel\": %s, \"seconds_sharded\": %s, \"jobs\": %d, \
+         \"events_per_sec_wheel\": %s, \"identical_output\": %b}%s\n"
+        r.ds_flows r.ds_events (json_float r.ds_heap_s)
+        (json_float r.ds_wheel_s) (json_float r.ds_par_s) r.ds_par_jobs
+        (json_float r.ds_events_per_sec) r.ds_identical
+        (if i < List.length netsim_rows - 1 then "," else ""))
+    netsim_rows;
+  out "    ]\n  },\n";
   (match run_all with
   | jobs, t_seq, Some (t_par, identical) ->
     out
@@ -813,8 +974,9 @@ let () =
   let obs = obs_overhead_comparison () in
   let cache = cache_comparison () in
   let sparse = sparse_comparison () in
+  let desim = desim_comparison () in
   Printf.printf "%s\nmicro-benchmarks (bechamel)\n%s\n" (String.make 72 '=')
     (String.make 72 '=');
   let kernels = run_benchmarks () in
-  write_bench_json ~kernels ~scans ~faults ~obs ~cache ~sparse ~run_all;
+  write_bench_json ~kernels ~scans ~faults ~obs ~cache ~sparse ~desim ~run_all;
   print_endline "wrote BENCH.json"

@@ -603,9 +603,13 @@ let analyze_cmd =
 let simulate_cmd =
   let rates_term =
     Arg.(
-      required
+      value
       & opt (some string) None
-      & info [ "rates"; "r" ] ~docv:"RATES" ~doc:"Comma-separated Poisson rates.")
+      & info [ "rates"; "r" ] ~docv:"RATES"
+          ~doc:
+            "Comma-separated Poisson rates (one per connection, or a single \
+             value broadcast to all). Defaults to a stable sub-critical \
+             pattern when --flows synthesizes the topology.")
   in
   let discipline_term =
     Arg.(
@@ -627,24 +631,102 @@ let simulate_cmd =
   let seed_term =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
   in
-  let run net_result rates_spec discipline horizon seed =
-    match net_result with
-    | Error e -> exit_err e
-    | Ok net ->
-      let n = Network.num_connections net in
-      let rates = parse_rates rates_spec n in
-      let result = Ffc_desim.Netsim.run ~net ~rates ~discipline ~seed ~horizon () in
+  let flows_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "flows" ] ~docv:"N"
+          ~doc:
+            "Synthesize a disjoint parking-lot topology (3 hops per lot) with \
+             about $(docv) concurrent flows instead of --topology/--preset. \
+             Built for scale runs: 10^5-10^6 flows on the struct-of-arrays \
+             core.")
+  in
+  let shards_term =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Simulate independent gateway domains in $(docv) groups over the \
+             worker pool (0 = auto: a few per job). Results and traces are \
+             byte-identical at any shard count.")
+  in
+  let scheduler_term =
+    Arg.(
+      value
+      & opt (enum [ ("wheel", `Wheel); ("heap", `Heap) ]) `Wheel
+      & info [ "scheduler" ] ~docv:"SCHED"
+          ~doc:
+            "Event calendar: the O(1) timing wheel or the reference binary \
+             heap. The choice never affects results.")
+  in
+  let buffer_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "buffer" ] ~docv:"B"
+          ~doc:
+            "Per-gateway buffer limit: arrivals beyond $(docv) packets in \
+             system are dropped (default: infinite buffers).")
+  in
+  let run net_result rates_spec discipline horizon seed flows shards scheduler
+      buffer_limit jobs trace metrics stride sched =
+    apply_jobs jobs;
+    if shards < 0 then exit_err "--shards must be >= 0";
+    let net =
+      match (flows, net_result) with
+      | Some n, Error _ ->
+        if n < 4 then exit_err "--flows must be >= 4";
+        Topologies.multi_parking_lot ~mu:1. ~latency:0.05 ~lots:(n / 4) ~hops:3 ()
+      | Some _, Ok _ -> exit_err "--flows and --topology/--preset are mutually exclusive"
+      | None, Ok net -> net
+      | None, Error e -> exit_err e
+    in
+    let n = Network.num_connections net in
+    let rates =
+      match (rates_spec, flows) with
+      | Some spec, _ -> (
+        match String.split_on_char ',' spec with
+        | [ one ] when n > 1 -> (
+          match float_of_string_opt one with
+          | Some r -> Array.make n r
+          | None -> exit_err (Printf.sprintf "bad rate %S" one))
+        | _ -> parse_rates spec n)
+      | None, Some _ ->
+        (* The E27 load: long flows at 0.25, cross flows around 0.24. *)
+        Array.init n (fun i ->
+            if i mod 4 = 0 then 0.25 else 0.21 +. (0.03 *. float_of_int (i mod 3)))
+      | None, None -> exit_err "provide --rates (or --flows for the default pattern)"
+    in
+    let shards = if shards = 0 then 4 * Pool.effective_jobs () else shards in
+    let subject =
+      match flows with
+      | Some _ -> Printf.sprintf "flows:%d" n
+      | None -> Printf.sprintf "net:%d-conns" n
+    in
+    let result =
+      with_obs ~command:"simulate" ~subject
+        ~seeds:[ ("sim", seed) ]
+        ~jobs ~trace ~metrics ~stride ~sched
+        (fun () ->
+          Ffc_desim.Netsim.run ~net ~rates ~discipline ~seed ~scheduler ~shards
+            ~jobs ?buffer_limit ~horizon ())
+    in
+    let module N = Ffc_desim.Netsim in
+    Printf.printf "horizon %g (10%% warmup), seed %d, %d shards over %d components\n"
+      horizon seed shards (N.components result);
+    Printf.printf "events executed: %d\n\n" (N.events result);
+    if n <= 32 then begin
       Format.printf "%a@." Network.pp net;
-      Printf.printf "horizon %g (10%% warmup), seed %d\n\n" horizon seed;
       for a = 0 to Network.num_gateways net - 1 do
         Printf.printf "gateway %s: total mean queue %.4f\n"
           (Network.gateway net a).Network.gw_name
-          (Ffc_desim.Netsim.total_mean_queue result ~gw:a);
+          (N.total_mean_queue result ~gw:a);
         List.iter
           (fun i ->
             Printf.printf "  conn %-10s Q = %-10.4f\n"
               (Network.connection net i).Network.conn_name
-              (Ffc_desim.Netsim.mean_queue result ~gw:a ~conn:i))
+              (N.mean_queue result ~gw:a ~conn:i))
           (Network.connections_at_gateway net a)
       done;
       print_newline ();
@@ -652,16 +734,47 @@ let simulate_cmd =
         Printf.printf
           "conn %-10s throughput = %-8.4f mean delay = %-8.4f (+/- %.4f)\n"
           (Network.connection net i).Network.conn_name
-          (Ffc_desim.Netsim.throughput result ~conn:i)
-          (Ffc_desim.Netsim.delay_mean result ~conn:i)
-          (Ffc_desim.Netsim.delay_ci95 result ~conn:i)
+          (N.throughput result ~conn:i)
+          (N.delay_mean result ~conn:i)
+          (N.delay_ci95 result ~conn:i)
       done
+    end
+    else begin
+      (* Scale summary: per-connection dumps would be megabytes at 10^5
+         flows, so aggregate instead. *)
+      let deliveries = ref 0 and drops = ref 0 in
+      let tput = ref 0. and delay = ref 0. and counted = ref 0 in
+      for i = 0 to n - 1 do
+        deliveries := !deliveries + N.deliveries result ~conn:i;
+        drops := !drops + N.drops result ~conn:i;
+        tput := !tput +. N.throughput result ~conn:i;
+        if N.deliveries result ~conn:i > 0 then begin
+          delay := !delay +. N.delay_mean result ~conn:i;
+          incr counted
+        end
+      done;
+      Printf.printf "%d connections over %d gateways (%d independent domains)\n" n
+        (Network.num_gateways net) (N.components result);
+      Printf.printf "delivered  %d packets  (dropped %d)\n" !deliveries !drops;
+      Printf.printf "aggregate throughput  %.2f pkts/time\n" !tput;
+      if !counted > 0 then
+        Printf.printf "mean end-to-end delay  %.4f (over %d delivering connections)\n"
+          (!delay /. float_of_int !counted)
+          !counted
+    end
   in
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Packet-level discrete-event simulation of a topology.")
+    (Cmd.info "simulate"
+       ~doc:
+         "Packet-level discrete-event simulation of a topology on the \
+          struct-of-arrays desim core: timing-wheel scheduler, preallocated \
+          packet pool, independent gateway domains sharded over the worker \
+          pool with byte-identical results at any --shards/--jobs.")
     Term.(
       const run $ topology_term $ rates_term $ discipline_term $ horizon_term
-      $ seed_term)
+      $ seed_term $ flows_term $ shards_term $ scheduler_term $ buffer_term
+      $ jobs_term $ trace_term $ metrics_term $ trace_stride_term
+      $ trace_sched_term)
 
 (* ------------------------------------------------------------------ *)
 (* closed-loop                                                         *)

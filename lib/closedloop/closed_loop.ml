@@ -49,6 +49,29 @@ let draw_fs_class table rng ~rate =
   in
   if n = 0 then 0 else go 0
 
+(* A capacity-based event-rate estimate sizes the timing-wheel tick:
+   executed events per unit time are bounded by completions plus
+   forwards at every gateway (~2 mu each) whatever the rates do. *)
+let wheel_for net =
+  let n_gws = Network.num_gateways net in
+  let cap = ref 0. in
+  for a = 0 to n_gws - 1 do
+    cap := !cap +. (2. *. (Network.gateway net a).Network.mu)
+  done;
+  Scheduler.Wheel { tick = Scheduler.auto_tick ~events_per_time:!cap }
+
+(* Per-gateway (connection, hop) incidence in Gamma(a) order — shared by
+   the FS table refresh and the measured-queue readout. *)
+let gateway_incidence net paths =
+  let n_gws = Network.num_gateways net in
+  Array.init n_gws (fun a ->
+      Network.connections_at_gateway net a
+      |> List.map (fun i ->
+             let hop = ref (-1) in
+             Array.iteri (fun k g -> if g = a then hop := k) paths.(i);
+             (i, !hop))
+      |> Array.of_list)
+
 let run ~net ~discipline ~style ~signal ~adjusters ~r0 ~interval ~updates ~seed () =
   let n_conns = Network.num_connections net in
   let n_gws = Network.num_gateways net in
@@ -62,74 +85,80 @@ let run ~net ~discipline ~style ~signal ~adjusters ~r0 ~interval ~updates ~seed 
       if (not (Float.is_finite r)) || r < 0. then
         invalid_arg "Closed_loop.run: rates must be finite and non-negative")
     r0;
-  let sim = Sim.create () in
+  let sim = Sim.create ~scheduler:(wheel_for net) () in
   let root_rng = Rng.create seed in
-  let measure = Measure.create () in
+  let pool = Packet.Pool.create () in
   let current_rates = Array.copy r0 in
   let paths =
     Array.init n_conns (fun i -> Array.of_list (Network.gateways_of_connection net i))
   in
-  (* FS thinning tables, refreshed at every control update. *)
-  let class_tables : (int * int, (int * float) array) Hashtbl.t = Hashtbl.create 64 in
+  let flat = Measure.Flat.create ~paths in
+  let incidence = gateway_incidence net paths in
+  (* FS thinning tables per (connection, hop), refreshed at every
+     control update. *)
+  let class_tables = Array.map (Array.map (fun _ -> ([||] : (int * float) array))) paths in
   let refresh_class_tables () =
-    if discipline = Fs_priority then begin
-      Hashtbl.reset class_tables;
+    if discipline = Fs_priority then
       for a = 0 to n_gws - 1 do
         let local_rates = Network.rates_at_gateway net ~rates:current_rates a in
-        List.iter
-          (fun i ->
-            Hashtbl.add class_tables (a, i)
-              (fs_class_table ~local_rates ~rate:current_rates.(i)))
-          (Network.connections_at_gateway net a)
+        Array.iter
+          (fun (i, hop) ->
+            class_tables.(i).(hop) <-
+              fs_class_table ~local_rates ~rate:current_rates.(i))
+          incidence.(a)
       done
-    end
   in
   refresh_class_tables ();
   let servers = Array.make n_gws None in
   let server_of a = match servers.(a) with Some s -> s | None -> assert false in
   let class_rng = Rng.split root_rng in
-  let inject a (pkt : Packet.t) =
-    (if discipline = Fs_priority then
-       match Hashtbl.find_opt class_tables (a, pkt.conn) with
-       | Some table when Array.length table > 0 ->
-         pkt.klass <-
-           draw_fs_class table class_rng ~rate:(Float.max 1e-12 current_rates.(pkt.conn))
-       | Some _ | None -> pkt.klass <- 0);
-    Measure.incr measure ~key:(a, pkt.conn) ~now:(Sim.now sim);
+  let fs = discipline = Fs_priority in
+  let inject_at pkt hop =
+    let i = Packet.Pool.conn pool pkt in
+    let a = paths.(i).(hop) in
+    Packet.Pool.set_hop pool pkt hop;
+    (if fs then begin
+       let table = class_tables.(i).(hop) in
+       if Array.length table > 0 then
+         Packet.Pool.set_klass pool pkt
+           (draw_fs_class table class_rng ~rate:(Float.max 1e-12 current_rates.(i)))
+       else Packet.Pool.set_klass pool pkt 0
+     end);
+    Measure.Flat.incr flat ~slot:(Measure.Flat.slot flat ~conn:i ~hop) ~now:(Sim.now sim);
     Server.inject (server_of a) pkt
   in
-  let on_depart a (pkt : Packet.t) =
-    Measure.decr measure ~key:(a, pkt.conn) ~now:(Sim.now sim);
-    let path = paths.(pkt.conn) in
-    let pos = ref (-1) in
-    Array.iteri (fun k g -> if g = a then pos := k) path;
+  let h_forward = Sim.register sim (fun pkt hop -> inject_at pkt hop) in
+  let deliver pkt =
+    let i = Packet.Pool.conn pool pkt in
+    Measure.Flat.record_delay flat ~conn:i (Sim.now sim -. Packet.Pool.born pool pkt);
+    Measure.Flat.count_delivery flat ~conn:i;
+    Packet.Pool.free pool pkt
+  in
+  let h_deliver = Sim.register sim (fun pkt _ -> deliver pkt) in
+  let on_depart a pkt =
+    let i = Packet.Pool.conn pool pkt in
+    let hop = Packet.Pool.hop pool pkt in
+    Measure.Flat.decr flat ~slot:(Measure.Flat.slot flat ~conn:i ~hop) ~now:(Sim.now sim);
     let latency = (Network.gateway net a).Network.latency in
-    if !pos < Array.length path - 1 then begin
-      let next = path.(!pos + 1) in
-      Sim.schedule_after sim ~delay:latency (fun () -> inject next pkt)
-    end
-    else begin
-      let deliver () =
-        Measure.record_delay measure ~conn:pkt.conn (Sim.now sim -. pkt.born);
-        Measure.count_delivery measure ~conn:pkt.conn
-      in
-      if latency > 0. then Sim.schedule_after sim ~delay:latency deliver else deliver ()
-    end
+    if hop < Array.length paths.(i) - 1 then
+      Sim.schedule_code_after sim ~delay:latency ~handler:h_forward ~a:pkt ~b:(hop + 1)
+    else if latency > 0. then
+      Sim.schedule_code_after sim ~delay:latency ~handler:h_deliver ~a:pkt ~b:0
+    else deliver pkt
   in
   for a = 0 to n_gws - 1 do
     let rng = Rng.split root_rng in
     servers.(a) <-
       Some
-        (Server.create ~sim ~rng
+        (Server.create ~sim ~rng ~pool
            ~mu:(Network.gateway net a).Network.mu
            ~qdisc:(qdisc_of discipline) ~on_depart:(on_depart a) ())
   done;
+  let emit pkt = inject_at pkt 0 in
   let sources =
     Array.init n_conns (fun i ->
         let rng = Rng.split root_rng in
-        Source.create ~sim ~rng ~conn:i ~rate:r0.(i)
-          ~emit:(fun pkt -> inject paths.(i).(0) pkt)
-          ())
+        Source.create ~sim ~rng ~pool ~conn:i ~rate:r0.(i) ~emit ())
   in
   Array.iter Source.start sources;
   (* The control loop.  At each update instant: read measured per-gateway
@@ -148,9 +177,12 @@ let run ~net ~discipline ~style ~signal ~adjusters ~r0 ~interval ~updates ~seed 
     (* Per-gateway measured queue vectors in local connection order. *)
     let measured_queues =
       Array.init n_gws (fun a ->
-          Network.connections_at_gateway net a
-          |> List.map (fun i -> Measure.mean_occupancy measure ~key:(a, i) ~now)
-          |> Array.of_list)
+          Array.map
+            (fun (i, hop) ->
+              Measure.Flat.mean_occupancy flat
+                ~slot:(Measure.Flat.slot flat ~conn:i ~hop)
+                ~now)
+            incidence.(a))
     in
     let b =
       Array.init n_conns (fun i ->
@@ -164,8 +196,8 @@ let run ~net ~discipline ~style ~signal ~adjusters ~r0 ~interval ~updates ~seed 
     in
     let d =
       Array.init n_conns (fun i ->
-          let measured = Measure.delay_mean measure ~conn:i in
-          if Measure.delay_count measure ~conn:i > 0 then measured
+          let measured = Measure.Flat.delay_mean flat ~conn:i in
+          if Measure.Flat.delay_count flat ~conn:i > 0 then measured
           else line_latency i)
     in
     Array.iteri
@@ -175,7 +207,7 @@ let run ~net ~discipline ~style ~signal ~adjusters ~r0 ~interval ~updates ~seed 
         Source.set_rate sources.(i) current_rates.(i))
       (Array.copy current_rates);
     refresh_class_tables ();
-    Measure.reset measure ~now;
+    Measure.Flat.reset flat ~now;
     times.(k) <- now;
     rates_log.(k) <- Array.copy current_rates;
     signals_log.(k) <- b
@@ -220,63 +252,72 @@ let run_drop_tail ~net ~buffer ~adjusters ~r0 ~interval ~updates ~seed () =
   if not (interval > 0.) then
     invalid_arg "Closed_loop.run_drop_tail: interval must be positive";
   if updates <= 0 then invalid_arg "Closed_loop.run_drop_tail: updates must be positive";
-  let sim = Sim.create () in
+  let sim = Sim.create ~scheduler:(wheel_for net) () in
   let root_rng = Rng.create seed in
-  let measure = Measure.create () in
+  let pool = Packet.Pool.create () in
   let current_rates = Array.copy r0 in
   let paths =
     Array.init n_conns (fun i -> Array.of_list (Network.gateways_of_connection net i))
   in
+  let flat = Measure.Flat.create ~paths in
   let servers = Array.make n_gws None in
   let server_of a = match servers.(a) with Some s -> s | None -> assert false in
   let total_drops = Array.make n_conns 0 in
   let total_emitted = Array.make n_conns 0 in
-  let inject a (pkt : Packet.t) =
-    Measure.incr measure ~key:(a, pkt.conn) ~now:(Sim.now sim);
+  let inject_at pkt hop =
+    let i = Packet.Pool.conn pool pkt in
+    let a = paths.(i).(hop) in
+    Packet.Pool.set_hop pool pkt hop;
+    Measure.Flat.incr flat ~slot:(Measure.Flat.slot flat ~conn:i ~hop) ~now:(Sim.now sim);
     Server.inject (server_of a) pkt
   in
-  let on_drop a (pkt : Packet.t) =
+  let h_forward = Sim.register sim (fun pkt hop -> inject_at pkt hop) in
+  let deliver pkt =
+    let i = Packet.Pool.conn pool pkt in
+    Measure.Flat.record_delay flat ~conn:i (Sim.now sim -. Packet.Pool.born pool pkt);
+    Measure.Flat.count_delivery flat ~conn:i;
+    Packet.Pool.free pool pkt
+  in
+  let h_deliver = Sim.register sim (fun pkt _ -> deliver pkt) in
+  let on_drop pkt =
     (* The packet never entered this gateway's system: undo the occupancy
        increment recorded at injection. *)
-    Measure.decr measure ~key:(a, pkt.conn) ~now:(Sim.now sim);
-    Measure.count_drop measure ~conn:pkt.conn;
-    total_drops.(pkt.conn) <- total_drops.(pkt.conn) + 1
+    let i = Packet.Pool.conn pool pkt in
+    let hop = Packet.Pool.hop pool pkt in
+    Measure.Flat.decr flat ~slot:(Measure.Flat.slot flat ~conn:i ~hop) ~now:(Sim.now sim);
+    Measure.Flat.count_drop flat ~conn:i;
+    total_drops.(i) <- total_drops.(i) + 1;
+    Packet.Pool.free pool pkt
   in
-  let on_depart a (pkt : Packet.t) =
-    Measure.decr measure ~key:(a, pkt.conn) ~now:(Sim.now sim);
-    let path = paths.(pkt.conn) in
-    let pos = ref (-1) in
-    Array.iteri (fun k g -> if g = a then pos := k) path;
+  let on_depart a pkt =
+    let i = Packet.Pool.conn pool pkt in
+    let hop = Packet.Pool.hop pool pkt in
+    Measure.Flat.decr flat ~slot:(Measure.Flat.slot flat ~conn:i ~hop) ~now:(Sim.now sim);
     let latency = (Network.gateway net a).Network.latency in
-    if !pos < Array.length path - 1 then begin
-      let next = path.(!pos + 1) in
-      Sim.schedule_after sim ~delay:latency (fun () -> inject next pkt)
-    end
-    else begin
-      let deliver () =
-        Measure.record_delay measure ~conn:pkt.conn (Sim.now sim -. pkt.born);
-        Measure.count_delivery measure ~conn:pkt.conn
-      in
-      if latency > 0. then Sim.schedule_after sim ~delay:latency deliver else deliver ()
-    end
+    if hop < Array.length paths.(i) - 1 then
+      Sim.schedule_code_after sim ~delay:latency ~handler:h_forward ~a:pkt ~b:(hop + 1)
+    else if latency > 0. then
+      Sim.schedule_code_after sim ~delay:latency ~handler:h_deliver ~a:pkt ~b:0
+    else deliver pkt
   in
   for a = 0 to n_gws - 1 do
     let rng = Rng.split root_rng in
     servers.(a) <-
       Some
-        (Server.create ~sim ~rng
+        (Server.create ~sim ~rng ~pool
            ~mu:(Network.gateway net a).Network.mu
-           ~qdisc:Qdisc.Fifo ~buffer_limit:buffer ~on_drop:(on_drop a)
+           ~qdisc:Qdisc.Fifo ~buffer_limit:buffer ~on_drop
            ~on_depart:(on_depart a) ())
   done;
+  let emit pkt =
+    let i = Packet.Pool.conn pool pkt in
+    total_emitted.(i) <- total_emitted.(i) + 1;
+    inject_at pkt 0
+  in
   let sources =
     Array.init n_conns (fun i ->
         let rng = Rng.split root_rng in
-        Source.create ~sim ~rng ~conn:i ~rate:r0.(i)
-          ~emit:(fun pkt ->
-            total_emitted.(i) <- total_emitted.(i) + 1;
-            inject paths.(i).(0) pkt)
-          ())
+        Source.create ~sim ~rng ~pool ~conn:i ~rate:r0.(i) ~emit ())
   in
   Array.iter Source.start sources;
   let times = Array.make updates 0. in
@@ -288,10 +329,10 @@ let run_drop_tail ~net ~buffer ~adjusters ~r0 ~interval ~updates ~seed () =
     (* Binary implicit signal: any drop in the window sets the "bit". *)
     Array.iteri
       (fun i r ->
-        let b = if Measure.drops measure ~conn:i > 0 then 1. else 0. in
+        let b = if Measure.Flat.drops flat ~conn:i > 0 then 1. else 0. in
         let d =
-          if Measure.delay_count measure ~conn:i > 0 then
-            Measure.delay_mean measure ~conn:i
+          if Measure.Flat.delay_count flat ~conn:i > 0 then
+            Measure.Flat.delay_mean flat ~conn:i
           else 1.
         in
         let dr = Rate_adjust.eval adjusters.(i) ~r ~b ~d in
@@ -300,9 +341,9 @@ let run_drop_tail ~net ~buffer ~adjusters ~r0 ~interval ~updates ~seed () =
       (Array.copy current_rates);
     if k >= updates - tail then
       for i = 0 to n_conns - 1 do
-        tail_delivered.(i) <- tail_delivered.(i) + Measure.deliveries measure ~conn:i
+        tail_delivered.(i) <- tail_delivered.(i) + Measure.Flat.deliveries flat ~conn:i
       done;
-    Measure.reset measure ~now;
+    Measure.Flat.reset flat ~now;
     times.(k) <- now;
     rates_log.(k) <- Array.copy current_rates
   in

@@ -3,13 +3,6 @@ open Ffc_topology
 
 type discipline = Fifo | Fs_priority | Fair_queueing
 
-type result = {
-  net : Network.t;
-  measure : Measure.t;
-  horizon : float;
-  window : float;
-}
-
 (* Fair Share thinning: for a connection with rate [r] at a gateway whose
    local sorted rates produce level increments [incr], the packet belongs
    to level j with probability incr.(j)/r for each level the connection
@@ -49,7 +42,41 @@ let qdisc_of = function
   | Fs_priority -> Qdisc.Preemptive_priority
   | Fair_queueing -> Qdisc.Fair_queueing
 
-let run ~net ~rates ~discipline ~seed ?warmup ~horizon () =
+type result = {
+  net : Network.t;
+  horizon : float;
+  window : float;
+  paths : int array array;  (** Global gateway paths per connection. *)
+  conn_shard : int array;
+  conn_local : int array;
+  flats : Measure.Flat.t array;  (** Per shard, locally indexed. *)
+  total_events : int;
+  n_components : int;
+}
+
+(* Everything a shard worker needs, fully precomputed on the calling
+   domain so workers share only read-only state (each RNG stream is
+   touched by exactly one shard). *)
+type shard_plan = {
+  sp_conns : int array;  (** Global connection ids, canonical order. *)
+  sp_gws : int array;  (** Global gateway ids, canonical order. *)
+  sp_paths : int array array;  (** Per local conn, local gateway path. *)
+  sp_rates : float array;  (** Per local conn. *)
+  sp_comp : int array;  (** Per local conn, local component ordinal. *)
+  sp_n_comps : int;
+  sp_tables : (int * float) array array array;  (** Per local conn, per hop. *)
+  sp_events_per_time : float;
+}
+
+type shard_out = {
+  so_flat : Measure.Flat.t;
+  so_events : int;
+  so_injections : int;
+  so_hist : int array;
+}
+
+let run ~net ~rates ~discipline ~seed ?warmup ?(scheduler = `Wheel) ?(shards = 1)
+    ?jobs ?buffer_limit ~horizon () =
   let n_conns = Network.num_connections net in
   let n_gws = Network.num_gateways net in
   if Array.length rates <> n_conns then
@@ -62,157 +89,330 @@ let run ~net ~rates ~discipline ~seed ?warmup ~horizon () =
   let warmup = match warmup with Some w -> w | None -> 0.1 *. horizon in
   if not (horizon > warmup && warmup >= 0.) then
     invalid_arg "Netsim.run: need horizon > warmup >= 0";
-  let sim = Sim.create () in
-  let root_rng = Rng.create seed in
-  let measure = Measure.create () in
+  if shards < 1 then invalid_arg "Netsim.run: shards must be >= 1";
   Ffc_obs.Ctx.incr_named "desim.runs";
-  (* Metrics are tallied into plain locals during the event loop and
-     merged into the registry once at the end of the run: per-packet
-     atomic RMWs on shared counters cost several percent of the whole
-     simulation, which would break the < 2% null-sink overhead
-     contract.  The merge is equivalent — a run's totals are
-     deterministic — and runs in parallel domains still combine
-     correctly because the final merge is atomic. *)
-  let obs_ctx = Ffc_obs.Ctx.ambient () in
-  let delay_hist =
-    match obs_ctx with
-    | Some c ->
-      Some (Ffc_obs.Metrics.histogram (Ffc_obs.Ctx.metrics c) "desim.delay")
-    | None -> None
-  in
-  let injections = ref 0 and deliveries = ref 0 in
-  let local_delays =
-    match delay_hist with
-    | Some h -> Array.make (Ffc_obs.Metrics.Histogram.num_buckets h) 0
-    | None -> [||]
-  in
-  let trc = Ffc_obs.Ctx.tracing () in
-  (* Paths as arrays for O(1) next-hop lookup. *)
   let paths =
     Array.init n_conns (fun i -> Array.of_list (Network.gateways_of_connection net i))
   in
-  (* Per (gateway, connection) FS class tables. *)
-  let class_tables = Hashtbl.create 64 in
-  if discipline = Fs_priority then
-    for a = 0 to n_gws - 1 do
-      let local_rates = Network.rates_at_gateway net ~rates a in
-      List.iter
-        (fun i ->
-          Hashtbl.add class_tables (a, i)
-            (fs_class_table ~local_rates ~rate:rates.(i)))
-        (Network.connections_at_gateway net a)
-    done;
-  let servers = Array.make n_gws None in
-  let server_of a =
-    match servers.(a) with Some s -> s | None -> assert false
+  (* Connected components of the gateway graph (edges: consecutive hops
+     of any path) — the independent simulation domains. *)
+  let uf = Array.init n_gws (fun a -> a) in
+  let rec find a = if uf.(a) = a then a else (let r = find uf.(a) in uf.(a) <- r; r) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then if ra < rb then uf.(rb) <- ra else uf.(ra) <- rb
   in
-  (* Injection into gateway [a]: draw the FS priority class from a
-     dedicated stream, account occupancy, hand to the server. *)
-  let class_rng = Rng.split root_rng in
-  let inject a (pkt : Packet.t) =
-    (if discipline = Fs_priority then
-       match Hashtbl.find_opt class_tables (a, pkt.conn) with
-       | Some table -> pkt.klass <- draw_fs_class table class_rng ~rate:rates.(pkt.conn)
-       | None -> pkt.klass <- 0);
-    incr injections;
-    Measure.incr measure ~key:(a, pkt.conn) ~now:(Sim.now sim);
-    Server.inject (server_of a) pkt
-  in
-  (* Departure from gateway [a]: forward across the line (after the line's
-     latency) or deliver. *)
-  let on_depart a (pkt : Packet.t) =
-    Measure.decr measure ~key:(a, pkt.conn) ~now:(Sim.now sim);
-    let path = paths.(pkt.conn) in
-    let pos = ref (-1) in
-    Array.iteri (fun k g -> if g = a then pos := k) path;
-    let latency = (Network.gateway net a).Network.latency in
-    if !pos < Array.length path - 1 then begin
-      let next = path.(!pos + 1) in
-      Sim.schedule_after sim ~delay:latency (fun () -> inject next pkt)
-    end
-    else begin
-      let deliver () =
-        let delay = Sim.now sim -. pkt.born in
-        Measure.record_delay measure ~conn:pkt.conn delay;
-        Measure.count_delivery measure ~conn:pkt.conn;
-        (* [decade_index] is exact for "desim.delay": it was registered
-           with the default decade buckets above (a conflicting earlier
-           registration would have raised there). *)
-        if Array.length local_delays > 0 then begin
-          let i = Ffc_obs.Metrics.decade_index delay in
-          local_delays.(i) <- local_delays.(i) + 1
-        end;
-        (* [!deliveries] is the all-time delivery ordinal — the
-           simulator is deterministic for a given seed, so stride
-           sampling on it is too.  Only maintained when tracing: the
-           "desim.deliveries" counter is merged from [Measure] after
-           the run, so the null-sink hot path skips the increment. *)
-        match trc with
-        | Some c ->
-          incr deliveries;
-          if Ffc_obs.Ctx.sample c !deliveries then
-            Ffc_obs.Ctx.emit c
-              (Ffc_obs.Event.desim_delivery ~time:(Sim.now sim)
-                 ~conn:pkt.conn ~delay)
-        | None -> ()
-      in
-      if latency > 0. then Sim.schedule_after sim ~delay:latency deliver else deliver ()
-    end
-  in
+  Array.iter
+    (fun path ->
+      for k = 1 to Array.length path - 1 do
+        union path.(0) path.(k)
+      done)
+    paths;
+  (* Canonical component ids: order of first appearance over ascending
+     gateway index — independent of everything but the topology. *)
+  let comp_of_gw = Array.make n_gws (-1) in
+  let n_comps = ref 0 in
   for a = 0 to n_gws - 1 do
-    let rng = Rng.split root_rng in
-    servers.(a) <-
-      Some
-        (Server.create ~sim ~rng
-           ~mu:(Network.gateway net a).Network.mu
-           ~qdisc:(qdisc_of discipline) ~on_depart:(on_depart a) ())
+    let r = find a in
+    if comp_of_gw.(r) < 0 then begin
+      comp_of_gw.(r) <- !n_comps;
+      incr n_comps
+    end;
+    comp_of_gw.(a) <- comp_of_gw.(r)
   done;
-  let sources =
-    Array.init n_conns (fun i ->
-        let rng = Rng.split root_rng in
-        Source.create ~sim ~rng ~conn:i ~rate:rates.(i)
-          ~emit:(fun pkt -> inject paths.(i).(0) pkt)
-          ())
+  let n_comps = !n_comps in
+  let comp_of_conn =
+    Array.init n_conns (fun i -> comp_of_gw.(paths.(i).(0)))
   in
-  Array.iter Source.start sources;
-  if warmup > 0. then Sim.schedule sim ~at:warmup (fun () -> Measure.reset measure ~now:warmup);
-  Sim.run ~until:horizon sim;
-  (match obs_ctx with
+  (* Component weights (expected events per unit time) drive both the
+     contiguous shard partition and the wheel tick choice. *)
+  let comp_weight = Array.make n_comps 0. in
+  Array.iteri
+    (fun i path ->
+      let c = comp_of_conn.(i) in
+      comp_weight.(c) <-
+        comp_weight.(c) +. (rates.(i) *. float_of_int ((2 * Array.length path) + 2)))
+    paths;
+  let total_weight = Array.fold_left ( +. ) 0. comp_weight in
+  let shards = min shards n_comps |> max 1 in
+  (* Contiguous partition balanced by cumulative weight: component [c]
+     goes to the group its weight-prefix ratio lands in — monotone in
+     [c], hence contiguous; deterministic for a given topology. *)
+  let shard_of_comp = Array.make n_comps 0 in
+  let cum = ref 0. in
+  for c = 0 to n_comps - 1 do
+    shard_of_comp.(c) <-
+      (if total_weight <= 0. then c * shards / max 1 n_comps
+       else min (shards - 1) (int_of_float (!cum /. total_weight *. float_of_int shards)));
+    cum := !cum +. comp_weight.(c)
+  done;
+  (* Per-entity SplitMix64 streams, pre-split in fixed global order so a
+     component's draws never depend on sharding (the E23 per-task-stream
+     pattern). *)
+  let root_rng = Rng.create seed in
+  let server_rngs = Array.init n_gws (fun _ -> Rng.split root_rng) in
+  let class_rngs = Array.init n_gws (fun _ -> Rng.split root_rng) in
+  let source_rngs = Array.init n_conns (fun _ -> Rng.split root_rng) in
+  (* Global FS thinning tables, one per (connection, hop). *)
+  let fs_tables =
+    if discipline <> Fs_priority then [||]
+    else
+      Array.init n_conns (fun i ->
+          Array.map
+            (fun a ->
+              fs_class_table
+                ~local_rates:(Network.rates_at_gateway net ~rates a)
+                ~rate:rates.(i))
+            paths.(i))
+  in
+  (* Shard plans: canonical order everywhere is ascending component id,
+     then ascending global id within the component. *)
+  let comp_conns = Array.make n_comps [] in
+  for i = n_conns - 1 downto 0 do
+    comp_conns.(comp_of_conn.(i)) <- i :: comp_conns.(comp_of_conn.(i))
+  done;
+  let comp_gws = Array.make n_comps [] in
+  for a = n_gws - 1 downto 0 do
+    comp_gws.(comp_of_gw.(a)) <- a :: comp_gws.(comp_of_gw.(a))
+  done;
+  let conn_shard = Array.make n_conns 0 in
+  let conn_local = Array.make n_conns 0 in
+  let gw_local = Array.make n_gws 0 in
+  let plans =
+    Array.init shards (fun s ->
+        let comps = ref [] in
+        for c = n_comps - 1 downto 0 do
+          if shard_of_comp.(c) = s then comps := c :: !comps
+        done;
+        let comps = !comps in
+        let conns =
+          List.concat_map (fun c -> comp_conns.(c)) comps |> Array.of_list
+        in
+        let gws = List.concat_map (fun c -> comp_gws.(c)) comps |> Array.of_list in
+        Array.iteri (fun a_l a -> gw_local.(a) <- a_l) gws;
+        Array.iteri
+          (fun i_l i ->
+            conn_shard.(i) <- s;
+            conn_local.(i) <- i_l)
+          conns;
+        let comp_ord = ref (-1) and last_comp = ref (-1) in
+        let sp_comp =
+          Array.map
+            (fun i ->
+              let c = comp_of_conn.(i) in
+              if c <> !last_comp then begin
+                last_comp := c;
+                incr comp_ord
+              end;
+              !comp_ord)
+            conns
+        in
+        {
+          sp_conns = conns;
+          sp_gws = gws;
+          sp_paths = Array.map (fun i -> Array.map (fun a -> gw_local.(a)) paths.(i)) conns;
+          sp_rates = Array.map (fun i -> rates.(i)) conns;
+          sp_comp;
+          sp_n_comps = List.length comps;
+          sp_tables =
+            (if discipline = Fs_priority then Array.map (fun i -> fs_tables.(i)) conns
+             else Array.make (Array.length conns) [||]);
+          sp_events_per_time =
+            List.fold_left (fun acc c -> acc +. comp_weight.(c)) 0. comps;
+        })
+  in
+  let num_hist_buckets =
+    match Ffc_obs.Ctx.ambient () with
+    | Some c ->
+      Ffc_obs.Metrics.Histogram.num_buckets
+        (Ffc_obs.Metrics.histogram (Ffc_obs.Ctx.metrics c) "desim.delay")
+    | None -> 0
+  in
+  let fs = discipline = Fs_priority in
+  let simulate (p : shard_plan) =
+    let n_l = Array.length p.sp_conns in
+    let flat = Measure.Flat.create ~paths:p.sp_paths in
+    if n_l = 0 then { so_flat = flat; so_events = 0; so_injections = 0; so_hist = [||] }
+    else begin
+      let scheduler_kind =
+        match scheduler with
+        | `Heap -> Scheduler.Heap
+        | `Wheel ->
+          Scheduler.Wheel
+            { tick = Scheduler.auto_tick ~events_per_time:p.sp_events_per_time }
+      in
+      let sim = Sim.create ~scheduler:scheduler_kind () in
+      let pool = Packet.Pool.create ~initial:1024 () in
+      let trc = Ffc_obs.Ctx.tracing () in
+      let local_delays = Array.make num_hist_buckets 0 in
+      let injections = ref 0 in
+      (* Per-component delivery trace buffers — flushed in component
+         order at the end so the trace stream is independent of how
+         components were grouped into shards. *)
+      let trace_buf = Array.make p.sp_n_comps [] in
+      let trace_ord = Array.make p.sp_n_comps 0 in
+      let servers = Array.make (Array.length p.sp_gws) None in
+      let server_of a_l =
+        match servers.(a_l) with Some s -> s | None -> assert false
+      in
+      let latency = Array.map (fun a -> (Network.gateway net a).Network.latency) p.sp_gws in
+      let inject_at pkt hop =
+        let i_l = Packet.Pool.conn pool pkt in
+        let a_l = p.sp_paths.(i_l).(hop) in
+        Packet.Pool.set_hop pool pkt hop;
+        (if fs then
+           let table = p.sp_tables.(i_l).(hop) in
+           Packet.Pool.set_klass pool pkt
+             (draw_fs_class table class_rngs.(p.sp_gws.(a_l)) ~rate:p.sp_rates.(i_l)));
+        incr injections;
+        Measure.Flat.incr flat ~slot:(Measure.Flat.slot flat ~conn:i_l ~hop) ~now:(Sim.now sim);
+        Server.inject (server_of a_l) pkt
+      in
+      let h_forward = Sim.register sim (fun pkt hop -> inject_at pkt hop) in
+      let deliver pkt =
+        let i_l = Packet.Pool.conn pool pkt in
+        let delay = Sim.now sim -. Packet.Pool.born pool pkt in
+        Measure.Flat.record_delay flat ~conn:i_l delay;
+        Measure.Flat.count_delivery flat ~conn:i_l;
+        (* [decade_index] is exact for "desim.delay": it was registered
+           with the default decade buckets (a conflicting earlier
+           registration would have raised there). *)
+        if num_hist_buckets > 0 then begin
+          let b = Ffc_obs.Metrics.decade_index delay in
+          local_delays.(b) <- local_delays.(b) + 1
+        end;
+        (match trc with
+        | Some c ->
+          (* Stride sampling on the component's own delivery ordinal —
+             deterministic and sharding-independent. *)
+          let comp = p.sp_comp.(i_l) in
+          trace_ord.(comp) <- trace_ord.(comp) + 1;
+          if Ffc_obs.Ctx.sample c trace_ord.(comp) then
+            trace_buf.(comp) <-
+              Ffc_obs.Event.desim_delivery ~time:(Sim.now sim) ~conn:p.sp_conns.(i_l)
+                ~delay
+              :: trace_buf.(comp)
+        | None -> ());
+        Packet.Pool.free pool pkt
+      in
+      let h_deliver = Sim.register sim (fun pkt _ -> deliver pkt) in
+      let on_depart a_l pkt =
+        let i_l = Packet.Pool.conn pool pkt in
+        let hop = Packet.Pool.hop pool pkt in
+        Measure.Flat.decr flat ~slot:(Measure.Flat.slot flat ~conn:i_l ~hop) ~now:(Sim.now sim);
+        let lat = latency.(a_l) in
+        if hop < Array.length p.sp_paths.(i_l) - 1 then
+          Sim.schedule_code_after sim ~delay:lat ~handler:h_forward ~a:pkt ~b:(hop + 1)
+        else if lat > 0. then
+          Sim.schedule_code_after sim ~delay:lat ~handler:h_deliver ~a:pkt ~b:0
+        else deliver pkt
+      in
+      let on_drop pkt =
+        let i_l = Packet.Pool.conn pool pkt in
+        let hop = Packet.Pool.hop pool pkt in
+        Measure.Flat.decr flat ~slot:(Measure.Flat.slot flat ~conn:i_l ~hop) ~now:(Sim.now sim);
+        Measure.Flat.count_drop flat ~conn:i_l;
+        Packet.Pool.free pool pkt
+      in
+      Array.iteri
+        (fun a_l a ->
+          servers.(a_l) <-
+            Some
+              (Server.create ~sim ~rng:server_rngs.(a) ~pool
+                 ~mu:(Network.gateway net a).Network.mu
+                 ~qdisc:(qdisc_of discipline) ?buffer_limit ~on_drop
+                 ~on_depart:(on_depart a_l) ()))
+        p.sp_gws;
+      let emit pkt = inject_at pkt 0 in
+      let sources =
+        Array.init n_l (fun i_l ->
+            Source.create ~sim ~rng:source_rngs.(p.sp_conns.(i_l)) ~pool ~conn:i_l
+              ~rate:p.sp_rates.(i_l) ~emit ())
+      in
+      Array.iter Source.start sources;
+      if warmup > 0. then
+        Sim.schedule sim ~at:warmup (fun () -> Measure.Flat.reset flat ~now:warmup);
+      Sim.run ~until:horizon sim;
+      (match trc with
+      | Some c ->
+        for comp = 0 to p.sp_n_comps - 1 do
+          List.iter (Ffc_obs.Ctx.emit c) (List.rev trace_buf.(comp))
+        done
+      | None -> ());
+      {
+        so_flat = flat;
+        so_events = Sim.events sim - (if warmup > 0. then 1 else 0);
+        so_injections = !injections;
+        so_hist = local_delays;
+      }
+    end
+  in
+  let jobs = Pool.effective_jobs ?jobs () |> min shards in
+  let outs = Pool.parallel_map ~jobs simulate plans in
+  let total_events = Array.fold_left (fun acc o -> acc + o.so_events) 0 outs in
+  let flats = Array.map (fun o -> o.so_flat) outs in
+  (* Deterministic merge of the observability tallies (main domain). *)
+  (match Ffc_obs.Ctx.ambient () with
   | Some c ->
     let m = Ffc_obs.Ctx.metrics c in
-    Ffc_obs.Metrics.Counter.add
-      (Ffc_obs.Metrics.counter m "desim.injections")
-      !injections;
-    (* Deliveries within the measurement window, from [Measure] — the
-       same value whether or not the run was traced. *)
-    let delivered = ref 0 in
+    let add name v = Ffc_obs.Metrics.Counter.add (Ffc_obs.Metrics.counter m name) v in
+    add "desim.injections" (Array.fold_left (fun acc o -> acc + o.so_injections) 0 outs);
+    add "desim.events" total_events;
+    let delivered = ref 0 and dropped = ref 0 in
     for i = 0 to n_conns - 1 do
-      delivered := !delivered + Measure.deliveries measure ~conn:i
+      let f = flats.(conn_shard.(i)) in
+      delivered := !delivered + Measure.Flat.deliveries f ~conn:conn_local.(i);
+      dropped := !dropped + Measure.Flat.drops f ~conn:conn_local.(i)
     done;
-    Ffc_obs.Metrics.Counter.add
-      (Ffc_obs.Metrics.counter m "desim.deliveries")
-      !delivered;
-    (match delay_hist with
-    | Some h ->
-      Array.iteri
-        (fun i n -> if n > 0 then Ffc_obs.Metrics.Histogram.add_bucket h i n)
-        local_delays
-    | None -> ())
+    add "desim.deliveries" !delivered;
+    add "desim.drops" !dropped;
+    let h = Ffc_obs.Metrics.histogram m "desim.delay" in
+    Array.iter
+      (fun o ->
+        Array.iteri
+          (fun b n -> if n > 0 then Ffc_obs.Metrics.Histogram.add_bucket h b n)
+          o.so_hist)
+      outs
   | None -> ());
-  (match trc with
+  (match Ffc_obs.Ctx.tracing () with
   | Some c ->
     let window = horizon -. warmup in
     for i = 0 to n_conns - 1 do
-      let deliveries = Measure.deliveries measure ~conn:i in
+      let deliveries =
+        Measure.Flat.deliveries flats.(conn_shard.(i)) ~conn:conn_local.(i)
+      in
       Ffc_obs.Ctx.emit c
         (Ffc_obs.Event.desim_summary ~conn:i ~deliveries
            ~throughput:(float_of_int deliveries /. window))
     done
   | None -> ());
-  { net; measure; horizon; window = horizon -. warmup }
+  {
+    net;
+    horizon;
+    window = horizon -. warmup;
+    paths;
+    conn_shard;
+    conn_local;
+    flats;
+    total_events;
+    n_components = n_comps;
+  }
+
+let hop_of r ~gw ~conn =
+  let path = r.paths.(conn) in
+  let pos = ref (-1) in
+  Array.iteri (fun k a -> if a = gw then pos := k) path;
+  !pos
 
 let mean_queue r ~gw ~conn =
-  Measure.mean_occupancy r.measure ~key:(gw, conn) ~now:r.horizon
+  let hop = hop_of r ~gw ~conn in
+  if hop < 0 then 0.
+  else begin
+    let f = r.flats.(r.conn_shard.(conn)) in
+    Measure.Flat.mean_occupancy f
+      ~slot:(Measure.Flat.slot f ~conn:r.conn_local.(conn) ~hop)
+      ~now:r.horizon
+  end
 
 let total_mean_queue r ~gw =
   List.fold_left
@@ -220,10 +420,22 @@ let total_mean_queue r ~gw =
     0.
     (Network.connections_at_gateway r.net gw)
 
-let delay_mean r ~conn = Measure.delay_mean r.measure ~conn
-let delay_ci95 r ~conn = Measure.delay_ci95 r.measure ~conn
+let delay_mean r ~conn =
+  Measure.Flat.delay_mean r.flats.(r.conn_shard.(conn)) ~conn:r.conn_local.(conn)
 
-let throughput r ~conn =
-  float_of_int (Measure.deliveries r.measure ~conn) /. r.window
+let delay_ci95 r ~conn =
+  Measure.Flat.delay_ci95 r.flats.(r.conn_shard.(conn)) ~conn:r.conn_local.(conn)
+
+let deliveries r ~conn =
+  Measure.Flat.deliveries r.flats.(r.conn_shard.(conn)) ~conn:r.conn_local.(conn)
+
+let drops r ~conn =
+  Measure.Flat.drops r.flats.(r.conn_shard.(conn)) ~conn:r.conn_local.(conn)
+
+let throughput r ~conn = float_of_int (deliveries r ~conn) /. r.window
 
 let window r = r.window
+
+let events r = r.total_events
+
+let components r = r.n_components

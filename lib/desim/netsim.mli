@@ -6,7 +6,20 @@
     time-average per-connection queue lengths at every gateway,
     end-to-end delays, and delivered throughput over the post-warmup
     window.  Used to validate the analytic Q(r) functions (experiment
-    E12) and to study feedback with real delays (E13).
+    E12), to study feedback with real delays (E13), and — rebuilt
+    around a struct-of-arrays packet pool, coded events, and a
+    timing-wheel calendar — to reach 10⁵–10⁶ concurrent connections
+    (E27).
+
+    {b Sharding.}  The network is decomposed into connected components
+    (gateway domains no connection crosses between); [shards] groups
+    consecutive components and simulates the groups on
+    {!Ffc_numerics.Pool} domains.  Every entity (server, class drawer,
+    source) owns a SplitMix64 stream pre-split from the seed in fixed
+    global order, so a component's sample path — and therefore every
+    reported statistic — is bit-identical whatever the shard count or
+    [jobs]; trace events are emitted grouped by component in canonical
+    component order, which makes traced runs byte-identical too.
 
     The Fair Share discipline is realized exactly as §2.2 defines it:
     each packet is independently thinned into a priority level with
@@ -28,13 +41,26 @@ val run :
   discipline:discipline ->
   seed:int ->
   ?warmup:float ->
+  ?scheduler:[ `Heap | `Wheel ] ->
+  ?shards:int ->
+  ?jobs:int ->
+  ?buffer_limit:int ->
   horizon:float ->
   unit ->
   result
 (** Simulates with per-connection Poisson rates [rates]. Statistics cover
     [(warmup, horizon)]; [warmup] defaults to 10% of the horizon.
+
+    [scheduler] picks the event calendar (default [`Wheel], with a tick
+    auto-sized to the expected event rate); the choice never affects
+    results.  [shards] (default 1; clamped to the component count)
+    splits independent components over up to [jobs] domains — results
+    and traces are byte-identical at any [shards]/[jobs].
+    [buffer_limit] caps each gateway's system occupancy, arrivals
+    beyond it are dropped at the door (counted in {!drops}).
+
     Raises [Invalid_argument] on negative rates, a rate-vector length
-    mismatch, or [horizon <= warmup]. *)
+    mismatch, [horizon <= warmup], or [shards < 1]. *)
 
 val mean_queue : result -> gw:int -> conn:int -> float
 (** Time-average number of connection [conn]'s packets at gateway [gw] —
@@ -48,5 +74,17 @@ val delay_ci95 : result -> conn:int -> float
 val throughput : result -> conn:int -> float
 (** Delivered packets per unit time over the measurement window. *)
 
+val deliveries : result -> conn:int -> int
+val drops : result -> conn:int -> int
+(** Packets of [conn] dropped at full gateways ([buffer_limit] runs). *)
+
 val window : result -> float
 (** Length of the measurement window. *)
+
+val events : result -> int
+(** Simulation events executed (arrivals, completions, forwards,
+    deliveries) — the work measure behind events/sec benchmarks.
+    Independent of the shard count. *)
+
+val components : result -> int
+(** Independent gateway domains found in the topology. *)

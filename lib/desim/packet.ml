@@ -1,9 +1,95 @@
-type t = {
-  id : int;
-  conn : int;
-  born : float;
-  mutable klass : int;
-  mutable work : float;
-}
+type id = int
 
-let create ~id ~conn ~born = { id; conn; born; klass = 0; work = 0. }
+module Pool = struct
+  type t = {
+    mutable conn : int array;
+    mutable klass : int array;
+    mutable hop : int array;
+    mutable born : float array;
+    mutable work : float array;
+    mutable next : int array;  (** Free-list link; -1 terminates. *)
+    mutable state : Bytes.t;  (** 0 = free, 1 = in flight. *)
+    mutable free_head : int;
+    mutable live : int;
+    mutable allocated : int;
+    max_packets : int;
+  }
+
+  let create ?(initial = 1024) ?(max_packets = max_int) () =
+    if initial <= 0 then invalid_arg "Packet.Pool.create: initial must be positive";
+    if max_packets <= 0 then
+      invalid_arg "Packet.Pool.create: max_packets must be positive";
+    let n = min (max 16 initial) max_packets in
+    {
+      conn = Array.make n 0;
+      klass = Array.make n 0;
+      hop = Array.make n 0;
+      born = Array.make n 0.;
+      work = Array.make n 0.;
+      next = Array.init n (fun i -> if i = n - 1 then -1 else i + 1);
+      state = Bytes.make n '\000';
+      free_head = 0;
+      live = 0;
+      allocated = 0;
+      max_packets;
+    }
+
+  let grow t =
+    let n = Array.length t.conn in
+    let n' = min (2 * n) t.max_packets in
+    let add = n' - n in
+    let grow_i a = Array.append a (Array.make add 0) in
+    let grow_f a = Array.append a (Array.make add 0.) in
+    t.conn <- grow_i t.conn;
+    t.klass <- grow_i t.klass;
+    t.hop <- grow_i t.hop;
+    t.born <- grow_f t.born;
+    t.work <- grow_f t.work;
+    t.next <-
+      Array.append t.next (Array.init add (fun i -> if i = add - 1 then -1 else n + i + 1));
+    t.state <- Bytes.cat t.state (Bytes.make add '\000');
+    t.free_head <- n
+
+  let alloc t ~conn ~born =
+    if t.free_head < 0 then
+      if Array.length t.conn < t.max_packets then grow t
+      else
+        failwith
+          (Printf.sprintf
+             "Packet.Pool.alloc: pool exhausted (%d packets in flight, max_packets=%d)"
+             t.live t.max_packets);
+    let id = t.free_head in
+    t.free_head <- t.next.(id);
+    t.conn.(id) <- conn;
+    t.born.(id) <- born;
+    t.klass.(id) <- 0;
+    t.hop.(id) <- 0;
+    t.work.(id) <- 0.;
+    Bytes.unsafe_set t.state id '\001';
+    t.live <- t.live + 1;
+    t.allocated <- t.allocated + 1;
+    id
+
+  let free t id =
+    if id < 0 || id >= Array.length t.conn || Bytes.get t.state id <> '\001' then
+      invalid_arg
+        (Printf.sprintf "Packet.Pool.free: packet %d is not in flight (double free?)" id);
+    Bytes.unsafe_set t.state id '\000';
+    t.next.(id) <- t.free_head;
+    t.free_head <- id;
+    t.live <- t.live - 1
+
+  let[@inline] conn t id = t.conn.(id)
+  let[@inline] born t id = t.born.(id)
+  let[@inline] klass t id = t.klass.(id)
+  let[@inline] set_klass t id k = t.klass.(id) <- k
+  let[@inline] work t id = t.work.(id)
+  let[@inline] set_work t id w = t.work.(id) <- w
+  let[@inline] hop t id = t.hop.(id)
+  let[@inline] set_hop t id h = t.hop.(id) <- h
+
+  let is_live t id = id >= 0 && id < Array.length t.conn && Bytes.get t.state id = '\001'
+  let live t = t.live
+  let capacity t = Array.length t.conn
+  let allocated t = t.allocated
+end

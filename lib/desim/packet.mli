@@ -1,19 +1,70 @@
-(** Packets flowing through the simulated network. *)
+(** Packets as pool indices over struct-of-arrays storage.
 
-type t = {
-  id : int;  (** Globally unique, assigned by the source. *)
-  conn : int;  (** Connection index within the network. *)
-  born : float;  (** Creation time, for end-to-end delay measurement. *)
-  mutable klass : int;
-      (** Priority class for the preemptive-priority (Fair Share)
-          discipline; 0 is the highest priority. Re-assigned per gateway
-          by the FS thinning. Ignored by FIFO. *)
-  mutable work : float;
-      (** Remaining service requirement at the current gateway, in units
-          of normalized work (service time = work/μ). Re-drawn at each
-          gateway per the paper's Poisson-output independence
-          assumption. *)
-}
+    A packet is an [int] handle into a {!Pool}: preallocated parallel
+    arrays hold each field, a free list recycles slots, and allocation
+    never boxes — the `PacketDB` pattern of htsim, which is what lets
+    the simulator carry 10⁵–10⁶ packets without allocator or GC
+    pressure on the event hot path.
 
-val create : id:int -> conn:int -> born:float -> t
-(** A packet with class 0 and no work assigned yet. *)
+    A handle is live from {!Pool.alloc} until {!Pool.free}; the pool
+    never hands the same id to two in-flight packets, and [free]ing a
+    non-live handle raises (catching double frees in tests). *)
+
+type id = int
+(** A live packet handle.  Field accessors are only meaningful between
+    the packet's [alloc] and [free]. *)
+
+module Pool : sig
+  type t
+
+  val create : ?initial:int -> ?max_packets:int -> unit -> t
+  (** [initial] slots are preallocated (default 1024, minimum 16) and
+      the pool doubles on demand up to [max_packets] (default:
+      unbounded).  Raises [Invalid_argument] on non-positive sizes. *)
+
+  val alloc : t -> conn:int -> born:float -> id
+  (** A fresh packet with class 0, no work, hop 0.  Raises [Failure]
+      with a diagnostic message when [max_packets] packets are already
+      in flight. *)
+
+  val free : t -> id -> unit
+  (** Returns the slot to the free list.  Raises [Invalid_argument]
+      when [id] is not in flight (double free or stale handle). *)
+
+  val conn : t -> id -> int
+  (** Connection index, fixed at [alloc]. *)
+
+  val born : t -> id -> float
+  (** Creation time, for end-to-end delay measurement. *)
+
+  val klass : t -> id -> int
+  (** Priority class for the preemptive-priority (Fair Share)
+      discipline; 0 is the highest priority.  Re-assigned per gateway
+      by the FS thinning.  Ignored by FIFO. *)
+
+  val set_klass : t -> id -> int -> unit
+
+  val work : t -> id -> float
+  (** Remaining service requirement at the current gateway, in units of
+      normalized work (service time = work/μ).  Re-drawn at each
+      gateway per the paper's Poisson-output independence assumption. *)
+
+  val set_work : t -> id -> float -> unit
+
+  val hop : t -> id -> int
+  (** Index of the packet's current gateway within its connection's
+      path — carried in the packet so forwarding needs no path scan. *)
+
+  val set_hop : t -> id -> int -> unit
+
+  val is_live : t -> id -> bool
+
+  val live : t -> int
+  (** Packets currently in flight. *)
+
+  val capacity : t -> int
+  (** Allocated slots (grows; never shrinks). *)
+
+  val allocated : t -> int
+  (** Total [alloc] calls over the pool's lifetime. *)
+end

@@ -1,100 +1,158 @@
 type t = Fifo | Preemptive_priority | Fair_queueing
 
-(* Per-class storage for the priority discipline: resumed packets stack in
-   front (LIFO resume order is irrelevant as at most one packet is ever
-   preempted at a time per class), normal arrivals queue FCFS. *)
-type class_bucket = { mutable resumed : Packet.t list; arrivals : Packet.t Queue.t }
+(* Growable ring of packet ids — the allocation-free FIFO primitive.
+   Capacity is a power of two so indexing is a mask. *)
+module Ring = struct
+  type t = { mutable buf : int array; mutable head : int; mutable len : int }
 
-type buffer =
-  | Fifo_buf of Packet.t Queue.t
-  | Prio_buf of (int, class_bucket) Hashtbl.t
-  | Fq_buf of fq_state
+  let create () = { buf = Array.make 16 0; head = 0; len = 0 }
 
-and fq_state = {
-  bids : Packet.t Event_heap.t;  (** Keyed by finish-number bid. *)
+  let grow r =
+    let n = Array.length r.buf in
+    let buf = Array.make (2 * n) 0 in
+    for i = 0 to r.len - 1 do
+      buf.(i) <- r.buf.((r.head + i) land (n - 1))
+    done;
+    r.buf <- buf;
+    r.head <- 0
+
+  let push r id =
+    if r.len = Array.length r.buf then grow r;
+    r.buf.((r.head + r.len) land (Array.length r.buf - 1)) <- id;
+    r.len <- r.len + 1
+
+  (* -1 when empty. *)
+  let pop r =
+    if r.len = 0 then -1
+    else begin
+      let id = r.buf.(r.head) in
+      r.head <- (r.head + 1) land (Array.length r.buf - 1);
+      r.len <- r.len - 1;
+      id
+    end
+
+  let length r = r.len
+end
+
+(* Per-class storage for the priority discipline: resumed packets stack
+   in front (LIFO resume order is irrelevant as at most one packet is
+   ever preempted at a time per class), normal arrivals queue FCFS. *)
+type bucket = { mutable resumed : int list; arrivals : Ring.t }
+
+type prio = {
+  mutable buckets : bucket array;  (** Indexed by class. *)
+  mutable occupied : int;
+  mutable min_class : int;
+      (** Lower bound on the lowest non-empty class — a scan hint, not
+          an invariant. *)
+}
+
+type fq = {
+  bids : int Event_heap.t;  (** Keyed by finish-number bid. *)
   last_finish : (int, float) Hashtbl.t;  (** Per connection. *)
   mutable virtual_time : float;
 }
 
-let buffer = function
-  | Fifo -> Fifo_buf (Queue.create ())
-  | Preemptive_priority -> Prio_buf (Hashtbl.create 8)
-  | Fair_queueing ->
-    Fq_buf
-      { bids = Event_heap.create (); last_finish = Hashtbl.create 8; virtual_time = 0. }
+type impl = Fifo_buf of Ring.t | Prio_buf of prio | Fq_buf of fq
 
-let bucket tbl klass =
-  match Hashtbl.find_opt tbl klass with
-  | Some b -> b
-  | None ->
-    let b = { resumed = []; arrivals = Queue.create () } in
-    Hashtbl.add tbl klass b;
-    b
+type buffer = { disc : t; pool : Packet.Pool.t; impl : impl }
 
-let enqueue buf (pkt : Packet.t) =
-  match buf with
-  | Fifo_buf q -> Queue.add pkt q
-  | Prio_buf tbl -> Queue.add pkt (bucket tbl pkt.klass).arrivals
-  | Fq_buf fq ->
-    let prev =
-      match Hashtbl.find_opt fq.last_finish pkt.conn with Some f -> f | None -> 0.
+let buffer disc ~pool =
+  let impl =
+    match disc with
+    | Fifo -> Fifo_buf (Ring.create ())
+    | Preemptive_priority ->
+      Prio_buf { buckets = [||]; occupied = 0; min_class = 0 }
+    | Fair_queueing ->
+      Fq_buf
+        { bids = Event_heap.create (); last_finish = Hashtbl.create 8; virtual_time = 0. }
+  in
+  { disc; pool; impl }
+
+let bucket p klass =
+  if klass >= Array.length p.buckets then begin
+    let n = Array.length p.buckets in
+    let n' = max (klass + 1) (max 4 (2 * n)) in
+    let bigger =
+      Array.init n' (fun i ->
+          if i < n then p.buckets.(i) else { resumed = []; arrivals = Ring.create () })
     in
-    let bid = Float.max fq.virtual_time prev +. pkt.work in
-    Hashtbl.replace fq.last_finish pkt.conn bid;
-    Event_heap.push fq.bids ~time:bid pkt
+    p.buckets <- bigger
+  end;
+  p.buckets.(klass)
+
+let enqueue buf id =
+  match buf.impl with
+  | Fifo_buf r -> Ring.push r id
+  | Prio_buf p ->
+    let klass = Packet.Pool.klass buf.pool id in
+    Ring.push (bucket p klass).arrivals id;
+    p.occupied <- p.occupied + 1;
+    if klass < p.min_class then p.min_class <- klass
+  | Fq_buf fq ->
+    let conn = Packet.Pool.conn buf.pool id in
+    let prev =
+      match Hashtbl.find_opt fq.last_finish conn with Some f -> f | None -> 0.
+    in
+    let bid = Float.max fq.virtual_time prev +. Packet.Pool.work buf.pool id in
+    Hashtbl.replace fq.last_finish conn bid;
+    Event_heap.push fq.bids ~time:bid id
 
 let dequeue buf =
-  match buf with
-  | Fifo_buf q -> Queue.take_opt q
-  | Prio_buf tbl ->
-    (* Scan classes in increasing number (decreasing priority). *)
-    let best = ref None in
-    Hashtbl.iter
-      (fun klass b ->
-        if b.resumed <> [] || not (Queue.is_empty b.arrivals) then
-          match !best with
-          | Some (k, _) when k <= klass -> ()
-          | _ -> best := Some (klass, b))
-      tbl;
-    (match !best with
-    | None -> None
-    | Some (_, b) -> (
-      match b.resumed with
-      | pkt :: rest ->
-        b.resumed <- rest;
-        Some pkt
-      | [] -> Queue.take_opt b.arrivals))
+  match buf.impl with
+  | Fifo_buf r -> Ring.pop r
+  | Prio_buf p ->
+    if p.occupied = 0 then -1
+    else begin
+      (* Scan classes upward from the hint (decreasing priority). *)
+      let c = ref p.min_class in
+      let found = ref (-1) in
+      while !found < 0 do
+        let b = p.buckets.(!c) in
+        (match b.resumed with
+        | id :: rest ->
+          b.resumed <- rest;
+          found := id
+        | [] ->
+          let id = Ring.pop b.arrivals in
+          if id >= 0 then found := id else incr c)
+      done;
+      p.min_class <- !c;
+      p.occupied <- p.occupied - 1;
+      !found
+    end
   | Fq_buf fq -> (
     match Event_heap.pop_min fq.bids with
-    | None -> None
-    | Some (bid, pkt) ->
+    | None -> -1
+    | Some (bid, id) ->
       fq.virtual_time <- Float.max fq.virtual_time bid;
-      Some pkt)
+      id)
 
-let requeue_front buf (pkt : Packet.t) =
-  match buf with
-  | Fifo_buf q ->
+let requeue_front buf id =
+  match buf.impl with
+  | Fifo_buf r ->
     (* FIFO is non-preemptive; requeue only happens if a caller misuses
        the discipline — preserve the packet anyway. *)
-    Queue.add pkt q
-  | Prio_buf tbl ->
-    let b = bucket tbl pkt.klass in
-    b.resumed <- pkt :: b.resumed
+    Ring.push r id
+  | Prio_buf p ->
+    let klass = Packet.Pool.klass buf.pool id in
+    let b = bucket p klass in
+    b.resumed <- id :: b.resumed;
+    p.occupied <- p.occupied + 1;
+    if klass < p.min_class then p.min_class <- klass
   | Fq_buf fq ->
     (* Resume with its original bid semantics: re-bid at current virtual
        time without charging a second full quantum. *)
-    Event_heap.push fq.bids ~time:fq.virtual_time pkt
+    Event_heap.push fq.bids ~time:fq.virtual_time id
 
-let preempts t ~incoming ~in_service =
-  match t with
+let preempts buf ~incoming ~in_service =
+  match buf.disc with
   | Fifo | Fair_queueing -> false
-  | Preemptive_priority -> incoming.Packet.klass < in_service.Packet.klass
+  | Preemptive_priority ->
+    Packet.Pool.klass buf.pool incoming < Packet.Pool.klass buf.pool in_service
 
 let waiting buf =
-  match buf with
-  | Fifo_buf q -> Queue.length q
-  | Prio_buf tbl ->
-    Hashtbl.fold
-      (fun _ b acc -> acc + List.length b.resumed + Queue.length b.arrivals)
-      tbl 0
+  match buf.impl with
+  | Fifo_buf r -> Ring.length r
+  | Prio_buf p -> p.occupied
   | Fq_buf fq -> Event_heap.size fq.bids

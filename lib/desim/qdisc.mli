@@ -11,31 +11,34 @@
       [Dem89], non-preemptive, which §4 discusses as the realistic
       counterpart of Fair Share.
 
-    A [buffer] holds waiting packets; the server drives it through
-    [enqueue]/[dequeue] and consults [preempts] on arrivals. *)
+    A [buffer] holds waiting packet ids and is bound to the
+    {!Packet.Pool} carrying their fields; the server drives it through
+    [enqueue]/[dequeue] and consults [preempts] on arrivals.  FIFO and
+    priority buffers store ids in growable int rings — no allocation
+    per packet on the hot path. *)
 
 type t = Fifo | Preemptive_priority | Fair_queueing
 
 type buffer
 
-val buffer : t -> buffer
+val buffer : t -> pool:Packet.Pool.t -> buffer
 
-val enqueue : buffer -> Packet.t -> unit
+val enqueue : buffer -> Packet.id -> unit
 (** Adds a packet to the waiting set.  For [Fair_queueing] this also
     assigns the packet its finish-number bid from the connection's
     previous finish number and the current virtual time. *)
 
-val dequeue : buffer -> Packet.t option
-(** Removes the next packet to serve: head of line (FIFO), lowest class
-    with FCFS within class and resumed packets first
-    ([Preemptive_priority]), or smallest bid ([Fair_queueing], which also
-    advances the virtual time). *)
+val dequeue : buffer -> Packet.id
+(** Removes the next packet to serve, or [-1] when empty: head of line
+    (FIFO), lowest class with FCFS within class and resumed packets
+    first ([Preemptive_priority]), or smallest bid ([Fair_queueing],
+    which also advances the virtual time). *)
 
-val requeue_front : buffer -> Packet.t -> unit
+val requeue_front : buffer -> Packet.id -> unit
 (** Puts a preempted packet back so it resumes before any waiting packet
     of its own class. Only meaningful for [Preemptive_priority]. *)
 
-val preempts : t -> incoming:Packet.t -> in_service:Packet.t -> bool
+val preempts : buffer -> incoming:Packet.id -> in_service:Packet.id -> bool
 (** Whether the incoming packet must preempt the one in service. *)
 
 val waiting : buffer -> int

@@ -1,0 +1,50 @@
+(** Pluggable event scheduler: reference binary heap or timing wheel.
+
+    Both back ends order coded events by [(time, schedule sequence)] —
+    the determinism contract of {!Sim} — so the choice never changes a
+    simulation's results, only its speed.  [Heap] is {!Event_heap}, the
+    original O(log n) scheduler kept as the reference implementation;
+    [Wheel] is the O(1)-amortized {!Timing_wheel}.  Popped fields are
+    read back through accessors instead of a returned tuple so that the
+    hot path allocates nothing. *)
+
+type kind =
+  | Heap
+  | Wheel of { tick : float }
+      (** [tick]: level-0 slot width, ideally near the mean event
+          spacing; see {!auto_tick}. *)
+
+type t
+
+val create : kind -> t
+(** Raises [Invalid_argument] for a non-positive or non-finite wheel
+    [tick]. *)
+
+val kind : t -> kind
+
+val auto_tick : events_per_time:float -> float
+(** A good wheel tick for a workload expected to execute
+    [events_per_time] events per simulated time unit: the mean event
+    spacing, clamped to a sane range.  Any positive value is correct;
+    this one keeps ready-heap occupancy near one event per tick. *)
+
+val schedule : t -> time:float -> handler:int -> a:int -> b:int -> unit
+(** Raises [Invalid_argument] on non-finite or negative [time]. *)
+
+val pop : t -> bool
+(** Removes the earliest event; [false] when empty.  On [true], read
+    the event through {!popped_time} .. {!popped_b} until the next
+    [pop]. *)
+
+val popped_time : t -> float
+
+val popped_handler : t -> int
+
+val popped_a : t -> int
+
+val popped_b : t -> int
+
+val next_time : t -> float
+(** Earliest pending time; [infinity] when empty. *)
+
+val size : t -> int

@@ -3,79 +3,89 @@ open Ffc_numerics
 type t = {
   sim : Sim.t;
   rng : Rng.t;
+  pool : Packet.Pool.t;
   mu : float;
-  qdisc : Qdisc.t;
   buffer : Qdisc.buffer;
-  buffer_limit : int option;
-  on_drop : Packet.t -> unit;
-  on_depart : Packet.t -> unit;
-  mutable current : (Packet.t * float * int) option;
-      (** In-service packet, its completion time, and the validity token
-          of its scheduled completion event. *)
+  buffer_limit : int;  (** [max_int] when unlimited. *)
+  on_drop : Packet.id -> unit;
+  on_depart : Packet.id -> unit;
+  mutable cur : int;  (** Packet in service; -1 when idle. *)
+  mutable cur_completion : float;
+  mutable cur_token : int;
+      (** Validity token of the scheduled completion event; a stale
+          completion (of a preempted service) finds a newer token and
+          does nothing. *)
   mutable next_token : int;
+  mutable handler : int;
 }
 
-let create ~sim ~rng ~mu ~qdisc ?buffer_limit ?(on_drop = fun _ -> ()) ~on_depart () =
+let rec complete t token =
+  if t.cur >= 0 && t.cur_token = token then begin
+    let pkt = t.cur in
+    t.cur <- -1;
+    t.on_depart pkt;
+    if t.cur < 0 then begin
+      let next = Qdisc.dequeue t.buffer in
+      if next >= 0 then start_service t next
+    end
+  end
+
+and start_service t pkt =
+  let token = t.next_token in
+  t.next_token <- token + 1;
+  let completion = Sim.now t.sim +. (Packet.Pool.work t.pool pkt /. t.mu) in
+  t.cur <- pkt;
+  t.cur_completion <- completion;
+  t.cur_token <- token;
+  Sim.schedule_code t.sim ~at:completion ~handler:t.handler ~a:token ~b:0
+
+let create ~sim ~rng ~pool ~mu ~qdisc ?buffer_limit ?(on_drop = fun _ -> ())
+    ~on_depart () =
   if not (mu > 0.) then invalid_arg "Server.create: mu must be positive";
   (match buffer_limit with
   | Some k when k < 1 -> invalid_arg "Server.create: buffer_limit must be >= 1"
   | Some _ | None -> ());
-  {
-    sim;
-    rng;
-    mu;
-    qdisc;
-    buffer = Qdisc.buffer qdisc;
-    buffer_limit;
-    on_drop;
-    on_depart;
-    current = None;
-    next_token = 0;
-  }
+  let t =
+    {
+      sim;
+      rng;
+      pool;
+      mu;
+      buffer = Qdisc.buffer qdisc ~pool;
+      buffer_limit = (match buffer_limit with Some k -> k | None -> max_int);
+      on_drop;
+      on_depart;
+      cur = -1;
+      cur_completion = 0.;
+      cur_token = -1;
+      next_token = 0;
+      handler = -1;
+    }
+  in
+  t.handler <- Sim.register sim (fun token _ -> complete t token);
+  t
 
-let rec start_service t (pkt : Packet.t) =
-  let token = t.next_token in
-  t.next_token <- token + 1;
-  let service_time = pkt.work /. t.mu in
-  let completion = Sim.now t.sim +. service_time in
-  t.current <- Some (pkt, completion, token);
-  Sim.schedule t.sim ~at:completion (fun () -> complete t token)
+let in_system t = Qdisc.waiting t.buffer + if t.cur >= 0 then 1 else 0
 
-and complete t token =
-  match t.current with
-  | Some (pkt, _, tok) when tok = token ->
-    t.current <- None;
-    t.on_depart pkt;
-    start_next t
-  | Some _ | None -> () (* Stale completion of a preempted service. *)
+let inject t pkt =
+  if in_system t >= t.buffer_limit then t.on_drop pkt
+  else begin
+    Packet.Pool.set_work t.pool pkt (Rng.exponential t.rng ~rate:1.);
+    Qdisc.enqueue t.buffer pkt;
+    if t.cur < 0 then begin
+      let next = Qdisc.dequeue t.buffer in
+      if next >= 0 then start_service t next
+    end
+    else if Qdisc.preempts t.buffer ~incoming:pkt ~in_service:t.cur then begin
+      (* Preempt-resume: bank the remaining work and invalidate the
+         pending completion by clearing [cur] before restarting. *)
+      let cur = t.cur in
+      Packet.Pool.set_work t.pool cur ((t.cur_completion -. Sim.now t.sim) *. t.mu);
+      t.cur <- -1;
+      Qdisc.requeue_front t.buffer cur;
+      let next = Qdisc.dequeue t.buffer in
+      if next >= 0 then start_service t next
+    end
+  end
 
-and start_next t =
-  match Qdisc.dequeue t.buffer with
-  | Some pkt -> start_service t pkt
-  | None -> ()
-
-let in_system_count t =
-  Qdisc.waiting t.buffer + match t.current with Some _ -> 1 | None -> 0
-
-let inject_admitted t (pkt : Packet.t) =
-  pkt.work <- Rng.exponential t.rng ~rate:1.;
-  Qdisc.enqueue t.buffer pkt;
-  match t.current with
-  | None -> start_next t
-  | Some (cur, completion, _) when Qdisc.preempts t.qdisc ~incoming:pkt ~in_service:cur ->
-    (* Preempt-resume: bank the remaining work and invalidate the pending
-       completion by clearing [current] before restarting. *)
-    cur.work <- (completion -. Sim.now t.sim) *. t.mu;
-    t.current <- None;
-    Qdisc.requeue_front t.buffer cur;
-    start_next t
-  | Some _ -> ()
-
-let inject t (pkt : Packet.t) =
-  match t.buffer_limit with
-  | Some limit when in_system_count t >= limit -> t.on_drop pkt
-  | Some _ | None -> inject_admitted t pkt
-
-let in_system = in_system_count
-
-let busy t = t.current <> None
+let busy t = t.cur >= 0

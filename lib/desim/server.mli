@@ -5,18 +5,23 @@
     Exp(1) on arrival at the server, and service takes work/μ time
     (so per-gateway service times are Exp(μ), independent across gateways
     per the paper's Poisson-output assumption).  Preemption is
-    preempt-resume: the interrupted packet keeps its remaining work. *)
+    preempt-resume: the interrupted packet keeps its remaining work.
+
+    The server registers one completion handler with its {!Sim} at
+    construction and schedules coded completion events — nothing is
+    allocated per packet or per event. *)
 
 type t
 
 val create :
   sim:Sim.t ->
   rng:Ffc_numerics.Rng.t ->
+  pool:Packet.Pool.t ->
   mu:float ->
   qdisc:Qdisc.t ->
   ?buffer_limit:int ->
-  ?on_drop:(Packet.t -> unit) ->
-  on_depart:(Packet.t -> unit) ->
+  ?on_drop:(Packet.id -> unit) ->
+  on_depart:(Packet.id -> unit) ->
   unit ->
   t
 (** [on_depart] fires at the instant a packet completes service.
@@ -27,7 +32,7 @@ val create :
     Jacobson's algorithm (paper §1).  The paper's own model assumes
     infinite buffers, the default. *)
 
-val inject : t -> Packet.t -> unit
+val inject : t -> Packet.id -> unit
 (** Packet arrival. Draws the packet's work, may start service
     immediately or preempt the packet in service (per the discipline). *)
 

@@ -1,13 +1,85 @@
-type t = { heap : (unit -> unit) Event_heap.t; mutable clock : float }
+type t = {
+  sched : Scheduler.t;
+  mutable clock : float;
+  mutable handlers : (int -> int -> unit) array;
+  mutable n_handlers : int;
+  (* Slot table for the thunk-compatibility path (handler 0): each
+     scheduled thunk parks in a recycled slot addressed by the event's
+     [a] argument. *)
+  mutable thunks : (unit -> unit) array;
+  mutable thunk_free : int list;
+  mutable n_thunks : int;
+  mutable events : int;
+}
 
-let create () = { heap = Event_heap.create (); clock = 0. }
+let no_thunk () = ()
+
+let default_scheduler = Scheduler.Wheel { tick = 0.015625 }
+
+let create ?(scheduler = default_scheduler) () =
+  let t =
+    {
+      sched = Scheduler.create scheduler;
+      clock = 0.;
+      handlers = Array.make 8 (fun _ _ -> ());
+      n_handlers = 0;
+      thunks = Array.make 8 no_thunk;
+      thunk_free = [];
+      n_thunks = 0;
+      events = 0;
+    }
+  in
+  (* Handler 0: run and release the thunk in slot [a]. *)
+  t.handlers.(0) <-
+    (fun a _ ->
+      let f = t.thunks.(a) in
+      t.thunks.(a) <- no_thunk;
+      t.thunk_free <- a :: t.thunk_free;
+      f ());
+  t.n_handlers <- 1;
+  t
 
 let now t = t.clock
+
+let register t f =
+  if t.n_handlers = Array.length t.handlers then begin
+    let bigger = Array.make (2 * t.n_handlers) t.handlers.(0) in
+    Array.blit t.handlers 0 bigger 0 t.n_handlers;
+    t.handlers <- bigger
+  end;
+  t.handlers.(t.n_handlers) <- f;
+  t.n_handlers <- t.n_handlers + 1;
+  t.n_handlers - 1
+
+let schedule_code t ~at ~handler ~a ~b =
+  if not (Float.is_finite at) then invalid_arg "Sim.schedule: non-finite time";
+  if at < t.clock then invalid_arg "Sim.schedule: time in the past";
+  Scheduler.schedule t.sched ~time:at ~handler ~a ~b
+
+let schedule_code_after t ~delay ~handler ~a ~b =
+  if (not (Float.is_finite delay)) || delay < 0. then
+    invalid_arg "Sim.schedule_after: bad delay";
+  schedule_code t ~at:(t.clock +. delay) ~handler ~a ~b
 
 let schedule t ~at thunk =
   if not (Float.is_finite at) then invalid_arg "Sim.schedule: non-finite time";
   if at < t.clock then invalid_arg "Sim.schedule: time in the past";
-  Event_heap.push t.heap ~time:at thunk
+  let slot =
+    match t.thunk_free with
+    | s :: rest ->
+      t.thunk_free <- rest;
+      s
+    | [] ->
+      if t.n_thunks = Array.length t.thunks then begin
+        let bigger = Array.make (2 * t.n_thunks) no_thunk in
+        Array.blit t.thunks 0 bigger 0 t.n_thunks;
+        t.thunks <- bigger
+      end;
+      t.n_thunks <- t.n_thunks + 1;
+      t.n_thunks - 1
+  in
+  t.thunks.(slot) <- thunk;
+  Scheduler.schedule t.sched ~time:at ~handler:0 ~a:slot ~b:0
 
 let schedule_after t ~delay thunk =
   if (not (Float.is_finite delay)) || delay < 0. then
@@ -15,25 +87,23 @@ let schedule_after t ~delay thunk =
   schedule t ~at:(t.clock +. delay) thunk
 
 let step t =
-  match Event_heap.pop_min t.heap with
-  | None -> false
-  | Some (time, thunk) ->
-    t.clock <- time;
-    thunk ();
+  if Scheduler.pop t.sched then begin
+    t.clock <- Scheduler.popped_time t.sched;
+    t.events <- t.events + 1;
+    (t.handlers.(Scheduler.popped_handler t.sched))
+      (Scheduler.popped_a t.sched) (Scheduler.popped_b t.sched);
     true
+  end
+  else false
 
 let run ?until t =
-  let continue () =
-    match (Event_heap.peek_min t.heap, until) with
-    | None, _ -> false
-    | Some _, None -> true
-    | Some (time, _), Some stop -> time <= stop
-  in
-  while continue () do
-    ignore (step t)
-  done;
+  (match until with
+  | None -> while step t do () done
+  | Some stop -> while Scheduler.next_time t.sched <= stop && step t do () done);
   match until with
   | Some stop when stop > t.clock -> t.clock <- stop
   | Some _ | None -> ()
 
-let pending t = Event_heap.size t.heap
+let pending t = Scheduler.size t.sched
+
+let events t = t.events

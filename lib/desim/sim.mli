@@ -1,15 +1,40 @@
 (** Discrete-event simulation core: a clock and an event calendar.
 
-    Events are thunks executed in timestamp order (ties broken by
-    scheduling order); executing an event may schedule further events.
-    Time never flows backwards. *)
+    Events execute in timestamp order (ties broken by scheduling order);
+    executing an event may schedule further events.  Time never flows
+    backwards.
+
+    Two scheduling APIs share one calendar:
+
+    - {!schedule}/{!schedule_after} take a thunk — the convenient form
+      for setup and tests; each call boxes one closure.
+    - {!register} + {!schedule_code} is the allocation-free hot path:
+      an entity registers its handler once at construction and then
+      schedules coded events [(handler, a, b)] — no closure and (with
+      the timing-wheel scheduler) no heap node per event.
+
+    The calendar itself is pluggable ({!Scheduler.kind}): the reference
+    binary heap or the O(1)-amortized timing wheel.  Both obey the same
+    ordering contract, so results never depend on the choice. *)
 
 type t
 
-val create : unit -> t
+val create : ?scheduler:Scheduler.kind -> unit -> t
+(** Default scheduler: a timing wheel with a 1/64 time-unit tick. *)
 
 val now : t -> float
 (** Current simulation time (0 before the first event). *)
+
+val register : t -> (int -> int -> unit) -> int
+(** Registers an event handler and returns its code for
+    {!schedule_code}.  Handlers live for the simulation's lifetime. *)
+
+val schedule_code : t -> at:float -> handler:int -> a:int -> b:int -> unit
+(** Schedules [(handler, a, b)] at absolute time [at].  Raises
+    [Invalid_argument] when [at] is in the past or non-finite. *)
+
+val schedule_code_after : t -> delay:float -> handler:int -> a:int -> b:int -> unit
+(** [delay] must be non-negative and finite. *)
 
 val schedule : t -> at:float -> (unit -> unit) -> unit
 (** Raises [Invalid_argument] when [at] is in the past or non-finite. *)
@@ -27,3 +52,6 @@ val run : ?until:float -> t -> unit
 
 val pending : t -> int
 (** Number of scheduled events. *)
+
+val events : t -> int
+(** Events executed so far — the simulator's work counter. *)

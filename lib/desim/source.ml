@@ -3,49 +3,53 @@ open Ffc_numerics
 type t = {
   sim : Sim.t;
   rng : Rng.t;
+  pool : Packet.Pool.t;
   conn : int;
   mutable rate : float;
-  classify : (Rng.t -> int) option;
-  emit : Packet.t -> unit;
-  mutable next_id : int;
+  emit : Packet.id -> unit;
   mutable emitted : int;
   mutable started : bool;
   mutable pending : bool;  (** An arrival event is scheduled. *)
+  mutable handler : int;
 }
 
 let check_rate rate =
   if (not (Float.is_finite rate)) || rate < 0. then
     invalid_arg "Source: rate must be finite and non-negative"
 
-let create ~sim ~rng ~conn ~rate ?classify ~emit () =
-  check_rate rate;
-  {
-    sim;
-    rng;
-    conn;
-    rate;
-    classify;
-    emit;
-    next_id = 0;
-    emitted = 0;
-    started = false;
-    pending = false;
-  }
+let schedule_next t =
+  if t.rate > 0. && not t.pending then begin
+    t.pending <- true;
+    Sim.schedule_code_after t.sim
+      ~delay:(Rng.exponential t.rng ~rate:t.rate)
+      ~handler:t.handler ~a:0 ~b:0
+  end
 
-let rec arrival t () =
+let arrival t =
   t.pending <- false;
-  let pkt = Packet.create ~id:t.next_id ~conn:t.conn ~born:(Sim.now t.sim) in
-  t.next_id <- t.next_id + 1;
+  let pkt = Packet.Pool.alloc t.pool ~conn:t.conn ~born:(Sim.now t.sim) in
   t.emitted <- t.emitted + 1;
-  (match t.classify with Some f -> pkt.klass <- f t.rng | None -> ());
   t.emit pkt;
   schedule_next t
 
-and schedule_next t =
-  if t.rate > 0. && not t.pending then begin
-    t.pending <- true;
-    Sim.schedule_after t.sim ~delay:(Rng.exponential t.rng ~rate:t.rate) (arrival t)
-  end
+let create ~sim ~rng ~pool ~conn ~rate ~emit () =
+  check_rate rate;
+  let t =
+    {
+      sim;
+      rng;
+      pool;
+      conn;
+      rate;
+      emit;
+      emitted = 0;
+      started = false;
+      pending = false;
+      handler = -1;
+    }
+  in
+  t.handler <- Sim.register sim (fun _ _ -> arrival t);
+  t
 
 let start t =
   if not t.started then begin

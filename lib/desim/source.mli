@@ -4,24 +4,27 @@
     interarrival gaps.  The rate is adjustable at runtime ({!set_rate}),
     which is what closed-loop flow control drives: a change takes effect
     from the next scheduled gap (at most one in-flight interarrival uses
-    the old rate).  An optional [classify] hook assigns each packet its
-    priority class at emission — the Fair Share thinning installs its
-    per-gateway class draw at injection instead, so the source-level hook
-    is mainly for single-gateway tests. *)
+    the old rate).
+
+    Packets are allocated from the source's {!Packet.Pool} and handed to
+    [emit] as pool ids; the source registers its arrival handler once at
+    construction, so steady-state emission allocates nothing. *)
 
 type t
 
 val create :
   sim:Sim.t ->
   rng:Ffc_numerics.Rng.t ->
+  pool:Packet.Pool.t ->
   conn:int ->
   rate:float ->
-  ?classify:(Ffc_numerics.Rng.t -> int) ->
-  emit:(Packet.t -> unit) ->
+  emit:(Packet.id -> unit) ->
   unit ->
   t
 (** [rate] must be non-negative; a zero-rate source never emits. The
-    source starts emitting when [start] is called. *)
+    source starts emitting when [start] is called.  [emit] receives each
+    packet at its creation instant and owns it from then on (the emitted
+    packet is live until some downstream consumer frees it). *)
 
 val start : t -> unit
 (** Schedules the first arrival. Idempotent. *)

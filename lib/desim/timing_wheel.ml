@@ -1,0 +1,277 @@
+let slot_bits = 8
+let slots = 1 lsl slot_bits
+let mask = slots - 1
+let levels = 3
+
+(* Ticks at or beyond [2^60] would overflow the int arithmetic of slot
+   indexing long before any realistic simulation reaches them. *)
+let max_tick_f = 1152921504606846976. (* 2^60 *)
+
+type t = {
+  tick : float;
+  inv_tick : float;
+  (* Event pool, struct of arrays; [ev_next] doubles as the free-list
+     link and the slot-chain link. *)
+  mutable ev_time : float array;
+  mutable ev_seq : int array;
+  mutable ev_h : int array;
+  mutable ev_a : int array;
+  mutable ev_b : int array;
+  mutable ev_tick : int array;
+  mutable ev_next : int array;
+  mutable free_head : int;
+  (* Wheel slots, [levels * slots] flattened; each entry heads an
+     intrusive chain of event indices, -1 when empty. *)
+  wheel : int array;
+  counts : int array;  (** Live events per level. *)
+  mutable cur : int;  (** Current tick; all pending events are >= it. *)
+  (* Events of the current tick, a binary min-heap by (time, seq). *)
+  mutable ready : int array;
+  mutable ready_len : int;
+  (* Events beyond the level-2 window, a binary min-heap by (time, seq). *)
+  mutable over : int array;
+  mutable over_len : int;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable popped_time : float;
+  mutable popped_h : int;
+  mutable popped_a : int;
+  mutable popped_b : int;
+}
+
+let create ?(initial = 64) ~tick () =
+  if (not (Float.is_finite tick)) || tick <= 0. then
+    invalid_arg "Timing_wheel.create: tick must be finite and positive";
+  let n = max 16 initial in
+  let t =
+    {
+      tick;
+      inv_tick = 1. /. tick;
+      ev_time = Array.make n 0.;
+      ev_seq = Array.make n 0;
+      ev_h = Array.make n 0;
+      ev_a = Array.make n 0;
+      ev_b = Array.make n 0;
+      ev_tick = Array.make n 0;
+      ev_next = Array.init n (fun i -> if i = n - 1 then -1 else i + 1);
+      free_head = 0;
+      wheel = Array.make (levels * slots) (-1);
+      counts = Array.make levels 0;
+      cur = 0;
+      ready = Array.make 16 0;
+      ready_len = 0;
+      over = Array.make 16 0;
+      over_len = 0;
+      size = 0;
+      next_seq = 0;
+      popped_time = 0.;
+      popped_h = 0;
+      popped_a = 0;
+      popped_b = 0;
+    }
+  in
+  t
+
+let tick t = t.tick
+let size t = t.size
+
+let grow_pool t =
+  let n = Array.length t.ev_time in
+  let grow_f a = Array.append a (Array.make n 0.) in
+  let grow_i a = Array.append a (Array.make n 0) in
+  t.ev_time <- grow_f t.ev_time;
+  t.ev_seq <- grow_i t.ev_seq;
+  t.ev_h <- grow_i t.ev_h;
+  t.ev_a <- grow_i t.ev_a;
+  t.ev_b <- grow_i t.ev_b;
+  t.ev_tick <- grow_i t.ev_tick;
+  t.ev_next <- Array.append t.ev_next (Array.init n (fun i -> if i = n - 1 then -1 else n + i + 1));
+  t.free_head <- n
+
+(* (time, seq) ordering shared by the ready and overflow heaps. *)
+let[@inline] before t i j =
+  t.ev_time.(i) < t.ev_time.(j)
+  || (t.ev_time.(i) = t.ev_time.(j) && t.ev_seq.(i) < t.ev_seq.(j))
+
+let heap_push t heap len idx =
+  let heap = if len = Array.length heap then Array.append heap (Array.make len 0) else heap in
+  heap.(len) <- idx;
+  let i = ref len in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    before t heap.(!i) heap.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = heap.(p) in
+    heap.(p) <- heap.(!i);
+    heap.(!i) <- tmp;
+    i := p
+  done;
+  heap
+
+let heap_pop t heap len =
+  let root = heap.(0) in
+  let last = len - 1 in
+  heap.(0) <- heap.(last);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let s = ref !i in
+    if l < last && before t heap.(l) heap.(!s) then s := l;
+    if r < last && before t heap.(r) heap.(!s) then s := r;
+    if !s = !i then continue := false
+    else begin
+      let tmp = heap.(!s) in
+      heap.(!s) <- heap.(!i);
+      heap.(!i) <- tmp;
+      i := !s
+    end
+  done;
+  root
+
+let[@inline] ready_push t idx =
+  t.ready <- heap_push t t.ready t.ready_len idx;
+  t.ready_len <- t.ready_len + 1
+
+let[@inline] over_push t idx =
+  t.over <- heap_push t t.over t.over_len idx;
+  t.over_len <- t.over_len + 1
+
+(* Place event [idx] into the ready heap, a wheel level, or the overflow
+   heap, according to how far its tick lies from [cur].  Level k holds
+   events sharing the level-(k+1) block prefix with [cur] but not the
+   level-k one — the invariant the cascades below maintain. *)
+let route t idx =
+  let tk = t.ev_tick.(idx) in
+  let cur = t.cur in
+  if tk <= cur then ready_push t idx
+  else begin
+    let level =
+      if tk lsr slot_bits = cur lsr slot_bits then 0
+      else if tk lsr (2 * slot_bits) = cur lsr (2 * slot_bits) then 1
+      else if tk lsr (3 * slot_bits) = cur lsr (3 * slot_bits) then 2
+      else -1
+    in
+    if level < 0 then over_push t idx
+    else begin
+      let slot = (tk lsr (level * slot_bits)) land mask in
+      let cell = (level * slots) + slot in
+      t.ev_next.(idx) <- t.wheel.(cell);
+      t.wheel.(cell) <- idx;
+      t.counts.(level) <- t.counts.(level) + 1
+    end
+  end
+
+let schedule t ~time ~handler ~a ~b =
+  if not (Float.is_finite time) || time < 0. then
+    invalid_arg "Timing_wheel.schedule: time must be finite and non-negative";
+  let ticks_f = time *. t.inv_tick in
+  if ticks_f >= max_tick_f then
+    invalid_arg "Timing_wheel.schedule: time beyond wheel range for tick width";
+  if t.free_head < 0 then grow_pool t;
+  let idx = t.free_head in
+  t.free_head <- t.ev_next.(idx);
+  t.ev_time.(idx) <- time;
+  t.ev_seq.(idx) <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  t.ev_h.(idx) <- handler;
+  t.ev_a.(idx) <- a;
+  t.ev_b.(idx) <- b;
+  t.ev_tick.(idx) <- int_of_float ticks_f;
+  t.size <- t.size + 1;
+  route t idx
+
+(* Move the chain of wheel cell [cell] (at [level]) off the wheel and
+   re-route each event relative to the advanced [cur]. *)
+let drain_cell t level cell =
+  let idx = ref t.wheel.(cell) in
+  t.wheel.(cell) <- -1;
+  while !idx >= 0 do
+    let next = t.ev_next.(!idx) in
+    t.counts.(level) <- t.counts.(level) - 1;
+    route t !idx;
+    idx := next
+  done
+
+(* Advance [cur] until the ready heap holds the earliest pending events.
+   Precondition: size > 0.  A cascade may route events of several
+   successive ticks into the ready heap at once; the heap's (time, seq)
+   ordering keeps the pop order exact regardless. *)
+let rec refill t =
+  if t.ready_len > 0 then ()
+  else if t.counts.(0) > 0 then begin
+    (* The next events are in the current level-0 block: scan forward
+       from [cur]'s slot.  All level-0 events live at residues >= cur's,
+       so the scan cannot fall off the end. *)
+    let s = ref (t.cur land mask) in
+    while t.wheel.(!s) < 0 do
+      incr s
+    done;
+    t.cur <- (t.cur land lnot mask) lor !s;
+    drain_cell t 0 !s
+    (* Every event in that cell has tick = cur, so [route] sent it to
+       the ready heap: done. *)
+  end
+  else if t.counts.(1) > 0 then begin
+    let s = ref (((t.cur lsr slot_bits) land mask) + 1) in
+    while t.wheel.(slots + !s) < 0 do
+      incr s
+    done;
+    t.cur <- (t.cur lsr (2 * slot_bits)) lsl (2 * slot_bits) lor (!s lsl slot_bits);
+    drain_cell t 1 (slots + !s);
+    refill t
+  end
+  else if t.counts.(2) > 0 then begin
+    let s = ref (((t.cur lsr (2 * slot_bits)) land mask) + 1) in
+    while t.wheel.((2 * slots) + !s) < 0 do
+      incr s
+    done;
+    t.cur <-
+      (t.cur lsr (3 * slot_bits)) lsl (3 * slot_bits) lor (!s lsl (2 * slot_bits));
+    drain_cell t 2 ((2 * slots) + !s);
+    refill t
+  end
+  else begin
+    (* Everything pending is past the level-2 window: jump to the
+       overflow's earliest level-2 block and pull that block in. *)
+    let top = t.over.(0) in
+    t.cur <- (t.ev_tick.(top) lsr (3 * slot_bits)) lsl (3 * slot_bits);
+    let block = t.cur lsr (3 * slot_bits) in
+    while t.over_len > 0 && t.ev_tick.(t.over.(0)) lsr (3 * slot_bits) = block do
+      let idx = heap_pop t t.over t.over_len in
+      t.over_len <- t.over_len - 1;
+      route t idx
+    done;
+    refill t
+  end
+
+let pop t =
+  if t.size = 0 then false
+  else begin
+    if t.ready_len = 0 then refill t;
+    let idx = heap_pop t t.ready t.ready_len in
+    t.ready_len <- t.ready_len - 1;
+    t.popped_time <- t.ev_time.(idx);
+    t.popped_h <- t.ev_h.(idx);
+    t.popped_a <- t.ev_a.(idx);
+    t.popped_b <- t.ev_b.(idx);
+    t.ev_next.(idx) <- t.free_head;
+    t.free_head <- idx;
+    t.size <- t.size - 1;
+    true
+  end
+
+let next_time t =
+  if t.size = 0 then Float.infinity
+  else begin
+    if t.ready_len = 0 then refill t;
+    t.ev_time.(t.ready.(0))
+  end
+
+let popped_time t = t.popped_time
+let popped_handler t = t.popped_h
+let popped_a t = t.popped_a
+let popped_b t = t.popped_b

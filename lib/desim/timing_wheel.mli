@@ -1,0 +1,57 @@
+(** Hierarchical timing wheel over coded events.
+
+    A three-level wheel of 256-slot arrays plus an overflow heap,
+    scheduling *coded* events — a timestamp and three small integers
+    [(handler, a, b)] — with no per-event allocation: event state lives
+    in struct-of-arrays storage recycled through a free list, and slot
+    chains are intrusive linked lists through that storage.
+
+    Determinism contract: events pop in ascending [(time, sequence)]
+    order, where the sequence is the schedule order — exactly the order
+    {!Event_heap} produces.  The wheel achieves this by draining each
+    occupied tick through a tiny ready-heap ordered by [(time, seq)]:
+    every event still on the wheel belongs to a strictly later tick,
+    hence a strictly later time, so the interleaving is exact.
+
+    Schedule and pop are O(1) amortized for event populations whose
+    times are spread over many ticks (the design point: [tick] chosen
+    near the mean event spacing); the worst case degrades gracefully to
+    the ready-heap's O(log k) for k events sharing one tick. *)
+
+type t
+
+val create : ?initial:int -> tick:float -> unit -> t
+(** [tick] is the width of a level-0 slot in simulated time.  Raises
+    [Invalid_argument] unless [tick] is finite and positive.
+    [initial] sizes the event pool (default 64). *)
+
+val tick : t -> float
+
+val schedule : t -> time:float -> handler:int -> a:int -> b:int -> unit
+(** [time] must be finite, non-negative, and below [2^60 * tick] (the
+    wheel's addressable range); raises [Invalid_argument] otherwise.
+    Events never popped so far may be scheduled at any time >= 0 —
+    monotonicity is the caller's contract, as in {!Sim}. *)
+
+val pop : t -> bool
+(** Removes the earliest event; [false] when empty.  On [true] the
+    popped fields are readable until the next [pop]. *)
+
+val popped_time : t -> float
+
+val popped_handler : t -> int
+
+val popped_a : t -> int
+
+val popped_b : t -> int
+
+val next_time : t -> float
+(** Time of the earliest pending event; [infinity] when empty. *)
+
+val size : t -> int
+
+val slot_bits : int
+(** Log2 of the per-level slot count (the wheel is [3] levels of
+    [2^slot_bits] slots; later times live in the overflow heap). *)
+
+val levels : int

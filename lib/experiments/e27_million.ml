@@ -1,0 +1,190 @@
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+open Ffc_closedloop
+open Ffc_desim
+
+(* E27: the million-flow desim core at work.  Open-loop rows sweep
+   10^3..10^5 concurrent flows through disjoint parking-lot domains on
+   the timing-wheel scheduler with sharded components; a closed-loop
+   section then runs the E17 control loop at 10^5 flows and checks the
+   allocation against the per-lot water-filling prediction.  Everything
+   reported is shard- and jobs-invariant, so the rendered text is
+   byte-identical at any parallelism. *)
+
+type row = {
+  flows : int;
+  gateways : int;
+  components : int;
+  shards : int;
+  events : int;
+  deliveries : int;
+  delay : float;  (** mean end-to-end delay of the probe connections *)
+  shard_invariant : bool option;
+      (** [Some ok] when the row was re-run at 1 shard and compared;
+          [None] for the largest rows (too costly to run twice). *)
+}
+
+type closed_row = {
+  cl_flows : int;
+  cl_gateways : int;
+  cl_updates : int;
+  cl_long_rate : float;  (** mean tail rate of the 3-hop flows *)
+  cl_cross_rate : float;  (** mean tail rate of the 1-hop cross flows *)
+  cl_long_predicted : float;
+  cl_cross_predicted : float;
+  cl_jain : float;
+}
+
+type t = { rows : row list; closed : closed_row }
+
+let hops = 3
+let conns_per_lot = hops + 1
+
+(* Stable sub-critical load: every gateway carries one long flow at 0.25
+   and one cross flow at ~0.25, for rho ~ 0.5. *)
+let rate_of i = if i mod conns_per_lot = 0 then 0.25 else 0.21 +. (0.03 *. float_of_int (i mod 3))
+
+let lot_net ~lots = Topologies.multi_parking_lot ~mu:1. ~latency:0.05 ~lots ~hops ()
+
+let open_row ?jobs ~seed ~flows () =
+  let lots = max 1 (flows / conns_per_lot) in
+  let net = lot_net ~lots in
+  let n = Network.num_connections net in
+  let rates = Array.init n (fun i -> rate_of i) in
+  (* Events scale with flows x horizon: shrink the horizon as the flow
+     count grows so every row costs a comparable number of events. *)
+  let horizon = Float.max 20. (2e5 /. float_of_int flows) in
+  let shards = 8 in
+  let run ~shards =
+    Netsim.run ~net ~rates ~discipline:Netsim.Fs_priority ~seed ~shards ?jobs ~horizon
+      ()
+  in
+  let r = run ~shards in
+  let probes = min n 64 in
+  let probe_stats r =
+    List.init probes (fun i ->
+        (Netsim.delay_mean r ~conn:i, Netsim.throughput r ~conn:i, Netsim.deliveries r ~conn:i))
+  in
+  let shard_invariant =
+    if flows > 10_000 then None
+    else
+      let r1 = run ~shards:1 in
+      Some (probe_stats r = probe_stats r1 && Netsim.events r = Netsim.events r1)
+  in
+  let delay =
+    let acc = ref 0. in
+    for i = 0 to probes - 1 do
+      acc := !acc +. Netsim.delay_mean r ~conn:i
+    done;
+    !acc /. float_of_int probes
+  in
+  let deliveries = ref 0 in
+  for i = 0 to n - 1 do
+    deliveries := !deliveries + Netsim.deliveries r ~conn:i
+  done;
+  {
+    flows = n;
+    gateways = Network.num_gateways net;
+    components = Netsim.components r;
+    shards;
+    events = Netsim.events r;
+    deliveries = !deliveries;
+    delay;
+    shard_invariant;
+  }
+
+let closed_loop ~seed ~flows ~updates =
+  let lots = max 1 (flows / conns_per_lot) in
+  let net = lot_net ~lots in
+  let n = Network.num_connections net in
+  let signal = Signal.linear_fractional in
+  let r =
+    Closed_loop.run ~net ~discipline:Closed_loop.Fs_priority
+      ~style:Congestion.Individual ~signal
+      ~adjusters:(Array.make n Scenario.standard_adjuster)
+      ~r0:(Array.make n 0.1) ~interval:3. ~updates ~seed ()
+  in
+  (* Every lot is an identical parking lot, so the water-filling target
+     needs computing only once, on a single lot. *)
+  let predicted =
+    Steady_state.fair ~signal ~b_ss:Scenario.default_beta
+      ~net:(Topologies.parking_lot ~mu:1. ~latency:0.05 ~hops ())
+  in
+  let long_sum = ref 0. and cross_sum = ref 0. in
+  Array.iteri
+    (fun i rate ->
+      if i mod conns_per_lot = 0 then long_sum := !long_sum +. rate
+      else cross_sum := !cross_sum +. rate)
+    r.Closed_loop.mean_tail_rates;
+  {
+    cl_flows = n;
+    cl_gateways = Network.num_gateways net;
+    cl_updates = updates;
+    cl_long_rate = !long_sum /. float_of_int lots;
+    cl_cross_rate = !cross_sum /. float_of_int (lots * hops);
+    cl_long_predicted = predicted.(0);
+    cl_cross_predicted =
+      Array.(fold_left ( +. ) 0. (sub predicted 1 hops)) /. float_of_int hops;
+    cl_jain = Stats.jain_index r.Closed_loop.mean_tail_rates;
+  }
+
+let compute ?(seed = 27) ?(flows = [ 1_000; 10_000; 100_000 ])
+    ?(closed_flows = 100_000) ?(updates = 6) ?jobs () =
+  let rows = List.map (fun flows -> open_row ?jobs ~seed ~flows ()) flows in
+  { rows; closed = closed_loop ~seed ~flows:closed_flows ~updates }
+
+let run () =
+  let { rows; closed = c } = compute () in
+  let header =
+    [ "flows"; "gateways"; "shards"; "events"; "delivered"; "probe delay"; "shard-inv" ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.flows;
+          string_of_int r.gateways;
+          string_of_int (min r.shards r.components);
+          string_of_int r.events;
+          string_of_int r.deliveries;
+          Exp_common.fnum r.delay;
+          (match r.shard_invariant with
+          | Some ok -> Exp_common.fbool ok
+          | None -> "-");
+        ])
+      rows
+  in
+  Printf.sprintf
+    "Open loop, disjoint parking lots (hops=%d), Fair Share, timing-wheel\n\
+     scheduler, components sharded over the domain pool:\n\n\
+     %s\n\
+     Closed loop at the top scale: %d flows over %d gateways, %d control\n\
+     updates of the standard adjuster on individual fair-share feedback.\n\n\
+     %s\n\
+     Rows marked shard-inv were re-run unsharded and matched bit for bit;\n\
+     the larger runs rely on the same per-entity RNG streams, so their\n\
+     statistics are equally shard- and jobs-independent.  In six updates\n\
+     the closed loop moves every class from the cold start (r0 = 0.1)\n\
+     to the neighbourhood of the water-filling share — the tail rates\n\
+     still overshoot it, but fairness is already high; the point of the\n\
+     section is that the control loop itself runs at 10^5 flows.\n"
+    hops
+    (Exp_common.table ~header ~rows:body)
+    c.cl_flows c.cl_gateways c.cl_updates
+    (Exp_common.table
+       ~header:[ "flow class"; "mean tail rate"; "water-filling" ]
+       ~rows:
+         [
+           [ "long (3 hops)"; Exp_common.fnum c.cl_long_rate; Exp_common.fnum c.cl_long_predicted ];
+           [ "cross (1 hop)"; Exp_common.fnum c.cl_cross_rate; Exp_common.fnum c.cl_cross_predicted ];
+           [ "Jain index"; Exp_common.fnum c.cl_jain; "1" ];
+         ])
+
+let experiment =
+  {
+    Exp_common.id = "E27";
+    title = "Million-flow desim: timing wheel + sharded components at 10^5 flows";
+    paper_ref = "SS2.1-2.2 mechanisms at scale";
+    run;
+  }

@@ -1,0 +1,45 @@
+(** E27: scale capstone for the desim core — 10^3..10^5 concurrent flows
+    through disjoint parking-lot domains on the timing-wheel scheduler,
+    sharded across the domain pool, plus a closed-loop control run at
+    10^5 flows checked against the water-filling allocation.
+
+    All reported quantities are shard- and jobs-invariant, so the
+    rendered report is byte-identical at any parallelism. *)
+
+type row = {
+  flows : int;
+  gateways : int;
+  components : int;
+  shards : int;
+  events : int;
+  deliveries : int;
+  delay : float;
+  shard_invariant : bool option;
+}
+
+type closed_row = {
+  cl_flows : int;
+  cl_gateways : int;
+  cl_updates : int;
+  cl_long_rate : float;
+  cl_cross_rate : float;
+  cl_long_predicted : float;
+  cl_cross_predicted : float;
+  cl_jain : float;
+}
+
+type t = { rows : row list; closed : closed_row }
+
+val compute :
+  ?seed:int ->
+  ?flows:int list ->
+  ?closed_flows:int ->
+  ?updates:int ->
+  ?jobs:int ->
+  unit ->
+  t
+(** [flows] lists the open-loop row sizes (each rounded down to a whole
+    number of 4-connection lots); [closed_flows] sizes the closed-loop
+    section. Reduced values make a CI-friendly smoke run. *)
+
+val experiment : Exp_common.t

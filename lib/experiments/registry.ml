@@ -26,6 +26,7 @@ let all =
     E24_transient.experiment;
     E25_stress.experiment;
     E26_churn.experiment;
+    E27_million.experiment;
   ]
 
 let find id =

@@ -12,8 +12,12 @@ open Test_util
 let test_set_rate_changes_rate () =
   let sim = Sim.create () in
   let rng = Rng.create 3 in
+  let pool = Packet.Pool.create () in
   let count = ref 0 in
-  let src = Source.create ~sim ~rng ~conn:0 ~rate:1. ~emit:(fun _ -> incr count) () in
+  let src =
+    Source.create ~sim ~rng ~pool ~conn:0 ~rate:1.
+      ~emit:(fun p -> incr count; Packet.Pool.free pool p) ()
+  in
   Source.start src;
   Sim.run ~until:1000. sim;
   let at_low_rate = !count in
@@ -26,8 +30,12 @@ let test_set_rate_changes_rate () =
 let test_set_rate_zero_stops () =
   let sim = Sim.create () in
   let rng = Rng.create 5 in
+  let pool = Packet.Pool.create () in
   let count = ref 0 in
-  let src = Source.create ~sim ~rng ~conn:0 ~rate:5. ~emit:(fun _ -> incr count) () in
+  let src =
+    Source.create ~sim ~rng ~pool ~conn:0 ~rate:5.
+      ~emit:(fun p -> incr count; Packet.Pool.free pool p) ()
+  in
   Source.start src;
   Sim.run ~until:100. sim;
   Source.set_rate src 0.;
@@ -39,8 +47,12 @@ let test_set_rate_zero_stops () =
 let test_set_rate_restarts_stopped_source () =
   let sim = Sim.create () in
   let rng = Rng.create 7 in
+  let pool = Packet.Pool.create () in
   let count = ref 0 in
-  let src = Source.create ~sim ~rng ~conn:0 ~rate:0. ~emit:(fun _ -> incr count) () in
+  let src =
+    Source.create ~sim ~rng ~pool ~conn:0 ~rate:0.
+      ~emit:(fun p -> incr count; Packet.Pool.free pool p) ()
+  in
   Source.start src;
   Sim.run ~until:100. sim;
   Alcotest.(check int) "zero-rate source silent" 0 !count;
@@ -51,7 +63,8 @@ let test_set_rate_restarts_stopped_source () =
 let test_set_rate_validation () =
   let sim = Sim.create () in
   let rng = Rng.create 7 in
-  let src = Source.create ~sim ~rng ~conn:0 ~rate:1. ~emit:(fun _ -> ()) () in
+  let pool = Packet.Pool.create () in
+  let src = Source.create ~sim ~rng ~pool ~conn:0 ~rate:1. ~emit:(fun _ -> ()) () in
   Alcotest.check_raises "negative rate rejected"
     (Invalid_argument "Source: rate must be finite and non-negative") (fun () ->
       Source.set_rate src (-1.))
@@ -169,15 +182,16 @@ let test_closed_loop_multi_gateway () =
 let test_buffer_limit_drops () =
   let sim = Sim.create () in
   let rng = Rng.create 11 in
+  let pool = Packet.Pool.create () in
   let drops = ref 0 and delivered = ref 0 in
   let server =
-    Server.create ~sim ~rng ~mu:1. ~qdisc:Qdisc.Fifo ~buffer_limit:5
-      ~on_drop:(fun _ -> incr drops)
-      ~on_depart:(fun _ -> incr delivered)
+    Server.create ~sim ~rng ~pool ~mu:1. ~qdisc:Qdisc.Fifo ~buffer_limit:5
+      ~on_drop:(fun p -> incr drops; Packet.Pool.free pool p)
+      ~on_depart:(fun p -> incr delivered; Packet.Pool.free pool p)
       ()
   in
   let src =
-    Source.create ~sim ~rng:(Rng.split rng) ~conn:0 ~rate:3.
+    Source.create ~sim ~rng:(Rng.split rng) ~pool ~conn:0 ~rate:3.
       ~emit:(fun pkt -> Server.inject server pkt)
       ()
   in
@@ -193,15 +207,16 @@ let test_buffer_limit_drops () =
 let test_no_buffer_limit_never_drops () =
   let sim = Sim.create () in
   let rng = Rng.create 13 in
+  let pool = Packet.Pool.create () in
   let drops = ref 0 in
   let server =
-    Server.create ~sim ~rng ~mu:1. ~qdisc:Qdisc.Fifo
+    Server.create ~sim ~rng ~pool ~mu:1. ~qdisc:Qdisc.Fifo
       ~on_drop:(fun _ -> incr drops)
-      ~on_depart:(fun _ -> ())
+      ~on_depart:(fun p -> Packet.Pool.free pool p)
       ()
   in
   let src =
-    Source.create ~sim ~rng:(Rng.split rng) ~conn:0 ~rate:2.
+    Source.create ~sim ~rng:(Rng.split rng) ~pool ~conn:0 ~rate:2.
       ~emit:(fun pkt -> Server.inject server pkt)
       ()
   in

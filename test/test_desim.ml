@@ -198,9 +198,11 @@ let test_measure_deliveries () =
 let test_source_rate () =
   let sim = Sim.create () in
   let rng = Rng.create 7 in
+  let pool = Packet.Pool.create () in
   let count = ref 0 in
   let src =
-    Source.create ~sim ~rng ~conn:0 ~rate:5. ~emit:(fun _ -> Stdlib.incr count) ()
+    Source.create ~sim ~rng ~pool ~conn:0 ~rate:5.
+      ~emit:(fun p -> Stdlib.incr count; Packet.Pool.free pool p) ()
   in
   Source.start src;
   Sim.run ~until:1000. sim;
@@ -212,7 +214,8 @@ let test_source_rate () =
 let test_source_zero_rate () =
   let sim = Sim.create () in
   let rng = Rng.create 7 in
-  let src = Source.create ~sim ~rng ~conn:0 ~rate:0. ~emit:(fun _ -> ()) () in
+  let pool = Packet.Pool.create () in
+  let src = Source.create ~sim ~rng ~pool ~conn:0 ~rate:0. ~emit:(fun _ -> ()) () in
   Source.start src;
   Sim.run ~until:10. sim;
   Alcotest.(check int) "no packets" 0 (Source.emitted src)
@@ -220,9 +223,11 @@ let test_source_zero_rate () =
 let test_source_interarrival_exponential () =
   let sim = Sim.create () in
   let rng = Rng.create 21 in
+  let pool = Packet.Pool.create () in
   let times = ref [] in
   let src =
-    Source.create ~sim ~rng ~conn:0 ~rate:2. ~emit:(fun _ -> times := Sim.now sim :: !times) ()
+    Source.create ~sim ~rng ~pool ~conn:0 ~rate:2.
+      ~emit:(fun p -> times := Sim.now sim :: !times; Packet.Pool.free pool p) ()
   in
   Source.start src;
   Sim.run ~until:5000. sim;
@@ -378,6 +383,293 @@ let prop_work_conservation_sim =
       let fifo = total Netsim.Fifo and fs = total Netsim.Fs_priority in
       Float.abs (fifo -. fs) <= 0.25 *. Float.max 1. fifo)
 
+(* ------------------------------------------------------------------ *)
+(* Timing wheel vs. reference heap                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_wheel_ties_fifo () =
+  let w = Timing_wheel.create ~tick:1. () in
+  for i = 1 to 3 do
+    Timing_wheel.schedule w ~time:5. ~handler:i ~a:0 ~b:0
+  done;
+  let order =
+    List.init 3 (fun _ ->
+        check_true "pop succeeds" (Timing_wheel.pop w);
+        Timing_wheel.popped_handler w)
+  in
+  Alcotest.(check (list int)) "insertion order on ties" [ 1; 2; 3 ] order
+
+let test_wheel_overflow_far_future () =
+  (* With tick = 1 the three levels cover 2^24 ticks; these events span
+     nine decades, so most start in the overflow heap and must cascade
+     back through every level before popping — still in time order. *)
+  let w = Timing_wheel.create ~tick:1. () in
+  let times = [ 0.5; 3.; 260.; 70_000.; 2e7; 5e8; 1e9; 1e9 +. 1. ] in
+  List.iteri (fun i t -> Timing_wheel.schedule w ~time:t ~handler:i ~a:0 ~b:0) times;
+  let popped =
+    List.map
+      (fun _ ->
+        check_true "pop succeeds" (Timing_wheel.pop w);
+        Timing_wheel.popped_time w)
+      times
+  in
+  Alcotest.(check (list (float 0.))) "far-future events pop sorted"
+    (List.sort compare times) popped;
+  Alcotest.(check int) "wheel drained" 0 (Timing_wheel.size w)
+
+let test_wheel_validation () =
+  check_true "non-positive tick rejected"
+    (try ignore (Timing_wheel.create ~tick:0. ()); false
+     with Invalid_argument _ -> true);
+  let w = Timing_wheel.create ~tick:1. () in
+  Alcotest.check_raises "time beyond range"
+    (Invalid_argument "Timing_wheel.schedule: time beyond wheel range for tick width")
+    (fun () -> Timing_wheel.schedule w ~time:1.3e18 ~handler:0 ~a:0 ~b:0);
+  Alcotest.check_raises "nan time"
+    (Invalid_argument "Timing_wheel.schedule: time must be finite and non-negative")
+    (fun () -> Timing_wheel.schedule w ~time:Float.nan ~handler:0 ~a:0 ~b:0)
+
+let test_wheel_next_time () =
+  let w = Timing_wheel.create ~tick:0.5 () in
+  check_float "empty wheel" Float.infinity (Timing_wheel.next_time w);
+  Timing_wheel.schedule w ~time:42. ~handler:0 ~a:0 ~b:0;
+  Timing_wheel.schedule w ~time:7. ~handler:0 ~a:0 ~b:0;
+  check_float "earliest pending" 7. (Timing_wheel.next_time w);
+  ignore (Timing_wheel.pop w);
+  check_float "after pop" 42. (Timing_wheel.next_time w)
+
+let prop_wheel_matches_heap =
+  (* The satellite contract: on randomized schedules — ties, cascades,
+     overflow hops, interleaved pops — the wheel pops the exact (time,
+     sequence) order of the reference heap scheduler. *)
+  prop "wheel pops identically to reference heap" ~count:60
+    QCheck2.Gen.(pair (int_range 0 9999) (int_range 0 2))
+    (fun (seed, tick_sel) ->
+      let tick = [| 1.0; 0.015625; 37.5 |].(tick_sel) in
+      let heap = Scheduler.create Scheduler.Heap in
+      let wheel = Scheduler.create (Scheduler.Wheel { tick }) in
+      let rng = Rng.create (seed + 1) in
+      let now = ref 0. in
+      let ok = ref true in
+      let pop_both () =
+        let hp = Scheduler.pop heap and wp = Scheduler.pop wheel in
+        if hp <> wp then ok := false
+        else if hp then begin
+          if
+            not
+              (Scheduler.popped_time heap = Scheduler.popped_time wheel
+              && Scheduler.popped_handler heap = Scheduler.popped_handler wheel
+              && Scheduler.popped_a heap = Scheduler.popped_a wheel)
+          then ok := false;
+          now := Scheduler.popped_time heap
+        end
+      in
+      let n = ref 0 in
+      for step = 1 to 400 do
+        if !ok then
+          if Rng.uniform rng < 0.65 then begin
+            (* Times at/after the popped clock: a tick-grid draw forces
+               ties, the mid range exercises cascades, the far range the
+               overflow heap. *)
+            let v = Rng.uniform rng in
+            let dt =
+              if v < 0.3 then float_of_int (Rng.int rng 4) *. tick
+              else if v < 0.85 then Rng.uniform rng *. 30. *. tick
+              else Rng.uniform rng *. 3e7 *. tick
+            in
+            let time = !now +. dt in
+            incr n;
+            Scheduler.schedule heap ~time ~handler:step ~a:!n ~b:0;
+            Scheduler.schedule wheel ~time ~handler:step ~a:!n ~b:0
+          end
+          else pop_both ()
+      done;
+      while !ok && Scheduler.size heap > 0 do
+        pop_both ()
+      done;
+      !ok && Scheduler.size wheel = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Packet pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_recycling () =
+  let p = Packet.Pool.create ~initial:16 () in
+  let a = Packet.Pool.alloc p ~conn:3 ~born:1.5 in
+  Alcotest.(check int) "conn stored" 3 (Packet.Pool.conn p a);
+  check_float "born stored" 1.5 (Packet.Pool.born p a);
+  Packet.Pool.free p a;
+  let b = Packet.Pool.alloc p ~conn:4 ~born:2. in
+  Alcotest.(check int) "freed slot recycled" a b;
+  Alcotest.(check int) "fresh conn" 4 (Packet.Pool.conn p b);
+  Alcotest.(check int) "recycled fields reset" 0 (Packet.Pool.klass p b);
+  Alcotest.(check int) "one live" 1 (Packet.Pool.live p);
+  Alcotest.(check int) "two allocations total" 2 (Packet.Pool.allocated p)
+
+let test_pool_growth () =
+  let p = Packet.Pool.create ~initial:16 () in
+  let ids = List.init 100 (fun i -> Packet.Pool.alloc p ~conn:i ~born:0.) in
+  check_true "capacity grew" (Packet.Pool.capacity p >= 100);
+  Alcotest.(check int) "all live" 100 (Packet.Pool.live p);
+  let distinct = List.sort_uniq compare ids in
+  Alcotest.(check int) "ids distinct" 100 (List.length distinct);
+  List.iteri
+    (fun i id -> Alcotest.(check int) "payload survives growth" i (Packet.Pool.conn p id))
+    ids
+
+let test_pool_exhaustion () =
+  let p = Packet.Pool.create ~initial:4 ~max_packets:8 () in
+  for i = 0 to 7 do
+    ignore (Packet.Pool.alloc p ~conn:i ~born:0.)
+  done;
+  Alcotest.check_raises "exhaustion names the limit"
+    (Failure "Packet.Pool.alloc: pool exhausted (8 packets in flight, max_packets=8)")
+    (fun () -> ignore (Packet.Pool.alloc p ~conn:9 ~born:0.))
+
+let test_pool_no_reuse_while_live () =
+  let p = Packet.Pool.create ~initial:16 () in
+  let module S = Set.Make (Int) in
+  let live = ref S.empty in
+  let rng = Rng.create 77 in
+  for _ = 1 to 2_000 do
+    if Rng.uniform rng < 0.6 || S.is_empty !live then begin
+      let id = Packet.Pool.alloc p ~conn:0 ~born:0. in
+      check_false "allocated id not already in flight" (S.mem id !live);
+      live := S.add id !live
+    end
+    else begin
+      let victim = S.choose !live in
+      Packet.Pool.free p victim;
+      live := S.remove victim !live
+    end
+  done;
+  Alcotest.(check int) "live counter tracks set" (S.cardinal !live) (Packet.Pool.live p)
+
+let test_pool_double_free () =
+  let p = Packet.Pool.create ~initial:16 () in
+  let a = Packet.Pool.alloc p ~conn:0 ~born:0. in
+  Packet.Pool.free p a;
+  Alcotest.check_raises "double free detected"
+    (Invalid_argument
+       (Printf.sprintf "Packet.Pool.free: packet %d is not in flight (double free?)" a))
+    (fun () -> Packet.Pool.free p a);
+  check_false "never-allocated id is not live" (Packet.Pool.is_live p 9)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded simulation: byte-identical at any shards/jobs/scheduler     *)
+(* ------------------------------------------------------------------ *)
+
+let fingerprint net r =
+  let n = Network.num_connections net in
+  let gws = Network.num_gateways net in
+  let f =
+    List.concat
+      [
+        List.concat
+          (List.init gws (fun a ->
+               List.init n (fun i -> Netsim.mean_queue r ~gw:a ~conn:i)));
+        List.init n (fun i -> Netsim.delay_mean r ~conn:i);
+        List.init n (fun i -> Netsim.delay_ci95 r ~conn:i);
+        List.init n (fun i -> Netsim.throughput r ~conn:i);
+        List.init n (fun i -> float_of_int (Netsim.deliveries r ~conn:i));
+        List.init n (fun i -> float_of_int (Netsim.drops r ~conn:i));
+      ]
+  in
+  (f, Netsim.events r)
+
+let shard_net () = Topologies.multi_parking_lot ~mu:1. ~latency:0.1 ~lots:6 ~hops:2 ()
+
+let shard_rates net =
+  Array.init (Network.num_connections net) (fun i ->
+      0.15 +. (0.03 *. float_of_int (i mod 5)))
+
+let test_shard_invariance () =
+  let net = shard_net () in
+  let rates = shard_rates net in
+  let run ~shards ~jobs =
+    fingerprint net
+      (Netsim.run ~net ~rates ~discipline:Netsim.Fs_priority ~seed:91 ~shards ~jobs
+         ~horizon:2_000. ())
+  in
+  let base = run ~shards:1 ~jobs:1 in
+  check_true "baseline delivers" (List.exists (fun x -> x > 0.) (fst base));
+  List.iter
+    (fun (shards, jobs) ->
+      check_true
+        (Printf.sprintf "shards=%d jobs=%d bitwise-identical" shards jobs)
+        (run ~shards ~jobs = base))
+    [ (2, 1); (3, 2); (6, 4); (17, 4) ]
+
+let test_shard_invariance_with_drops () =
+  (* Overload + finite buffers: the on-drop path must shard identically
+     too. *)
+  let net = shard_net () in
+  let rates =
+    Array.init (Network.num_connections net) (fun i ->
+        if i mod 3 = 0 then 1.4 else 0.2)
+  in
+  let run ~shards ~jobs =
+    fingerprint net
+      (Netsim.run ~net ~rates ~discipline:Netsim.Fifo ~seed:92 ~shards ~jobs
+         ~buffer_limit:8 ~horizon:1_000. ())
+  in
+  let base = run ~shards:1 ~jobs:1 in
+  let _, events = base in
+  check_true "events counted" (events > 0);
+  check_true "drops occurred"
+    (let r =
+       Netsim.run ~net ~rates ~discipline:Netsim.Fifo ~seed:92 ~buffer_limit:8
+         ~horizon:1_000. ()
+     in
+     List.exists
+       (fun i -> Netsim.drops r ~conn:i > 0)
+       (List.init (Network.num_connections net) Fun.id));
+  check_true "dropful run bitwise-identical across shards" (run ~shards:6 ~jobs:3 = base)
+
+let test_scheduler_invariance () =
+  let net = shard_net () in
+  let rates = shard_rates net in
+  let run scheduler =
+    fingerprint net
+      (Netsim.run ~net ~rates ~discipline:Netsim.Fair_queueing ~seed:93 ~scheduler
+         ~shards:3 ~horizon:1_500. ())
+  in
+  check_true "heap and wheel bitwise-identical" (run `Heap = run `Wheel)
+
+let test_components_counted () =
+  let net = shard_net () in
+  let r =
+    Netsim.run ~net ~rates:(shard_rates net) ~discipline:Netsim.Fifo ~seed:94
+      ~horizon:50. ()
+  in
+  Alcotest.(check int) "six disjoint lots" 6 (Netsim.components r);
+  let single = Topologies.single ~n:3 () in
+  let r1 =
+    Netsim.run ~net:single ~rates:[| 0.1; 0.1; 0.1 |] ~discipline:Netsim.Fifo ~seed:94
+      ~horizon:50. ()
+  in
+  Alcotest.(check int) "one shared gateway" 1 (Netsim.components r1)
+
+let test_shard_trace_invariance () =
+  (* The satellite regression: traced runs are byte-identical whatever
+     the shard and jobs counts. *)
+  let open Ffc_obs in
+  let net = shard_net () in
+  let rates = shard_rates net in
+  let trace ~shards ~jobs =
+    let sink = Sink.buffer () in
+    let ctx = Ctx.make ~sink ~stride:20 () in
+    ignore
+      (Ctx.with_ctx ctx (fun () ->
+           Netsim.run ~net ~rates ~discipline:Netsim.Fs_priority ~seed:95 ~shards ~jobs
+             ~horizon:500. ()));
+    Sink.contents sink
+  in
+  let a = trace ~shards:1 ~jobs:1 in
+  check_true "trace non-empty" (String.length a > 0);
+  Alcotest.(check string) "trace identical at shards=4 jobs=3" a (trace ~shards:4 ~jobs:3);
+  Alcotest.(check string) "trace identical at shards=6 jobs=1" a (trace ~shards:6 ~jobs:1)
+
 let suites =
   [
     ( "desim.event_heap",
@@ -428,5 +720,29 @@ let suites =
         case "input validation" test_netsim_validation;
         case "Little law in simulation" test_littles_law_in_simulation;
         prop_work_conservation_sim;
+      ] );
+    ( "desim.timing_wheel",
+      [
+        case "ties pop in insertion order" test_wheel_ties_fifo;
+        case "overflow far future" test_wheel_overflow_far_future;
+        case "validation" test_wheel_validation;
+        case "next_time" test_wheel_next_time;
+        prop_wheel_matches_heap;
+      ] );
+    ( "desim.packet_pool",
+      [
+        case "free-list recycling" test_pool_recycling;
+        case "growth" test_pool_growth;
+        case "exhaustion" test_pool_exhaustion;
+        case "no id reuse while live" test_pool_no_reuse_while_live;
+        case "double free" test_pool_double_free;
+      ] );
+    ( "desim.shards",
+      [
+        case "stats bitwise-identical across shards/jobs" test_shard_invariance;
+        case "drop path shard-invariant" test_shard_invariance_with_drops;
+        case "heap vs wheel identical" test_scheduler_invariance;
+        case "component discovery" test_components_counted;
+        case "traces byte-identical across shards" test_shard_trace_invariance;
       ] );
   ]

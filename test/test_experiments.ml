@@ -13,7 +13,7 @@ let contains s sub =
   !found
 
 let test_registry_complete () =
-  Alcotest.(check int) "26 experiments" 26 (List.length Registry.all);
+  Alcotest.(check int) "27 experiments" 27 (List.length Registry.all);
   List.iter
     (fun e ->
       check_true (e.Exp_common.id ^ " findable") (Registry.find e.Exp_common.id <> None))
@@ -360,6 +360,28 @@ let test_e26_churn () =
     (s.E26_churn.nnz * 2 <= s.E26_churn.n * s.E26_churn.n);
   check_true "probe groups = hops + 1" (s.E26_churn.groups = 3)
 
+let test_e27_million () =
+  (* Reduced-scale smoke of the scale capstone: the same code paths as
+     the 10^5-flow run, with CI-sized flow counts. *)
+  let s =
+    E27_million.compute ~flows:[ 400; 2_000 ] ~closed_flows:2_000 ~updates:4 ()
+  in
+  Alcotest.(check int) "two open-loop rows" 2 (List.length s.E27_million.rows);
+  List.iter
+    (fun (r : E27_million.row) ->
+      check_true "flows match requested lots" (r.E27_million.flows mod 4 = 0);
+      check_true "events executed" (r.E27_million.events > 0);
+      check_true "packets delivered" (r.E27_million.deliveries > 0);
+      check_true "probe delay positive" (r.E27_million.delay > 0.);
+      match r.E27_million.shard_invariant with
+      | Some ok -> check_true "sharded run matches unsharded bit for bit" ok
+      | None -> Alcotest.fail "reduced rows must be invariance-checked")
+    s.E27_million.rows;
+  let c = s.E27_million.closed in
+  check_true "closed loop moved off r0"
+    (c.E27_million.cl_long_rate > 0.1 || c.E27_million.cl_cross_rate > 0.1);
+  check_true "closed loop roughly fair" (c.E27_million.cl_jain > 0.8)
+
 let test_all_reports_render () =
   (* Smoke: every report renders with its id header and some content.
      (This also exercises the full harness end to end.) *)
@@ -403,6 +425,7 @@ let suites =
         case "parallel sweeps are jobs-invariant" test_sweeps_jobs_invariant;
         case "E24: transient fluid model" test_e24_transient;
         case "E26: churn incremental updates" test_e26_churn;
+        case "E27: million-flow desim" test_e27_million;
         case "report rendering" test_all_reports_render;
       ] );
   ]
