@@ -1,0 +1,28 @@
+let ok = 0
+let usage = 1
+let diverged = 3
+let no_convergence = 4
+let service_failure = 5
+
+let fail_with code msg =
+  Printf.eprintf "ffc: %s\n" msg;
+  exit code
+
+let fail msg = fail_with usage msg
+let fail_service msg = fail_with service_failure msg
+
+let of_outcomes outcomes =
+  let open Ffc_core in
+  if List.exists (function Controller.Diverged _ -> true | _ -> false) outcomes
+  then begin
+    Printf.eprintf "ffc: outcome: diverged\n";
+    exit diverged
+  end
+  else if
+    List.exists
+      (function Controller.No_convergence _ -> true | _ -> false)
+      outcomes
+  then begin
+    Printf.eprintf "ffc: outcome: no convergence within the step budget\n";
+    exit no_convergence
+  end

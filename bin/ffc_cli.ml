@@ -111,9 +111,9 @@ let adjusters_term =
            proportional, fair-rate, decbit). Give one, or one per \
            connection for a heterogeneous population.")
 
-let exit_err msg =
-  Printf.eprintf "ffc: %s\n" msg;
-  exit 1
+(* All exit decisions go through the one shared contract — analyze, exp
+   and serve must agree on what each number means. *)
+let exit_err msg = Exit_code.fail msg
 
 (* -j/--jobs: degree of parallelism for the work pool.  Output is
    byte-identical whatever the value — results are collected in input
@@ -153,9 +153,9 @@ let parse_rates spec n =
   else exit_err (Printf.sprintf "bad rate list %S for %d connections" spec n)
 
 (* Fault spec: "stale:LAG[@CONNS]", "lossy:P[@CONNS]", "noise:SIGMA[@CONNS]",
-   "quantize:T[@CONNS]", "dead@CONNS", "greedy:RAMP:CAP@CONNS",
-   "gw-cut:GW:FRACTION:FROM[:UNTIL]"; CONNS is a comma-separated index
-   list, omitted = every connection. *)
+   "quantize:T[@CONNS]", "dead@CONNS", "flap:PERIOD:UP@CONNS",
+   "greedy:RAMP:CAP@CONNS", "gw-cut:GW:FRACTION:FROM[:UNTIL]"; CONNS is a
+   comma-separated index list, omitted = every connection. *)
 let parse_fault spec =
   let bad () = Error (Printf.sprintf "bad fault spec %S" spec) in
   let conns_of = function
@@ -196,6 +196,10 @@ let parse_fault spec =
     | Some threshold -> with_conns (Fault.Quantized { threshold })
     | None -> bad ())
   | [ "dead" ] -> with_conns Fault.Dead
+  | [ "flap"; period; up ] -> (
+    match (int_of_string_opt period, int_of_string_opt up) with
+    | Some period, Some up -> with_conns (Fault.Flap { period; up })
+    | _ -> bad ())
   | [ "greedy"; ramp; cap ] -> (
     match (float_of_string_opt ramp, float_of_string_opt cap) with
     | Some ramp, Some cap -> with_conns (Fault.Greedy { ramp; cap })
@@ -228,9 +232,9 @@ let fault_term =
         ~doc:
           "Inject a fault (repeatable): stale:LAG[@CONNS], lossy:P[@CONNS], \
            noise:SIGMA[@CONNS], quantize:T[@CONNS], dead@CONNS, \
-           greedy:RAMP:CAP@CONNS, gw-cut:GW:FRACTION:FROM[:UNTIL]. CONNS is a \
-           comma-separated connection index list; omitted means every \
-           connection.")
+           flap:PERIOD:UP@CONNS, greedy:RAMP:CAP@CONNS, \
+           gw-cut:GW:FRACTION:FROM[:UNTIL]. CONNS is a comma-separated \
+           connection index list; omitted means every connection.")
 
 let fault_seed_term =
   Arg.(
@@ -415,22 +419,7 @@ let with_obs ~command ~subject ?(adjusters = []) ?(seeds = []) ?(faults = [])
             | None -> ());
             result))
 
-(* Distinct nonzero exit codes for bad endings, with the verdict on
-   stderr: 3 = a run diverged, 4 = a run hit the step cap without
-   converging.  Converged and limit-cycle outcomes exit 0. *)
-let exit_outcomes outcomes =
-  let diverged = List.exists (function Controller.Diverged _ -> true | _ -> false) outcomes
-  and no_conv =
-    List.exists (function Controller.No_convergence _ -> true | _ -> false) outcomes
-  in
-  if diverged then begin
-    Printf.eprintf "ffc: outcome: diverged\n";
-    exit 3
-  end
-  else if no_conv then begin
-    Printf.eprintf "ffc: outcome: no convergence within the step budget\n";
-    exit 4
-  end
+let exit_outcomes outcomes = Exit_code.of_outcomes outcomes
 
 (* ------------------------------------------------------------------ *)
 (* exp                                                                 *)
@@ -491,8 +480,17 @@ let analyze_cmd =
             "Also write the individual+fair-share rate trajectory (400 steps) \
              as CSV to FILE.")
   in
+  let json_term =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Report one supervised verdict per design as a JSON line \
+             (machine-readable, deterministic: wall-clock time excluded, \
+             floats exact). Implies supervised runs even without --fault.")
+  in
   let run net_result specs r0_spec csv_trace_file fault_specs fault_seed retries
-      budget escape jobs cache no_cache cache_dir trace metrics stride sched =
+      budget escape json jobs cache no_cache cache_dir trace metrics stride sched =
     apply_jobs jobs;
     match net_result with
     | Error e -> exit_err e
@@ -507,9 +505,10 @@ let analyze_cmd =
       if retries < 0 then exit_err "--retries must be >= 0";
       let plan = resolve_plan fault_specs ~seed:fault_seed ~net in
       let supervised =
-        (not (Fault.is_empty plan)) || retries > 0 || budget <> None || escape <> 1e12
+        (not (Fault.is_empty plan)) || retries > 0 || budget <> None
+        || escape <> 1e12 || json
       in
-      Format.printf "%a@.@." Network.pp net;
+      if not json then Format.printf "%a@.@." Network.pp net;
       let subject =
         Printf.sprintf "topology(%d gw, %d conn)" (Network.num_gateways net) n
       in
@@ -524,6 +523,12 @@ let analyze_cmd =
               let v =
                 Supervisor.run ~escape ~retries ?wall_budget:budget ~plan c ~net ~r0
               in
+              if json then begin
+                print_endline
+                  (Supervisor.verdict_to_json ~label:d.Analysis.label v);
+                v.Supervisor.outcome
+              end
+              else begin
               Printf.printf "design %s\n" d.Analysis.label;
               List.iter (fun f -> Printf.printf "  fault    %s\n" f) v.Supervisor.faults;
               Printf.printf "  outcome  %s%s\n"
@@ -548,7 +553,8 @@ let analyze_cmd =
               | Some x -> Printf.printf "  min well-behaved throughput/baseline  %.4f\n" x
               | None -> ());
               print_newline ();
-              v.Supervisor.outcome)
+              v.Supervisor.outcome
+              end)
             Analysis.designs
         end
         else
@@ -593,8 +599,8 @@ let analyze_cmd =
     Term.(
       const run $ topology_term $ adjusters_term $ r0_term $ csv_trace_term
       $ fault_term $ fault_seed_term $ retries_term $ budget_term $ escape_term
-      $ jobs_term $ cache_term $ no_cache_term $ cache_dir_term $ trace_term
-      $ metrics_term $ trace_stride_term $ trace_sched_term)
+      $ json_term $ jobs_term $ cache_term $ no_cache_term $ cache_dir_term
+      $ trace_term $ metrics_term $ trace_stride_term $ trace_sched_term)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -928,6 +934,333 @@ let cache_cmd =
     Term.(const run $ action $ cache_dir_term)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let socket_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Bind a Unix-domain socket at $(docv) and serve clients.")
+  in
+  let script_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:
+            "Serve the request lines in $(docv) ($(b,-) = stdin) in-process \
+             and print the replies — no socket. Blank lines and # comments \
+             are skipped.")
+  in
+  let snapshot_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"PATH"
+          ~doc:
+            "Crash safety: atomically publish the service state to $(docv) \
+             every --snapshot-every mutations and at shutdown; on startup, \
+             recover from an existing snapshot there.")
+  in
+  let snapshot_every_term =
+    Arg.(
+      value & opt int 16
+      & info [ "snapshot-every" ] ~docv:"K"
+          ~doc:"Auto-snapshot every $(docv)-th committed join/leave.")
+  in
+  let b_ss_term =
+    Arg.(
+      value & opt float 0.5
+      & info [ "b-ss" ] ~docv:"B" ~doc:"Steady feedback signal in (0,1).")
+  in
+  let epsilon_term =
+    Arg.(
+      value & opt float 1e-6
+      & info [ "epsilon" ] ~docv:"E"
+          ~doc:"Admission slack: admit only if Theorem-5 min-ratio >= 1-$(docv).")
+  in
+  let min_rate_term =
+    Arg.(
+      value & opt float 0.
+      & info [ "min-rate" ] ~docv:"R"
+          ~doc:"Reject a newcomer whose admitted fair rate would be below $(docv).")
+  in
+  let degrade_term =
+    Arg.(
+      value
+      & opt (t3 ~sep:':' float float float) (0.5, 2., 8.)
+      & info [ "degrade" ] ~docv:"INC:CACHED:SHED"
+          ~doc:
+            "Degradation-ladder backlog thresholds (logical seconds): full \
+             resolve below INC, incremental patch below CACHED, cached \
+             estimate below SHED, shed adds beyond.")
+  in
+  let timeout_term =
+    Arg.(
+      value & opt float 0.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-solve wall-clock timeout (0 = off). Leave off for \
+             byte-deterministic decision logs.")
+  in
+  let svc_retries_term =
+    Arg.(
+      value & opt int 2
+      & info [ "svc-retries" ] ~docv:"K"
+          ~doc:
+            "Retries per failed solve, with deterministic jittered \
+             exponential backoff, before degrading a tier.")
+  in
+  let backoff_term =
+    Arg.(
+      value & opt float 0.05
+      & info [ "backoff" ] ~docv:"SECONDS" ~doc:"Base backoff delay.")
+  in
+  let seed_term =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Backoff-jitter seed.")
+  in
+  let run net_result specs socket script snapshot_path snapshot_every b_ss
+      epsilon min_rate (d_inc, d_cached, d_shed) timeout svc_retries backoff seed
+      fault_specs fault_seed retries escape jobs cache no_cache cache_dir trace
+      metrics stride sched =
+    apply_jobs jobs;
+    match net_result with
+    | Error e -> exit_err e
+    | Ok net ->
+      let n = Network.num_connections net in
+      let adjusters = resolve_adjusters specs n in
+      let plan = resolve_plan fault_specs ~seed:fault_seed ~net in
+      if svc_retries < 0 then exit_err "--svc-retries must be >= 0";
+      if retries < 0 then exit_err "--retries must be >= 0";
+      let config =
+        {
+          Ffc_service.Admission.default_config with
+          b_ss;
+          epsilon;
+          min_rate;
+          backlog_incremental = d_inc;
+          backlog_cached = d_cached;
+          backlog_shed = d_shed;
+          timeout;
+          retries = svc_retries;
+          backoff_base = backoff;
+          (* Really sleeping between retries only makes sense with real
+             clients on a socket; script replays stay instant. *)
+          sleep_backoff = script = None;
+          seed;
+          plan;
+          sup_retries = retries;
+          escape;
+        }
+      in
+      let controller =
+        Controller.create ~config:Feedback.individual_fair_share ~adjusters
+      in
+      let engine =
+        try Ffc_service.Admission.create ~config controller ~net
+        with Invalid_argument msg -> exit_err msg
+      in
+      let server =
+        Ffc_service.Server.create ?snapshot_path ~snapshot_every engine
+      in
+      (match Ffc_service.Server.recover server with
+      | Ok false -> ()
+      | Ok true ->
+        Printf.eprintf "ffc serve: recovered %d mutations (seq %d) from %s\n%!"
+          (Ffc_service.Admission.mutations engine)
+          (Ffc_service.Admission.seq engine)
+          (Option.get snapshot_path)
+      | Error e ->
+        Exit_code.fail_service (Printf.sprintf "cannot recover snapshot: %s" e));
+      let subject = Printf.sprintf "service(%d gw, %d conn)" (Network.num_gateways net) n in
+      with_cache ~cache ~no_cache ~cache_dir (fun () ->
+          with_obs ~command:"serve" ~subject ~adjusters:specs
+            ~seeds:[ ("service", seed); ("fault", fault_seed) ]
+            ~faults:(Fault.describe plan) ~jobs ~trace ~metrics ~stride ~sched
+            (fun () ->
+              match (script, socket) with
+              | Some _, Some _ -> exit_err "--script and --socket are mutually exclusive"
+              | None, None -> exit_err "provide --socket PATH or --script FILE"
+              | Some file, None ->
+                let text =
+                  if file = "-" then In_channel.input_all In_channel.stdin
+                  else In_channel.with_open_text file In_channel.input_all
+                in
+                let lines = String.split_on_char '\n' text in
+                List.iter print_endline
+                  (Ffc_service.Server.run_script server lines)
+              | None, Some sock -> (
+                try Ffc_service.Server.serve server ~socket:sock
+                with Unix.Unix_error (e, fn, _) ->
+                  Exit_code.fail_service
+                    (Printf.sprintf "socket %s: %s (%s)" sock
+                       (Unix.error_message e) fn))))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the online gateway service: a long-lived admission-control \
+          daemon over a Unix-domain socket (or an in-process --script \
+          replay). Clients add/remove flows and query supervised health; \
+          every add runs the Theorem-5 + spectral-radius admission test, \
+          overload degrades gracefully down the full > incremental > cached \
+          > shed ladder, and state snapshots atomically for crash recovery. \
+          Exits 5 when recovery or the socket fails.")
+    Term.(
+      const run $ topology_term $ adjusters_term $ socket_term $ script_term
+      $ snapshot_term $ snapshot_every_term $ b_ss_term $ epsilon_term
+      $ min_rate_term $ degrade_term $ timeout_term $ svc_retries_term
+      $ backoff_term $ seed_term $ fault_term $ fault_seed_term $ retries_term
+      $ escape_term $ jobs_term $ cache_term $ no_cache_term $ cache_dir_term
+      $ trace_term $ metrics_term $ trace_stride_term $ trace_sched_term)
+
+(* ------------------------------------------------------------------ *)
+(* drive                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let drive_cmd =
+  let socket_term =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Socket of a running ffc serve.")
+  in
+  let script_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:
+            "Send the raw request lines in $(docv) ($(b,-) = stdin) instead \
+             of generating churn; blank lines and # comments are skipped.")
+  in
+  let arrivals_term =
+    Arg.(
+      value & opt int 64
+      & info [ "arrivals" ] ~docv:"N" ~doc:"Poisson arrivals to generate.")
+  in
+  let rate_term =
+    Arg.(
+      value & opt float 4.
+      & info [ "rate" ] ~docv:"LAMBDA" ~doc:"Poisson arrival rate.")
+  in
+  let size_dist_term =
+    Arg.(
+      value
+      & opt string "exp:1"
+      & info [ "size-dist" ] ~docv:"SPEC"
+          ~doc:
+            "Document-size distribution: const:S, exp:MEAN, uniform:LO:HI or \
+             pareto:ALPHA:XMIN.")
+  in
+  let seed_term =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Churn stream seed.")
+  in
+  let query_every_term =
+    Arg.(
+      value & opt int 0
+      & info [ "query-every" ] ~docv:"K"
+          ~doc:"Also query supervised health every $(docv)-th request (0 = never).")
+  in
+  let shutdown_term =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Send a final shutdown once the churn is done.")
+  in
+  let wait_term =
+    Arg.(
+      value & opt float 5.
+      & info [ "wait" ] ~docv:"SECONDS"
+          ~doc:"Keep retrying the initial connect for up to $(docv) seconds.")
+  in
+  let connect ~socket ~wait =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let deadline = Unix.gettimeofday () +. wait in
+    let rec go () =
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> ()
+      | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+        when Unix.gettimeofday () < deadline ->
+        Unix.sleepf 0.05;
+        go ()
+      | exception Unix.Unix_error (e, _, _) ->
+        Exit_code.fail_service
+          (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e))
+    in
+    go ();
+    (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+  in
+  let run socket script arrivals rate size_dist_spec seed query_every shutdown
+      wait =
+    let ic, oc = connect ~socket ~wait in
+    let send line =
+      output_string oc (line ^ "\n");
+      flush oc;
+      match In_channel.input_line ic with
+      | Some reply ->
+        print_endline reply;
+        reply
+      | None -> Exit_code.fail_service "server closed the connection"
+    in
+    let send_shutdown () = ignore (send "shutdown" : string) in
+    match script with
+    | Some file ->
+      let text =
+        if file = "-" then In_channel.input_all In_channel.stdin
+        else In_channel.with_open_text file In_channel.input_all
+      in
+      let lines = String.split_on_char '\n' text in
+      List.iter
+        (fun line ->
+          let t = String.trim line in
+          if t <> "" && t.[0] <> '#' then ignore (send t : string))
+        lines;
+      if shutdown then send_shutdown ()
+    | None ->
+      let size_dist =
+        match Ffc_service.Churn.parse_size_dist size_dist_spec with
+        | Ok d -> d
+        | Error e -> exit_err e
+      in
+      if arrivals < 0 then exit_err "--arrivals must be >= 0";
+      if rate <= 0. then exit_err "--rate must be positive";
+      let stats =
+        Ffc_service.Churn.run ~query_every ~seed ~rate ~arrivals ~size_dist
+          ~send ()
+      in
+      if shutdown then send_shutdown ();
+      (* One greppable summary line for scripts and the CI smoke job. *)
+      Printf.printf
+        "drive: arrivals=%d admits=%d rejects=%d sheds=%d departures=%d \
+         queries=%d errors=%d min_min_ratio=%s last_time=%s\n"
+        stats.Ffc_service.Churn.arrivals stats.Ffc_service.Churn.admits
+        stats.Ffc_service.Churn.rejects stats.Ffc_service.Churn.sheds
+        stats.Ffc_service.Churn.departures stats.Ffc_service.Churn.queries
+        stats.Ffc_service.Churn.errors
+        (match stats.Ffc_service.Churn.min_min_ratio with
+        | None -> "none"
+        | Some r -> Ffc_obs.Jsonf.float_rt r)
+        (Ffc_obs.Jsonf.float_rt stats.Ffc_service.Churn.last_time)
+  in
+  Cmd.v
+    (Cmd.info "drive"
+       ~doc:
+         "Drive a running ffc serve daemon: either replay a request script \
+          or generate Poisson churn with general document sizes \
+          (Gromoll-Williams), removing each admitted flow once its document \
+          has been served at the admitted rate. Prints every response line \
+          plus a final summary.")
+    Term.(
+      const run $ socket_term $ script_term $ arrivals_term $ rate_term
+      $ size_dist_term $ seed_term $ query_every_term $ shutdown_term
+      $ wait_term)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -941,5 +1274,5 @@ let () =
        (Cmd.group info
           [
             exp_cmd; analyze_cmd; simulate_cmd; closed_loop_cmd; topology_cmd;
-            cache_cmd;
+            cache_cmd; serve_cmd; drive_cmd;
           ]))

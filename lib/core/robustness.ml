@@ -30,20 +30,45 @@ let reservation_rate ~signal ~b_ss ~mu ~n =
   let rho_ss = Mm1.g_inv (Signal.inverse signal b_ss) in
   mu /. float_of_int n *. rho_ss
 
-let baselines ~signal ~b_ss ~net =
+(* Shared kernel: baselines with the fan-in N^a counted over a
+   sub-population.  [fanin a] must be >= 1 whenever some connection in
+   the population traverses gateway [a]. *)
+let baselines_with_fanin ~signal ~b_ss ~net ~member ~fanin =
   let nc = Network.num_connections net in
   if Array.length b_ss <> nc then invalid_arg "Robustness.baselines: b_ss length mismatch";
   Array.init nc (fun i ->
-      let rho_ss = Mm1.g_inv (Signal.inverse signal b_ss.(i)) in
-      let min_slice =
+      if not (member i) then 0.
+      else
+        let rho_ss = Mm1.g_inv (Signal.inverse signal b_ss.(i)) in
+        let min_slice =
+          List.fold_left
+            (fun acc a ->
+              let g = Network.gateway net a in
+              Float.min acc (g.Network.mu /. float_of_int (fanin a)))
+            Float.infinity
+            (Network.gateways_of_connection net i)
+        in
+        rho_ss *. min_slice)
+
+let baselines ~signal ~b_ss ~net =
+  baselines_with_fanin ~signal ~b_ss ~net
+    ~member:(fun _ -> true)
+    ~fanin:(Network.fanin net)
+
+let baselines_masked ~signal ~b_ss ~net ~active =
+  let nc = Network.num_connections net in
+  if Array.length active <> nc then
+    invalid_arg "Robustness.baselines_masked: mask length mismatch";
+  let fanin =
+    Array.init (Network.num_gateways net) (fun a ->
         List.fold_left
-          (fun acc a ->
-            let g = Network.gateway net a in
-            Float.min acc (g.Network.mu /. float_of_int (Network.fanin net a)))
-          Float.infinity
-          (Network.gateways_of_connection net i)
-      in
-      rho_ss *. min_slice)
+          (fun acc i -> if active.(i) then acc + 1 else acc)
+          0
+          (Network.connections_at_gateway net a))
+  in
+  baselines_with_fanin ~signal ~b_ss ~net
+    ~member:(fun i -> active.(i))
+    ~fanin:(fun a -> fanin.(a))
 
 let is_robust_outcome ?(tol = 1e-6) ~baselines steady =
   if Array.length steady <> Array.length baselines then

@@ -35,6 +35,17 @@ val baselines :
     connection's own steady signal (heterogeneous algorithms have
     different ones). *)
 
+val baselines_masked :
+  signal:Signal.t -> b_ss:float array -> net:Network.t -> active:bool array ->
+  Vec.t
+(** {!baselines} against the {e active} sub-population: the fan-in N^a
+    in r̄_i = ρ_SS(i) · min_{a∈γ(i)} μ^a/N^a counts only connections with
+    [active.(j) = true] — the reservation a flow is owed while some
+    slots sit idle.  Inactive connections get baseline 0.  With an
+    all-true mask this is exactly {!baselines}.  Used by the online
+    gateway service's admission test, where the population changes with
+    every join/leave. *)
+
 val is_robust_outcome : ?tol:float -> baselines:Vec.t -> Vec.t -> bool
 (** [is_robust_outcome ~baselines steady] — every connection meets its
     baseline within relative [tol] (default 1e-6). *)

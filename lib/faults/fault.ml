@@ -8,6 +8,7 @@ type kind =
   | Dead
   | Greedy of { ramp : float; cap : float }
   | Gateway_cut of { gw : int; fraction : float; from_step : int; until_step : int option }
+  | Flap of { period : int; up : int }
 
 type spec = { kind : kind; conns : int list option }
 
@@ -33,7 +34,9 @@ let validate { specs; seed = _ } ~net =
             invalid_arg (Printf.sprintf "Fault.validate: connection %d out of range" i))
         conns
   in
-  let dead = Array.make nc false and greedy = Array.make nc false in
+  let dead = Array.make nc false
+  and greedy = Array.make nc false
+  and flap = Array.make nc false in
   let mark tbl conns =
     let targets = match conns with None -> List.init nc Fun.id | Some l -> l in
     List.iter (fun i -> tbl.(i) <- true) targets
@@ -67,12 +70,23 @@ let validate { specs; seed = _ } ~net =
         (match until_step with
         | Some u when u <= from_step ->
           invalid_arg "Fault.validate: cut until_step must exceed from_step"
-        | Some _ | None -> ()))
+        | Some _ | None -> ())
+      | Flap { period; up } ->
+        if period < 2 then invalid_arg "Fault.validate: flap period must be >= 2";
+        if up < 1 || up >= period then
+          invalid_arg "Fault.validate: flap up must satisfy 1 <= up < period";
+        mark flap conns)
     specs;
   for i = 0 to nc - 1 do
     if dead.(i) && greedy.(i) then
       invalid_arg
-        (Printf.sprintf "Fault.validate: connection %d is both dead and greedy" i)
+        (Printf.sprintf "Fault.validate: connection %d is both dead and greedy" i);
+    (* Flap claims the peer's whole presence; composing it with another
+       whole-algorithm override is contradictory. *)
+    if flap.(i) && (dead.(i) || greedy.(i)) then
+      invalid_arg
+        (Printf.sprintf
+           "Fault.validate: connection %d is both flapping and dead/greedy" i)
   done
 
 let horizon { specs; seed = _ } =
@@ -81,7 +95,10 @@ let horizon { specs; seed = _ } =
       match kind with
       | Gateway_cut { from_step; until_step; _ } ->
         Int.max acc (match until_step with Some u -> u | None -> from_step)
-      | Stale _ | Lossy _ | Noisy _ | Quantized _ | Dead | Greedy _ -> acc)
+      (* A flap never becomes time-invariant; its runs settle into limit
+         cycles (caught by cycle detection), not fixed points, so it
+         contributes nothing to the convergence-suppression horizon. *)
+      | Stale _ | Lossy _ | Noisy _ | Quantized _ | Dead | Greedy _ | Flap _ -> acc)
     0 specs
 
 let misbehaving { specs; seed = _ } ~n =
@@ -89,7 +106,7 @@ let misbehaving { specs; seed = _ } ~n =
   List.iter
     (fun { kind; conns } ->
       match kind with
-      | Dead | Greedy _ ->
+      | Dead | Greedy _ | Flap _ ->
         let targets = match conns with None -> List.init n Fun.id | Some l -> l in
         List.iter (fun i -> if i >= 0 && i < n then out.(i) <- true) targets
       | Stale _ | Lossy _ | Noisy _ | Quantized _ | Gateway_cut _ -> ())
@@ -116,5 +133,7 @@ let describe { specs; seed = _ } =
         Printf.sprintf "gw-cut(gw=%d,x%g,from=%d%s)" gw fraction from_step
           (match until_step with
           | None -> ",permanent"
-          | Some u -> Printf.sprintf ",until=%d" u))
+          | Some u -> Printf.sprintf ",until=%d" u)
+      | Flap { period; up } ->
+        Printf.sprintf "flap(period=%d,up=%d)@%s" period up (targets conns))
     specs

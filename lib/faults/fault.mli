@@ -49,6 +49,15 @@ type kind =
           [until_step] (exclusive); [None] means the degradation is
           permanent — the failure special case.  Connection targets are
           ignored for this kind. *)
+  | Flap of { period : int; up : int }
+      (** Churn at the fault layer: the connection periodically joins
+          and leaves.  In each cycle of [period] steps it is present for
+          the first [up] steps (adjusting normally, climbing back from
+          wherever the last departure left it) and absent for the rest
+          (rate forced to 0 — it consumes nothing and ignores feedback).
+          Requires [period >= 2] and [1 <= up < period].  A flapping
+          peer counts as misbehaving for Theorem 5: the min-ratio
+          guarantee quantifies over the connections that stay. *)
 
 type spec = { kind : kind; conns : int list option }
 (** A fault and the connections it applies to; [None] means every

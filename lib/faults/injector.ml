@@ -16,6 +16,7 @@ type t = {
   quant : float option array;  (* last spec wins *)
   dead : bool array;
   greedy : (float * float) option array;  (* (ramp, cap) *)
+  flap : (int * int) option array;  (* (period, up): last spec wins *)
   cuts : cut list;
   loss_rng : Rng.t array;
   noise_rng : Rng.t array;
@@ -40,6 +41,7 @@ let create ?(plan = Fault.none) controller ~net =
   let quant = Array.make n None in
   let dead = Array.make n false in
   let greedy = Array.make n None in
+  let flap = Array.make n None in
   let cuts = ref [] in
   List.iter
     (fun { Fault.kind; conns } ->
@@ -52,7 +54,8 @@ let create ?(plan = Fault.none) controller ~net =
       | Fault.Dead -> each (fun i -> dead.(i) <- true)
       | Fault.Greedy { ramp; cap } -> each (fun i -> greedy.(i) <- Some (ramp, cap))
       | Fault.Gateway_cut { gw; fraction; from_step; until_step } ->
-        cuts := { gw; fraction; from_step; until_step } :: !cuts)
+        cuts := { gw; fraction; from_step; until_step } :: !cuts
+      | Fault.Flap { period; up } -> each (fun i -> flap.(i) <- Some (period, up)))
     plan.Fault.specs;
   let cuts = List.rev !cuts in
   (* Independent split streams per connection, in a fixed order that
@@ -73,6 +76,7 @@ let create ?(plan = Fault.none) controller ~net =
     quant;
     dead;
     greedy;
+    flap;
     cuts;
     loss_rng;
     noise_rng;
@@ -162,9 +166,30 @@ let step t ~step:k rates =
             if t.sigma.(i) > 0. then t.sigma.(i) *. Rng.gaussian t.noise_rng.(i)
             else 0.
           in
-          if t.dead.(i) then r
-          else
-            match t.greedy.(i) with
+          match t.flap.(i) with
+          | Some (period, up) when k mod period >= up ->
+            (* Absent phase: the peer has left — rate pinned to 0.  The
+               boundary steps (departure at phase [up], rejoin at phase
+               0) are the observable churn events. *)
+            if k mod period = up then begin
+              Ffc_obs.Ctx.incr_named "injector.flaps";
+              match obs with
+              | Some c ->
+                Ffc_obs.Ctx.emit c (Ffc_obs.Event.fault_flap ~step:k ~conn:i ~present:false)
+              | None -> ()
+            end;
+            0.
+          | flapping -> (
+            (match flapping with
+            | Some (period, _) when k mod period = 0 && k > 0 -> (
+              match obs with
+              | Some c ->
+                Ffc_obs.Ctx.emit c (Ffc_obs.Event.fault_flap ~step:k ~conn:i ~present:true)
+              | None -> ())
+            | _ -> ());
+            if t.dead.(i) then r
+            else
+              match t.greedy.(i) with
             | Some (ramp, cap) -> Float.min cap (r +. ramp)
             | None ->
               if dropped then begin
@@ -190,7 +215,7 @@ let step t ~step:k rates =
                   | Some threshold -> if bi < threshold then 0. else 1.
                 in
                 Float.max 0. (r +. Rate_adjust.eval adjusters.(i) ~r ~b:bi ~d:d.(i))
-              end)
+              end))
         rates
     in
     t.next_step <- k + 1;

@@ -14,6 +14,64 @@ type verdict = {
   wall_seconds : float;
 }
 
+(* Deterministic JSON rendering of a verdict: model values only —
+   [wall_seconds] is deliberately excluded so two runs with identical
+   inputs render identical bytes (same contract as the trace events).
+   Numbers go through [Jsonf] so parsing the text recovers the exact
+   doubles. *)
+let verdict_to_json ?label v =
+  let module J = Ffc_obs.Jsonf in
+  let buf = Buffer.create 256 in
+  let field ?(first = false) k value =
+    if not first then Buffer.add_char buf ',';
+    J.add_escaped buf k;
+    Buffer.add_char buf ':';
+    Buffer.add_string buf value
+  in
+  let vec = function
+    | None -> "null"
+    | Some v ->
+      let b = Buffer.create (Array.length v * 12) in
+      Buffer.add_char b '[';
+      Array.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (J.float_json x))
+        v;
+      Buffer.add_char b ']';
+      Buffer.contents b
+  in
+  let strings l =
+    "[" ^ String.concat "," (List.map J.string l) ^ "]"
+  in
+  Buffer.add_char buf '{';
+  (match label with
+  | Some l ->
+    field ~first:true "label" (J.string l);
+    field "outcome" (J.string (Controller.outcome_label v.outcome))
+  | None -> field ~first:true "outcome" (J.string (Controller.outcome_label v.outcome)));
+  (* One numeric slot per outcome, as in the ctrl.outcome trace event:
+     convergence step, cycle period, divergence step, or 0. *)
+  let steps =
+    match v.outcome with
+    | Controller.Converged { steps; _ } -> steps
+    | Controller.Cycle { period; _ } -> period
+    | Controller.Diverged { at_step } -> at_step
+    | Controller.No_convergence _ -> 0
+  in
+  field "steps" (string_of_int steps);
+  field "attempts" (string_of_int v.attempts);
+  field "damping" (J.float_json v.damping);
+  field "recovered" (string_of_bool v.recovered);
+  field "total_steps" (string_of_int v.total_steps);
+  field "faults" (strings v.faults);
+  field "final" (vec v.final);
+  field "baselines" (vec v.baselines);
+  field "min_ratio"
+    (match v.min_ratio with None -> "null" | Some x -> J.float_json x);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
 (* Scale every adjustment by [factor] — the "halve the gain" retry.
    The damped algorithm has the same zero set, so its declared b_SS
    (and with it the reservation baseline) is unchanged. *)

@@ -54,6 +54,15 @@ type verdict = {
   wall_seconds : float;
 }
 
+val verdict_to_json : ?label:string -> verdict -> string
+(** One self-contained JSON object for a verdict — the machine-readable
+    form behind [analyze --json] and the gateway service's [query]
+    responses.  Deterministic by construction: model values only
+    ([wall_seconds] is excluded, like wall-clock time in trace events),
+    floats rendered so parsing recovers the exact doubles.  The [steps]
+    field carries the outcome's numeric slot (convergence step, cycle
+    period, divergence step, or 0), discriminated by [outcome]. *)
+
 val run :
   ?tol:float ->
   ?max_steps:int ->

@@ -96,6 +96,42 @@ let fault_drop ~step ~conn =
 let fault_cut ~step ~gw ~active =
   obj "fault.cut" [ ("step", int_ step); ("gw", int_ gw); ("active", bool_ active) ]
 
+let fault_flap ~step ~conn ~present =
+  obj "fault.flap"
+    [ ("step", int_ step); ("conn", int_ conn); ("present", bool_ present) ]
+
+(* ------------------------------------------------------------------ *)
+(* Online gateway service                                              *)
+(* ------------------------------------------------------------------ *)
+
+let svc_decision ~seq ~op ?conn ~decision ~tier ?rho ?min_ratio ?rate ~backlog () =
+  obj "svc.decision"
+    ([ ("seq", int_ seq); ("op", Jsonf.string op) ]
+    @ opt_field "conn" (Option.map Jsonf.string conn)
+    @ [ ("decision", Jsonf.string decision); ("tier", Jsonf.string tier) ]
+    @ opt_field "rho" (Option.map Jsonf.float_json rho)
+    @ opt_field "min_ratio" (Option.map Jsonf.float_json min_ratio)
+    @ opt_field "rate" (Option.map Jsonf.float_json rate)
+    @ [ ("backlog", Jsonf.float_json backlog) ])
+
+let svc_degrade ~seq ~from_tier ~to_tier =
+  obj "svc.degrade"
+    [
+      ("seq", int_ seq);
+      ("from", Jsonf.string from_tier);
+      ("to", Jsonf.string to_tier);
+    ]
+
+let svc_recover ~seq ~tier =
+  obj "svc.recover" [ ("seq", int_ seq); ("tier", Jsonf.string tier) ]
+
+let svc_backoff ~seq ~attempt ~delay =
+  obj "svc.backoff"
+    [ ("seq", int_ seq); ("attempt", int_ attempt); ("delay", Jsonf.float_json delay) ]
+
+let svc_snapshot ~seq ~bytes =
+  obj "svc.snapshot" [ ("seq", int_ seq); ("bytes", int_ bytes) ]
+
 (* ------------------------------------------------------------------ *)
 (* Discrete-event simulator                                            *)
 (* ------------------------------------------------------------------ *)

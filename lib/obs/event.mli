@@ -48,6 +48,48 @@ val fault_drop : step:int -> conn:int -> string
 val fault_cut : step:int -> gw:int -> active:bool -> string
 (** A gateway-cut crossed a step boundary (activated or restored). *)
 
+val fault_flap : step:int -> conn:int -> present:bool -> string
+(** A flapping peer crossed a phase boundary: departed
+    ([present = false]) or rejoined ([present = true]).  Sampled at the
+    context stride. *)
+
+(** {2 Online gateway service}
+
+    Emitted by [Ffc_service]: one [svc.decision] per processed request,
+    plus ladder transitions, retry backoffs and snapshot publications.
+    All payloads are model values (logical timestamps, never wall-clock
+    time), so service traces obey the byte-identity contract. *)
+
+val svc_decision :
+  seq:int ->
+  op:string ->
+  ?conn:string ->
+  decision:string ->
+  tier:string ->
+  ?rho:float ->
+  ?min_ratio:float ->
+  ?rate:float ->
+  backlog:float ->
+  unit ->
+  string
+(** One admission/removal/query decision: request sequence number,
+    operation, the slot involved, admit/reject/ok, the degradation-ladder
+    tier that served it, and the stability evidence (ρ(DF), Theorem-5
+    min-ratio, the newcomer's steady rate) when computed. *)
+
+val svc_degrade : seq:int -> from_tier:string -> to_tier:string -> string
+(** The overload ladder stepped down (e.g. full → incremental). *)
+
+val svc_recover : seq:int -> tier:string -> string
+(** The ladder stepped back up after the backlog drained. *)
+
+val svc_backoff : seq:int -> attempt:int -> delay:float -> string
+(** A transient solver failure triggered retry [attempt] after a
+    deterministic jittered exponential [delay] (logical seconds). *)
+
+val svc_snapshot : seq:int -> bytes:int -> string
+(** A crash-safe state snapshot was atomically published. *)
+
 val desim_delivery : time:float -> conn:int -> delay:float -> string
 (** Every [stride]-th packet delivery: simulation time and end-to-end
     delay. *)

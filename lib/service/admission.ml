@@ -1,0 +1,757 @@
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+open Ffc_faults
+
+type tier = Full | Incremental | Cached
+
+let tier_label = function
+  | Full -> "full"
+  | Incremental -> "incremental"
+  | Cached -> "cached"
+
+(* Ladder position of a served request, "shed" included; lower is
+   healthier.  Transitions between successive requests are the
+   degrade/recover events. *)
+let rank_of_label = function
+  | "full" -> 0
+  | "incremental" -> 1
+  | "cached" -> 2
+  | "shed" -> 3
+  | _ -> 3
+
+type config = {
+  signal : Signal.t;
+  b_ss : float;
+  epsilon : float;
+  min_rate : float;
+  backlog_incremental : float;
+  backlog_cached : float;
+  backlog_shed : float;
+  cost_full : float;
+  cost_incremental : float;
+  cost_cached : float;
+  cost_shed : float;
+  cost_query : float;
+  timeout : float;
+  retries : int;
+  backoff_base : float;
+  sleep_backoff : bool;
+  seed : int;
+  plan : Fault.plan;
+  sup_retries : int;
+  escape : float;
+}
+
+let default_config =
+  {
+    signal = Signal.linear_fractional;
+    b_ss = 0.5;
+    epsilon = 1e-6;
+    min_rate = 0.;
+    backlog_incremental = 0.5;
+    backlog_cached = 2.;
+    backlog_shed = 8.;
+    cost_full = 0.05;
+    cost_incremental = 0.01;
+    cost_cached = 0.002;
+    cost_shed = 5e-4;
+    cost_query = 0.05;
+    timeout = 0.;
+    retries = 2;
+    backoff_base = 0.05;
+    sleep_backoff = false;
+    seed = 0;
+    plan = Fault.none;
+    sup_retries = 3;
+    escape = 1e12;
+  }
+
+type t = {
+  config : config;
+  controller : Controller.t;
+  net : Network.t;
+  n : int;
+  names : string array;
+  index_of : (string, int) Hashtbl.t;
+  b_ss_per_conn : float array;  (* declared adjuster b_SS, config default *)
+  digest : string;
+  failure_hook : (seq:int -> attempt:int -> bool) option;
+  mutable active : bool array;
+  mutable ss : Vec.t;
+  mutable df : (Mat.Sparse.t * Vec.t) option;  (* DF and its build point *)
+  mutable rho : float;
+  mutable rho_fresh : bool;
+  mutable vclock : float;
+  mutable last_time : float;
+  mutable seq_counter : int;
+  mutable mutation_count : int;
+  mutable last_tier : string;
+  (* Counters, persisted through snapshots in [counter_order]. *)
+  mutable admits : int;
+  mutable rejects : int;
+  mutable sheds : int;
+  mutable removes : int;
+  mutable queries : int;
+  mutable degrades : int;
+  mutable recovers : int;
+  mutable backoffs : int;
+  mutable timeouts : int;
+}
+
+let counter_order =
+  [
+    "admits"; "rejects"; "sheds"; "removes"; "queries"; "degrades"; "recovers";
+    "backoffs"; "timeouts";
+  ]
+
+let counters t =
+  [
+    ("admits", t.admits);
+    ("rejects", t.rejects);
+    ("sheds", t.sheds);
+    ("removes", t.removes);
+    ("queries", t.queries);
+    ("degrades", t.degrades);
+    ("recovers", t.recovers);
+    ("backoffs", t.backoffs);
+    ("timeouts", t.timeouts);
+  ]
+
+(* Everything a snapshot must have been taken under for restore to be
+   sound: the model (topology, adjusters, signal, b_SS), the admission
+   thresholds, the ladder geometry, and the verdict machinery's
+   parameters. *)
+let compute_digest ~config:c ~controller ~net =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Dsl.to_string net);
+  Array.iter
+    (fun a ->
+      Buffer.add_string buf (Rate_adjust.name a);
+      Buffer.add_char buf '\n')
+    (Controller.adjusters controller);
+  List.iter (fun s -> Buffer.add_string buf (s ^ "\n")) (Fault.describe c.plan);
+  Buffer.add_string buf
+    (Printf.sprintf "%s|%h|%h|%h|%h|%h|%h|%h|%h|%h|%h|%h|%h|%d|%h|%d|%d|%h"
+       (Signal.name c.signal) c.b_ss c.epsilon c.min_rate c.backlog_incremental
+       c.backlog_cached c.backlog_shed c.cost_full c.cost_incremental
+       c.cost_cached c.cost_shed c.cost_query c.timeout c.retries
+       c.backoff_base c.seed c.sup_retries c.escape);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let create ?(config = default_config) ?failure_hook controller ~net =
+  let n = Network.num_connections net in
+  if Array.length (Controller.adjusters controller) <> n then
+    invalid_arg "Admission.create: adjuster count does not match the network";
+  if not (config.b_ss > 0. && config.b_ss < 1.) then
+    invalid_arg "Admission.create: b_ss must be in (0,1)";
+  if
+    not
+      (config.backlog_incremental >= 0.
+      && config.backlog_cached >= config.backlog_incremental
+      && config.backlog_shed >= config.backlog_cached)
+  then invalid_arg "Admission.create: ladder thresholds must be nondecreasing";
+  if config.retries < 0 then invalid_arg "Admission.create: retries must be >= 0";
+  Fault.validate config.plan ~net;
+  let names =
+    Array.init n (fun i -> (Network.connection net i).Network.conn_name)
+  in
+  let index_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun i name -> Hashtbl.replace index_of name i) names;
+  let b_ss_per_conn =
+    Array.map
+      (fun a -> Option.value (Rate_adjust.declared_b_ss a) ~default:config.b_ss)
+      (Controller.adjusters controller)
+  in
+  {
+    config;
+    controller;
+    net;
+    n;
+    names;
+    index_of;
+    b_ss_per_conn;
+    digest = compute_digest ~config ~controller ~net;
+    failure_hook;
+    active = Array.make n false;
+    ss = Array.make n 0.;
+    df = None;
+    rho = 0.;
+    rho_fresh = true;
+    vclock = 0.;
+    last_time = 0.;
+    seq_counter = 0;
+    mutation_count = 0;
+    last_tier = "full";
+    admits = 0;
+    rejects = 0;
+    sheds = 0;
+    removes = 0;
+    queries = 0;
+    degrades = 0;
+    recovers = 0;
+    backoffs = 0;
+    timeouts = 0;
+  }
+
+let net t = t.net
+let active t = Array.copy t.active
+let active_count t = Array.fold_left (fun a b -> if b then a + 1 else a) 0 t.active
+let rates t = Array.copy t.ss
+let rho t = t.rho
+let seq t = t.seq_counter
+let mutations t = t.mutation_count
+let vclock t = t.vclock
+let config_digest t = t.digest
+
+let next_seq t =
+  t.seq_counter <- t.seq_counter + 1;
+  t.seq_counter
+
+type reply = { line : string; mutated : bool }
+
+(* ------------------------------------------------------------------ *)
+(* Response rendering                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let json fields =
+  let buf = Buffer.create 192 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Ffc_obs.Jsonf.add_escaped buf k;
+      Buffer.add_char buf ':';
+      Buffer.add_string buf v)
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let jnum = Ffc_obs.Jsonf.float_json
+let jstr = Ffc_obs.Jsonf.string
+let jint = string_of_int
+let jbool = string_of_bool
+let error_line ~seq msg = json [ ("ok", "false"); ("seq", jint seq); ("error", jstr msg) ]
+
+(* ------------------------------------------------------------------ *)
+(* Ladder mechanics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let backlog_at t ~time = Float.max 0. (t.vclock -. time)
+
+let pick_tier t ~backlog =
+  if backlog >= t.config.backlog_cached then Cached
+  else if backlog >= t.config.backlog_incremental then Incremental
+  else Full
+
+let cost_of t = function
+  | Full -> t.config.cost_full
+  | Incremental -> t.config.cost_incremental
+  | Cached -> t.config.cost_cached
+
+let charge t ~time cost = t.vclock <- Float.max t.vclock time +. cost
+
+(* Record the ladder transition implied by serving this request at
+   [label], updating counters and trace. *)
+let note_tier t ~seq label =
+  let prev = rank_of_label t.last_tier and cur = rank_of_label label in
+  if cur > prev then begin
+    t.degrades <- t.degrades + 1;
+    Ffc_obs.Ctx.incr_named "service.degrades";
+    match Ffc_obs.Ctx.tracing () with
+    | Some c ->
+      Ffc_obs.Ctx.emit c
+        (Ffc_obs.Event.svc_degrade ~seq ~from_tier:t.last_tier ~to_tier:label)
+    | None -> ()
+  end
+  else if cur < prev then begin
+    t.recovers <- t.recovers + 1;
+    Ffc_obs.Ctx.incr_named "service.recovers";
+    match Ffc_obs.Ctx.tracing () with
+    | Some c -> Ffc_obs.Ctx.emit c (Ffc_obs.Event.svc_recover ~seq ~tier:label)
+    | None -> ()
+  end;
+  t.last_tier <- label
+
+exception Transient of string
+
+(* Run one solve under the robustness envelope: injected-fault seam,
+   optional wall-clock timeout, bounded retries with deterministic
+   jittered exponential backoff.  The jitter stream is a pure function
+   of (config seed, request seq), so identical request streams back off
+   identically wherever they run. *)
+let solve_with_retry t ~seq f =
+  let rng = Rng.create (t.config.seed lxor (seq * 0x9E3779B9)) in
+  let rec go attempt =
+    let retry () =
+      if attempt >= t.config.retries then None
+      else begin
+        let delay =
+          t.config.backoff_base
+          *. Float.pow 2. (float_of_int attempt)
+          *. (1. +. Rng.uniform rng)
+        in
+        t.backoffs <- t.backoffs + 1;
+        Ffc_obs.Ctx.incr_named "service.backoffs";
+        (match Ffc_obs.Ctx.tracing () with
+        | Some c -> Ffc_obs.Ctx.emit c (Ffc_obs.Event.svc_backoff ~seq ~attempt ~delay)
+        | None -> ());
+        if t.config.sleep_backoff then Unix.sleepf delay;
+        go (attempt + 1)
+      end
+    in
+    match
+      (match t.failure_hook with
+      | Some hook when hook ~seq ~attempt -> raise (Transient "injected solver fault")
+      | Some _ | None -> ());
+      let t0 = if t.config.timeout > 0. then Unix.gettimeofday () else 0. in
+      let r = f () in
+      if t.config.timeout > 0. && Unix.gettimeofday () -. t0 > t.config.timeout
+      then `Timeout
+      else `Ok r
+    with
+    | `Ok r -> Some (r, attempt + 1)
+    | `Timeout ->
+      t.timeouts <- t.timeouts + 1;
+      Ffc_obs.Ctx.incr_named "service.timeouts";
+      retry ()
+    | exception Transient _ -> retry ()
+    | exception Failure _ -> retry ()
+  in
+  go 0
+
+(* The DF cache, rebuilt lazily after a restore (bit-identical to the
+   pre-crash matrix; warm from the result cache when one is installed). *)
+let ensure_df t =
+  match t.df with
+  | Some (df, at) -> (df, at)
+  | None ->
+    let df = Jacobian.of_controller_sparse t.controller ~net:t.net ~at:t.ss in
+    t.df <- Some (df, t.ss);
+    (df, t.ss)
+
+type solved = {
+  s_ss : Vec.t;
+  s_df : (Mat.Sparse.t * Vec.t) option;
+  s_rho : float;
+  s_fresh : bool;
+}
+
+let solve_mask t tier ~mask =
+  let { signal; b_ss; _ } = t.config in
+  match tier with
+  | Full ->
+    let ss' = Steady_state.fair_masked ~signal ~b_ss ~net:t.net ~active:mask in
+    let df' = Jacobian.of_controller_sparse t.controller ~net:t.net ~at:ss' in
+    let rho' = Jacobian.spectral_radius_sparse df' in
+    { s_ss = ss'; s_df = Some (df', ss'); s_rho = rho'; s_fresh = true }
+  | Incremental ->
+    let ss' =
+      Steady_state.update_fair ~signal ~b_ss ~net:t.net ~prev:t.ss
+        ~prev_active:t.active ~active:mask
+    in
+    let prev_df, prev_at = ensure_df t in
+    let df' =
+      Jacobian.update_flow t.controller ~net:t.net ~prev:prev_df ~prev_at ~at:ss'
+    in
+    let rho' = Jacobian.spectral_radius_incremental df' in
+    { s_ss = ss'; s_df = Some (df', ss'); s_rho = rho'; s_fresh = true }
+  | Cached ->
+    let ss' =
+      Steady_state.update_fair ~signal ~b_ss ~net:t.net ~prev:t.ss
+        ~prev_active:t.active ~active:mask
+    in
+    { s_ss = ss'; s_df = t.df; s_rho = t.rho; s_fresh = false }
+
+(* Walk the ladder downward from [tier] until a solve survives the
+   retry envelope; every forced step down is a degrade event. *)
+let solve_degrading t ~seq ~mask tier =
+  let rec go tier =
+    match solve_with_retry t ~seq (fun () -> solve_mask t tier ~mask) with
+    | Some (solved, attempts) -> Some (tier, solved, attempts)
+    | None -> (
+      match tier with
+      | Full -> go Incremental
+      | Incremental -> go Cached
+      | Cached -> None)
+  in
+  go tier
+
+let min_ratio_of t ~mask ~rates =
+  let baselines =
+    Robustness.baselines_masked ~signal:t.config.signal ~b_ss:t.b_ss_per_conn
+      ~net:t.net ~active:mask
+  in
+  let best = ref Float.infinity in
+  Array.iteri
+    (fun i b -> if mask.(i) && b > 0. then best := Float.min !best (rates.(i) /. b))
+    baselines;
+  if Float.is_finite !best then Some !best else None
+
+let commit t ~mask solved =
+  t.active <- mask;
+  t.ss <- solved.s_ss;
+  (match solved.s_df with Some _ as df -> t.df <- df | None -> ());
+  t.rho <- solved.s_rho;
+  t.rho_fresh <- solved.s_fresh;
+  t.mutation_count <- t.mutation_count + 1
+
+let emit_decision t ~seq ~op ?conn ~decision ~tier ?rho:rho_v ?min_ratio ?rate
+    ~backlog () =
+  ignore t;
+  match Ffc_obs.Ctx.tracing () with
+  | Some c ->
+    Ffc_obs.Ctx.emit c
+      (Ffc_obs.Event.svc_decision ~seq ~op ?conn ~decision ~tier ?rho:rho_v
+         ?min_ratio ?rate ~backlog ())
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* add                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let request_time t = function
+  | Some time when Float.is_finite time -> Float.max t.last_time time
+  | Some _ | None -> t.last_time
+
+let find_slot t = function
+  | Some name -> (
+    match Hashtbl.find_opt t.index_of name with
+    | None -> Error (Printf.sprintf "unknown connection %S" name)
+    | Some i -> if t.active.(i) then Error (Printf.sprintf "slot %S is busy" name) else Ok i)
+  | None -> (
+    let rec first i =
+      if i >= t.n then Error "no idle slot"
+      else if t.active.(i) then first (i + 1)
+      else Ok i
+    in
+    first 0)
+
+let handle_add t ~conn ~time ~size =
+  let seq = next_seq t in
+  let time = request_time t time in
+  t.last_time <- time;
+  let backlog = backlog_at t ~time in
+  ignore size;
+  match find_slot t conn with
+  | Error msg ->
+    charge t ~time t.config.cost_shed;
+    t.rejects <- t.rejects + 1;
+    Ffc_obs.Ctx.incr_named "service.rejects";
+    { line = error_line ~seq msg; mutated = false }
+  | Ok slot ->
+    let name = t.names.(slot) in
+    let finish ~decision ~tier ?reason ?rho_v ?min_ratio ?rate ~attempts () =
+      note_tier t ~seq tier;
+      emit_decision t ~seq ~op:"add" ~conn:name ~decision ~tier ?rho:rho_v
+        ?min_ratio ?rate ~backlog ();
+      let fields =
+        [
+          ("ok", "true");
+          ("op", jstr "add");
+          ("seq", jint seq);
+          ("conn", jstr name);
+          ("decision", jstr decision);
+          ("tier", jstr tier);
+        ]
+        @ (match reason with None -> [] | Some r -> [ ("reason", jstr r) ])
+        @ (match rate with None -> [] | Some r -> [ ("rate", jnum r) ])
+        @ (match rho_v with None -> [] | Some r -> [ ("rho", jnum r) ])
+        @ [ ("rho_fresh", jbool t.rho_fresh) ]
+        @ (match min_ratio with None -> [] | Some r -> [ ("min_ratio", jnum r) ])
+        @ [
+            ("active", jint (active_count t));
+            ("attempts", jint attempts);
+            ("backlog", jnum backlog);
+            ("vclock", jnum t.vclock);
+          ]
+      in
+      json fields
+    in
+    if backlog >= t.config.backlog_shed then begin
+      (* Overload ladder floor: discard at ingress without touching the
+         solvers at all. *)
+      charge t ~time t.config.cost_shed;
+      t.sheds <- t.sheds + 1;
+      Ffc_obs.Ctx.incr_named "service.sheds";
+      {
+        line = finish ~decision:"reject" ~tier:"shed" ~reason:"overload" ~attempts:0 ();
+        mutated = false;
+      }
+    end
+    else begin
+      let mask = Array.copy t.active in
+      mask.(slot) <- true;
+      match solve_degrading t ~seq ~mask (pick_tier t ~backlog) with
+      | None ->
+        charge t ~time t.config.cost_cached;
+        t.rejects <- t.rejects + 1;
+        Ffc_obs.Ctx.incr_named "service.rejects";
+        {
+          line =
+            finish ~decision:"reject" ~tier:"cached" ~reason:"solver_failure"
+              ~attempts:(t.config.retries + 1) ();
+          mutated = false;
+        }
+      | Some (tier, solved, attempts) ->
+        charge t ~time (cost_of t tier);
+        let rate = solved.s_ss.(slot) in
+        let min_ratio = min_ratio_of t ~mask ~rates:solved.s_ss in
+        let reason =
+          if rate < t.config.min_rate then Some "min_rate"
+          else if
+            match min_ratio with
+            | Some r -> r < 1. -. t.config.epsilon
+            | None -> false
+          then Some "min_ratio"
+          else if solved.s_rho >= 1. then Some "rho"
+          else None
+        in
+        (match reason with
+        | None ->
+          commit t ~mask solved;
+          t.admits <- t.admits + 1;
+          Ffc_obs.Ctx.incr_named "service.admits"
+        | Some _ ->
+          t.rejects <- t.rejects + 1;
+          Ffc_obs.Ctx.incr_named "service.rejects");
+        let decision = match reason with None -> "admit" | Some _ -> "reject" in
+        {
+          line =
+            finish ~decision ~tier:(tier_label tier) ?reason ~rho_v:solved.s_rho
+              ?min_ratio ~rate ~attempts ();
+          mutated = reason = None;
+        }
+    end
+
+(* ------------------------------------------------------------------ *)
+(* remove                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let handle_remove t ~conn ~time =
+  let seq = next_seq t in
+  let time = request_time t time in
+  t.last_time <- time;
+  let backlog = backlog_at t ~time in
+  match Hashtbl.find_opt t.index_of conn with
+  | None ->
+    charge t ~time t.config.cost_shed;
+    { line = error_line ~seq (Printf.sprintf "unknown connection %S" conn); mutated = false }
+  | Some slot when not t.active.(slot) ->
+    charge t ~time t.config.cost_shed;
+    { line = error_line ~seq (Printf.sprintf "slot %S is not active" conn); mutated = false }
+  | Some slot ->
+    let mask = Array.copy t.active in
+    mask.(slot) <- false;
+    (* Departures are never shed — the flow is gone whether or not we
+       are overloaded; the ladder only decides how much bookkeeping the
+       departure gets. *)
+    let tier0 =
+      if backlog >= t.config.backlog_shed then Cached else pick_tier t ~backlog
+    in
+    let tier, solved, attempts =
+      match solve_degrading t ~seq ~mask tier0 with
+      | Some r -> r
+      | None ->
+        (* Every tier's solver failed: deactivate the slot and zero its
+           rate so the population stays consistent; rho goes stale. *)
+        let ss' = Array.copy t.ss in
+        ss'.(slot) <- 0.;
+        (Cached, { s_ss = ss'; s_df = t.df; s_rho = t.rho; s_fresh = false },
+         t.config.retries + 1)
+    in
+    charge t ~time (cost_of t tier);
+    commit t ~mask solved;
+    t.removes <- t.removes + 1;
+    Ffc_obs.Ctx.incr_named "service.removes";
+    let label = tier_label tier in
+    note_tier t ~seq label;
+    emit_decision t ~seq ~op:"remove" ~conn ~decision:"ok" ~tier:label
+      ~rho:solved.s_rho ~backlog ();
+    {
+      line =
+        json
+          [
+            ("ok", "true");
+            ("op", jstr "remove");
+            ("seq", jint seq);
+            ("conn", jstr conn);
+            ("decision", jstr "ok");
+            ("tier", jstr label);
+            ("rho", jnum solved.s_rho);
+            ("rho_fresh", jbool t.rho_fresh);
+            ("active", jint (active_count t));
+            ("attempts", jint attempts);
+            ("backlog", jnum backlog);
+            ("vclock", jnum t.vclock);
+          ];
+      mutated = true;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The active sub-population as a standalone network, for the
+   supervised verdict: gateways unchanged, idle slots dropped, fault
+   targets remapped onto the surviving indices. *)
+let sub_population t =
+  let sub_index = Array.make t.n (-1) in
+  let order = ref [] in
+  let k = ref 0 in
+  Array.iteri
+    (fun i a ->
+      if a then begin
+        sub_index.(i) <- !k;
+        incr k;
+        order := i :: !order
+      end)
+    t.active;
+  let order = Array.of_list (List.rev !order) in
+  let gateways =
+    Array.init (Network.num_gateways t.net) (fun a -> Network.gateway t.net a)
+  in
+  let connections = Array.map (fun i -> Network.connection t.net i) order in
+  let sub_net = Network.create ~gateways ~connections in
+  let adjusters = Array.map (fun i -> (Controller.adjusters t.controller).(i)) order in
+  let sub_controller =
+    Controller.create ~config:(Controller.config t.controller) ~adjusters
+  in
+  let r0 = Array.map (fun i -> t.ss.(i)) order in
+  let specs =
+    List.filter_map
+      (fun { Fault.kind; conns } ->
+        match conns with
+        | None -> Some { Fault.kind; conns = None }
+        | Some l -> (
+          let l' =
+            List.filter_map
+              (fun i ->
+                if i >= 0 && i < t.n && sub_index.(i) >= 0 then Some sub_index.(i)
+                else None)
+              l
+          in
+          match l' with [] -> None | _ -> Some { Fault.kind; conns = Some l' }))
+      t.config.plan.Fault.specs
+  in
+  let sub_plan = Fault.plan ~seed:t.config.plan.Fault.seed specs in
+  (sub_net, sub_controller, r0, sub_plan)
+
+let handle_query t ~time =
+  let seq = next_seq t in
+  let time = request_time t time in
+  t.last_time <- time;
+  let backlog = backlog_at t ~time in
+  t.queries <- t.queries + 1;
+  Ffc_obs.Ctx.incr_named "service.queries";
+  let degraded = backlog >= t.config.backlog_cached in
+  let verdict =
+    if degraded || active_count t = 0 then None
+    else begin
+      let sub_net, sub_controller, r0, sub_plan = sub_population t in
+      let v =
+        Supervisor.run ~escape:t.config.escape ~retries:t.config.sup_retries
+          ~plan:sub_plan sub_controller ~net:sub_net ~r0
+      in
+      Some (Supervisor.verdict_to_json v)
+    end
+  in
+  charge t ~time (if degraded then t.config.cost_cached else t.config.cost_query);
+  let tier = if degraded then "cached" else t.last_tier in
+  {
+    line =
+      json
+        [
+          ("ok", "true");
+          ("op", jstr "query");
+          ("seq", jint seq);
+          ("active", jint (active_count t));
+          ("rho", jnum t.rho);
+          ("rho_fresh", jbool t.rho_fresh);
+          ("tier", jstr tier);
+          ("backlog", jnum backlog);
+          ("vclock", jnum t.vclock);
+          ("verdict", match verdict with None -> "null" | Some v -> v);
+        ];
+    mutated = false;
+  }
+
+let handle_stats t =
+  let seq = next_seq t in
+  {
+    line =
+      json
+        ([
+           ("ok", "true");
+           ("op", jstr "stats");
+           ("seq", jint seq);
+           ("active", jint (active_count t));
+           ("mutations", jint t.mutation_count);
+           ("tier", jstr t.last_tier);
+           ("rho", jnum t.rho);
+           ("rho_fresh", jbool t.rho_fresh);
+           ("vclock", jnum t.vclock);
+         ]
+        @ List.map (fun (k, v) -> (k, jint v)) (counters t));
+    mutated = false;
+  }
+
+let handle t = function
+  | Protocol.Add { conn; time; size } -> handle_add t ~conn ~time ~size
+  | Protocol.Remove { conn; time } -> handle_remove t ~conn ~time
+  | Protocol.Query { time } -> handle_query t ~time
+  | Protocol.Stats -> handle_stats t
+  | Protocol.Snapshot | Protocol.Shutdown ->
+    invalid_arg "Admission.handle: snapshot/shutdown are server-level requests"
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot integration                                                *)
+(* ------------------------------------------------------------------ *)
+
+let state t =
+  {
+    Snapshot.digest = t.digest;
+    seq = t.seq_counter;
+    mutations = t.mutation_count;
+    vclock = t.vclock;
+    last_time = t.last_time;
+    active = Array.copy t.active;
+    rates = Array.copy t.ss;
+    rho = t.rho;
+    rho_fresh = t.rho_fresh;
+    last_tier = t.last_tier;
+    counters = counters t;
+  }
+
+let restore t (s : Snapshot.state) =
+  if s.Snapshot.digest <> t.digest then
+    Error
+      (Printf.sprintf
+         "snapshot digest %s does not match this configuration (%s)"
+         s.Snapshot.digest t.digest)
+  else if Array.length s.Snapshot.active <> t.n then
+    Error "snapshot population size does not match the topology"
+  else begin
+    t.active <- Array.copy s.Snapshot.active;
+    t.ss <- Array.copy s.Snapshot.rates;
+    t.df <- None;
+    t.rho <- s.Snapshot.rho;
+    t.rho_fresh <- s.Snapshot.rho_fresh;
+    t.vclock <- s.Snapshot.vclock;
+    t.last_time <- s.Snapshot.last_time;
+    t.seq_counter <- s.Snapshot.seq;
+    t.mutation_count <- s.Snapshot.mutations;
+    t.last_tier <- s.Snapshot.last_tier;
+    let lookup k = match List.assoc_opt k s.Snapshot.counters with Some v -> v | None -> 0 in
+    t.admits <- lookup "admits";
+    t.rejects <- lookup "rejects";
+    t.sheds <- lookup "sheds";
+    t.removes <- lookup "removes";
+    t.queries <- lookup "queries";
+    t.degrades <- lookup "degrades";
+    t.recovers <- lookup "recovers";
+    t.backoffs <- lookup "backoffs";
+    t.timeouts <- lookup "timeouts";
+    ignore counter_order;
+    Ok ()
+  end

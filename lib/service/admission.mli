@@ -1,0 +1,143 @@
+(** The online admission-control engine (ROADMAP item 2).
+
+    A long-running gateway service over a fixed universe of connection
+    slots: [add] activates an idle slot (a flow arrives), [remove]
+    deactivates it (the flow's document finished).  Each [add] runs an
+    {e admission test} in the spirit of Musacchio–Walrand ingress
+    discarding — the flow enters only when the network can absorb it:
+
+    - the candidate fair steady state gives the newcomer at least
+      [min_rate] (its minimum useful throughput);
+    - the Theorem-5 min-ratio check passes: every active flow keeps at
+      least [1 − epsilon] of its reservation baseline
+      ({!Ffc_core.Robustness.baselines_masked} against the candidate
+      population);
+    - the candidate steady state is systemically stable: ρ(DF) < 1.
+
+    Rejected flows are discarded at ingress — engine state is
+    untouched.
+
+    {b The degradation ladder.}  Work is accounted on a logical clock:
+    each request carries an arrival time [t] (stamped by the churn
+    driver) and each served tier has a logical cost; the {e backlog}
+    [vclock − t] measures overload.  As it grows the engine degrades,
+    tier by tier, and every response records the tier that served it:
+
+    - {b full}: from-scratch steady state + sparse DF + exact spectral
+      radius (idle default — the most accurate answer);
+    - {b incremental}: O(churn) patches —
+      {!Ffc_core.Steady_state.update_fair} /
+      {!Ffc_core.Jacobian.update_flow} /
+      [spectral_radius_incremental] — bit-identical to full by the PR-6
+      contract, at a fraction of the cost;
+    - {b cached}: exact incremental rates, but ρ(DF) is the cached
+      previous estimate ([rho_fresh = false] in responses) — no Jacobian
+      work at all;
+    - {b shed}: beyond the last threshold an [add] is rejected at
+      ingress without touching the solvers (removals are never shed —
+      departures must always be processed).
+
+    When the backlog drains the ladder steps back up; transitions are
+    counted and traced ([svc.degrade]/[svc.recover]).
+
+    {b Robustness envelope.}  Every solve is wrapped in a per-request
+    wall-clock timeout (optional) and a bounded retry loop with
+    deterministic jittered exponential backoff — the jitter derives from
+    [(seed, seq)], so two runs of the same request stream back off
+    identically.  A tier whose solve keeps failing degrades to the next
+    tier; a request that exhausts the whole ladder is rejected (add) or
+    answered from patched rates alone (remove).
+
+    Determinism contract: with [timeout = 0] (the default) every
+    response line is a pure function of the request stream and the
+    configuration — byte-identical at any [--jobs], across restarts from
+    a snapshot, and across cache cold/warm runs. *)
+
+open Ffc_topology
+open Ffc_core
+open Ffc_faults
+
+type tier = Full | Incremental | Cached
+
+val tier_label : tier -> string
+(** ["full"], ["incremental"], ["cached"]. *)
+
+type config = {
+  signal : Signal.t;
+  b_ss : float;  (** Steady signal pinning the fair steady state. *)
+  epsilon : float;  (** Theorem-5 slack: admit only if min-ratio ≥ 1−ε. *)
+  min_rate : float;  (** Ingress discard: newcomer needs at least this. *)
+  backlog_incremental : float;  (** Backlog at which full → incremental. *)
+  backlog_cached : float;  (** Backlog at which incremental → cached. *)
+  backlog_shed : float;  (** Backlog beyond which adds are shed. *)
+  cost_full : float;  (** Logical service cost per tier... *)
+  cost_incremental : float;
+  cost_cached : float;
+  cost_shed : float;  (** ...including the cost of saying no. *)
+  cost_query : float;
+  timeout : float;  (** Per-solve wall-clock timeout, seconds; 0 = off
+                        (keep 0 in deterministic runs). *)
+  retries : int;  (** Backoff retries per solve. *)
+  backoff_base : float;  (** Base backoff delay, seconds. *)
+  sleep_backoff : bool;  (** Really sleep between retries (daemon mode);
+                             off in tests so retried runs stay fast. *)
+  seed : int;  (** Backoff-jitter seed. *)
+  plan : Fault.plan;  (** Fault plan for [query]'s supervised verdict. *)
+  sup_retries : int;  (** Supervisor damping retries for [query]. *)
+  escape : float;  (** Supervisor divergence threshold for [query]. *)
+}
+
+val default_config : config
+(** linear-fractional signal, b_SS 0.5, ε 1e-6, min_rate 0, ladder at
+    backlog 0.5 / 2 / 8 logical seconds with costs 0.05 / 0.01 / 0.002 /
+    5e-4 (query 0.05), timeout off, 2 retries at base 0.05 s without
+    sleeping, seed 0, empty fault plan. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?failure_hook:(seq:int -> attempt:int -> bool) ->
+  Controller.t ->
+  net:Network.t ->
+  t
+(** A fresh engine over [net]'s slots, all idle.  [failure_hook] is a
+    test seam: returning [true] makes that solve attempt fail as a
+    transient solver error (exercises timeout/backoff/degrade paths). *)
+
+type reply = { line : string; mutated : bool }
+(** One response line (no trailing newline) and whether the request
+    committed a join/leave (drives the server's snapshot cadence). *)
+
+val handle : t -> Protocol.request -> reply
+(** Serve [Add]/[Remove]/[Query]/[Stats].  [Snapshot]/[Shutdown] are the
+    server's business and raise [Invalid_argument] here. *)
+
+val next_seq : t -> int
+(** Claim the next request sequence number (used by the server for the
+    snapshot/shutdown replies it composes itself). *)
+
+(** {2 Introspection} *)
+
+val net : t -> Network.t
+val active : t -> bool array
+val active_count : t -> int
+val rates : t -> float array
+val rho : t -> float
+val seq : t -> int
+val mutations : t -> int
+val vclock : t -> float
+val config_digest : t -> string
+(** Hex fingerprint of everything that must match for a snapshot to be
+    restorable: topology, adjusters, signal, thresholds, costs, seeds,
+    fault plan. *)
+
+(** {2 Snapshot integration} *)
+
+val state : t -> Snapshot.state
+(** The engine's resumable state (digest included). *)
+
+val restore : t -> Snapshot.state -> (unit, string) result
+(** Adopt a snapshot taken by an identically-configured engine; refuses
+    (with a message) on digest or size mismatch.  The Jacobian cache is
+    rebuilt lazily — bit-identically — on first incremental use. *)

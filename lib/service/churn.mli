@@ -1,0 +1,58 @@
+(** Poisson churn driver with general document-size demands.
+
+    Gromoll–Williams style processor-sharing churn: flows arrive in a
+    Poisson stream of rate [rate]; each brings a document whose size is
+    drawn from a general distribution, and departs once the document has
+    been served at the rate the gateway service admitted it at
+    (departure time = arrival + size / admitted rate).  The driver
+    speaks the {!Protocol} line language through a [send] callback, so
+    the same generator exercises an in-process engine (tests), a Unix
+    socket daemon ([ffc drive]), or a scripted replay.
+
+    Everything is drawn from one seeded stream in a fixed order
+    (interarrival, then size, per arrival), so a (seed, rate, arrivals,
+    size distribution) tuple names one exact request sequence — the
+    determinism tests replay it against differently-degraded servers
+    and diff the decision logs. *)
+
+type size_dist =
+  | Const of float
+  | Exp of float  (** mean *)
+  | Uniform of float * float  (** inclusive bounds *)
+  | Pareto of { alpha : float; xmin : float }
+      (** heavy-tailed documents; finite mean needs α > 1. *)
+
+val parse_size_dist : string -> (size_dist, string) result
+(** ["const:2"], ["exp:1.5"], ["uniform:0.5:2"], ["pareto:1.5:0.25"]. *)
+
+val describe_size_dist : size_dist -> string
+(** Round-trips through {!parse_size_dist}. *)
+
+type stats = {
+  arrivals : int;  (** Adds sent. *)
+  admits : int;
+  rejects : int;  (** Admission-test rejections (not overload). *)
+  sheds : int;  (** Overload-ladder ingress discards. *)
+  departures : int;  (** Removes sent. *)
+  queries : int;
+  errors : int;  (** [ok:false] responses (e.g. no idle slot). *)
+  min_min_ratio : float option;
+      (** Tightest Theorem-5 min-ratio over every admitted flow — the
+          churn-storm acceptance asserts it stays ≥ 1 − ε. *)
+  last_time : float;  (** Logical time of the final event. *)
+}
+
+val run :
+  ?query_every:int ->
+  seed:int ->
+  rate:float ->
+  arrivals:int ->
+  size_dist:size_dist ->
+  send:(string -> string) ->
+  unit ->
+  stats
+(** Generate [arrivals] Poisson arrivals and drive them (with the
+    departures they induce, in global time order) through [send].
+    [query_every] > 0 additionally issues a [query] after every that
+    many requests.  Departures still pending when the last arrival has
+    been processed are flushed in order. *)

@@ -1,0 +1,170 @@
+type request =
+  | Add of { conn : string option; time : float option; size : float option }
+  | Remove of { conn : string; time : float option }
+  | Query of { time : float option }
+  | Stats
+  | Snapshot
+  | Shutdown
+
+let split_words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+(* [key=value] fields after the positional part.  Unknown keys are an
+   error: a typo silently ignored would corrupt the decision log. *)
+let parse_fields words ~allowed =
+  let rec go acc = function
+    | [] -> Ok acc
+    | w :: rest -> (
+      match String.index_opt w '=' with
+      | None -> Error (Printf.sprintf "expected key=value, got %S" w)
+      | Some i ->
+        let key = String.sub w 0 i in
+        let value = String.sub w (i + 1) (String.length w - i - 1) in
+        if not (List.mem key allowed) then
+          Error (Printf.sprintf "unknown field %S" key)
+        else if List.mem_assoc key acc then
+          Error (Printf.sprintf "duplicate field %S" key)
+        else
+          match float_of_string_opt value with
+          | Some v when Float.is_finite v -> go ((key, v) :: acc) rest
+          | _ -> Error (Printf.sprintf "bad number for %S: %S" key value))
+  in
+  go [] words
+
+let parse line =
+  match split_words line with
+  | [] -> Error "empty request"
+  | verb :: rest when String.length verb > 0 && verb.[0] = '#' ->
+    ignore rest;
+    Error "comment line"
+  | verb :: rest -> (
+    let fields ?(positional = None) allowed k =
+      match parse_fields rest ~allowed with
+      | Error _ when positional <> None -> (
+        (* First word may be a positional name; retry on the tail. *)
+        match rest with
+        | name :: rest' when not (String.contains name '=') -> (
+          match parse_fields rest' ~allowed with
+          | Ok f -> k (Some name) f
+          | Error e -> Error e)
+        | _ -> (
+          match parse_fields rest ~allowed with
+          | Ok f -> k None f
+          | Error e -> Error e))
+      | Ok f -> k None f
+      | Error e -> Error e
+    in
+    match verb with
+    | "add" ->
+      fields ~positional:(Some `Name) [ "t"; "size" ] (fun name f ->
+          Ok
+            (Add
+               {
+                 conn = name;
+                 time = List.assoc_opt "t" f;
+                 size = List.assoc_opt "size" f;
+               }))
+    | "remove" -> (
+      match rest with
+      | name :: rest' when not (String.contains name '=') -> (
+        match parse_fields rest' ~allowed:[ "t" ] with
+        | Ok f -> Ok (Remove { conn = name; time = List.assoc_opt "t" f })
+        | Error e -> Error e)
+      | _ -> Error "remove needs a connection name")
+    | "query" -> (
+      match parse_fields rest ~allowed:[ "t" ] with
+      | Ok f -> Ok (Query { time = List.assoc_opt "t" f })
+      | Error e -> Error e)
+    | "stats" -> if rest = [] then Ok Stats else Error "stats takes no arguments"
+    | "snapshot" ->
+      if rest = [] then Ok Snapshot else Error "snapshot takes no arguments"
+    | "shutdown" ->
+      if rest = [] then Ok Shutdown else Error "shutdown takes no arguments"
+    | v -> Error (Printf.sprintf "unknown request %S" v))
+
+let render_time = function
+  | None -> ""
+  | Some t -> Printf.sprintf " t=%s" (Ffc_obs.Jsonf.float_rt t)
+
+let render = function
+  | Add { conn; time; size } ->
+    "add"
+    ^ (match conn with None -> "" | Some c -> " " ^ c)
+    ^ render_time time
+    ^ (match size with
+      | None -> ""
+      | Some s -> Printf.sprintf " size=%s" (Ffc_obs.Jsonf.float_rt s))
+  | Remove { conn; time } -> "remove " ^ conn ^ render_time time
+  | Query { time } -> "query" ^ render_time time
+  | Stats -> "stats"
+  | Snapshot -> "snapshot"
+  | Shutdown -> "shutdown"
+
+(* ------------------------------------------------------------------ *)
+(* Response scraping                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Position just after ["key":] in [s], if the key occurs. *)
+let after_key s ~key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let n = String.length s and m = String.length pat in
+  let rec scan i =
+    if i + m > n then None
+    else if String.sub s i m = pat then Some (i + m)
+    else scan (i + 1)
+  in
+  scan 0
+
+let json_string_field s ~key =
+  match after_key s ~key with
+  | None -> None
+  | Some i ->
+    if i >= String.length s || s.[i] <> '"' then None
+    else
+      let buf = Buffer.create 16 in
+      let rec go j =
+        if j >= String.length s then None
+        else
+          match s.[j] with
+          | '"' -> Some (Buffer.contents buf)
+          | '\\' when j + 1 < String.length s ->
+            (* Our own renderer only emits the simple JSON escapes;
+               the scraper handles exactly those. *)
+            (match s.[j + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | c -> Buffer.add_char buf c);
+            go (j + 2)
+          | c ->
+            Buffer.add_char buf c;
+            go (j + 1)
+      in
+      go (i + 1)
+
+let json_number_field s ~key =
+  match after_key s ~key with
+  | None -> None
+  | Some i ->
+    let n = String.length s in
+    let stop = ref i in
+    while
+      !stop < n
+      && (match s.[!stop] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr stop
+    done;
+    if !stop = i then None else float_of_string_opt (String.sub s i (!stop - i))
+
+let json_bool_field s ~key =
+  match after_key s ~key with
+  | None -> None
+  | Some i ->
+    let n = String.length s in
+    if i + 4 <= n && String.sub s i 4 = "true" then Some true
+    else if i + 5 <= n && String.sub s i 5 = "false" then Some false
+    else None

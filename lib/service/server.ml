@@ -1,0 +1,169 @@
+type t = {
+  engine : Admission.t;
+  snapshot_path : string option;
+  snapshot_every : int;
+}
+
+let create ?snapshot_path ?(snapshot_every = 16) engine =
+  if snapshot_every <= 0 then
+    invalid_arg "Server.create: snapshot_every must be positive";
+  { engine; snapshot_path; snapshot_every }
+
+let engine t = t.engine
+
+let recover t =
+  match t.snapshot_path with
+  | None -> Ok false
+  | Some path ->
+    if not (Sys.file_exists path) then Ok false
+    else (
+      match Snapshot.load ~path with
+      | Error e -> Error e
+      | Ok state -> (
+        match Admission.restore t.engine state with
+        | Ok () -> Ok true
+        | Error e -> Error e))
+
+let json fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Ffc_obs.Jsonf.add_escaped buf k;
+      Buffer.add_char buf ':';
+      Buffer.add_string buf v)
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let jstr = Ffc_obs.Jsonf.string
+
+let take_snapshot t ~seq =
+  match t.snapshot_path with
+  | None -> Error "snapshotting is off (no snapshot path configured)"
+  | Some path ->
+    let bytes = Snapshot.write ~path (Admission.state t.engine) in
+    Ffc_obs.Ctx.incr_named "service.snapshots";
+    (match Ffc_obs.Ctx.tracing () with
+    | Some c -> Ffc_obs.Ctx.emit c (Ffc_obs.Event.svc_snapshot ~seq ~bytes)
+    | None -> ());
+    Ok bytes
+
+let handle_line t line =
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '#' then `Silent
+  else
+    match Protocol.parse trimmed with
+    | Error e ->
+      let seq = Admission.next_seq t.engine in
+      `Reply
+        (json
+           [
+             ("ok", "false"); ("seq", string_of_int seq); ("error", jstr e);
+           ])
+    | Ok Protocol.Snapshot -> (
+      let seq = Admission.next_seq t.engine in
+      match take_snapshot t ~seq with
+      | Error e ->
+        `Reply
+          (json
+             [ ("ok", "false"); ("seq", string_of_int seq); ("error", jstr e) ])
+      | Ok bytes ->
+        `Reply
+          (json
+             [
+               ("ok", "true");
+               ("op", jstr "snapshot");
+               ("seq", string_of_int seq);
+               ("bytes", string_of_int bytes);
+               ("mutations", string_of_int (Admission.mutations t.engine));
+             ]))
+    | Ok Protocol.Shutdown ->
+      let seq = Admission.next_seq t.engine in
+      let snapshot_field =
+        (* Best effort: shutdown still succeeds when the final snapshot
+           cannot be written, but the reply says so. *)
+        match t.snapshot_path with
+        | None -> [ ("snapshot", "false") ]
+        | Some _ -> (
+          match take_snapshot t ~seq with
+          | Ok _ -> [ ("snapshot", "true") ]
+          | Error e -> [ ("snapshot", "false"); ("snapshot_error", jstr e) ])
+      in
+      `Quit
+        (json
+           ([
+              ("ok", "true");
+              ("op", jstr "shutdown");
+              ("seq", string_of_int seq);
+              ("served", string_of_int (Admission.seq t.engine));
+            ]
+           @ snapshot_field))
+    | Ok req ->
+      let { Admission.line = reply; mutated } = Admission.handle t.engine req in
+      if
+        mutated && t.snapshot_path <> None
+        && Admission.mutations t.engine mod t.snapshot_every = 0
+      then
+        ignore (take_snapshot t ~seq:(Admission.seq t.engine) : (int, string) result);
+      `Reply reply
+
+let run_script t lines =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | line :: rest -> (
+      match handle_line t line with
+      | `Silent -> go acc rest
+      | `Reply r -> go (r :: acc) rest
+      | `Quit r -> List.rev (r :: acc))
+  in
+  go [] lines
+
+(* ------------------------------------------------------------------ *)
+(* Unix-domain-socket daemon                                           *)
+(* ------------------------------------------------------------------ *)
+
+let serve t ~socket =
+  (* A dead server leaves its socket file behind; replace it.  Refuse
+     to unlink anything that is not a socket — a mistyped path must not
+     delete a real file. *)
+  (match Unix.lstat socket with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink socket
+  | _ -> failwith (Printf.sprintf "%s exists and is not a socket" socket)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* A client vanishing mid-reply must not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close fd;
+      try Unix.unlink socket with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind fd (Unix.ADDR_UNIX socket);
+      Unix.listen fd 8;
+      let shutdown = ref false in
+      while not !shutdown do
+        let client, _ = Unix.accept fd in
+        let ic = Unix.in_channel_of_descr client in
+        let oc = Unix.out_channel_of_descr client in
+        let rec session () =
+          match In_channel.input_line ic with
+          | None -> ()
+          | Some line -> (
+            match handle_line t line with
+            | `Silent -> session ()
+            | `Reply r ->
+              output_string oc (r ^ "\n");
+              flush oc;
+              session ()
+            | `Quit r ->
+              output_string oc (r ^ "\n");
+              flush oc;
+              shutdown := true)
+        in
+        (try session () with
+        | Sys_error _ | End_of_file -> ()
+        | Unix.Unix_error (Unix.EPIPE, _, _) -> ());
+        (try Unix.close client with Unix.Unix_error _ -> ())
+      done)

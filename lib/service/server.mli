@@ -1,0 +1,50 @@
+(** The gateway service server: line dispatch, snapshot cadence, and
+    the Unix-domain-socket daemon loop behind [ffc serve].
+
+    The server wraps an {!Admission} engine with the two requests the
+    engine refuses to own — [snapshot] and [shutdown] — plus crash
+    safety: every [snapshot_every]-th committed mutation is
+    automatically published to [snapshot_path] ({!Snapshot.write}'s
+    atomic rename), shutdown publishes a final snapshot, and
+    {!recover} adopts whatever snapshot a previous incarnation left
+    behind.  Kill the daemon at any point and the restarted server
+    resumes from a state at most [snapshot_every] mutations old; restart
+    immediately after a snapshot and the resumed state is bit-identical
+    (the CI smoke job re-snapshots and diffs).
+
+    The daemon serves one client at a time — admission decisions are
+    inherently serial (each depends on the population the previous one
+    committed), so a single-threaded accept loop {e is} the concurrency
+    model, not a shortcut. *)
+
+type t
+
+val create : ?snapshot_path:string -> ?snapshot_every:int -> Admission.t -> t
+(** [snapshot_every] defaults to 16 mutations; no [snapshot_path] means
+    snapshotting is off ([snapshot] requests report an error). *)
+
+val engine : t -> Admission.t
+
+val recover : t -> (bool, string) result
+(** Restore from [snapshot_path] if a snapshot exists there:
+    [Ok true] restored, [Ok false] nothing to restore, [Error] the file
+    exists but is corrupt or from a different configuration (the server
+    must refuse to start rather than serve from a wrong state). *)
+
+val handle_line : t -> string -> [ `Reply of string | `Silent | `Quit of string ]
+(** Serve one request line: the response to send back ([`Quit] is the
+    final response — shutdown after replying).  Blank lines and [#]
+    comments are [`Silent] (scripts stay annotatable); parse errors get
+    an [ok:false] reply that still consumes a sequence number, so the
+    decision log stays aligned across replays. *)
+
+val run_script : t -> string list -> string list
+(** Feed lines through {!handle_line}, collecting replies; stops after a
+    shutdown line.  The in-process transport used by tests and
+    [ffc serve --script]. *)
+
+val serve : t -> socket:string -> unit
+(** Bind [socket] (an existing stale socket file is replaced), then
+    accept clients one at a time, serving line-by-line until a
+    [shutdown] request or a signal.  Returns after shutdown with the
+    socket file removed. *)

@@ -1,0 +1,164 @@
+type state = {
+  digest : string;
+  seq : int;
+  mutations : int;
+  vclock : float;
+  last_time : float;
+  active : bool array;
+  rates : float array;
+  rho : float;
+  rho_fresh : bool;
+  last_tier : string;
+  counters : (string * int) list;
+}
+
+let magic = "ffc-snapshot 1"
+
+let render s =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf (l ^ "\n")) fmt in
+  let fl = Ffc_obs.Jsonf.float_rt in
+  line "%s" magic;
+  line "digest %s" s.digest;
+  line "seq %d" s.seq;
+  line "mutations %d" s.mutations;
+  line "vclock %s" (fl s.vclock);
+  line "last_time %s" (fl s.last_time);
+  line "active %s"
+    (String.init (Array.length s.active) (fun i -> if s.active.(i) then '1' else '0'));
+  line "rates %s" (String.concat " " (Array.to_list (Array.map fl s.rates)));
+  line "rho %s" (fl s.rho);
+  line "rho_fresh %b" s.rho_fresh;
+  line "last_tier %s" s.last_tier;
+  List.iter (fun (k, v) -> line "counter %s %d" k v) s.counters;
+  line "end";
+  Buffer.contents buf
+
+let write ~path s =
+  let text = render s in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc text;
+      (* Flush to the OS before the rename publishes the file, so a
+         crash between the two cannot expose an empty snapshot. *)
+      flush oc);
+  Unix.rename tmp path;
+  String.length text
+
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | text -> (
+    let lines = String.split_on_char '\n' text in
+    let err fmt = Printf.ksprintf (fun m -> Error ("snapshot: " ^ m)) fmt in
+    let fields = Hashtbl.create 16 in
+    let counters = ref [] in
+    let rec scan saw_end = function
+      | [] | [ "" ] -> if saw_end then Ok () else err "missing end marker"
+      | "end" :: rest -> scan true rest
+      | l :: rest when saw_end ->
+        if l = "" then scan true rest else err "trailing data after end: %S" l
+      | l :: rest -> (
+        match String.index_opt l ' ' with
+        | None -> err "malformed line %S" l
+        | Some i -> (
+          let key = String.sub l 0 i in
+          let value = String.sub l (i + 1) (String.length l - i - 1) in
+          match key with
+          | "counter" -> (
+            match String.index_opt value ' ' with
+            | None -> err "malformed counter line %S" l
+            | Some j -> (
+              let name = String.sub value 0 j in
+              match int_of_string_opt (String.sub value (j + 1) (String.length value - j - 1)) with
+              | Some n ->
+                counters := (name, n) :: !counters;
+                scan saw_end rest
+              | None -> err "bad counter value in %S" l))
+          | _ ->
+            if Hashtbl.mem fields key then err "duplicate field %S" key
+            else begin
+              Hashtbl.add fields key value;
+              scan saw_end rest
+            end))
+    in
+    match lines with
+    | first :: rest when first = magic -> (
+      match scan false rest with
+      | Error e -> Error e
+      | Ok () -> (
+        let get k =
+          match Hashtbl.find_opt fields k with
+          | Some v -> Ok v
+          | None -> err "missing field %S" k
+        in
+        let int_of k v =
+          match int_of_string_opt v with
+          | Some n -> Ok n
+          | None -> err "bad integer for %S" k
+        in
+        let float_of k v =
+          match float_of_string_opt v with
+          | Some x -> Ok x
+          | None -> err "bad float for %S" k
+        in
+        let ( let* ) = Result.bind in
+        let* digest = get "digest" in
+        let* seq = Result.bind (get "seq") (int_of "seq") in
+        let* mutations = Result.bind (get "mutations") (int_of "mutations") in
+        let* vclock = Result.bind (get "vclock") (float_of "vclock") in
+        let* last_time = Result.bind (get "last_time") (float_of "last_time") in
+        let* active_s = get "active" in
+        let* active =
+          let ok = ref true in
+          let a =
+            Array.init (String.length active_s) (fun i ->
+                match active_s.[i] with
+                | '1' -> true
+                | '0' -> false
+                | _ ->
+                  ok := false;
+                  false)
+          in
+          if !ok then Ok a else err "bad active mask %S" active_s
+        in
+        let* rates_s = get "rates" in
+        let* rates =
+          let parts =
+            List.filter (fun s -> s <> "") (String.split_on_char ' ' rates_s)
+          in
+          let floats = List.map float_of_string_opt parts in
+          if List.for_all Option.is_some floats then
+            Ok (Array.of_list (List.map Option.get floats))
+          else err "bad rates vector"
+        in
+        let* rho = Result.bind (get "rho") (float_of "rho") in
+        let* rho_fresh =
+          Result.bind (get "rho_fresh") (fun v ->
+              match bool_of_string_opt v with
+              | Some b -> Ok b
+              | None -> err "bad rho_fresh %S" v)
+        in
+        let* last_tier = get "last_tier" in
+        if Array.length rates <> Array.length active then
+          err "rates/active length mismatch"
+        else
+          Ok
+            {
+              digest;
+              seq;
+              mutations;
+              vclock;
+              last_time;
+              active;
+              rates;
+              rho;
+              rho_fresh;
+              last_tier;
+              counters = List.rev !counters;
+            }))
+    | first :: _ -> err "bad magic %S" first
+    | [] -> err "empty file")

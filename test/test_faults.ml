@@ -344,6 +344,78 @@ let test_e25_jobs_invariant () =
       check_true "robust agrees" (x.E25_stress.robust = y.E25_stress.robust))
     a.E25_stress.rows b.E25_stress.rows
 
+let test_flap_validation () =
+  let net = single 2 in
+  let rejects spec =
+    try
+      Fault.validate (Fault.plan [ spec ]) ~net;
+      false
+    with Invalid_argument _ -> true
+  in
+  check_true "period < 2" (rejects (Fault.on [ 0 ] (Fault.Flap { period = 1; up = 1 })));
+  check_true "up = 0" (rejects (Fault.on [ 0 ] (Fault.Flap { period = 4; up = 0 })));
+  check_true "up >= period" (rejects (Fault.on [ 0 ] (Fault.Flap { period = 4; up = 4 })));
+  check_true "flap + dead on the same connection"
+    (try
+       Fault.validate
+         (Fault.plan
+            [ Fault.on [ 0 ] (Fault.Flap { period = 4; up = 2 });
+              Fault.on [ 0 ] Fault.Dead ])
+         ~net;
+       false
+     with Invalid_argument _ -> true);
+  Fault.validate (Fault.plan [ Fault.on [ 1 ] (Fault.Flap { period = 4; up = 2 }) ]) ~net
+
+let test_flap_cycles_presence () =
+  (* flap(period=6,up=4)@1: present steps 0-3 of each cycle, absent at
+     rate 0 for steps 4-5, then rejoining at its pre-drop rate. *)
+  let n = 2 in
+  let net = single n in
+  let c = controller n in
+  let plan = Fault.plan [ Fault.on [ 1 ] (Fault.Flap { period = 6; up = 4 }) ] in
+  let inj = Injector.create ~plan c ~net in
+  let r0 = [| 0.1; 0.1 |] in
+  let states = drive inj ~r0 ~steps:24 in
+  for k = 1 to 24 do
+    let phase = (k - 1) mod 6 in
+    if phase >= 4 then
+      check_float ~tol:0. (Printf.sprintf "absent at step %d" k) 0. states.(k).(1)
+    else
+      check_true
+        (Printf.sprintf "present at step %d" k)
+        (states.(k).(1) > 0.)
+  done;
+  (* The well-behaved peer keeps evolving and never dies. *)
+  check_true "peer keeps a positive rate" (states.(24).(0) > 0.);
+  check_true "flapping conns count as misbehaving"
+    (Fault.misbehaving plan ~n = [| false; true |]);
+  check_true "describe mentions the flap"
+    (List.exists
+       (fun s -> s = "flap(period=6,up=4)@1")
+       (Fault.describe plan))
+
+let test_verdict_to_json () =
+  let n = 2 in
+  let net = single n in
+  let c = controller n in
+  let v = Supervisor.run c ~net ~r0:[| 0.02; 0.02 |] in
+  let j = Supervisor.verdict_to_json ~label:"unit" v in
+  let has needle =
+    let nl = String.length needle and jl = String.length j in
+    let rec go i = i + nl <= jl && (String.sub j i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_true "labelled" (has "\"label\":\"unit\"");
+  check_true "outcome present" (has "\"outcome\":\"converged\"");
+  check_true "min_ratio present" (has "\"min_ratio\":");
+  check_true "wall time excluded (deterministic)" (not (has "wall"));
+  (* Deterministic: rendering the same verdict twice is byte-identical,
+     and a re-run of the same supervised run renders identically too. *)
+  Alcotest.(check string) "stable render" j (Supervisor.verdict_to_json ~label:"unit" v);
+  let v' = Supervisor.run c ~net ~r0:[| 0.02; 0.02 |] in
+  Alcotest.(check string) "re-run renders identically" j
+    (Supervisor.verdict_to_json ~label:"unit" v')
+
 let test_misbehaving_and_describe () =
   let plan =
     Fault.plan
@@ -363,6 +435,7 @@ let suites =
     ( "faults.plan",
       [
         case "validation" test_plan_validation;
+        case "flap validation" test_flap_validation;
         case "misbehaving and describe" test_misbehaving_and_describe;
       ] );
     ( "faults.injector",
@@ -375,6 +448,7 @@ let suites =
         case "stochastic faults are seed-deterministic" test_stochastic_faults_deterministic;
         case "gateway cut windows and horizon" test_gateway_cut_windows;
         case "out-of-order step rejected" test_out_of_order_step_rejected;
+        case "flap cycles presence deterministically" test_flap_cycles_presence;
       ] );
     ( "faults.supervisor",
       [
@@ -384,6 +458,7 @@ let suites =
         case "damping retries recover a diverging run" test_supervisor_recovers_divergence;
         case "wall budget bounds retries" test_supervisor_wall_budget;
         case "run_map min_steps defers the verdict" test_run_map_min_steps;
+        case "verdict_to_json is deterministic" test_verdict_to_json;
       ] );
     ( "faults.e25",
       [

@@ -37,4 +37,5 @@ let () =
          Test_experiments.suites;
          Test_obs.suites;
          Test_cache.suites;
+         Test_service.suites;
        ])

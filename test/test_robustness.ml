@@ -114,6 +114,36 @@ let prop_fs_criterion_random =
     QCheck2.Gen.(pair (array_size (int_range 1 6) (float_range 0. 2.)) (float_range 0.5 4.))
     (fun (rates, mu) -> Robustness.criterion_holds Service.fair_share ~mu ~rates)
 
+let test_baselines_masked () =
+  let net =
+    Network.create
+      ~gateways:
+        [|
+          { Network.gw_name = "thin"; mu = 1.; latency = 0. };
+          { Network.gw_name = "fat"; mu = 10.; latency = 0. };
+        |]
+      ~connections:
+        [|
+          { Network.conn_name = "both"; path = [ 0; 1 ] };
+          { Network.conn_name = "thin-only"; path = [ 0 ] };
+          { Network.conn_name = "fat-only"; path = [ 1 ] };
+        |]
+  in
+  let b_ss = [| 0.5; 0.5; 0.5 |] in
+  (* An all-true mask is exactly [baselines] — bit-for-bit. *)
+  check_true "all-true mask = baselines"
+    (Robustness.baselines_masked ~signal ~b_ss ~net
+       ~active:[| true; true; true |]
+    = Robustness.baselines ~signal ~b_ss ~net);
+  (* Masking out "thin-only" halves the thin gateway's fan-in, so the
+     surviving sharer's reservation doubles; the inactive slot owes
+     nothing (baseline 0). *)
+  let m =
+    Robustness.baselines_masked ~signal ~b_ss ~net
+      ~active:[| true; false; true |]
+  in
+  check_vec ~tol:1e-12 "fan-in counts only active peers" [| 0.5; 0.; 2.5 |] m
+
 let suites =
   [
     ( "core.robustness",
@@ -124,6 +154,7 @@ let suites =
         case "reservation rate" test_reservation_rate;
         case "multi-gateway baselines" test_baselines_multi_gateway;
         case "heterogeneous baselines" test_heterogeneous_baselines;
+        case "masked baselines follow the active fan-in" test_baselines_masked;
         case "robust-outcome predicate" test_is_robust_outcome;
         case "aggregate starves timid (paper 3.4)" test_aggregate_starves;
         case "individual+FIFO: nonzero but not robust"

@@ -1,0 +1,510 @@
+(* The online gateway service: protocol, admission, degradation ladder,
+   snapshots, churn — and the determinism contract that ties them
+   together (byte-identical decision logs at any --jobs and across
+   snapshot restarts). *)
+
+open Ffc_numerics
+open Ffc_topology
+open Ffc_core
+open Ffc_faults
+open Ffc_service
+open Test_util
+
+let additive = Rate_adjust.additive ~eta:0.1 ~beta:0.5
+
+let make_engine ?(config = Admission.default_config) ?failure_hook ?(n = 3) () =
+  let net = Topologies.single ~mu:1. ~n () in
+  let controller =
+    Controller.homogeneous ~config:Feedback.individual_fair_share
+      ~adjuster:additive ~n
+  in
+  (Admission.create ~config ?failure_hook controller ~net, net)
+
+let scrape_str line key =
+  match Protocol.json_string_field line ~key with
+  | Some v -> v
+  | None -> Alcotest.failf "no %S in %s" key line
+
+let scrape_num line key =
+  match Protocol.json_number_field line ~key with
+  | Some v -> v
+  | None -> Alcotest.failf "no %S in %s" key line
+
+let handle_line engine s =
+  match Protocol.parse s with
+  | Ok req -> (Admission.handle engine req).Admission.line
+  | Error e -> Alcotest.failf "bad request %S: %s" s e
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [
+      Protocol.Add { conn = None; time = None; size = None };
+      Protocol.Add { conn = Some "conn7"; time = Some 1.25; size = Some 0.125 };
+      Protocol.Add { conn = None; time = Some 3.5e-3; size = None };
+      Protocol.Remove { conn = "c"; time = Some 2. };
+      Protocol.Remove { conn = "c"; time = None };
+      Protocol.Query { time = Some 9. };
+      Protocol.Query { time = None };
+      Protocol.Stats;
+      Protocol.Snapshot;
+      Protocol.Shutdown;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.parse (Protocol.render r) with
+      | Ok r' -> check_true (Protocol.render r) (r = r')
+      | Error e -> Alcotest.failf "%s: %s" (Protocol.render r) e)
+    reqs;
+  let rejects line =
+    match Protocol.parse line with Ok _ -> false | Error _ -> true
+  in
+  check_true "unknown verb" (rejects "frobnicate");
+  check_true "empty" (rejects "");
+  check_true "bad number" (rejects "add t=abc");
+  check_true "unknown field" (rejects "add bw=3");
+  check_true "duplicate field" (rejects "add t=1 t=2");
+  check_true "remove needs a name" (rejects "remove t=1");
+  check_true "stats takes nothing" (rejects "stats now");
+  check_true "non-finite time" (rejects "query t=nan")
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_admission_matches_fair_masked () =
+  let engine, net = make_engine ~n:3 () in
+  let r1 = handle_line engine "add t=0.1" in
+  Alcotest.(check string) "admitted" "admit" (scrape_str r1 "decision");
+  let r2 = handle_line engine "add t=0.2" in
+  let r3 = handle_line engine "add t=0.3" in
+  Alcotest.(check string) "admitted" "admit" (scrape_str r2 "decision");
+  Alcotest.(check string) "admitted" "admit" (scrape_str r3 "decision");
+  Alcotest.(check int) "all three active" 3 (Admission.active_count engine);
+  (* The committed rates are bit-for-bit the masked fair steady state. *)
+  let expected =
+    Steady_state.fair_masked ~signal:Signal.linear_fractional ~b_ss:0.5 ~net
+      ~active:[| true; true; true |]
+  in
+  check_true "rates exactly fair_masked" (Admission.rates engine = expected);
+  check_true "admit keeps the Theorem-5 floor"
+    (scrape_num r3 "min_ratio" >= 1. -. 1e-6);
+  check_true "stable" (scrape_num r3 "rho" < 1.);
+  (* A full universe rejects the next arrival without state change. *)
+  let r4 = handle_line engine "add t=0.4" in
+  check_true "no slot is an error" (contains r4 "no idle slot");
+  Alcotest.(check int) "population unchanged" 3 (Admission.active_count engine);
+  (* Departure frees the slot and the population resolves again. *)
+  let r5 = handle_line engine "remove conn1 t=0.5" in
+  Alcotest.(check string) "removed" "ok" (scrape_str r5 "decision");
+  let expected' =
+    Steady_state.fair_masked ~signal:Signal.linear_fractional ~b_ss:0.5 ~net
+      ~active:[| true; false; true |]
+  in
+  check_true "rates re-resolved exactly" (Admission.rates engine = expected');
+  let r6 = handle_line engine "remove conn1 t=0.6" in
+  check_true "double remove is an error" (contains r6 "not active")
+
+let test_admission_min_rate_reject () =
+  let config = { Admission.default_config with min_rate = 0.3 } in
+  let engine, _ = make_engine ~config ~n:3 () in
+  let r1 = handle_line engine "add t=0" in
+  Alcotest.(check string) "first flow fits" "admit" (scrape_str r1 "decision");
+  (* A second flow would halve both rates to 0.25 < 0.3: discard at
+     ingress, population untouched. *)
+  let r2 = handle_line engine "add t=0" in
+  Alcotest.(check string) "rejected" "reject" (scrape_str r2 "decision");
+  Alcotest.(check string) "because of min_rate" "min_rate" (scrape_str r2 "reason");
+  Alcotest.(check int) "still one active" 1 (Admission.active_count engine)
+
+let test_snapshot_shutdown_are_server_level () =
+  let engine, _ = make_engine () in
+  Alcotest.check_raises "snapshot refused"
+    (Invalid_argument
+       "Admission.handle: snapshot/shutdown are server-level requests")
+    (fun () -> ignore (Admission.handle engine Protocol.Snapshot))
+
+(* ------------------------------------------------------------------ *)
+(* Degradation ladder                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ladder_config =
+  {
+    Admission.default_config with
+    backlog_incremental = 0.25;
+    backlog_cached = 0.5;
+    backlog_shed = 0.75;
+    cost_full = 0.3;
+    cost_incremental = 0.2;
+    cost_cached = 0.15;
+  }
+
+let test_ladder_degrades_and_recovers () =
+  let engine, net = make_engine ~config:ladder_config ~n:8 () in
+  (* A burst all stamped t=0: each service charge raises the backlog the
+     next request sees, so the tiers step down deterministically. *)
+  let tiers =
+    List.map
+      (fun _ -> scrape_str (handle_line engine "add t=0") "tier")
+      [ (); (); (); (); () ]
+  in
+  Alcotest.(check (list string))
+    "full > incremental > cached > cached > shed"
+    [ "full"; "incremental"; "cached"; "cached"; "shed" ]
+    tiers;
+  (* The shed add was rejected at ingress: only 4 flows entered. *)
+  Alcotest.(check int) "shed not admitted" 4 (Admission.active_count engine);
+  (* Degraded tiers still commit exact rates: bit-for-bit the masked
+     fair steady state of the population they admitted. *)
+  let expected =
+    Steady_state.fair_masked ~signal:Signal.linear_fractional ~b_ss:0.5 ~net
+      ~active:(Array.init 8 (fun i -> i < 4))
+  in
+  check_true "cached-tier rates still exact" (Admission.rates engine = expected);
+  (* Once the logical clock drains, service steps back up to full. *)
+  let late = handle_line engine "add t=100" in
+  Alcotest.(check string) "recovered to full" "full" (scrape_str late "tier");
+  Alcotest.(check string) "admitted" "admit" (scrape_str late "decision");
+  let stats = handle_line engine "stats" in
+  check_true "degrades counted" (scrape_num stats "degrades" >= 2.);
+  check_true "recovery counted" (scrape_num stats "recovers" >= 1.);
+  check_true "shed counted" (scrape_num stats "sheds" >= 1.)
+
+let test_cached_tier_flags_stale_rho () =
+  let engine, _ = make_engine ~config:ladder_config ~n:8 () in
+  ignore (handle_line engine "add t=0");
+  ignore (handle_line engine "add t=0");
+  let cached = handle_line engine "add t=0" in
+  Alcotest.(check string) "third lands on cached" "cached" (scrape_str cached "tier");
+  Alcotest.(check (option bool))
+    "stale rho flagged" (Some false)
+    (Protocol.json_bool_field cached ~key:"rho_fresh");
+  let fresh = handle_line engine "add t=100" in
+  Alcotest.(check (option bool))
+    "full tier is fresh again" (Some true)
+    (Protocol.json_bool_field fresh ~key:"rho_fresh")
+
+(* ------------------------------------------------------------------ *)
+(* Robustness envelope: retries, backoff, solver failure               *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_retry_deterministic () =
+  (* First attempt of every even-seq solve fails transiently: the retry
+     must succeed, the reply must record 2 attempts, and two engines
+     with the same hook must produce byte-identical logs. *)
+  let hook ~seq ~attempt = attempt = 0 && seq mod 2 = 0 in
+  let script = [ "add t=0.1"; "add t=0.2"; "query t=0.3"; "remove conn0 t=0.4" ] in
+  let run () =
+    let engine, _ = make_engine ~failure_hook:hook ~n:4 () in
+    let lines = List.map (handle_line engine) script in
+    (lines, handle_line engine "stats")
+  in
+  let lines_a, stats_a = run () in
+  let lines_b, stats_b = run () in
+  Alcotest.(check (list string)) "byte-identical decision log" lines_a lines_b;
+  Alcotest.(check string) "byte-identical counters" stats_a stats_b;
+  check_true "backoffs happened" (scrape_num stats_a "backoffs" >= 1.);
+  let retried = List.nth lines_a 1 in
+  Alcotest.(check string) "seq 2 retried" "2" (Printf.sprintf "%g" (scrape_num retried "attempts"));
+  Alcotest.(check string) "still admitted" "admit" (scrape_str retried "decision")
+
+let test_solver_failure_degrades_then_rejects () =
+  (* Every solve attempt for seq 2 fails: the add must walk the whole
+     ladder, give up, and reject without corrupting state. *)
+  let hook ~seq ~attempt:_ = seq = 2 in
+  let engine, _ = make_engine ~failure_hook:hook ~n:4 () in
+  let r1 = handle_line engine "add t=0.1" in
+  Alcotest.(check string) "first add fine" "admit" (scrape_str r1 "decision");
+  let r2 = handle_line engine "add t=0.2" in
+  Alcotest.(check string) "rejected" "reject" (scrape_str r2 "decision");
+  Alcotest.(check string) "reason: solver" "solver_failure" (scrape_str r2 "reason");
+  Alcotest.(check int) "population intact" 1 (Admission.active_count engine);
+  (* The next request works again. *)
+  let r3 = handle_line engine "add t=0.3" in
+  Alcotest.(check string) "back to normal" "admit" (scrape_str r3 "decision")
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across --jobs                                           *)
+(* ------------------------------------------------------------------ *)
+
+let determinism_script =
+  [
+    "# comment lines are silent";
+    "add t=0.05 size=2";
+    "add t=0.1 size=1";
+    "add t=0.18";
+    "query t=0.2";
+    "remove conn1 t=0.3";
+    "add t=0.32 size=0.5";
+    "add t=0.4";
+    "stats";
+    "query t=0.5";
+    "remove conn0 t=0.6";
+    "add t=0.61";
+    "stats";
+  ]
+
+let run_script_fresh () =
+  let engine, _ = make_engine ~n:4 () in
+  let server = Server.create engine in
+  Server.run_script server determinism_script
+
+let test_jobs_invariant_decision_log () =
+  let saved = Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs saved)
+    (fun () ->
+      Pool.set_default_jobs 1;
+      let narrow = run_script_fresh () in
+      Pool.set_default_jobs 4;
+      let wide = run_script_fresh () in
+      Alcotest.(check (list string))
+        "decision log byte-identical at jobs 1 vs 4" narrow wide)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restart                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_state_roundtrip () =
+  let path = Filename.temp_file "ffc_snap" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let engine, _ = make_engine ~n:4 () in
+      ignore (handle_line engine "add t=0.1");
+      ignore (handle_line engine "add t=0.2");
+      ignore (handle_line engine "remove conn0 t=0.3");
+      let state = Admission.state engine in
+      let bytes = Snapshot.write ~path state in
+      Alcotest.(check int) "write returns the size" bytes
+        (String.length (Snapshot.render state));
+      match Snapshot.load ~path with
+      | Error e -> Alcotest.fail e
+      | Ok loaded ->
+        check_true "round-trip is exact" (loaded = state);
+        Alcotest.(check string)
+          "re-render is byte-identical"
+          (Snapshot.render state) (Snapshot.render loaded))
+
+let test_snapshot_corruption_detected () =
+  let path = Filename.temp_file "ffc_snap" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let engine, _ = make_engine ~n:2 () in
+      ignore (handle_line engine "add t=0.1");
+      let text = Snapshot.render (Admission.state engine) in
+      let write s = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s) in
+      let fails s =
+        write s;
+        match Snapshot.load ~path with Ok _ -> false | Error _ -> true
+      in
+      check_true "bad magic" (fails ("junk\n" ^ text));
+      check_true "truncated (no end marker)"
+        (fails (String.sub text 0 (String.length text - 5)));
+      check_true "garbage" (fails "not a snapshot at all\n");
+      (* A snapshot from a differently-configured engine is refused. *)
+      write text;
+      let other_config = { Admission.default_config with b_ss = 0.25 } in
+      let other, _ = make_engine ~config:other_config ~n:2 () in
+      (match Snapshot.load ~path with
+      | Error e -> Alcotest.fail e
+      | Ok s -> (
+        match Admission.restore other s with
+        | Ok () -> Alcotest.fail "digest mismatch must be refused"
+        | Error e -> check_true "mentions the digest" (contains e "digest"))))
+
+let test_restart_resumes_bit_identically () =
+  let path = Filename.temp_file "ffc_snap" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let prefix =
+        [ "add t=0.05 size=2"; "add t=0.1"; "add t=0.15"; "remove conn1 t=0.2" ]
+      in
+      let suffix =
+        [ "add t=0.25"; "query t=0.3"; "remove conn0 t=0.35"; "add t=0.4"; "stats" ]
+      in
+      let engine_a, _ = make_engine ~n:4 () in
+      let server_a = Server.create ~snapshot_path:path engine_a in
+      ignore (Server.run_script server_a prefix);
+      ignore (Server.run_script server_a [ "snapshot" ]);
+      let pre_kill = Snapshot.render (Admission.state engine_a) in
+      (* "Crash": a brand-new engine recovers from the file the first
+         incarnation left behind. *)
+      let engine_b, _ = make_engine ~n:4 () in
+      let server_b = Server.create ~snapshot_path:path engine_b in
+      (match Server.recover server_b with
+      | Ok true -> ()
+      | Ok false -> Alcotest.fail "snapshot not found"
+      | Error e -> Alcotest.fail e);
+      (* Recovered state is bit-identical to the pre-kill snapshot... *)
+      Alcotest.(check string)
+        "re-snapshot reproduces the file byte-for-byte" pre_kill
+        (Snapshot.render (Admission.state engine_b));
+      (* ...and the two incarnations serve the suffix identically. *)
+      let replies_a = Server.run_script server_a suffix in
+      let replies_b = Server.run_script server_b suffix in
+      Alcotest.(check (list string))
+        "post-restart decision log byte-identical" replies_a replies_b)
+
+(* ------------------------------------------------------------------ *)
+(* Server dispatch                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_server_dispatch () =
+  let engine, _ = make_engine ~n:2 () in
+  let server = Server.create engine in
+  (match Server.handle_line server "   " with
+  | `Silent -> ()
+  | _ -> Alcotest.fail "blank lines are silent");
+  (match Server.handle_line server "# hello" with
+  | `Silent -> ()
+  | _ -> Alcotest.fail "comments are silent");
+  (* Parse errors still consume a sequence number, keeping replayed
+     logs aligned. *)
+  (match Server.handle_line server "bogus" with
+  | `Reply r ->
+    check_true "error reply" (contains r "\"ok\":false");
+    check_float ~tol:0. "seq consumed" 1. (scrape_num r "seq")
+  | _ -> Alcotest.fail "parse errors reply");
+  (match Server.handle_line server "snapshot" with
+  | `Reply r -> check_true "snapshot off" (contains r "snapshotting is off")
+  | _ -> Alcotest.fail "snapshot without path is an error reply");
+  let replies =
+    Server.run_script server [ "add t=1"; "shutdown"; "add t=2"; "stats" ]
+  in
+  Alcotest.(check int) "script stops at shutdown" 2 (List.length replies);
+  check_true "shutdown acknowledged"
+    (contains (List.nth replies 1) "\"op\":\"shutdown\"")
+
+(* ------------------------------------------------------------------ *)
+(* Churn                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_size_dist_parse () =
+  List.iter
+    (fun spec ->
+      match Churn.parse_size_dist spec with
+      | Ok d -> Alcotest.(check string) spec spec (Churn.describe_size_dist d)
+      | Error e -> Alcotest.failf "%s: %s" spec e)
+    [ "const:2"; "exp:1.5"; "uniform:0.5:2"; "pareto:1.5:0.25" ];
+  let rejects s =
+    match Churn.parse_size_dist s with Ok _ -> false | Error _ -> true
+  in
+  check_true "negative mean" (rejects "exp:-1");
+  check_true "inverted bounds" (rejects "uniform:2:1");
+  check_true "unknown" (rejects "zipf:2")
+
+let storm_config =
+  {
+    Admission.default_config with
+    backlog_incremental = 0.05;
+    backlog_cached = 0.1;
+    backlog_shed = 0.2;
+    (* Every tier's logical cost exceeds the mean interarrival (1/40),
+       so sustained arrivals must walk the whole ladder down to shed. *)
+    cost_full = 0.08;
+    cost_incremental = 0.05;
+    cost_cached = 0.03;
+    plan = Fault.plan [ Fault.everywhere (Fault.Flap { period = 6; up = 4 }) ];
+  }
+
+let run_storm () =
+  let engine, _ = make_engine ~config:storm_config ~n:12 () in
+  let server = Server.create engine in
+  let log = Buffer.create 4096 in
+  let send line =
+    match Server.handle_line server line with
+    | `Reply r | `Quit r ->
+      Buffer.add_string log (r ^ "\n");
+      r
+    | `Silent -> ""
+  in
+  let stats =
+    Churn.run ~query_every:16 ~seed:11 ~rate:40. ~arrivals:120
+      ~size_dist:(Churn.Exp 0.5) ~send ()
+  in
+  (stats, engine, send, Buffer.contents log)
+
+let test_churn_storm_acceptance () =
+  let stats, engine, send, log = run_storm () in
+  Alcotest.(check int) "all arrivals sent" 120 stats.Churn.arrivals;
+  check_true "some flows admitted" (stats.Churn.admits > 10);
+  check_true "overload shed or errored"
+    (stats.Churn.sheds + stats.Churn.errors > 0);
+  (* Every admitted flow satisfied the Theorem-5 min-ratio floor. *)
+  (match stats.Churn.min_min_ratio with
+  | None -> Alcotest.fail "no admissions recorded a min-ratio"
+  | Some r -> check_true "min-ratio floor held under storm" (r >= 1. -. 1e-6));
+  (* Every admitted document eventually departed: the churn driver
+     flushed its pending removals, so the universe drains to empty. *)
+  Alcotest.(check int) "population drains" 0 (Admission.active_count engine);
+  (* The overload really exercised the ladder. *)
+  let stats_line = send "stats" in
+  check_true "ladder degraded under storm" (scrape_num stats_line "degrades" >= 1.);
+  check_true "ladder recovered as backlog drained"
+    (scrape_num stats_line "recovers" >= 1.);
+  (* Degraded answers are flagged with their tier. *)
+  check_true "cached-tier answers flagged" (contains log "\"tier\":\"cached\"");
+  (* A calm-time query gets a full supervised verdict (the flap plan
+     remaps onto the active sub-population). *)
+  ignore (send "add t=1000" : string);
+  ignore (send "add t=1000.1" : string);
+  let q = send "query t=1001" in
+  check_true "supervised verdict present" (contains q "\"outcome\":");
+  check_true "verdict carries baselines" (contains q "\"baselines\":")
+
+let test_churn_storm_deterministic () =
+  let _, _, _, log_a = run_storm () in
+  let _, _, _, log_b = run_storm () in
+  Alcotest.(check string) "storm decision log byte-identical" log_a log_b
+
+let suites =
+  [
+    ( "service.protocol",
+      [
+        case "request round-trip and rejects" test_protocol_roundtrip;
+        case "size distribution parse" test_size_dist_parse;
+      ] );
+    ( "service.admission",
+      [
+        case "admissions match fair_masked bit-for-bit" test_admission_matches_fair_masked;
+        case "min_rate ingress discard" test_admission_min_rate_reject;
+        case "snapshot/shutdown are server-level" test_snapshot_shutdown_are_server_level;
+      ] );
+    ( "service.ladder",
+      [
+        case "degrades and recovers deterministically" test_ladder_degrades_and_recovers;
+        case "cached tier flags stale rho" test_cached_tier_flags_stale_rho;
+      ] );
+    ( "service.envelope",
+      [
+        case "backoff retries are deterministic" test_backoff_retry_deterministic;
+        case "solver failure degrades then rejects" test_solver_failure_degrades_then_rejects;
+      ] );
+    ( "service.determinism",
+      [
+        case "decision log jobs-invariant" test_jobs_invariant_decision_log;
+        case "churn storm byte-identical" test_churn_storm_deterministic;
+      ] );
+    ( "service.snapshot",
+      [
+        case "state round-trip" test_snapshot_state_roundtrip;
+        case "corruption and digest mismatch refused" test_snapshot_corruption_detected;
+        case "restart resumes bit-identically" test_restart_resumes_bit_identically;
+      ] );
+    ( "service.server",
+      [ case "dispatch semantics" test_server_dispatch ] );
+    ( "service.churn",
+      [ case "storm acceptance" test_churn_storm_acceptance ] );
+  ]
