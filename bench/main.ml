@@ -465,7 +465,33 @@ let obs_overhead_comparison () =
         Ffc_desim.Netsim.run ~net:desim_net ~rates:[| 0.3; 0.3 |]
           ~discipline:Ffc_desim.Netsim.Fs_priority ~seed:3 ~horizon:1000. ())
   in
-  [ step; desim ]
+  (* The span-instrumented solve pipeline (steady.fair_masked + jac.sparse
+     + eigen spans).  The masks alternate so each iteration misses the
+     one-slot memos and really solves — measuring the per-solve span
+     guard, not a memo hit. *)
+  let solve =
+    let net = Topologies.parking_lot ~hops:4 () in
+    let np = Network.num_connections net in
+    let c =
+      Controller.homogeneous ~config:Feedback.individual_fair_share
+        ~adjuster:Scenario.standard_adjuster ~n:np
+    in
+    let masks =
+      [| Array.make np true; Array.init np (fun i -> i <> np - 1) |]
+    in
+    let k = ref 0 in
+    obs_overhead_one ~name:"solve pipeline (fair+DF+rho, parking lot)"
+      ~iters:50 ~rounds:101 (fun () ->
+        let mask = masks.(!k land 1) in
+        incr k;
+        let ss =
+          Steady_state.fair_masked ~signal:Signal.linear_fractional ~b_ss:0.5
+            ~net ~active:mask
+        in
+        let df = Jacobian.of_controller_sparse c ~net ~at:ss in
+        ignore (Jacobian.spectral_radius_sparse df : float))
+  in
+  [ step; desim; solve ]
 
 (* Result cache: cold vs warm full experiment sweeps against a scratch
    cache directory.  The warm sweep must be a 100% hit replay with

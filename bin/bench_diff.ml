@@ -1,0 +1,144 @@
+(* The perf-regression comparator behind `ffc bench diff`.
+
+   BENCH.json's "kernels" section is one flat JSON object per line,
+   each carrying "name" and "ns_per_run" — exactly the fields the
+   Jsonf scrapers read, so no JSON parser dependency.  Other sections
+   ("scans", "obs", "sparse", ...) have no "ns_per_run" field and fall
+   through the scrape, which is what makes line-by-line scanning of
+   the whole file safe. *)
+
+type kernel = { ns_per_run : float }
+
+let parse_file path =
+  let text =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error e -> Exit_code.fail e
+  in
+  let rows = ref [] in
+  List.iter
+    (fun line ->
+      match
+        ( Ffc_obs.Jsonf.string_field line ~key:"name",
+          Ffc_obs.Jsonf.number_field line ~key:"ns_per_run" )
+      with
+      | Some name, Some ns -> rows := (name, { ns_per_run = ns }) :: !rows
+      | _ -> ())
+    (String.split_on_char '\n' text);
+  if !rows = [] then
+    Exit_code.fail (Printf.sprintf "%s: no kernel rows (name + ns_per_run)" path);
+  List.rev !rows
+
+(* Tolerances are percentages of allowed slowdown.  A spec is either a
+   bare "PCT" (the default for every kernel) or "NAME=PCT" — split on
+   the {e last} '=' because kernel names themselves contain '='
+   (e.g. "ffc/desim 1000 time units (FS, rho=0.6)"). *)
+type tolerances = { default : float; per_kernel : (string * float) list }
+
+let parse_tolerances specs =
+  let parse_pct spec s =
+    match float_of_string_opt s with
+    | Some p when Float.is_finite p && p >= 0. -> p
+    | _ -> Exit_code.fail (Printf.sprintf "bad tolerance %S" spec)
+  in
+  List.fold_left
+    (fun acc spec ->
+      match String.rindex_opt spec '=' with
+      | None -> { acc with default = parse_pct spec spec }
+      | Some i ->
+        let name = String.sub spec 0 i in
+        let pct = String.sub spec (i + 1) (String.length spec - i - 1) in
+        { acc with per_kernel = (name, parse_pct spec pct) :: acc.per_kernel })
+    { default = 100.; per_kernel = [] }
+    specs
+
+let tolerance_for tol name =
+  match List.assoc_opt name tol.per_kernel with
+  | Some p -> p
+  | None -> tol.default
+
+type verdict = Ok_within | Regression | Improved | Added | Removed
+
+let verdict_label = function
+  | Ok_within -> "ok"
+  | Regression -> "REGRESSION"
+  | Improved -> "improved"
+  | Added -> "added"
+  | Removed -> "REMOVED"
+
+type row = {
+  r_name : string;
+  r_old : float option;
+  r_new : float option;
+  r_delta_pct : float option;
+  r_tol : float;
+  r_verdict : verdict;
+}
+
+let diff ~tol old_rows new_rows =
+  let names =
+    List.sort_uniq compare (List.map fst old_rows @ List.map fst new_rows)
+  in
+  List.map
+    (fun name ->
+      let r_tol = tolerance_for tol name in
+      let r_old = Option.map (fun k -> k.ns_per_run) (List.assoc_opt name old_rows) in
+      let r_new = Option.map (fun k -> k.ns_per_run) (List.assoc_opt name new_rows) in
+      let r_delta_pct, r_verdict =
+        match (r_old, r_new) with
+        | Some o, Some n when o > 0. ->
+          let d = (n -. o) /. o *. 100. in
+          ( Some d,
+            if d > r_tol then Regression
+            else if d < -.r_tol then Improved
+            else Ok_within )
+        | Some _, Some _ -> (None, Ok_within)
+        | Some _, None -> (None, Removed)
+        | None, Some _ -> (None, Added)
+        | None, None -> (None, Ok_within)
+      in
+      { r_name = name; r_old; r_new; r_delta_pct; r_tol; r_verdict })
+    names
+
+let failed rows =
+  List.exists (fun r -> r.r_verdict = Regression || r.r_verdict = Removed) rows
+
+let ns_cell = function None -> "-" | Some ns -> Printf.sprintf "%.0f" ns
+
+let render rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-58s %12s %12s %9s %6s  %s\n" "kernel" "old ns/run"
+       "new ns/run" "delta" "tol" "verdict");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-58s %12s %12s %9s %5.0f%%  %s\n" r.r_name
+           (ns_cell r.r_old) (ns_cell r.r_new)
+           (match r.r_delta_pct with
+           | None -> "-"
+           | Some d -> Printf.sprintf "%+.1f%%" d)
+           r.r_tol
+           (verdict_label r.r_verdict)))
+    rows;
+  let worst =
+    List.fold_left
+      (fun acc r ->
+        match r.r_delta_pct with Some d -> Float.max acc d | None -> acc)
+      Float.neg_infinity rows
+  in
+  let regressions =
+    List.length (List.filter (fun r -> r.r_verdict = Regression) rows)
+  in
+  let removed = List.length (List.filter (fun r -> r.r_verdict = Removed) rows) in
+  Buffer.add_string buf
+    (Printf.sprintf "%d kernels compared: %d regression(s), %d removed%s\n"
+       (List.length rows) regressions removed
+       (if Float.is_finite worst then Printf.sprintf ", worst delta %+.1f%%" worst
+        else ""));
+  Buffer.contents buf
+
+let run ~old_path ~new_path ~tolerance_specs =
+  let tol = parse_tolerances tolerance_specs in
+  let rows = diff ~tol (parse_file old_path) (parse_file new_path) in
+  print_string (render rows);
+  if failed rows then Exit_code.regression else Exit_code.ok

@@ -1,0 +1,17 @@
+(** The comparator behind [ffc bench diff OLD.json NEW.json].
+
+    Scrapes the per-kernel ["name"]/["ns_per_run"] rows out of two
+    BENCH.json files (one flat JSON object per line — no JSON parser
+    needed) and compares them under per-kernel slowdown tolerances. *)
+
+val run :
+  old_path:string -> new_path:string -> tolerance_specs:string list -> int
+(** Print the delta table and return the process exit code:
+    {!Exit_code.ok}, or {!Exit_code.regression} when any kernel slowed
+    down past its tolerance or disappeared from [new_path].
+
+    Each tolerance spec is either ["PCT"] (the default allowed slowdown
+    percentage for every kernel, initially 100) or ["NAME=PCT"] for one
+    kernel — split on the {e last} ['='], since kernel names may contain
+    ['='].  A kernel that {e speeds up} past its tolerance is reported
+    as improved but never fails the diff. *)

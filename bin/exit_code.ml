@@ -3,6 +3,7 @@ let usage = 1
 let diverged = 3
 let no_convergence = 4
 let service_failure = 5
+let regression = 6
 
 let fail_with code msg =
   Printf.eprintf "ffc: %s\n" msg;

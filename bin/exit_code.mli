@@ -4,13 +4,15 @@
     the CLI's public interface: 0 success, 1 usage or input error
     (cmdliner also uses 1 for its own parse errors), 3 a supervised or
     analyzed run diverged, 4 a run hit its step budget without
-    converging, 5 the gateway service failed to start or recover. *)
+    converging, 5 the gateway service failed to start or recover, 6 a
+    benchmark comparison found a performance regression. *)
 
 val ok : int
 val usage : int
 val diverged : int
 val no_convergence : int
 val service_failure : int
+val regression : int
 
 val fail : string -> 'a
 (** Print [ffc: msg] on stderr and exit with {!usage}. *)

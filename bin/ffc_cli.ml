@@ -315,6 +315,16 @@ let trace_sched_term =
            attribution). These events depend on --jobs and thread timing, so \
            they are excluded from the trace's byte-identity guarantee.")
 
+let trace_det_term =
+  Arg.(
+    value & flag
+    & info [ "trace-deterministic" ]
+        ~doc:
+          "Zero the trace's wall-clock timing channel: span events report \
+           wall_ns=0 and alloc_w=0 and the service latency histograms record \
+           zeros, so the full trace — spans included — is byte-identical \
+           across runs and machines.")
+
 (* ------------------------------------------------------------------ *)
 (* Result-cache flags                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -381,17 +391,17 @@ let cache_provenance () =
    not unwind the stack, so the sink close and manifest write below
    would be skipped — exit decisions happen after this returns. *)
 let with_obs ~command ~subject ?(adjusters = []) ?(seeds = []) ?(faults = [])
-    ~jobs ~trace ~metrics ~stride ~sched f =
+    ?(force = false) ~jobs ~trace ~metrics ~stride ~sched ~timing f =
   if stride < 1 then exit_err "--trace-stride must be >= 1";
   match (trace, metrics) with
-  | None, None -> f ()
+  | None, None when not force -> f ()
   | _ ->
     let sink =
       match trace with
       | Some path -> Ffc_obs.Sink.file path
       | None -> Ffc_obs.Sink.null
     in
-    let ctx = Ffc_obs.Ctx.make ~sink ~stride ~sched () in
+    let ctx = Ffc_obs.Ctx.make ~sink ~stride ~sched ~timing () in
     Fun.protect
       ~finally:(fun () ->
         (match metrics with
@@ -429,7 +439,7 @@ let exp_cmd =
   let id =
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id or 'all'.")
   in
-  let run id jobs cache no_cache cache_dir trace metrics stride sched =
+  let run id jobs cache no_cache cache_dir trace metrics stride sched det =
     apply_jobs jobs;
     match String.lowercase_ascii id with
     | "list" ->
@@ -442,7 +452,7 @@ let exp_cmd =
       let out =
         with_cache ~cache ~no_cache ~cache_dir (fun () ->
             with_obs ~command:"exp" ~subject:lid ~jobs ~trace ~metrics ~stride
-              ~sched (fun () ->
+              ~sched ~timing:(not det) (fun () ->
                 match lid with
                 | "all" -> Ok (Ffc_experiments.Registry.run_all ~jobs ())
                 | _ -> Ffc_experiments.Registry.run_one id))
@@ -457,7 +467,8 @@ let exp_cmd =
           content-addressed store and a warm re-run replays byte-identically.")
     Term.(
       const run $ id $ jobs_term $ cache_term $ no_cache_term $ cache_dir_term
-      $ trace_term $ metrics_term $ trace_stride_term $ trace_sched_term)
+      $ trace_term $ metrics_term $ trace_stride_term $ trace_sched_term
+      $ trace_det_term)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -490,7 +501,8 @@ let analyze_cmd =
              floats exact). Implies supervised runs even without --fault.")
   in
   let run net_result specs r0_spec csv_trace_file fault_specs fault_seed retries
-      budget escape json jobs cache no_cache cache_dir trace metrics stride sched =
+      budget escape json jobs cache no_cache cache_dir trace metrics stride sched
+      det =
     apply_jobs jobs;
     match net_result with
     | Error e -> exit_err e
@@ -572,7 +584,7 @@ let analyze_cmd =
             with_obs ~command:"analyze" ~subject ~adjusters:specs
               ~seeds:[ ("fault", fault_seed) ]
               ~faults:(Fault.describe plan) ~jobs ~trace ~metrics ~stride ~sched
-              run_designs)
+              ~timing:(not det) run_designs)
       in
       (* The CSV trajectory export stays outside the observed region so
          the metrics snapshot reflects the analysis runs alone. *)
@@ -600,7 +612,8 @@ let analyze_cmd =
       const run $ topology_term $ adjusters_term $ r0_term $ csv_trace_term
       $ fault_term $ fault_seed_term $ retries_term $ budget_term $ escape_term
       $ json_term $ jobs_term $ cache_term $ no_cache_term $ cache_dir_term
-      $ trace_term $ metrics_term $ trace_stride_term $ trace_sched_term)
+      $ trace_term $ metrics_term $ trace_stride_term $ trace_sched_term
+      $ trace_det_term)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -676,7 +689,7 @@ let simulate_cmd =
              system are dropped (default: infinite buffers).")
   in
   let run net_result rates_spec discipline horizon seed flows shards scheduler
-      buffer_limit jobs trace metrics stride sched =
+      buffer_limit jobs trace metrics stride sched det =
     apply_jobs jobs;
     if shards < 0 then exit_err "--shards must be >= 0";
     let net =
@@ -713,7 +726,7 @@ let simulate_cmd =
     let result =
       with_obs ~command:"simulate" ~subject
         ~seeds:[ ("sim", seed) ]
-        ~jobs ~trace ~metrics ~stride ~sched
+        ~jobs ~trace ~metrics ~stride ~sched ~timing:(not det)
         (fun () ->
           Ffc_desim.Netsim.run ~net ~rates ~discipline ~seed ~scheduler ~shards
             ~jobs ?buffer_limit ~horizon ())
@@ -780,7 +793,7 @@ let simulate_cmd =
       const run $ topology_term $ rates_term $ discipline_term $ horizon_term
       $ seed_term $ flows_term $ shards_term $ scheduler_term $ buffer_term
       $ jobs_term $ trace_term $ metrics_term $ trace_stride_term
-      $ trace_sched_term)
+      $ trace_sched_term $ trace_det_term)
 
 (* ------------------------------------------------------------------ *)
 (* closed-loop                                                         *)
@@ -1027,7 +1040,7 @@ let serve_cmd =
   let run net_result specs socket script snapshot_path snapshot_every b_ss
       epsilon min_rate (d_inc, d_cached, d_shed) timeout svc_retries backoff seed
       fault_specs fault_seed retries escape jobs cache no_cache cache_dir trace
-      metrics stride sched =
+      metrics stride sched det =
     apply_jobs jobs;
     match net_result with
     | Error e -> exit_err e
@@ -1079,9 +1092,13 @@ let serve_cmd =
         Exit_code.fail_service (Printf.sprintf "cannot recover snapshot: %s" e));
       let subject = Printf.sprintf "service(%d gw, %d conn)" (Network.num_gateways net) n in
       with_cache ~cache ~no_cache ~cache_dir (fun () ->
+          (* [force]: a daemon always carries a metrics registry, even
+             with no --trace/--metrics, so the protocol's live [metrics]
+             and latency histograms work out of the box. *)
           with_obs ~command:"serve" ~subject ~adjusters:specs
             ~seeds:[ ("service", seed); ("fault", fault_seed) ]
-            ~faults:(Fault.describe plan) ~jobs ~trace ~metrics ~stride ~sched
+            ~faults:(Fault.describe plan) ~force:true ~jobs ~trace ~metrics
+            ~stride ~sched ~timing:(not det)
             (fun () ->
               match (script, socket) with
               | Some _, Some _ -> exit_err "--script and --socket are mutually exclusive"
@@ -1117,7 +1134,104 @@ let serve_cmd =
       $ min_rate_term $ degrade_term $ timeout_term $ svc_retries_term
       $ backoff_term $ seed_term $ fault_term $ fault_seed_term $ retries_term
       $ escape_term $ jobs_term $ cache_term $ no_cache_term $ cache_dir_term
-      $ trace_term $ metrics_term $ trace_stride_term $ trace_sched_term)
+      $ trace_term $ metrics_term $ trace_stride_term $ trace_sched_term
+      $ trace_det_term)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let report_cmd =
+    let file_term =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"FILE"
+            ~doc:"JSONL trace written by --trace ($(b,-) = stdin).")
+    in
+    let json_term =
+      Arg.(
+        value & flag
+        & info [ "json" ]
+            ~doc:"Emit the aggregate as one JSON line instead of a table.")
+    in
+    let run file json =
+      let acc = Ffc_obs.Trace_report.create () in
+      let feed ic =
+        let rec go () =
+          match In_channel.input_line ic with
+          | None -> ()
+          | Some line ->
+            Ffc_obs.Trace_report.add_line acc line;
+            go ()
+        in
+        go ()
+      in
+      (if file = "-" then feed In_channel.stdin
+       else
+         try In_channel.with_open_text file feed
+         with Sys_error e -> exit_err e);
+      if json then print_endline (Ffc_obs.Trace_report.render_json acc)
+      else print_string (Ffc_obs.Trace_report.render acc)
+    in
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Aggregate a JSONL trace into a per-phase table: span counts, \
+            inclusive wall time and minor allocations per phase, plus \
+            service decisions tallied by tier — the numbers to cross-check \
+            against the daemon's own stats counters.")
+      Term.(const run $ file_term $ json_term)
+  in
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Inspect JSONL traces produced by --trace (see $(b,report)).")
+    [ report_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* bench                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bench_cmd =
+  let diff_cmd =
+    let old_term =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"OLD" ~doc:"Baseline BENCH.json.")
+    in
+    let new_term =
+      Arg.(
+        required
+        & pos 1 (some string) None
+        & info [] ~docv:"NEW" ~doc:"Candidate BENCH.json.")
+    in
+    let tolerance_term =
+      Arg.(
+        value
+        & opt_all string []
+        & info [ "tolerance" ] ~docv:"[NAME=]PCT"
+            ~doc:
+              "Allowed ns/run slowdown in percent: a bare $(b,PCT) sets the \
+               default for every kernel (initially 100), $(b,NAME=PCT) \
+               overrides one kernel (split on the last $(b,=)). Repeatable.")
+    in
+    let run old_path new_path tolerance_specs =
+      exit (Bench_diff.run ~old_path ~new_path ~tolerance_specs)
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare the per-kernel ns/run of two BENCH.json files and print \
+            the delta table. Exits 6 when any kernel slowed down past its \
+            tolerance or disappeared — the CI perf-regression gate.")
+      Term.(const run $ old_term $ new_term $ tolerance_term)
+  in
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:"Benchmark bookkeeping (see $(b,diff) — the perf-regression gate).")
+    [ diff_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* drive                                                               *)
@@ -1274,5 +1388,5 @@ let () =
        (Cmd.group info
           [
             exp_cmd; analyze_cmd; simulate_cmd; closed_loop_cmd; topology_cmd;
-            cache_cmd; serve_cmd; drive_cmd;
+            cache_cmd; serve_cmd; drive_cmd; trace_cmd; bench_cmd;
           ]))

@@ -89,12 +89,32 @@ let compute_and_store (t : t) ~tier ~hex ~encode compute =
   Ffc_obs.Ctx.incr_named "cache.misses";
   trace_lookup ~tier ~key:hex ~hit:false;
   let v = compute () in
-  let payload = encode v in
-  if Store.save t.store ~tier ~hex payload then begin
+  (* The "cache.put" span covers encode + publish only (the compute is
+     the caller's own phase).  Miss-only, so — like the cache.lookup /
+     cache.store events — it sits outside the cold/warm trace
+     byte-identity contract. *)
+  let stored =
+    match Ffc_obs.Ctx.tracing () with
+    | None ->
+      let payload = encode v in
+      if Store.save t.store ~tier ~hex payload then Some (String.length payload)
+      else None
+    | Some _ ->
+      Ffc_obs.Span.with_span
+        ~attrs:[ ("tier", Ffc_obs.Jsonf.string tier) ]
+        "cache.put"
+        (fun () ->
+          let payload = encode v in
+          if Store.save t.store ~tier ~hex payload then
+            Some (String.length payload)
+          else None)
+  in
+  (match stored with
+  | Some bytes ->
     Atomic.incr t.stores;
     Ffc_obs.Ctx.incr_named "cache.stores";
-    trace_store ~tier ~key:hex ~bytes:(String.length payload)
-  end;
+    trace_store ~tier ~key:hex ~bytes
+  | None -> ());
   v
 
 let evict (t : t) =
@@ -108,7 +128,19 @@ let memo ~tier ~build ~encode ~decode compute =
     let k = Key.create ~schema:t.schema ~tier () in
     build k;
     let hex = Key.hex k in
-    match Store.load t.store ~tier ~hex with
+    (* The "cache.get" span covers the store probe only and fires on
+       every lookup, hit or miss alike (no outcome attribute), so the
+       span stream is identical between a cold and a warm run. *)
+    let probe () = Store.load t.store ~tier ~hex in
+    let loaded =
+      match Ffc_obs.Ctx.tracing () with
+      | None -> probe ()
+      | Some _ ->
+        Ffc_obs.Span.with_span
+          ~attrs:[ ("tier", Ffc_obs.Jsonf.string tier) ]
+          "cache.get" probe
+    in
+    match loaded with
     | Store.Miss -> compute_and_store t ~tier ~hex ~encode compute
     | Store.Evicted ->
       evict t;

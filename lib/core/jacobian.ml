@@ -195,6 +195,7 @@ let controller_key ~dx ~mode controller ~net ~at k =
    the dense probing path (see [build_controller_df]), so entries
    written by either remain valid for both. *)
 let of_controller ?jobs ?(dx = 1e-7) ?(mode = Central) controller ~net ~at =
+  Ffc_obs.Span.with_span "jac.of_controller" @@ fun () ->
   Ffc_cache.Cache.memo ~tier:"jac.of_controller"
     ~build:(controller_key ~dx ~mode controller ~net ~at)
     ~encode:(fun m -> Ffc_cache.Codec.(encode (fun b -> put_floats b (Mat.to_flat m))))
@@ -236,6 +237,7 @@ let decode_sparse r =
    result is masked onto the pattern — entries the mask drops are
    exactly +0.0, so nothing is lost. *)
 let of_controller_sparse ?jobs ?(dx = 1e-7) ?(mode = Central) controller ~net ~at =
+  Ffc_obs.Span.with_span "jac.sparse" @@ fun () ->
   Ffc_cache.Cache.memo ~tier:"jac.sparse"
     ~build:(controller_key ~dx ~mode controller ~net ~at)
     ~encode:encode_sparse ~decode:decode_sparse
@@ -272,6 +274,7 @@ let update_flow ?jobs ?(dx = 1e-7) ?(mode = Central) controller ~net ~prev ~prev
     invalid_arg "Jacobian.update_flow: point size mismatch";
   if Mat.Sparse.rows prev <> n || Mat.Sparse.cols prev <> n then
     invalid_arg "Jacobian.update_flow: previous Jacobian size mismatch";
+  Ffc_obs.Span.with_span "jac.update" @@ fun () ->
   Ffc_cache.Cache.memo ~tier:"jac.update"
     ~build:(controller_key ~dx ~mode controller ~net ~at)
     ~encode:encode_sparse ~decode:decode_sparse

@@ -76,6 +76,7 @@ let color ?only_rows ~support cols =
   end
 
 let build net =
+  Ffc_obs.Span.with_span "sparsity.probe" @@ fun () ->
   let n = Network.num_connections net in
   let mark = Array.make (Stdlib.max 1 n) false in
   let support =

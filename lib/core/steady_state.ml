@@ -88,6 +88,7 @@ let bottleneck_shares ~signal ~b_ss ~net =
    it anchors most experiment cells — the canonical tier-1 cache
    target.  Uncached when no ambient cache is installed. *)
 let fair ~signal ~b_ss ~net =
+  Ffc_obs.Span.with_span "steady.fair" @@ fun () ->
   Ffc_cache.Cache.memo ~tier:"steady.fair"
     ~build:(fun k ->
       Ffc_cache.Key.str k (Signal.name signal);
@@ -107,6 +108,7 @@ let add_mask k active =
    the steady state the churn experiments re-solve at every join and
    leave. *)
 let fair_masked ~signal ~b_ss ~net ~active =
+  Ffc_obs.Span.with_span "steady.fair_masked" @@ fun () ->
   Ffc_cache.Cache.memo ~tier:"steady.fair_masked"
     ~build:(fun k ->
       Ffc_cache.Key.str k (Signal.name signal);
@@ -134,6 +136,7 @@ let update_fair ~signal ~b_ss ~net ~prev ~prev_active ~active =
   if Array.length prev <> nc || Array.length prev_active <> nc
      || Array.length active <> nc
   then invalid_arg "Steady_state.update_fair: size mismatch";
+  Ffc_obs.Span.with_span "steady.update" @@ fun () ->
   Ffc_cache.Cache.memo ~tier:"ss.update"
     ~build:(fun k ->
       Ffc_cache.Key.str k (Signal.name signal);

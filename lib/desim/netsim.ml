@@ -72,7 +72,8 @@ type shard_out = {
   so_flat : Measure.Flat.t;
   so_events : int;
   so_injections : int;
-  so_hist : int array;
+  so_hist : Ffc_obs.Metrics.Histogram.Local.t option;
+      (* per-shard delay tally; flushed into "desim.delay" at the join *)
 }
 
 let run ~net ~rates ~discipline ~seed ?warmup ?(scheduler = `Wheel) ?(shards = 1)
@@ -221,18 +222,17 @@ let run ~net ~rates ~discipline ~seed ?warmup ?(scheduler = `Wheel) ?(shards = 1
             List.fold_left (fun acc c -> acc +. comp_weight.(c)) 0. comps;
         })
   in
-  let num_hist_buckets =
+  let delay_hist =
     match Ffc_obs.Ctx.ambient () with
     | Some c ->
-      Ffc_obs.Metrics.Histogram.num_buckets
-        (Ffc_obs.Metrics.histogram (Ffc_obs.Ctx.metrics c) "desim.delay")
-    | None -> 0
+      Some (Ffc_obs.Metrics.histogram (Ffc_obs.Ctx.metrics c) "desim.delay")
+    | None -> None
   in
   let fs = discipline = Fs_priority in
-  let simulate (p : shard_plan) =
+  let run_shard (p : shard_plan) =
     let n_l = Array.length p.sp_conns in
     let flat = Measure.Flat.create ~paths:p.sp_paths in
-    if n_l = 0 then { so_flat = flat; so_events = 0; so_injections = 0; so_hist = [||] }
+    if n_l = 0 then { so_flat = flat; so_events = 0; so_injections = 0; so_hist = None }
     else begin
       let scheduler_kind =
         match scheduler with
@@ -244,7 +244,12 @@ let run ~net ~rates ~discipline ~seed ?warmup ?(scheduler = `Wheel) ?(shards = 1
       let sim = Sim.create ~scheduler:scheduler_kind () in
       let pool = Packet.Pool.create ~initial:1024 () in
       let trc = Ffc_obs.Ctx.tracing () in
-      let local_delays = Array.make num_hist_buckets 0 in
+      (* Per-shard local tally (Histogram.Local): zero-sync observes in
+         the event loop, one bulk flush into the shared histogram at
+         the main-domain merge. *)
+      let local_delays =
+        Option.map Ffc_obs.Metrics.Histogram.Local.create delay_hist
+      in
       let injections = ref 0 in
       (* Per-component delivery trace buffers — flushed in component
          order at the end so the trace stream is independent of how
@@ -274,13 +279,9 @@ let run ~net ~rates ~discipline ~seed ?warmup ?(scheduler = `Wheel) ?(shards = 1
         let delay = Sim.now sim -. Packet.Pool.born pool pkt in
         Measure.Flat.record_delay flat ~conn:i_l delay;
         Measure.Flat.count_delivery flat ~conn:i_l;
-        (* [decade_index] is exact for "desim.delay": it was registered
-           with the default decade buckets (a conflicting earlier
-           registration would have raised there). *)
-        if num_hist_buckets > 0 then begin
-          let b = Ffc_obs.Metrics.decade_index delay in
-          local_delays.(b) <- local_delays.(b) + 1
-        end;
+        (match local_delays with
+        | Some l -> Ffc_obs.Metrics.Histogram.Local.observe l delay
+        | None -> ());
         (match trc with
         | Some c ->
           (* Stride sampling on the component's own delivery ordinal —
@@ -347,6 +348,18 @@ let run ~net ~rates ~discipline ~seed ?warmup ?(scheduler = `Wheel) ?(shards = 1
       }
     end
   in
+  (* The per-shard span is sched-gated like the pool.* events: shard
+     membership depends on --shards, so it sits outside the trace
+     byte-identity contract. *)
+  let simulate (p : shard_plan) =
+    match Ffc_obs.Ctx.tracing () with
+    | Some c when Ffc_obs.Ctx.sched c ->
+      Ffc_obs.Span.with_span
+        ~attrs:[ ("conns", string_of_int (Array.length p.sp_conns)) ]
+        "desim.shard"
+        (fun () -> run_shard p)
+    | _ -> run_shard p
+  in
   let jobs = Pool.effective_jobs ?jobs () |> min shards in
   let outs = Pool.parallel_map ~jobs simulate plans in
   let total_events = Array.fold_left (fun acc o -> acc + o.so_events) 0 outs in
@@ -366,12 +379,10 @@ let run ~net ~rates ~discipline ~seed ?warmup ?(scheduler = `Wheel) ?(shards = 1
     done;
     add "desim.deliveries" !delivered;
     add "desim.drops" !dropped;
-    let h = Ffc_obs.Metrics.histogram m "desim.delay" in
+    (* Flush the per-shard tallies in shard order (workers are joined;
+       the parent histogram takes one RMW per occupied bucket). *)
     Array.iter
-      (fun o ->
-        Array.iteri
-          (fun b n -> if n > 0 then Ffc_obs.Metrics.Histogram.add_bucket h b n)
-          o.so_hist)
+      (fun o -> Option.iter Ffc_obs.Metrics.Histogram.Local.flush o.so_hist)
       outs
   | None -> ());
   (match Ffc_obs.Ctx.tracing () with

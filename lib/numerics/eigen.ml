@@ -364,6 +364,7 @@ let structural_eigenvalues ?tol m =
       Some (Mat.diagonal m)
 
 let eigenvalues ?struct_tol m =
+  Ffc_obs.Span.with_span "eigen.spectrum" @@ fun () ->
   match structural_eigenvalues ?tol:struct_tol m with
   | Some d -> Array.map (fun re -> { Complex.re; im = 0. }) d
   | None -> eigenvalues_dense m
@@ -479,6 +480,7 @@ let structural_eigenvalues_sparse ?tol s =
     | Some _ -> Some (Mat.Sparse.diagonal s)
 
 let eigenvalues_sparse ?struct_tol s =
+  Ffc_obs.Span.with_span "eigen.spectrum.sparse" @@ fun () ->
   match structural_eigenvalues_sparse ?tol:struct_tol s with
   | Some d -> Array.map (fun re -> { Complex.re; im = 0. }) d
   | None -> eigenvalues_dense (Mat.Sparse.to_dense s)

@@ -23,10 +23,12 @@ type t = {
   sink : Sink.t;
   stride : int;
   sched : bool;
+  timing : bool;
   hot : hot;
 }
 
-let make ?metrics ?(sink = Sink.null) ?(stride = 1) ?(sched = false) () =
+let make ?metrics ?(sink = Sink.null) ?(stride = 1) ?(sched = false)
+    ?(timing = true) () =
   if stride < 1 then invalid_arg "Ctx.make: stride must be >= 1";
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   {
@@ -34,6 +36,7 @@ let make ?metrics ?(sink = Sink.null) ?(stride = 1) ?(sched = false) () =
     sink;
     stride;
     sched;
+    timing;
     hot =
       {
         controller_steps = Metrics.counter metrics "controller.steps";
@@ -49,6 +52,7 @@ let metrics c = c.metrics
 let sink c = c.sink
 let stride c = c.stride
 let sched c = c.sched
+let timing c = c.timing
 
 let ambient_cell : t option Atomic.t = Atomic.make None
 let ambient () = Atomic.get ambient_cell

@@ -16,18 +16,28 @@
 type t
 
 val make :
-  ?metrics:Metrics.t -> ?sink:Sink.t -> ?stride:int -> ?sched:bool -> unit -> t
+  ?metrics:Metrics.t ->
+  ?sink:Sink.t ->
+  ?stride:int ->
+  ?sched:bool ->
+  ?timing:bool ->
+  unit ->
+  t
 (** Defaults: a fresh registry, {!Sink.null}, [stride] 1, [sched]
-    false.  [stride] > 0 samples high-frequency events (controller
-    steps, fault drops, packet deliveries): an event indexed [k] is
-    emitted when [k mod stride = 0].  [sched] additionally emits the
-    nondeterministic pool scheduling events ([pool.map]/[pool.chunk]),
-    which are excluded from the byte-identity contract. *)
+    false, [timing] true.  [stride] > 0 samples high-frequency events
+    (controller steps, fault drops, packet deliveries): an event
+    indexed [k] is emitted when [k mod stride = 0].  [sched]
+    additionally emits the nondeterministic pool scheduling events
+    ([pool.map]/[pool.chunk]), which are excluded from the byte-identity
+    contract.  [timing] false zeroes the non-deterministic timing
+    channel on span events ([wall_ns]/[alloc_w] — see {!Span}); the CLI
+    sets it from [--trace-deterministic]. *)
 
 val metrics : t -> Metrics.t
 val sink : t -> Sink.t
 val stride : t -> int
 val sched : t -> bool
+val timing : t -> bool
 
 val ambient : unit -> t option
 val install : t -> unit

@@ -51,6 +51,32 @@ let run_start ~cmd ?target ?seed ~stride () =
 let run_end ~cmd () = obj "run.end" [ ("cmd", Jsonf.string cmd) ]
 
 (* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [attrs] values are pre-rendered JSON fragments (see Span.attrs);
+   [lc] is the per-scope logical clock.  The timing channel — wall_ns
+   and alloc_w on span.end — is the single deliberate exception to the
+   no-wall-clock rule above; Span zeroes both when the context's
+   [timing] flag is off (--trace-deterministic). *)
+
+let span_start ~id ~name ~lc ~attrs =
+  obj "span.start"
+    ([ ("id", Jsonf.string id); ("name", Jsonf.string name); ("lc", int_ lc) ]
+    @ attrs)
+
+let span_end ~id ~name ~lc ~wall_ns ~alloc_w ~attrs =
+  obj "span.end"
+    ([
+       ("id", Jsonf.string id);
+       ("name", Jsonf.string name);
+       ("lc", int_ lc);
+       ("wall_ns", int_ wall_ns);
+       ("alloc_w", int_ alloc_w);
+     ]
+    @ attrs)
+
+(* ------------------------------------------------------------------ *)
 (* Controller iteration                                                *)
 (* ------------------------------------------------------------------ *)
 

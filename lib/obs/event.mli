@@ -19,6 +19,29 @@ val run_start :
 
 val run_end : cmd:string -> unit -> string
 
+val span_start :
+  id:string ->
+  name:string ->
+  lc:int ->
+  attrs:(string * string) list ->
+  string
+(** A {!Span} opened: hierarchical dotted id (["0.2.1"]), phase name,
+    per-scope logical-clock tick, plus caller attributes (values are
+    pre-rendered JSON fragments).  Fully deterministic. *)
+
+val span_end :
+  id:string ->
+  name:string ->
+  lc:int ->
+  wall_ns:int ->
+  alloc_w:int ->
+  attrs:(string * string) list ->
+  string
+(** The matching close.  [wall_ns] (wall-clock duration) and [alloc_w]
+    (minor words allocated) form the {e timing channel} — the only
+    nondeterministic trace payload; both are 0 when the context's
+    [timing] flag is off ([--trace-deterministic]). *)
+
 val ctrl_step : step:int -> residual:float -> rates:float array -> string
 (** One controller iteration: relative sup-norm residual and the full
     post-step rate vector.  Sampled at the context stride. *)

@@ -15,3 +15,19 @@ val string : string -> string
 
 val add_escaped : Buffer.t -> string -> unit
 (** {!string}, appended to a buffer. *)
+
+(** {2 Field scraping}
+
+    Minimal field extraction from the flat one-line JSON objects this
+    repo itself renders (service replies, trace events, BENCH.json
+    kernel rows) — enough for the churn driver, the trace aggregator
+    and the bench comparator without a JSON parser dependency.  [key]
+    must name a top-level or embedded field; the {e first} occurrence
+    wins. *)
+
+val after_key : string -> key:string -> int option
+(** Position just after [{"key":}] in the line, if the key occurs. *)
+
+val string_field : string -> key:string -> string option
+val number_field : string -> key:string -> float option
+val bool_field : string -> key:string -> bool option

@@ -18,6 +18,7 @@ type histogram = {
   h_name : string;
   bounds : float array;  (* strictly increasing bucket upper bounds *)
   counts : int Atomic.t array;  (* length bounds + 1; last = overflow *)
+  h_sum : float Atomic.t;  (* sum of finite observations *)
   decades : bool;  (* bounds are exactly [default_buckets] *)
 }
 
@@ -113,6 +114,7 @@ let histogram ?(buckets = default_buckets) t name =
             h_name = name;
             bounds = Array.copy buckets;
             counts = Array.init (n + 1) (fun _ -> Atomic.make 0);
+            h_sum = Atomic.make 0.;
             decades = buckets = default_buckets;
           }
         in
@@ -141,7 +143,7 @@ module Histogram = struct
      anything above the last bound land in the overflow bucket.  Default
      decade bounds take the [decade_index] ladder; anything else binary
      searches. *)
-  let bucket_index h x =
+  let[@inline] bucket_index h x =
     if h.decades then decade_index x
     else begin
       let bounds = h.bounds in
@@ -158,7 +160,17 @@ module Histogram = struct
       end
     end
 
-  let observe h x = ignore (Atomic.fetch_and_add h.counts.(bucket_index h x) 1)
+  (* Atomic float accumulation: CAS on the boxed cell.  Non-finite
+     observations still count in the overflow bucket but are excluded
+     from the sum so one NaN cannot poison it. *)
+  let rec add_sum cell x =
+    let old = Atomic.get cell in
+    if not (Atomic.compare_and_set cell old (old +. x)) then add_sum cell x
+
+  let observe h x =
+    ignore (Atomic.fetch_and_add h.counts.(bucket_index h x) 1);
+    if Float.is_finite x then add_sum h.h_sum x
+
   let num_buckets h = Array.length h.counts
 
   (* Bulk merge for call sites that count observations into a plain
@@ -169,6 +181,7 @@ module Histogram = struct
     ignore (Atomic.fetch_and_add h.counts.(i) n)
 
   let count h = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.counts
+  let sum h = Atomic.get h.h_sum
 
   (* Upper bound of the bucket holding the q-quantile (infinity when it
      falls in the overflow bucket, nan when the histogram is empty).
@@ -191,12 +204,60 @@ module Histogram = struct
     end
 
   let name h = h.h_name
+
+  (* The documented merge path for per-domain tallies: a [Local] is a
+     plain (non-atomic) shadow of its parent's buckets, observed in a
+     tight loop with zero synchronization, then [flush]ed — one atomic
+     RMW per occupied bucket plus one CAS for the sum, instead of one
+     per observation.  Flush from the owning domain only; the parent
+     may be shared. *)
+  module Local = struct
+    (* The sum lives in a 1-slot float array (flat, unboxed): a mutable
+       float field in this mixed record would re-box on every store —
+       one minor allocation per observation, measurable in per-packet
+       hot loops. *)
+    type nonrec t = {
+      parent : histogram;
+      l_counts : int array;
+      l_sum : float array;
+    }
+
+    let create parent =
+      {
+        parent;
+        l_counts = Array.make (Array.length parent.counts) 0;
+        l_sum = [| 0. |];
+      }
+
+    let[@inline] observe l x =
+      let i = bucket_index l.parent x in
+      l.l_counts.(i) <- l.l_counts.(i) + 1;
+      if Float.is_finite x then l.l_sum.(0) <- l.l_sum.(0) +. x
+
+    let flush l =
+      Array.iteri
+        (fun i n ->
+          if n > 0 then begin
+            ignore (Atomic.fetch_and_add l.parent.counts.(i) n);
+            l.l_counts.(i) <- 0
+          end)
+        l.l_counts;
+      if l.l_sum.(0) <> 0. then begin
+        add_sum l.parent.h_sum l.l_sum.(0);
+        l.l_sum.(0) <- 0.
+      end
+  end
 end
 
 type value =
   | Counter_v of int
   | Gauge_v of float
-  | Histogram_v of { bounds : float array; counts : int array; total : int }
+  | Histogram_v of {
+      bounds : float array;
+      counts : int array;
+      total : int;
+      sum : float;
+    }
 
 type snapshot = (string * value) list
 
@@ -216,6 +277,7 @@ let snapshot t =
                     bounds = Array.copy h.bounds;
                     counts;
                     total = Array.fold_left ( + ) 0 counts;
+                    sum = Atomic.get h.h_sum;
                   }
             in
             (name, v) :: acc)
@@ -230,7 +292,9 @@ let reset t =
           match ins with
           | C c -> Atomic.set c.c_cell 0
           | G g -> Atomic.set g.g_cell 0.
-          | H h -> Array.iter (fun cell -> Atomic.set cell 0) h.counts)
+          | H h ->
+            Array.iter (fun cell -> Atomic.set cell 0) h.counts;
+            Atomic.set h.h_sum 0.)
         t.table)
 
 (* Renderers.  [%.17g] round-trips every finite float; non-finite values
@@ -248,8 +312,9 @@ let render_text snap =
       (match v with
       | Counter_v n -> Printf.bprintf buf "counter   %-40s %d" name n
       | Gauge_v x -> Printf.bprintf buf "gauge     %-40s %s" name (text_float x)
-      | Histogram_v { bounds; counts; total } ->
-        Printf.bprintf buf "histogram %-40s total=%d" name total;
+      | Histogram_v { bounds; counts; total; sum } ->
+        Printf.bprintf buf "histogram %-40s total=%d sum=%s" name total
+          (text_float sum);
         Array.iteri
           (fun i c ->
             if c > 0 then
@@ -262,33 +327,89 @@ let render_text snap =
     snap;
   Buffer.contents buf
 
-let render_json snap =
+(* [pretty] interleaves the newline-and-indent separators of the
+   manifest format; the compact form (one line, no spaces) is what the
+   service's [metrics] verb returns, since protocol replies are one
+   line each. *)
+let render_json_gen ~pretty snap =
   let buf = Buffer.create 1024 in
+  let sp = if pretty then " " else "" in
   Buffer.add_string buf "[";
   List.iteri
     (fun i (name, v) ->
       if i > 0 then Buffer.add_string buf ",";
-      Buffer.add_string buf "\n  ";
+      if pretty then Buffer.add_string buf "\n  ";
       match v with
       | Counter_v n ->
-        Printf.bprintf buf "{\"name\": %s, \"kind\": \"counter\", \"value\": %d}"
-          (Jsonf.string name) n
+        Printf.bprintf buf "{\"name\":%s%s,%s\"kind\":%s\"counter\",%s\"value\":%s%d}"
+          sp (Jsonf.string name) sp sp sp sp n
       | Gauge_v x ->
-        Printf.bprintf buf "{\"name\": %s, \"kind\": \"gauge\", \"value\": %s}"
-          (Jsonf.string name) (Jsonf.float_json x)
-      | Histogram_v { bounds; counts; total } ->
+        Printf.bprintf buf "{\"name\":%s%s,%s\"kind\":%s\"gauge\",%s\"value\":%s%s}"
+          sp (Jsonf.string name) sp sp sp sp (Jsonf.float_json x)
+      | Histogram_v { bounds; counts; total; sum } ->
         Printf.bprintf buf
-          "{\"name\": %s, \"kind\": \"histogram\", \"total\": %d, \"buckets\": ["
-          (Jsonf.string name) total;
+          "{\"name\":%s%s,%s\"kind\":%s\"histogram\",%s\"total\":%s%d,%s\"sum\":%s%s,%s\"buckets\":%s["
+          sp (Jsonf.string name) sp sp sp sp total sp sp (Jsonf.float_json sum)
+          sp sp;
         Array.iteri
           (fun i c ->
-            if i > 0 then Buffer.add_string buf ", ";
-            Printf.bprintf buf "{\"le\": %s, \"count\": %d}"
+            if i > 0 then Buffer.add_string buf (if pretty then ", " else ",");
+            Printf.bprintf buf "{\"le\":%s%s,%s\"count\":%s%d}" sp
               (if i < Array.length bounds then Jsonf.float_json bounds.(i)
                else "null")
-              c)
+              sp sp c)
           counts;
         Buffer.add_string buf "]}")
     snap;
-  Buffer.add_string buf "\n]";
+  if pretty then Buffer.add_string buf "\n";
+  Buffer.add_string buf "]";
+  Buffer.contents buf
+
+let render_json snap = render_json_gen ~pretty:true snap
+let render_json_line snap = render_json_gen ~pretty:false snap
+
+(* Prometheus text exposition.  Instrument names are dotted internally;
+   the exposition flattens them to [ffc_] + underscores.  Histograms
+   render cumulative [_bucket{le="..."}] series plus [_sum]/[_count],
+   per the exposition format. *)
+let prom_name name =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      name
+  in
+  "ffc_" ^ mapped
+
+let prom_float x =
+  if Float.is_nan x then "NaN"
+  else if x = Float.infinity then "+Inf"
+  else if x = Float.neg_infinity then "-Inf"
+  else Jsonf.float_rt x
+
+let render_prometheus snap =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      match v with
+      | Counter_v c ->
+        Printf.bprintf buf "# TYPE %s counter\n%s %d\n" n n c
+      | Gauge_v x ->
+        Printf.bprintf buf "# TYPE %s gauge\n%s %s\n" n n (prom_float x)
+      | Histogram_v { bounds; counts; total; sum } ->
+        Printf.bprintf buf "# TYPE %s histogram\n" n;
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            cum := !cum + c;
+            let le =
+              if i < Array.length bounds then Printf.sprintf "%g" bounds.(i)
+              else "+Inf"
+            in
+            Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" n le !cum)
+          counts;
+        Printf.bprintf buf "%s_sum %s\n" n (prom_float sum);
+        Printf.bprintf buf "%s_count %d\n" n total)
+    snap;
   Buffer.contents buf

@@ -8,11 +8,14 @@
     totals accumulated under the multicore pool are identical whatever
     the degree of parallelism.
 
-    Histograms record bucket occupancy only (no sum): each observation
-    lands in the first bucket whose upper bound is >= the value, with an
-    overflow bucket above the last bound.  That keeps [observe]
-    allocation-free and race-free, at the price of bucket-resolution
-    quantiles. *)
+    Histograms record bucket occupancy plus a running sum of finite
+    observations: each observation lands in the first bucket whose
+    upper bound is >= the value, with an overflow bucket above the last
+    bound.  That keeps [observe] allocation-free and race-free, at the
+    price of bucket-resolution quantiles.  Aggregation of per-domain
+    tallies goes through {!Histogram.Local} — the supported merge path;
+    [add_bucket]/[bucket_index] remain exposed for raw-array call sites
+    but bypass the sum. *)
 
 type t
 (** A registry. *)
@@ -74,9 +77,15 @@ module Histogram : sig
   (** [add_bucket h i n] merges [n] observations straight into bucket
       [i] — for hot loops that tally into a plain local array and flush
       once, paying one atomic RMW per bucket instead of per
-      observation.  Raises [Invalid_argument] on negative [n]. *)
+      observation.  Raises [Invalid_argument] on negative [n].  Bypasses
+      the sum; prefer {!Local} unless the values are already gone. *)
 
   val count : histogram -> int
+
+  val sum : histogram -> float
+  (** Running sum of all {e finite} observations (non-finite values
+      count in the overflow bucket but are excluded here, so one NaN
+      cannot poison the sum). *)
 
   val quantile : histogram -> float -> float
   (** Upper bound of the bucket containing the q-quantile ([q] clamped
@@ -84,12 +93,36 @@ module Histogram : sig
       when the histogram is empty. *)
 
   val name : histogram -> string
+
+  (** The supported merge path for per-domain aggregation: a [Local.t]
+      shadows its parent's buckets in a plain array, is observed with
+      zero synchronization from its owning domain, and [flush]es into
+      the parent with one atomic RMW per occupied bucket (sum
+      included).  Create per task/shard, flush at the join. *)
+  module Local : sig
+    type t
+
+    val create : histogram -> t
+    (** A zeroed local tally whose buckets mirror the parent's. *)
+
+    val observe : t -> float -> unit
+    (** Non-atomic: call only from the owning domain. *)
+
+    val flush : t -> unit
+    (** Merge into the parent and zero the local tally (idempotent
+        until the next [observe]). *)
+  end
 end
 
 type value =
   | Counter_v of int
   | Gauge_v of float
-  | Histogram_v of { bounds : float array; counts : int array; total : int }
+  | Histogram_v of {
+      bounds : float array;
+      counts : int array;
+      total : int;
+      sum : float;
+    }
 
 type snapshot = (string * value) list
 (** Sorted by name — deterministic render order. *)
@@ -102,4 +135,15 @@ val render_text : snapshot -> string
 (** One line per instrument. *)
 
 val render_json : snapshot -> string
-(** A JSON array of instrument objects. *)
+(** A JSON array of instrument objects (pretty, one per line). *)
+
+val render_json_line : snapshot -> string
+(** {!render_json} compacted onto a single line with no whitespace —
+    the form the service's [metrics] verb replies with (protocol
+    responses are one line each). *)
+
+val render_prometheus : snapshot -> string
+(** Prometheus text exposition: names flattened to [ffc_*] (dots and
+    dashes become underscores), one [# TYPE] line per instrument,
+    histograms as cumulative [_bucket{le="..."}] series plus [_sum] and
+    [_count].  Names are listed in docs/OBSERVABILITY.md. *)

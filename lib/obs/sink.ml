@@ -62,12 +62,32 @@ let emit t line =
       Buffer.add_char buf '\n'
     | None -> emit_raw t (line ^ "\n"))
 
+(* Capture boundaries double as scope boundaries for modules keeping
+   per-domain ambient trace state (Span's id/clock stack): each hook
+   runs when a capture begins and returns the closure that undoes it
+   when the capture ends.  Registration happens at module init, so the
+   list is effectively fixed before any pool runs; the atomic only
+   guards against a registration racing a capture. *)
+let capture_hooks : (unit -> unit -> unit) list Atomic.t = Atomic.make []
+
+let rec on_capture hook =
+  let old = Atomic.get capture_hooks in
+  if not (Atomic.compare_and_set capture_hooks old (hook :: old)) then
+    on_capture hook
+
 let capture f =
   let cell = Domain.DLS.get redirect in
   let saved = !cell in
   let buf = Buffer.create 512 in
+  let restores = List.map (fun hook -> hook ()) (Atomic.get capture_hooks) in
   cell := Some buf;
-  let result = Fun.protect ~finally:(fun () -> cell := saved) f in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        cell := saved;
+        List.iter (fun restore -> restore ()) restores)
+      f
+  in
   (result, Buffer.contents buf)
 
 (* One-shot whole-file write (CSV exports, manifests).  Not a sink and

@@ -38,6 +38,14 @@ val capture : (unit -> 'a) -> 'a * string
     exception the redirect is popped and the captured bytes are lost
     with the unwind. *)
 
+val on_capture : (unit -> unit -> unit) -> unit
+(** Registers a capture-boundary hook: [hook ()] runs when a {!capture}
+    begins (typically saving and resetting some per-domain ambient
+    state) and returns the restore closure run when that capture ends.
+    Used by {!Span} to restart span ids and the logical clock inside
+    each captured task, which keeps span streams byte-identical at any
+    [--jobs].  Register at module init only. *)
+
 val write_file : path:string -> string -> unit
 (** One-shot whole-file write (truncates) — the shared primitive behind
     CSV exports and provenance manifests.  Not subject to {!capture}. *)

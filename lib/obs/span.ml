@@ -1,0 +1,136 @@
+(* Deterministic, nestable span tracing over the ambient context.
+
+   A span is a named phase of work (a solve, a probe, a cache lookup,
+   one service request).  Identity and ordering are fully deterministic:
+
+   - Ids are hierarchical dotted paths assigned by arrival order within
+     the parent ("0", "0.1", "0.1.0", ...), so they depend only on the
+     program's own call structure, never on scheduling.
+   - Every start/end ticks a per-scope logical clock ([lc]), giving a
+     total order over span events that is reproducible run to run.
+
+   Durations live in a separate *timing channel*: span.end carries
+   wall_ns (Unix.gettimeofday delta) and alloc_w (Gc.minor_words
+   delta).  Those are the only nondeterministic trace payloads; when
+   the context's [timing] flag is off (--trace-deterministic) both are
+   emitted as 0 and the whole span stream is byte-identical across
+   runs, machines, and --jobs values.
+
+   Determinism under the pool: span state (id stack, root counter,
+   logical clock) is per-domain, and a Sink.capture boundary — which
+   is how the pool collects each task's trace — saves and resets it,
+   so every captured task numbers its spans from a fresh scope.  The
+   pool flushes captures in task-index order at the join; span ids
+   therefore depend only on (task index, call structure), never on
+   which worker ran the task.  The hook is registered at module-init
+   time below.
+
+   Hot-path contract: when no trace is being written, [with_span] costs
+   the one atomic load inside [Ctx.tracing] plus a branch, and
+   allocates nothing (same contract as every other instrumentation
+   site; re-benched in BENCH.json's "obs" section). *)
+
+type frame = {
+  id : string;
+  name : string;
+  mutable children : int; (* next child ordinal under this span *)
+  mutable closed : bool;
+  wall0 : float; (* Unix.gettimeofday at start; 0. when timing off *)
+  alloc0 : float; (* Gc.minor_words at start; 0. when timing off *)
+}
+
+type state = {
+  mutable stack : frame list; (* open spans, innermost first *)
+  mutable roots : int; (* next root ordinal in this scope *)
+  mutable lc : int; (* logical clock: one tick per span event *)
+}
+
+let fresh_state () = { stack = []; roots = 0; lc = 0 }
+let dls : state Domain.DLS.key = Domain.DLS.new_key fresh_state
+
+(* Reset at every capture boundary: each pooled task numbers spans from
+   a fresh scope, making the flushed trace independent of --jobs. *)
+let () =
+  Sink.on_capture (fun () ->
+      let saved = Domain.DLS.get dls in
+      Domain.DLS.set dls (fresh_state ());
+      fun () -> Domain.DLS.set dls saved)
+
+type handle = { ctx : Ctx.t; state : state; frame : frame }
+type t = handle option
+
+let off : t = None
+let on t = Option.is_some t
+
+let start ?(attrs = []) name : t =
+  match Ctx.tracing () with
+  | None -> None
+  | Some ctx ->
+    let st = Domain.DLS.get dls in
+    let id =
+      match st.stack with
+      | [] ->
+        let ord = st.roots in
+        st.roots <- ord + 1;
+        string_of_int ord
+      | parent :: _ ->
+        let ord = parent.children in
+        parent.children <- ord + 1;
+        parent.id ^ "." ^ string_of_int ord
+    in
+    let timing = Ctx.timing ctx in
+    let frame =
+      {
+        id;
+        name;
+        children = 0;
+        closed = false;
+        wall0 = (if timing then Unix.gettimeofday () else 0.);
+        alloc0 = (if timing then Gc.minor_words () else 0.);
+      }
+    in
+    st.stack <- frame :: st.stack;
+    let lc = st.lc in
+    st.lc <- lc + 1;
+    Ctx.emit ctx (Event.span_start ~id ~name ~lc ~attrs);
+    Some { ctx; state = st; frame }
+
+let finish ?(attrs = []) (t : t) =
+  match t with
+  | None -> ()
+  | Some { ctx; state = st; frame } ->
+    if not frame.closed then begin
+      frame.closed <- true;
+      (* Pop to (and including) this frame.  Children left open by an
+         escaped exception between a raw start/finish pair are
+         abandoned silently: their end event never happened, which the
+         trace report surfaces as unmatched starts. *)
+      let rec pop = function
+        | f :: rest when f == frame -> st.stack <- rest
+        | _ :: rest -> pop rest
+        | [] -> () (* scope was reset under us (capture boundary) *)
+      in
+      pop st.stack;
+      let timing = Ctx.timing ctx in
+      let wall_ns =
+        if timing then
+          Int.max 0
+            (int_of_float ((Unix.gettimeofday () -. frame.wall0) *. 1e9))
+        else 0
+      in
+      let alloc_w =
+        if timing then
+          Int.max 0 (int_of_float (Gc.minor_words () -. frame.alloc0))
+        else 0
+      in
+      let lc = st.lc in
+      st.lc <- lc + 1;
+      Ctx.emit ctx
+        (Event.span_end ~id:frame.id ~name:frame.name ~lc ~wall_ns ~alloc_w
+           ~attrs)
+    end
+
+let with_span ?attrs name f =
+  match start ?attrs name with
+  | None -> f ()
+  | some -> Fun.protect ~finally:(fun () -> finish some) f

@@ -1,0 +1,56 @@
+(** Deterministic, nestable span tracing over the ambient {!Ctx}.
+
+    A span marks a named phase of work (a solve, a sparsity probe, a
+    cache lookup, one service request).  Span {e identity} is fully
+    deterministic: ids are hierarchical dotted paths assigned by
+    arrival order within the parent (["0"], ["0.1"], ["0.1.0"], ...)
+    and every start/end ticks a per-scope logical clock, so the span
+    stream is byte-identical across runs, machines and [--jobs] values
+    — a {!Sink.capture} boundary (how the pool collects each task's
+    trace) resets the scope, making ids a function of (task index,
+    call structure) only.
+
+    Span {e durations} live in a separate timing channel: [span.end]
+    carries [wall_ns] (wall-clock nanoseconds) and [alloc_w] (minor
+    heap words allocated).  These are the only nondeterministic trace
+    payloads; with the context's [timing] flag off
+    ([--trace-deterministic]) both render as [0].
+
+    When no trace is being written, {!with_span} costs one atomic load
+    and a branch and allocates nothing (the standing <2% overhead
+    contract, re-benched in BENCH.json's ["obs"] section).
+
+    Attribute values are pre-rendered JSON fragments — build them with
+    {!Jsonf.string} / {!Jsonf.float_json} / [string_of_int].  Callers
+    that must construct attribute lists on a hot path should guard on
+    {!Ctx.tracing} first so the list is only built when a sink is
+    attached. *)
+
+type t
+(** A span handle; a shared no-op value when tracing is off. *)
+
+val off : t
+(** The no-op handle (what {!start} returns with tracing off) — useful
+    as an initializer. *)
+
+val on : t -> bool
+(** [true] when the handle refers to a live span — the guard under
+    which callers may build end-attributes for {!finish}. *)
+
+val start : ?attrs:(string * string) list -> string -> t
+(** Opens a span named [name] under the innermost open span of this
+    domain's scope (or as a new root).  Emits a [span.start] event.
+    With tracing off: one atomic load, returns {!off}. *)
+
+val finish : ?attrs:(string * string) list -> t -> unit
+(** Closes the span: emits the matching [span.end] carrying the timing
+    channel and any end-attributes (e.g. the serving tier, decided only
+    after the work ran).  Idempotent; {!off} is a no-op.  Children left
+    open (an exception escaped a raw start/finish pair) are abandoned —
+    their end event never appears, which {!Trace_report} surfaces as
+    unmatched starts. *)
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] wraps [f] in a span (exception-safe: the span is
+    finished on unwind).  The common entry point for instrumentation
+    sites without end-attributes. *)

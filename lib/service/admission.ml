@@ -97,12 +97,20 @@ type t = {
   mutable recovers : int;
   mutable backoffs : int;
   mutable timeouts : int;
+  (* Requests served at each ladder rung (decision events only: add and
+     remove, not read-only verbs) — the counts `ffc trace report` cross
+     checks against the span stream. *)
+  mutable served_full : int;
+  mutable served_incremental : int;
+  mutable served_cached : int;
+  mutable served_shed : int;
 }
 
 let counter_order =
   [
     "admits"; "rejects"; "sheds"; "removes"; "queries"; "degrades"; "recovers";
-    "backoffs"; "timeouts";
+    "backoffs"; "timeouts"; "served_full"; "served_incremental";
+    "served_cached"; "served_shed";
   ]
 
 let counters t =
@@ -116,6 +124,10 @@ let counters t =
     ("recovers", t.recovers);
     ("backoffs", t.backoffs);
     ("timeouts", t.timeouts);
+    ("served_full", t.served_full);
+    ("served_incremental", t.served_incremental);
+    ("served_cached", t.served_cached);
+    ("served_shed", t.served_shed);
   ]
 
 (* Everything a snapshot must have been taken under for restore to be
@@ -192,6 +204,10 @@ let create ?(config = default_config) ?failure_hook controller ~net =
     recovers = 0;
     backoffs = 0;
     timeouts = 0;
+    served_full = 0;
+    served_incremental = 0;
+    served_cached = 0;
+    served_shed = 0;
   }
 
 let net t = t.net
@@ -394,11 +410,37 @@ let commit t ~mask solved =
   (match solved.s_df with Some _ as df -> t.df <- df | None -> ());
   t.rho <- solved.s_rho;
   t.rho_fresh <- solved.s_fresh;
-  t.mutation_count <- t.mutation_count + 1
+  t.mutation_count <- t.mutation_count + 1;
+  (* Per-window fairness of the committed allocation: Jain's index over
+     the rates of the flows active after this mutation.  A pure function
+     of the model state, so the gauge is deterministic. *)
+  match Ffc_obs.Ctx.ambient () with
+  | None -> ()
+  | Some c ->
+    let k = ref 0 in
+    Array.iter (fun a -> if a then incr k) t.active;
+    if !k > 0 then begin
+      let rates = Array.make !k 0. in
+      let j = ref 0 in
+      Array.iteri
+        (fun i a ->
+          if a then begin
+            rates.(!j) <- t.ss.(i);
+            incr j
+          end)
+        t.active;
+      Ffc_obs.Metrics.Gauge.set
+        (Ffc_obs.Metrics.gauge (Ffc_obs.Ctx.metrics c) "service.jain_fairness")
+        (Stats.jain_index rates)
+    end
 
 let emit_decision t ~seq ~op ?conn ~decision ~tier ?rho:rho_v ?min_ratio ?rate
     ~backlog () =
-  ignore t;
+  (match rank_of_label tier with
+  | 0 -> t.served_full <- t.served_full + 1
+  | 1 -> t.served_incremental <- t.served_incremental + 1
+  | 2 -> t.served_cached <- t.served_cached + 1
+  | _ -> t.served_shed <- t.served_shed + 1);
   match Ffc_obs.Ctx.tracing () with
   | Some c ->
     Ffc_obs.Ctx.emit c
@@ -644,6 +686,12 @@ let handle_query t ~time =
   let backlog = backlog_at t ~time in
   t.queries <- t.queries + 1;
   Ffc_obs.Ctx.incr_named "service.queries";
+  (* Read-only verbs are never refused: past the shed threshold the
+     query is answered from the last committed state at shed cost (no
+     solver work at all); in the cached band the verdict machinery is
+     skipped but the bookkeeping is live.  Either way the reply carries
+     [stale=true] so callers know the verdict was withheld. *)
+  let shed = backlog >= t.config.backlog_shed in
   let degraded = backlog >= t.config.backlog_cached in
   let verdict =
     if degraded || active_count t = 0 then None
@@ -656,28 +704,43 @@ let handle_query t ~time =
       Some (Supervisor.verdict_to_json v)
     end
   in
-  charge t ~time (if degraded then t.config.cost_cached else t.config.cost_query);
-  let tier = if degraded then "cached" else t.last_tier in
+  charge t ~time
+    (if shed then t.config.cost_shed
+     else if degraded then t.config.cost_cached
+     else t.config.cost_query);
+  let tier =
+    if shed then "shed" else if degraded then "cached" else t.last_tier
+  in
   {
     line =
       json
-        [
-          ("ok", "true");
-          ("op", jstr "query");
-          ("seq", jint seq);
-          ("active", jint (active_count t));
-          ("rho", jnum t.rho);
-          ("rho_fresh", jbool t.rho_fresh);
-          ("tier", jstr tier);
-          ("backlog", jnum backlog);
-          ("vclock", jnum t.vclock);
-          ("verdict", match verdict with None -> "null" | Some v -> v);
-        ];
+        ([
+           ("ok", "true");
+           ("op", jstr "query");
+           ("seq", jint seq);
+           ("active", jint (active_count t));
+           ("rho", jnum t.rho);
+           ("rho_fresh", jbool t.rho_fresh);
+           ("tier", jstr tier);
+         ]
+        @ (if degraded then [ ("stale", "true") ] else [])
+        @ [
+            ("backlog", jnum backlog);
+            ("vclock", jnum t.vclock);
+            ("verdict", match verdict with None -> "null" | Some v -> v);
+          ]);
     mutated = false;
   }
 
-let handle_stats t =
+let handle_stats t ~time =
   let seq = next_seq t in
+  let time = request_time t time in
+  t.last_time <- time;
+  let backlog = backlog_at t ~time in
+  (* Counters are always live — a stats probe is how an operator watches
+     an overloaded daemon, so it is free (no vclock charge) and never
+     shed; past the shed threshold the reply is merely tagged stale. *)
+  let overloaded = backlog >= t.config.backlog_shed in
   {
     line =
       json
@@ -687,22 +750,86 @@ let handle_stats t =
            ("seq", jint seq);
            ("active", jint (active_count t));
            ("mutations", jint t.mutation_count);
-           ("tier", jstr t.last_tier);
-           ("rho", jnum t.rho);
-           ("rho_fresh", jbool t.rho_fresh);
-           ("vclock", jnum t.vclock);
+           ("tier", jstr (if overloaded then "shed" else t.last_tier));
          ]
+        @ (if overloaded then [ ("stale", "true") ] else [])
+        @ [
+            ("rho", jnum t.rho);
+            ("rho_fresh", jbool t.rho_fresh);
+            ("backlog", jnum backlog);
+            ("vclock", jnum t.vclock);
+          ]
         @ List.map (fun (k, v) -> (k, jint v)) (counters t));
     mutated = false;
   }
 
-let handle t = function
+let dispatch t = function
   | Protocol.Add { conn; time; size } -> handle_add t ~conn ~time ~size
   | Protocol.Remove { conn; time } -> handle_remove t ~conn ~time
   | Protocol.Query { time } -> handle_query t ~time
-  | Protocol.Stats -> handle_stats t
-  | Protocol.Snapshot | Protocol.Shutdown ->
-    invalid_arg "Admission.handle: snapshot/shutdown are server-level requests"
+  | Protocol.Stats { time } -> handle_stats t ~time
+  | Protocol.Metrics _ | Protocol.Snapshot | Protocol.Shutdown ->
+    invalid_arg
+      "Admission.handle: metrics/snapshot/shutdown are server-level requests"
+
+let op_of = function
+  | Protocol.Add _ -> "add"
+  | Protocol.Remove _ -> "remove"
+  | Protocol.Query _ -> "query"
+  | Protocol.Stats _ -> "stats"
+  | Protocol.Metrics _ -> "metrics"
+  | Protocol.Snapshot -> "snapshot"
+  | Protocol.Shutdown -> "shutdown"
+
+(* The reply line is the source of truth for how the request was served
+   — scrape tier/decision back out of it rather than threading them
+   through every handler. *)
+let tier_of_reply line =
+  match Protocol.json_string_field line ~key:"tier" with
+  | Some tier -> tier
+  | None -> "error"
+
+let decision_of_reply line =
+  match Protocol.json_string_field line ~key:"decision" with
+  | Some d -> d
+  | None -> (
+    match Protocol.json_string_field line ~key:"error" with
+    | Some _ -> "error"
+    | None -> "ok")
+
+let handle t req =
+  match Ffc_obs.Ctx.ambient () with
+  | None -> dispatch t req
+  | Some c ->
+    (* One span per request, tagged with the served tier and the
+       decision once the reply is known; the latency histogram shares
+       the span's wall clock and, like it, reads zero under
+       --trace-deterministic. *)
+    let t0 = if Ffc_obs.Ctx.timing c then Unix.gettimeofday () else 0. in
+    let span =
+      Ffc_obs.Span.start ~attrs:[ ("op", jstr (op_of req)) ] "svc.request"
+    in
+    Fun.protect
+      ~finally:(fun () -> if Ffc_obs.Span.on span then Ffc_obs.Span.finish span)
+      (fun () ->
+        let reply = dispatch t req in
+        let tier = tier_of_reply reply.line in
+        if Ffc_obs.Span.on span then
+          Ffc_obs.Span.finish
+            ~attrs:
+              [
+                ("tier", jstr tier);
+                ("decision", jstr (decision_of_reply reply.line));
+              ]
+            span;
+        let wall =
+          if Ffc_obs.Ctx.timing c then Unix.gettimeofday () -. t0 else 0.
+        in
+        Ffc_obs.Metrics.Histogram.observe
+          (Ffc_obs.Metrics.histogram (Ffc_obs.Ctx.metrics c)
+             ("service.latency." ^ tier))
+          wall;
+        reply)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot integration                                                *)
@@ -752,6 +879,10 @@ let restore t (s : Snapshot.state) =
     t.recovers <- lookup "recovers";
     t.backoffs <- lookup "backoffs";
     t.timeouts <- lookup "timeouts";
+    t.served_full <- lookup "served_full";
+    t.served_incremental <- lookup "served_incremental";
+    t.served_cached <- lookup "served_cached";
+    t.served_shed <- lookup "served_shed";
     ignore counter_order;
     Ok ()
   end

@@ -110,8 +110,22 @@ type reply = { line : string; mutated : bool }
     committed a join/leave (drives the server's snapshot cadence). *)
 
 val handle : t -> Protocol.request -> reply
-(** Serve [Add]/[Remove]/[Query]/[Stats].  [Snapshot]/[Shutdown] are the
-    server's business and raise [Invalid_argument] here. *)
+(** Serve [Add]/[Remove]/[Query]/[Stats].  [Metrics]/[Snapshot]/
+    [Shutdown] are the server's business and raise [Invalid_argument]
+    here.
+
+    Read-only verbs are {e never} refused: past the shed threshold a
+    [query] is answered from the last committed state (tier ["shed"],
+    verdict withheld, [stale=true]) at shed cost, a [query] in the
+    cached band skips the verdict machinery and is likewise tagged
+    [stale=true], and [stats] is free — no vclock charge — reporting
+    tier ["shed"] with [stale=true] when overloaded.
+
+    When an ambient {!Ffc_obs.Ctx} is installed, every request runs
+    under a ["svc.request"] span (op at start; served tier and decision
+    as end attributes) and its wall-clock latency is observed in the
+    per-tier [service.latency.<tier>] histogram (zeroed under
+    [--trace-deterministic], like the span timing channel). *)
 
 val next_seq : t -> int
 (** Claim the next request sequence number (used by the server for the

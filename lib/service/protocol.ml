@@ -2,7 +2,8 @@ type request =
   | Add of { conn : string option; time : float option; size : float option }
   | Remove of { conn : string; time : float option }
   | Query of { time : float option }
-  | Stats
+  | Stats of { time : float option }
+  | Metrics of { prom : bool }
   | Snapshot
   | Shutdown
 
@@ -77,7 +78,15 @@ let parse line =
       match parse_fields rest ~allowed:[ "t" ] with
       | Ok f -> Ok (Query { time = List.assoc_opt "t" f })
       | Error e -> Error e)
-    | "stats" -> if rest = [] then Ok Stats else Error "stats takes no arguments"
+    | "stats" -> (
+      match parse_fields rest ~allowed:[ "t" ] with
+      | Ok f -> Ok (Stats { time = List.assoc_opt "t" f })
+      | Error e -> Error e)
+    | "metrics" -> (
+      match rest with
+      | [] -> Ok (Metrics { prom = false })
+      | [ "prom" ] -> Ok (Metrics { prom = true })
+      | _ -> Error "metrics takes at most one argument: prom")
     | "snapshot" ->
       if rest = [] then Ok Snapshot else Error "snapshot takes no arguments"
     | "shutdown" ->
@@ -98,7 +107,8 @@ let render = function
       | Some s -> Printf.sprintf " size=%s" (Ffc_obs.Jsonf.float_rt s))
   | Remove { conn; time } -> "remove " ^ conn ^ render_time time
   | Query { time } -> "query" ^ render_time time
-  | Stats -> "stats"
+  | Stats { time } -> "stats" ^ render_time time
+  | Metrics { prom } -> if prom then "metrics prom" else "metrics"
   | Snapshot -> "snapshot"
   | Shutdown -> "shutdown"
 
@@ -106,65 +116,10 @@ let render = function
 (* Response scraping                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* Position just after ["key":] in [s], if the key occurs. *)
-let after_key s ~key =
-  let pat = Printf.sprintf "\"%s\":" key in
-  let n = String.length s and m = String.length pat in
-  let rec scan i =
-    if i + m > n then None
-    else if String.sub s i m = pat then Some (i + m)
-    else scan (i + 1)
-  in
-  scan 0
+(* The scrapers moved down to Ffc_obs.Jsonf (the trace aggregator and
+   the bench comparator share them); these aliases keep the protocol
+   API stable for the churn driver and the tests. *)
 
-let json_string_field s ~key =
-  match after_key s ~key with
-  | None -> None
-  | Some i ->
-    if i >= String.length s || s.[i] <> '"' then None
-    else
-      let buf = Buffer.create 16 in
-      let rec go j =
-        if j >= String.length s then None
-        else
-          match s.[j] with
-          | '"' -> Some (Buffer.contents buf)
-          | '\\' when j + 1 < String.length s ->
-            (* Our own renderer only emits the simple JSON escapes;
-               the scraper handles exactly those. *)
-            (match s.[j + 1] with
-            | 'n' -> Buffer.add_char buf '\n'
-            | 't' -> Buffer.add_char buf '\t'
-            | 'r' -> Buffer.add_char buf '\r'
-            | c -> Buffer.add_char buf c);
-            go (j + 2)
-          | c ->
-            Buffer.add_char buf c;
-            go (j + 1)
-      in
-      go (i + 1)
-
-let json_number_field s ~key =
-  match after_key s ~key with
-  | None -> None
-  | Some i ->
-    let n = String.length s in
-    let stop = ref i in
-    while
-      !stop < n
-      && (match s.[!stop] with
-         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-         | _ -> false)
-    do
-      incr stop
-    done;
-    if !stop = i then None else float_of_string_opt (String.sub s i (!stop - i))
-
-let json_bool_field s ~key =
-  match after_key s ~key with
-  | None -> None
-  | Some i ->
-    let n = String.length s in
-    if i + 4 <= n && String.sub s i 4 = "true" then Some true
-    else if i + 5 <= n && String.sub s i 5 = "false" then Some false
-    else None
+let json_string_field = Ffc_obs.Jsonf.string_field
+let json_number_field = Ffc_obs.Jsonf.number_field
+let json_bool_field = Ffc_obs.Jsonf.bool_field

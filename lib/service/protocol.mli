@@ -15,7 +15,10 @@
                                         slot, omitted = first idle slot
     remove NAME [t=TIME]                leave
     query [t=TIME]                      status + supervised verdict
-    stats                               counters snapshot
+    stats [t=TIME]                      counters snapshot (never shed;
+                                        stale=true when degraded)
+    metrics [prom]                      live metrics registry, compact
+                                        JSON or Prometheus text ("prom")
     snapshot                            force a state snapshot now
     shutdown                            snapshot (if configured) and stop
     v}
@@ -30,7 +33,8 @@ type request =
   | Add of { conn : string option; time : float option; size : float option }
   | Remove of { conn : string; time : float option }
   | Query of { time : float option }
-  | Stats
+  | Stats of { time : float option }
+  | Metrics of { prom : bool }
   | Snapshot
   | Shutdown
 
@@ -48,7 +52,9 @@ val render : request -> string
     Minimal field extraction from the service's own flat JSON responses
     — enough for the churn driver and the CI smoke scripts to read
     decisions without a JSON parser dependency.  [key] must name a
-    top-level or embedded field; the {e first} occurrence wins. *)
+    top-level or embedded field; the {e first} occurrence wins.
+    (Aliases of the {!Ffc_obs.Jsonf} scrapers, which the trace
+    aggregator and bench comparator share.) *)
 
 val json_string_field : string -> key:string -> string option
 val json_number_field : string -> key:string -> float option

@@ -100,6 +100,38 @@ let handle_line t line =
               ("served", string_of_int (Admission.seq t.engine));
             ]
            @ snapshot_field))
+    | Ok (Protocol.Metrics { prom }) -> (
+      let seq = Admission.next_seq t.engine in
+      (* Live introspection of the daemon's ambient metrics registry —
+         answered at the server level so the admission engine's logical
+         clock and decision stream stay untouched. *)
+      match Ffc_obs.Ctx.ambient () with
+      | None ->
+        `Reply
+          (json
+             [
+               ("ok", "false");
+               ("seq", string_of_int seq);
+               ("error", jstr "no metrics registry installed");
+             ])
+      | Some c ->
+        let snap = Ffc_obs.Metrics.snapshot (Ffc_obs.Ctx.metrics c) in
+        let body =
+          if prom then
+            [
+              ("format", jstr "prometheus");
+              ("text", jstr (Ffc_obs.Metrics.render_prometheus snap));
+            ]
+          else
+            [
+              ("format", jstr "json");
+              ("metrics", Ffc_obs.Metrics.render_json_line snap);
+            ]
+        in
+        `Reply
+          (json
+             ([ ("ok", "true"); ("op", jstr "metrics"); ("seq", string_of_int seq) ]
+             @ body)))
     | Ok req ->
       let { Admission.line = reply; mutated } = Admission.handle t.engine req in
       if

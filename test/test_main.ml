@@ -38,4 +38,5 @@ let () =
          Test_obs.suites;
          Test_cache.suites;
          Test_service.suites;
+         Test_span.suites;
        ])

@@ -219,7 +219,8 @@ let test_snapshot_reset_render () =
   | Metrics.Counter_v 3 -> ()
   | _ -> Alcotest.fail "counter snapshot value");
   (match List.assoc "mid" snap with
-  | Metrics.Histogram_v { total = 1; counts; bounds } ->
+  | Metrics.Histogram_v { total = 1; counts; bounds; sum } ->
+    Alcotest.(check (float 1e-12)) "sum tracks the observation" 0.5 sum;
     Alcotest.(check int) "overflow bucket added" (Array.length bounds + 1)
       (Array.length counts)
   | _ -> Alcotest.fail "histogram snapshot value");
@@ -239,6 +240,84 @@ let test_snapshot_reset_render () =
   Alcotest.(check int) "reset counter" 0 (Metrics.Counter.value (Metrics.counter m "z"));
   Alcotest.(check int) "reset histogram" 0
     (Metrics.Histogram.count (Metrics.histogram m "mid"))
+
+let test_histogram_local_merge () =
+  (* The Local merge path must be indistinguishable from observing the
+     parent directly: same bucket counts, same sum, same quantiles. *)
+  let m = Metrics.create () in
+  let direct = Metrics.histogram ~buckets:[| 1.; 10.; 100. |] m "direct" in
+  let merged = Metrics.histogram ~buckets:[| 1.; 10.; 100. |] m "merged" in
+  let values = [ 0.5; 0.7; 5.; 50.; 5000.; 50.; 0.1 ] in
+  List.iter (Metrics.Histogram.observe direct) values;
+  let l = Metrics.Histogram.Local.create merged in
+  List.iter (Metrics.Histogram.Local.observe l) values;
+  Alcotest.(check int) "nothing visible before flush" 0
+    (Metrics.Histogram.count merged);
+  Metrics.Histogram.Local.flush l;
+  Alcotest.(check int) "counts merge" (Metrics.Histogram.count direct)
+    (Metrics.Histogram.count merged);
+  check_float "sum merges too" (Metrics.Histogram.sum direct)
+    (Metrics.Histogram.sum merged);
+  List.iter
+    (fun q ->
+      check_float
+        (Printf.sprintf "quantile %g agrees" q)
+        (Metrics.Histogram.quantile direct q)
+        (Metrics.Histogram.quantile merged q))
+    [ 0.; 0.25; 0.5; 0.9 ];
+  (* flush is idempotent until the next observe... *)
+  Metrics.Histogram.Local.flush l;
+  Alcotest.(check int) "second flush adds nothing"
+    (Metrics.Histogram.count direct)
+    (Metrics.Histogram.count merged);
+  (* ...and the tally is reusable afterwards. *)
+  Metrics.Histogram.Local.observe l 5.;
+  Metrics.Histogram.Local.flush l;
+  Alcotest.(check int) "reused local merges the new tally"
+    (Metrics.Histogram.count direct + 1)
+    (Metrics.Histogram.count merged)
+
+let test_prometheus_and_json_line_render () =
+  let m = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter m "service.requests") 7;
+  Metrics.Gauge.set (Metrics.gauge m "service.jain_fairness") 0.75;
+  let h = Metrics.histogram ~buckets:[| 0.001; 0.1 |] m "service.latency.full" in
+  List.iter (Metrics.Histogram.observe h) [ 0.0005; 0.05; 2. ];
+  let snap = Metrics.snapshot m in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let prom = Metrics.render_prometheus snap in
+  List.iter
+    (fun frag ->
+      check_true (Printf.sprintf "prometheus text has %S" frag)
+        (contains prom frag))
+    [
+      "# TYPE ffc_service_requests counter";
+      "ffc_service_requests 7";
+      "# TYPE ffc_service_jain_fairness gauge";
+      "ffc_service_jain_fairness 0.75";
+      "# TYPE ffc_service_latency_full histogram";
+      "ffc_service_latency_full_bucket{le=\"0.001\"} 1";
+      (* cumulative: the 0.1 bucket includes the 0.001 one *)
+      "ffc_service_latency_full_bucket{le=\"0.1\"} 2";
+      "ffc_service_latency_full_bucket{le=\"+Inf\"} 3";
+      "ffc_service_latency_full_count 3";
+      "ffc_service_latency_full_sum";
+    ];
+  (* The one-line render is the pretty render with whitespace squeezed
+     out — a single protocol-friendly line, same JSON value. *)
+  let line = Metrics.render_json_line snap in
+  check_false "render_json_line has no newline"
+    (String.contains line '\n');
+  match (parse_json line, parse_json (Metrics.render_json snap)) with
+  | Jlist a, Jlist b ->
+    Alcotest.(check int) "same instrument count" (List.length b)
+      (List.length a);
+    check_true "same JSON value as render_json" (a = b)
+  | _ -> Alcotest.fail "renders are not JSON arrays"
 
 (* ------------------------------------------------------------------ *)
 (* Event constructors: every kind parses and carries its fields        *)
@@ -548,6 +627,9 @@ let suites =
         case "metrics: counter and gauge semantics" test_counter_semantics;
         case "metrics: histogram semantics" test_histogram_semantics;
         case "metrics: snapshot, reset, render" test_snapshot_reset_render;
+        case "metrics: histogram local merge path" test_histogram_local_merge;
+        case "metrics: prometheus and one-line JSON renders"
+          test_prometheus_and_json_line_render;
         case "events: every kind is valid JSONL" test_event_jsonl_well_formed;
         case "events: JSON string escaping" test_jsonf_escaping;
         case "sink: buffer and capture" test_sink_buffer_and_capture;

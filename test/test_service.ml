@@ -54,7 +54,10 @@ let test_protocol_roundtrip () =
       Protocol.Remove { conn = "c"; time = None };
       Protocol.Query { time = Some 9. };
       Protocol.Query { time = None };
-      Protocol.Stats;
+      Protocol.Stats { time = None };
+      Protocol.Stats { time = Some 4.5 };
+      Protocol.Metrics { prom = false };
+      Protocol.Metrics { prom = true };
       Protocol.Snapshot;
       Protocol.Shutdown;
     ]
@@ -128,10 +131,14 @@ let test_admission_min_rate_reject () =
 
 let test_snapshot_shutdown_are_server_level () =
   let engine, _ = make_engine () in
-  Alcotest.check_raises "snapshot refused"
-    (Invalid_argument
-       "Admission.handle: snapshot/shutdown are server-level requests")
-    (fun () -> ignore (Admission.handle engine Protocol.Snapshot))
+  let refused =
+    Invalid_argument
+      "Admission.handle: metrics/snapshot/shutdown are server-level requests"
+  in
+  Alcotest.check_raises "snapshot refused" refused (fun () ->
+      ignore (Admission.handle engine Protocol.Snapshot));
+  Alcotest.check_raises "metrics refused" refused (fun () ->
+      ignore (Admission.handle engine (Protocol.Metrics { prom = false })))
 
 (* ------------------------------------------------------------------ *)
 (* Degradation ladder                                                  *)
@@ -192,6 +199,55 @@ let test_cached_tier_flags_stale_rho () =
   Alcotest.(check (option bool))
     "full tier is fresh again" (Some true)
     (Protocol.json_bool_field fresh ~key:"rho_fresh")
+
+let test_read_only_verbs_stale_under_load () =
+  let engine, _ = make_engine ~config:ladder_config ~n:8 () in
+  (* Same burst as the degrade test: five adds at t=0 leave the backlog
+     past the shed threshold. *)
+  List.iter (fun _ -> ignore (handle_line engine "add t=0")) [ (); (); (); (); () ];
+  (* Shed band: the query is still answered — from the last committed
+     state, at shed cost, with the verdict withheld and stale flagged. *)
+  let shed = handle_line engine "query t=0" in
+  check_true "query succeeds under shed" (contains shed "\"ok\":true");
+  Alcotest.(check string) "tier shed" "shed" (scrape_str shed "tier");
+  check_true "stale flagged" (contains shed "\"stale\":true");
+  check_true "verdict withheld" (contains shed "\"verdict\":null");
+  check_float ~tol:0. "state still served" 4. (scrape_num shed "active");
+  (* Cached band (backlog decayed below shed): still stale, still no
+     verdict, but served as cached. *)
+  let cached = handle_line engine "query t=0.2" in
+  Alcotest.(check string) "tier cached" "cached" (scrape_str cached "tier");
+  check_true "cached band is stale too" (contains cached "\"stale\":true");
+  check_true "verdict still withheld" (contains cached "\"verdict\":null");
+  (* Drained: fresh replies drop the flag and run the verdict. *)
+  let fresh = handle_line engine "query t=100" in
+  check_false "fresh reply is not stale" (contains fresh "\"stale\"");
+  check_false "verdict restored" (contains fresh "\"verdict\":null");
+  check_true "verdict present" (contains fresh "\"verdict\":{")
+
+let test_stats_free_and_never_shed () =
+  let engine, _ = make_engine ~config:ladder_config ~n:8 () in
+  List.iter (fun _ -> ignore (handle_line engine "add t=0")) [ (); (); (); (); () ];
+  let s1 = handle_line engine "stats t=0" in
+  check_true "stats succeeds under shed" (contains s1 "\"ok\":true");
+  Alcotest.(check string) "tagged shed" "shed" (scrape_str s1 "tier");
+  check_true "tagged stale" (contains s1 "\"stale\":true");
+  check_true "backlog reported" (scrape_num s1 "backlog" > 0.);
+  (* A stats probe is free: a second probe at the same time sees the
+     identical vclock and backlog (only the seq advanced). *)
+  let s2 = handle_line engine "stats t=0" in
+  check_float ~tol:0. "no vclock charge" (scrape_num s1 "vclock")
+    (scrape_num s2 "vclock");
+  check_float ~tol:0. "backlog unchanged" (scrape_num s1 "backlog")
+    (scrape_num s2 "backlog");
+  check_float ~tol:0. "seq still advances"
+    (scrape_num s1 "seq" +. 1.)
+    (scrape_num s2 "seq");
+  (* served_* counters only count decision events, so the probes did
+     not inflate them. *)
+  check_float ~tol:0. "stats probes are not decisions" 4.
+    (scrape_num s2 "served_full" +. scrape_num s2 "served_incremental"
+    +. scrape_num s2 "served_cached")
 
 (* ------------------------------------------------------------------ *)
 (* Robustness envelope: retries, backoff, solver failure               *)
@@ -387,6 +443,34 @@ let test_server_dispatch () =
   check_true "shutdown acknowledged"
     (contains (List.nth replies 1) "\"op\":\"shutdown\"")
 
+let test_metrics_verb () =
+  let engine, _ = make_engine ~n:2 () in
+  let server = Server.create engine in
+  (* A bare daemon with no ambient registry refuses cleanly. *)
+  (match Server.handle_line server "metrics" with
+  | `Reply r ->
+    check_true "refused without a registry" (contains r "\"ok\":false");
+    check_true "says why" (contains r "no metrics registry")
+  | _ -> Alcotest.fail "metrics must reply");
+  let ctx = Ffc_obs.Ctx.make ~metrics:(Ffc_obs.Metrics.create ()) () in
+  Ffc_obs.Ctx.with_ctx ctx (fun () ->
+      ignore (Server.run_script server [ "add t=1"; "query t=2" ]);
+      (match Server.handle_line server "metrics" with
+      | `Reply r ->
+        check_true "ok" (contains r "\"ok\":true");
+        Alcotest.(check string) "json format" "json" (scrape_str r "format");
+        check_true "latency histogram exposed"
+          (contains r "service.latency.full");
+        check_true "jain gauge exposed" (contains r "service.jain_fairness")
+      | _ -> Alcotest.fail "metrics must reply");
+      match Server.handle_line server "metrics prom" with
+      | `Reply r ->
+        Alcotest.(check string) "prometheus format" "prometheus"
+          (scrape_str r "format");
+        check_true "prometheus names"
+          (contains r "ffc_service_latency_full_bucket")
+      | _ -> Alcotest.fail "metrics prom must reply")
+
 (* ------------------------------------------------------------------ *)
 (* Churn                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -486,6 +570,9 @@ let suites =
       [
         case "degrades and recovers deterministically" test_ladder_degrades_and_recovers;
         case "cached tier flags stale rho" test_cached_tier_flags_stale_rho;
+        case "read-only verbs stale under load"
+          test_read_only_verbs_stale_under_load;
+        case "stats is free and never shed" test_stats_free_and_never_shed;
       ] );
     ( "service.envelope",
       [
@@ -504,7 +591,10 @@ let suites =
         case "restart resumes bit-identically" test_restart_resumes_bit_identically;
       ] );
     ( "service.server",
-      [ case "dispatch semantics" test_server_dispatch ] );
+      [
+        case "dispatch semantics" test_server_dispatch;
+        case "metrics verb" test_metrics_verb;
+      ] );
     ( "service.churn",
       [ case "storm acceptance" test_churn_storm_acceptance ] );
   ]
