@@ -696,6 +696,138 @@ let sparse_comparison () =
     rows;
   rows
 
+(* Gateway admission: serial adds vs one batched bracket, over an
+   add-k / remove-k churn cycle.  The service contract says batch
+   verdicts bit-match serial execution, so identity (decisions, the
+   committed rates, ρ) is asserted once outside the timing loops and
+   the only legitimate win left for the batched row is amortising the
+   ρ(DF) stability check over the bracket.  Arrival stamps advance one
+   logical second per request, so the backlog never climbs and every
+   request is served at the full tier — the rows compare the expensive
+   path, not a degraded one. *)
+type service_row = {
+  sv_name : string;
+  sv_k : int;  (* adds per cycle (and bracket size for the batch row) *)
+  sv_ns_per_req : float;  (* per request: k adds + k removes per cycle *)
+  sv_identical : bool;
+}
+
+let service_comparison () =
+  let open Ffc_service in
+  Printf.printf "%s\ngateway admission: serial vs batched brackets\n%s\n"
+    (String.make 72 '=') (String.make 72 '=');
+  let n = 32 and k = 8 and iters = 60 in
+  let fresh_engine () =
+    let net = Topologies.single ~n () in
+    let controller =
+      Controller.homogeneous ~config:Feedback.individual_fair_share
+        ~adjuster:Scenario.standard_adjuster ~n
+    in
+    Admission.create controller ~net
+  in
+  let clock = ref 0. in
+  let tick () =
+    clock := !clock +. 1.;
+    Some !clock
+  in
+  let add engine =
+    (Admission.handle engine
+       (Protocol.Add { conn = None; time = tick (); size = None }))
+      .Admission.line
+  in
+  let remove engine i =
+    ignore
+      (Admission.handle engine
+         (Protocol.Remove { conn = "conn" ^ string_of_int i; time = tick () }))
+  in
+  let batch_adds () =
+    List.init k (fun _ ->
+        { Protocol.conn = None; time = tick (); size = None })
+  in
+  (* Identity check, once, outside the timing loops: same k adds from
+     the same committed state, serially and as one bracket. *)
+  let serial_engine = fresh_engine () and batch_engine = fresh_engine () in
+  let serial_lines = List.init k (fun _ -> add serial_engine) in
+  let batch_lines =
+    List.map
+      (fun (r : Admission.reply) -> r.Admission.line)
+      (Admission.handle_batch batch_engine (batch_adds ()))
+  in
+  let decision line =
+    match Ffc_obs.Jsonf.string_field line ~key:"decision" with
+    | Some d -> d
+    | None -> "?"
+  in
+  let members = List.filteri (fun i _ -> i < k) batch_lines in
+  let bits = Int64.bits_of_float in
+  let identical =
+    List.for_all2
+      (fun s b -> String.equal (decision s) (decision b))
+      serial_lines members
+    && Array.for_all2
+         (fun a b -> Int64.equal (bits a) (bits b))
+         (Admission.rates serial_engine)
+         (Admission.rates batch_engine)
+    && Int64.equal (bits (Admission.rho serial_engine))
+         (bits (Admission.rho batch_engine))
+    && Admission.active_count serial_engine
+       = Admission.active_count batch_engine
+  in
+  let per_req seconds = seconds *. 1e9 /. float_of_int (iters * 2 * k) in
+  let serial_ns =
+    let engine = fresh_engine () in
+    let _, s =
+      time (fun () ->
+          for _ = 1 to iters do
+            for _ = 1 to k do
+              ignore (add engine)
+            done;
+            for i = 0 to k - 1 do
+              remove engine i
+            done
+          done)
+    in
+    per_req s
+  in
+  let batch_ns =
+    let engine = fresh_engine () in
+    let _, s =
+      time (fun () ->
+          for _ = 1 to iters do
+            ignore (Admission.handle_batch engine (batch_adds ()));
+            for i = 0 to k - 1 do
+              remove engine i
+            done
+          done)
+    in
+    per_req s
+  in
+  let rows =
+    [
+      {
+        sv_name = Printf.sprintf "service.churn serial (single:%d, k=%d)" n k;
+        sv_k = k;
+        sv_ns_per_req = serial_ns;
+        sv_identical = identical;
+      };
+      {
+        sv_name = Printf.sprintf "service.churn batch=%d (single:%d)" k n;
+        sv_k = k;
+        sv_ns_per_req = batch_ns;
+        sv_identical = identical;
+      };
+    ]
+  in
+  Printf.printf "%-42s %4s %14s %10s\n" "row" "k" "ns/request" "identical";
+  Printf.printf "%s\n" (String.make 74 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%-42s %4d %14.0f %10s\n" r.sv_name r.sv_k r.sv_ns_per_req
+        (if r.sv_identical then "yes" else "NO"))
+    rows;
+  Printf.printf "batch speedup over serial: %.2fx\n" (serial_ns /. batch_ns);
+  rows
+
 (* Desim core: the timing-wheel scheduler against the reference binary
    heap, and whole-engine events/sec at growing flow counts.  The
    scheduler rows use the classic hold model — N pending timers spread
@@ -837,7 +969,8 @@ let desim_comparison () =
    perf trajectory across commits. *)
 let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
-let write_bench_json ~kernels ~scans ~faults ~obs ~cache ~sparse ~desim ~run_all =
+let write_bench_json ~kernels ~scans ~faults ~obs ~cache ~sparse ~service ~desim
+    ~run_all =
   let oc = open_out "BENCH.json" in
   let out fmt = Printf.fprintf oc fmt in
   (* [cpus_available] is the hardware's recommended domain count;
@@ -918,6 +1051,18 @@ let write_bench_json ~kernels ~scans ~faults ~obs ~cache ~sparse ~desim ~run_all
         (json_float r.sp_update_speedup) r.sp_identical
         (if i < List.length sparse - 1 then "," else ""))
     sparse;
+  out "  ],\n";
+  (* The service rows carry "name" + "ns_per_run" on purpose: that is
+     the shape `ffc bench diff` scrapes, so the gateway's serial and
+     batched admission paths ride the perf-regression gate alongside
+     the bechamel kernels. *)
+  out "  \"service\": [\n";
+  List.iteri
+    (fun i r ->
+      out "    {\"name\": %S, \"ns_per_run\": %s, \"k\": %d, \"identical\": %b}%s\n"
+        r.sv_name (json_float r.sv_ns_per_req) r.sv_k r.sv_identical
+        (if i < List.length service - 1 then "," else ""))
+    service;
   out "  ],\n";
   let sched_rows, netsim_rows = desim in
   out "  \"desim\": {\n    \"scheduler\": [\n";
@@ -1000,9 +1145,11 @@ let () =
   let obs = obs_overhead_comparison () in
   let cache = cache_comparison () in
   let sparse = sparse_comparison () in
+  let service = service_comparison () in
   let desim = desim_comparison () in
   Printf.printf "%s\nmicro-benchmarks (bechamel)\n%s\n" (String.make 72 '=')
     (String.make 72 '=');
   let kernels = run_benchmarks () in
-  write_bench_json ~kernels ~scans ~faults ~obs ~cache ~sparse ~desim ~run_all;
+  write_bench_json ~kernels ~scans ~faults ~obs ~cache ~sparse ~service ~desim
+    ~run_all;
   print_endline "wrote BENCH.json"

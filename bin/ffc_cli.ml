@@ -1037,10 +1037,25 @@ let serve_cmd =
       value & opt int 0
       & info [ "seed" ] ~docv:"SEED" ~doc:"Backoff-jitter seed.")
   in
+  let max_sessions_term =
+    Arg.(
+      value & opt int 64
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:
+            "Concurrent-session cap: connections past $(docv) receive one \
+             shed line and are closed at accept.")
+  in
+  let idle_timeout_term =
+    Arg.(
+      value & opt float 0.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Close sessions with no traffic for $(docv) seconds (0 = never).")
+  in
   let run net_result specs socket script snapshot_path snapshot_every b_ss
       epsilon min_rate (d_inc, d_cached, d_shed) timeout svc_retries backoff seed
-      fault_specs fault_seed retries escape jobs cache no_cache cache_dir trace
-      metrics stride sched det =
+      max_sessions idle_timeout fault_specs fault_seed retries escape jobs cache
+      no_cache cache_dir trace metrics stride sched det =
     apply_jobs jobs;
     match net_result with
     | Error e -> exit_err e
@@ -1050,6 +1065,8 @@ let serve_cmd =
       let plan = resolve_plan fault_specs ~seed:fault_seed ~net in
       if svc_retries < 0 then exit_err "--svc-retries must be >= 0";
       if retries < 0 then exit_err "--retries must be >= 0";
+      if max_sessions < 1 then exit_err "--max-sessions must be >= 1";
+      if idle_timeout < 0. then exit_err "--idle-timeout must be >= 0";
       let config =
         {
           Ffc_service.Admission.default_config with
@@ -1112,7 +1129,9 @@ let serve_cmd =
                 List.iter print_endline
                   (Ffc_service.Server.run_script server lines)
               | None, Some sock -> (
-                try Ffc_service.Server.serve server ~socket:sock
+                try
+                  Ffc_service.Server.serve ~max_sessions ~idle_timeout server
+                    ~socket:sock
                 with Unix.Unix_error (e, fn, _) ->
                   Exit_code.fail_service
                     (Printf.sprintf "socket %s: %s (%s)" sock
@@ -1132,10 +1151,10 @@ let serve_cmd =
       const run $ topology_term $ adjusters_term $ socket_term $ script_term
       $ snapshot_term $ snapshot_every_term $ b_ss_term $ epsilon_term
       $ min_rate_term $ degrade_term $ timeout_term $ svc_retries_term
-      $ backoff_term $ seed_term $ fault_term $ fault_seed_term $ retries_term
-      $ escape_term $ jobs_term $ cache_term $ no_cache_term $ cache_dir_term
-      $ trace_term $ metrics_term $ trace_stride_term $ trace_sched_term
-      $ trace_det_term)
+      $ backoff_term $ seed_term $ max_sessions_term $ idle_timeout_term
+      $ fault_term $ fault_seed_term $ retries_term $ escape_term $ jobs_term
+      $ cache_term $ no_cache_term $ cache_dir_term $ trace_term $ metrics_term
+      $ trace_stride_term $ trace_sched_term $ trace_det_term)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -1292,6 +1311,25 @@ let drive_cmd =
       & info [ "wait" ] ~docv:"SECONDS"
           ~doc:"Keep retrying the initial connect for up to $(docv) seconds.")
   in
+  let clients_term =
+    Arg.(
+      value & opt int 1
+      & info [ "clients" ] ~docv:"N"
+          ~doc:
+            "Multiplex the request stream over $(docv) concurrent sessions of \
+             the daemon, round-robin in lockstep (each request waits for its \
+             reply before the next is sent), so the global request order — \
+             and the daemon's decision log — stays deterministic.")
+  in
+  let batch_term =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"K"
+          ~doc:
+            "Coalesce consecutive churn adds into batch ... end brackets of \
+             up to $(docv) members — one rank-$(docv) admission solve each. A \
+             whole bracket rides a single session.")
+  in
   let connect ~socket ~wait =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     let deadline = Unix.gettimeofday () +. wait in
@@ -1310,18 +1348,50 @@ let drive_cmd =
     (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
   in
   let run socket script arrivals rate size_dist_spec seed query_every shutdown
-      wait =
-    let ic, oc = connect ~socket ~wait in
-    let send line =
-      output_string oc (line ^ "\n");
-      flush oc;
+      wait clients batch =
+    if clients < 1 then exit_err "--clients must be >= 1";
+    if batch < 1 then exit_err "--batch must be >= 1";
+    if batch > 1024 then exit_err "--batch must be <= 1024 (the server's bracket cap)";
+    (* One connection per client session.  Requests rotate over them in
+       lockstep — every request is answered before the next is sent — so
+       the order the daemon reads them in is exactly the order they were
+       issued, whatever session each one rides. *)
+    let conns = Array.init clients (fun _ -> connect ~socket ~wait) in
+    let next = ref 0 in
+    let pick () =
+      let c = conns.(!next) in
+      next := (!next + 1) mod clients;
+      c
+    in
+    let recv ic =
       match In_channel.input_line ic with
       | Some reply ->
         print_endline reply;
         reply
       | None -> Exit_code.fail_service "server closed the connection"
     in
-    let send_shutdown () = ignore (send "shutdown" : string) in
+    let send_on (ic, oc) line =
+      output_string oc (line ^ "\n");
+      flush oc;
+      recv ic
+    in
+    let send line = send_on (pick ()) line in
+    (* A batch bracket is session state, so the whole bracket rides one
+       connection: write every line, then collect one reply per member
+       plus the summary.  Each non-silent line inside a bracket produces
+       exactly one reply (buffered adds reply at [end]), so the count is
+       [lines - 1] — the opening [batch] alone stays silent. *)
+    let send_batch lines =
+      let ic, oc = pick () in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      flush oc;
+      List.init (max 0 (List.length lines - 1)) (fun _ -> recv ic)
+    in
+    let send_shutdown () = ignore (send_on conns.(0) "shutdown" : string) in
     match script with
     | Some file ->
       let text =
@@ -1329,11 +1399,33 @@ let drive_cmd =
         else In_channel.with_open_text file In_channel.input_all
       in
       let lines = String.split_on_char '\n' text in
+      (* Bracket-aware replay: a [batch ... end] unit must ride one
+         session (and is pipelined — member replies only come at [end]),
+         everything else rotates line by line. *)
+      let bracket = ref None in
       List.iter
         (fun line ->
           let t = String.trim line in
-          if t <> "" && t.[0] <> '#' then ignore (send t : string))
+          if t <> "" && t.[0] <> '#' then
+            match !bracket with
+            | None ->
+              if t = "batch" then bracket := Some [ t ]
+              else ignore (send t : string)
+            | Some acc ->
+              if List.length acc > 1025 then
+                exit_err "script batch bracket exceeds the 1024-member cap"
+              else if t = "end" then begin
+                bracket := None;
+                ignore (send_batch (List.rev (t :: acc)) : string list)
+              end
+              else bracket := Some (t :: acc))
         lines;
+      (match !bracket with
+      | Some _ ->
+        prerr_endline
+          "ffc drive: warning: script ends inside a batch bracket; the \
+           bracket was not sent (an unterminated bracket is never applied)"
+      | None -> ());
       if shutdown then send_shutdown ()
     | None ->
       let size_dist =
@@ -1344,8 +1436,8 @@ let drive_cmd =
       if arrivals < 0 then exit_err "--arrivals must be >= 0";
       if rate <= 0. then exit_err "--rate must be positive";
       let stats =
-        Ffc_service.Churn.run ~query_every ~seed ~rate ~arrivals ~size_dist
-          ~send ()
+        Ffc_service.Churn.run ~query_every ~batch ~send_batch ~seed ~rate
+          ~arrivals ~size_dist ~send ()
       in
       if shutdown then send_shutdown ();
       (* One greppable summary line for scripts and the CI smoke job. *)
@@ -1368,11 +1460,13 @@ let drive_cmd =
           or generate Poisson churn with general document sizes \
           (Gromoll-Williams), removing each admitted flow once its document \
           has been served at the admitted rate. Prints every response line \
-          plus a final summary.")
+          plus a final summary. --clients N multiplexes the stream over N \
+          concurrent sessions in deterministic lockstep; --batch K coalesces \
+          adds into batch ... end brackets.")
     Term.(
       const run $ socket_term $ script_term $ arrivals_term $ rate_term
       $ size_dist_term $ seed_term $ query_every_term $ shutdown_term
-      $ wait_term)
+      $ wait_term $ clients_term $ batch_term)
 
 (* ------------------------------------------------------------------ *)
 

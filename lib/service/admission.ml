@@ -77,6 +77,7 @@ type t = {
   b_ss_per_conn : float array;  (* declared adjuster b_SS, config default *)
   digest : string;
   failure_hook : (seq:int -> attempt:int -> bool) option;
+  slow_hook : (seq:int -> attempt:int -> float) option;
   mutable active : bool array;
   mutable ss : Vec.t;
   mutable df : (Mat.Sparse.t * Vec.t) option;  (* DF and its build point *)
@@ -96,7 +97,6 @@ type t = {
   mutable degrades : int;
   mutable recovers : int;
   mutable backoffs : int;
-  mutable timeouts : int;
   (* Requests served at each ladder rung (decision events only: add and
      remove, not read-only verbs) — the counts `ffc trace report` cross
      checks against the span stream. *)
@@ -109,8 +109,8 @@ type t = {
 let counter_order =
   [
     "admits"; "rejects"; "sheds"; "removes"; "queries"; "degrades"; "recovers";
-    "backoffs"; "timeouts"; "served_full"; "served_incremental";
-    "served_cached"; "served_shed";
+    "backoffs"; "served_full"; "served_incremental"; "served_cached";
+    "served_shed";
   ]
 
 let counters t =
@@ -123,7 +123,6 @@ let counters t =
     ("degrades", t.degrades);
     ("recovers", t.recovers);
     ("backoffs", t.backoffs);
-    ("timeouts", t.timeouts);
     ("served_full", t.served_full);
     ("served_incremental", t.served_incremental);
     ("served_cached", t.served_cached);
@@ -151,7 +150,7 @@ let compute_digest ~config:c ~controller ~net =
        c.backoff_base c.seed c.sup_retries c.escape);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
-let create ?(config = default_config) ?failure_hook controller ~net =
+let create ?(config = default_config) ?failure_hook ?slow_hook controller ~net =
   let n = Network.num_connections net in
   if Array.length (Controller.adjusters controller) <> n then
     invalid_arg "Admission.create: adjuster count does not match the network";
@@ -185,6 +184,7 @@ let create ?(config = default_config) ?failure_hook controller ~net =
     b_ss_per_conn;
     digest = compute_digest ~config ~controller ~net;
     failure_hook;
+    slow_hook;
     active = Array.make n false;
     ss = Array.make n 0.;
     df = None;
@@ -203,7 +203,6 @@ let create ?(config = default_config) ?failure_hook controller ~net =
     degrades = 0;
     recovers = 0;
     backoffs = 0;
-    timeouts = 0;
     served_full = 0;
     served_incremental = 0;
     served_cached = 0;
@@ -292,10 +291,18 @@ let note_tier t ~seq label =
 exception Transient of string
 
 (* Run one solve under the robustness envelope: injected-fault seam,
-   optional wall-clock timeout, bounded retries with deterministic
+   observational wall-clock deadline, bounded retries with deterministic
    jittered exponential backoff.  The jitter stream is a pure function
    of (config seed, request seq), so identical request streams back off
-   identically wherever they run. *)
+   identically wherever they run.
+
+   A solve that finishes after the deadline still finished: the result
+   is kept (discarding it would throw away completed work and re-pay
+   the whole solve), and the overrun is recorded only in the ambient
+   metrics registry, which — like the latency histograms — sits outside
+   the determinism contract.  Nothing on the decision path reads the
+   wall clock, so decision logs are reproducible even with
+   [timeout > 0]. *)
 let solve_with_retry t ~seq f =
   let rng = Rng.create (t.config.seed lxor (seq * 0x9E3779B9)) in
   let rec go attempt =
@@ -321,16 +328,19 @@ let solve_with_retry t ~seq f =
       | Some hook when hook ~seq ~attempt -> raise (Transient "injected solver fault")
       | Some _ | None -> ());
       let t0 = if t.config.timeout > 0. then Unix.gettimeofday () else 0. in
+      (* The slow-solve seam sleeps inside the timed window, so a test
+         can make this attempt overrun the deadline. *)
+      (match t.slow_hook with
+      | Some hook ->
+        let d = hook ~seq ~attempt in
+        if d > 0. then Unix.sleepf d
+      | None -> ());
       let r = f () in
       if t.config.timeout > 0. && Unix.gettimeofday () -. t0 > t.config.timeout
-      then `Timeout
-      else `Ok r
+      then Ffc_obs.Ctx.incr_named "service.timeouts";
+      r
     with
-    | `Ok r -> Some (r, attempt + 1)
-    | `Timeout ->
-      t.timeouts <- t.timeouts + 1;
-      Ffc_obs.Ctx.incr_named "service.timeouts";
-      retry ()
+    | r -> Some (r, attempt + 1)
     | exception Transient _ -> retry ()
     | exception Failure _ -> retry ()
   in
@@ -404,13 +414,13 @@ let min_ratio_of t ~mask ~rates =
     baselines;
   if Float.is_finite !best then Some !best else None
 
-let commit t ~mask solved =
+let commit ?(mutations = 1) t ~mask solved =
   t.active <- mask;
   t.ss <- solved.s_ss;
   (match solved.s_df with Some _ as df -> t.df <- df | None -> ());
   t.rho <- solved.s_rho;
   t.rho_fresh <- solved.s_fresh;
-  t.mutation_count <- t.mutation_count + 1;
+  t.mutation_count <- t.mutation_count + mutations;
   (* Per-window fairness of the committed allocation: Jain's index over
      the rates of the flows active after this mutation.  A pure function
      of the model state, so the gauge is deterministic. *)
@@ -456,18 +466,22 @@ let request_time t = function
   | Some time when Float.is_finite time -> Float.max t.last_time time
   | Some _ | None -> t.last_time
 
-let find_slot t = function
+(* Slot lookup against an explicit occupancy mask, so a batch can probe
+   its tentative population rather than the committed one. *)
+let find_slot_in t mask = function
   | Some name -> (
     match Hashtbl.find_opt t.index_of name with
     | None -> Error (Printf.sprintf "unknown connection %S" name)
-    | Some i -> if t.active.(i) then Error (Printf.sprintf "slot %S is busy" name) else Ok i)
+    | Some i -> if mask.(i) then Error (Printf.sprintf "slot %S is busy" name) else Ok i)
   | None -> (
     let rec first i =
       if i >= t.n then Error "no idle slot"
-      else if t.active.(i) then first (i + 1)
+      else if mask.(i) then first (i + 1)
       else Ok i
     in
     first 0)
+
+let find_slot t conn = find_slot_in t t.active conn
 
 let handle_add t ~conn ~time ~size =
   let seq = next_seq t in
@@ -565,6 +579,426 @@ let handle_add t ~conn ~time ~size =
           mutated = reason = None;
         }
     end
+
+(* ------------------------------------------------------------------ *)
+(* batch: rank-k admission                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The reply fields shared by every add-shaped response a batch member
+   can get; unlike serial [handle_add]'s [finish] this takes every
+   value explicitly because member replies are composed against the
+   chain state their member saw, not the live engine state. *)
+let add_reply ~seq ~name ~decision ~tier ?reason ?rate ?rho_v ~rho_fresh
+    ?min_ratio ~active ~attempts ~backlog ~vclock ~batch () =
+  json
+    ([
+       ("ok", "true");
+       ("op", jstr "add");
+       ("seq", jint seq);
+       ("conn", jstr name);
+       ("decision", jstr decision);
+       ("tier", jstr tier);
+     ]
+    @ (match reason with None -> [] | Some r -> [ ("reason", jstr r) ])
+    @ (match rate with None -> [] | Some r -> [ ("rate", jnum r) ])
+    @ (match rho_v with None -> [] | Some r -> [ ("rho", jnum r) ])
+    @ [ ("rho_fresh", jbool rho_fresh) ]
+    @ (match min_ratio with None -> [] | Some r -> [ ("min_ratio", jnum r) ])
+    @ [
+        ("active", jint active);
+        ("attempts", jint attempts);
+        ("backlog", jnum backlog);
+        ("vclock", jnum vclock);
+        ("batch", jint batch);
+      ])
+
+(* One batch member after pass 1: [Settled] members (slot errors,
+   ingress sheds, per-member rejections) already have their reply line;
+   [Candidate]s passed every per-member check and await the single
+   batch-final rho(DF) verdict. *)
+type candidate = {
+  c_seq : int;
+  c_conn : string option;  (* the request's own name, for serial replay *)
+  c_slot : int;
+  c_name : string;
+  c_rate : float;
+  c_min_ratio : float option;
+  c_attempts : int;
+  c_backlog : float;
+  c_vclock : float;
+  c_active : int;  (* population size with this member joined *)
+}
+
+type member = Settled of string | Candidate of candidate
+
+(* Rank-k admission: the members' rates are solved as a chain of
+   {!Steady_state.update_fair} patches against a tentative population —
+   each of those rate vectors is bit-identical to what the serial adds
+   would have produced (the incremental kernels are prev-independent) —
+   and the expensive stability evidence, DF and rho(DF), is computed
+   once on the batch-final accepted mask.  Whenever rho stays on the
+   same side of 1 throughout the batch (the regular case), every
+   verdict bit-matches serial execution; if the single check lands at
+   rho >= 1, the candidates are replayed serially against committed
+   state so the greedy serial verdicts are reproduced exactly. *)
+let handle_batch_requests t (adds : Protocol.add list) =
+  let { signal; b_ss; _ } = t.config in
+  let k = List.length adds in
+  let base_active = active_count t in
+  let cur_mask = ref t.active in
+  let cur_ss = ref t.ss in
+  let n_cand = ref 0 in
+  let admits = ref 0 and rejects = ref 0 and sheds = ref 0 and errors = ref 0 in
+  let batch_tier = ref None in
+  (* ---- pass 1: per-member slot/shed/rate checks on the chain ---- *)
+  let members =
+    List.map
+      (fun { Protocol.conn; time; size } ->
+        ignore size;
+        let seq = next_seq t in
+        let time = request_time t time in
+        t.last_time <- time;
+        let backlog = backlog_at t ~time in
+        match find_slot_in t !cur_mask conn with
+        | Error msg ->
+          charge t ~time t.config.cost_shed;
+          t.rejects <- t.rejects + 1;
+          incr errors;
+          Ffc_obs.Ctx.incr_named "service.rejects";
+          Settled (error_line ~seq msg)
+        | Ok slot ->
+          let name = t.names.(slot) in
+          if backlog >= t.config.backlog_shed then begin
+            charge t ~time t.config.cost_shed;
+            t.sheds <- t.sheds + 1;
+            incr sheds;
+            Ffc_obs.Ctx.incr_named "service.sheds";
+            note_tier t ~seq "shed";
+            emit_decision t ~seq ~op:"add" ~conn:name ~decision:"reject"
+              ~tier:"shed" ~backlog ();
+            Settled
+              (add_reply ~seq ~name ~decision:"reject" ~tier:"shed"
+                 ~reason:"overload" ~rho_fresh:t.rho_fresh
+                 ~active:(base_active + !n_cand) ~attempts:0 ~backlog
+                 ~vclock:t.vclock ~batch:k ())
+          end
+          else begin
+            let mask = Array.copy !cur_mask in
+            mask.(slot) <- true;
+            match
+              solve_with_retry t ~seq (fun () ->
+                  Steady_state.update_fair ~signal ~b_ss ~net:t.net
+                    ~prev:!cur_ss ~prev_active:!cur_mask ~active:mask)
+            with
+            | None ->
+              charge t ~time t.config.cost_cached;
+              t.rejects <- t.rejects + 1;
+              incr rejects;
+              Ffc_obs.Ctx.incr_named "service.rejects";
+              note_tier t ~seq "cached";
+              emit_decision t ~seq ~op:"add" ~conn:name ~decision:"reject"
+                ~tier:"cached" ~backlog ();
+              Settled
+                (add_reply ~seq ~name ~decision:"reject" ~tier:"cached"
+                   ~reason:"solver_failure" ~rho_fresh:t.rho_fresh
+                   ~active:(base_active + !n_cand)
+                   ~attempts:(t.config.retries + 1) ~backlog ~vclock:t.vclock
+                   ~batch:k ())
+            | Some (ss', attempts) ->
+              if !batch_tier = None then batch_tier := Some (pick_tier t ~backlog);
+              charge t ~time t.config.cost_cached;
+              let rate = ss'.(slot) in
+              let min_ratio = min_ratio_of t ~mask ~rates:ss' in
+              let reason =
+                if rate < t.config.min_rate then Some "min_rate"
+                else if
+                  match min_ratio with
+                  | Some r -> r < 1. -. t.config.epsilon
+                  | None -> false
+                then Some "min_ratio"
+                else None
+              in
+              (match reason with
+              | Some reason ->
+                t.rejects <- t.rejects + 1;
+                incr rejects;
+                Ffc_obs.Ctx.incr_named "service.rejects";
+                note_tier t ~seq "cached";
+                emit_decision t ~seq ~op:"add" ~conn:name ~decision:"reject"
+                  ~tier:"cached" ~rho:t.rho ?min_ratio ~rate ~backlog ();
+                Settled
+                  (add_reply ~seq ~name ~decision:"reject" ~tier:"cached"
+                     ~reason ~rate ~rho_v:t.rho ~rho_fresh:t.rho_fresh
+                     ?min_ratio ~active:(base_active + !n_cand) ~attempts
+                     ~backlog ~vclock:t.vclock ~batch:k ())
+              | None ->
+                cur_mask := mask;
+                cur_ss := ss';
+                incr n_cand;
+                Candidate
+                  {
+                    c_seq = seq;
+                    c_conn = conn;
+                    c_slot = slot;
+                    c_name = name;
+                    c_rate = rate;
+                    c_min_ratio = min_ratio;
+                    c_attempts = attempts;
+                    c_backlog = backlog;
+                    c_vclock = t.vclock;
+                    c_active = base_active + !n_cand;
+                  })
+          end)
+      adds
+  in
+  (* ---- pass 2: one batch-final stability verdict ---- *)
+  let summary_seq = next_seq t in
+  let sum_time = t.last_time in
+  let sum_backlog = backlog_at t ~time:sum_time in
+  let tier = match !batch_tier with Some tr -> tr | None -> Cached in
+  let final_mask = !cur_mask and final_ss = !cur_ss in
+  let attempts_final = ref 0 in
+  let batch_label = ref "cached" in
+  let candidate_line =
+    if !n_cand = 0 then begin
+      charge t ~time:sum_time t.config.cost_shed;
+      fun (_ : candidate) -> assert false
+    end
+    else begin
+      let solved_final =
+        match tier with
+        | Cached ->
+          charge t ~time:sum_time t.config.cost_cached;
+          Some ({ s_ss = final_ss; s_df = t.df; s_rho = t.rho; s_fresh = false }, 0)
+        | Full -> (
+          match
+            solve_with_retry t ~seq:summary_seq (fun () ->
+                let df' =
+                  Jacobian.of_controller_sparse t.controller ~net:t.net
+                    ~at:final_ss
+                in
+                (df', Jacobian.spectral_radius_sparse df'))
+          with
+          | Some ((df', rho'), attempts) ->
+            charge t ~time:sum_time t.config.cost_full;
+            Some
+              ( { s_ss = final_ss; s_df = Some (df', final_ss); s_rho = rho';
+                  s_fresh = true },
+                attempts )
+          | None -> None)
+        | Incremental -> (
+          match
+            solve_with_retry t ~seq:summary_seq (fun () ->
+                let prev_df, prev_at = ensure_df t in
+                let df' =
+                  Jacobian.update_flow t.controller ~net:t.net ~prev:prev_df
+                    ~prev_at ~at:final_ss
+                in
+                (df', Jacobian.spectral_radius_incremental df'))
+          with
+          | Some ((df', rho'), attempts) ->
+            charge t ~time:sum_time t.config.cost_incremental;
+            Some
+              ( { s_ss = final_ss; s_df = Some (df', final_ss); s_rho = rho';
+                  s_fresh = true },
+                attempts )
+          | None -> None)
+      in
+      let solved, solver_failed =
+        match solved_final with
+        | Some (s, a) ->
+          attempts_final := a;
+          (s, false)
+        | None ->
+          (* The batch-final DF/rho solve failed under the whole retry
+             envelope: degrade the batch to cached-tier evidence, like
+             serial adds stuck at the ladder floor. *)
+          charge t ~time:sum_time t.config.cost_cached;
+          attempts_final := t.config.retries + 1;
+          ( { s_ss = final_ss; s_df = t.df; s_rho = t.rho; s_fresh = false },
+            true )
+      in
+      let stale = (not solved.s_fresh) || solver_failed in
+      let label = if stale then "cached" else tier_label tier in
+      batch_label := label;
+      if solved.s_rho >= 1. && not stale then begin
+        (* rho crossed 1 somewhere inside the batch: replay the
+           candidates one by one against committed state at the batch's
+           tier — exactly what serial adds would have done — so the
+           greedy serial verdicts (including which member crosses the
+           line) are reproduced. *)
+        fun cand ->
+          (* Serial adds find their slot against committed state: when
+             an earlier replayed member is rejected its slot frees, and
+             the next anonymous member lands on it — re-find rather than
+             reuse the pass-1 assignment.  (Re-finding cannot fail: the
+             committed population is a subset of the tentative one the
+             pass-1 lookup succeeded against.) *)
+          let slot =
+            match find_slot t cand.c_conn with
+            | Ok s -> s
+            | Error _ -> cand.c_slot
+          in
+          let name = t.names.(slot) in
+          let mask = Array.copy t.active in
+          mask.(slot) <- true;
+          match
+            solve_with_retry t ~seq:cand.c_seq (fun () -> solve_mask t tier ~mask)
+          with
+          | None ->
+            t.rejects <- t.rejects + 1;
+            incr rejects;
+            Ffc_obs.Ctx.incr_named "service.rejects";
+            note_tier t ~seq:cand.c_seq "cached";
+            emit_decision t ~seq:cand.c_seq ~op:"add" ~conn:name
+              ~decision:"reject" ~tier:"cached" ~backlog:cand.c_backlog ();
+            add_reply ~seq:cand.c_seq ~name ~decision:"reject"
+              ~tier:"cached" ~reason:"solver_failure" ~rho_fresh:t.rho_fresh
+              ~active:(active_count t) ~attempts:(t.config.retries + 1)
+              ~backlog:cand.c_backlog ~vclock:t.vclock ~batch:k ()
+          | Some (solved, attempts) ->
+            let rate = solved.s_ss.(slot) in
+            let min_ratio = min_ratio_of t ~mask ~rates:solved.s_ss in
+            let reason =
+              if rate < t.config.min_rate then Some "min_rate"
+              else if
+                match min_ratio with
+                | Some r -> r < 1. -. t.config.epsilon
+                | None -> false
+              then Some "min_ratio"
+              else if solved.s_rho >= 1. then Some "rho"
+              else None
+            in
+            (match reason with
+            | None ->
+              commit t ~mask solved;
+              t.admits <- t.admits + 1;
+              incr admits;
+              Ffc_obs.Ctx.incr_named "service.admits"
+            | Some _ ->
+              t.rejects <- t.rejects + 1;
+              incr rejects;
+              Ffc_obs.Ctx.incr_named "service.rejects");
+            let decision = match reason with None -> "admit" | Some _ -> "reject" in
+            let lbl = tier_label tier in
+            note_tier t ~seq:cand.c_seq lbl;
+            emit_decision t ~seq:cand.c_seq ~op:"add" ~conn:name ~decision
+              ~tier:lbl ~rho:solved.s_rho ?min_ratio ~rate
+              ~backlog:cand.c_backlog ();
+            add_reply ~seq:cand.c_seq ~name ~decision ~tier:lbl
+              ?reason ~rate ~rho_v:solved.s_rho ~rho_fresh:t.rho_fresh
+              ?min_ratio ~active:(active_count t) ~attempts
+              ~backlog:cand.c_backlog ~vclock:t.vclock ~batch:k ()
+      end
+      else if solved.s_rho >= 1. then begin
+        (* Stale rho already sits at >= 1 (cached tier or a failed batch
+           solve): serial cached-tier adds would reject every one with
+           reason "rho" without committing — reproduce that verbatim. *)
+        fun cand ->
+          t.rejects <- t.rejects + 1;
+          incr rejects;
+          Ffc_obs.Ctx.incr_named "service.rejects";
+          note_tier t ~seq:cand.c_seq "cached";
+          emit_decision t ~seq:cand.c_seq ~op:"add" ~conn:cand.c_name
+            ~decision:"reject" ~tier:"cached" ~rho:t.rho
+            ?min_ratio:cand.c_min_ratio ~rate:cand.c_rate
+            ~backlog:cand.c_backlog ();
+          add_reply ~seq:cand.c_seq ~name:cand.c_name ~decision:"reject"
+            ~tier:"cached" ~reason:"rho" ~rate:cand.c_rate ~rho_v:t.rho
+            ~rho_fresh:t.rho_fresh ?min_ratio:cand.c_min_ratio
+            ~active:base_active ~attempts:cand.c_attempts
+            ~backlog:cand.c_backlog ~vclock:cand.c_vclock ~batch:k ()
+      end
+      else begin
+        commit ~mutations:!n_cand t ~mask:final_mask solved;
+        t.admits <- t.admits + !n_cand;
+        admits := !n_cand;
+        fun cand ->
+          Ffc_obs.Ctx.incr_named "service.admits";
+          note_tier t ~seq:cand.c_seq label;
+          emit_decision t ~seq:cand.c_seq ~op:"add" ~conn:cand.c_name
+            ~decision:"admit" ~tier:label ~rho:t.rho ?min_ratio:cand.c_min_ratio
+            ~rate:cand.c_rate ~backlog:cand.c_backlog ();
+          add_reply ~seq:cand.c_seq ~name:cand.c_name ~decision:"admit"
+            ~tier:label ~rate:cand.c_rate ~rho_v:t.rho ~rho_fresh:t.rho_fresh
+            ?min_ratio:cand.c_min_ratio ~active:cand.c_active
+            ~attempts:cand.c_attempts ~backlog:cand.c_backlog
+            ~vclock:cand.c_vclock ~batch:k ()
+      end
+    end
+  in
+  let member_lines =
+    List.map
+      (function Settled line -> line | Candidate c -> candidate_line c)
+      members
+  in
+  let summary_label = !batch_label in
+  let summary =
+    json
+      [
+        ("ok", "true");
+        ("op", jstr "batch");
+        ("seq", jint summary_seq);
+        ("adds", jint k);
+        ("admits", jint !admits);
+        ("rejects", jint !rejects);
+        ("sheds", jint !sheds);
+        ("errors", jint !errors);
+        ("tier", jstr summary_label);
+        ("rho", jnum t.rho);
+        ("rho_fresh", jbool t.rho_fresh);
+        ("active", jint (active_count t));
+        ("attempts", jint !attempts_final);
+        ("backlog", jnum sum_backlog);
+        ("vclock", jnum t.vclock);
+      ]
+  in
+  let replies =
+    List.map (fun line -> { line; mutated = false }) member_lines
+    @ [ { line = summary; mutated = !admits > 0 } ]
+  in
+  (replies, summary_label, !admits, !rejects + !errors, !sheds)
+
+let handle_batch ?sid t adds =
+  match Ffc_obs.Ctx.ambient () with
+  | None ->
+    let replies, _, _, _, _ = handle_batch_requests t adds in
+    replies
+  | Some c ->
+    (* One span per batch bracket — the "one rank-k solve" is visible as
+       exactly one svc.batch span wrapping the member decisions. *)
+    let t0 = if Ffc_obs.Ctx.timing c then Unix.gettimeofday () else 0. in
+    let span =
+      Ffc_obs.Span.start
+        ~attrs:
+          ([ ("op", jstr "batch"); ("adds", jint (List.length adds)) ]
+          @ match sid with None -> [] | Some s -> [ ("sid", jint s) ])
+        "svc.batch"
+    in
+    Fun.protect
+      ~finally:(fun () -> if Ffc_obs.Span.on span then Ffc_obs.Span.finish span)
+      (fun () ->
+        let replies, tier, admits, rejects, sheds =
+          handle_batch_requests t adds
+        in
+        if Ffc_obs.Span.on span then
+          Ffc_obs.Span.finish
+            ~attrs:
+              [
+                ("tier", jstr tier);
+                ("admits", jint admits);
+                ("rejects", jint rejects);
+                ("sheds", jint sheds);
+              ]
+            span;
+        let wall =
+          if Ffc_obs.Ctx.timing c then Unix.gettimeofday () -. t0 else 0.
+        in
+        Ffc_obs.Metrics.Histogram.observe
+          (Ffc_obs.Metrics.histogram (Ffc_obs.Ctx.metrics c)
+             ("service.latency." ^ tier))
+          wall;
+        replies)
 
 (* ------------------------------------------------------------------ *)
 (* remove                                                              *)
@@ -768,12 +1202,17 @@ let dispatch t = function
   | Protocol.Remove { conn; time } -> handle_remove t ~conn ~time
   | Protocol.Query { time } -> handle_query t ~time
   | Protocol.Stats { time } -> handle_stats t ~time
+  | Protocol.Batch_begin | Protocol.Batch_end ->
+    invalid_arg
+      "Admission.handle: batch brackets are session-level (use handle_batch)"
   | Protocol.Metrics _ | Protocol.Snapshot | Protocol.Shutdown ->
     invalid_arg
       "Admission.handle: metrics/snapshot/shutdown are server-level requests"
 
 let op_of = function
   | Protocol.Add _ -> "add"
+  | Protocol.Batch_begin -> "batch"
+  | Protocol.Batch_end -> "end"
   | Protocol.Remove _ -> "remove"
   | Protocol.Query _ -> "query"
   | Protocol.Stats _ -> "stats"
@@ -797,7 +1236,7 @@ let decision_of_reply line =
     | Some _ -> "error"
     | None -> "ok")
 
-let handle t req =
+let handle ?sid t req =
   match Ffc_obs.Ctx.ambient () with
   | None -> dispatch t req
   | Some c ->
@@ -807,7 +1246,11 @@ let handle t req =
        --trace-deterministic. *)
     let t0 = if Ffc_obs.Ctx.timing c then Unix.gettimeofday () else 0. in
     let span =
-      Ffc_obs.Span.start ~attrs:[ ("op", jstr (op_of req)) ] "svc.request"
+      Ffc_obs.Span.start
+        ~attrs:
+          ([ ("op", jstr (op_of req)) ]
+          @ match sid with None -> [] | Some s -> [ ("sid", jint s) ])
+        "svc.request"
     in
     Fun.protect
       ~finally:(fun () -> if Ffc_obs.Span.on span then Ffc_obs.Span.finish span)
@@ -878,7 +1321,6 @@ let restore t (s : Snapshot.state) =
     t.degrades <- lookup "degrades";
     t.recovers <- lookup "recovers";
     t.backoffs <- lookup "backoffs";
-    t.timeouts <- lookup "timeouts";
     t.served_full <- lookup "served_full";
     t.served_incremental <- lookup "served_incremental";
     t.served_cached <- lookup "served_cached";

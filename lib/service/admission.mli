@@ -40,18 +40,33 @@
     When the backlog drains the ladder steps back up; transitions are
     counted and traced ([svc.degrade]/[svc.recover]).
 
-    {b Robustness envelope.}  Every solve is wrapped in a per-request
-    wall-clock timeout (optional) and a bounded retry loop with
-    deterministic jittered exponential backoff — the jitter derives from
-    [(seed, seq)], so two runs of the same request stream back off
-    identically.  A tier whose solve keeps failing degrades to the next
-    tier; a request that exhausts the whole ladder is rejected (add) or
-    answered from patched rates alone (remove).
+    {b Robustness envelope.}  Every solve is wrapped in a bounded retry
+    loop with deterministic jittered exponential backoff — the jitter
+    derives from [(seed, seq)], so two runs of the same request stream
+    back off identically.  A tier whose solve keeps failing degrades to
+    the next tier; a request that exhausts the whole ladder is rejected
+    (add) or answered from patched rates alone (remove).  The optional
+    per-solve [timeout] is {e observational}: a solve that finishes
+    after the deadline keeps its result (the work is done — discarding
+    it would re-pay the whole solve) and the overrun is counted only in
+    the ambient metrics registry ([service.timeouts]), which sits
+    outside the determinism contract like the latency histograms.
 
-    Determinism contract: with [timeout = 0] (the default) every
-    response line is a pure function of the request stream and the
-    configuration — byte-identical at any [--jobs], across restarts from
-    a snapshot, and across cache cold/warm runs. *)
+    {b Batched admission.}  {!handle_batch} admits a whole bracket of
+    adds as one rank-k solve: member rates come from a chain of
+    {!Ffc_core.Steady_state.update_fair} patches (bit-identical to the
+    serial rates by the incremental-kernel contract) and the expensive
+    stability evidence — DF and ρ(DF) — is computed once, on the
+    batch-final accepted mask.  Per-member verdicts bit-match serial
+    execution whenever ρ stays on one side of 1 across the batch (the
+    regular case); if the single check lands at ρ ≥ 1 the candidates
+    are replayed serially against committed state, reproducing the
+    greedy serial verdicts including which member crosses the line.
+
+    Determinism contract: every response line is a pure function of the
+    request stream and the configuration — byte-identical at any
+    [--jobs], across restarts from a snapshot, and across cache
+    cold/warm runs; [timeout] no longer weakens this. *)
 
 open Ffc_topology
 open Ffc_core
@@ -75,8 +90,9 @@ type config = {
   cost_cached : float;
   cost_shed : float;  (** ...including the cost of saying no. *)
   cost_query : float;
-  timeout : float;  (** Per-solve wall-clock timeout, seconds; 0 = off
-                        (keep 0 in deterministic runs). *)
+  timeout : float;  (** Per-solve wall-clock deadline, seconds; 0 = off.
+                        Observational only: overruns are counted in the
+                        metrics registry, never reflected in replies. *)
   retries : int;  (** Backoff retries per solve. *)
   backoff_base : float;  (** Base backoff delay, seconds. *)
   sleep_backoff : bool;  (** Really sleep between retries (daemon mode);
@@ -98,21 +114,27 @@ type t
 val create :
   ?config:config ->
   ?failure_hook:(seq:int -> attempt:int -> bool) ->
+  ?slow_hook:(seq:int -> attempt:int -> float) ->
   Controller.t ->
   net:Network.t ->
   t
 (** A fresh engine over [net]'s slots, all idle.  [failure_hook] is a
     test seam: returning [true] makes that solve attempt fail as a
-    transient solver error (exercises timeout/backoff/degrade paths). *)
+    transient solver error (exercises timeout/backoff/degrade paths).
+    [slow_hook] is the timeout test seam: the returned duration (in
+    seconds, > 0) is slept before that solve attempt runs, so a test
+    can make a solve overrun [config.timeout] without faking clocks. *)
 
 type reply = { line : string; mutated : bool }
 (** One response line (no trailing newline) and whether the request
     committed a join/leave (drives the server's snapshot cadence). *)
 
-val handle : t -> Protocol.request -> reply
+val handle : ?sid:int -> t -> Protocol.request -> reply
 (** Serve [Add]/[Remove]/[Query]/[Stats].  [Metrics]/[Snapshot]/
-    [Shutdown] are the server's business and raise [Invalid_argument]
-    here.
+    [Shutdown] are the server's business, and [Batch_begin]/[Batch_end]
+    are session-level bracket state (use {!handle_batch}); all raise
+    [Invalid_argument] here.  [sid] tags the request's span with the
+    serving session (attribute only — replies never carry it).
 
     Read-only verbs are {e never} refused: past the shed threshold a
     [query] is answered from the last committed state (tier ["shed"],
@@ -126,6 +148,20 @@ val handle : t -> Protocol.request -> reply
     as end attributes) and its wall-clock latency is observed in the
     per-tier [service.latency.<tier>] histogram (zeroed under
     [--trace-deterministic], like the span timing channel). *)
+
+val handle_batch : ?sid:int -> t -> Protocol.add list -> reply list
+(** Admit a bracket of adds as one rank-k solve (see the module
+    preamble).  Returns exactly [length adds + 1] replies: one per
+    member, in request order, each carrying a ["batch"] field with the
+    bracket size, then a trailing batch summary
+    ([op = "batch"], member tallies, the batch tier and ρ).  Member
+    tiers never leave the full/incremental/cached/shed vocabulary:
+    admitted members report the batch's entry tier ("cached" when the
+    stability evidence is stale), per-member rejections report
+    ["cached"] (they only received patch work).  When an ambient
+    {!Ffc_obs.Ctx} is installed the whole bracket runs under a single
+    ["svc.batch"] span — the observable witness that a batch of K adds
+    performs exactly one ρ(DF) check. *)
 
 val next_seq : t -> int
 (** Claim the next request sequence number (used by the server for the

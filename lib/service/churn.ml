@@ -58,9 +58,13 @@ type stats = {
   last_time : float;
 }
 
-let run ?(query_every = 0) ~seed ~rate ~arrivals ~size_dist ~send () =
+let run ?(query_every = 0) ?(batch = 1) ?send_batch ~seed ~rate ~arrivals
+    ~size_dist ~send () =
   if rate <= 0. then invalid_arg "Churn.run: rate must be positive";
   if arrivals < 0 then invalid_arg "Churn.run: arrivals must be >= 0";
+  if batch < 1 then invalid_arg "Churn.run: batch must be >= 1";
+  if batch > 1 && send_batch = None then
+    invalid_arg "Churn.run: batch > 1 needs a send_batch callback";
   let rng = Rng.create seed in
   (* Pending departures, kept sorted by time (ties by insertion order —
      list append preserves it). Populations are service-sized, so a
@@ -90,8 +94,77 @@ let run ?(query_every = 0) ~seed ~rate ~arrivals ~size_dist ~send () =
   in
   let sent = ref 0 in
   let note_time t = stats := { !stats with last_time = Float.max !stats.last_time t } in
+  (* Account one add's reply: decision tallies, the running min-ratio,
+     and the departure the admitted rate schedules.  Shared by the
+     serial path and the batched member replies. *)
+  let note_add_reply t size resp =
+    if Protocol.json_bool_field resp ~key:"ok" = Some false then
+      stats := { !stats with errors = !stats.errors + 1 }
+    else
+      match Protocol.json_string_field resp ~key:"decision" with
+      | Some "admit" -> (
+        stats := { !stats with admits = !stats.admits + 1 };
+        (match Protocol.json_number_field resp ~key:"min_ratio" with
+        | Some r ->
+          let m =
+            match !stats.min_min_ratio with
+            | None -> r
+            | Some m -> Float.min m r
+          in
+          stats := { !stats with min_min_ratio = Some m }
+        | None -> ());
+        match
+          ( Protocol.json_string_field resp ~key:"conn",
+            Protocol.json_number_field resp ~key:"rate" )
+        with
+        | Some conn, Some r when r > 0. -> insert (t +. (size /. r)) conn
+        | Some conn, _ ->
+          (* Admitted at zero rate should be impossible; remove it
+             immediately so the slot is not leaked forever. *)
+          insert t conn
+        | None, _ -> ())
+      | Some _ when Protocol.json_string_field resp ~key:"tier" = Some "shed" ->
+        stats := { !stats with sheds = !stats.sheds + 1 }
+      | Some _ -> stats := { !stats with rejects = !stats.rejects + 1 }
+      | None -> stats := { !stats with errors = !stats.errors + 1 }
+  in
+  (* Adds buffered in an open batch bracket (newest first). *)
+  let buffer = ref ([] : (float * float * string) list) in
+  let flush_batch () =
+    match !buffer with
+    | [] -> ()
+    | buf ->
+      let buf = List.rev buf in
+      buffer := [];
+      let lines =
+        (Protocol.render Batch_begin :: List.map (fun (_, _, l) -> l) buf)
+        @ [ Protocol.render Batch_end ]
+      in
+      let replies = (Option.get send_batch) lines in
+      (* One reply per member in order, then the batch summary. *)
+      let rec pair bs rs =
+        match (bs, rs) with
+        | [], _ -> ()
+        | (t, size, _) :: bs', r :: rs' ->
+          note_add_reply t size r;
+          pair bs' rs'
+        | _ :: bs', [] ->
+          (* A member reply is missing (transport trouble): count it as
+             an error rather than silently losing the arrival. *)
+          stats := { !stats with errors = !stats.errors + 1 };
+          pair bs' []
+      in
+      let members =
+        match List.rev replies with
+        | _summary :: rev_members when List.length replies > List.length buf ->
+          List.rev rev_members
+        | _ -> replies
+      in
+      pair buf members
+  in
   let maybe_query t =
     if query_every > 0 && !sent mod query_every = 0 then begin
+      flush_batch ();
       let resp = send (Protocol.render (Query { time = Some t })) in
       incr sent;
       stats := { !stats with queries = !stats.queries + 1 };
@@ -99,6 +172,9 @@ let run ?(query_every = 0) ~seed ~rate ~arrivals ~size_dist ~send () =
     end
   in
   let depart (t, conn) =
+    (* The bracket must flush before any departure so the request
+       stream the engine sees stays globally time-ordered. *)
+    flush_batch ();
     let resp = send (Protocol.render (Remove { conn; time = Some t })) in
     incr sent;
     note_time t;
@@ -109,41 +185,17 @@ let run ?(query_every = 0) ~seed ~rate ~arrivals ~size_dist ~send () =
   in
   let arrive t =
     let size = sample_size rng size_dist in
-    let resp =
-      send (Protocol.render (Add { conn = None; time = Some t; size = Some size }))
+    let line =
+      Protocol.render (Add { conn = None; time = Some t; size = Some size })
     in
     incr sent;
     note_time t;
     stats := { !stats with arrivals = !stats.arrivals + 1 };
-    (if Protocol.json_bool_field resp ~key:"ok" = Some false then
-       stats := { !stats with errors = !stats.errors + 1 }
-     else
-       match Protocol.json_string_field resp ~key:"decision" with
-       | Some "admit" -> (
-         stats := { !stats with admits = !stats.admits + 1 };
-         (match Protocol.json_number_field resp ~key:"min_ratio" with
-         | Some r ->
-           let m =
-             match !stats.min_min_ratio with
-             | None -> r
-             | Some m -> Float.min m r
-           in
-           stats := { !stats with min_min_ratio = Some m }
-         | None -> ());
-         match
-           ( Protocol.json_string_field resp ~key:"conn",
-             Protocol.json_number_field resp ~key:"rate" )
-         with
-         | Some conn, Some r when r > 0. -> insert (t +. (size /. r)) conn
-         | Some conn, _ ->
-           (* Admitted at zero rate should be impossible; remove it
-              immediately so the slot is not leaked forever. *)
-           insert t conn
-         | None, _ -> ())
-       | Some _ when Protocol.json_string_field resp ~key:"tier" = Some "shed" ->
-         stats := { !stats with sheds = !stats.sheds + 1 }
-       | Some _ -> stats := { !stats with rejects = !stats.rejects + 1 }
-       | None -> stats := { !stats with errors = !stats.errors + 1 });
+    if batch <= 1 then note_add_reply t size (send line)
+    else begin
+      buffer := (t, size, line) :: !buffer;
+      if List.length !buffer >= batch then flush_batch ()
+    end;
     maybe_query t
   in
   let t = ref 0. in
@@ -163,6 +215,7 @@ let run ?(query_every = 0) ~seed ~rate ~arrivals ~size_dist ~send () =
     flush ();
     arrive !t
   done;
+  flush_batch ();
   List.iter depart !pending;
   pending := [];
   !stats

@@ -44,6 +44,8 @@ type stats = {
 
 val run :
   ?query_every:int ->
+  ?batch:int ->
+  ?send_batch:(string list -> string list) ->
   seed:int ->
   rate:float ->
   arrivals:int ->
@@ -55,4 +57,13 @@ val run :
     departures they induce, in global time order) through [send].
     [query_every] > 0 additionally issues a [query] after every that
     many requests.  Departures still pending when the last arrival has
-    been processed are flushed in order. *)
+    been processed are flushed in order.
+
+    [batch] > 1 coalesces consecutive adds into explicit
+    [batch ... end] brackets of up to that many members, sent through
+    [send_batch] (the whole bracket's lines in, one reply per member
+    plus the batch summary out — required when [batch] > 1).  A bracket
+    flushes when full, before any departure or query (the request
+    stream stays globally time-ordered), and at end of stream.  The
+    arrival process itself is untouched: (seed, rate, arrivals,
+    size_dist) still names the same add sequence at any [batch]. *)

@@ -1,5 +1,9 @@
+type add = { conn : string option; time : float option; size : float option }
+
 type request =
-  | Add of { conn : string option; time : float option; size : float option }
+  | Add of add
+  | Batch_begin
+  | Batch_end
   | Remove of { conn : string; time : float option }
   | Query of { time : float option }
   | Stats of { time : float option }
@@ -41,25 +45,24 @@ let parse line =
     ignore rest;
     Error "comment line"
   | verb :: rest -> (
-    let fields ?(positional = None) allowed k =
-      match parse_fields rest ~allowed with
-      | Error _ when positional <> None -> (
-        (* First word may be a positional name; retry on the tail. *)
-        match rest with
-        | name :: rest' when not (String.contains name '=') -> (
-          match parse_fields rest' ~allowed with
-          | Ok f -> k (Some name) f
-          | Error e -> Error e)
-        | _ -> (
-          match parse_fields rest ~allowed with
-          | Ok f -> k None f
-          | Error e -> Error e))
-      | Ok f -> k None f
-      | Error e -> Error e
+    let fields ?(positional = false) allowed k =
+      (* A leading word without '=' is the positional name; everything
+         else is key=value fields.  One pass, and an error in the tail
+         is reported as the tail's error, not as the name failing to
+         parse as a field. *)
+      match rest with
+      | name :: rest' when positional && not (String.contains name '=') -> (
+        match parse_fields rest' ~allowed with
+        | Ok f -> k (Some name) f
+        | Error e -> Error e)
+      | _ -> (
+        match parse_fields rest ~allowed with
+        | Ok f -> k None f
+        | Error e -> Error e)
     in
     match verb with
     | "add" ->
-      fields ~positional:(Some `Name) [ "t"; "size" ] (fun name f ->
+      fields ~positional:true [ "t"; "size" ] (fun name f ->
           Ok
             (Add
                {
@@ -67,6 +70,10 @@ let parse line =
                  time = List.assoc_opt "t" f;
                  size = List.assoc_opt "size" f;
                }))
+    | "batch" ->
+      if rest = [] then Ok Batch_begin else Error "batch takes no arguments"
+    | "end" ->
+      if rest = [] then Ok Batch_end else Error "end takes no arguments"
     | "remove" -> (
       match rest with
       | name :: rest' when not (String.contains name '=') -> (
@@ -105,6 +112,8 @@ let render = function
     ^ (match size with
       | None -> ""
       | Some s -> Printf.sprintf " size=%s" (Ffc_obs.Jsonf.float_rt s))
+  | Batch_begin -> "batch"
+  | Batch_end -> "end"
   | Remove { conn; time } -> "remove " ^ conn ^ render_time time
   | Query { time } -> "query" ^ render_time time
   | Stats { time } -> "stats" ^ render_time time

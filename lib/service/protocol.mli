@@ -13,6 +13,12 @@
     {v
     add [NAME] [t=TIME] [size=SIZE]     join: NAME picks a specific idle
                                         slot, omitted = first idle slot
+    batch                               open a batch bracket: subsequent
+                                        adds are buffered and admitted
+                                        together on "end"
+    end                                 close the bracket: one rank-k
+                                        solve, one reply per member plus
+                                        a trailing batch summary
     remove NAME [t=TIME]                leave
     query [t=TIME]                      status + supervised verdict
     stats [t=TIME]                      counters snapshot (never shed;
@@ -29,8 +35,14 @@
     recorded for the decision log and used by the churn driver to
     schedule the departure. *)
 
+type add = { conn : string option; time : float option; size : float option }
+(** The payload of one [add] request — also the unit a batch bracket
+    accumulates. *)
+
 type request =
-  | Add of { conn : string option; time : float option; size : float option }
+  | Add of add
+  | Batch_begin
+  | Batch_end
   | Remove of { conn : string; time : float option }
   | Query of { time : float option }
   | Stats of { time : float option }

@@ -37,15 +37,33 @@ let render s =
 let write ~path s =
   let text = render s in
   let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644
+  in
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      output_string oc text;
-      (* Flush to the OS before the rename publishes the file, so a
-         crash between the two cannot expose an empty snapshot. *)
-      flush oc);
+      let bytes = Bytes.unsafe_of_string text in
+      let n = Bytes.length bytes in
+      let written = ref 0 in
+      while !written < n do
+        written := !written + Unix.write fd bytes !written (n - !written)
+      done;
+      (* fsync the tmp file before the rename publishes it: a buffered
+         flush alone only reaches the OS page cache, so power loss
+         between flush and writeback could still expose a truncated
+         file under the final name. *)
+      Unix.fsync fd);
   Unix.rename tmp path;
+  (* Persist the rename itself: fsync the containing directory so the
+     new directory entry survives power loss too.  Best-effort — some
+     filesystems refuse directory fsync. *)
+  (try
+     let dfd = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 in
+     Fun.protect
+       ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
+       (fun () -> Unix.fsync dfd)
+   with Unix.Unix_error _ -> ());
   String.length text
 
 let load ~path =

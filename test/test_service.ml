@@ -12,13 +12,13 @@ open Test_util
 
 let additive = Rate_adjust.additive ~eta:0.1 ~beta:0.5
 
-let make_engine ?(config = Admission.default_config) ?failure_hook ?(n = 3) () =
+let make_engine ?(config = Admission.default_config) ?failure_hook ?slow_hook
+    ?(adjuster = additive) ?(n = 3) () =
   let net = Topologies.single ~mu:1. ~n () in
   let controller =
-    Controller.homogeneous ~config:Feedback.individual_fair_share
-      ~adjuster:additive ~n
+    Controller.homogeneous ~config:Feedback.individual_fair_share ~adjuster ~n
   in
-  (Admission.create ~config ?failure_hook controller ~net, net)
+  (Admission.create ~config ?failure_hook ?slow_hook controller ~net, net)
 
 let scrape_str line key =
   match Protocol.json_string_field line ~key with
@@ -79,6 +79,44 @@ let test_protocol_roundtrip () =
   check_true "remove needs a name" (rejects "remove t=1");
   check_true "stats takes nothing" (rejects "stats now");
   check_true "non-finite time" (rejects "query t=nan")
+
+(* The positional-name fallback: [add] may lead with a bare connection
+   name, and an error in the key=value tail must be reported as the
+   tail's error — not as the name failing to parse as a field. *)
+let test_protocol_positional_edge_cases () =
+  let ok s =
+    match Protocol.parse s with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  let err s =
+    match Protocol.parse s with
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" s
+    | Error e -> e
+  in
+  (match ok "add conn1 t=1 size=2" with
+  | Protocol.Add { conn = Some "conn1"; time = Some 1.; size = Some 2. } -> ()
+  | _ -> Alcotest.fail "positional name with fields");
+  (match ok "add t=1" with
+  | Protocol.Add { conn = None; time = Some 1.; size = None } -> ()
+  | _ -> Alcotest.fail "name absent");
+  (* The tail's error is the error — the name is never blamed. *)
+  let e = err "add conn1 bogus" in
+  check_true "tail error names the bad word" (contains e "bogus");
+  check_true "the name is not blamed" (not (contains e "conn1"));
+  check_true "duplicate after a name" (contains (err "add conn1 t=1 t=2") "duplicate");
+  check_true "unknown after a name" (contains (err "add conn1 bw=3") "unknown");
+  check_true "bad number after a name"
+    (contains (err "add conn1 t=abc") "bad number");
+  (* Batch brackets are bare verbs. *)
+  (match ok "batch" with
+  | Protocol.Batch_begin -> ()
+  | _ -> Alcotest.fail "batch parses");
+  (match ok "end" with
+  | Protocol.Batch_end -> ()
+  | _ -> Alcotest.fail "end parses");
+  check_true "batch takes nothing" (contains (err "batch now") "no arguments");
+  check_true "end takes nothing" (contains (err "end now") "no arguments")
 
 (* ------------------------------------------------------------------ *)
 (* Admission                                                           *)
@@ -287,6 +325,39 @@ let test_solver_failure_degrades_then_rejects () =
   (* The next request works again. *)
   let r3 = handle_line engine "add t=0.3" in
   Alcotest.(check string) "back to normal" "admit" (scrape_str r3 "decision")
+
+let test_timeout_keeps_late_result () =
+  (* Regression: a solve that finishes after the per-solve deadline used
+     to be discarded and retried, so enabling [timeout] changed the
+     decision log.  Now the late result is kept — the overrun is only
+     counted in the ambient metrics registry. *)
+  let slow ~seq ~attempt:_ = if seq = 2 then 0.02 else 0. in
+  let config = { Admission.default_config with timeout = 0.002 } in
+  let script = [ "add t=0.1"; "add t=0.2"; "add t=0.3"; "stats" ] in
+  let run engine = List.map (handle_line engine) script in
+  let metrics = Ffc_obs.Metrics.create () in
+  let slow_engine, _ = make_engine ~config ~slow_hook:slow ~n:4 () in
+  let slow_log =
+    Ffc_obs.Ctx.with_ctx (Ffc_obs.Ctx.make ~metrics ()) (fun () ->
+        run slow_engine)
+  in
+  let fast_engine, _ = make_engine ~config ~n:4 () in
+  let fast_log = run fast_engine in
+  Alcotest.(check (list string))
+    "overrunning the deadline does not change the decision log" slow_log
+    fast_log;
+  let late = List.nth slow_log 1 in
+  Alcotest.(check string) "late result kept" "admit" (scrape_str late "decision");
+  check_float ~tol:0. "no retry was spent" 1. (scrape_num late "attempts");
+  (* The overrun was counted — outside the deterministic reply stream. *)
+  let timeouts =
+    Ffc_obs.Metrics.Counter.value
+      (Ffc_obs.Metrics.counter metrics "service.timeouts")
+  in
+  Alcotest.(check int) "overrun counted once" 1 timeouts;
+  (* The stats reply no longer reports a timeouts counter at all. *)
+  check_true "timeouts are off the deterministic path"
+    (not (contains (List.nth slow_log 3) "timeouts"))
 
 (* ------------------------------------------------------------------ *)
 (* Determinism across --jobs                                           *)
@@ -553,11 +624,404 @@ let test_churn_storm_deterministic () =
   let _, _, _, log_b = run_storm () in
   Alcotest.(check string) "storm decision log byte-identical" log_a log_b
 
+(* ------------------------------------------------------------------ *)
+(* Batched admission                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let add_at t = { Protocol.conn = None; time = Some t; size = None }
+
+(* The verdict-bearing fields of an add reply — everything the batch
+   contract promises bit-matches serial execution.  (Seqs, tiers and
+   the vclock legitimately differ: the batch summary consumes a seq of
+   its own, and batch members are labelled with the batch's tier.) *)
+let verdict line =
+  let s k = Option.value ~default:"-" (Protocol.json_string_field line ~key:k) in
+  let n k =
+    match Protocol.json_number_field line ~key:k with
+    | None -> "-"
+    | Some v -> Ffc_obs.Jsonf.float_rt v
+  in
+  String.concat " " [ s "conn"; s "decision"; s "reason"; n "rate"; n "min_ratio" ]
+
+(* Run the same k adds serially through one engine and as a single
+   bracket through an identically-configured second engine; return
+   (serial replies, batch member replies, batch summary, both engines). *)
+let batch_vs_serial ?config ?adjuster ~n k =
+  let adds = List.init k (fun i -> add_at (0.25 *. float_of_int (i + 1))) in
+  let serial_engine, _ = make_engine ?config ?adjuster ~n () in
+  let serial =
+    List.map
+      (fun a -> (Admission.handle serial_engine (Protocol.Add a)).Admission.line)
+      adds
+  in
+  let batch_engine, _ = make_engine ?config ?adjuster ~n () in
+  let lines =
+    List.map
+      (fun r -> r.Admission.line)
+      (Admission.handle_batch batch_engine adds)
+  in
+  Alcotest.(check int) "k members + summary" (k + 1) (List.length lines);
+  let members = List.filteri (fun i _ -> i < k) lines in
+  (serial, members, List.nth lines k, serial_engine, batch_engine)
+
+let check_batch_matches_serial ?config ?adjuster ~n k =
+  let serial, members, summary, serial_engine, batch_engine =
+    batch_vs_serial ?config ?adjuster ~n k
+  in
+  Alcotest.(check (list string))
+    "per-member verdicts bit-match serial" (List.map verdict serial)
+    (List.map verdict members);
+  (* The committed state is the same state serial execution reaches. *)
+  check_true "rates bit-identical"
+    (Admission.rates serial_engine = Admission.rates batch_engine);
+  Alcotest.(check int) "same population"
+    (Admission.active_count serial_engine)
+    (Admission.active_count batch_engine);
+  check_true "same rho"
+    (Admission.rho serial_engine = Admission.rho batch_engine);
+  List.iter
+    (fun m ->
+      check_float ~tol:0. "members carry the bracket size" (float_of_int k)
+        (scrape_num m "batch"))
+    members;
+  summary
+
+let test_batch_admit_matches_serial () =
+  let summary = check_batch_matches_serial ~n:6 4 in
+  Alcotest.(check string) "summary op" "batch" (scrape_str summary "op");
+  check_float ~tol:0. "summary adds" 4. (scrape_num summary "adds");
+  check_float ~tol:0. "summary admits" 4. (scrape_num summary "admits");
+  check_float ~tol:0. "summary rejects" 0. (scrape_num summary "rejects");
+  Alcotest.(check string) "one full-tier solve" "full" (scrape_str summary "tier")
+
+let test_batch_min_rate_matches_serial () =
+  (* Four flows share a unit link (fair rates 0.5, 0.25, 1/6, 0.125):
+     the fourth's rate falls below the floor, so serial execution
+     admits three and rejects the fourth — the batch must reproduce
+     exactly that. *)
+  let config = { Admission.default_config with min_rate = 0.15 } in
+  let summary = check_batch_matches_serial ~config ~n:6 4 in
+  check_float ~tol:0. "three admitted" 3. (scrape_num summary "admits");
+  check_float ~tol:0. "one rejected" 1. (scrape_num summary "rejects")
+
+let test_batch_rho_crossing_matches_serial () =
+  (* An aggressive adjuster destabilises the system as the population
+     grows: serially the third add lands at rho = 1 and is rejected.
+     The batch's single rho check sees the crossing and replays the
+     candidates serially, reproducing the greedy serial verdicts —
+     including which member crosses the line. *)
+  let adjuster = Rate_adjust.additive ~eta:0.5 ~beta:0.5 in
+  let serial, members, summary, serial_engine, batch_engine =
+    batch_vs_serial ~adjuster ~n:6 4
+  in
+  Alcotest.(check (list string))
+    "verdicts bit-match across the rho crossing" (List.map verdict serial)
+    (List.map verdict members);
+  Alcotest.(check string) "third member rejected on rho" "rho"
+    (scrape_str (List.nth members 2) "reason");
+  check_float ~tol:0. "two admitted" 2. (scrape_num summary "admits");
+  check_true "rates bit-identical"
+    (Admission.rates serial_engine = Admission.rates batch_engine);
+  Alcotest.(check int) "two active in both" 2
+    (Admission.active_count batch_engine)
+
+let lines_of s = List.filter (fun l -> l <> "") (String.split_on_char '\n' s)
+
+let test_batch_single_span_single_rho_check () =
+  (* The observable witness that a bracket of k adds does one solve:
+     exactly one svc.batch span, no per-member svc.request spans, and
+     one decision event per member. *)
+  let sink = Ffc_obs.Sink.buffer () in
+  let ctx = Ffc_obs.Ctx.make ~sink () in
+  let engine, _ = make_engine ~n:6 () in
+  let _, trace =
+    Ffc_obs.Ctx.with_ctx ctx (fun () ->
+        Ffc_obs.Sink.capture (fun () ->
+            Admission.handle_batch engine
+              (List.init 4 (fun i -> add_at (0.25 *. float_of_int (i + 1))))))
+  in
+  let acc = Ffc_obs.Trace_report.of_lines (lines_of trace) in
+  let phase_count name =
+    match
+      List.find_opt
+        (fun p -> p.Ffc_obs.Trace_report.ph_name = name)
+        (Ffc_obs.Trace_report.phases acc)
+    with
+    | Some p -> p.Ffc_obs.Trace_report.ph_count
+    | None -> 0
+  in
+  Alcotest.(check int) "one svc.batch span" 1 (phase_count "svc.batch");
+  Alcotest.(check int) "no per-member request spans" 0 (phase_count "svc.request");
+  let tiers = Ffc_obs.Trace_report.tiers acc in
+  Alcotest.(check int) "one decision event per member" 4
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 tiers)
+
+let test_server_batch_brackets () =
+  let engine, _ = make_engine ~n:6 () in
+  let server = Server.create engine in
+  let s = Server.new_session () in
+  let silent line =
+    match Server.handle_session_line server s line with
+    | `Silent -> ()
+    | _ -> Alcotest.failf "%s: expected silence" line
+  in
+  let errors line needle =
+    match Server.handle_session_line server s line with
+    | `Replies [ r ] ->
+      check_true (line ^ ": ok:false") (contains r "\"ok\":false");
+      check_true (Printf.sprintf "%s: says %S" line needle) (contains r needle)
+    | _ -> Alcotest.failf "%s: expected one error reply" line
+  in
+  errors "end" "without an open batch bracket";
+  silent "batch";
+  silent "add t=0.25";
+  (* Only adds may ride a bracket; the bracket survives the error. *)
+  errors "query t=0.3" "only add";
+  errors "batch" "already open";
+  silent "add t=0.5";
+  (match Server.handle_session_line server s "end" with
+  | `Replies rs ->
+    Alcotest.(check int) "two members + summary" 3 (List.length rs);
+    List.iteri
+      (fun i r ->
+        if i < 2 then
+          check_float ~tol:0. "bracket size" 2. (scrape_num r "batch"))
+      rs;
+    Alcotest.(check string) "summary closes the bracket" "batch"
+      (scrape_str (List.nth rs 2) "op")
+  | _ -> Alcotest.fail "end flushes the bracket");
+  Alcotest.(check int) "both adds committed" 2 (Admission.active_count engine);
+  (* An empty bracket is legal: just the summary, nothing solved. *)
+  silent "batch";
+  (match Server.handle_session_line server s "end" with
+  | `Replies [ r ] ->
+    check_float ~tol:0. "no adds" 0. (scrape_num r "adds");
+    check_float ~tol:0. "no admits" 0. (scrape_num r "admits")
+  | _ -> Alcotest.fail "empty bracket still answers")
+
+let test_bracket_dies_with_session () =
+  let engine, _ = make_engine ~n:4 () in
+  let server = Server.create engine in
+  let s = Server.new_session () in
+  (match Server.handle_session_line server s "batch" with
+  | `Silent -> ()
+  | _ -> Alcotest.fail "bracket opens silently");
+  (match Server.handle_session_line server s "add t=0.25" with
+  | `Silent -> ()
+  | _ -> Alcotest.fail "buffered add is silent");
+  (* The session is dropped with the bracket open: nothing may have
+     reached the engine — no commit, no sequence number. *)
+  Alcotest.(check int) "nothing committed" 0 (Admission.active_count engine);
+  Alcotest.(check int) "no seq consumed" 0 (Admission.seq engine)
+
+(* ------------------------------------------------------------------ *)
+(* Interleaving invariance                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_interleaving_invariant_decision_log () =
+  (* The same global request order distributed over different sessions
+     must produce the identical decision log: the engine is serial
+     behind its logical clock, sessions are only transport. *)
+  let run pick =
+    let engine, _ = make_engine ~n:4 () in
+    let server = Server.create engine in
+    let sessions =
+      [| Server.new_session ~sid:1 (); Server.new_session ~sid:2 () |]
+    in
+    List.concat
+      (List.mapi
+         (fun i line ->
+           match Server.handle_session_line server sessions.(pick i) line with
+           | `Silent -> []
+           | `Replies rs | `Quit rs -> rs)
+         determinism_script)
+  in
+  let single = run (fun _ -> 0) in
+  let alternating = run (fun i -> i mod 2) in
+  let split = run (fun i -> if i < 6 then 0 else 1) in
+  Alcotest.(check (list string))
+    "alternating sessions: byte-identical" single alternating;
+  Alcotest.(check (list string)) "split sessions: byte-identical" single split
+
+(* ------------------------------------------------------------------ *)
+(* The select event loop over a real socket                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_classify_accept_error () =
+  let show e =
+    match Server.classify_accept_error e with
+    | `Retry -> "retry"
+    | `Ignore -> "ignore"
+    | `Backoff -> "backoff"
+    | `Fatal -> "fatal"
+  in
+  Alcotest.(check string) "EINTR retries" "retry" (show Unix.EINTR);
+  Alcotest.(check string) "ECONNABORTED ignored" "ignore" (show Unix.ECONNABORTED);
+  Alcotest.(check string) "EAGAIN ignored" "ignore" (show Unix.EAGAIN);
+  Alcotest.(check string) "EMFILE backs off" "backoff" (show Unix.EMFILE);
+  Alcotest.(check string) "ENFILE backs off" "backoff" (show Unix.ENFILE);
+  Alcotest.(check string) "ENOBUFS backs off" "backoff" (show Unix.ENOBUFS);
+  Alcotest.(check string) "EBADF is fatal" "fatal" (show Unix.EBADF)
+
+let temp_sock () =
+  let path = Filename.temp_file "ffc_daemon" ".sock" in
+  Sys.remove path;
+  path
+
+let connect_to sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec go n =
+    match Unix.connect fd (Unix.ADDR_UNIX sock) with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when n > 0 ->
+      Unix.sleepf 0.02;
+      go (n - 1)
+  in
+  go 250;
+  (fd, Unix.in_channel_of_descr fd)
+
+let send_raw (fd, _) line =
+  let data = line ^ "\n" in
+  let rec go pos =
+    if pos < String.length data then
+      go (pos + Unix.write_substring fd data pos (String.length data - pos))
+  in
+  go 0
+
+let read_reply (_, ic) = input_line ic
+
+let request c line =
+  send_raw c line;
+  read_reply c
+
+let close_client (fd, _) = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Run [f] against a live daemon in a sibling domain; always shut the
+   daemon down afterwards (retrying while the session table is full)
+   so the domain can be joined even when [f] fails. *)
+let with_daemon ?max_sessions ?idle_timeout ?(n = 6)
+    ?(config = Admission.default_config) f =
+  let engine, _ = make_engine ~config ~n () in
+  let server = Server.create engine in
+  let sock = temp_sock () in
+  let daemon =
+    Domain.spawn (fun () ->
+        try
+          Server.serve ?max_sessions ?idle_timeout server ~socket:sock;
+          None
+        with e -> Some (Printexc.to_string e))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      let rec stop tries =
+        match
+          let c = connect_to sock in
+          let r = request c "shutdown" in
+          close_client c;
+          r
+        with
+        | r when contains r "shed at accept" && tries > 0 ->
+          Unix.sleepf 0.05;
+          stop (tries - 1)
+        | _ -> ()
+        | exception _ -> ()
+      in
+      stop 20;
+      (match Domain.join daemon with
+      | None -> ()
+      | Some e -> Alcotest.failf "daemon raised: %s" e);
+      try Sys.remove sock with Sys_error _ -> ())
+    (fun () -> f sock engine)
+
+let test_daemon_concurrent_sessions_and_batch () =
+  with_daemon (fun sock _ ->
+      let a = connect_to sock in
+      let b = connect_to sock in
+      (* Interleaved requests across two sessions: seqs advance in the
+         global arrival order, whatever session carries each request. *)
+      let r1 = request a "add t=0.25" in
+      Alcotest.(check string) "a admits" "admit" (scrape_str r1 "decision");
+      check_float ~tol:0. "seq 1" 1. (scrape_num r1 "seq");
+      let r2 = request b "add t=0.5" in
+      Alcotest.(check string) "b admits" "admit" (scrape_str r2 "decision");
+      check_float ~tol:0. "seq 2" 2. (scrape_num r2 "seq");
+      let r3 = request a "query t=0.75" in
+      check_float ~tol:0. "seq 3" 3. (scrape_num r3 "seq");
+      (* A pipelined bracket rides session b: write everything, then
+         collect two member replies plus the summary. *)
+      send_raw b "batch";
+      send_raw b "add t=1";
+      send_raw b "add t=1.25";
+      send_raw b "end";
+      let m1 = read_reply b in
+      let m2 = read_reply b in
+      let summary = read_reply b in
+      Alcotest.(check string) "member 1 admitted" "admit" (scrape_str m1 "decision");
+      Alcotest.(check string) "member 2 admitted" "admit" (scrape_str m2 "decision");
+      check_float ~tol:0. "bracket size tagged" 2. (scrape_num m1 "batch");
+      Alcotest.(check string) "summary arrives last" "batch"
+        (scrape_str summary "op");
+      (* Session a was not disturbed by b's bracket. *)
+      let r4 = request a "stats" in
+      check_float ~tol:0. "four flows active" 4. (scrape_num r4 "active");
+      close_client a;
+      close_client b)
+
+let test_daemon_slow_reader_does_not_block () =
+  with_daemon (fun sock _ ->
+      let slow = connect_to sock in
+      (* [slow] sends a request but never reads the reply... *)
+      send_raw slow "add t=0.25";
+      (* ...yet another session gets served promptly (a blocking write
+         to [slow] would wedge the whole loop here). *)
+      let other = connect_to sock in
+      let r = request other "stats" in
+      Alcotest.(check string) "other session served" "stats" (scrape_str r "op");
+      check_float ~tol:0. "slow session's add was processed" 1.
+        (scrape_num r "active");
+      (* The unread reply is still waiting when the reader catches up. *)
+      let pending = read_reply slow in
+      Alcotest.(check string) "pending reply intact" "admit"
+        (scrape_str pending "decision");
+      close_client slow;
+      close_client other)
+
+let test_daemon_accept_shed_at_capacity () =
+  with_daemon ~max_sessions:1 (fun sock _ ->
+      let a = connect_to sock in
+      ignore (request a "add t=0.25" : string);
+      (* The table is full: the next connection gets one shed line and
+         is closed — without consuming an engine seq. *)
+      let b = connect_to sock in
+      let shed = read_reply b in
+      check_true "shed line" (contains shed "shed at accept");
+      (match read_reply b with
+      | exception End_of_file -> ()
+      | l -> Alcotest.failf "shed connection must close, got %s" l);
+      close_client b;
+      (* The established session is unaffected, and no seq was burned:
+         the next request is seq 2. *)
+      let r = request a "stats" in
+      check_float ~tol:0. "no seq consumed by the shed" 2. (scrape_num r "seq");
+      close_client a)
+
+let test_daemon_idle_timeout_closes () =
+  with_daemon ~idle_timeout:0.1 (fun sock _ ->
+      let c = connect_to sock in
+      ignore (request c "add t=0.25" : string);
+      (* Stay silent past the idle deadline: the daemon closes us. *)
+      (match read_reply c with
+      | exception End_of_file -> ()
+      | l -> Alcotest.failf "idle session must be closed, got %s" l);
+      close_client c)
+
 let suites =
   [
     ( "service.protocol",
       [
         case "request round-trip and rejects" test_protocol_roundtrip;
+        case "positional-name edge cases" test_protocol_positional_edge_cases;
         case "size distribution parse" test_size_dist_parse;
       ] );
     ( "service.admission",
@@ -578,10 +1042,21 @@ let suites =
       [
         case "backoff retries are deterministic" test_backoff_retry_deterministic;
         case "solver failure degrades then rejects" test_solver_failure_degrades_then_rejects;
+        case "late solve keeps its result under timeout" test_timeout_keeps_late_result;
+      ] );
+    ( "service.batch",
+      [
+        case "admit regime bit-matches serial" test_batch_admit_matches_serial;
+        case "min_rate regime bit-matches serial" test_batch_min_rate_matches_serial;
+        case "rho crossing bit-matches serial" test_batch_rho_crossing_matches_serial;
+        case "one svc.batch span, one rho check" test_batch_single_span_single_rho_check;
+        case "session bracket state machine" test_server_batch_brackets;
+        case "bracket dies with the session" test_bracket_dies_with_session;
       ] );
     ( "service.determinism",
       [
         case "decision log jobs-invariant" test_jobs_invariant_decision_log;
+        case "decision log interleaving-invariant" test_interleaving_invariant_decision_log;
         case "churn storm byte-identical" test_churn_storm_deterministic;
       ] );
     ( "service.snapshot",
@@ -594,6 +1069,17 @@ let suites =
       [
         case "dispatch semantics" test_server_dispatch;
         case "metrics verb" test_metrics_verb;
+        case "accept-error classification" test_classify_accept_error;
+      ] );
+    ( "service.daemon",
+      [
+        case "concurrent sessions and a pipelined batch"
+          test_daemon_concurrent_sessions_and_batch;
+        case "slow reader does not block the loop"
+          test_daemon_slow_reader_does_not_block;
+        case "accept-time shedding at capacity"
+          test_daemon_accept_shed_at_capacity;
+        case "idle timeout closes the session" test_daemon_idle_timeout_closes;
       ] );
     ( "service.churn",
       [ case "storm acceptance" test_churn_storm_acceptance ] );
